@@ -1,0 +1,240 @@
+//! A WebSphere-style centralized server baseline (§8.3).
+//!
+//! "IBM's WebSphere Everyplace Server … attempts to centralize device and
+//! applications integration and control to a main server or cluster of
+//! servers that oversee all connections and users", speaking HTTP.
+//!
+//! The baseline reproduces the architectural property the paper contrasts
+//! with ACE: *all* device state lives behind one server, every interaction
+//! crosses it, and requests are serviced by a single dispatcher (one
+//! worker), so concurrent clients queue — experiment E20 measures the
+//! resulting throughput ceiling against ACE's distributed daemons.
+//!
+//! The protocol is a minimal HTTP/1.0-shaped text exchange:
+//! `GET /device/<name>/<property>` and `PUT /device/<name>/<property> <value>`.
+
+use ace_net::{Addr, HostId, NetError, SimNet};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to the running central server.
+pub struct CentralServer {
+    addr: Addr,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CentralServer {
+    /// Start the server on `host:port`.  A single dispatcher thread owns all
+    /// state and serves one request at a time (the centralization model).
+    pub fn start(net: &SimNet, host: impl Into<HostId>, port: u16) -> Result<CentralServer, NetError> {
+        let host = host.into();
+        let addr = Addr::new(host, port);
+        let listener = net.listen(addr.clone())?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let requests = Arc::new(AtomicU64::new(0));
+
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let requests = Arc::clone(&requests);
+            std::thread::spawn(move || {
+                let devices: Mutex<HashMap<String, HashMap<String, String>>> =
+                    Mutex::new(HashMap::new());
+                let mut connections: Vec<ace_net::Connection> = Vec::new();
+                while !stop.load(Ordering::SeqCst) {
+                    // Accept any new connections.
+                    while let Ok(conn) = listener.accept_timeout(Duration::from_millis(1)) {
+                        connections.push(conn);
+                    }
+                    // Serve one request per connection per sweep —
+                    // single-threaded dispatch.
+                    let mut dead = Vec::new();
+                    for (i, conn) in connections.iter().enumerate() {
+                        match conn.try_recv() {
+                            Ok(Some(frame)) => {
+                                requests.fetch_add(1, Ordering::Relaxed);
+                                let response = handle_request(&devices, &frame);
+                                if conn.send(response).is_err() {
+                                    dead.push(i);
+                                }
+                            }
+                            Ok(None) => {}
+                            Err(_) => dead.push(i),
+                        }
+                    }
+                    for i in dead.into_iter().rev() {
+                        connections.swap_remove(i);
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            })
+        };
+
+        Ok(CentralServer {
+            addr,
+            stop,
+            requests,
+            thread: Some(thread),
+        })
+    }
+
+    /// The server address.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stop the server.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle_request(
+    devices: &Mutex<HashMap<String, HashMap<String, String>>>,
+    frame: &[u8],
+) -> Vec<u8> {
+    let Ok(text) = std::str::from_utf8(frame) else {
+        return http_response(400, "bad request");
+    };
+    let mut parts = text.split(' ');
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => {
+            let Some((device, property)) = parse_path(path) else {
+                return http_response(404, "bad path");
+            };
+            match devices.lock().get(device).and_then(|d| d.get(property)) {
+                Some(value) => http_response(200, value),
+                None => http_response(404, "not found"),
+            }
+        }
+        (Some("PUT"), Some(path)) => {
+            let Some((device, property)) = parse_path(path) else {
+                return http_response(404, "bad path");
+            };
+            let value: String = parts.collect::<Vec<_>>().join(" ");
+            devices
+                .lock()
+                .entry(device.to_string())
+                .or_default()
+                .insert(property.to_string(), value);
+            http_response(200, "ok")
+        }
+        _ => http_response(405, "method not allowed"),
+    }
+}
+
+fn parse_path(path: &str) -> Option<(&str, &str)> {
+    let rest = path.strip_prefix("/device/")?;
+    rest.split_once('/')
+}
+
+fn http_response(code: u16, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.0 {code}\r\nContent-Length: {}\r\nContent-Type: text/plain\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// A client of the central server.
+pub struct CentralClient {
+    conn: ace_net::Connection,
+}
+
+impl CentralClient {
+    pub fn connect(net: &SimNet, from_host: &HostId, server: Addr) -> Result<CentralClient, NetError> {
+        Ok(CentralClient {
+            conn: net.connect(from_host, server)?,
+        })
+    }
+
+    fn request(&mut self, line: String) -> Option<(u16, String)> {
+        self.conn.send(line.into_bytes()).ok()?;
+        let frame = self.conn.recv_timeout(Duration::from_secs(5)).ok()?;
+        let text = String::from_utf8(frame).ok()?;
+        let (head, body) = text.split_once("\r\n\r\n")?;
+        let status_line = head.lines().next()?;
+        let code: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+        Some((code, body.to_string()))
+    }
+
+    /// `PUT /device/<name>/<property> <value>`.
+    pub fn put(&mut self, device: &str, property: &str, value: &str) -> bool {
+        matches!(
+            self.request(format!("PUT /device/{device}/{property} {value}")),
+            Some((200, _))
+        )
+    }
+
+    /// `GET /device/<name>/<property>`.
+    pub fn get(&mut self, device: &str, property: &str) -> Option<String> {
+        match self.request(format!("GET /device/{device}/{property}"))? {
+            (200, body) => Some(body),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let net = SimNet::new();
+        net.add_host("server");
+        net.add_host("client");
+        let server = CentralServer::start(&net, "server", 8080).unwrap();
+        let mut client =
+            CentralClient::connect(&net, &"client".into(), server.addr().clone()).unwrap();
+
+        assert!(client.put("cam1", "pan", "45"));
+        assert_eq!(client.get("cam1", "pan").as_deref(), Some("45"));
+        assert_eq!(client.get("cam1", "tilt"), None);
+        assert_eq!(client.get("ghost", "pan"), None);
+        assert_eq!(server.requests_served(), 4);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_are_all_served() {
+        let net = SimNet::new();
+        net.add_host("server");
+        for i in 0..4 {
+            net.add_host(format!("c{i}"));
+        }
+        let server = CentralServer::start(&net, "server", 8080).unwrap();
+
+        let mut joins = Vec::new();
+        for i in 0..4 {
+            let net = net.clone();
+            let addr = server.addr().clone();
+            joins.push(std::thread::spawn(move || {
+                let host: HostId = format!("c{i}").as_str().into();
+                let mut client = CentralClient::connect(&net, &host, addr).unwrap();
+                for j in 0..25 {
+                    assert!(client.put(&format!("dev{i}"), "v", &j.to_string()));
+                }
+                assert_eq!(client.get(&format!("dev{i}"), "v").as_deref(), Some("24"));
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(server.requests_served(), 4 * 26);
+        server.shutdown();
+    }
+}

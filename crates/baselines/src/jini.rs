@@ -1,0 +1,410 @@
+//! A Jini-style lookup service baseline (§8.4).
+//!
+//! "A multicast mechanism is used to find the lookup service either for
+//! service registration or for other service lookups … once a service is
+//! found, a service proxy is passed onto the client and the service is
+//! rendered directly to the client via RMI."
+//!
+//! The pieces reproduced for experiment E5/E20:
+//!
+//! * **multicast discovery** — clients announce on the discovery port and
+//!   wait for a unicast response from the lookup service, retrying at an
+//!   announcement interval (real Jini announces every few seconds; the
+//!   interval is scaled down but the *rounds* structure is preserved);
+//! * **RMI transport** — registration and lookup travel as serialized
+//!   [`RmiCall`]s, and a lookup reply carries a serialized *service proxy*
+//!   (interface name + stub fields), the heavy payload the paper contrasts
+//!   with ACE's string commands.
+
+use crate::rmi::{RmiCall, RmiValue};
+use ace_net::{Addr, HostId, NetError, SimNet};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The well-known multicast discovery port.
+pub const DISCOVERY_PORT: u16 = 4160; // Jini's actual port
+
+/// A registered Jini service: its proxy fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JiniProxy {
+    pub name: String,
+    pub interface: String,
+    pub host: String,
+    pub port: u16,
+}
+
+/// Handle to a running Jini-style lookup service.
+pub struct JiniLookup {
+    addr: Addr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl JiniLookup {
+    /// Start the lookup service on `host:port`.
+    pub fn start(net: &SimNet, host: impl Into<HostId>, port: u16) -> Result<JiniLookup, NetError> {
+        let host = host.into();
+        let addr = Addr::new(host.clone(), port);
+        let registry: Arc<Mutex<HashMap<String, JiniProxy>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Discovery responder: answer multicast announcements with our
+        // unicast address.
+        let discovery_socket = net.bind_datagram(Addr::new(host.clone(), DISCOVERY_PORT))?;
+        let listener = net.listen(addr.clone())?;
+
+        let mut threads = Vec::new();
+        {
+            let stop = Arc::clone(&stop);
+            let net = net.clone();
+            let our_addr = addr.clone();
+            threads.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    match discovery_socket.recv_timeout(Duration::from_millis(25)) {
+                        Ok(datagram) => {
+                            if datagram.payload.starts_with(b"jini-discover") {
+                                let reply = format!("jini-lookup {our_addr}");
+                                let _ = net.send_datagram(
+                                    &our_addr,
+                                    &datagram.from,
+                                    reply.into_bytes(),
+                                );
+                            }
+                        }
+                        Err(NetError::Timeout) => continue,
+                        Err(_) => break,
+                    }
+                }
+            }));
+        }
+
+        // Registration/lookup server over RMI frames.
+        {
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let conn = match listener.accept_timeout(Duration::from_millis(25)) {
+                        Ok(c) => c,
+                        Err(NetError::Timeout) => continue,
+                        Err(_) => break,
+                    };
+                    let registry = Arc::clone(&registry);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            let frame = match conn.recv_timeout(Duration::from_millis(50)) {
+                                Ok(f) => f,
+                                Err(NetError::Timeout) => continue,
+                                Err(_) => break,
+                            };
+                            let Some(call) = RmiCall::decode(&frame) else {
+                                continue;
+                            };
+                            let reply = handle_call(&registry, &call);
+                            if conn.send(reply.encode()).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+            }));
+        }
+
+        Ok(JiniLookup {
+            addr,
+            stop,
+            threads,
+        })
+    }
+
+    /// The lookup service's unicast address.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Stop the service.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle_call(registry: &Mutex<HashMap<String, JiniProxy>>, call: &RmiCall) -> RmiCall {
+    let get_str = |name: &str| -> Option<String> {
+        call.args.iter().find_map(|(n, v)| {
+            if n == name {
+                match v {
+                    RmiValue::Str(s) => Some(s.clone()),
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        })
+    };
+    match call.method.as_str() {
+        "register" => {
+            let (Some(name), Some(interface), Some(host), Some(port)) = (
+                get_str("name"),
+                get_str("interface"),
+                get_str("host"),
+                call.args.iter().find_map(|(n, v)| {
+                    if n == "port" {
+                        match v {
+                            RmiValue::Long(p) => Some(*p as u16),
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    }
+                }),
+            ) else {
+                return error_reply("bad register arguments");
+            };
+            registry.lock().insert(
+                name.clone(),
+                JiniProxy {
+                    name,
+                    interface,
+                    host,
+                    port,
+                },
+            );
+            RmiCall {
+                interface: "net.jini.core.lookup.ServiceRegistrar".into(),
+                method: "registerReturn".into(),
+                // Jini grants a lease on registration.
+                args: vec![("leaseMillis".into(), RmiValue::Long(30_000))],
+            }
+        }
+        "lookup" => {
+            let Some(name) = get_str("name") else {
+                return error_reply("bad lookup arguments");
+            };
+            match registry.lock().get(&name) {
+                // The reply carries the full serialized proxy object.
+                Some(proxy) => RmiCall {
+                    interface: "net.jini.core.lookup.ServiceRegistrar".into(),
+                    method: "lookupReturn".into(),
+                    args: vec![(
+                        "proxy".into(),
+                        RmiValue::List(vec![
+                            RmiValue::Str(proxy.name.clone()),
+                            RmiValue::Str(proxy.interface.clone()),
+                            RmiValue::Str(proxy.host.clone()),
+                            RmiValue::Long(proxy.port as i64),
+                            // Stub internals a real marshalled proxy drags
+                            // along (codebase URL, invocation handler class).
+                            RmiValue::Str(format!("http://{}/codebase.jar", proxy.host)),
+                            RmiValue::Str("java.rmi.server.RemoteObjectInvocationHandler".into()),
+                        ]),
+                    )],
+                },
+                None => error_reply("no such service"),
+            }
+        }
+        _ => error_reply("unknown method"),
+    }
+}
+
+fn error_reply(msg: &str) -> RmiCall {
+    RmiCall {
+        interface: "java.rmi.RemoteException".into(),
+        method: "error".into(),
+        args: vec![("message".into(), RmiValue::Str(msg.into()))],
+    }
+}
+
+/// Multicast discovery: announce and wait for a lookup service to answer.
+/// Returns the lookup address and how many announcement rounds it took.
+pub fn discover(
+    net: &SimNet,
+    from_host: &HostId,
+    reply_port: u16,
+    announce_interval: Duration,
+    max_rounds: usize,
+) -> Option<(Addr, usize)> {
+    let socket = net.bind_datagram(Addr::new(from_host.clone(), reply_port)).ok()?;
+    let from = Addr::new(from_host.clone(), reply_port);
+    for round in 1..=max_rounds {
+        net.multicast(&from, DISCOVERY_PORT, b"jini-discover");
+        let deadline = std::time::Instant::now() + announce_interval;
+        while let Ok(remaining) = deadline
+            .checked_duration_since(std::time::Instant::now())
+            .ok_or(())
+        {
+            match socket.recv_timeout(remaining.max(Duration::from_millis(1))) {
+                Ok(datagram) => {
+                    let text = String::from_utf8_lossy(&datagram.payload).to_string();
+                    if let Some(addr_text) = text.strip_prefix("jini-lookup ") {
+                        if let Some(addr) = Addr::parse(addr_text) {
+                            return Some((addr, round));
+                        }
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+    None
+}
+
+/// A Jini client: RMI-framed register/lookup against a discovered registrar.
+pub struct JiniClient {
+    conn: ace_net::Connection,
+}
+
+impl JiniClient {
+    /// Connect to the registrar.
+    pub fn connect(net: &SimNet, from_host: &HostId, lookup: Addr) -> Result<JiniClient, NetError> {
+        Ok(JiniClient {
+            conn: net.connect(from_host, lookup)?,
+        })
+    }
+
+    fn call(&mut self, call: &RmiCall) -> Option<RmiCall> {
+        self.conn.send(call.encode()).ok()?;
+        let frame = self.conn.recv_timeout(Duration::from_secs(5)).ok()?;
+        RmiCall::decode(&frame)
+    }
+
+    /// Register a service, returning the lease in milliseconds.
+    pub fn register(&mut self, proxy: &JiniProxy) -> Option<i64> {
+        let reply = self.call(&RmiCall {
+            interface: "net.jini.core.lookup.ServiceRegistrar".into(),
+            method: "register".into(),
+            args: vec![
+                ("name".into(), RmiValue::Str(proxy.name.clone())),
+                ("interface".into(), RmiValue::Str(proxy.interface.clone())),
+                ("host".into(), RmiValue::Str(proxy.host.clone())),
+                ("port".into(), RmiValue::Long(proxy.port as i64)),
+            ],
+        })?;
+        match reply.method.as_str() {
+            "registerReturn" => reply.args.iter().find_map(|(n, v)| {
+                if n == "leaseMillis" {
+                    match v {
+                        RmiValue::Long(ms) => Some(*ms),
+                        _ => None,
+                    }
+                } else {
+                    None
+                }
+            }),
+            _ => None,
+        }
+    }
+
+    /// Look a service up by name, returning its proxy.
+    pub fn lookup(&mut self, name: &str) -> Option<JiniProxy> {
+        let reply = self.call(&RmiCall {
+            interface: "net.jini.core.lookup.ServiceRegistrar".into(),
+            method: "lookup".into(),
+            args: vec![("name".into(), RmiValue::Str(name.into()))],
+        })?;
+        if reply.method != "lookupReturn" {
+            return None;
+        }
+        let RmiValue::List(fields) = &reply.args.first()?.1 else {
+            return None;
+        };
+        match (&fields[0], &fields[1], &fields[2], &fields[3]) {
+            (
+                RmiValue::Str(name),
+                RmiValue::Str(interface),
+                RmiValue::Str(host),
+                RmiValue::Long(port),
+            ) => Some(JiniProxy {
+                name: name.clone(),
+                interface: interface.clone(),
+                host: host.clone(),
+                port: *port as u16,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discover_register_lookup() {
+        let net = SimNet::new();
+        net.add_host("registrar");
+        net.add_host("client");
+        let lookup = JiniLookup::start(&net, "registrar", 4500).unwrap();
+
+        let (addr, rounds) = discover(
+            &net,
+            &"client".into(),
+            4600,
+            Duration::from_millis(100),
+            10,
+        )
+        .expect("discovery");
+        assert_eq!(addr, Addr::new("registrar", 4500));
+        assert_eq!(rounds, 1, "responder answers the first announcement");
+
+        let mut client = JiniClient::connect(&net, &"client".into(), addr).unwrap();
+        let proxy = JiniProxy {
+            name: "cam1".into(),
+            interface: "edu.ku.ittc.ace.PTZCamera".into(),
+            host: "bar".into(),
+            port: 1234,
+        };
+        let lease = client.register(&proxy).unwrap();
+        assert!(lease > 0);
+        assert_eq!(client.lookup("cam1").unwrap(), proxy);
+        assert!(client.lookup("ghost").is_none());
+
+        lookup.shutdown();
+    }
+
+    #[test]
+    fn discovery_needs_multiple_rounds_when_registrar_late() {
+        let net = SimNet::new();
+        net.add_host("registrar");
+        net.add_host("client");
+
+        // Start the registrar only after a delay; early announcement rounds
+        // go unanswered.
+        let net2 = net.clone();
+        let starter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            JiniLookup::start(&net2, "registrar", 4500).unwrap()
+        });
+
+        let (_, rounds) = discover(
+            &net,
+            &"client".into(),
+            4600,
+            Duration::from_millis(50),
+            50,
+        )
+        .expect("discovery eventually succeeds");
+        assert!(rounds > 1, "took {rounds} rounds");
+        starter.join().unwrap().shutdown();
+    }
+
+    #[test]
+    fn no_registrar_discovery_fails() {
+        let net = SimNet::new();
+        net.add_host("client");
+        assert!(discover(
+            &net,
+            &"client".into(),
+            4600,
+            Duration::from_millis(10),
+            3
+        )
+        .is_none());
+    }
+}

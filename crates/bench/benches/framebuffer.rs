@@ -1,0 +1,64 @@
+//! Criterion benches for E14's framebuffer kernel: draw, diff, converge.
+
+use ace_workspace::{Framebuffer, TileUpdate};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_framebuffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("framebuffer");
+
+    group.bench_function("draw_rect_320x240", |b| {
+        let mut fb = Framebuffer::new(1024, 768);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(fb.draw_rect(64, 64, 320, 240, &i.to_le_bytes()))
+        })
+    });
+
+    group.bench_function("full_frame_1024x768", |b| {
+        let mut fb = Framebuffer::new(1024, 768);
+        fb.draw_rect(0, 0, 1024, 768, b"desktop");
+        b.iter(|| std::hint::black_box(fb.full_frame()))
+    });
+
+    group.bench_function("checksum_1024x768", |b| {
+        let mut fb = Framebuffer::new(1024, 768);
+        fb.draw_rect(0, 0, 1024, 768, b"desktop");
+        b.iter(|| std::hint::black_box(fb.checksum()))
+    });
+
+    group.bench_function("apply_update", |b| {
+        let mut fb = Framebuffer::new(1024, 768);
+        let mut seq = 1u64;
+        b.iter(|| {
+            fb.apply(TileUpdate {
+                col: (seq % 64) as u32,
+                row: (seq % 48) as u32,
+                hash: seq,
+                seq,
+            });
+            seq += 1;
+        })
+    });
+
+    group.bench_function("update_wire_roundtrip", |b| {
+        let u = TileUpdate {
+            col: 3,
+            row: 7,
+            hash: 0xdeadbeef,
+            seq: 42,
+        };
+        b.iter(|| {
+            let wire = u.to_wire("ws_1");
+            std::hint::black_box(TileUpdate::from_wire(&wire).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_framebuffer
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benches for E2/E3: the command language round-trip and the
+//! RMI-style codec comparison.
+
+use ace_baselines::RmiCall;
+use ace_lang::{CmdLine, Value};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn ptz_cmd() -> CmdLine {
+    CmdLine::new("ptzMove")
+        .arg("x", 10)
+        .arg("y", -3)
+        .arg("zoom", 1.5)
+        .arg("mode", "absolute")
+}
+
+fn bench_encode_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("language");
+    let cmd = ptz_cmd();
+    let wire = cmd.to_wire();
+
+    group.bench_function("encode_ptz", |b| {
+        b.iter(|| std::hint::black_box(cmd.to_wire()))
+    });
+    group.bench_function("parse_ptz", |b| {
+        b.iter(|| std::hint::black_box(CmdLine::parse(&wire).unwrap()))
+    });
+
+    for n in [0usize, 8, 32] {
+        let mut big = CmdLine::new("cfg");
+        for i in 0..n {
+            big.push_arg(format!("a{i}"), i as i64);
+        }
+        let big_wire = big.to_wire();
+        group.bench_with_input(BenchmarkId::new("roundtrip_args", n), &big_wire, |b, w| {
+            b.iter(|| std::hint::black_box(CmdLine::parse(w).unwrap()))
+        });
+    }
+
+    // Vector-heavy command.
+    let mut vec_cmd = CmdLine::new("path");
+    vec_cmd.push_arg(
+        "points",
+        Value::Vector((0..64).map(ace_lang::Scalar::Int).collect()),
+    );
+    let vec_wire = vec_cmd.to_wire();
+    group.bench_function("parse_vector64", |b| {
+        b.iter(|| std::hint::black_box(CmdLine::parse(&vec_wire).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_vs_rmi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_vs_rmi");
+    let cmd = ptz_cmd();
+    let rmi = RmiCall::from_cmdline("edu.ku.ittc.ace.PTZCamera", &cmd);
+    let rmi_wire = rmi.encode();
+
+    group.bench_function("ace_roundtrip", |b| {
+        b.iter_batched(
+            || cmd.clone(),
+            |cmd| {
+                let w = cmd.to_wire();
+                std::hint::black_box(CmdLine::parse(&w).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("rmi_encode", |b| {
+        b.iter(|| std::hint::black_box(rmi.encode()))
+    });
+    group.bench_function("rmi_decode", |b| {
+        b.iter(|| std::hint::black_box(RmiCall::decode(&rmi_wire).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_encode_parse, bench_vs_rmi
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for E11/E13's DSP and codec kernels.
+
+use ace_media::codec::{convert, rle_encode, Format};
+use ace_media::dsp::{decode_tones, encode_tones, goertzel, mix, sine, EchoCanceller};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_dsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsp");
+    let a = sine(700.0, 0.3, 1600, 0.0);
+    let b2 = sine(1900.0, 0.4, 1600, 1.0);
+
+    group.throughput(Throughput::Elements(1600));
+    group.bench_function("mix_2x1600", |b| {
+        b.iter(|| std::hint::black_box(mix(&[&a, &b2])))
+    });
+    group.bench_function("goertzel_1600", |b| {
+        b.iter(|| std::hint::black_box(goertzel(&a, 700.0)))
+    });
+    group.bench_function("echo_cancel_1600", |b| {
+        let mut ec = EchoCanceller::new(40);
+        ec.feed_reference(&b2);
+        let mic = mix(&[&a, &b2]);
+        b.iter(|| std::hint::black_box(ec.cancel(&mic, 0)))
+    });
+    group.finish();
+}
+
+fn bench_tone_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tone_codec");
+    let text = b"ptzMove x=10 y=-3;";
+    let signal = encode_tones(text);
+    group.bench_function("encode_18_bytes", |b| {
+        b.iter(|| std::hint::black_box(encode_tones(text)))
+    });
+    group.bench_function("decode_18_bytes", |b| {
+        b.iter(|| std::hint::black_box(decode_tones(&signal).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let flat = vec![0x20u8; 4096];
+    let audio = ace_media::dsp::samples_to_bytes(&sine(800.0, 0.5, 2048, 0.0));
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("rle_encode_flat_4k", |b| {
+        b.iter(|| std::hint::black_box(rle_encode(&flat)))
+    });
+    group.bench_function("ulaw_4k", |b| {
+        b.iter(|| std::hint::black_box(convert(Format::Pcm16, Format::Ulaw, &audio).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_dsp, bench_tone_codec, bench_codecs
+}
+criterion_main!(benches);

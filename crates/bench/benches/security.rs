@@ -1,0 +1,91 @@
+//! Criterion benches for E8's kernels: session crypto, RSA signatures, and
+//! KeyNote compliance checks.
+
+use ace_core::{action_env_for, Authorizer};
+use ace_lang::CmdLine;
+use ace_security::cipher::{SecureChannel, SessionKey};
+use ace_security::keynote::{Assertion, KeyNoteEngine, Licensees, POLICY};
+use ace_security::keys::KeyPair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_cipher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cipher");
+    for size in [64usize, 1024, 16384] {
+        let payload = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal_open", size), &payload, |b, p| {
+            let key = SessionKey::from_seed(7);
+            let mut tx = SecureChannel::new(key);
+            let mut rx = SecureChannel::new(key);
+            b.iter(|| {
+                let frame = tx.seal(p);
+                std::hint::black_box(rx.open(&frame).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsa");
+    let kp = KeyPair::generate(&mut rand::thread_rng());
+    let msg = b"authorizer: POLICY / licensees: user";
+    let sig = kp.sign(msg);
+    group.bench_function("sign", |b| b.iter(|| std::hint::black_box(kp.sign(msg))));
+    group.bench_function("verify", |b| {
+        b.iter(|| assert!(kp.public().verify(msg, sig)))
+    });
+    group.finish();
+}
+
+fn bench_keynote(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keynote");
+    for chain in [0usize, 4, 8] {
+        // POLICY -> k1 -> … -> user.
+        let mut links: Vec<KeyPair> = (0..chain).map(|_| KeyPair::generate(&mut rand::thread_rng())).collect();
+        let user = KeyPair::generate(&mut rand::thread_rng());
+        links.push(user);
+        let mut engine = KeyNoteEngine::new();
+        engine
+            .add_policy(
+                Assertion::new(POLICY, Licensees::Principal(links[0].principal()), "true")
+                    .unwrap(),
+            )
+            .unwrap();
+        for pair in links.windows(2) {
+            engine
+                .add_credential(
+                    Assertion::new(
+                        pair[0].principal(),
+                        Licensees::Principal(pair[1].principal()),
+                        "cmd == \"ptzMove\"",
+                    )
+                    .unwrap()
+                    .sign(&pair[0])
+                    .unwrap(),
+                )
+                .unwrap();
+        }
+        let cmd = CmdLine::new("ptzMove").arg("x", 1);
+        let env = action_env_for("cam", "PTZCamera", "hawk", &cmd);
+        let principal = links.last().unwrap().principal();
+
+        let uncached = Authorizer::local(engine.clone()).without_cache();
+        group.bench_with_input(BenchmarkId::new("check_uncached", chain), &(), |b, _| {
+            b.iter(|| assert!(uncached.check(&principal, &env)))
+        });
+        let cached = Authorizer::local(engine);
+        cached.check(&principal, &env);
+        group.bench_with_input(BenchmarkId::new("check_cached", chain), &(), |b, _| {
+            b.iter(|| assert!(cached.check(&principal, &env)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_cipher, bench_rsa, bench_keynote
+}
+criterion_main!(benches);

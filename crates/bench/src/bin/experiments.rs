@@ -1,0 +1,45 @@
+//! Regenerate the paper-derived experiments (DESIGN.md's index).
+//!
+//! ```sh
+//! cargo run --release -p ace-bench --bin experiments          # all
+//! cargo run --release -p ace-bench --bin experiments e03 e15  # selected
+//! ```
+//!
+//! The output of a full run is recorded in EXPERIMENTS.md.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = ace_bench::all_experiments();
+
+    let selected: Vec<&(&str, fn())> = if args.is_empty() {
+        experiments.iter().collect()
+    } else {
+        experiments
+            .iter()
+            .filter(|(id, _)| args.iter().any(|a| a.eq_ignore_ascii_case(id)))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!(
+            "no matching experiments; known ids: {}",
+            experiments
+                .iter()
+                .map(|(id, _)| *id)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        std::process::exit(1);
+    }
+
+    println!("ACE experiment harness — {} experiment(s)", selected.len());
+    let started = std::time::Instant::now();
+    for (id, run) in selected {
+        let t = std::time::Instant::now();
+        run();
+        println!("  [{id} completed in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    println!(
+        "\nall experiments done in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+}

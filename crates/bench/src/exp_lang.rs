@@ -1,0 +1,125 @@
+//! E2 + E3 — the command language (Fig. 5) and the lightweight-vs-RMI
+//! claim (§2.2, §8.1).
+
+use crate::util::*;
+use ace_baselines::RmiCall;
+use ace_lang::{CmdLine, Value};
+
+fn commands() -> Vec<(&'static str, CmdLine)> {
+    vec![
+        ("ping (0 args)", CmdLine::new("ping")),
+        (
+            "ptzMove (4 scalar args)",
+            CmdLine::new("ptzMove")
+                .arg("x", 10)
+                .arg("y", -3)
+                .arg("zoom", 1.5)
+                .arg("mode", "absolute"),
+        ),
+        (
+            "register (5 args)",
+            CmdLine::new("register")
+                .arg("name", "camera_hawk")
+                .arg("host", "bar")
+                .arg("port", 5320)
+                .arg("room", "hawk")
+                .arg("class", Value::Str("Service.Device.PTZCamera.VCC4".into())),
+        ),
+        (
+            "trajectory (vector of 16)",
+            {
+                let mut c = CmdLine::new("ptzPath");
+                c.push_arg(
+                    "points",
+                    Value::Vector((0..16).map(ace_lang::Scalar::Int).collect()),
+                );
+                c
+            },
+        ),
+    ]
+}
+
+/// E2: build → string → parse round-trip cost per command shape.
+pub fn e02() {
+    header("E2", "Fig. 5", "command build/transmit/parse round-trip");
+    row(
+        "command",
+        &["wire bytes".into(), "encode".into(), "parse".into()],
+    );
+    for (label, cmd) in commands() {
+        let wire = cmd.to_wire();
+        let encode = time_median(200, || {
+            std::hint::black_box(cmd.to_wire());
+        });
+        let parse = time_median(200, || {
+            std::hint::black_box(CmdLine::parse(&wire).unwrap());
+        });
+        row(
+            label,
+            &[
+                wire.len().to_string(),
+                fmt_dur(encode),
+                fmt_dur(parse),
+            ],
+        );
+    }
+    // Arg-count scaling series.
+    row("-- scaling --", &[]);
+    for n in [0usize, 4, 8, 16, 32] {
+        let mut cmd = CmdLine::new("cfg");
+        for i in 0..n {
+            cmd.push_arg(format!("a{i}"), i as i64);
+        }
+        let wire = cmd.to_wire();
+        let roundtrip = time_median(200, || {
+            let w = cmd.to_wire();
+            std::hint::black_box(CmdLine::parse(&w).unwrap());
+        });
+        row(
+            &format!("{n} integer args"),
+            &[wire.len().to_string(), fmt_dur(roundtrip), String::new()],
+        );
+    }
+}
+
+/// E3: the same logical calls in the ACE command language vs the RMI-style
+/// codec — bytes and encode+decode time.  The paper's claim is that ACE is
+/// "much more lightweight"; the expected shape is ACE several times smaller
+/// and faster at every size.
+pub fn e03() {
+    header("E3", "Fig. 5 / §2.2", "ACE command language vs RMI-style serialization");
+    row(
+        "call",
+        &[
+            "ACE bytes".into(),
+            "RMI bytes".into(),
+            "ratio".into(),
+            "ACE rt".into(),
+            "RMI rt".into(),
+        ],
+    );
+    for (label, cmd) in commands() {
+        let ace_wire = cmd.to_wire();
+        let rmi = RmiCall::from_cmdline("edu.ku.ittc.ace.Service", &cmd);
+        let rmi_wire = rmi.encode();
+
+        let ace_rt = time_median(200, || {
+            let w = cmd.to_wire();
+            std::hint::black_box(CmdLine::parse(&w).unwrap());
+        });
+        let rmi_rt = time_median(200, || {
+            let w = rmi.encode();
+            std::hint::black_box(RmiCall::decode(&w).unwrap());
+        });
+        row(
+            label,
+            &[
+                ace_wire.len().to_string(),
+                rmi_wire.len().to_string(),
+                format!("{:.1}x", rmi_wire.len() as f64 / ace_wire.len() as f64),
+                fmt_dur(ace_rt),
+                fmt_dur(rmi_rt),
+            ],
+        );
+    }
+}

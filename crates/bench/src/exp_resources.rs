@@ -1,0 +1,166 @@
+//! E9 + E10 — placement quality (Fig. 11 ablation) and user-database
+//! throughput (Fig. 12).
+
+use crate::util::*;
+use ace_core::prelude::*;
+use ace_directory::bootstrap;
+use ace_identity::{UserDb, UserDbClient};
+use ace_resources::{spawn_host_services, spawn_system_services, HostProfile};
+use ace_security::keys::KeyPair;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn keypair() -> KeyPair {
+    KeyPair::generate(&mut rand::thread_rng())
+}
+
+/// E9 (Fig. 11): launch a batch of equal jobs through the SAL under each
+/// placement policy and compare the final per-host load distribution.
+/// Expected shape: resource-aware placement has far lower load variance.
+pub fn e09() {
+    header("E9", "Fig. 11", "SAL placement: random vs resource-aware (ablation)");
+    const HOSTS: usize = 8;
+    const JOBS: usize = 96;
+    row(
+        "policy",
+        &[
+            "mean load".into(),
+            "stddev".into(),
+            "max-min".into(),
+            "hosts used".into(),
+        ],
+    );
+    for policy in ["random", "resource"] {
+        let net = SimNet::new();
+        net.add_host("core");
+        let fw = bootstrap(&net, "core", Duration::from_secs(120)).unwrap();
+        let mut host_daemons = Vec::new();
+        for i in 0..HOSTS {
+            let host = format!("h{i}");
+            net.add_host(host.as_str());
+            host_daemons
+                .push(spawn_host_services(&net, &fw, &host, HostProfile::default()).unwrap());
+        }
+        let (srm, sal) = spawn_system_services(&net, &fw, "core").unwrap();
+        let me = keypair();
+        let mut sal_client =
+            ServiceClient::connect(&net, &"core".into(), sal.addr().clone(), &me).unwrap();
+
+        let mut per_host: HashMap<String, usize> = HashMap::new();
+        for j in 0..JOBS {
+            let r = sal_client
+                .call(
+                    &CmdLine::new("launch")
+                        .arg("app", Value::Str(format!("job{j}")))
+                        .arg("policy", policy)
+                        .arg("load", 1.0),
+                )
+                .unwrap();
+            *per_host
+                .entry(r.get_text("host").unwrap().to_string())
+                .or_default() += 1;
+        }
+        let loads: Vec<f64> = (0..HOSTS)
+            .map(|i| *per_host.get(&format!("h{i}")).unwrap_or(&0) as f64)
+            .collect();
+        let (mean, std) = mean_std(&loads);
+        let max = loads.iter().cloned().fold(f64::MIN, f64::max);
+        let min = loads.iter().cloned().fold(f64::MAX, f64::min);
+        row(
+            policy,
+            &[
+                format!("{mean:.1}"),
+                format!("{std:.2}"),
+                format!("{:.0}", max - min),
+                format!("{}", per_host.len()),
+            ],
+        );
+
+        sal.shutdown();
+        srm.shutdown();
+        for (hrm, hal) in host_daemons {
+            hal.shutdown();
+            hrm.shutdown();
+        }
+        fw.shutdown();
+    }
+}
+
+/// E10 (Fig. 12): AUD query throughput with a populated database and
+/// concurrent clients.
+pub fn e10() {
+    header("E10", "Fig. 12", "user database query throughput");
+    const USERS: usize = 2000;
+    const OPS: usize = 200;
+    let net = SimNet::new();
+    net.add_host("core");
+    for i in 0..8 {
+        net.add_host(format!("c{i}"));
+    }
+    let fw = bootstrap(&net, "core", Duration::from_secs(120)).unwrap();
+    let aud = Daemon::spawn(
+        &net,
+        fw.service_config("aud", "Service.Database.User", "machineroom", "core", 5200),
+        Box::new(UserDb::new()),
+    )
+    .unwrap();
+    let me = keypair();
+    let mut seed =
+        UserDbClient::connect(&net, &"core".into(), aud.addr().clone(), &me).unwrap();
+    let load_time = time_once(|| {
+        for i in 0..USERS {
+            seed.add_user(
+                &format!("user{i}"),
+                &format!("User Number {i}"),
+                "pw",
+                "rsa:0:0",
+                Some(&format!("fp_{i}")),
+                None,
+            )
+            .unwrap();
+        }
+    });
+    row(
+        &format!("load {USERS} users"),
+        &[
+            fmt_dur(load_time),
+            format!("{:.0} adds/s", ops_per_sec(USERS, load_time)),
+        ],
+    );
+
+    row("clients", &["getUser ops/s".into(), "per-op".into()]);
+    for clients in [1usize, 2, 4, 8] {
+        let addr = aud.addr().clone();
+        let total = time_once(|| {
+            let mut joins = Vec::new();
+            for c in 0..clients {
+                let net = net.clone();
+                let addr = addr.clone();
+                joins.push(std::thread::spawn(move || {
+                    let me = keypair();
+                    let host: HostId = format!("c{c}").into();
+                    let mut client =
+                        UserDbClient::connect(&net, &host, addr, &me).unwrap();
+                    for i in 0..OPS {
+                        let user = (c * 7919 + i * 104729) % USERS;
+                        client.get_user(&format!("user{user}")).unwrap();
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+        });
+        let ops = clients * OPS;
+        row(
+            &format!("{clients}"),
+            &[
+                format!("{:.0}", ops_per_sec(ops, total)),
+                fmt_dur(total / ops as u32),
+            ],
+        );
+    }
+
+    aud.shutdown();
+    fw.shutdown();
+}

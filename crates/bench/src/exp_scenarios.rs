@@ -1,0 +1,104 @@
+//! E16 + E17 — the §7 scenario chains with per-step latencies (Fig. 18 and
+//! the numbered steps of Fig. 19).
+
+use crate::util::*;
+use ace_core::prelude::*;
+use ace_env::{AceEnvironment, EnvConfig};
+use ace_security::keys::KeyPair;
+use std::time::{Duration, Instant};
+
+fn wait_for(mut probe: impl FnMut() -> bool) -> Duration {
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(30);
+    loop {
+        if probe() {
+            return start.elapsed();
+        }
+        assert!(Instant::now() < deadline, "step never completed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// E16 (Fig. 18 / Scenario 1): new-user provisioning chain, step by step.
+pub fn e16() {
+    header("E16", "Fig. 18", "scenario 1: new user & default workspace");
+    let build = Instant::now();
+    let ace = AceEnvironment::build(EnvConfig::default()).unwrap();
+    row("environment build", &[fmt_dur(build.elapsed()), format!("{} daemons", ace.daemons.len())]);
+
+    let john = KeyPair::generate(&mut rand::thread_rng());
+    let t = Instant::now();
+    ace.register_user("jdoe", "John Doe", "pw", &john, Some("fp_jdoe"), None)
+        .unwrap();
+    row("AUD registration + FIU enrolment", &[fmt_dur(t.elapsed()), String::new()]);
+
+    let mut wss = ace.client("wss").unwrap();
+    let took = wait_for(|| {
+        wss.call(&CmdLine::new("wssList").arg("user", "jdoe"))
+            .map(|r| r.get_int("count") == Some(1))
+            .unwrap_or(false)
+    });
+    row(
+        "default workspace (AUD→WSS→SAL→SRM→HAL→VNC)",
+        &[fmt_dur(took), String::new()],
+    );
+    ace.shutdown();
+}
+
+/// E17 (Fig. 19 / Scenarios 2–3): identification → workspace display, with
+/// the figure's numbered steps timed individually.
+pub fn e17() {
+    header("E17", "Fig. 19", "scenarios 2–3: identification to workspace display");
+    let ace = AceEnvironment::build(EnvConfig::default()).unwrap();
+    let john = KeyPair::generate(&mut rand::thread_rng());
+    ace.register_user("jdoe", "John Doe", "pw", &john, Some("fp_jdoe"), None)
+        .unwrap();
+    let mut wss = ace.client("wss").unwrap();
+    wait_for(|| {
+        wss.call(&CmdLine::new("wssList").arg("user", "jdoe"))
+            .map(|r| r.get_int("count") == Some(1))
+            .unwrap_or(false)
+    });
+
+    // Step 1-2: the press and FIU match (synchronous round-trip).
+    let t = Instant::now();
+    let reply = ace.press_finger("fp_jdoe").unwrap();
+    let press = t.elapsed();
+    assert_eq!(reply.get_bool("identified"), Some(true));
+    row("[1-2] press → FIU match → AUD resolve", &[fmt_dur(press)]);
+
+    // Step 3-4: ID Monitor notified, AUD location updated.
+    let mut aud = ace.client("aud").unwrap();
+    let took = wait_for(|| {
+        aud.call(&CmdLine::new("getLocation").arg("username", "jdoe"))
+            .map(|r| r.get_text("room") == Some("hawk"))
+            .unwrap_or(false)
+    });
+    row("[3-4] notification → ID Monitor → AUD update", &[fmt_dur(took)]);
+
+    // Step 5-7: WSS shows the workspace at the access point.
+    let took = wait_for(|| {
+        wss.call(&CmdLine::new("wssStats"))
+            .map(|r| r.get_int("shows").unwrap_or(0) >= 1)
+            .unwrap_or(false)
+    });
+    row("[5-7] userAt → WSS → SAL viewer launch", &[fmt_dur(took)]);
+
+    // Whole chain, repeated now that all connections are warm.
+    let t = Instant::now();
+    ace.press_finger("fp_jdoe").unwrap();
+    let shows_target = wss
+        .call(&CmdLine::new("wssStats"))
+        .unwrap()
+        .get_int("shows")
+        .unwrap()
+        + 1;
+    let warm = wait_for(|| {
+        wss.call(&CmdLine::new("wssStats"))
+            .map(|r| r.get_int("shows").unwrap_or(0) >= shows_target)
+            .unwrap_or(false)
+    }) + t.elapsed();
+    row("whole chain, warm (press → shown)", &[fmt_dur(warm)]);
+
+    ace.shutdown();
+}

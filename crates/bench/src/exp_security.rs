@@ -1,0 +1,110 @@
+//! E8 — per-command authorization cost (Fig. 10): delegation-chain length
+//! and the verification-cache ablation.
+
+use crate::util::*;
+use ace_core::{action_env_for, Authorizer};
+use ace_lang::CmdLine;
+use ace_security::keynote::{Assertion, KeyNoteEngine, Licensees, POLICY};
+use ace_security::keys::KeyPair;
+
+fn keypair() -> KeyPair {
+    KeyPair::generate(&mut rand::thread_rng())
+}
+
+/// Build an engine whose authority reaches `user` through a chain of
+/// `chain_len` delegations: POLICY → k1 → k2 → … → user.
+fn engine_with_chain(chain_len: usize, user: &KeyPair) -> KeyNoteEngine {
+    let mut engine = KeyNoteEngine::new();
+    let mut links: Vec<KeyPair> = (0..chain_len).map(|_| keypair()).collect();
+    links.push(*user);
+    engine
+        .add_policy(
+            Assertion::new(
+                POLICY,
+                Licensees::Principal(links[0].principal()),
+                "app_domain == \"ace\"",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    for pair in links.windows(2) {
+        let (from, to) = (&pair[0], &pair[1]);
+        engine
+            .add_credential(
+                Assertion::new(
+                    from.principal(),
+                    Licensees::Principal(to.principal()),
+                    "cmd == \"ptzMove\"",
+                )
+                .unwrap()
+                .sign(from)
+                .unwrap(),
+            )
+            .unwrap();
+    }
+    engine
+}
+
+/// E8: compliance-check latency vs chain length, cache on/off, plus the
+/// signature-verification cost paid at credential install time.
+pub fn e08() {
+    header("E8", "Fig. 10", "KeyNote authorization cost");
+    row(
+        "delegation chain",
+        &["uncached check".into(), "cached check".into(), "speedup".into()],
+    );
+    let user = keypair();
+    let cmd = CmdLine::new("ptzMove").arg("x", 10).arg("zoom", 2);
+    let env = action_env_for("camera_hawk", "PTZCamera", "hawk", &cmd);
+    let principal = user.principal();
+
+    for chain in [0usize, 1, 2, 4, 8] {
+        let engine = engine_with_chain(chain, &user);
+        let uncached = Authorizer::local(engine.clone()).without_cache();
+        let cached = Authorizer::local(engine);
+        assert!(uncached.check(&principal, &env), "grant must hold");
+
+        let t_uncached = time_median(200, || {
+            std::hint::black_box(uncached.check(&principal, &env));
+        });
+        // Prime, then measure hits.
+        cached.check(&principal, &env);
+        let t_cached = time_median(200, || {
+            std::hint::black_box(cached.check(&principal, &env));
+        });
+        row(
+            &format!("{chain} intermediate link(s)"),
+            &[
+                fmt_dur(t_uncached),
+                fmt_dur(t_cached),
+                format!(
+                    "{:.0}x",
+                    t_uncached.as_secs_f64() / t_cached.as_secs_f64().max(1e-9)
+                ),
+            ],
+        );
+    }
+
+    // Install-time signature verification (RSA) and denial cost.
+    let admin = keypair();
+    let cred = Assertion::new(
+        admin.principal(),
+        Licensees::Principal(user.principal()),
+        "true",
+    )
+    .unwrap()
+    .sign(&admin)
+    .unwrap();
+    let verify = time_median(200, || {
+        cred.verify().unwrap();
+    });
+    row("credential signature verify", &[fmt_dur(verify), String::new(), String::new()]);
+
+    let engine = engine_with_chain(4, &user);
+    let uncached = Authorizer::local(engine).without_cache();
+    let stranger = keypair().principal();
+    let deny = time_median(200, || {
+        assert!(!uncached.check(&stranger, &env));
+    });
+    row("denial (no path, chain 4)", &[fmt_dur(deny), String::new(), String::new()]);
+}

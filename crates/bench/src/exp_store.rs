@@ -1,0 +1,205 @@
+//! E15 + E19 — the persistent store (Fig. 17): latency by replica health,
+//! recovery/resync time, replication-factor ablation, and robust-service
+//! MTTR.
+
+use crate::util::*;
+use ace_core::prelude::*;
+use ace_apps::{wire_watcher, AppClass, RobustCounter, WatchSpec, Watcher};
+use ace_directory::bootstrap;
+use ace_security::keys::KeyPair;
+use ace_store::{respawn_replica, spawn_store_cluster, StoreClient};
+use std::time::{Duration, Instant};
+
+fn keypair() -> KeyPair {
+    KeyPair::generate(&mut rand::thread_rng())
+}
+
+/// E15: put/get latency with 3, 2, and 1 replicas alive; replication-factor
+/// ablation; and crash-recovery resync time.
+pub fn e15() {
+    header("E15", "Fig. 17", "persistent store under replica failures");
+    row(
+        "cluster state",
+        &["put".into(), "get".into(), "writes OK?".into()],
+    );
+
+    // Replication-factor ablation: 1 vs 2 vs 3 replicas (Fig. 17 argues for
+    // three).
+    for replicas in [1usize, 2, 3] {
+        let net = SimNet::new();
+        net.add_host("core");
+        let hosts: Vec<String> = (0..replicas).map(|i| format!("s{}", i + 1)).collect();
+        for h in &hosts {
+            net.add_host(h.as_str());
+        }
+        let fw = bootstrap(&net, "core", Duration::from_secs(120)).unwrap();
+        let host_refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+        let cluster =
+            spawn_store_cluster(&net, &fw, &host_refs, Duration::from_millis(200)).unwrap();
+        let mut client = StoreClient::new(net.clone(), "core", keypair(), cluster.addrs.clone());
+        let mut i = 0u64;
+        let put = time_median(50, || {
+            client.put("bench", &format!("k{i}"), b"value bytes").unwrap();
+            i += 1;
+        });
+        client.put("bench", "fixed", b"v").unwrap();
+        let get = time_median(50, || {
+            client.get("bench", "fixed").unwrap();
+        });
+        row(
+            &format!("replication factor {replicas}, all up"),
+            &[fmt_dur(put), fmt_dur(get), "yes".into()],
+        );
+        cluster.shutdown();
+        fw.shutdown();
+    }
+
+    // Degraded modes on the canonical 3-replica cluster.
+    let net = SimNet::new();
+    net.add_host("core");
+    for h in ["s1", "s2", "s3"] {
+        net.add_host(h);
+    }
+    let fw = bootstrap(&net, "core", Duration::from_secs(120)).unwrap();
+    let cluster = spawn_store_cluster(&net, &fw, &["s1", "s2", "s3"], Duration::from_millis(100)).unwrap();
+    let mut client = StoreClient::new(net.clone(), "core", keypair(), cluster.addrs.clone());
+    client.put("bench", "fixed", b"v").unwrap();
+
+    net.kill_host(&"s1".into());
+    let mut i = 0u64;
+    let put = time_median(30, || {
+        client.put("bench", &format!("d{i}"), b"v").unwrap();
+        i += 1;
+    });
+    let get = time_median(30, || {
+        client.get("bench", "fixed").unwrap();
+    });
+    row("3 replicas, 1 down", &[fmt_dur(put), fmt_dur(get), "yes (quorum 2)".into()]);
+
+    net.kill_host(&"s2".into());
+    let get = time_median(30, || {
+        client.get("bench", "fixed").unwrap();
+    });
+    let write_fails = client.put("bench", "x", b"v").is_err();
+    row(
+        "3 replicas, 2 down",
+        &[
+            "-".into(),
+            fmt_dur(get),
+            if write_fails { "no (reads only)".into() } else { "BUG".into() },
+        ],
+    );
+
+    // Recovery: revive s1 (s2 stays dead), see how long anti-entropy takes
+    // to resync the missed writes.
+    const MISSED: usize = 200;
+    // s1 and s2 are down; the surviving quorum is 1 — relax quorum for the
+    // backfill writes so the experiment can create divergence.
+    let mut loose = StoreClient::new(net.clone(), "core", keypair(), cluster.addrs.clone())
+        .with_quorum(1);
+    for i in 0..MISSED {
+        loose.put("recovery", &format!("m{i}"), b"written while down").unwrap();
+    }
+    let s1_disk = cluster.replicas[0].1.clone();
+    net.revive_host(&"s1".into());
+    let revived = respawn_replica(&net, &fw, 0, "s1", s1_disk.clone(), Duration::from_millis(100)).unwrap();
+    let resync = time_once(|| {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let caught_up = (0..MISSED)
+                .all(|i| s1_disk.get(&("recovery".into(), format!("m{i}"))).is_some());
+            if caught_up {
+                break;
+            }
+            assert!(Instant::now() < deadline, "resync never completed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    });
+    row(
+        &format!("resync {MISSED} missed writes"),
+        &[fmt_dur(resync), String::new(), String::new()],
+    );
+
+    revived.shutdown();
+    for (handle, _) in cluster.replicas {
+        if handle.addr().host.as_str() == "s3" {
+            handle.shutdown();
+        } else {
+            handle.crash();
+        }
+    }
+    fw.shutdown();
+}
+
+/// E19 (§9): robust-service mean time to recovery across lease durations —
+/// crash → lease expiry → `serviceExpired` → watcher relaunch → state
+/// restore from the store.
+pub fn e19() {
+    header("E19", "§9", "robust application recovery (MTTR vs lease)");
+    row(
+        "ASD lease",
+        &["MTTR".into(), "state intact?".into()],
+    );
+    for lease_ms in [200u64, 400, 800] {
+        let net = SimNet::new();
+        for h in ["core", "app", "s1", "s2", "s3"] {
+            net.add_host(h);
+        }
+        let fw = bootstrap(&net, "core", Duration::from_millis(lease_ms)).unwrap();
+        let cluster =
+            spawn_store_cluster(&net, &fw, &["s1", "s2", "s3"], Duration::from_millis(100)).unwrap();
+        let me = keypair();
+        let replicas = cluster.addrs.clone();
+        let cfg = fw
+            .service_config("robust", "Service.Counter", "hawk", "app", 5900)
+            .with_lease_renew(Duration::from_millis(lease_ms / 4));
+        let spawner = {
+            let cfg = cfg.clone();
+            let replicas = replicas.clone();
+            move |net: &SimNet| {
+                Daemon::spawn(net, cfg.clone(), Box::new(RobustCounter::new(replicas.clone())))
+            }
+        };
+        let first = spawner(&net).unwrap();
+        let addr = first.addr().clone();
+        let watcher = Daemon::spawn(
+            &net,
+            fw.service_config("watcher", "Service.Watcher", "machineroom", "core", 5901),
+            Box::new(Watcher::new(vec![WatchSpec::new(
+                "robust",
+                AppClass::Robust,
+                Box::new(spawner),
+            )])),
+        )
+        .unwrap();
+        wire_watcher(&net, &watcher, &fw.asd_addr, &me).unwrap();
+
+        let mut client = ServiceClient::connect(&net, &"core".into(), addr.clone(), &me).unwrap();
+        for _ in 0..10 {
+            client.call_ok(&CmdLine::new("increment")).unwrap();
+        }
+        drop(client);
+
+        let crash_at = Instant::now();
+        first.crash();
+        let reply = loop {
+            if let Ok(mut c) = ServiceClient::connect(&net, &"core".into(), addr.clone(), &me) {
+                if let Ok(r) = c.call(&CmdLine::new("read")) {
+                    break r;
+                }
+            }
+            assert!(crash_at.elapsed() < Duration::from_secs(30), "never recovered");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let mttr = crash_at.elapsed();
+        let intact = reply.get_int("value") == Some(10) && reply.get_bool("recovered") == Some(true);
+        row(
+            &format!("{lease_ms} ms"),
+            &[fmt_dur(mttr), if intact { "yes".into() } else { "NO".into() }],
+        );
+
+        watcher.shutdown();
+        cluster.shutdown();
+        fw.shutdown();
+    }
+}

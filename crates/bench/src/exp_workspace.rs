@@ -1,0 +1,129 @@
+//! E14 — VNC-like workspaces (Fig. 16): attach latency and framebuffer
+//! update throughput.
+
+use crate::util::*;
+use ace_core::prelude::*;
+use ace_core::protocol::hex_encode;
+use ace_directory::bootstrap;
+use ace_security::keys::KeyPair;
+use ace_workspace::{VncHost, VncViewer};
+use std::time::Duration;
+
+pub fn e14() {
+    header("E14", "Fig. 16", "workspace attach latency and update throughput");
+    let net = SimNet::new();
+    net.add_host("core");
+    net.add_host("vhost");
+    net.add_host("podium");
+    let fw = bootstrap(&net, "core", Duration::from_secs(120)).unwrap();
+    let me = KeyPair::generate(&mut rand::thread_rng());
+    let vnc = Daemon::spawn(
+        &net,
+        fw.service_config("vnc", "Service.VNCHost", "machineroom", "vhost", 5500),
+        Box::new(VncHost::new()),
+    )
+    .unwrap();
+    let mut host = ServiceClient::connect(&net, &"core".into(), vnc.addr().clone(), &me).unwrap();
+    let created = host
+        .call(
+            &CmdLine::new("vncCreate")
+                .arg("user", "jdoe")
+                .arg("password", Value::Str("pw".into()))
+                .arg("width", 1024)
+                .arg("height", 768),
+        )
+        .unwrap();
+    let session = created.get_text("session").unwrap().to_string();
+
+    // Paint the whole desktop so the attach transfer is a full 64×48 grid.
+    host.call(
+        &CmdLine::new("vncDraw")
+            .arg("session", session.as_str())
+            .arg("x", 0)
+            .arg("y", 0)
+            .arg("w", 1024)
+            .arg("h", 768)
+            .arg("data", hex_encode(b"desktop")),
+    )
+    .unwrap();
+
+    // Attach latency (includes the 3072-tile full transfer).
+    let mut viewer_port = 6000u16;
+    let attach = time_median(10, || {
+        let mut viewer = VncViewer::attach(
+            &net,
+            &"podium".into(),
+            viewer_port,
+            vnc.addr(),
+            &session,
+            "pw",
+            &me,
+        )
+        .unwrap();
+        // Drain the full frame.
+        while viewer.pump_wait(Duration::from_millis(100)) > 0 {}
+        viewer_port += 1;
+        std::hint::black_box(viewer);
+    });
+    row("attach + full transfer (1024x768)", &[fmt_dur(attach)]);
+
+    // Steady-state update throughput: repaint a window region repeatedly
+    // with an attached viewer consuming the updates.
+    let mut viewer = VncViewer::attach(
+        &net,
+        &"podium".into(),
+        6999,
+        vnc.addr(),
+        &session,
+        "pw",
+        &me,
+    )
+    .unwrap();
+    while viewer.pump_wait(Duration::from_millis(100)) > 0 {}
+
+    const REPAINTS: usize = 100;
+    let mut tiles_pushed = 0i64;
+    let total = time_once(|| {
+        for i in 0..REPAINTS {
+            let reply = host
+                .call(
+                    &CmdLine::new("vncDraw")
+                        .arg("session", session.as_str())
+                        .arg("x", 64)
+                        .arg("y", 64)
+                        .arg("w", 320)
+                        .arg("h", 240)
+                        .arg("data", hex_encode(&(i as u64).to_le_bytes())),
+                )
+                .unwrap();
+            tiles_pushed += reply.get_int("tiles").unwrap();
+        }
+    });
+    // Let the viewer converge and check it did.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let server_sum = loop {
+        viewer.pump_wait(Duration::from_millis(50));
+        let state = host
+            .call(&CmdLine::new("vncState").arg("session", session.as_str()))
+            .unwrap();
+        let sum = state.get_text("checksum").unwrap().to_string();
+        if format!("x{:016x}", viewer.checksum()) == sum {
+            break sum;
+        }
+        assert!(std::time::Instant::now() < deadline, "viewer diverged");
+    };
+    let _ = server_sum;
+
+    row(
+        "window repaints (320x240)",
+        &[format!("{:.0}/s", ops_per_sec(REPAINTS, total))],
+    );
+    row(
+        "tile updates pushed",
+        &[format!("{:.0}/s", ops_per_sec(tiles_pushed as usize, total))],
+    );
+    row("viewer converged", &["yes".into()]);
+
+    vnc.shutdown();
+    fw.shutdown();
+}

@@ -1,0 +1,347 @@
+//! Per-command authorization (§3.2, Fig. 10).
+//!
+//! Every command a daemon executes is first checked: the daemon assembles
+//! the *action attribute set* (who, which service, which command, which
+//! arguments), gathers the relevant KeyNote assertions, and asks the
+//! compliance checker for OK / NOT OK.
+//!
+//! Three modes mirror the deployment options in the paper:
+//!
+//! * [`AuthMode::Open`] — no restriction (development environments),
+//! * [`AuthMode::Local`] — policies and credentials held by the daemon,
+//! * `Authorizer::with_source` — Fig. 10's flow: per-command credential fetch
+//!   from the Authorization Database service, combined with a local policy
+//!   root (implemented by `crates/identity`'s `RemoteCredentials` source).
+
+use ace_lang::{CmdLine, Value};
+use ace_security::keynote::{ActionEnv, Assertion, KeyNoteEngine, KeyNoteError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A pluggable source of additional credentials consulted per command —
+/// the "Authentication DB service looks up the necessary information"
+/// arrow of Fig. 10.
+pub trait CredentialSource: Send + Sync {
+    /// Credentials relevant to `principal` attempting the action in `env`.
+    fn credentials_for(&self, principal: &str, env: &ActionEnv) -> Vec<Assertion>;
+}
+
+/// How a daemon authorizes commands.
+#[derive(Clone)]
+pub enum AuthMode {
+    /// Allow everything (the daemon still authenticates principals).
+    Open,
+    /// Check against a fixed local engine.
+    Local(Arc<Authorizer>),
+}
+
+impl AuthMode {
+    /// Is `principal` allowed to perform the action described by `env`?
+    pub fn check(&self, principal: &str, env: &ActionEnv) -> bool {
+        match self {
+            AuthMode::Open => true,
+            AuthMode::Local(auth) => auth.check(principal, env),
+        }
+    }
+}
+
+impl std::fmt::Debug for AuthMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuthMode::Open => write!(f, "AuthMode::Open"),
+            AuthMode::Local(_) => write!(f, "AuthMode::Local"),
+        }
+    }
+}
+
+/// A KeyNote authorizer with an optional remote credential source and a
+/// decision cache (the E8 ablation switch).
+pub struct Authorizer {
+    base: Mutex<KeyNoteEngine>,
+    source: Option<Arc<dyn CredentialSource>>,
+    cache_enabled: bool,
+    cache: Mutex<HashMap<u64, bool>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Authorizer {
+    /// Authorizer over a local engine only.
+    pub fn local(engine: KeyNoteEngine) -> Authorizer {
+        Authorizer {
+            base: Mutex::new(engine),
+            source: None,
+            cache_enabled: true,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Authorizer that additionally pulls credentials from `source` for
+    /// every decision (Fig. 10).
+    pub fn with_source(engine: KeyNoteEngine, source: Arc<dyn CredentialSource>) -> Authorizer {
+        Authorizer {
+            source: Some(source),
+            ..Authorizer::local(engine)
+        }
+    }
+
+    /// Disable the decision cache (for the E8 ablation).
+    pub fn without_cache(mut self) -> Authorizer {
+        self.cache_enabled = false;
+        self
+    }
+
+    /// Install a policy assertion (invalidates the cache).
+    pub fn add_policy(&self, a: Assertion) -> Result<(), KeyNoteError> {
+        self.cache.lock().clear();
+        self.base.lock().add_policy(a)
+    }
+
+    /// Install a credential (invalidates the cache).
+    pub fn add_credential(&self, a: Assertion) -> Result<(), KeyNoteError> {
+        self.cache.lock().clear();
+        self.base.lock().add_credential(a)
+    }
+
+    /// `(cache hits, cache misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The compliance decision.
+    pub fn check(&self, principal: &str, env: &ActionEnv) -> bool {
+        let key = decision_key(principal, env);
+        if self.cache_enabled {
+            if let Some(&v) = self.cache.lock().get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return v;
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let decision = self.decide(principal, env);
+        // With a remote credential source, only *positive* decisions are
+        // cacheable: KeyNote authority is monotone under credential
+        // addition, so a grant stays valid, but a denial may be reversed by
+        // a credential stored in the AuthDB after the fact.  (Credential
+        // *removal* is not tracked by the cache; deployments that revoke
+        // should disable it.)
+        if self.cache_enabled && (decision || self.source.is_none()) {
+            self.cache.lock().insert(key, decision);
+        }
+        decision
+    }
+
+    fn decide(&self, principal: &str, env: &ActionEnv) -> bool {
+        if let Some(source) = &self.source {
+            // Fig. 10 steps 2–4: fetch the relevant credentials, extend a
+            // scratch engine, evaluate.
+            let mut engine = self.base.lock().clone();
+            for cred in source.credentials_for(principal, env) {
+                // Invalid credentials are skipped, not fatal — a bad record
+                // in the DB must not grant or deny by crashing.
+                let _ = engine.add_credential(cred);
+            }
+            engine.query(env, &[principal])
+        } else {
+            self.base.lock().query(env, &[principal])
+        }
+    }
+}
+
+impl std::fmt::Debug for Authorizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Authorizer(remote_source: {}, cache: {})",
+            self.source.is_some(),
+            self.cache_enabled
+        )
+    }
+}
+
+fn decision_key(principal: &str, env: &ActionEnv) -> u64 {
+    let mut material = Vec::with_capacity(128);
+    material.extend_from_slice(principal.as_bytes());
+    material.push(0);
+    for (k, v) in env {
+        material.extend_from_slice(k.as_bytes());
+        material.push(1);
+        material.extend_from_slice(v.as_bytes());
+        material.push(2);
+    }
+    ace_security::hash::fnv64(&material)
+}
+
+/// Assemble the action attribute set for a command arriving at a daemon.
+///
+/// Scalar arguments are promoted into the environment so conditions can
+/// constrain them (`zoom <= 10`); vectors/arrays are summarized by length.
+pub fn action_env_for(service: &str, class: &str, room: &str, cmd: &CmdLine) -> ActionEnv {
+    let mut env = ActionEnv::new();
+    env.insert("app_domain".into(), "ace".into());
+    env.insert("service".into(), service.into());
+    env.insert("class".into(), class.into());
+    env.insert("room".into(), room.into());
+    env.insert("cmd".into(), cmd.name().into());
+    for (name, value) in cmd.args() {
+        let key = format!("arg_{name}");
+        let text = match value {
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => f.to_string(),
+            Value::Word(w) => w.clone(),
+            Value::Str(s) => s.clone(),
+            Value::Vector(v) => format!("vector:{}", v.len()),
+            Value::Array(a) => format!("array:{}", a.len()),
+        };
+        env.insert(key, text);
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_security::keynote::{Licensees, POLICY};
+    use ace_security::keys::KeyPair;
+
+    fn keypair() -> KeyPair {
+        KeyPair::generate(&mut rand::thread_rng())
+    }
+
+    #[test]
+    fn open_mode_allows_all() {
+        assert!(AuthMode::Open.check("anyone", &ActionEnv::new()));
+    }
+
+    #[test]
+    fn local_mode_enforces() {
+        let user = keypair();
+        let mut engine = KeyNoteEngine::new();
+        engine
+            .add_policy(
+                Assertion::new(
+                    POLICY,
+                    Licensees::Principal(user.principal()),
+                    "cmd == \"ptzMove\" && arg_zoom <= 10",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mode = AuthMode::Local(Arc::new(Authorizer::local(engine)));
+
+        let ok_cmd = CmdLine::new("ptzMove").arg("zoom", 5);
+        let env = action_env_for("cam1", "PTZCamera", "hawk", &ok_cmd);
+        assert!(mode.check(&user.principal(), &env));
+
+        let too_far = CmdLine::new("ptzMove").arg("zoom", 50);
+        let env = action_env_for("cam1", "PTZCamera", "hawk", &too_far);
+        assert!(!mode.check(&user.principal(), &env));
+
+        assert!(!mode.check("stranger", &ActionEnv::new()));
+    }
+
+    #[test]
+    fn action_env_promotes_args() {
+        let cmd = CmdLine::new("ptzMove")
+            .arg("x", 1)
+            .arg("label", "door")
+            .arg("path", Value::Vector(vec![]));
+        let env = action_env_for("cam", "PTZCamera", "hawk", &cmd);
+        assert_eq!(env.get("cmd").unwrap(), "ptzMove");
+        assert_eq!(env.get("arg_x").unwrap(), "1");
+        assert_eq!(env.get("arg_label").unwrap(), "door");
+        assert_eq!(env.get("arg_path").unwrap(), "vector:0");
+        assert_eq!(env.get("service").unwrap(), "cam");
+    }
+
+    #[test]
+    fn cache_counts_and_ablation() {
+        let user = keypair();
+        let mut engine = KeyNoteEngine::new();
+        engine
+            .add_policy(
+                Assertion::new(POLICY, Licensees::Principal(user.principal()), "true").unwrap(),
+            )
+            .unwrap();
+        let auth = Authorizer::local(engine.clone());
+        let env = ActionEnv::new();
+        let p = user.principal();
+        for _ in 0..5 {
+            assert!(auth.check(&p, &env));
+        }
+        assert_eq!(auth.cache_stats(), (4, 1));
+
+        let uncached = Authorizer::local(engine).without_cache();
+        for _ in 0..5 {
+            assert!(uncached.check(&p, &env));
+        }
+        assert_eq!(uncached.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn remote_source_consulted() {
+        struct OneCred(Assertion);
+        impl CredentialSource for OneCred {
+            fn credentials_for(&self, _p: &str, _e: &ActionEnv) -> Vec<Assertion> {
+                vec![self.0.clone()]
+            }
+        }
+
+        let admin = keypair();
+        let user = keypair();
+        let mut engine = KeyNoteEngine::new();
+        engine
+            .add_policy(
+                Assertion::new(POLICY, Licensees::Principal(admin.principal()), "true").unwrap(),
+            )
+            .unwrap();
+        let cred = Assertion::new(
+            admin.principal(),
+            Licensees::Principal(user.principal()),
+            "true",
+        )
+        .unwrap()
+        .sign(&admin)
+        .unwrap();
+
+        // Without the source the user is denied; with it, granted.
+        let local_only = Authorizer::local(engine.clone());
+        assert!(!local_only.check(&user.principal(), &ActionEnv::new()));
+        let with_source = Authorizer::with_source(engine, Arc::new(OneCred(cred)));
+        assert!(with_source.check(&user.principal(), &ActionEnv::new()));
+    }
+
+    #[test]
+    fn invalid_remote_credentials_skipped() {
+        struct Forged(Assertion);
+        impl CredentialSource for Forged {
+            fn credentials_for(&self, _p: &str, _e: &ActionEnv) -> Vec<Assertion> {
+                vec![self.0.clone()]
+            }
+        }
+        let admin = keypair();
+        let user = keypair();
+        // Unsigned "credential".
+        let forged = Assertion::new(
+            admin.principal(),
+            Licensees::Principal(user.principal()),
+            "true",
+        )
+        .unwrap();
+        let mut engine = KeyNoteEngine::new();
+        engine
+            .add_policy(
+                Assertion::new(POLICY, Licensees::Principal(admin.principal()), "true").unwrap(),
+            )
+            .unwrap();
+        let auth = Authorizer::with_source(engine, Arc::new(Forged(forged)));
+        assert!(!auth.check(&user.principal(), &ActionEnv::new()));
+    }
+}

@@ -1,0 +1,256 @@
+//! The service behavior trait and its execution context.
+//!
+//! A daemon is "an independent and highly efficient shell that serves as the
+//! basis for ACE services" (§2.1.1).  The shell (threads, sockets, security,
+//! registration, notifications) lives in [`crate::daemon`]; what a specific
+//! service *does* is a [`ServiceBehavior`].  Implementing a new ACE service
+//! is exactly what §2.3 promises: define the command semantics, implement
+//! `handle`, and the framework does the rest.
+
+use crate::client::{ClientError, ServiceClient};
+use crate::notify::Notifier;
+use crate::protocol::{self, ServiceEntry};
+use ace_lang::{CmdLine, Reply, Semantics};
+use ace_net::{Addr, Datagram, HostId, SimNet};
+use ace_security::keys::KeyPair;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Who issued the command being handled.
+#[derive(Debug, Clone)]
+pub struct ClientInfo {
+    /// Authenticated principal (public-key string) from the link handshake.
+    pub principal: String,
+    /// Network address of the caller.
+    pub addr: Addr,
+}
+
+/// What a specific ACE service does.  One instance runs per daemon, driven
+/// exclusively by the daemon's control thread — so `&mut self` methods need
+/// no internal locking.
+pub trait ServiceBehavior: Send + 'static {
+    /// The service's command vocabulary.  The framework automatically adds
+    /// the built-in commands (`ping`, `describe`, notifications, …), i.e.
+    /// every service inherits from the base of the Fig. 6 hierarchy.
+    fn semantics(&self) -> Semantics;
+
+    /// Execute one validated, authorized command.
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, from: &ClientInfo) -> Reply;
+
+    /// Called once after registration completes, before any command.
+    fn on_start(&mut self, _ctx: &mut ServiceCtx) {}
+
+    /// A datagram arrived on the daemon's UDP data channel (§2.1.1).
+    fn on_data(&mut self, _ctx: &mut ServiceCtx, _datagram: Datagram) {}
+
+    /// Periodic tick (device polling, timers).  Cadence is
+    /// `DaemonConfig::tick`.
+    fn on_tick(&mut self, _ctx: &mut ServiceCtx) {}
+
+    /// Called once when the daemon stops (graceful shutdown only).
+    fn on_stop(&mut self, _ctx: &mut ServiceCtx) {}
+}
+
+/// The daemon-provided capabilities a behavior can use while executing:
+/// identity, outbound calls, ASD lookup, event emission, logging.
+pub struct ServiceCtx {
+    net: SimNet,
+    name: String,
+    class: String,
+    room: String,
+    host: HostId,
+    port: u16,
+    identity: Arc<KeyPair>,
+    asd: Option<Addr>,
+    logger: Option<Addr>,
+    notifier: Notifier,
+    clients: HashMap<Addr, ServiceClient>,
+    /// Events fired by the behavior during this dispatch, drained by the
+    /// control thread into the notification registry.
+    pub(crate) pending_events: Vec<CmdLine>,
+    /// Set by the behavior to request daemon shutdown.
+    pub(crate) stop_requested: bool,
+}
+
+impl ServiceCtx {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        net: SimNet,
+        name: String,
+        class: String,
+        room: String,
+        host: HostId,
+        port: u16,
+        identity: Arc<KeyPair>,
+        asd: Option<Addr>,
+        logger: Option<Addr>,
+        notifier: Notifier,
+    ) -> ServiceCtx {
+        ServiceCtx {
+            net,
+            name,
+            class,
+            room,
+            host,
+            port,
+            identity,
+            asd,
+            logger,
+            notifier,
+            clients: HashMap::new(),
+            pending_events: Vec::new(),
+            stop_requested: false,
+        }
+    }
+
+    /// This service's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This service's class (hierarchy path).
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    /// The room this service lives in.
+    pub fn room(&self) -> &str {
+        &self.room
+    }
+
+    /// The host this daemon runs on.
+    pub fn host(&self) -> &HostId {
+        &self.host
+    }
+
+    /// This daemon's service address.
+    pub fn addr(&self) -> Addr {
+        Addr::new(self.host.clone(), self.port)
+    }
+
+    /// This daemon's principal.
+    pub fn principal(&self) -> String {
+        self.identity.principal()
+    }
+
+    /// This daemon's key pair (for signing credentials it issues).
+    pub fn identity(&self) -> &KeyPair {
+        &self.identity
+    }
+
+    /// The shared network handle.
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// The ASD address, if this daemon was configured with one.
+    pub fn asd_addr(&self) -> Option<&Addr> {
+        self.asd.as_ref()
+    }
+
+    /// Call another ACE service, reusing a cached connection.  On a link
+    /// failure the connection is discarded and retried once (services may
+    /// have restarted on the same address).
+    pub fn call(&mut self, addr: &Addr, cmd: &CmdLine) -> Result<CmdLine, ClientError> {
+        for attempt in 0..2 {
+            if !self.clients.contains_key(addr) {
+                let client =
+                    ServiceClient::connect(&self.net, &self.host, addr.clone(), &self.identity)?;
+                self.clients.insert(addr.clone(), client);
+            }
+            let client = self.clients.get_mut(addr).expect("just inserted");
+            match client.call(cmd) {
+                Ok(reply) => return Ok(reply),
+                err @ Err(ClientError::Service { .. }) => return err,
+                Err(link_err @ ClientError::Link(_)) => {
+                    self.clients.remove(addr);
+                    if attempt == 1 {
+                        return Err(link_err);
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on second attempt")
+    }
+
+    /// Look up services in the ASD (Fig. 7).  Any combination of filters.
+    pub fn lookup(
+        &mut self,
+        name: Option<&str>,
+        class: Option<&str>,
+        room: Option<&str>,
+    ) -> Result<Vec<ServiceEntry>, ClientError> {
+        let asd = self.asd.clone().ok_or(ClientError::Service {
+            code: ace_lang::ErrorCode::Unavailable,
+            msg: "daemon configured without an ASD".into(),
+        })?;
+        let mut cmd = CmdLine::new("lookup");
+        if let Some(n) = name {
+            cmd.push_arg("name", n);
+        }
+        if let Some(c) = class {
+            cmd.push_arg("class", c);
+        }
+        if let Some(r) = room {
+            cmd.push_arg("room", r);
+        }
+        let reply = self.call(&asd, &cmd)?;
+        let entries = reply
+            .get("services")
+            .and_then(protocol::entries_from_value)
+            .ok_or(ClientError::Service {
+                code: ace_lang::ErrorCode::Internal,
+                msg: "malformed lookup reply".into(),
+            })?;
+        Ok(entries)
+    }
+
+    /// Find exactly one service by name; `None` if absent.
+    pub fn lookup_one(&mut self, name: &str) -> Result<Option<ServiceEntry>, ClientError> {
+        Ok(self.lookup(Some(name), None, None)?.into_iter().next())
+    }
+
+    /// Fire an event through this daemon's notification registry (§2.5) —
+    /// e.g. the FIU daemon fires `userIdentified` when a fingerprint
+    /// matches.  Listeners registered with `addNotification cmd=<event>`
+    /// are invoked asynchronously.
+    pub fn fire_event(&mut self, event: CmdLine) {
+        self.pending_events.push(event);
+    }
+
+    /// Queue a fire-and-forget command to another service (delivered by the
+    /// notifier worker; never blocks).
+    pub fn send_async(&self, addr: Addr, cmd: CmdLine) {
+        self.notifier.send(addr, cmd);
+    }
+
+    /// Append a record to the Network Logger, if configured.  Asynchronous
+    /// and best-effort.
+    pub fn log(&self, level: &str, msg: impl Into<String>) {
+        if let Some(logger) = &self.logger {
+            let cmd = CmdLine::new("log")
+                .arg("level", level)
+                .arg("msg", ace_lang::Value::Str(msg.into()))
+                .arg("service", self.name.as_str())
+                .arg("host", self.host.as_str());
+            self.notifier.send(logger.clone(), cmd);
+        }
+    }
+
+    /// Request a graceful daemon shutdown once this dispatch completes.
+    pub fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Sleep helper for behaviors simulating device movement etc.
+    pub fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+impl std::fmt::Debug for ServiceCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServiceCtx({} @ {}:{})", self.name, self.host, self.port)
+    }
+}

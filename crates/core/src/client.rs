@@ -1,0 +1,127 @@
+//! The client side of an ACE service conversation.
+//!
+//! Anything that issues commands to a daemon — a user GUI, another daemon,
+//! a scenario driver — holds a [`ServiceClient`]: a secure link plus the
+//! call/reply discipline ("return commands are used to reply on the status
+//! of the attempted command", §2.2).
+
+use crate::link::{LinkError, SecureLink};
+use ace_lang::{CmdLine, ErrorCode, Reply};
+use ace_net::{Addr, HostId, NetError, SimNet};
+use ace_security::keys::KeyPair;
+use std::fmt;
+use std::time::Duration;
+
+/// Default per-call deadline.
+pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach or talk to the service.
+    Link(LinkError),
+    /// The service replied with an error return command.
+    Service { code: ErrorCode, msg: String },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Link(e) => write!(f, "link error: {e}"),
+            ClientError::Service { code, msg } => write!(f, "service error {code}: {msg}"),
+        }
+    }
+}
+impl std::error::Error for ClientError {}
+
+impl From<LinkError> for ClientError {
+    fn from(e: LinkError) -> Self {
+        ClientError::Link(e)
+    }
+}
+impl From<NetError> for ClientError {
+    fn from(e: NetError) -> Self {
+        ClientError::Link(LinkError::Net(e))
+    }
+}
+
+impl ClientError {
+    /// The service-level error code, if this is a service error.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Service { code, .. } => Some(*code),
+            ClientError::Link(_) => None,
+        }
+    }
+}
+
+/// A connected, authenticated client of one ACE service.
+pub struct ServiceClient {
+    link: SecureLink,
+    timeout: Duration,
+    target: Addr,
+}
+
+impl ServiceClient {
+    /// Connect from `from_host` to the daemon at `target`, authenticating
+    /// with `identity`.
+    pub fn connect(
+        net: &SimNet,
+        from_host: &HostId,
+        target: Addr,
+        identity: &KeyPair,
+    ) -> Result<ServiceClient, ClientError> {
+        let conn = net.connect(from_host, target.clone())?;
+        let link = SecureLink::connect(conn, identity)?;
+        Ok(ServiceClient {
+            link,
+            timeout: DEFAULT_CALL_TIMEOUT,
+            target,
+        })
+    }
+
+    /// Adjust the per-call deadline.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// The service's address.
+    pub fn target(&self) -> &Addr {
+        &self.target
+    }
+
+    /// The service's authenticated principal.
+    pub fn peer_principal(&self) -> &str {
+        self.link.peer_principal()
+    }
+
+    /// Issue one command and wait for its return command.
+    ///
+    /// `Ok(reply)` is the service's `ok …;` result; service-level failures
+    /// (`error code=… msg=…;`) surface as [`ClientError::Service`].
+    pub fn call(&mut self, cmd: &CmdLine) -> Result<CmdLine, ClientError> {
+        self.link.send_cmd(cmd)?;
+        let reply_cmd = self.link.recv_cmd(self.timeout)?;
+        match Reply::from_cmdline(&reply_cmd) {
+            Reply::Ok(result) => Ok(result),
+            Reply::Err { code, msg } => Err(ClientError::Service { code, msg }),
+        }
+    }
+
+    /// Issue a command, discarding a successful result (convenience for
+    /// imperative commands like `log` or `ptzOn`).
+    pub fn call_ok(&mut self, cmd: &CmdLine) -> Result<(), ClientError> {
+        self.call(cmd).map(|_| ())
+    }
+
+    /// Close the link.
+    pub fn close(&self) {
+        self.link.close();
+    }
+}
+
+impl fmt::Debug for ServiceClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ServiceClient({})", self.target)
+    }
+}

@@ -1,0 +1,779 @@
+//! The ACE service daemon runtime (§2.1).
+//!
+//! "Each daemon consists of four threads … the main thread, the command
+//! thread, the data thread, and the control thread.  The command thread is
+//! the only one created on a per connection basis. … All communications
+//! between these threads are carried out over message queues."
+//!
+//! The mapping here:
+//!
+//! * **main thread** — performs the Fig. 9 startup sequence (Room DB → ASD
+//!   → Net Logger) synchronously in [`Daemon::spawn`], then lives on as the
+//!   lease-renewal thread and performs deregistration on graceful shutdown;
+//! * **accept + command threads** — an accept loop spawns one command
+//!   thread per connection; each runs the secure handshake, then parses and
+//!   semantically validates incoming commands and queues them for control;
+//! * **control thread** — owns the [`ServiceBehavior`] and the notification
+//!   registry; executes commands (after the KeyNote check), sends return
+//!   commands, fires notifications, and drives `on_tick`/`on_data`;
+//! * **data thread** — receives datagrams on the daemon's UDP channel and
+//!   forwards them to control.
+
+use crate::auth::{action_env_for, AuthMode};
+use crate::behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
+use crate::client::{ClientError, ServiceClient};
+use crate::link::{LinkError, SecureLink};
+use crate::notify::{Notifier, NotificationRegistry, Registration};
+use crate::protocol;
+use ace_lang::{CmdLine, ErrorCode, Reply, Scalar, Semantics, Value};
+use ace_net::{Addr, Datagram, HostId, NetError, SimNet};
+use ace_security::keys::KeyPair;
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one daemon.
+#[derive(Clone)]
+pub struct DaemonConfig {
+    /// Unique service name ("foo" in Fig. 9).
+    pub name: String,
+    /// Service class — a dot path in the Fig. 6 hierarchy, e.g.
+    /// `Service.Device.PTZCamera.VCC3`.
+    pub class: String,
+    /// Room this service lives in.
+    pub room: String,
+    /// Host to run on.
+    pub host: HostId,
+    /// Port to listen on (stream and datagram).
+    pub port: u16,
+    /// ACE Service Directory to register with (Fig. 9 step 3).
+    pub asd: Option<Addr>,
+    /// Room Database to register with (step 2).
+    pub roomdb: Option<Addr>,
+    /// Network Logger to report to (step 5).
+    pub logger: Option<Addr>,
+    /// Authorization mode for incoming commands (§3.2).
+    pub auth: AuthMode,
+    /// Key pair; generated if not provided.  Provide one when KeyNote
+    /// policies must name this service.
+    pub identity: Option<KeyPair>,
+    /// Cadence of `on_tick`.
+    pub tick: Duration,
+    /// Lease renewal interval (must be below the ASD's lease duration).
+    pub lease_renew: Duration,
+}
+
+impl DaemonConfig {
+    /// Minimal standalone configuration (no framework registrations, open
+    /// authorization) — what the bootstrap services themselves use.
+    pub fn new(
+        name: impl Into<String>,
+        class: impl Into<String>,
+        room: impl Into<String>,
+        host: impl Into<HostId>,
+        port: u16,
+    ) -> DaemonConfig {
+        DaemonConfig {
+            name: name.into(),
+            class: class.into(),
+            room: room.into(),
+            host: host.into(),
+            port,
+            asd: None,
+            roomdb: None,
+            logger: None,
+            auth: AuthMode::Open,
+            identity: None,
+            tick: Duration::from_millis(50),
+            lease_renew: Duration::from_millis(200),
+        }
+    }
+
+    /// Register with this ASD at startup.
+    pub fn with_asd(mut self, asd: Addr) -> Self {
+        self.asd = Some(asd);
+        self
+    }
+
+    /// Register with this Room Database at startup.
+    pub fn with_roomdb(mut self, roomdb: Addr) -> Self {
+        self.roomdb = Some(roomdb);
+        self
+    }
+
+    /// Report lifecycle events to this Network Logger.
+    pub fn with_logger(mut self, logger: Addr) -> Self {
+        self.logger = Some(logger);
+        self
+    }
+
+    /// Enforce this authorization mode.
+    pub fn with_auth(mut self, auth: AuthMode) -> Self {
+        self.auth = auth;
+        self
+    }
+
+    /// Use a fixed identity.
+    pub fn with_identity(mut self, identity: KeyPair) -> Self {
+        self.identity = Some(identity);
+        self
+    }
+
+    /// Override the tick cadence.
+    pub fn with_tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Override the lease renewal interval.
+    pub fn with_lease_renew(mut self, interval: Duration) -> Self {
+        self.lease_renew = interval;
+        self
+    }
+}
+
+/// Startup failures (Fig. 9 steps).
+#[derive(Debug)]
+pub enum SpawnError {
+    /// Could not bind the daemon's sockets.
+    Bind(NetError),
+    /// A framework registration failed.
+    Register {
+        step: &'static str,
+        error: ClientError,
+    },
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::Bind(e) => write!(f, "bind: {e}"),
+            SpawnError::Register { step, error } => write!(f, "register ({step}): {error}"),
+        }
+    }
+}
+impl std::error::Error for SpawnError {}
+
+enum ControlMsg {
+    Execute {
+        cmd: CmdLine,
+        from: ClientInfo,
+        reply: Sender<CmdLine>,
+    },
+    Data(Datagram),
+    Stop,
+}
+
+/// A running daemon.
+pub struct Daemon;
+
+impl Daemon {
+    /// Run the Fig. 9 startup sequence and launch the daemon threads.
+    pub fn spawn(
+        net: &SimNet,
+        config: DaemonConfig,
+        behavior: Box<dyn ServiceBehavior>,
+    ) -> Result<DaemonHandle, SpawnError> {
+        let identity = Arc::new(
+            config
+                .identity
+                .clone()
+                .unwrap_or_else(|| KeyPair::generate(&mut rand::thread_rng())),
+        );
+        let addr = Addr::new(config.host.clone(), config.port);
+
+        // Step 1: the host "launches" the service — bind its sockets.
+        let listener = net.listen(addr.clone()).map_err(SpawnError::Bind)?;
+        let dsocket = net.bind_datagram(addr.clone()).map_err(SpawnError::Bind)?;
+
+        // Step 2: establish location with the Room Database.
+        if let Some(roomdb) = &config.roomdb {
+            let mut client =
+                ServiceClient::connect(net, &config.host, roomdb.clone(), &identity)
+                    .map_err(|error| SpawnError::Register { step: "roomdb", error })?;
+            client
+                .call_ok(
+                    &CmdLine::new("roomRegister")
+                        .arg("service", config.name.as_str())
+                        .arg("host", config.host.as_str())
+                        .arg("port", config.port)
+                        .arg("room", config.room.as_str()),
+                )
+                .map_err(|error| SpawnError::Register { step: "roomdb", error })?;
+        }
+
+        // Step 3: register with the ASD.
+        if let Some(asd) = &config.asd {
+            let mut client = ServiceClient::connect(net, &config.host, asd.clone(), &identity)
+                .map_err(|error| SpawnError::Register { step: "asd", error })?;
+            client
+                .call_ok(
+                    &CmdLine::new("register")
+                        .arg("name", config.name.as_str())
+                        .arg("host", config.host.as_str())
+                        .arg("port", config.port)
+                        .arg("room", config.room.as_str())
+                        .arg("class", config.class.as_str()),
+                )
+                .map_err(|error| SpawnError::Register { step: "asd", error })?;
+        }
+
+        // Step 5: record the start with the Network Logger.  (Step 4 —
+        // notifications on the registration — happens inside the ASD.)
+        if let Some(logger) = &config.logger {
+            let mut client =
+                ServiceClient::connect(net, &config.host, logger.clone(), &identity)
+                    .map_err(|error| SpawnError::Register { step: "logger", error })?;
+            client
+                .call_ok(
+                    &CmdLine::new("log")
+                        .arg("level", "info")
+                        .arg(
+                            "msg",
+                            Value::Str(format!(
+                                "service {} started on host {}",
+                                config.name, config.host
+                            )),
+                        )
+                        .arg("service", config.name.as_str())
+                        .arg("host", config.host.as_str()),
+                )
+                .map_err(|error| SpawnError::Register { step: "logger", error })?;
+        }
+
+        // Full vocabulary: service commands inheriting the built-ins.
+        let semantics = Arc::new(behavior.semantics().inheriting(&protocol::base_semantics()));
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let crashed = Arc::new(AtomicBool::new(false));
+        let (control_tx, control_rx) = crossbeam_channel::unbounded::<ControlMsg>();
+        let (notifier, notifier_worker) =
+            Notifier::spawn(net.clone(), config.host.clone(), Arc::clone(&identity));
+
+        let mut threads = Vec::with_capacity(4);
+
+        // Control thread.
+        {
+            let ctx = ServiceCtx::new(
+                net.clone(),
+                config.name.clone(),
+                config.class.clone(),
+                config.room.clone(),
+                config.host.clone(),
+                config.port,
+                Arc::clone(&identity),
+                config.asd.clone(),
+                config.logger.clone(),
+                notifier.clone(),
+            );
+            let stop = Arc::clone(&stop);
+            let crashed = Arc::clone(&crashed);
+            let auth = config.auth.clone();
+            let name = config.name.clone();
+            let class = config.class.clone();
+            let room = config.room.clone();
+            let semantics = Arc::clone(&semantics);
+            let tick = config.tick;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{name}-control"))
+                    .spawn(move || {
+                        control_loop(
+                            control_rx, behavior, ctx, stop, crashed, auth, name, class, room,
+                            semantics, tick,
+                        )
+                    })
+                    .expect("spawn control thread"),
+            );
+        }
+
+        // Accept thread (spawns command threads).
+        {
+            let stop = Arc::clone(&stop);
+            let control_tx = control_tx.clone();
+            let identity = Arc::clone(&identity);
+            let semantics = Arc::clone(&semantics);
+            let name = config.name.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{name}-accept"))
+                    .spawn(move || {
+                        accept_loop(listener, stop, control_tx, identity, semantics, name)
+                    })
+                    .expect("spawn accept thread"),
+            );
+        }
+
+        // Data thread.
+        {
+            let stop = Arc::clone(&stop);
+            let control_tx = control_tx.clone();
+            let name = config.name.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{name}-data"))
+                    .spawn(move || data_loop(dsocket, stop, control_tx))
+                    .expect("spawn data thread"),
+            );
+        }
+
+        // Main/lease thread.
+        {
+            let stop = Arc::clone(&stop);
+            let crashed = Arc::clone(&crashed);
+            let net = net.clone();
+            let identity = Arc::clone(&identity);
+            let config2 = config.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-main", config.name))
+                    .spawn(move || lease_loop(net, config2, identity, stop, crashed))
+                    .expect("spawn main thread"),
+            );
+        }
+
+        Ok(DaemonHandle {
+            name: config.name,
+            addr,
+            principal: identity.principal(),
+            stop,
+            crashed,
+            control_tx,
+            threads: Mutex::new(threads),
+            notifier_worker: Mutex::new(Some(notifier_worker)),
+            notifier: Mutex::new(Some(notifier)),
+        })
+    }
+}
+
+/// Handle to a running daemon.
+pub struct DaemonHandle {
+    name: String,
+    addr: Addr,
+    principal: String,
+    stop: Arc<AtomicBool>,
+    crashed: Arc<AtomicBool>,
+    control_tx: Sender<ControlMsg>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    notifier_worker: Mutex<Option<crate::notify::NotifierWorker>>,
+    notifier: Mutex<Option<Notifier>>,
+}
+
+impl DaemonHandle {
+    /// The daemon's service name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The daemon's service address.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// The daemon's authenticated principal.
+    pub fn principal(&self) -> &str {
+        &self.principal
+    }
+
+    /// Is the daemon still running (not stopped or crashed)?
+    pub fn is_running(&self) -> bool {
+        !self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: deregisters from the ASD/Room DB, logs the stop,
+    /// then joins all threads.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.control_tx.send(ControlMsg::Stop);
+        self.join_threads();
+    }
+
+    /// Abrupt crash: threads stop immediately and *no* deregistration
+    /// happens — exactly the failure the ASD's lease mechanism exists to
+    /// clean up (§2.4).
+    pub fn crash(&self) {
+        self.crashed.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.control_tx.send(ControlMsg::Stop);
+        self.join_threads();
+    }
+
+    fn join_threads(&self) {
+        let threads: Vec<_> = self.threads.lock().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+        // Dropping the last notifier lets its worker drain and exit.
+        drop(self.notifier.lock().take());
+        if let Some(worker) = self.notifier_worker.lock().take() {
+            worker.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        if !self.stop.load(Ordering::SeqCst) {
+            self.shutdown();
+        } else {
+            self.join_threads();
+        }
+    }
+}
+
+impl std::fmt::Debug for DaemonHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DaemonHandle({} @ {})", self.name, self.addr)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread bodies
+// ---------------------------------------------------------------------------
+
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+const COMMAND_POLL: Duration = Duration::from_millis(50);
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn accept_loop(
+    listener: ace_net::Listener,
+    stop: Arc<AtomicBool>,
+    control_tx: Sender<ControlMsg>,
+    identity: Arc<KeyPair>,
+    semantics: Arc<Semantics>,
+    name: String,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept_timeout(ACCEPT_POLL) {
+            Ok(conn) => {
+                let stop = Arc::clone(&stop);
+                let control_tx = control_tx.clone();
+                let identity = Arc::clone(&identity);
+                let semantics = Arc::clone(&semantics);
+                // Command threads detach; they exit promptly on `stop` or
+                // when the peer hangs up.
+                let _ = std::thread::Builder::new()
+                    .name(format!("{name}-command"))
+                    .spawn(move || command_loop(conn, stop, control_tx, identity, semantics));
+            }
+            Err(NetError::Timeout) => continue,
+            Err(_) => break, // listener gone (host killed)
+        }
+    }
+}
+
+fn command_loop(
+    conn: ace_net::Connection,
+    stop: Arc<AtomicBool>,
+    control_tx: Sender<ControlMsg>,
+    identity: Arc<KeyPair>,
+    semantics: Arc<Semantics>,
+) {
+    let Ok(mut link) = SecureLink::accept(conn, &identity) else {
+        return; // failed handshake: drop the connection
+    };
+    let from = ClientInfo {
+        principal: link.peer_principal().to_string(),
+        addr: link.peer_addr().clone(),
+    };
+    while !stop.load(Ordering::SeqCst) {
+        let cmd = match link.recv_cmd(COMMAND_POLL) {
+            Ok(cmd) => cmd,
+            Err(LinkError::Net(NetError::Timeout)) => continue,
+            Err(LinkError::Malformed(msg)) => {
+                let _ = link.send_cmd(&Reply::err(ErrorCode::Parse, msg).to_cmdline());
+                continue;
+            }
+            // Closed peer, dead host, or a tampered frame: end the session.
+            Err(_) => break,
+        };
+        // Semantic validation happens here, on the command thread, exactly
+        // as §2.2 describes the receiving side's parser doing.
+        if let Err(e) = semantics.validate(&cmd) {
+            let _ = link.send_cmd(&Reply::err(ErrorCode::Semantics, e.to_string()).to_cmdline());
+            continue;
+        }
+        let (reply_tx, reply_rx) = crossbeam_channel::bounded(1);
+        if control_tx
+            .send(ControlMsg::Execute {
+                cmd,
+                from: from.clone(),
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            break; // control thread gone
+        }
+        let reply = reply_rx
+            .recv_timeout(REPLY_TIMEOUT)
+            .unwrap_or_else(|_| {
+                Reply::err(ErrorCode::Internal, "control thread did not reply").to_cmdline()
+            });
+        if link.send_cmd(&reply).is_err() {
+            break;
+        }
+    }
+}
+
+fn data_loop(dsocket: ace_net::DatagramSocket, stop: Arc<AtomicBool>, control_tx: Sender<ControlMsg>) {
+    while !stop.load(Ordering::SeqCst) {
+        match dsocket.recv_timeout(COMMAND_POLL) {
+            Ok(datagram) => {
+                if control_tx.send(ControlMsg::Data(datagram)).is_err() {
+                    break;
+                }
+            }
+            Err(NetError::Timeout) => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn control_loop(
+    rx: Receiver<ControlMsg>,
+    mut behavior: Box<dyn ServiceBehavior>,
+    mut ctx: ServiceCtx,
+    stop: Arc<AtomicBool>,
+    crashed: Arc<AtomicBool>,
+    auth: AuthMode,
+    name: String,
+    class: String,
+    room: String,
+    semantics: Arc<Semantics>,
+    tick: Duration,
+) {
+    let mut registry = NotificationRegistry::new();
+    behavior.on_start(&mut ctx);
+    drain_events(&mut ctx, &registry, &name);
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match rx.recv_timeout(tick) {
+            Ok(ControlMsg::Execute { cmd, from, reply }) => {
+                let response = execute(
+                    &mut behavior,
+                    &mut ctx,
+                    &mut registry,
+                    &auth,
+                    &name,
+                    &class,
+                    &room,
+                    &semantics,
+                    &cmd,
+                    &from,
+                );
+                let succeeded = response.is_ok();
+                let _ = reply.send(response.to_cmdline());
+                // §2.5: notifications fire after the command has executed.
+                if succeeded {
+                    fire_notifications(&ctx, &registry, &name, &cmd);
+                }
+                drain_events(&mut ctx, &registry, &name);
+                if ctx.stop_requested {
+                    stop.store(true, Ordering::SeqCst);
+                }
+            }
+            Ok(ControlMsg::Data(datagram)) => {
+                behavior.on_data(&mut ctx, datagram);
+                drain_events(&mut ctx, &registry, &name);
+            }
+            Ok(ControlMsg::Stop) => break,
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                behavior.on_tick(&mut ctx);
+                drain_events(&mut ctx, &registry, &name);
+                if ctx.stop_requested {
+                    stop.store(true, Ordering::SeqCst);
+                }
+            }
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    if !crashed.load(Ordering::SeqCst) {
+        behavior.on_stop(&mut ctx);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute(
+    behavior: &mut Box<dyn ServiceBehavior>,
+    ctx: &mut ServiceCtx,
+    registry: &mut NotificationRegistry,
+    auth: &AuthMode,
+    name: &str,
+    class: &str,
+    room: &str,
+    semantics: &Semantics,
+    cmd: &CmdLine,
+    from: &ClientInfo,
+) -> Reply {
+    // Liveness probes are exempt from authorization — the framework itself
+    // pings services whose principals it cannot know in advance.
+    let exempt = matches!(cmd.name(), "ping" | "describe");
+    if !exempt {
+        let env = action_env_for(name, class, room, cmd);
+        if !auth.check(&from.principal, &env) {
+            ctx.log(
+                "security",
+                format!(
+                    "denied `{}` from {} at {}",
+                    cmd.name(),
+                    from.principal,
+                    from.addr
+                ),
+            );
+            return Reply::err(
+                ErrorCode::Denied,
+                format!("no credentials permit `{}`", cmd.name()),
+            );
+        }
+    }
+
+    match cmd.name() {
+        "ping" => Reply::ok_with(|c| c.arg("service", name)),
+        "describe" => {
+            let mut names: Vec<Scalar> = semantics
+                .specs()
+                .map(|s| Scalar::Word(s.name.clone()))
+                .collect();
+            names.sort_by(|a, b| match (a, b) {
+                (Scalar::Word(x), Scalar::Word(y)) => x.cmp(y),
+                _ => std::cmp::Ordering::Equal,
+            });
+            Reply::ok_with(|c| c.arg("cmds", Value::Vector(names)).arg("class", class))
+        }
+        "shutdown" => {
+            ctx.request_stop();
+            Reply::ok()
+        }
+        "addNotification" => {
+            // Argument presence/types already validated against
+            // `base_semantics`.
+            let watched = cmd.get_text("cmd").expect("validated");
+            let registration = Registration {
+                service: cmd.get_text("service").expect("validated").to_string(),
+                addr: Addr::new(
+                    cmd.get_text("host").expect("validated"),
+                    cmd.get_int("port").expect("validated") as u16,
+                ),
+                notify_cmd: cmd.get_text("notifyCmd").expect("validated").to_string(),
+            };
+            registry.add(watched, registration);
+            Reply::ok()
+        }
+        "removeNotification" => {
+            let watched = cmd.get_text("cmd").expect("validated");
+            let service = cmd.get_text("service").expect("validated");
+            if registry.remove(watched, service) {
+                Reply::ok()
+            } else {
+                Reply::err(ErrorCode::NotFound, "no such notification")
+            }
+        }
+        _ => behavior.handle(ctx, cmd, from),
+    }
+}
+
+fn fire_notifications(
+    ctx: &ServiceCtx,
+    registry: &NotificationRegistry,
+    name: &str,
+    executed: &CmdLine,
+) {
+    for registration in registry.listeners(executed.name()) {
+        let n = NotificationRegistry::notification_cmd(registration, name, executed);
+        ctx.send_async(registration.addr.clone(), n);
+    }
+}
+
+fn drain_events(ctx: &mut ServiceCtx, registry: &NotificationRegistry, name: &str) {
+    if ctx.pending_events.is_empty() {
+        return;
+    }
+    let events = std::mem::take(&mut ctx.pending_events);
+    for event in events {
+        fire_notifications(ctx, registry, name, &event);
+    }
+}
+
+fn lease_loop(
+    net: SimNet,
+    config: DaemonConfig,
+    identity: Arc<KeyPair>,
+    stop: Arc<AtomicBool>,
+    crashed: Arc<AtomicBool>,
+) {
+    let Some(asd) = config.asd.clone() else {
+        // Nothing to renew; just wait for shutdown to deregister loggers.
+        while !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        return;
+    };
+    let mut client: Option<ServiceClient> = None;
+    let mut next_renew = Instant::now() + config.lease_renew;
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(10));
+        if Instant::now() < next_renew {
+            continue;
+        }
+        next_renew = Instant::now() + config.lease_renew;
+        if client.is_none() {
+            client =
+                ServiceClient::connect(&net, &config.host, asd.clone(), &identity).ok();
+        }
+        if let Some(c) = client.as_mut() {
+            let renew = CmdLine::new("renewLease").arg("name", config.name.as_str());
+            match c.call_ok(&renew) {
+                Ok(()) => {}
+                Err(ClientError::Service { code, .. }) if code == ErrorCode::NotFound => {
+                    // Lease lapsed (e.g. an ASD restart): re-register.
+                    let _ = c.call_ok(
+                        &CmdLine::new("register")
+                            .arg("name", config.name.as_str())
+                            .arg("host", config.host.as_str())
+                            .arg("port", config.port)
+                            .arg("room", config.room.as_str())
+                            .arg("class", config.class.as_str()),
+                    );
+                }
+                Err(_) => client = None, // reconnect next period
+            }
+        }
+    }
+    // Graceful stop: remove our registrations (crashed daemons can't —
+    // that's what leases are for).
+    if !crashed.load(Ordering::SeqCst) {
+        if let Ok(mut c) = ServiceClient::connect(&net, &config.host, asd, &identity) {
+            let _ = c.call_ok(&CmdLine::new("removeService").arg("name", config.name.as_str()));
+        }
+        if let Some(roomdb) = &config.roomdb {
+            if let Ok(mut c) =
+                ServiceClient::connect(&net, &config.host, roomdb.clone(), &identity)
+            {
+                let _ =
+                    c.call_ok(&CmdLine::new("roomRemove").arg("service", config.name.as_str()));
+            }
+        }
+        if let Some(logger) = &config.logger {
+            if let Ok(mut c) =
+                ServiceClient::connect(&net, &config.host, logger.clone(), &identity)
+            {
+                let _ = c.call_ok(
+                    &CmdLine::new("log")
+                        .arg("level", "info")
+                        .arg(
+                            "msg",
+                            Value::Str(format!("service {} stopped", config.name)),
+                        )
+                        .arg("service", config.name.as_str())
+                        .arg("host", config.host.as_str()),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Mobile sockets: transparent client failover (§9).
+//!
+//! The paper lists as immediate future work "research and development of
+//! mobile sockets … to handle downed ACE services allowing clients to
+//! quickly resume their tasks with other service instances and to ensure
+//! service mobility."  [`FailoverClient`] is that capability: a client
+//! bound to a service *name* rather than an address.  On any link failure
+//! it re-resolves the name through the ASD and retries against wherever the
+//! service now lives — a restarted instance, or a replacement on a
+//! different host.
+//!
+//! Commands are retried at most once per resolution, so a command that
+//! *executed* but whose reply was lost is not silently executed twice
+//! unless the caller opts in with [`FailoverClient::call_idempotent`].
+
+use crate::client::{ClientError, ServiceClient};
+use crate::protocol;
+use ace_lang::{CmdLine, ErrorCode};
+use ace_net::{Addr, HostId, SimNet};
+use ace_security::keys::KeyPair;
+use std::time::{Duration, Instant};
+
+/// A client bound to a service name, resolved through the ASD.
+pub struct FailoverClient {
+    net: SimNet,
+    from_host: HostId,
+    identity: KeyPair,
+    asd: Addr,
+    service_name: String,
+    /// How long to keep re-resolving before giving up.
+    retry_window: Duration,
+    /// Pause between re-resolutions (lets leases expire / restarts finish).
+    retry_interval: Duration,
+    current: Option<ServiceClient>,
+    /// Resolutions performed (observability for tests/experiments).
+    resolutions: u64,
+}
+
+impl FailoverClient {
+    /// Bind to `service_name`, resolving through the ASD at `asd`.
+    pub fn bind(
+        net: SimNet,
+        from_host: impl Into<HostId>,
+        identity: KeyPair,
+        asd: Addr,
+        service_name: impl Into<String>,
+    ) -> FailoverClient {
+        FailoverClient {
+            net,
+            from_host: from_host.into(),
+            identity,
+            asd,
+            service_name: service_name.into(),
+            retry_window: Duration::from_secs(10),
+            retry_interval: Duration::from_millis(50),
+            current: None,
+            resolutions: 0,
+        }
+    }
+
+    /// Adjust how long a failed call keeps hunting for a live instance.
+    pub fn with_retry_window(mut self, window: Duration) -> FailoverClient {
+        self.retry_window = window;
+        self
+    }
+
+    /// How many times the name has been (re-)resolved.
+    pub fn resolutions(&self) -> u64 {
+        self.resolutions
+    }
+
+    fn resolve(&mut self) -> Result<Addr, ClientError> {
+        let mut asd_client = ServiceClient::connect(
+            &self.net,
+            &self.from_host,
+            self.asd.clone(),
+            &self.identity,
+        )?;
+        let reply = asd_client.call(
+            &CmdLine::new("lookup").arg("name", self.service_name.as_str()),
+        )?;
+        let entries = reply
+            .get("services")
+            .and_then(protocol::entries_from_value)
+            .unwrap_or_default();
+        match entries.into_iter().next() {
+            Some(entry) => Ok(entry.addr),
+            None => Err(ClientError::Service {
+                code: ErrorCode::NotFound,
+                msg: format!("{} not registered", self.service_name),
+            }),
+        }
+    }
+
+    fn connect_current(&mut self) -> Result<&mut ServiceClient, ClientError> {
+        if self.current.is_none() {
+            let addr = self.resolve()?;
+            self.resolutions += 1;
+            self.current = Some(ServiceClient::connect(
+                &self.net,
+                &self.from_host,
+                addr,
+                &self.identity,
+            )?);
+        }
+        Ok(self.current.as_mut().expect("just connected"))
+    }
+
+    /// Issue a command with at-most-once execution: on a *connection* or
+    /// *resolution* failure the call hunts for a live instance within the
+    /// retry window, but once a command has been sent on an established
+    /// link, a lost reply surfaces as an error rather than being retried.
+    pub fn call(&mut self, cmd: &CmdLine) -> Result<CmdLine, ClientError> {
+        self.call_inner(cmd, false)
+    }
+
+    /// Issue an idempotent command with at-least-once semantics: link
+    /// failures *after* send are also retried against a fresh resolution.
+    pub fn call_idempotent(&mut self, cmd: &CmdLine) -> Result<CmdLine, ClientError> {
+        self.call_inner(cmd, true)
+    }
+
+    fn call_inner(&mut self, cmd: &CmdLine, retry_after_send: bool) -> Result<CmdLine, ClientError> {
+        let deadline = Instant::now() + self.retry_window;
+        let mut last_err: Option<ClientError>;
+        loop {
+            let had_connection = self.current.is_some();
+            match self.connect_current() {
+                Ok(client) => match client.call(cmd) {
+                    Ok(reply) => return Ok(reply),
+                    Err(err @ ClientError::Service { .. }) => return Err(err),
+                    Err(link_err) => {
+                        self.current = None;
+                        // A send on an established link may have executed;
+                        // only retry when the caller allows it or the link
+                        // was fresh enough that nothing can have run.
+                        if !retry_after_send && had_connection {
+                            return Err(link_err);
+                        }
+                        last_err = Some(link_err);
+                    }
+                },
+                Err(err) => {
+                    self.current = None;
+                    last_err = Some(err);
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(last_err.unwrap_or(ClientError::Service {
+                    code: ErrorCode::Unavailable,
+                    msg: "retry window exhausted".into(),
+                }));
+            }
+            std::thread::sleep(self.retry_interval);
+        }
+    }
+}
+
+impl std::fmt::Debug for FailoverClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FailoverClient({} via ASD {})",
+            self.service_name, self.asd
+        )
+    }
+}

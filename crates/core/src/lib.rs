@@ -1,0 +1,85 @@
+//! # ace-core — the ACE service daemon framework
+//!
+//! The paper's primary contribution (§2): a modular infrastructure in which
+//! every capability of an Ambient Computational Environment — device
+//! control, databases, media processing, user identification — is a small
+//! *service daemon* with a common shell:
+//!
+//! * **four-thread runtime** ([`daemon`]) — main, per-connection command,
+//!   control, and data threads joined by message queues (§2.1.1);
+//! * **secure links** ([`link`]) — encrypted sockets with proven principal
+//!   identity (§3.1);
+//! * **command language plumbing** — parsing and semantic validation on the
+//!   command thread (§2.2, via `ace-lang`);
+//! * **authorization** ([`auth`]) — the Fig. 10 KeyNote check on every
+//!   command (§3.2);
+//! * **notifications** ([`notify`]) — the Fig. 8 listen/notify registry
+//!   (§2.5);
+//! * **startup sequence** — the Fig. 9 Room DB → ASD → Net Logger
+//!   registration, plus lease renewal and graceful deregistration (§2.4,
+//!   §2.6);
+//! * **client API** ([`client`]) — the call/return-command discipline.
+//!
+//! A complete service is a [`ServiceBehavior`] implementation plus a
+//! [`DaemonConfig`]:
+//!
+//! ```
+//! use ace_core::prelude::*;
+//! use ace_net::SimNet;
+//!
+//! struct Echo;
+//! impl ServiceBehavior for Echo {
+//!     fn semantics(&self) -> Semantics {
+//!         Semantics::new().with(
+//!             CmdSpec::new("echo", "echo back").required("text", ArgType::Str, "payload"))
+//!     }
+//!     fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+//!         let text = cmd.get_text("text").unwrap_or("").to_string();
+//!         Reply::ok_with(|c| c.arg("text", text))
+//!     }
+//! }
+//!
+//! let net = SimNet::new();
+//! net.add_host("bar");
+//! let daemon = Daemon::spawn(
+//!     &net,
+//!     DaemonConfig::new("echo1", "Service.Echo", "hawk", "bar", 4100),
+//!     Box::new(Echo),
+//! ).unwrap();
+//!
+//! let me = ace_security::keys::KeyPair::generate(&mut rand::thread_rng());
+//! let mut client = ServiceClient::connect(&net, &"bar".into(), daemon.addr().clone(), &me).unwrap();
+//! let reply = client.call(&CmdLine::new("echo").arg("text", "hi")).unwrap();
+//! assert_eq!(reply.get_text("text"), Some("hi"));
+//! daemon.shutdown();
+//! ```
+
+pub mod auth;
+pub mod behavior;
+pub mod client;
+pub mod daemon;
+pub mod failover;
+pub mod link;
+pub mod notify;
+pub mod protocol;
+
+pub use auth::{action_env_for, AuthMode, Authorizer, CredentialSource};
+pub use behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
+pub use client::{ClientError, ServiceClient};
+pub use daemon::{Daemon, DaemonConfig, DaemonHandle, SpawnError};
+pub use failover::FailoverClient;
+pub use link::{LinkError, SecureLink};
+pub use notify::{NotificationRegistry, Notifier, Registration};
+pub use protocol::{ServiceEntry, ASD_PORT, LOGGER_PORT, ROOMDB_PORT};
+
+/// Everything needed to implement and run a service.
+pub mod prelude {
+    pub use crate::auth::{AuthMode, Authorizer};
+    pub use crate::behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
+    pub use crate::client::{ClientError, ServiceClient};
+    pub use crate::daemon::{Daemon, DaemonConfig, DaemonHandle};
+    pub use crate::failover::FailoverClient;
+    pub use crate::protocol::ServiceEntry;
+    pub use ace_lang::{ArgType, CmdLine, CmdSpec, ErrorCode, Reply, Scalar, Semantics, Value};
+    pub use ace_net::{Addr, HostId, SimNet};
+}

@@ -1,0 +1,259 @@
+//! ACE daemon notifications (§2.5, Fig. 8).
+//!
+//! "All ACE daemons have notification commands semantically and syntactically
+//! defined for them … services keep a running list of all other ACE commands
+//! that are being 'listened' for and all the ACE services that are to be
+//! notified when such commands are executed."
+//!
+//! [`NotificationRegistry`] is that running list; [`Notifier`] is the
+//! delivery worker that invokes the registered command interface on the
+//! notified services without blocking the daemon's control thread.
+
+use crate::client::ServiceClient;
+use ace_lang::CmdLine;
+use ace_net::{Addr, HostId, SimNet};
+use ace_security::keys::KeyPair;
+use crossbeam_channel::{Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One registered listener: notify `service` at `addr` by invoking
+/// `notify_cmd` when the watched command/event executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registration {
+    pub service: String,
+    pub addr: Addr,
+    pub notify_cmd: String,
+}
+
+/// The per-daemon table of watched commands → listeners.
+#[derive(Debug, Default)]
+pub struct NotificationRegistry {
+    by_cmd: HashMap<String, Vec<Registration>>,
+}
+
+impl NotificationRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a listener (idempotent per `(cmd, service)`; the newest
+    /// address/notify command wins).
+    pub fn add(&mut self, cmd: &str, registration: Registration) {
+        let slot = self.by_cmd.entry(cmd.to_string()).or_default();
+        if let Some(existing) = slot.iter_mut().find(|r| r.service == registration.service) {
+            *existing = registration;
+        } else {
+            slot.push(registration);
+        }
+    }
+
+    /// Remove a listener; `true` if something was removed.
+    pub fn remove(&mut self, cmd: &str, service: &str) -> bool {
+        if let Some(slot) = self.by_cmd.get_mut(cmd) {
+            let before = slot.len();
+            slot.retain(|r| r.service != service);
+            let removed = slot.len() != before;
+            if slot.is_empty() {
+                self.by_cmd.remove(cmd);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Listeners for one command/event.
+    pub fn listeners(&self, cmd: &str) -> &[Registration] {
+        self.by_cmd.get(cmd).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of registrations.
+    pub fn len(&self) -> usize {
+        self.by_cmd.values().map(Vec::len).sum()
+    }
+
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_cmd.is_empty()
+    }
+
+    /// Build the notification command sent to a listener: the registered
+    /// `notifyCmd` carrying provenance (`service`, `cmd`) plus the executed
+    /// command's own arguments (skipping any that would collide).
+    pub fn notification_cmd(
+        registration: &Registration,
+        origin_service: &str,
+        executed: &CmdLine,
+    ) -> CmdLine {
+        let mut out = CmdLine::new(registration.notify_cmd.clone())
+            .arg("service", origin_service)
+            .arg("cmd", executed.name());
+        for (name, value) in executed.args() {
+            if name != "service" && name != "cmd" {
+                out.push_arg(name.clone(), value.clone());
+            }
+        }
+        out
+    }
+}
+
+/// One queued outbound message.
+#[derive(Debug)]
+pub struct Outbound {
+    pub addr: Addr,
+    pub cmd: CmdLine,
+}
+
+/// Asynchronous outbound delivery: a worker thread with a connection cache.
+///
+/// Used for notifications and fire-and-forget logging so the control thread
+/// never blocks on a slow or dead listener.
+pub struct Notifier {
+    tx: Sender<Outbound>,
+}
+
+/// Handle used to join the worker on shutdown.
+pub struct NotifierWorker {
+    join: std::thread::JoinHandle<()>,
+}
+
+impl Notifier {
+    /// Spawn the delivery worker.
+    pub fn spawn(
+        net: SimNet,
+        from_host: HostId,
+        identity: Arc<KeyPair>,
+    ) -> (Notifier, NotifierWorker) {
+        let (tx, rx) = crossbeam_channel::unbounded::<Outbound>();
+        let join = std::thread::Builder::new()
+            .name(format!("notifier-{from_host}"))
+            .spawn(move || deliver_loop(rx, net, from_host, identity))
+            .expect("spawn notifier thread");
+        (Notifier { tx }, NotifierWorker { join })
+    }
+
+    /// Queue one message for delivery.  Returns `false` if the worker has
+    /// stopped.
+    pub fn send(&self, addr: Addr, cmd: CmdLine) -> bool {
+        self.tx.send(Outbound { addr, cmd }).is_ok()
+    }
+}
+
+impl Clone for Notifier {
+    fn clone(&self) -> Self {
+        Notifier {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl NotifierWorker {
+    /// Wait for the worker to drain and stop (all `Notifier` clones must be
+    /// dropped first).
+    pub fn join(self) {
+        let _ = self.join.join();
+    }
+}
+
+fn deliver_loop(
+    rx: Receiver<Outbound>,
+    net: SimNet,
+    from_host: HostId,
+    identity: Arc<KeyPair>,
+) {
+    let mut clients: HashMap<Addr, ServiceClient> = HashMap::new();
+    while let Ok(out) = rx.recv() {
+        deliver_one(&mut clients, &net, &from_host, &identity, &out);
+    }
+}
+
+fn deliver_one(
+    clients: &mut HashMap<Addr, ServiceClient>,
+    net: &SimNet,
+    from_host: &HostId,
+    identity: &KeyPair,
+    out: &Outbound,
+) {
+    // Try a cached connection first; on failure reconnect once.  Delivery is
+    // best-effort: a dead listener loses its notification (the paper's
+    // registry similarly cannot promise delivery to crashed services).
+    for attempt in 0..2 {
+        if !clients.contains_key(&out.addr) {
+            match ServiceClient::connect(net, from_host, out.addr.clone(), identity) {
+                Ok(c) => {
+                    clients.insert(out.addr.clone(), c);
+                }
+                Err(_) => return,
+            }
+        }
+        let client = clients.get_mut(&out.addr).expect("just inserted");
+        match client.call(&out.cmd) {
+            Ok(_) => return,
+            Err(crate::client::ClientError::Service { .. }) => return, // delivered, listener declined
+            Err(crate::client::ClientError::Link(_)) => {
+                clients.remove(&out.addr);
+                if attempt == 1 {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(service: &str, port: u16) -> Registration {
+        Registration {
+            service: service.into(),
+            addr: Addr::new("h", port),
+            notify_cmd: format!("on_{service}"),
+        }
+    }
+
+    #[test]
+    fn add_and_match() {
+        let mut r = NotificationRegistry::new();
+        r.add("ptzMove", reg("recorder", 1));
+        r.add("ptzMove", reg("tracker", 2));
+        r.add("ptzOn", reg("recorder", 1));
+        assert_eq!(r.listeners("ptzMove").len(), 2);
+        assert_eq!(r.listeners("ptzOn").len(), 1);
+        assert_eq!(r.listeners("other").len(), 0);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn re_add_replaces() {
+        let mut r = NotificationRegistry::new();
+        r.add("c", reg("s", 1));
+        r.add("c", reg("s", 9));
+        assert_eq!(r.listeners("c").len(), 1);
+        assert_eq!(r.listeners("c")[0].addr.port, 9);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut r = NotificationRegistry::new();
+        r.add("c", reg("s1", 1));
+        r.add("c", reg("s2", 2));
+        assert!(r.remove("c", "s1"));
+        assert!(!r.remove("c", "s1"));
+        assert_eq!(r.listeners("c").len(), 1);
+        assert!(r.remove("c", "s2"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn notification_cmd_carries_provenance_and_args() {
+        let registration = reg("recorder", 1);
+        let executed = CmdLine::new("ptzMove").arg("x", 3).arg("service", "spoof");
+        let n = NotificationRegistry::notification_cmd(&registration, "cam1", &executed);
+        assert_eq!(n.name(), "on_recorder");
+        assert_eq!(n.get_text("service"), Some("cam1")); // provenance wins
+        assert_eq!(n.get_text("cmd"), Some("ptzMove"));
+        assert_eq!(n.get_int("x"), Some(3));
+    }
+}

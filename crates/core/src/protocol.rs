@@ -1,0 +1,350 @@
+//! Shared wire vocabulary of the ACE framework services.
+//!
+//! The daemon startup sequence (Fig. 9) has every daemon talk to three
+//! framework services — the Room Database, the ACE Service Directory, and
+//! the Network Logger — before it begins its own work.  Both sides of those
+//! conversations (the daemons in `crates/directory` and the startup code in
+//! this crate) need the same command definitions, so they live here.
+//!
+//! Also defines the built-in commands every ACE daemon understands
+//! (`ping`, `describe`, `shutdown`, `addNotification`, `removeNotification`,
+//! §2.5).
+
+use ace_lang::{ArgType, CmdSpec, Semantics};
+
+/// Well-known port of the ACE Service Directory ("the location of which is
+/// known to all ACE daemons", §2.4).
+pub const ASD_PORT: u16 = 5000;
+/// Well-known port of the Room Database.
+pub const ROOMDB_PORT: u16 = 5001;
+/// Well-known port of the Network Logger.
+pub const LOGGER_PORT: u16 = 5002;
+
+/// Built-in commands of every service daemon.  Service-specific semantics
+/// inherit from this set (the root of the Fig. 6 hierarchy).
+pub fn base_semantics() -> Semantics {
+    Semantics::new()
+        .with(CmdSpec::new("ping", "liveness probe; replies ok"))
+        .with(CmdSpec::new(
+            "describe",
+            "list the commands this service understands",
+        ))
+        .with(CmdSpec::new("shutdown", "gracefully stop this daemon"))
+        .with(
+            CmdSpec::new(
+                "addNotification",
+                "register to be notified when a command/event executes here",
+            )
+            .required("cmd", ArgType::Word, "command or event name to listen for")
+            .required("service", ArgType::Word, "name of the service to notify")
+            .required("host", ArgType::Word, "host of the service to notify")
+            .required("port", ArgType::Int, "port of the service to notify")
+            .required(
+                "notifyCmd",
+                ArgType::Word,
+                "command to invoke on the notified service",
+            ),
+        )
+        .with(
+            CmdSpec::new("removeNotification", "deregister a notification")
+                .required("cmd", ArgType::Word, "command or event name")
+                .required("service", ArgType::Word, "service that was to be notified"),
+        )
+}
+
+/// Commands understood by the ACE Service Directory (§2.4).
+pub fn asd_semantics() -> Semantics {
+    Semantics::new()
+        .inheriting(&base_semantics())
+        .with(
+            CmdSpec::new("register", "register a service; replies with a lease")
+                .required("name", ArgType::Word, "unique service name")
+                .required("host", ArgType::Word, "host the service runs on")
+                .required("port", ArgType::Int, "port the service listens on")
+                .required("room", ArgType::Word, "room the service lives in")
+                .required("class", ArgType::Str, "service class (hierarchy path)"),
+        )
+        .with(
+            CmdSpec::new("renewLease", "renew a registration lease")
+                .required("name", ArgType::Word, "registered service name"),
+        )
+        .with(
+            CmdSpec::new("removeService", "deregister a service on shutdown")
+                .required("name", ArgType::Word, "registered service name"),
+        )
+        .with(
+            CmdSpec::new("lookup", "find services; replies with matches")
+                .optional("name", ArgType::Word, "exact service name")
+                .optional("class", ArgType::Str, "service class to match")
+                .optional("room", ArgType::Word, "restrict to one room"),
+        )
+        .with(CmdSpec::new(
+            "listServices",
+            "list all currently registered service names",
+        ))
+}
+
+/// Commands understood by the Room Database (§4.11).
+pub fn roomdb_semantics() -> Semantics {
+    Semantics::new()
+        .inheriting(&base_semantics())
+        .with(
+            CmdSpec::new("roomRegister", "place a service within a room")
+                .required("service", ArgType::Word, "service name")
+                .required("host", ArgType::Word, "host name")
+                .required("port", ArgType::Int, "service port")
+                .required("room", ArgType::Word, "room name")
+                .optional("x", ArgType::Float, "position in the room (metres)")
+                .optional("y", ArgType::Float, "position in the room (metres)")
+                .optional("z", ArgType::Float, "position in the room (metres)"),
+        )
+        .with(
+            CmdSpec::new("roomRemove", "remove a service from its room")
+                .required("service", ArgType::Word, "service name"),
+        )
+        .with(
+            CmdSpec::new("roomServices", "list services within a room")
+                .required("room", ArgType::Word, "room name"),
+        )
+        .with(
+            CmdSpec::new("roomInfo", "room metadata: building, dimensions")
+                .required("room", ArgType::Word, "room name"),
+        )
+        .with(
+            CmdSpec::new("defineRoom", "create or update a room definition")
+                .required("room", ArgType::Word, "room name")
+                .required("building", ArgType::Word, "building name")
+                .optional("width", ArgType::Float, "room width (metres)")
+                .optional("depth", ArgType::Float, "room depth (metres)")
+                .optional("height", ArgType::Float, "room height (metres)"),
+        )
+        .with(CmdSpec::new("listRooms", "list all defined rooms"))
+}
+
+/// Commands understood by the Network Logger (§4.14).
+pub fn logger_semantics() -> Semantics {
+    Semantics::new()
+        .inheriting(&base_semantics())
+        .with(
+            CmdSpec::new("log", "append one activity record")
+                .required("level", ArgType::Word, "info | warn | error | security")
+                .required("msg", ArgType::Str, "the record text")
+                .optional("service", ArgType::Word, "originating service")
+                .optional("host", ArgType::Word, "originating host"),
+        )
+        .with(
+            CmdSpec::new("tail", "return the most recent records")
+                .optional("count", ArgType::Int, "how many records (default 10)")
+                .optional("level", ArgType::Word, "filter by level"),
+        )
+        .with(CmdSpec::new("logStats", "record counts by level"))
+}
+
+/// Hex-encode arbitrary bytes as a `<WORD>` so blobs (multi-line KeyNote
+/// credential text, binary payloads) can travel inside commands — the
+/// grammar's quoted strings cannot carry newlines or quotes.
+pub fn hex_encode(data: &[u8]) -> String {
+    use std::fmt::Write;
+    // The `x` prefix keeps the token a <WORD> even when every digit is
+    // decimal (which would re-lex as an integer).
+    let mut out = String::with_capacity(data.len() * 2 + 1);
+    out.push('x');
+    for b in data {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+/// Decode a [`hex_encode`]d word.
+pub fn hex_decode(hex: &str) -> Option<Vec<u8>> {
+    let hex = hex.strip_prefix('x').unwrap_or(hex);
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(hex.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+/// A directory entry as returned by ASD `lookup` replies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceEntry {
+    pub name: String,
+    pub addr: ace_net::Addr,
+    pub class: String,
+    pub room: String,
+}
+
+/// Encode entries as the `services={{name,host,port,class,room},…}` array
+/// carried in `lookup` replies.  All cells are quoted strings so every row
+/// is homogeneous per the grammar (a bare `1234` would re-lex as an
+/// integer).
+pub fn entries_to_value(entries: &[ServiceEntry]) -> ace_lang::Value {
+    use ace_lang::Scalar;
+    ace_lang::Value::Array(
+        entries
+            .iter()
+            .map(|e| {
+                vec![
+                    Scalar::Str(e.name.clone()),
+                    Scalar::Str(e.addr.host.to_string()),
+                    Scalar::Str(e.addr.port.to_string()),
+                    Scalar::Str(e.class.clone()),
+                    Scalar::Str(e.room.clone()),
+                ]
+            })
+            .collect(),
+    )
+}
+
+/// Decode a `services=` array back into entries.  Malformed rows are
+/// rejected wholesale (`None`) — a half-decoded directory is worse than an
+/// error.
+pub fn entries_from_value(value: &ace_lang::Value) -> Option<Vec<ServiceEntry>> {
+    let rows = match value {
+        // An empty array encodes as `{}`, which re-parses as an empty
+        // vector — treat it as zero rows.
+        v if v.as_vector().map_or(false, |s| s.is_empty()) => return Some(Vec::new()),
+        v => v.as_array()?,
+    };
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != 5 {
+            return None;
+        }
+        let cell = |i: usize| row[i].as_text();
+        let port: u16 = cell(2)?.parse().ok()?;
+        out.push(ServiceEntry {
+            name: cell(0)?.to_string(),
+            addr: ace_net::Addr::new(cell(1)?, port),
+            class: cell(3)?.to_string(),
+            room: cell(4)?.to_string(),
+        });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_lang::CmdLine;
+
+    #[test]
+    fn entries_roundtrip() {
+        let entries = vec![
+            ServiceEntry {
+                name: "cam1".into(),
+                addr: ace_net::Addr::new("bar", 1234),
+                class: "PTZCamera".into(),
+                room: "hawk".into(),
+            },
+            ServiceEntry {
+                name: "proj".into(),
+                addr: ace_net::Addr::new("tube", 99),
+                class: "Projector".into(),
+                room: "hawk".into(),
+            },
+        ];
+        let v = entries_to_value(&entries);
+        assert_eq!(entries_from_value(&v), Some(entries.clone()));
+        // And the value survives the wire.
+        let cmd = CmdLine::new("ok").arg("services", v);
+        let back = CmdLine::parse(&cmd.to_wire()).unwrap();
+        assert_eq!(
+            entries_from_value(back.get("services").unwrap()),
+            Some(entries)
+        );
+    }
+
+    #[test]
+    fn entries_empty_roundtrip() {
+        let v = entries_to_value(&[]);
+        assert_eq!(entries_from_value(&v), Some(vec![]));
+    }
+
+    #[test]
+    fn entries_reject_malformed() {
+        use ace_lang::{Scalar, Value};
+        let bad = Value::Array(vec![vec![Scalar::Word("only".into())]]);
+        assert_eq!(entries_from_value(&bad), None);
+        assert_eq!(entries_from_value(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn base_commands_validate() {
+        let sem = base_semantics();
+        sem.validate(&CmdLine::new("ping")).unwrap();
+        sem.validate(
+            &CmdLine::new("addNotification")
+                .arg("cmd", "ptzMove")
+                .arg("service", "recorder")
+                .arg("host", "bar")
+                .arg("port", 1234)
+                .arg("notifyCmd", "onPtzMove"),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn asd_inherits_base() {
+        let sem = asd_semantics();
+        sem.validate(&CmdLine::new("ping")).unwrap();
+        sem.validate(
+            &CmdLine::new("register")
+                .arg("name", "foo")
+                .arg("host", "bar")
+                .arg("port", 1234)
+                .arg("room", "hawk")
+                .arg("class", "ACEService"),
+        )
+        .unwrap();
+        assert!(sem.validate(&CmdLine::new("register")).is_err());
+    }
+
+    #[test]
+    fn lookup_args_optional() {
+        let sem = asd_semantics();
+        sem.validate(&CmdLine::new("lookup")).unwrap();
+        sem.validate(&CmdLine::new("lookup").arg("class", "PTZCamera")).unwrap();
+    }
+
+    #[test]
+    fn roomdb_and_logger_validate() {
+        roomdb_semantics()
+            .validate(
+                &CmdLine::new("roomRegister")
+                    .arg("service", "foo")
+                    .arg("host", "bar")
+                    .arg("port", 1)
+                    .arg("room", "hawk"),
+            )
+            .unwrap();
+        logger_semantics()
+            .validate(
+                &CmdLine::new("log")
+                    .arg("level", "info")
+                    .arg("msg", "service foo started"),
+            )
+            .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod hex_tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        for data in [&b""[..], b"a", b"hello\nworld \"quoted\"", &[0u8, 255, 128]] {
+            assert_eq!(hex_decode(&hex_encode(data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn hex_rejects_garbage() {
+        assert_eq!(hex_decode("abc"), None); // odd length
+        assert_eq!(hex_decode("zz"), None);
+        assert!(hex_decode("").unwrap().is_empty());
+    }
+}

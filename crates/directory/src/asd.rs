@@ -1,0 +1,276 @@
+//! The ACE Service Directory (§2.4, Fig. 7).
+//!
+//! "A central listing or directory of services currently available and
+//! running within the ACE environment."  Services register on startup,
+//! renew leases periodically, deregister on shutdown, and are purged
+//! automatically when their lease expires — "this mechanism accounts for
+//! system failures whereby daemons that become inactive due to malfunction
+//! are automatically removed from the ASD once their service lease expires."
+
+use ace_core::prelude::*;
+use ace_core::protocol::{self, ServiceEntry};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One live registration.
+#[derive(Debug, Clone)]
+struct Lease {
+    entry: ServiceEntry,
+    expires: Instant,
+}
+
+/// The ASD service behavior.
+pub struct Asd {
+    lease_duration: Duration,
+    leases: HashMap<String, Lease>,
+    /// Registrations since start (monotonic; for experiments).
+    total_registrations: u64,
+}
+
+impl Asd {
+    /// An ASD granting leases of the given duration.
+    pub fn new(lease_duration: Duration) -> Asd {
+        Asd {
+            lease_duration,
+            leases: HashMap::new(),
+            total_registrations: 0,
+        }
+    }
+
+    /// The default production lease (30 s).  Tests use much shorter ones.
+    pub fn with_default_lease() -> Asd {
+        Asd::new(Duration::from_secs(30))
+    }
+
+    fn purge_expired(&mut self, ctx: &mut ServiceCtx) {
+        let now = Instant::now();
+        let expired: Vec<String> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.expires <= now)
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in expired {
+            self.leases.remove(&name);
+            ctx.log("warn", format!("lease expired for service {name}"));
+            // Listeners can watch `serviceExpired` to react to failures
+            // (the restart-watcher service does exactly this).
+            ctx.fire_event(CmdLine::new("serviceExpired").arg("name", name.as_str()));
+        }
+    }
+
+    /// Does `class_path` match a query `class`?  A query matches the full
+    /// path or any segment of it, so `lookup class=PTZCamera` finds a
+    /// `Service.Device.PTZCamera.VCC3` (the Fig. 6 hierarchy).
+    fn class_matches(class_path: &str, query: &str) -> bool {
+        class_path == query || class_path.split('.').any(|seg| seg == query)
+    }
+}
+
+impl ServiceBehavior for Asd {
+    fn semantics(&self) -> Semantics {
+        protocol::asd_semantics()
+    }
+
+    fn on_tick(&mut self, ctx: &mut ServiceCtx) {
+        self.purge_expired(ctx);
+    }
+
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        self.purge_expired(ctx);
+        match cmd.name() {
+            "register" => {
+                let name = cmd.get_text("name").expect("validated").to_string();
+                let entry = ServiceEntry {
+                    name: name.clone(),
+                    addr: Addr::new(
+                        cmd.get_text("host").expect("validated"),
+                        cmd.get_int("port").expect("validated") as u16,
+                    ),
+                    class: cmd.get_text("class").expect("validated").to_string(),
+                    room: cmd.get_text("room").expect("validated").to_string(),
+                };
+                self.leases.insert(
+                    name,
+                    Lease {
+                        entry,
+                        expires: Instant::now() + self.lease_duration,
+                    },
+                );
+                self.total_registrations += 1;
+                Reply::ok_with(|c| c.arg("lease", self.lease_duration.as_millis() as i64))
+            }
+            "renewLease" => {
+                let name = cmd.get_text("name").expect("validated");
+                match self.leases.get_mut(name) {
+                    Some(lease) => {
+                        lease.expires = Instant::now() + self.lease_duration;
+                        Reply::ok_with(|c| {
+                            c.arg("lease", self.lease_duration.as_millis() as i64)
+                        })
+                    }
+                    None => Reply::err(ErrorCode::NotFound, format!("no lease for {name}")),
+                }
+            }
+            "removeService" => {
+                let name = cmd.get_text("name").expect("validated");
+                if self.leases.remove(name).is_some() {
+                    Reply::ok()
+                } else {
+                    Reply::err(ErrorCode::NotFound, format!("{name} not registered"))
+                }
+            }
+            "lookup" => {
+                let name = cmd.get_text("name");
+                let class = cmd.get_text("class");
+                let room = cmd.get_text("room");
+                let mut matches: Vec<ServiceEntry> = self
+                    .leases
+                    .values()
+                    .map(|l| &l.entry)
+                    .filter(|e| name.map_or(true, |n| e.name == n))
+                    .filter(|e| class.map_or(true, |c| Self::class_matches(&e.class, c)))
+                    .filter(|e| room.map_or(true, |r| e.room == r))
+                    .cloned()
+                    .collect();
+                matches.sort_by(|a, b| a.name.cmp(&b.name));
+                Reply::ok_with(|c| {
+                    c.arg("count", matches.len() as i64)
+                        .arg("services", protocol::entries_to_value(&matches))
+                })
+            }
+            "listServices" => {
+                let mut names: Vec<Scalar> = self
+                    .leases
+                    .keys()
+                    .map(|n| Scalar::Str(n.clone()))
+                    .collect();
+                names.sort_by(|a, b| match (a, b) {
+                    (Scalar::Str(x), Scalar::Str(y)) => x.cmp(y),
+                    _ => std::cmp::Ordering::Equal,
+                });
+                Reply::ok_with(|c| {
+                    c.arg("count", names.len() as i64)
+                        .arg("names", Value::Vector(names))
+                })
+            }
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}
+
+/// Typed client for the ASD.
+pub struct AsdClient {
+    client: ServiceClient,
+}
+
+impl AsdClient {
+    /// Connect to the ASD at `asd`.
+    pub fn connect(
+        net: &SimNet,
+        from_host: &HostId,
+        asd: Addr,
+        identity: &ace_security::keys::KeyPair,
+    ) -> Result<AsdClient, ClientError> {
+        Ok(AsdClient {
+            client: ServiceClient::connect(net, from_host, asd, identity)?,
+        })
+    }
+
+    /// Look up services by any combination of name/class/room.
+    pub fn lookup(
+        &mut self,
+        name: Option<&str>,
+        class: Option<&str>,
+        room: Option<&str>,
+    ) -> Result<Vec<ServiceEntry>, ClientError> {
+        let mut cmd = CmdLine::new("lookup");
+        if let Some(n) = name {
+            cmd.push_arg("name", n);
+        }
+        if let Some(c) = class {
+            cmd.push_arg("class", c);
+        }
+        if let Some(r) = room {
+            cmd.push_arg("room", r);
+        }
+        let reply = self.client.call(&cmd)?;
+        reply
+            .get("services")
+            .and_then(protocol::entries_from_value)
+            .ok_or(ClientError::Service {
+                code: ErrorCode::Internal,
+                msg: "malformed lookup reply".into(),
+            })
+    }
+
+    /// Find one service by exact name.
+    pub fn find(&mut self, name: &str) -> Result<Option<ServiceEntry>, ClientError> {
+        Ok(self.lookup(Some(name), None, None)?.into_iter().next())
+    }
+
+    /// All registered service names.
+    pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
+        let reply = self.client.call(&CmdLine::new("listServices"))?;
+        let names = reply
+            .get_vector("names")
+            .map(|v| {
+                v.iter()
+                    .filter_map(|s| s.as_text().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(names)
+    }
+
+    /// Register a service (used by tests and non-daemon actors; daemons
+    /// register automatically at spawn).
+    pub fn register(&mut self, entry: &ServiceEntry) -> Result<Duration, ClientError> {
+        let reply = self.client.call(
+            &CmdLine::new("register")
+                .arg("name", entry.name.as_str())
+                .arg("host", entry.addr.host.as_str())
+                .arg("port", entry.addr.port)
+                .arg("room", entry.room.as_str())
+                .arg("class", entry.class.as_str()),
+        )?;
+        Ok(Duration::from_millis(
+            reply.get_int("lease").unwrap_or(0) as u64
+        ))
+    }
+
+    /// Renew a lease.
+    pub fn renew(&mut self, name: &str) -> Result<(), ClientError> {
+        self.client
+            .call_ok(&CmdLine::new("renewLease").arg("name", name))
+    }
+
+    /// Deregister a service.
+    pub fn remove(&mut self, name: &str) -> Result<(), ClientError> {
+        self.client
+            .call_ok(&CmdLine::new("removeService").arg("name", name))
+    }
+
+    /// Access the raw client (for `addNotification` etc.).
+    pub fn raw(&mut self) -> &mut ServiceClient {
+        &mut self.client
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_matching_follows_hierarchy() {
+        assert!(Asd::class_matches("Service.Device.PTZCamera.VCC3", "PTZCamera"));
+        assert!(Asd::class_matches("Service.Device.PTZCamera.VCC3", "VCC3"));
+        assert!(Asd::class_matches("Service.Device.PTZCamera.VCC3", "Service"));
+        assert!(Asd::class_matches(
+            "Service.Device.PTZCamera.VCC3",
+            "Service.Device.PTZCamera.VCC3"
+        ));
+        assert!(!Asd::class_matches("Service.Device.PTZCamera.VCC3", "PTZ"));
+        assert!(!Asd::class_matches("Service.Device.PTZCamera.VCC3", "Projector"));
+    }
+}

@@ -1,0 +1,320 @@
+//! The ACE Room Database service (§4.11).
+//!
+//! "For ACE services to be spatially aware of their surroundings … their
+//! location information is kept within an ACE Room Database service":
+//! buildings, rooms, physical dimensions, and which services sit where
+//! within each room (so a camera can build a 3-D coordinate frame and a GUI
+//! can list the devices of the room the user stands in).
+
+use ace_core::prelude::*;
+use ace_core::protocol;
+use std::collections::HashMap;
+
+/// Room metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoomInfo {
+    pub building: String,
+    /// Width × depth × height in metres.
+    pub dimensions: (f64, f64, f64),
+}
+
+/// A service placed in a room, optionally at a 3-D position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    pub service: String,
+    pub addr: Addr,
+    pub room: String,
+    pub position: Option<(f64, f64, f64)>,
+}
+
+/// The Room Database behavior.
+#[derive(Default)]
+pub struct RoomDb {
+    rooms: HashMap<String, RoomInfo>,
+    placements: HashMap<String, Placement>,
+}
+
+impl RoomDb {
+    pub fn new() -> RoomDb {
+        RoomDb::default()
+    }
+
+    /// Pre-define a room (environments usually seed their floor plan).
+    pub fn with_room(
+        mut self,
+        room: &str,
+        building: &str,
+        dimensions: (f64, f64, f64),
+    ) -> RoomDb {
+        self.rooms.insert(
+            room.to_string(),
+            RoomInfo {
+                building: building.to_string(),
+                dimensions,
+            },
+        );
+        self
+    }
+}
+
+/// Encode placements as an array of quoted-string rows:
+/// `{name, host, port, room, x, y, z}` (position cells empty when unknown).
+fn placements_to_value(placements: &[&Placement]) -> Value {
+    Value::Array(
+        placements
+            .iter()
+            .map(|p| {
+                let (x, y, z) = p
+                    .position
+                    .map(|(x, y, z)| (x.to_string(), y.to_string(), z.to_string()))
+                    .unwrap_or_default();
+                vec![
+                    Scalar::Str(p.service.clone()),
+                    Scalar::Str(p.addr.host.to_string()),
+                    Scalar::Str(p.addr.port.to_string()),
+                    Scalar::Str(p.room.clone()),
+                    Scalar::Str(x),
+                    Scalar::Str(y),
+                    Scalar::Str(z),
+                ]
+            })
+            .collect(),
+    )
+}
+
+/// Decode the `placements=` array of a `roomServices` reply.
+pub fn placements_from_value(value: &Value) -> Option<Vec<Placement>> {
+    let rows = match value {
+        // An empty array encodes as `{}`, which re-parses as an empty
+        // vector — treat it as zero rows.
+        v if v.as_vector().map_or(false, |s| s.is_empty()) => return Some(Vec::new()),
+        v => v.as_array()?,
+    };
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != 7 {
+            return None;
+        }
+        let cell = |i: usize| row[i].as_text();
+        let port: u16 = cell(2)?.parse().ok()?;
+        let position = match (cell(4)?, cell(5)?, cell(6)?) {
+            ("", "", "") => None,
+            (x, y, z) => Some((x.parse().ok()?, y.parse().ok()?, z.parse().ok()?)),
+        };
+        out.push(Placement {
+            service: cell(0)?.to_string(),
+            addr: Addr::new(cell(1)?, port),
+            room: cell(3)?.to_string(),
+            position,
+        });
+    }
+    Some(out)
+}
+
+impl ServiceBehavior for RoomDb {
+    fn semantics(&self) -> Semantics {
+        protocol::roomdb_semantics()
+    }
+
+    fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        match cmd.name() {
+            "defineRoom" => {
+                let room = cmd.get_text("room").expect("validated").to_string();
+                let info = RoomInfo {
+                    building: cmd.get_text("building").expect("validated").to_string(),
+                    dimensions: (
+                        cmd.get_f64("width").unwrap_or(0.0),
+                        cmd.get_f64("depth").unwrap_or(0.0),
+                        cmd.get_f64("height").unwrap_or(0.0),
+                    ),
+                };
+                self.rooms.insert(room, info);
+                Reply::ok()
+            }
+            "roomRegister" => {
+                let service = cmd.get_text("service").expect("validated").to_string();
+                let room = cmd.get_text("room").expect("validated").to_string();
+                // Auto-create unknown rooms so daemon startup never depends
+                // on floor-plan seeding order.
+                self.rooms.entry(room.clone()).or_insert_with(|| RoomInfo {
+                    building: "unknown".into(),
+                    dimensions: (0.0, 0.0, 0.0),
+                });
+                let position = match (cmd.get_f64("x"), cmd.get_f64("y"), cmd.get_f64("z")) {
+                    (Some(x), Some(y), Some(z)) => Some((x, y, z)),
+                    _ => None,
+                };
+                self.placements.insert(
+                    service.clone(),
+                    Placement {
+                        service,
+                        addr: Addr::new(
+                            cmd.get_text("host").expect("validated"),
+                            cmd.get_int("port").expect("validated") as u16,
+                        ),
+                        room,
+                        position,
+                    },
+                );
+                Reply::ok()
+            }
+            "roomRemove" => {
+                let service = cmd.get_text("service").expect("validated");
+                if self.placements.remove(service).is_some() {
+                    Reply::ok()
+                } else {
+                    Reply::err(ErrorCode::NotFound, format!("{service} not placed"))
+                }
+            }
+            "roomServices" => {
+                let room = cmd.get_text("room").expect("validated");
+                let mut matches: Vec<&Placement> = self
+                    .placements
+                    .values()
+                    .filter(|p| p.room == room)
+                    .collect();
+                matches.sort_by(|a, b| a.service.cmp(&b.service));
+                Reply::ok_with(|c| {
+                    c.arg("count", matches.len() as i64)
+                        .arg("placements", placements_to_value(&matches))
+                })
+            }
+            "roomInfo" => {
+                let room = cmd.get_text("room").expect("validated");
+                match self.rooms.get(room) {
+                    Some(info) => Reply::ok_with(|c| {
+                        c.arg("room", room)
+                            .arg("building", info.building.as_str())
+                            .arg("width", info.dimensions.0)
+                            .arg("depth", info.dimensions.1)
+                            .arg("height", info.dimensions.2)
+                    }),
+                    None => Reply::err(ErrorCode::NotFound, format!("no room {room}")),
+                }
+            }
+            "listRooms" => {
+                let mut names: Vec<Scalar> =
+                    self.rooms.keys().map(|n| Scalar::Str(n.clone())).collect();
+                names.sort_by(|a, b| match (a, b) {
+                    (Scalar::Str(x), Scalar::Str(y)) => x.cmp(y),
+                    _ => std::cmp::Ordering::Equal,
+                });
+                Reply::ok_with(|c| c.arg("rooms", Value::Vector(names)))
+            }
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}
+
+/// Typed client for the Room Database.
+pub struct RoomDbClient {
+    client: ServiceClient,
+}
+
+impl RoomDbClient {
+    pub fn connect(
+        net: &SimNet,
+        from_host: &HostId,
+        roomdb: Addr,
+        identity: &ace_security::keys::KeyPair,
+    ) -> Result<RoomDbClient, ClientError> {
+        Ok(RoomDbClient {
+            client: ServiceClient::connect(net, from_host, roomdb, identity)?,
+        })
+    }
+
+    /// Services placed within a room.
+    pub fn room_services(&mut self, room: &str) -> Result<Vec<Placement>, ClientError> {
+        let reply = self
+            .client
+            .call(&CmdLine::new("roomServices").arg("room", room))?;
+        reply
+            .get("placements")
+            .and_then(placements_from_value)
+            .ok_or(ClientError::Service {
+                code: ErrorCode::Internal,
+                msg: "malformed roomServices reply".into(),
+            })
+    }
+
+    /// Room metadata.
+    pub fn room_info(&mut self, room: &str) -> Result<RoomInfo, ClientError> {
+        let reply = self.client.call(&CmdLine::new("roomInfo").arg("room", room))?;
+        Ok(RoomInfo {
+            building: reply.get_text("building").unwrap_or("unknown").to_string(),
+            dimensions: (
+                reply.get_f64("width").unwrap_or(0.0),
+                reply.get_f64("depth").unwrap_or(0.0),
+                reply.get_f64("height").unwrap_or(0.0),
+            ),
+        })
+    }
+
+    /// Define a room.
+    pub fn define_room(
+        &mut self,
+        room: &str,
+        building: &str,
+        dimensions: (f64, f64, f64),
+    ) -> Result<(), ClientError> {
+        self.client.call_ok(
+            &CmdLine::new("defineRoom")
+                .arg("room", room)
+                .arg("building", building)
+                .arg("width", dimensions.0)
+                .arg("depth", dimensions.1)
+                .arg("height", dimensions.2),
+        )
+    }
+
+    /// All room names.
+    pub fn list_rooms(&mut self) -> Result<Vec<String>, ClientError> {
+        let reply = self.client.call(&CmdLine::new("listRooms"))?;
+        Ok(reply
+            .get_vector("rooms")
+            .map(|v| {
+                v.iter()
+                    .filter_map(|s| s.as_text().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_encoding_roundtrip() {
+        let placements = vec![
+            Placement {
+                service: "cam1".into(),
+                addr: Addr::new("bar", 1234),
+                room: "hawk".into(),
+                position: Some((1.0, 2.5, 3.0)),
+            },
+            Placement {
+                service: "proj".into(),
+                addr: Addr::new("tube", 99),
+                room: "hawk".into(),
+                position: None,
+            },
+        ];
+        let refs: Vec<&Placement> = placements.iter().collect();
+        let v = placements_to_value(&refs);
+        // Survive the wire too.
+        let cmd = CmdLine::new("ok").arg("placements", v);
+        let back = CmdLine::parse(&cmd.to_wire()).unwrap();
+        assert_eq!(
+            placements_from_value(back.get("placements").unwrap()),
+            Some(placements)
+        );
+    }
+
+    #[test]
+    fn malformed_placements_rejected() {
+        let bad = Value::Array(vec![vec![Scalar::Str("short".into())]]);
+        assert_eq!(placements_from_value(&bad), None);
+    }
+}

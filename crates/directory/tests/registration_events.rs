@@ -1,0 +1,122 @@
+//! Fig. 9 step 4: "this registration may trigger notifications to other ACE
+//! services (if any are awaiting notifications on it) that this new service
+//! is now running and available."
+//!
+//! The ASD executes `register` like any other command, so the framework's
+//! notification machinery covers it: listeners on `register` hear about
+//! every arrival, and listeners on `serviceExpired` (an ASD event) hear
+//! about every lease death.
+
+use ace_core::prelude::*;
+use ace_directory::bootstrap;
+use ace_security::keys::KeyPair;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[derive(Default)]
+struct Recorder {
+    arrivals: Arc<Mutex<Vec<String>>>,
+    expiries: Arc<Mutex<Vec<String>>>,
+}
+
+impl ServiceBehavior for Recorder {
+    fn semantics(&self) -> Semantics {
+        Semantics::new()
+            .with(
+                CmdSpec::new("onRegistered", "a service registered")
+                    .optional("service", ArgType::Str, "")
+                    .optional("cmd", ArgType::Str, "")
+                    .optional("name", ArgType::Word, "")
+                    .optional("host", ArgType::Word, "")
+                    .optional("port", ArgType::Int, "")
+                    .optional("room", ArgType::Word, "")
+                    .optional("class", ArgType::Str, ""),
+            )
+            .with(
+                CmdSpec::new("onExpired", "a lease lapsed")
+                    .optional("service", ArgType::Str, "")
+                    .optional("cmd", ArgType::Str, "")
+                    .optional("name", ArgType::Word, ""),
+            )
+    }
+    fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        let name = cmd.get_text("name").unwrap_or("?").to_string();
+        match cmd.name() {
+            "onRegistered" => self.arrivals.lock().unwrap().push(name),
+            "onExpired" => self.expiries.lock().unwrap().push(name),
+            _ => {}
+        }
+        Reply::ok()
+    }
+}
+
+struct Echo;
+impl ServiceBehavior for Echo {
+    fn semantics(&self) -> Semantics {
+        Semantics::new()
+    }
+    fn handle(&mut self, _ctx: &mut ServiceCtx, _cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        Reply::ok()
+    }
+}
+
+#[test]
+fn asd_registration_and_expiry_notify_listeners() {
+    let net = SimNet::new();
+    for h in ["core", "bar"] {
+        net.add_host(h);
+    }
+    let fw = bootstrap(&net, "core", Duration::from_millis(300)).unwrap();
+    let me = KeyPair::generate(&mut rand::thread_rng());
+
+    let recorder = Recorder::default();
+    let arrivals = Arc::clone(&recorder.arrivals);
+    let expiries = Arc::clone(&recorder.expiries);
+    let rec = Daemon::spawn(
+        &net,
+        fw.service_config("recorder", "Service.Test", "machineroom", "core", 6100),
+        Box::new(recorder),
+    )
+    .unwrap();
+
+    // Listen on the ASD for both the command and the event.
+    let mut asd_client =
+        ServiceClient::connect(&net, &"core".into(), fw.asd_addr.clone(), &me).unwrap();
+    for (what, sink) in [("register", "onRegistered"), ("serviceExpired", "onExpired")] {
+        asd_client
+            .call_ok(
+                &CmdLine::new("addNotification")
+                    .arg("cmd", what)
+                    .arg("service", "recorder")
+                    .arg("host", "core")
+                    .arg("port", 6100)
+                    .arg("notifyCmd", sink),
+            )
+            .unwrap();
+    }
+
+    // A new service arrives (its spawn registers with the ASD)…
+    let newcomer = Daemon::spawn(
+        &net,
+        fw.service_config("newcomer", "Service.Echo", "hawk", "bar", 6000)
+            .with_lease_renew(Duration::from_millis(100)),
+        Box::new(Echo),
+    )
+    .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !arrivals.lock().unwrap().contains(&"newcomer".to_string()) {
+        assert!(std::time::Instant::now() < deadline, "arrival never notified");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // …then crashes; the expiry event follows.
+    newcomer.crash();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !expiries.lock().unwrap().contains(&"newcomer".to_string()) {
+        assert!(std::time::Instant::now() < deadline, "expiry never notified");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    rec.shutdown();
+    fw.shutdown();
+}

@@ -1,0 +1,256 @@
+//! ACE-enabled device simulators (§1.2, Fig. 1–3).
+//!
+//! "For a device to be ACE enabled, it must have low-level interface
+//! software developed for it so that ACE services may communicate with
+//! them."  The Canon VCC3/VCC4 PTZ cameras and the Epson 7350 projector of
+//! Fig. 6 are simulated as state machines behind the exact service-daemon
+//! hierarchy the paper draws: both camera models share the PTZ command set,
+//! the VCC4 extends it (presets), and the projector has its own vocabulary.
+
+use ace_core::prelude::*;
+
+/// Camera model — the leaves of the Fig. 6 `PTZCamera` subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CameraModel {
+    /// Canon VCC3: ±90° pan, ±25° tilt, 10× zoom.
+    Vcc3,
+    /// Canon VCC4: ±100° pan, ±30° tilt, 16× zoom, position presets.
+    Vcc4,
+}
+
+impl CameraModel {
+    /// `(pan, tilt, zoom)` limits.
+    pub fn limits(&self) -> (f64, f64, f64) {
+        match self {
+            CameraModel::Vcc3 => (90.0, 25.0, 10.0),
+            CameraModel::Vcc4 => (100.0, 30.0, 16.0),
+        }
+    }
+
+    /// Class path in the service hierarchy.
+    pub fn class_path(&self) -> &'static str {
+        match self {
+            CameraModel::Vcc3 => "Service.Device.PTZCamera.VCC3",
+            CameraModel::Vcc4 => "Service.Device.PTZCamera.VCC4",
+        }
+    }
+}
+
+/// A pan-tilt-zoom camera simulator.
+pub struct PtzCamera {
+    model: CameraModel,
+    powered: bool,
+    pan: f64,
+    tilt: f64,
+    zoom: f64,
+    /// Stored presets (VCC4 only).
+    presets: Vec<(String, f64, f64, f64)>,
+    moves: u64,
+}
+
+impl PtzCamera {
+    pub fn new(model: CameraModel) -> PtzCamera {
+        PtzCamera {
+            model,
+            powered: false,
+            pan: 0.0,
+            tilt: 0.0,
+            zoom: 1.0,
+            presets: Vec::new(),
+            moves: 0,
+        }
+    }
+
+    /// Shared PTZ command set (the `PTZCamera` level of the hierarchy).
+    fn ptz_semantics() -> Semantics {
+        Semantics::new()
+            .with(CmdSpec::new("ptzOn", "power the camera on"))
+            .with(CmdSpec::new("ptzOff", "power the camera off"))
+            .with(
+                CmdSpec::new("ptzMove", "move the camera")
+                    .optional("x", ArgType::Float, "pan angle (degrees)")
+                    .optional("y", ArgType::Float, "tilt angle (degrees)")
+                    .optional("zoom", ArgType::Float, "zoom factor")
+                    .optional("mode", ArgType::Word, "absolute (default) | relative"),
+            )
+            .with(CmdSpec::new("ptzStatus", "position and power state"))
+    }
+}
+
+impl ServiceBehavior for PtzCamera {
+    fn semantics(&self) -> Semantics {
+        // Fig. 6: VCC4 = PTZCamera + presets; VCC3 = PTZCamera as-is.
+        let base = Self::ptz_semantics();
+        match self.model {
+            CameraModel::Vcc3 => base,
+            CameraModel::Vcc4 => Semantics::new()
+                .with(
+                    CmdSpec::new("ptzPresetStore", "store the current position as a preset")
+                        .required("name", ArgType::Word, "preset name"),
+                )
+                .with(
+                    CmdSpec::new("ptzPresetRecall", "recall a stored preset")
+                        .required("name", ArgType::Word, "preset name"),
+                )
+                .inheriting(&base),
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        match cmd.name() {
+            "ptzOn" => {
+                self.powered = true;
+                Reply::ok()
+            }
+            "ptzOff" => {
+                self.powered = false;
+                Reply::ok()
+            }
+            "ptzMove" => {
+                if !self.powered {
+                    return Reply::err(ErrorCode::BadState, "camera is powered off");
+                }
+                let (pan_max, tilt_max, zoom_max) = self.model.limits();
+                let relative = cmd.get_text("mode") == Some("relative");
+                let (mut pan, mut tilt, mut zoom) = (self.pan, self.tilt, self.zoom);
+                if let Some(x) = cmd.get_f64("x") {
+                    pan = if relative { pan + x } else { x };
+                }
+                if let Some(y) = cmd.get_f64("y") {
+                    tilt = if relative { tilt + y } else { y };
+                }
+                if let Some(z) = cmd.get_f64("zoom") {
+                    zoom = if relative { zoom * z } else { z };
+                }
+                pan = pan.clamp(-pan_max, pan_max);
+                tilt = tilt.clamp(-tilt_max, tilt_max);
+                zoom = zoom.clamp(1.0, zoom_max);
+                (self.pan, self.tilt, self.zoom) = (pan, tilt, zoom);
+                self.moves += 1;
+                ctx.fire_event(
+                    CmdLine::new("ptzMoved")
+                        .arg("x", pan)
+                        .arg("y", tilt)
+                        .arg("zoom", zoom),
+                );
+                Reply::ok_with(|c| c.arg("x", pan).arg("y", tilt).arg("zoom", zoom))
+            }
+            "ptzStatus" => Reply::ok_with(|c| {
+                c.arg("powered", self.powered)
+                    .arg("x", self.pan)
+                    .arg("y", self.tilt)
+                    .arg("zoom", self.zoom)
+                    .arg("moves", self.moves as i64)
+                    .arg("model", match self.model {
+                        CameraModel::Vcc3 => "VCC3",
+                        CameraModel::Vcc4 => "VCC4",
+                    })
+            }),
+            "ptzPresetStore" if self.model == CameraModel::Vcc4 => {
+                let name = cmd.get_text("name").expect("validated").to_string();
+                self.presets.retain(|(n, _, _, _)| n != &name);
+                self.presets.push((name, self.pan, self.tilt, self.zoom));
+                Reply::ok()
+            }
+            "ptzPresetRecall" if self.model == CameraModel::Vcc4 => {
+                if !self.powered {
+                    return Reply::err(ErrorCode::BadState, "camera is powered off");
+                }
+                let name = cmd.get_text("name").expect("validated");
+                match self.presets.iter().find(|(n, _, _, _)| n == name) {
+                    Some(&(_, pan, tilt, zoom)) => {
+                        (self.pan, self.tilt, self.zoom) = (pan, tilt, zoom);
+                        self.moves += 1;
+                        ctx.fire_event(
+                            CmdLine::new("ptzMoved").arg("x", pan).arg("y", tilt).arg("zoom", zoom),
+                        );
+                        Reply::ok_with(|c| c.arg("x", pan).arg("y", tilt).arg("zoom", zoom))
+                    }
+                    None => Reply::err(ErrorCode::NotFound, format!("no preset {name}")),
+                }
+            }
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}
+
+/// An Epson 7350 projector simulator.
+pub struct Projector {
+    powered: bool,
+    input: String,
+    pip: Option<String>,
+}
+
+impl Projector {
+    pub fn new() -> Projector {
+        Projector {
+            powered: false,
+            input: "none".into(),
+            pip: None,
+        }
+    }
+
+    /// Class path of the Fig. 6 `Projector.Epson7350` leaf.
+    pub const CLASS: &'static str = "Service.Device.Projector.Epson7350";
+}
+
+impl Default for Projector {
+    fn default() -> Self {
+        Projector::new()
+    }
+}
+
+impl ServiceBehavior for Projector {
+    fn semantics(&self) -> Semantics {
+        Semantics::new()
+            .with(CmdSpec::new("projOn", "power the projector on"))
+            .with(CmdSpec::new("projOff", "power the projector off"))
+            .with(
+                CmdSpec::new("projInput", "select the projected source")
+                    .required("source", ArgType::Word, "e.g. workspace | camera"),
+            )
+            .with(
+                CmdSpec::new("projPip", "picture-in-picture source (or off)")
+                    .required("source", ArgType::Word, "source name or `off`"),
+            )
+            .with(CmdSpec::new("projStatus", "power and source state"))
+    }
+
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        match cmd.name() {
+            "projOn" => {
+                self.powered = true;
+                ctx.fire_event(CmdLine::new("projectorChanged").arg("powered", true));
+                Reply::ok()
+            }
+            "projOff" => {
+                self.powered = false;
+                ctx.fire_event(CmdLine::new("projectorChanged").arg("powered", false));
+                Reply::ok()
+            }
+            "projInput" => {
+                if !self.powered {
+                    return Reply::err(ErrorCode::BadState, "projector is powered off");
+                }
+                self.input = cmd.get_text("source").expect("validated").to_string();
+                let input = self.input.clone();
+                ctx.fire_event(CmdLine::new("projectorChanged").arg("input", input.as_str()));
+                Reply::ok()
+            }
+            "projPip" => {
+                if !self.powered {
+                    return Reply::err(ErrorCode::BadState, "projector is powered off");
+                }
+                let source = cmd.get_text("source").expect("validated");
+                self.pip = (source != "off").then(|| source.to_string());
+                Reply::ok()
+            }
+            "projStatus" => Reply::ok_with(|c| {
+                c.arg("powered", self.powered)
+                    .arg("input", self.input.as_str())
+                    .arg("pip", self.pip.clone().unwrap_or_else(|| "off".into()))
+            }),
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}

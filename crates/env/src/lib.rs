@@ -1,0 +1,16 @@
+//! # ace-env — assembled ACE environments
+//!
+//! Everything needed to stand up a whole Ambient Computational Environment
+//! in one call and run the paper's §7 scenarios against it:
+//!
+//! * [`AceEnvironment`] — the Fig. 18 building: framework tier, identity
+//!   tier, resource tier, workspace tier, persistent store, and the
+//!   conference-room devices, fully wired;
+//! * [`devices`] — the ACE-enabled device simulators (Canon VCC3/VCC4 PTZ
+//!   cameras, Epson 7350 projector) behind the Fig. 6 hierarchy.
+
+pub mod devices;
+pub mod environment;
+
+pub use devices::{CameraModel, Projector, PtzCamera};
+pub use environment::{AceEnvironment, EnvConfig};

@@ -1,0 +1,149 @@
+//! Device-simulator tests: the Fig. 6 hierarchy's behavioural differences
+//! between camera models, and projector state rules.
+
+use ace_core::prelude::*;
+use ace_directory::bootstrap;
+use ace_env::{CameraModel, Projector, PtzCamera};
+use ace_security::keys::KeyPair;
+use std::time::Duration;
+
+fn world() -> (SimNet, ace_directory::Framework, KeyPair) {
+    let net = SimNet::new();
+    net.add_host("core");
+    let fw = bootstrap(&net, "core", Duration::from_secs(10)).unwrap();
+    (net, fw, KeyPair::generate(&mut rand::thread_rng()))
+}
+
+#[test]
+fn vcc3_lacks_presets_vcc4_has_them() {
+    let (net, fw, me) = world();
+    let vcc3 = Daemon::spawn(
+        &net,
+        fw.service_config("cam3", CameraModel::Vcc3.class_path(), "hawk", "core", 6000),
+        Box::new(PtzCamera::new(CameraModel::Vcc3)),
+    )
+    .unwrap();
+    let vcc4 = Daemon::spawn(
+        &net,
+        fw.service_config("cam4", CameraModel::Vcc4.class_path(), "hawk", "core", 6001),
+        Box::new(PtzCamera::new(CameraModel::Vcc4)),
+    )
+    .unwrap();
+
+    let mut c3 = ServiceClient::connect(&net, &"core".into(), vcc3.addr().clone(), &me).unwrap();
+    let mut c4 = ServiceClient::connect(&net, &"core".into(), vcc4.addr().clone(), &me).unwrap();
+
+    // The VCC3 rejects the VCC4-only command at the *semantics* layer —
+    // it is simply not in its vocabulary (Fig. 6 inheritance).
+    let err = c3
+        .call(&CmdLine::new("ptzPresetStore").arg("name", "door"))
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Semantics));
+
+    c4.call_ok(&CmdLine::new("ptzOn")).unwrap();
+    c4.call_ok(&CmdLine::new("ptzMove").arg("x", 20.0)).unwrap();
+    c4.call_ok(&CmdLine::new("ptzPresetStore").arg("name", "door")).unwrap();
+    c4.call_ok(&CmdLine::new("ptzMove").arg("x", 0.0)).unwrap();
+    let recalled = c4
+        .call(&CmdLine::new("ptzPresetRecall").arg("name", "door"))
+        .unwrap();
+    assert_eq!(recalled.get_f64("x"), Some(20.0));
+    // Unknown preset.
+    let err = c4
+        .call(&CmdLine::new("ptzPresetRecall").arg("name", "roof"))
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::NotFound));
+
+    vcc3.shutdown();
+    vcc4.shutdown();
+    fw.shutdown();
+}
+
+#[test]
+fn camera_model_limits_differ() {
+    let (net, fw, me) = world();
+    let vcc3 = Daemon::spawn(
+        &net,
+        fw.service_config("cam3", CameraModel::Vcc3.class_path(), "hawk", "core", 6000),
+        Box::new(PtzCamera::new(CameraModel::Vcc3)),
+    )
+    .unwrap();
+    let mut c3 = ServiceClient::connect(&net, &"core".into(), vcc3.addr().clone(), &me).unwrap();
+    c3.call_ok(&CmdLine::new("ptzOn")).unwrap();
+    let moved = c3
+        .call(&CmdLine::new("ptzMove").arg("x", 500.0).arg("zoom", 99.0))
+        .unwrap();
+    // VCC3: ±90 pan, 10x zoom (vs VCC4's ±100/16x).
+    assert_eq!(moved.get_f64("x"), Some(90.0));
+    assert_eq!(moved.get_f64("zoom"), Some(10.0));
+    vcc3.shutdown();
+    fw.shutdown();
+}
+
+#[test]
+fn camera_relative_mode_and_power_rules() {
+    let (net, fw, me) = world();
+    let cam = Daemon::spawn(
+        &net,
+        fw.service_config("cam", CameraModel::Vcc4.class_path(), "hawk", "core", 6000),
+        Box::new(PtzCamera::new(CameraModel::Vcc4)),
+    )
+    .unwrap();
+    let mut c = ServiceClient::connect(&net, &"core".into(), cam.addr().clone(), &me).unwrap();
+
+    // Powered off: movement refused.
+    let err = c.call(&CmdLine::new("ptzMove").arg("x", 1.0)).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::BadState));
+
+    c.call_ok(&CmdLine::new("ptzOn")).unwrap();
+    c.call_ok(&CmdLine::new("ptzMove").arg("x", 10.0).arg("y", 5.0)).unwrap();
+    let moved = c
+        .call(
+            &CmdLine::new("ptzMove")
+                .arg("x", -4.0)
+                .arg("y", 2.0)
+                .arg("mode", "relative"),
+        )
+        .unwrap();
+    assert_eq!(moved.get_f64("x"), Some(6.0));
+    assert_eq!(moved.get_f64("y"), Some(7.0));
+
+    let status = c.call(&CmdLine::new("ptzStatus")).unwrap();
+    assert_eq!(status.get_int("moves"), Some(2));
+
+    cam.shutdown();
+    fw.shutdown();
+}
+
+#[test]
+fn projector_state_rules() {
+    let (net, fw, me) = world();
+    let proj = Daemon::spawn(
+        &net,
+        fw.service_config("proj", Projector::CLASS, "hawk", "core", 6000),
+        Box::new(Projector::new()),
+    )
+    .unwrap();
+    let mut p = ServiceClient::connect(&net, &"core".into(), proj.addr().clone(), &me).unwrap();
+
+    // Input selection requires power.
+    let err = p
+        .call(&CmdLine::new("projInput").arg("source", "workspace"))
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::BadState));
+
+    p.call_ok(&CmdLine::new("projOn")).unwrap();
+    p.call_ok(&CmdLine::new("projInput").arg("source", "workspace")).unwrap();
+    p.call_ok(&CmdLine::new("projPip").arg("source", "camera")).unwrap();
+    let status = p.call(&CmdLine::new("projStatus")).unwrap();
+    assert_eq!(status.get_bool("powered"), Some(true));
+    assert_eq!(status.get_text("pip"), Some("camera"));
+
+    // PiP off.
+    p.call_ok(&CmdLine::new("projPip").arg("source", "off")).unwrap();
+    let status = p.call(&CmdLine::new("projStatus")).unwrap();
+    assert_eq!(status.get_text("pip"), Some("off"));
+
+    proj.shutdown();
+    fw.shutdown();
+}

@@ -1,0 +1,246 @@
+//! The ACE Authorization Database service (§4.10, Fig. 10).
+//!
+//! "A database interface service that stores user and client service
+//! authorization assertions … utilized by ACE services to lookup certificate
+//! assertions for users and other services attempting to execute specific
+//! commands.  These assertions are passed onto KeyNote."
+//!
+//! Credentials are stored (and indexed by every licensee principal they
+//! mention) as their canonical text, hex-encoded on the wire because the
+//! command grammar cannot carry multi-line strings.
+
+use ace_core::prelude::*;
+use ace_core::protocol::{hex_decode, hex_encode};
+use ace_core::CredentialSource;
+use ace_security::keynote::{ActionEnv, Assertion};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// The Authorization Database behavior.
+#[derive(Default)]
+pub struct AuthDb {
+    /// id → credential text.
+    credentials: HashMap<String, String>,
+    /// licensee principal → credential ids mentioning it.
+    by_licensee: HashMap<String, Vec<String>>,
+}
+
+impl AuthDb {
+    pub fn new() -> AuthDb {
+        AuthDb::default()
+    }
+}
+
+impl ServiceBehavior for AuthDb {
+    fn semantics(&self) -> Semantics {
+        Semantics::new()
+            .with(
+                CmdSpec::new("storeCredential", "store a signed KeyNote credential")
+                    .required("id", ArgType::Word, "unique credential id")
+                    .required("text", ArgType::Word, "hex-encoded credential text"),
+            )
+            .with(
+                CmdSpec::new("fetchCredentials", "credentials naming a licensee")
+                    .required("licensee", ArgType::Str, "principal to fetch for"),
+            )
+            .with(
+                CmdSpec::new("removeCredential", "delete a credential")
+                    .required("id", ArgType::Word, "credential id"),
+            )
+            .with(CmdSpec::new("listCredentials", "all credential ids"))
+    }
+
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        match cmd.name() {
+            "storeCredential" => {
+                let id = cmd.get_text("id").expect("validated").to_string();
+                let Some(bytes) = hex_decode(cmd.get_text("text").expect("validated")) else {
+                    return Reply::err(ErrorCode::Semantics, "text is not valid hex");
+                };
+                let Ok(text) = String::from_utf8(bytes) else {
+                    return Reply::err(ErrorCode::Semantics, "credential is not UTF-8");
+                };
+                // Validate structure *and* signature at the door: the DB
+                // never serves forged credentials.
+                let assertion = match Assertion::parse(&text) {
+                    Ok(a) => a,
+                    Err(e) => return Reply::err(ErrorCode::Semantics, e.to_string()),
+                };
+                if let Err(e) = assertion.verify() {
+                    ctx.log("security", format!("rejected credential {id}: {e}"));
+                    return Reply::err(ErrorCode::Denied, e.to_string());
+                }
+                if self.credentials.contains_key(&id) {
+                    return Reply::err(ErrorCode::BadState, format!("id {id} already stored"));
+                }
+                for principal in assertion.licensees.principals() {
+                    self.by_licensee
+                        .entry(principal.to_string())
+                        .or_default()
+                        .push(id.clone());
+                }
+                self.credentials.insert(id, text);
+                Reply::ok()
+            }
+            "fetchCredentials" => {
+                let licensee = cmd.get_text("licensee").expect("validated");
+                let ids = self
+                    .by_licensee
+                    .get(licensee)
+                    .cloned()
+                    .unwrap_or_default();
+                let texts: Vec<Scalar> = ids
+                    .iter()
+                    .filter_map(|id| self.credentials.get(id))
+                    .map(|text| Scalar::Word(hex_encode(text.as_bytes())))
+                    .collect();
+                Reply::ok_with(|c| {
+                    c.arg("count", texts.len() as i64)
+                        .arg("credentials", Value::Vector(texts))
+                })
+            }
+            "removeCredential" => {
+                let id = cmd.get_text("id").expect("validated");
+                if self.credentials.remove(id).is_some() {
+                    for ids in self.by_licensee.values_mut() {
+                        ids.retain(|i| i != id);
+                    }
+                    Reply::ok()
+                } else {
+                    Reply::err(ErrorCode::NotFound, format!("no credential {id}"))
+                }
+            }
+            "listCredentials" => {
+                let mut ids: Vec<Scalar> = self
+                    .credentials
+                    .keys()
+                    .map(|id| Scalar::Str(id.clone()))
+                    .collect();
+                ids.sort_by(|a, b| match (a, b) {
+                    (Scalar::Str(x), Scalar::Str(y)) => x.cmp(y),
+                    _ => std::cmp::Ordering::Equal,
+                });
+                Reply::ok_with(|c| c.arg("ids", Value::Vector(ids)))
+            }
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}
+
+/// Typed client for the Authorization Database.
+pub struct AuthDbClient {
+    client: ServiceClient,
+}
+
+impl AuthDbClient {
+    pub fn connect(
+        net: &SimNet,
+        from_host: &HostId,
+        authdb: Addr,
+        identity: &ace_security::keys::KeyPair,
+    ) -> Result<AuthDbClient, ClientError> {
+        Ok(AuthDbClient {
+            client: ServiceClient::connect(net, from_host, authdb, identity)?,
+        })
+    }
+
+    /// Store a signed credential under `id`.
+    pub fn store(&mut self, id: &str, credential: &Assertion) -> Result<(), ClientError> {
+        self.client.call_ok(
+            &CmdLine::new("storeCredential")
+                .arg("id", id)
+                .arg("text", hex_encode(credential.to_text().as_bytes())),
+        )
+    }
+
+    /// Fetch all credentials naming `licensee`.
+    pub fn fetch_for(&mut self, licensee: &str) -> Result<Vec<Assertion>, ClientError> {
+        let reply = self.client.call(
+            &CmdLine::new("fetchCredentials").arg("licensee", Value::Str(licensee.into())),
+        )?;
+        let mut out = Vec::new();
+        if let Some(texts) = reply.get_vector("credentials") {
+            for scalar in texts {
+                let Some(hex) = scalar.as_text() else { continue };
+                let Some(bytes) = hex_decode(hex) else { continue };
+                let Ok(text) = String::from_utf8(bytes) else { continue };
+                if let Ok(a) = Assertion::parse(&text) {
+                    out.push(a);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Delete a credential.
+    pub fn remove(&mut self, id: &str) -> Result<(), ClientError> {
+        self.client
+            .call_ok(&CmdLine::new("removeCredential").arg("id", id))
+    }
+
+    /// All credential ids.
+    pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
+        let reply = self.client.call(&CmdLine::new("listCredentials"))?;
+        Ok(reply
+            .get_vector("ids")
+            .map(|v| {
+                v.iter()
+                    .filter_map(|s| s.as_text().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+}
+
+/// A [`CredentialSource`] backed by a remote Authorization Database — the
+/// exact Fig. 10 flow: for each command, the guarded service fetches the
+/// requester's credentials from the AuthDB and hands them to KeyNote.
+pub struct RemoteCredentials {
+    net: SimNet,
+    from_host: HostId,
+    authdb: Addr,
+    identity: ace_security::keys::KeyPair,
+    client: Mutex<Option<AuthDbClient>>,
+}
+
+impl RemoteCredentials {
+    pub fn new(
+        net: SimNet,
+        from_host: HostId,
+        authdb: Addr,
+        identity: ace_security::keys::KeyPair,
+    ) -> RemoteCredentials {
+        RemoteCredentials {
+            net,
+            from_host,
+            authdb,
+            identity,
+            client: Mutex::new(None),
+        }
+    }
+}
+
+impl CredentialSource for RemoteCredentials {
+    fn credentials_for(&self, principal: &str, _env: &ActionEnv) -> Vec<Assertion> {
+        let mut guard = self.client.lock();
+        for _attempt in 0..2 {
+            if guard.is_none() {
+                *guard = AuthDbClient::connect(
+                    &self.net,
+                    &self.from_host,
+                    self.authdb.clone(),
+                    &self.identity,
+                )
+                .ok();
+            }
+            let Some(client) = guard.as_mut() else {
+                return Vec::new(); // AuthDB unreachable → no extra authority
+            };
+            match client.fetch_for(principal) {
+                Ok(creds) => return creds,
+                Err(_) => *guard = None, // reconnect once
+            }
+        }
+        Vec::new()
+    }
+}

@@ -1,0 +1,27 @@
+//! # ace-identity — user registration, identification, and authorization
+//!
+//! The services of §4.6–§4.10 that give ACE its "who is this, and what may
+//! they do" capabilities:
+//!
+//! * [`UserDb`] (AUD) — the user database: accounts, credentials-of-record,
+//!   identification numbers, current location (Fig. 12);
+//! * [`AuthDb`] — the authorization database: signed KeyNote credentials,
+//!   indexed by licensee, fetched per command in the Fig. 10 flow
+//!   ([`RemoteCredentials`] plugs it into any daemon's authorizer);
+//! * [`Fiu`] — the fingerprint identification unit with its simulated
+//!   scanner hardware ([`ScannerDevice`]);
+//! * [`IButtonReader`] — the iButton serial-number reader;
+//! * [`IdMonitor`] — receives identification notifications, updates the
+//!   AUD, and re-fires `userAt` for the workspace machinery (Scenario 2).
+
+pub mod aud;
+pub mod authdb;
+pub mod fiu;
+pub mod ibutton;
+pub mod idmonitor;
+
+pub use aud::{password_hash, UserDb, UserDbClient, UserInfo, UserRecord};
+pub use authdb::{AuthDb, AuthDbClient, RemoteCredentials};
+pub use fiu::{Fiu, ScanOutcome, ScannerDevice};
+pub use ibutton::IButtonReader;
+pub use idmonitor::IdMonitor;

@@ -1,0 +1,374 @@
+//! Integration tests of the identity tier: user registration, fingerprint
+//! and iButton identification, ID-monitor location tracking (Scenario 2),
+//! and the Fig. 10 remote-credential authorization flow.
+
+use ace_core::prelude::*;
+use ace_directory::{bootstrap, Framework, LoggerClient};
+use ace_identity::{
+    AuthDb, AuthDbClient, Fiu, IButtonReader, IdMonitor, RemoteCredentials, ScannerDevice,
+    UserDb, UserDbClient,
+};
+use ace_security::keynote::{Assertion, KeyNoteEngine, Licensees, POLICY};
+use ace_security::keys::KeyPair;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn keypair() -> KeyPair {
+    KeyPair::generate(&mut rand::thread_rng())
+}
+
+struct World {
+    net: SimNet,
+    fw: Framework,
+    aud: DaemonHandle,
+}
+
+fn world() -> World {
+    let net = SimNet::new();
+    for h in ["core", "bar", "tube"] {
+        net.add_host(h);
+    }
+    let fw = bootstrap(&net, "core", Duration::from_secs(10)).unwrap();
+    let aud = Daemon::spawn(
+        &net,
+        fw.service_config("aud", "Service.Database.User", "machineroom", "core", 5200),
+        Box::new(UserDb::new()),
+    )
+    .unwrap();
+    World { net, fw, aud }
+}
+
+#[test]
+fn user_lifecycle() {
+    let w = world();
+    let me = keypair();
+    let john = keypair();
+    let mut aud = UserDbClient::connect(&w.net, &"bar".into(), w.aud.addr().clone(), &me).unwrap();
+
+    aud.add_user(
+        "jdoe",
+        "John Doe",
+        "hunter2",
+        &john.principal(),
+        Some("fp_jdoe"),
+        Some("ib_4242"),
+    )
+    .unwrap();
+
+    let info = aud.get_user("jdoe").unwrap();
+    assert_eq!(info.fullname, "John Doe");
+    assert_eq!(info.public_key, john.principal());
+    assert_eq!(info.fingerprint.as_deref(), Some("fp_jdoe"));
+    assert_eq!(info.location, None);
+
+    assert!(aud.check_password("jdoe", "hunter2").unwrap());
+    assert!(!aud.check_password("jdoe", "wrong").unwrap());
+
+    assert_eq!(aud.find_by_fingerprint("fp_jdoe").unwrap().as_deref(), Some("jdoe"));
+    assert_eq!(aud.find_by_ibutton("ib_4242").unwrap().as_deref(), Some("jdoe"));
+    assert_eq!(aud.find_by_fingerprint("fp_ghost").unwrap(), None);
+
+    aud.set_location("jdoe", "hawk", "bar").unwrap();
+    assert_eq!(
+        aud.get_location("jdoe").unwrap(),
+        Some(("hawk".into(), "bar".into()))
+    );
+
+    // Duplicate registration rejected.
+    let err = aud
+        .add_user("jdoe", "John Doe II", "x", "k", None, None)
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::BadState));
+
+    assert_eq!(aud.list_users().unwrap(), vec!["jdoe".to_string()]);
+
+    w.aud.shutdown();
+    w.fw.shutdown();
+}
+
+/// The full Scenario 2 chain: press → FIU match → AUD lookup → notification
+/// → ID Monitor → AUD location update.
+#[test]
+fn scenario2_fingerprint_identification_updates_location() {
+    let w = world();
+    let me = keypair();
+    let john = keypair();
+
+    // FIU scanner in the conference room "hawk" on host "bar".
+    let mut device = ScannerDevice::default();
+    device.enroll("fp_jdoe", 0.95);
+    let fiu = Daemon::spawn(
+        &w.net,
+        w.fw
+            .service_config("fiu_hawk", "Service.Device.FIU", "hawk", "bar", 5300),
+        Box::new(Fiu::new(device)),
+    )
+    .unwrap();
+
+    let monitor = Daemon::spawn(
+        &w.net,
+        w.fw
+            .service_config("idmonitor", "Service.IDMonitor", "machineroom", "core", 5301),
+        Box::new(IdMonitor::new()),
+    )
+    .unwrap();
+    IdMonitor::subscribe_to_devices(&w.net, &monitor, &[&fiu], &me).unwrap();
+
+    let mut aud = UserDbClient::connect(&w.net, &"bar".into(), w.aud.addr().clone(), &me).unwrap();
+    aud.add_user("jdoe", "John Doe", "pw", &john.principal(), Some("fp_jdoe"), None)
+        .unwrap();
+
+    // John presses his thumb to the scanner at the podium.
+    let mut scanner =
+        ServiceClient::connect(&w.net, &"bar".into(), fiu.addr().clone(), &john).unwrap();
+    let reply = scanner
+        .call(&CmdLine::new("press").arg("template", Value::Str("fp_jdoe".into())))
+        .unwrap();
+    assert_eq!(reply.get_bool("identified"), Some(true));
+    assert_eq!(reply.get_text("username"), Some("jdoe"));
+
+    // The notification chain is asynchronous; wait for the location update.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Some((room, host)) = aud.get_location("jdoe").unwrap() {
+            assert_eq!(room, "hawk");
+            assert_eq!(host, "bar");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "location never updated"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The monitor remembers the sighting too.
+    let mut mon = ServiceClient::connect(&w.net, &"bar".into(), monitor.addr().clone(), &me).unwrap();
+    let seen = mon
+        .call(&CmdLine::new("lastSeen").arg("username", "jdoe"))
+        .unwrap();
+    assert_eq!(seen.get_text("room"), Some("hawk"));
+
+    monitor.shutdown();
+    fiu.shutdown();
+    w.aud.shutdown();
+    w.fw.shutdown();
+}
+
+#[test]
+fn failed_identification_reaches_security_log() {
+    let w = world();
+    let me = keypair();
+
+    let fiu = Daemon::spawn(
+        &w.net,
+        w.fw
+            .service_config("fiu_hawk", "Service.Device.FIU", "hawk", "bar", 5300),
+        Box::new(Fiu::new(ScannerDevice::default())),
+    )
+    .unwrap();
+    let monitor = Daemon::spawn(
+        &w.net,
+        w.fw
+            .service_config("idmonitor", "Service.IDMonitor", "machineroom", "core", 5301),
+        Box::new(IdMonitor::new()),
+    )
+    .unwrap();
+    IdMonitor::subscribe_to_devices(&w.net, &monitor, &[&fiu], &me).unwrap();
+
+    // An intruder presses an unenrolled finger.
+    let mut scanner = ServiceClient::connect(&w.net, &"bar".into(), fiu.addr().clone(), &me).unwrap();
+    let reply = scanner
+        .call(&CmdLine::new("press").arg("template", Value::Str("fp_mallory".into())))
+        .unwrap();
+    assert_eq!(reply.get_bool("identified"), Some(false));
+
+    // The attempt lands in the security log (via FIU directly and the
+    // monitor's onIdentFailed).
+    let mut logger = LoggerClient::connect(&w.net, &"core".into(), w.fw.logger_addr.clone(), &me).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let security = logger.tail(20, Some("security")).unwrap();
+        if !security.is_empty() {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "no security record");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    monitor.shutdown();
+    fiu.shutdown();
+    w.aud.shutdown();
+    w.fw.shutdown();
+}
+
+#[test]
+fn ibutton_identification() {
+    let w = world();
+    let me = keypair();
+    let jane = keypair();
+
+    let reader = Daemon::spawn(
+        &w.net,
+        w.fw
+            .service_config("ibutton_dove", "Service.Device.IButton", "dove", "tube", 5310),
+        Box::new(IButtonReader::new()),
+    )
+    .unwrap();
+
+    let mut aud = UserDbClient::connect(&w.net, &"bar".into(), w.aud.addr().clone(), &me).unwrap();
+    aud.add_user("jane", "Jane Roe", "pw", &jane.principal(), None, Some("ib_777"))
+        .unwrap();
+
+    let mut r = ServiceClient::connect(&w.net, &"tube".into(), reader.addr().clone(), &jane).unwrap();
+    let reply = r
+        .call(&CmdLine::new("touch").arg("serial", Value::Str("ib_777".into())))
+        .unwrap();
+    assert_eq!(reply.get_bool("identified"), Some(true));
+    assert_eq!(reply.get_text("username"), Some("jane"));
+
+    let reply = r
+        .call(&CmdLine::new("touch").arg("serial", Value::Str("ib_000".into())))
+        .unwrap();
+    assert_eq!(reply.get_bool("identified"), Some(false));
+
+    reader.shutdown();
+    w.aud.shutdown();
+    w.fw.shutdown();
+}
+
+/// Fig. 10 end-to-end: a guarded service fetches the requester's credentials
+/// from the Authorization Database per command.
+#[test]
+fn remote_credentials_authorize_via_authdb() {
+    let w = world();
+    let admin = keypair();
+    let user = keypair();
+
+    let authdb = Daemon::spawn(
+        &w.net,
+        w.fw
+            .service_config("authdb", "Service.Database.Authorization", "machineroom", "core", 5400),
+        Box::new(AuthDb::new()),
+    )
+    .unwrap();
+
+    // Policy root: admin is fully trusted; the guarded service's own key too.
+    let service_key = keypair();
+    let mut engine = KeyNoteEngine::new();
+    for trusted in [&admin, &service_key] {
+        engine
+            .add_policy(
+                Assertion::new(POLICY, Licensees::Principal(trusted.principal()), "true").unwrap(),
+            )
+            .unwrap();
+    }
+    let source = RemoteCredentials::new(
+        w.net.clone(),
+        "bar".into(),
+        authdb.addr().clone(),
+        keypair(),
+    );
+    let auth = AuthMode::Local(Arc::new(Authorizer::with_source(engine, Arc::new(source))));
+
+    // A counter-like guarded echo service.
+    struct Echo;
+    impl ServiceBehavior for Echo {
+        fn semantics(&self) -> Semantics {
+            Semantics::new().with(CmdSpec::new("touchIt", "guarded command"))
+        }
+        fn handle(&mut self, _ctx: &mut ServiceCtx, _cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+            Reply::ok()
+        }
+    }
+    let guarded = Daemon::spawn(
+        &w.net,
+        w.fw
+            .service_config("guarded", "Service.Echo", "hawk", "bar", 5401)
+            .with_auth(auth)
+            .with_identity(service_key),
+        Box::new(Echo),
+    )
+    .unwrap();
+
+    // Before any credential exists, the user is denied.
+    let mut as_user =
+        ServiceClient::connect(&w.net, &"bar".into(), guarded.addr().clone(), &user).unwrap();
+    let err = as_user.call(&CmdLine::new("touchIt")).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Denied));
+
+    // The admin stores a delegation credential in the AuthDB.
+    let cred = Assertion::new(
+        admin.principal(),
+        Licensees::Principal(user.principal()),
+        "cmd == \"touchIt\"",
+    )
+    .unwrap()
+    .sign(&admin)
+    .unwrap();
+    let mut db = AuthDbClient::connect(&w.net, &"core".into(), authdb.addr().clone(), &admin).unwrap();
+    db.store("grant_user_touch", &cred).unwrap();
+
+    // Now the same command succeeds — the guarded daemon fetched the new
+    // credential from the AuthDB (cache was per-decision-key; a *newly
+    // allowed* decision key is a cache miss, so no staleness here).
+    as_user.call_ok(&CmdLine::new("touchIt")).unwrap();
+    // But only that command.
+    let err = as_user.call(&CmdLine::new("shutdown")).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Denied));
+
+    guarded.shutdown();
+    authdb.shutdown();
+    w.aud.shutdown();
+    w.fw.shutdown();
+}
+
+#[test]
+fn authdb_rejects_forged_credentials() {
+    let w = world();
+    let admin = keypair();
+    let user = keypair();
+
+    let authdb = Daemon::spawn(
+        &w.net,
+        w.fw
+            .service_config("authdb", "Service.Database.Authorization", "machineroom", "core", 5400),
+        Box::new(AuthDb::new()),
+    )
+    .unwrap();
+    let mut db = AuthDbClient::connect(&w.net, &"core".into(), authdb.addr().clone(), &admin).unwrap();
+
+    // Unsigned assertion: rejected at the door.
+    let unsigned = Assertion::new(
+        admin.principal(),
+        Licensees::Principal(user.principal()),
+        "true",
+    )
+    .unwrap();
+    let err = db.store("forged", &unsigned).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Denied));
+    assert!(db.list().unwrap().is_empty());
+
+    // Valid credential: stored and fetchable by licensee.
+    let signed = Assertion::new(
+        admin.principal(),
+        Licensees::Principal(user.principal()),
+        "true",
+    )
+    .unwrap()
+    .sign(&admin)
+    .unwrap();
+    db.store("good", &signed).unwrap();
+    let fetched = db.fetch_for(&user.principal()).unwrap();
+    assert_eq!(fetched.len(), 1);
+    assert_eq!(fetched[0], signed);
+    assert!(db.fetch_for("rsa:nobody:5").unwrap().is_empty());
+
+    // Removal works.
+    db.remove("good").unwrap();
+    assert!(db.fetch_for(&user.principal()).unwrap().is_empty());
+
+    authdb.shutdown();
+    w.aud.shutdown();
+    w.fw.shutdown();
+}

@@ -1,0 +1,194 @@
+//! The `ACECmdLine` object (§2.2): the in-memory form of a command.
+//!
+//! "Every command that is to be issued to an ACE service is first built as an
+//! ACECmdLine object.  This object is then converted into a string by the
+//! issuing client/daemon and is then transmitted over the network to the
+//! receiving side."  [`CmdLine::to_wire`] is that conversion;
+//! [`CmdLine::parse`] (in `parser.rs`) reconstructs an exact copy on the
+//! receiving side.
+
+use crate::error::ParseError;
+use crate::value::{Scalar, Value};
+
+/// A parsed or under-construction ACE command: a command name plus an ordered
+/// list of `name=value` arguments.
+///
+/// Argument order is preserved (it is part of the wire form), but lookup by
+/// name is the primary access path.  Duplicate argument names are
+/// representable here — semantics validation rejects them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmdLine {
+    name: String,
+    args: Vec<(String, Value)>,
+}
+
+impl CmdLine {
+    /// Start building a command.  `name` must be a valid `<WORD>`; this is
+    /// asserted in debug builds and enforced at parse/validate time.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        debug_assert!(crate::value::is_word(&name), "command name must be a word");
+        CmdLine {
+            name,
+            args: Vec::new(),
+        }
+    }
+
+    /// Builder-style argument append.
+    pub fn arg(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.push_arg(name, value);
+        self
+    }
+
+    /// In-place argument append.
+    pub fn push_arg(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        let name = name.into();
+        debug_assert!(crate::value::is_word(&name), "argument name must be a word");
+        self.args.push((name, value.into()));
+    }
+
+    /// Replace an argument's value, or append it if absent.
+    pub fn set_arg(&mut self, name: &str, value: impl Into<Value>) {
+        if let Some(slot) = self.args.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value.into();
+        } else {
+            self.args.push((name.to_string(), value.into()));
+        }
+    }
+
+    /// The command name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All arguments in wire order.
+    pub fn args(&self) -> &[(String, Value)] {
+        &self.args
+    }
+
+    /// Number of arguments.
+    pub fn arg_count(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Look up an argument by name (first occurrence).
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.args.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Integer argument accessor.
+    pub fn get_int(&self, name: &str) -> Option<i64> {
+        self.get(name).and_then(Value::as_int)
+    }
+
+    /// Numeric argument accessor (integers widen).
+    pub fn get_f64(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(Value::as_f64)
+    }
+
+    /// Textual argument accessor (words and strings).
+    pub fn get_text(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(Value::as_text)
+    }
+
+    /// Vector argument accessor.
+    pub fn get_vector(&self, name: &str) -> Option<&[Scalar]> {
+        self.get(name).and_then(Value::as_vector)
+    }
+
+    /// Array argument accessor.
+    pub fn get_array(&self, name: &str) -> Option<&[Vec<Scalar>]> {
+        self.get(name).and_then(Value::as_array)
+    }
+
+    /// Boolean accessor: the words `true`/`false` (as produced by
+    /// `Value::from(bool)`).
+    pub fn get_bool(&self, name: &str) -> Option<bool> {
+        match self.get_text(name) {
+            Some("true") => Some(true),
+            Some("false") => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Convert to the wire string, terminated with `;` per the grammar:
+    /// `<CMND> := <CMNDNAME><space>[<ARGLIST>];`
+    pub fn to_wire(&self) -> String {
+        // Preallocate roughly: name + per-arg "name=value " with small values.
+        let mut out = String::with_capacity(self.name.len() + 16 * self.args.len() + 2);
+        out.push_str(&self.name);
+        for (name, value) in &self.args {
+            out.push(' ');
+            out.push_str(name);
+            out.push('=');
+            value.write_wire(&mut out);
+        }
+        out.push(';');
+        out
+    }
+
+    /// Parse a single wire command.  Convenience alias for
+    /// [`crate::parser::parse`].
+    pub fn parse(src: &str) -> Result<CmdLine, ParseError> {
+        crate::parser::parse(src)
+    }
+}
+
+impl std::fmt::Display for CmdLine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_wire())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_encode() {
+        let cmd = CmdLine::new("ptzMove")
+            .arg("x", 10)
+            .arg("y", -3)
+            .arg("zoom", 1.5)
+            .arg("mode", "absolute");
+        assert_eq!(cmd.to_wire(), "ptzMove x=10 y=-3 zoom=1.5 mode=absolute;");
+    }
+
+    #[test]
+    fn no_args_encodes_bare() {
+        assert_eq!(CmdLine::new("ping").to_wire(), "ping;");
+    }
+
+    #[test]
+    fn accessors() {
+        let cmd = CmdLine::new("c")
+            .arg("i", 4)
+            .arg("f", 2.5)
+            .arg("w", "word")
+            .arg("s", "two words")
+            .arg("b", true);
+        assert_eq!(cmd.get_int("i"), Some(4));
+        assert_eq!(cmd.get_f64("i"), Some(4.0));
+        assert_eq!(cmd.get_f64("f"), Some(2.5));
+        assert_eq!(cmd.get_text("w"), Some("word"));
+        assert_eq!(cmd.get_text("s"), Some("two words"));
+        assert_eq!(cmd.get_bool("b"), Some(true));
+        assert_eq!(cmd.get_int("missing"), None);
+    }
+
+    #[test]
+    fn set_arg_replaces() {
+        let mut cmd = CmdLine::new("c").arg("x", 1);
+        cmd.set_arg("x", 2);
+        cmd.set_arg("y", 3);
+        assert_eq!(cmd.get_int("x"), Some(2));
+        assert_eq!(cmd.get_int("y"), Some(3));
+        assert_eq!(cmd.arg_count(), 2);
+    }
+
+    #[test]
+    fn display_matches_wire() {
+        let cmd = CmdLine::new("c").arg("x", 1);
+        assert_eq!(format!("{cmd}"), cmd.to_wire());
+    }
+}

@@ -1,0 +1,56 @@
+//! # ace-lang — the ACE Service Command Language
+//!
+//! The common control language all ACE services share (§2.2 of the paper):
+//! a Unix-flavoured `command arg=value …;` syntax with integers, floats,
+//! words, strings, vectors, and arrays.  This crate provides:
+//!
+//! * [`Value`]/[`Scalar`] — the typed argument values,
+//! * [`CmdLine`] — the `ACECmdLine` object built by clients and daemons,
+//! * [`parser::parse`]/[`parser::parse_all`] — the ACE Command Parser,
+//! * [`Semantics`]/[`CmdSpec`] — per-service command semantic definitions,
+//!   with the inheritance mechanism that backs the service hierarchy (Fig. 6),
+//! * [`Reply`]/[`ErrorCode`] — the return-command conventions.
+//!
+//! The design goal stated in the paper — "a very lightweight form of
+//! communication … much more lightweight than utilizing something like
+//! RMI" — is benchmarked against an RMI-style codec in `crates/baselines`
+//! (experiment E3).
+//!
+//! ```
+//! use ace_lang::{CmdLine, Semantics, CmdSpec, ArgType};
+//!
+//! let sem = Semantics::new().with(
+//!     CmdSpec::new("ptzMove", "move the camera")
+//!         .required("x", ArgType::Float, "pan angle")
+//!         .required("y", ArgType::Float, "tilt angle"),
+//! );
+//!
+//! let cmd = CmdLine::new("ptzMove").arg("x", 10).arg("y", -3);
+//! let wire = cmd.to_wire();                 // "ptzMove x=10 y=-3;"
+//! let back = CmdLine::parse(&wire).unwrap(); // exact copy on the far side
+//! sem.validate(&back).unwrap();
+//! assert_eq!(back, cmd);
+//! ```
+
+pub mod cmdline;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod reply;
+pub mod semantics;
+pub mod value;
+
+pub use cmdline::CmdLine;
+pub use error::{LangError, ParseError, ParseErrorKind, SemanticError};
+pub use parser::{parse, parse_all};
+pub use reply::{ErrorCode, Reply};
+pub use semantics::{ArgSpec, ArgType, CmdSpec, Semantics};
+pub use value::{Scalar, ScalarType, Value, ValueType};
+
+/// Parse and validate in one step — the exact path an ACE daemon's command
+/// thread runs for every incoming string.
+pub fn parse_checked(src: &str, semantics: &Semantics) -> Result<CmdLine, LangError> {
+    let cmd = parser::parse(src)?;
+    semantics.validate(&cmd)?;
+    Ok(cmd)
+}

@@ -1,0 +1,224 @@
+//! Reply conventions: "return commands are used to reply on the status of
+//! the attempted command such as successful or failed" (§2.2).
+//!
+//! Every ACE reply is itself a command: `ok …;` carrying result arguments,
+//! or `error code=<word> msg=<string>;`.  The error codes follow the
+//! project's internal `ACEErrorConventionSpecs` naming (E_…).
+
+use crate::cmdline::CmdLine;
+use crate::value::Value;
+use std::fmt;
+
+/// Standard ACE error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The command string did not parse.
+    Parse,
+    /// The command failed semantic validation.
+    Semantics,
+    /// KeyNote denied the action ("NOT OK", §3.2).
+    Denied,
+    /// The requester is not an identified/registered ACE user.
+    Unidentified,
+    /// The target entity (service, user, workspace, key, …) does not exist.
+    NotFound,
+    /// The service exists but cannot serve right now (lease lapsed, replica
+    /// down, resource exhausted).
+    Unavailable,
+    /// The command is valid but its preconditions are not met.
+    BadState,
+    /// Internal daemon failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire form of the code (a `<WORD>`).
+    pub fn as_word(&self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "E_PARSE",
+            ErrorCode::Semantics => "E_SEMANTICS",
+            ErrorCode::Denied => "E_DENIED",
+            ErrorCode::Unidentified => "E_UNIDENTIFIED",
+            ErrorCode::NotFound => "E_NOTFOUND",
+            ErrorCode::Unavailable => "E_UNAVAILABLE",
+            ErrorCode::BadState => "E_BADSTATE",
+            ErrorCode::Internal => "E_INTERNAL",
+        }
+    }
+
+    /// Parse the wire form back into a code.
+    pub fn from_word(w: &str) -> Option<ErrorCode> {
+        Some(match w {
+            "E_PARSE" => ErrorCode::Parse,
+            "E_SEMANTICS" => ErrorCode::Semantics,
+            "E_DENIED" => ErrorCode::Denied,
+            "E_UNIDENTIFIED" => ErrorCode::Unidentified,
+            "E_NOTFOUND" => ErrorCode::NotFound,
+            "E_UNAVAILABLE" => ErrorCode::Unavailable,
+            "E_BADSTATE" => ErrorCode::BadState,
+            "E_INTERNAL" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_word())
+    }
+}
+
+/// A decoded reply: success with result arguments, or a coded failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    Ok(CmdLine),
+    Err { code: ErrorCode, msg: String },
+}
+
+impl Reply {
+    /// A bare success reply.
+    pub fn ok() -> Reply {
+        Reply::Ok(CmdLine::new("ok"))
+    }
+
+    /// A success reply carrying result arguments.
+    pub fn ok_with(build: impl FnOnce(CmdLine) -> CmdLine) -> Reply {
+        Reply::Ok(build(CmdLine::new("ok")))
+    }
+
+    /// A failure reply.
+    pub fn err(code: ErrorCode, msg: impl Into<String>) -> Reply {
+        Reply::Err {
+            code,
+            msg: msg.into(),
+        }
+    }
+
+    /// `true` for `ok` replies.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Reply::Ok(_))
+    }
+
+    /// The result command of an `ok` reply.
+    pub fn result(&self) -> Option<&CmdLine> {
+        match self {
+            Reply::Ok(c) => Some(c),
+            Reply::Err { .. } => None,
+        }
+    }
+
+    /// Convert into the return command that travels on the wire.
+    pub fn to_cmdline(&self) -> CmdLine {
+        match self {
+            Reply::Ok(c) => c.clone(),
+            Reply::Err { code, msg } => CmdLine::new("error")
+                .arg("code", Value::Word(code.as_word().to_string()))
+                .arg(
+                    "msg",
+                    // Strings containing '"' cannot travel in quoted strings
+                    // (the grammar has no escapes); degrade to `'`.
+                    Value::Str(msg.replace('"', "'")),
+                ),
+        }
+    }
+
+    /// Wire string of the return command.
+    pub fn to_wire(&self) -> String {
+        self.to_cmdline().to_wire()
+    }
+
+    /// Decode a return command into a reply.  Unknown shapes decode as
+    /// internal errors so that callers always get *something* typed.
+    pub fn from_cmdline(cmd: &CmdLine) -> Reply {
+        match cmd.name() {
+            "ok" => Reply::Ok(cmd.clone()),
+            "error" => {
+                let code = cmd
+                    .get_text("code")
+                    .and_then(ErrorCode::from_word)
+                    .unwrap_or(ErrorCode::Internal);
+                let msg = cmd.get_text("msg").unwrap_or("").to_string();
+                Reply::Err { code, msg }
+            }
+            other => Reply::Err {
+                code: ErrorCode::Internal,
+                msg: format!("malformed reply command `{other}`"),
+            },
+        }
+    }
+
+    /// Convert to a `Result`, mapping failure replies to `(code, msg)`.
+    pub fn into_result(self) -> Result<CmdLine, (ErrorCode, String)> {
+        match self {
+            Reply::Ok(c) => Ok(c),
+            Reply::Err { code, msg } => Err((code, msg)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_roundtrip() {
+        let r = Reply::ok_with(|c| c.arg("port", 1234).arg("host", "bar"));
+        let wire = r.to_wire();
+        let decoded = Reply::from_cmdline(&CmdLine::parse(&wire).unwrap());
+        assert_eq!(r, decoded);
+        assert_eq!(decoded.result().unwrap().get_int("port"), Some(1234));
+    }
+
+    #[test]
+    fn err_roundtrip() {
+        let r = Reply::err(ErrorCode::Denied, "no credentials for ptzMove");
+        let wire = r.to_wire();
+        let decoded = Reply::from_cmdline(&CmdLine::parse(&wire).unwrap());
+        assert_eq!(r, decoded);
+        assert!(!decoded.is_ok());
+    }
+
+    #[test]
+    fn err_with_quote_in_message_degrades() {
+        let r = Reply::err(ErrorCode::Internal, "bad \"thing\"");
+        let wire = r.to_wire();
+        let decoded = Reply::from_cmdline(&CmdLine::parse(&wire).unwrap());
+        match decoded {
+            Reply::Err { msg, .. } => assert_eq!(msg, "bad 'thing'"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn all_codes_roundtrip() {
+        for code in [
+            ErrorCode::Parse,
+            ErrorCode::Semantics,
+            ErrorCode::Denied,
+            ErrorCode::Unidentified,
+            ErrorCode::NotFound,
+            ErrorCode::Unavailable,
+            ErrorCode::BadState,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_word(code.as_word()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_word("E_BOGUS"), None);
+    }
+
+    #[test]
+    fn malformed_reply_decodes_as_internal() {
+        let cmd = CmdLine::new("banana");
+        match Reply::from_cmdline(&cmd) {
+            Reply::Err { code, .. } => assert_eq!(code, ErrorCode::Internal),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn into_result() {
+        assert!(Reply::ok().into_result().is_ok());
+        let (code, _) = Reply::err(ErrorCode::NotFound, "x").into_result().unwrap_err();
+        assert_eq!(code, ErrorCode::NotFound);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests on the command language: the wire form must
+//! round-trip exactly (§2.2: the parser constructs "an exact copy of the
+//! ACECmdLine object"), and the parser must never panic on arbitrary input.
+
+use ace_lang::{parse, parse_all, CmdLine, Scalar, Value};
+use proptest::prelude::*;
+
+/// `<WORD>` generator: contiguous alphanumerics and underscores.
+fn word() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_]{0,11}".prop_map(|s| s)
+}
+
+/// Quoted-string content: printable, no `"` (the grammar has no escapes).
+fn quotable() -> impl Strategy<Value = String> {
+    "[ -!#-~]{0,24}".prop_map(|s| s)
+}
+
+/// Floats that survive a text round-trip exactly (shortest-repr printing in
+/// Rust guarantees read-back equality for finite values).
+fn wire_float() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| i as f64 / 16.0),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()),
+    ]
+}
+
+fn scalar(ty: u8) -> BoxedStrategy<Scalar> {
+    match ty % 4 {
+        0 => any::<i64>().prop_map(Scalar::Int).boxed(),
+        1 => wire_float().prop_map(Scalar::Float).boxed(),
+        2 => word().prop_map(Scalar::Word).boxed(),
+        _ => quotable().prop_map(Scalar::Str).boxed(),
+    }
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        wire_float().prop_map(Value::Float),
+        word().prop_map(Value::Word),
+        quotable().prop_map(Value::Str),
+        // Homogeneous vector: pick one scalar type, then a list of it.
+        (0u8..4).prop_flat_map(|ty| prop::collection::vec(scalar(ty), 0..6).prop_map(Value::Vector)),
+        // Homogeneous array: one scalar type across all rows.
+        (0u8..4).prop_flat_map(|ty| {
+            prop::collection::vec(prop::collection::vec(scalar(ty), 0..4), 1..4)
+                .prop_map(Value::Array)
+        }),
+    ]
+}
+
+fn cmdline() -> impl Strategy<Value = CmdLine> {
+    (
+        word(),
+        prop::collection::vec((word(), value()), 0..8),
+    )
+        .prop_map(|(name, args)| {
+            let mut cmd = CmdLine::new(name);
+            // Deduplicate argument names: duplicates are representable but
+            // rejected by semantics, and equality-after-reparse still holds;
+            // keep them distinct so `get` comparisons are unambiguous.
+            let mut seen = std::collections::HashSet::new();
+            for (n, v) in args {
+                if seen.insert(n.clone()) {
+                    cmd.push_arg(n, v);
+                }
+            }
+            cmd
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Encode→parse is the identity on command lines.
+    #[test]
+    fn wire_roundtrip(cmd in cmdline()) {
+        let wire = cmd.to_wire();
+        let back = parse(&wire).expect("generated wire form must parse");
+        prop_assert_eq!(back, cmd);
+    }
+
+    /// Batched framing round-trips too.
+    #[test]
+    fn batch_roundtrip(cmds in prop::collection::vec(cmdline(), 1..5)) {
+        let wire: String = cmds.iter().map(|c| c.to_wire()).collect::<Vec<_>>().join(" ");
+        let back = parse_all(&wire).expect("batch must parse");
+        prop_assert_eq!(back, cmds);
+    }
+
+    /// The parser is total: arbitrary input never panics, it returns
+    /// Ok or Err.
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,64}") {
+        let _ = parse(&src);
+        let _ = parse_all(&src);
+    }
+
+    /// Arbitrary ASCII soup never panics either (denser in metacharacters
+    /// than general unicode).
+    #[test]
+    fn parser_never_panics_ascii(src in "[ -~]{0,64}") {
+        let _ = parse(&src);
+    }
+
+    /// Parsing is deterministic.
+    #[test]
+    fn parse_deterministic(src in "[ -~]{0,64}") {
+        prop_assert_eq!(parse(&src), parse(&src));
+    }
+
+    /// Double round-trip is stable: parse(encode(parse(encode(c)))) == parse(encode(c)).
+    #[test]
+    fn encode_is_canonical(cmd in cmdline()) {
+        let once = parse(&cmd.to_wire()).unwrap();
+        let twice = parse(&once.to_wire()).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+}

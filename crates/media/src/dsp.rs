@@ -1,0 +1,362 @@
+//! Signal processing for the ACE media services (§4.15, Fig. 15).
+//!
+//! The paper's audio pipeline — capture, mixing, echo cancellation,
+//! text-to-speech, speech-to-command — is built on these pure functions so
+//! each stage is independently property-testable.  Everything operates on
+//! 16-bit PCM at [`SAMPLE_RATE`] Hz.
+//!
+//! The speech pieces are substituted (DESIGN.md) with a *tone codec*: text
+//! is modulated as a sequence of tones from a 16-symbol alphabet and
+//! demodulated with a Goertzel filter bank — real signal-domain encode/
+//! decode, so a TTS→network→speech-to-command round trip genuinely passes
+//! through audio samples.
+
+/// Samples per second.
+pub const SAMPLE_RATE: u32 = 8000;
+/// Samples per tone symbol (10 ms).
+pub const SYMBOL_SAMPLES: usize = 80;
+
+/// Generate a sine tone.
+pub fn sine(freq: f64, amplitude: f64, len: usize, phase: f64) -> Vec<i16> {
+    let w = 2.0 * std::f64::consts::PI * freq / SAMPLE_RATE as f64;
+    (0..len)
+        .map(|n| {
+            let v = amplitude * (w * n as f64 + phase).sin();
+            (v * i16::MAX as f64) as i16
+        })
+        .collect()
+}
+
+/// Mix several equal-length signals with saturating addition (the Audio
+/// Mixer service's kernel).
+pub fn mix(signals: &[&[i16]]) -> Vec<i16> {
+    let len = signals.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut out = vec![0i16; len];
+    for signal in signals {
+        for (o, &s) in out.iter_mut().zip(signal.iter()) {
+            *o = o.saturating_add(s);
+        }
+    }
+    out
+}
+
+/// Root-mean-square level of a signal, in full-scale units `[0, 1]`.
+pub fn rms(signal: &[i16]) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = signal
+        .iter()
+        .map(|&s| {
+            let v = s as f64 / i16::MAX as f64;
+            v * v
+        })
+        .sum();
+    (sum / signal.len() as f64).sqrt()
+}
+
+/// Delay a signal by `delay` samples (zero-padded).
+pub fn delay(signal: &[i16], delay: usize) -> Vec<i16> {
+    let mut out = vec![0i16; signal.len()];
+    for (i, &s) in signal.iter().enumerate() {
+        if i + delay < out.len() {
+            out[i + delay] = s;
+        }
+    }
+    out
+}
+
+/// The Echo Cancellation service's kernel: subtract a delayed copy of the
+/// reference signal (what the room's speaker played) from the microphone
+/// signal.  "Removes redundant audio signals (with an arbitrary amount of
+/// delay) from an input audio signal."
+#[derive(Debug, Clone)]
+pub struct EchoCanceller {
+    delay_samples: usize,
+    /// Reference history, newest last.
+    history: Vec<i16>,
+    /// Absolute sample index of `history[0]` in the reference timeline
+    /// (advances when old history is trimmed).
+    history_base: usize,
+}
+
+impl EchoCanceller {
+    pub fn new(delay_samples: usize) -> EchoCanceller {
+        EchoCanceller {
+            delay_samples,
+            history: Vec::new(),
+            history_base: 0,
+        }
+    }
+
+    /// Feed the reference signal (the audio being played locally).
+    pub fn feed_reference(&mut self, reference: &[i16]) {
+        self.history.extend_from_slice(reference);
+        // Bound the history to what the delay can ever need, keeping
+        // absolute indexing valid via `history_base`.
+        let keep = self.delay_samples + 8 * SYMBOL_SAMPLES + reference.len();
+        if self.history.len() > 2 * keep {
+            let cut = self.history.len() - keep;
+            self.history.drain(..cut);
+            self.history_base += cut;
+        }
+    }
+
+    /// Cancel: subtract the reference, delayed, from the microphone input.
+    /// `mic_offset` is the absolute sample index of `mic[0]` in the
+    /// reference timeline.
+    pub fn cancel(&self, mic: &[i16], mic_offset: usize) -> Vec<i16> {
+        mic.iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let r = (mic_offset + i)
+                    .checked_sub(self.delay_samples)
+                    .and_then(|abs| abs.checked_sub(self.history_base))
+                    .and_then(|idx| self.history.get(idx))
+                    .copied()
+                    .unwrap_or(0);
+                m.saturating_sub(r)
+            })
+            .collect()
+    }
+}
+
+/// Goertzel power of `freq` in `signal` (normalized by length²).
+pub fn goertzel(signal: &[i16], freq: f64) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    let w = 2.0 * std::f64::consts::PI * freq / SAMPLE_RATE as f64;
+    let coeff = 2.0 * w.cos();
+    let mut s_prev = 0.0f64;
+    let mut s_prev2 = 0.0f64;
+    for &sample in signal {
+        let x = sample as f64 / i16::MAX as f64;
+        let s = x + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    let power = s_prev2 * s_prev2 + s_prev * s_prev - coeff * s_prev * s_prev2;
+    power / (signal.len() as f64 * signal.len() as f64 / 4.0)
+}
+
+/// The 16-tone alphabet (spaced to stay distinct under Goertzel at
+/// [`SYMBOL_SAMPLES`] resolution: 100 Hz bins at 10 ms symbols).
+const TONE_ALPHABET: [f64; 16] = [
+    600.0, 800.0, 1000.0, 1200.0, 1400.0, 1600.0, 1800.0, 2000.0, 2200.0, 2400.0, 2600.0,
+    2800.0, 3000.0, 3200.0, 3400.0, 3600.0,
+];
+
+/// Modulate bytes as tone symbols (two symbols per byte, high nibble
+/// first).  The Text-to-Speech substitution.
+pub fn encode_tones(data: &[u8]) -> Vec<i16> {
+    let mut out = Vec::with_capacity(data.len() * 2 * SYMBOL_SAMPLES);
+    for &byte in data {
+        for nibble in [byte >> 4, byte & 0x0f] {
+            out.extend(sine(
+                TONE_ALPHABET[nibble as usize],
+                0.6,
+                SYMBOL_SAMPLES,
+                0.0,
+            ));
+        }
+    }
+    out
+}
+
+/// Demodulate a tone-encoded signal back into bytes (the Speech-to-Command
+/// substitution).  Returns `None` when the signal is not a whole number of
+/// byte symbols or a symbol is ambiguous/too quiet.
+pub fn decode_tones(signal: &[i16]) -> Option<Vec<u8>> {
+    if signal.is_empty() || signal.len() % (2 * SYMBOL_SAMPLES) != 0 {
+        return None;
+    }
+    let mut nibbles = Vec::with_capacity(signal.len() / SYMBOL_SAMPLES);
+    for symbol in signal.chunks(SYMBOL_SAMPLES) {
+        let mut best = 0usize;
+        let mut best_power = 0.0f64;
+        let mut second = 0.0f64;
+        for (i, &freq) in TONE_ALPHABET.iter().enumerate() {
+            let p = goertzel(symbol, freq);
+            if p > best_power {
+                second = best_power;
+                best_power = p;
+                best = i;
+            } else if p > second {
+                second = p;
+            }
+        }
+        // Require a clear winner and real energy.
+        if best_power < 0.01 || second > best_power * 0.5 {
+            return None;
+        }
+        nibbles.push(best as u8);
+    }
+    Some(
+        nibbles
+            .chunks(2)
+            .map(|pair| (pair[0] << 4) | pair[1])
+            .collect(),
+    )
+}
+
+/// Serialize PCM samples to little-endian bytes (wire form of audio
+/// frames).
+pub fn samples_to_bytes(samples: &[i16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(samples.len() * 2);
+    for &s in samples {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+/// Deserialize little-endian bytes to PCM samples.
+pub fn bytes_to_samples(bytes: &[u8]) -> Option<Vec<i16>> {
+    if bytes.len() % 2 != 0 {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sine_has_expected_level() {
+        let s = sine(1000.0, 0.5, 8000, 0.0);
+        let level = rms(&s);
+        // RMS of a 0.5-amplitude sine is 0.5/√2 ≈ 0.354.
+        assert!((level - 0.3535).abs() < 0.01, "rms {level}");
+    }
+
+    #[test]
+    fn mix_sums_and_saturates() {
+        let a = vec![1000i16; 10];
+        let b = vec![2000i16; 10];
+        assert_eq!(mix(&[&a, &b]), vec![3000i16; 10]);
+        let loud = vec![i16::MAX; 4];
+        assert_eq!(mix(&[&loud, &loud]), vec![i16::MAX; 4]);
+    }
+
+    #[test]
+    fn mix_handles_unequal_lengths() {
+        let a = vec![10i16; 4];
+        let b = vec![1i16; 2];
+        assert_eq!(mix(&[&a, &b]), vec![11, 11, 10, 10]);
+    }
+
+    #[test]
+    fn echo_cancellation_removes_delayed_reference() {
+        let voice = sine(700.0, 0.3, 800, 0.0);
+        let far_end = sine(1900.0, 0.4, 800, 1.0);
+        let d = 37;
+
+        let mut canceller = EchoCanceller::new(d);
+        canceller.feed_reference(&far_end);
+
+        // Microphone hears the local voice plus the speaker's delayed
+        // far-end audio.
+        let echoed = delay(&far_end, d);
+        let mic = mix(&[&voice, &echoed]);
+
+        let cleaned = canceller.cancel(&mic, 0);
+        // Residual relative to the pure voice is tiny (exact integer
+        // subtraction up to saturation effects).
+        let residual: Vec<i16> = cleaned
+            .iter()
+            .zip(voice.iter())
+            .map(|(&c, &v)| c.saturating_sub(v))
+            .collect();
+        assert!(rms(&residual) < 0.01, "residual rms {}", rms(&residual));
+        // Sanity: without cancellation the mic is much dirtier.
+        let dirty: Vec<i16> = mic
+            .iter()
+            .zip(voice.iter())
+            .map(|(&m, &v)| m.saturating_sub(v))
+            .collect();
+        assert!(rms(&dirty) > 0.2);
+    }
+
+    #[test]
+    fn echo_cancellation_survives_history_trimming() {
+        // A long stream forces the canceller to trim its reference history;
+        // absolute indexing must stay correct (regression test).
+        const FRAME: usize = 160;
+        const FRAMES: usize = 40; // 6400 samples: well past the trim point
+        let voice = sine(700.0, 0.3, FRAME * FRAMES, 0.0);
+        let far_end = sine(1900.0, 0.4, FRAME * FRAMES, 1.0);
+        let d = 40;
+        let echoed = delay(&far_end, d);
+        let mic = mix(&[&voice, &echoed]);
+
+        let mut canceller = EchoCanceller::new(d);
+        let mut cleaned = Vec::new();
+        for f in 0..FRAMES {
+            let range = f * FRAME..(f + 1) * FRAME;
+            canceller.feed_reference(&far_end[range.clone()]);
+            cleaned.extend(canceller.cancel(&mic[range.clone()], range.start));
+        }
+        let residual: Vec<i16> = cleaned
+            .iter()
+            .zip(voice.iter())
+            .map(|(&c, &v)| c.saturating_sub(v))
+            .collect();
+        assert!(rms(&residual) < 1e-6, "residual rms {}", rms(&residual));
+    }
+
+    #[test]
+    fn goertzel_detects_its_tone() {
+        let s = sine(1000.0, 0.6, SYMBOL_SAMPLES, 0.0);
+        assert!(goertzel(&s, 1000.0) > 10.0 * goertzel(&s, 2200.0));
+    }
+
+    #[test]
+    fn tone_codec_roundtrip() {
+        for data in [&b"ptzMove x=1;"[..], b"", b"hello world", &[0u8, 255, 16, 32]] {
+            if data.is_empty() {
+                assert_eq!(decode_tones(&encode_tones(data)), None); // empty signal
+                continue;
+            }
+            let signal = encode_tones(data);
+            assert_eq!(decode_tones(&signal).as_deref(), Some(data));
+        }
+    }
+
+    #[test]
+    fn tone_decode_rejects_noise_and_partial_symbols() {
+        // Wrong length.
+        assert_eq!(decode_tones(&vec![0i16; SYMBOL_SAMPLES]), None);
+        // Silence: no energy.
+        assert_eq!(decode_tones(&vec![0i16; 2 * SYMBOL_SAMPLES]), None);
+    }
+
+    #[test]
+    fn tone_codec_survives_mild_noise() {
+        let data = b"turn on the projector";
+        let mut signal = encode_tones(data);
+        // Add small deterministic "noise".
+        for (i, s) in signal.iter_mut().enumerate() {
+            *s = s.saturating_add(((i * 2654435761) % 400) as i16 - 200);
+        }
+        assert_eq!(decode_tones(&signal).as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn sample_bytes_roundtrip() {
+        let s = sine(440.0, 0.9, 123, 0.5);
+        assert_eq!(bytes_to_samples(&samples_to_bytes(&s)).unwrap(), s);
+        assert_eq!(bytes_to_samples(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn delay_shifts() {
+        assert_eq!(delay(&[1, 2, 3, 4], 2), vec![0, 0, 1, 2]);
+        assert_eq!(delay(&[1, 2], 5), vec![0, 0]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # ace-media — data conversion, distribution, and the audio graph
+//!
+//! The §4.12–§4.15 services:
+//!
+//! * [`Converter`] — format conversion on a stream's way downstream
+//!   (Fig. 13), with real toy codecs: RLE "video" and G.711 µ-law audio;
+//! * [`Distribution`] — one-to-many stream fan-out (Fig. 14);
+//! * the Fig. 15 audio-conferencing nodes: [`AudioCapture`], [`AudioMixer`],
+//!   [`EchoCancel`], [`AudioSink`] (play/record), [`TextToSpeech`], and
+//!   [`SpeechToCommand`] — all built on the pure DSP kernels in [`dsp`]
+//!   (sine synthesis, saturating mixing, delayed-reference echo
+//!   cancellation, Goertzel tone demodulation).
+//!
+//! Frames travel between daemons as `push stream=… seq=… data=<hex>`
+//! commands ([`stream`]), so composing a pipeline is just `addSink` wiring —
+//! Fig. 4's building blocks.
+
+pub mod capture;
+pub mod codec;
+pub mod dsp;
+pub mod services;
+pub mod stream;
+pub mod voice;
+
+pub use capture::VideoCapture;
+pub use codec::{convert, CodecError, Format};
+pub use services::{
+    AudioCapture, AudioMixer, AudioSink, Converter, Distribution, EchoCancel, SpeechToCommand,
+    TextToSpeech,
+};
+pub use stream::{Downstream, Frame};
+pub use voice::{wire_voice_control, VoiceControl};

@@ -1,0 +1,579 @@
+//! The media service daemons: Converter (§4.12), Distribution (§4.13), and
+//! the Fig. 15 audio-conferencing nodes (§4.15).
+
+use crate::codec::{convert, Format};
+use crate::dsp::{
+    bytes_to_samples, decode_tones, encode_tones, mix, rms, samples_to_bytes, sine,
+    EchoCanceller,
+};
+use crate::stream::{push_spec, sink_specs, Downstream, Frame};
+use ace_core::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+fn with_sink_specs(mut sem: Semantics) -> Semantics {
+    for spec in sink_specs() {
+        sem.define(spec);
+    }
+    sem
+}
+
+// ---------------------------------------------------------------------------
+// Converter (Fig. 13)
+// ---------------------------------------------------------------------------
+
+/// The ACE Converter service: re-encodes frames between formats on their way
+/// downstream.
+pub struct Converter {
+    from: Format,
+    to: Format,
+    downstream: Downstream,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+impl Converter {
+    pub fn new(from: Format, to: Format) -> Converter {
+        Converter {
+            from,
+            to,
+            downstream: Downstream::new(),
+            bytes_in: 0,
+            bytes_out: 0,
+        }
+    }
+}
+
+impl ServiceBehavior for Converter {
+    fn semantics(&self) -> Semantics {
+        with_sink_specs(
+            Semantics::new()
+                .with(push_spec())
+                .with(
+                    CmdSpec::new("convertConfig", "set the conversion direction")
+                        .required("from", ArgType::Word, "source format")
+                        .required("to", ArgType::Word, "target format"),
+                )
+                .with(CmdSpec::new("convertStats", "bytes in/out so far")),
+        )
+    }
+
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        if let Some(reply) = self.downstream.handle(cmd) {
+            return reply;
+        }
+        match cmd.name() {
+            "convertConfig" => {
+                let Some(from) = Format::from_word(cmd.get_text("from").expect("validated"))
+                else {
+                    return Reply::err(ErrorCode::Semantics, "unknown source format");
+                };
+                let Some(to) = Format::from_word(cmd.get_text("to").expect("validated")) else {
+                    return Reply::err(ErrorCode::Semantics, "unknown target format");
+                };
+                self.from = from;
+                self.to = to;
+                Reply::ok()
+            }
+            "push" => {
+                let frame = match Frame::from_cmd(cmd) {
+                    Ok(f) => f,
+                    Err(reply) => return reply,
+                };
+                self.bytes_in += frame.data.len() as u64;
+                let converted = match convert(self.from, self.to, &frame.data) {
+                    Ok(c) => c,
+                    Err(e) => return Reply::err(ErrorCode::BadState, e.to_string()),
+                };
+                self.bytes_out += converted.len() as u64;
+                let out = Frame {
+                    stream: frame.stream,
+                    seq: frame.seq,
+                    data: converted,
+                };
+                let delivered = self.downstream.forward(ctx, &out);
+                Reply::ok_with(|c| {
+                    c.arg("bytes", out.data.len() as i64)
+                        .arg("delivered", delivered as i64)
+                })
+            }
+            "convertStats" => Reply::ok_with(|c| {
+                c.arg("bytesIn", self.bytes_in as i64)
+                    .arg("bytesOut", self.bytes_out as i64)
+                    .arg("from", self.from.as_word())
+                    .arg("to", self.to.as_word())
+            }),
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distribution (Fig. 14)
+// ---------------------------------------------------------------------------
+
+/// The ACE Distribution service: forwards one input stream to a set of
+/// receiving services.
+#[derive(Default)]
+pub struct Distribution {
+    downstream: Downstream,
+    frames: u64,
+    deliveries: u64,
+}
+
+impl Distribution {
+    pub fn new() -> Distribution {
+        Distribution::default()
+    }
+}
+
+impl ServiceBehavior for Distribution {
+    fn semantics(&self) -> Semantics {
+        with_sink_specs(
+            Semantics::new()
+                .with(push_spec())
+                .with(CmdSpec::new("distStats", "frames and deliveries so far")),
+        )
+    }
+
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        if let Some(reply) = self.downstream.handle(cmd) {
+            return reply;
+        }
+        match cmd.name() {
+            "push" => {
+                let frame = match Frame::from_cmd(cmd) {
+                    Ok(f) => f,
+                    Err(reply) => return reply,
+                };
+                self.frames += 1;
+                let delivered = self.downstream.forward(ctx, &frame);
+                self.deliveries += delivered as u64;
+                Reply::ok_with(|c| c.arg("delivered", delivered as i64))
+            }
+            "distStats" => Reply::ok_with(|c| {
+                c.arg("frames", self.frames as i64)
+                    .arg("deliveries", self.deliveries as i64)
+                    .arg("sinks", self.downstream.sinks().len() as i64)
+            }),
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Audio nodes (Fig. 15)
+// ---------------------------------------------------------------------------
+
+/// Audio Capture: "captures an audio signal from a microphone and digitizes
+/// it".  The microphone is a configurable sine source; `generate` produces
+/// the next frame and pushes it downstream.
+pub struct AudioCapture {
+    freq: f64,
+    amplitude: f64,
+    phase_samples: u64,
+    seq: i64,
+    downstream: Downstream,
+}
+
+impl AudioCapture {
+    pub fn new(freq: f64, amplitude: f64) -> AudioCapture {
+        AudioCapture {
+            freq,
+            amplitude,
+            phase_samples: 0,
+            seq: 0,
+            downstream: Downstream::new(),
+        }
+    }
+}
+
+impl ServiceBehavior for AudioCapture {
+    fn semantics(&self) -> Semantics {
+        with_sink_specs(
+            Semantics::new()
+                .with(
+                    CmdSpec::new("generate", "capture the next audio frame")
+                        .required("len", ArgType::Int, "samples in the frame")
+                        .optional("stream", ArgType::Word, "stream name (default mic)"),
+                )
+                .with(
+                    CmdSpec::new("captureConfig", "set the simulated source")
+                        .required("freq", ArgType::Float, "tone frequency")
+                        .required("amp", ArgType::Float, "amplitude 0..1"),
+                ),
+        )
+    }
+
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        if let Some(reply) = self.downstream.handle(cmd) {
+            return reply;
+        }
+        match cmd.name() {
+            "captureConfig" => {
+                self.freq = cmd.get_f64("freq").expect("validated");
+                self.amplitude = cmd.get_f64("amp").expect("validated").clamp(0.0, 1.0);
+                Reply::ok()
+            }
+            "generate" => {
+                let len = cmd.get_int("len").expect("validated").max(0) as usize;
+                let stream = cmd.get_text("stream").unwrap_or("mic").to_string();
+                // Keep phase continuous across frames.
+                let w = 2.0 * std::f64::consts::PI * self.freq / crate::dsp::SAMPLE_RATE as f64;
+                let samples = sine(self.freq, self.amplitude, len, w * self.phase_samples as f64);
+                self.phase_samples += len as u64;
+                let frame = Frame {
+                    stream,
+                    seq: self.seq,
+                    data: samples_to_bytes(&samples),
+                };
+                self.seq += 1;
+                let delivered = self.downstream.forward(ctx, &frame);
+                Reply::ok_with(|c| c.arg("seq", frame.seq).arg("delivered", delivered as i64))
+            }
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}
+
+/// Audio Mixer: "combines multiple audio signals into one audio
+/// signal/stream".  It waits until every registered input has delivered the
+/// frame for a sequence number, then mixes and forwards.
+pub struct AudioMixer {
+    inputs: Vec<String>,
+    pending: BTreeMap<i64, HashMap<String, Vec<i16>>>,
+    out_stream: String,
+    downstream: Downstream,
+    mixed: u64,
+}
+
+impl AudioMixer {
+    pub fn new(out_stream: &str) -> AudioMixer {
+        AudioMixer {
+            inputs: Vec::new(),
+            pending: BTreeMap::new(),
+            out_stream: out_stream.to_string(),
+            downstream: Downstream::new(),
+            mixed: 0,
+        }
+    }
+}
+
+impl ServiceBehavior for AudioMixer {
+    fn semantics(&self) -> Semantics {
+        with_sink_specs(
+            Semantics::new()
+                .with(push_spec())
+                .with(
+                    CmdSpec::new("addInput", "declare an input stream to mix")
+                        .required("stream", ArgType::Word, "input stream name"),
+                )
+                .with(CmdSpec::new("mixerStats", "mixer counters")),
+        )
+    }
+
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        if let Some(reply) = self.downstream.handle(cmd) {
+            return reply;
+        }
+        match cmd.name() {
+            "addInput" => {
+                let stream = cmd.get_text("stream").expect("validated").to_string();
+                if !self.inputs.contains(&stream) {
+                    self.inputs.push(stream);
+                }
+                Reply::ok()
+            }
+            "push" => {
+                let frame = match Frame::from_cmd(cmd) {
+                    Ok(f) => f,
+                    Err(reply) => return reply,
+                };
+                if !self.inputs.contains(&frame.stream) {
+                    return Reply::err(
+                        ErrorCode::BadState,
+                        format!("stream {} is not a registered input", frame.stream),
+                    );
+                }
+                let Some(samples) = bytes_to_samples(&frame.data) else {
+                    return Reply::err(ErrorCode::Semantics, "odd-length PCM frame");
+                };
+                let slot = self.pending.entry(frame.seq).or_default();
+                slot.insert(frame.stream, samples);
+                let mut forwarded = 0;
+                if slot.len() == self.inputs.len() {
+                    let parts = self.pending.remove(&frame.seq).expect("present");
+                    let refs: Vec<&[i16]> = parts.values().map(Vec::as_slice).collect();
+                    let mixed = mix(&refs);
+                    self.mixed += 1;
+                    let out = Frame {
+                        stream: self.out_stream.clone(),
+                        seq: frame.seq,
+                        data: samples_to_bytes(&mixed),
+                    };
+                    forwarded = self.downstream.forward(ctx, &out);
+                    // Drop stale partial frames older than what we emitted.
+                    let stale: Vec<i64> = self
+                        .pending
+                        .range(..frame.seq)
+                        .map(|(&s, _)| s)
+                        .collect();
+                    for s in stale {
+                        self.pending.remove(&s);
+                    }
+                }
+                Reply::ok_with(|c| c.arg("delivered", forwarded as i64))
+            }
+            "mixerStats" => Reply::ok_with(|c| {
+                c.arg("inputs", self.inputs.len() as i64)
+                    .arg("mixed", self.mixed as i64)
+                    .arg("pending", self.pending.len() as i64)
+            }),
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}
+
+/// Echo Cancellation: subtracts the delayed reference (fed with `pushRef`)
+/// from the microphone stream (fed with `push`), forwarding the cleaned
+/// signal.
+pub struct EchoCancel {
+    canceller: EchoCanceller,
+    mic_samples_seen: usize,
+    downstream: Downstream,
+}
+
+impl EchoCancel {
+    /// `delay_samples` models the acoustic path speaker→microphone.
+    pub fn new(delay_samples: usize) -> EchoCancel {
+        EchoCancel {
+            canceller: EchoCanceller::new(delay_samples),
+            mic_samples_seen: 0,
+            downstream: Downstream::new(),
+        }
+    }
+}
+
+impl ServiceBehavior for EchoCancel {
+    fn semantics(&self) -> Semantics {
+        with_sink_specs(
+            Semantics::new().with(push_spec()).with(
+                CmdSpec::new("pushRef", "deliver a reference (speaker) frame")
+                    .required("stream", ArgType::Word, "reference stream name")
+                    .required("seq", ArgType::Int, "frame sequence number")
+                    .required("data", ArgType::Word, "hex frame payload"),
+            ),
+        )
+    }
+
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        if let Some(reply) = self.downstream.handle(cmd) {
+            return reply;
+        }
+        match cmd.name() {
+            "pushRef" => {
+                let frame = match Frame::from_cmd(cmd) {
+                    Ok(f) => f,
+                    Err(reply) => return reply,
+                };
+                let Some(samples) = bytes_to_samples(&frame.data) else {
+                    return Reply::err(ErrorCode::Semantics, "odd-length PCM frame");
+                };
+                self.canceller.feed_reference(&samples);
+                Reply::ok()
+            }
+            "push" => {
+                let frame = match Frame::from_cmd(cmd) {
+                    Ok(f) => f,
+                    Err(reply) => return reply,
+                };
+                let Some(mic) = bytes_to_samples(&frame.data) else {
+                    return Reply::err(ErrorCode::Semantics, "odd-length PCM frame");
+                };
+                let cleaned = self.canceller.cancel(&mic, self.mic_samples_seen);
+                self.mic_samples_seen += mic.len();
+                let out = Frame {
+                    stream: frame.stream,
+                    seq: frame.seq,
+                    data: samples_to_bytes(&cleaned),
+                };
+                let delivered = self.downstream.forward(ctx, &out);
+                Reply::ok_with(|c| c.arg("delivered", delivered as i64))
+            }
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}
+
+/// Audio sink shared by Audio Play (speaker) and Audio Recorder ("records
+/// on hard media a given input audio stream"): accumulates received frames
+/// and reports level/length/decodes.
+#[derive(Default)]
+pub struct AudioSink {
+    samples: Vec<i16>,
+    frames: u64,
+}
+
+impl AudioSink {
+    pub fn new() -> AudioSink {
+        AudioSink::default()
+    }
+}
+
+impl ServiceBehavior for AudioSink {
+    fn semantics(&self) -> Semantics {
+        Semantics::new()
+            .with(push_spec())
+            .with(CmdSpec::new("sinkStats", "received length and RMS level"))
+            .with(
+                CmdSpec::new("sinkPower", "Goertzel power of a frequency in the sink")
+                    .required("freq", ArgType::Float, "frequency in Hz"),
+            )
+            .with(CmdSpec::new(
+                "sinkDecode",
+                "attempt tone-demodulation of the whole recording",
+            ))
+    }
+
+    fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        match cmd.name() {
+            "push" => {
+                let frame = match Frame::from_cmd(cmd) {
+                    Ok(f) => f,
+                    Err(reply) => return reply,
+                };
+                let Some(samples) = bytes_to_samples(&frame.data) else {
+                    return Reply::err(ErrorCode::Semantics, "odd-length PCM frame");
+                };
+                self.samples.extend_from_slice(&samples);
+                self.frames += 1;
+                Reply::ok()
+            }
+            "sinkStats" => Reply::ok_with(|c| {
+                c.arg("samples", self.samples.len() as i64)
+                    .arg("frames", self.frames as i64)
+                    .arg("rms", rms(&self.samples))
+            }),
+            "sinkPower" => {
+                let freq = cmd.get_f64("freq").expect("validated");
+                Reply::ok_with(|c| c.arg("power", crate::dsp::goertzel(&self.samples, freq)))
+            }
+            "sinkDecode" => match decode_tones(&self.samples) {
+                Some(bytes) => match String::from_utf8(bytes) {
+                    Ok(text) => Reply::ok_with(|c| {
+                        c.arg("decoded", true).arg("text", Value::Str(text))
+                    }),
+                    Err(_) => Reply::ok_with(|c| c.arg("decoded", false)),
+                },
+                None => Reply::ok_with(|c| c.arg("decoded", false)),
+            },
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}
+
+/// Text-to-Speech: "converts text messages into an audible voice signal" —
+/// tone-modulates the text and pushes it downstream as one frame.
+#[derive(Default)]
+pub struct TextToSpeech {
+    seq: i64,
+    downstream: Downstream,
+}
+
+impl TextToSpeech {
+    pub fn new() -> TextToSpeech {
+        TextToSpeech::default()
+    }
+}
+
+impl ServiceBehavior for TextToSpeech {
+    fn semantics(&self) -> Semantics {
+        with_sink_specs(Semantics::new().with(
+            CmdSpec::new("say", "synthesize text into the output stream")
+                .required("text", ArgType::Str, "the text to speak")
+                .optional("stream", ArgType::Word, "stream name (default tts)"),
+        ))
+    }
+
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        if let Some(reply) = self.downstream.handle(cmd) {
+            return reply;
+        }
+        match cmd.name() {
+            "say" => {
+                let text = cmd.get_text("text").expect("validated");
+                let signal = encode_tones(text.as_bytes());
+                let frame = Frame {
+                    stream: cmd.get_text("stream").unwrap_or("tts").to_string(),
+                    seq: self.seq,
+                    data: samples_to_bytes(&signal),
+                };
+                self.seq += 1;
+                let delivered = self.downstream.forward(ctx, &frame);
+                Reply::ok_with(|c| {
+                    c.arg("samples", (signal.len()) as i64)
+                        .arg("delivered", delivered as i64)
+                })
+            }
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}
+
+/// Speech-to-Command: "analyses an input audio signal for specific voice
+/// commands and converts them, if any, to a specific and well-known ACE
+/// service command message."  Each received frame is demodulated; frames
+/// that decode to a parseable ACE command fire the `voiceCommand` event.
+#[derive(Default)]
+pub struct SpeechToCommand {
+    recognized: u64,
+    rejected: u64,
+}
+
+impl SpeechToCommand {
+    pub fn new() -> SpeechToCommand {
+        SpeechToCommand::default()
+    }
+}
+
+impl ServiceBehavior for SpeechToCommand {
+    fn semantics(&self) -> Semantics {
+        Semantics::new()
+            .with(push_spec())
+            .with(CmdSpec::new("stcStats", "recognition counters"))
+    }
+
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        match cmd.name() {
+            "push" => {
+                let frame = match Frame::from_cmd(cmd) {
+                    Ok(f) => f,
+                    Err(reply) => return reply,
+                };
+                let decoded = bytes_to_samples(&frame.data)
+                    .as_deref()
+                    .and_then(decode_tones)
+                    .and_then(|bytes| String::from_utf8(bytes).ok())
+                    .filter(|text| ace_lang::parse(text).is_ok());
+                match decoded {
+                    Some(text) => {
+                        self.recognized += 1;
+                        ctx.log("info", format!("voice command: {text}"));
+                        ctx.fire_event(
+                            CmdLine::new("voiceCommand").arg("text", Value::Str(text)),
+                        );
+                        Reply::ok_with(|c| c.arg("recognized", true))
+                    }
+                    None => {
+                        self.rejected += 1;
+                        Reply::ok_with(|c| c.arg("recognized", false))
+                    }
+                }
+            }
+            "stcStats" => Reply::ok_with(|c| {
+                c.arg("recognized", self.recognized as i64)
+                    .arg("rejected", self.rejected as i64)
+            }),
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}

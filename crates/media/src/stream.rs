@@ -1,0 +1,154 @@
+//! The push-stream convention shared by all media services.
+//!
+//! Media data moves between daemons as `push stream=<name> seq=<n>
+//! data=<hex>` commands; every processing service forwards its output to a
+//! set of downstream sinks registered with `addSink`.  Chaining pushes is
+//! exactly Fig. 4's composition — "daemons come together like building
+//! blocks … to provide more complex functionalities".
+
+use ace_core::prelude::*;
+use ace_core::protocol::{hex_decode, hex_encode};
+
+/// Semantics for services that accept pushed frames.
+pub fn push_spec() -> CmdSpec {
+    CmdSpec::new("push", "deliver one media frame")
+        .required("stream", ArgType::Word, "stream name")
+        .required("seq", ArgType::Int, "frame sequence number")
+        .required("data", ArgType::Word, "hex frame payload")
+}
+
+/// Semantics for services with configurable downstream sinks.
+pub fn sink_specs() -> Vec<CmdSpec> {
+    vec![
+        CmdSpec::new("addSink", "forward output frames to another service")
+            .required("host", ArgType::Word, "sink host")
+            .required("port", ArgType::Int, "sink port"),
+        CmdSpec::new("removeSink", "stop forwarding to a sink")
+            .required("host", ArgType::Word, "sink host")
+            .required("port", ArgType::Int, "sink port"),
+    ]
+}
+
+/// A decoded pushed frame.
+pub struct Frame {
+    pub stream: String,
+    pub seq: i64,
+    pub data: Vec<u8>,
+}
+
+impl Frame {
+    /// Decode a validated `push` command.
+    pub fn from_cmd(cmd: &CmdLine) -> Result<Frame, Reply> {
+        let data = hex_decode(cmd.get_text("data").expect("validated"))
+            .ok_or_else(|| Reply::err(ErrorCode::Semantics, "data is not valid hex"))?;
+        Ok(Frame {
+            stream: cmd.get_text("stream").expect("validated").to_string(),
+            seq: cmd.get_int("seq").expect("validated"),
+            data,
+        })
+    }
+
+    /// Build the `push` command for this frame.
+    pub fn to_cmd(&self) -> CmdLine {
+        CmdLine::new("push")
+            .arg("stream", self.stream.as_str())
+            .arg("seq", self.seq)
+            .arg("data", hex_encode(&self.data))
+    }
+}
+
+/// Downstream sink set with forwarding.
+#[derive(Debug, Default)]
+pub struct Downstream {
+    sinks: Vec<Addr>,
+}
+
+impl Downstream {
+    pub fn new() -> Downstream {
+        Downstream::default()
+    }
+
+    /// Handle `addSink`/`removeSink`; `None` if the command is neither.
+    pub fn handle(&mut self, cmd: &CmdLine) -> Option<Reply> {
+        match cmd.name() {
+            "addSink" => {
+                let addr = Addr::new(
+                    cmd.get_text("host").expect("validated"),
+                    cmd.get_int("port").expect("validated") as u16,
+                );
+                if !self.sinks.contains(&addr) {
+                    self.sinks.push(addr);
+                }
+                Some(Reply::ok())
+            }
+            "removeSink" => {
+                let addr = Addr::new(
+                    cmd.get_text("host").expect("validated"),
+                    cmd.get_int("port").expect("validated") as u16,
+                );
+                let before = self.sinks.len();
+                self.sinks.retain(|a| a != &addr);
+                Some(if self.sinks.len() != before {
+                    Reply::ok()
+                } else {
+                    Reply::err(ErrorCode::NotFound, "no such sink")
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The registered sinks.
+    pub fn sinks(&self) -> &[Addr] {
+        &self.sinks
+    }
+
+    /// Forward one frame to every sink.  Returns how many deliveries
+    /// succeeded; dead sinks are skipped (and logged), not fatal —
+    /// Fig. 14's distribution keeps serving the healthy receivers.
+    pub fn forward(&self, ctx: &mut ServiceCtx, frame: &Frame) -> usize {
+        let cmd = frame.to_cmd();
+        let mut delivered = 0;
+        for sink in &self.sinks {
+            match ctx.call(sink, &cmd) {
+                Ok(_) => delivered += 1,
+                Err(e) => ctx.log("warn", format!("sink {sink} failed: {e}")),
+            }
+        }
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_cmd_roundtrip() {
+        let f = Frame {
+            stream: "mic1".into(),
+            seq: 42,
+            data: vec![1, 2, 3, 255],
+        };
+        let cmd = f.to_cmd();
+        // Via the wire.
+        let parsed = CmdLine::parse(&cmd.to_wire()).unwrap();
+        let back = Frame::from_cmd(&parsed).unwrap();
+        assert_eq!(back.stream, "mic1");
+        assert_eq!(back.seq, 42);
+        assert_eq!(back.data, vec![1, 2, 3, 255]);
+    }
+
+    #[test]
+    fn downstream_add_remove() {
+        let mut d = Downstream::new();
+        let add = CmdLine::parse("addSink host=bar port=7;").unwrap();
+        assert!(d.handle(&add).unwrap().is_ok());
+        assert!(d.handle(&add).unwrap().is_ok()); // idempotent
+        assert_eq!(d.sinks().len(), 1);
+        let rm = CmdLine::parse("removeSink host=bar port=7;").unwrap();
+        assert!(d.handle(&rm).unwrap().is_ok());
+        assert!(!d.handle(&rm).unwrap().is_ok());
+        assert!(d.handle(&CmdLine::new("other")).is_none());
+    }
+}

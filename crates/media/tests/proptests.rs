@@ -1,0 +1,124 @@
+//! Property tests on the media kernels: codec round-trips, mixing algebra,
+//! tone-codec totality, and echo-cancellation exactness.
+
+use ace_media::codec::{convert, rle_decode, rle_encode, ulaw_decode_sample, ulaw_encode_sample, Format};
+use ace_media::dsp::{
+    bytes_to_samples, decode_tones, delay, encode_tones, mix, rms, samples_to_bytes,
+    EchoCanceller,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// RLE decode(encode(x)) == x for arbitrary bytes.
+    #[test]
+    fn rle_roundtrip(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        prop_assert_eq!(rle_decode(&rle_encode(&data)).unwrap(), data);
+    }
+
+    /// RLE never inflates by more than 2× and decoding is total on its own
+    /// output.
+    #[test]
+    fn rle_bounded_expansion(data in prop::collection::vec(any::<u8>(), 1..2048)) {
+        let encoded = rle_encode(&data);
+        prop_assert!(encoded.len() <= data.len() * 2);
+    }
+
+    /// RLE decode never panics on arbitrary (possibly invalid) input.
+    #[test]
+    fn rle_decode_total(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = rle_decode(&data);
+    }
+
+    /// µ-law round-trip error is bounded for every sample value.
+    #[test]
+    fn ulaw_error_bounded(sample in any::<i16>()) {
+        let decoded = ulaw_decode_sample(ulaw_encode_sample(sample));
+        let err = (decoded as i32 - sample as i32).abs();
+        let bound = (sample as i32).abs() / 16 + 140;
+        prop_assert!(err <= bound, "sample {sample}: decoded {decoded}");
+    }
+
+    /// µ-law is monotone: larger samples never decode below smaller ones.
+    #[test]
+    fn ulaw_monotone(a in any::<i16>(), b in any::<i16>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let dlo = ulaw_decode_sample(ulaw_encode_sample(lo));
+        let dhi = ulaw_decode_sample(ulaw_encode_sample(hi));
+        prop_assert!(dlo <= dhi, "{lo}->{dlo} vs {hi}->{dhi}");
+    }
+
+    /// Format conversion is total on arbitrary bytes (errors, not panics).
+    #[test]
+    fn convert_total(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        from in 0usize..4,
+        to in 0usize..4,
+    ) {
+        let formats = [Format::Raw, Format::Rle, Format::Pcm16, Format::Ulaw];
+        let _ = convert(formats[from], formats[to], &data);
+    }
+
+    /// Mixing is commutative.
+    #[test]
+    fn mix_commutative(
+        a in prop::collection::vec(any::<i16>(), 0..256),
+        b in prop::collection::vec(any::<i16>(), 0..256),
+    ) {
+        prop_assert_eq!(mix(&[&a, &b]), mix(&[&b, &a]));
+    }
+
+    /// Mixing with silence is the identity (over the common length).
+    #[test]
+    fn mix_identity(a in prop::collection::vec(any::<i16>(), 0..256)) {
+        let silence = vec![0i16; a.len()];
+        prop_assert_eq!(mix(&[&a, &silence]), a);
+    }
+
+    /// Sample serialization round-trips.
+    #[test]
+    fn samples_bytes_roundtrip(s in prop::collection::vec(any::<i16>(), 0..512)) {
+        prop_assert_eq!(bytes_to_samples(&samples_to_bytes(&s)).unwrap(), s);
+    }
+
+    /// Tone codec round-trips arbitrary bytes.
+    #[test]
+    fn tone_codec_roundtrip(data in prop::collection::vec(any::<u8>(), 1..48)) {
+        let signal = encode_tones(&data);
+        let decoded = decode_tones(&signal);
+        prop_assert_eq!(decoded.as_deref(), Some(&data[..]));
+    }
+
+    /// Tone decoding never panics on arbitrary sample soup.
+    #[test]
+    fn tone_decode_total(signal in prop::collection::vec(any::<i16>(), 0..1000)) {
+        let _ = decode_tones(&signal);
+    }
+
+    /// Echo cancellation exactly removes any delayed reference whose sum
+    /// with the voice does not saturate.
+    #[test]
+    fn echo_cancellation_exact(
+        voice in prop::collection::vec(-8000i16..8000, 64..512),
+        reference in prop::collection::vec(-8000i16..8000, 64..512),
+        d in 0usize..64,
+    ) {
+        let len = voice.len().min(reference.len());
+        let voice = &voice[..len];
+        let reference = &reference[..len];
+        let echoed = delay(reference, d);
+        let mic = mix(&[voice, &echoed]);
+
+        let mut ec = EchoCanceller::new(d);
+        ec.feed_reference(reference);
+        let cleaned = ec.cancel(&mic, 0);
+
+        let residual: Vec<i16> = cleaned
+            .iter()
+            .zip(voice.iter())
+            .map(|(&c, &v)| c.saturating_sub(v))
+            .collect();
+        prop_assert!(rms(&residual) < 1e-9, "residual {}", rms(&residual));
+    }
+}

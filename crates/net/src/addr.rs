@@ -1,0 +1,113 @@
+//! Addressing in the simulated ACE network.
+//!
+//! ACE services are located by `(host, port)` pairs — "the machine and port
+//! address of that service" returned by ASD lookups (Fig. 7).  Hosts are
+//! named machines ("bar", "tube", "rod" in Fig. 19) rather than IP numbers;
+//! the simulated network resolves them directly.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A host name in the environment.  Cheap to clone (shared string).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(Arc<str>);
+
+impl HostId {
+    pub fn new(name: impl AsRef<str>) -> Self {
+        HostId(Arc::from(name.as_ref()))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for HostId {
+    fn from(s: &str) -> Self {
+        HostId::new(s)
+    }
+}
+
+impl From<String> for HostId {
+    fn from(s: String) -> Self {
+        HostId::new(s)
+    }
+}
+
+impl From<&String> for HostId {
+    fn from(s: &String) -> Self {
+        HostId::new(s)
+    }
+}
+
+impl From<&HostId> for HostId {
+    fn from(h: &HostId) -> Self {
+        h.clone()
+    }
+}
+
+/// A service endpoint: host plus port.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr {
+    pub host: HostId,
+    pub port: u16,
+}
+
+impl Addr {
+    pub fn new(host: impl Into<HostId>, port: u16) -> Self {
+        Addr {
+            host: host.into(),
+            port,
+        }
+    }
+
+    /// Parse the `host:port` wire form used in ACE commands.
+    pub fn parse(s: &str) -> Option<Addr> {
+        let (host, port) = s.rsplit_once(':')?;
+        if host.is_empty() {
+            return None;
+        }
+        let port = port.parse().ok()?;
+        Some(Addr::new(host, port))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let a = Addr::new("machine25", 1225);
+        assert_eq!(a.to_string(), "machine25:1225");
+        assert_eq!(Addr::parse("machine25:1225"), Some(a));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Addr::parse("nocolon"), None);
+        assert_eq!(Addr::parse(":123"), None);
+        assert_eq!(Addr::parse("host:notaport"), None);
+        assert_eq!(Addr::parse("host:99999"), None);
+    }
+
+    #[test]
+    fn host_id_is_cheaply_cloneable_and_comparable() {
+        let a = HostId::new("bar");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "bar");
+    }
+}

@@ -1,0 +1,168 @@
+//! Stream connections and listeners of the simulated network.
+//!
+//! A [`Connection`] models one ACE socket: an ordered, reliable, framed byte
+//! stream between two endpoints.  Frames are whole encrypted command strings
+//! or data blocks — the simulation frames at the message level rather than
+//! emulating a byte stream, which preserves per-message wire cost and
+//! ordering without a reassembly layer.
+
+use crate::addr::Addr;
+use crate::error::NetError;
+use crate::net::NetInner;
+use crossbeam_channel::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One frame in flight.
+#[derive(Debug)]
+pub(crate) enum WireItem {
+    Frame(Vec<u8>),
+    /// Graceful close marker so the peer distinguishes shutdown from crash.
+    Close,
+}
+
+/// One side of an established connection.
+pub struct Connection {
+    local: Addr,
+    peer: Addr,
+    tx: Sender<WireItem>,
+    rx: Receiver<WireItem>,
+    net: Arc<NetInner>,
+}
+
+impl Connection {
+    pub(crate) fn pair(
+        net: &Arc<NetInner>,
+        client: Addr,
+        server: Addr,
+    ) -> (Connection, Connection) {
+        let (c2s_tx, c2s_rx) = crossbeam_channel::unbounded();
+        let (s2c_tx, s2c_rx) = crossbeam_channel::unbounded();
+        let client_side = Connection {
+            local: client.clone(),
+            peer: server.clone(),
+            tx: c2s_tx,
+            rx: s2c_rx,
+            net: Arc::clone(net),
+        };
+        let server_side = Connection {
+            local: server,
+            peer: client,
+            tx: s2c_tx,
+            rx: c2s_rx,
+            net: Arc::clone(net),
+        };
+        (client_side, server_side)
+    }
+
+    /// Local endpoint of this side.
+    pub fn local_addr(&self) -> &Addr {
+        &self.local
+    }
+
+    /// Remote endpoint.
+    pub fn peer_addr(&self) -> &Addr {
+        &self.peer
+    }
+
+    /// Send one frame.  Fails if either host is down, a partition separates
+    /// them, or the peer has gone away.
+    pub fn send(&self, frame: Vec<u8>) -> Result<(), NetError> {
+        self.net.check_link(&self.local.host, &self.peer.host)?;
+        self.net.apply_latency();
+        self.net.metrics.record_frame(frame.len());
+        self.tx
+            .send(WireItem::Frame(frame))
+            .map_err(|_| NetError::Closed)
+    }
+
+    /// Receive the next frame, blocking until one arrives or the peer closes.
+    pub fn recv(&self) -> Result<Vec<u8>, NetError> {
+        match self.rx.recv() {
+            Ok(WireItem::Frame(f)) => Ok(f),
+            Ok(WireItem::Close) | Err(_) => Err(NetError::Closed),
+        }
+    }
+
+    /// Receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(WireItem::Frame(f)) => Ok(f),
+            Ok(WireItem::Close) => Err(NetError::Closed),
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
+    /// Non-blocking receive: `Ok(None)` when no frame is queued.
+    pub fn try_recv(&self) -> Result<Option<Vec<u8>>, NetError> {
+        match self.rx.try_recv() {
+            Ok(WireItem::Frame(f)) => Ok(Some(f)),
+            Ok(WireItem::Close) => Err(NetError::Closed),
+            Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
+    /// Graceful shutdown; the peer's next receive returns [`NetError::Closed`]
+    /// once queued frames drain.
+    pub fn close(&self) {
+        let _ = self.tx.send(WireItem::Close);
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Connection({} -> {})", self.local, self.peer)
+    }
+}
+
+/// A bound accept queue, as produced by `SimNet::listen`.
+pub struct Listener {
+    addr: Addr,
+    rx: Receiver<Connection>,
+    net: Arc<NetInner>,
+}
+
+impl Listener {
+    pub(crate) fn new(addr: Addr, rx: Receiver<Connection>, net: Arc<NetInner>) -> Self {
+        Listener { addr, rx, net }
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Block until a client connects.
+    pub fn accept(&self) -> Result<Connection, NetError> {
+        self.rx.recv().map_err(|_| NetError::Closed)
+    }
+
+    /// Accept with a deadline.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<Connection, NetError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(c) => Ok(c),
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        self.net.unbind_listener(&self.addr);
+    }
+}
+
+impl std::fmt::Debug for Listener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Listener({})", self.addr)
+    }
+}

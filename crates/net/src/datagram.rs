@@ -1,0 +1,74 @@
+//! Datagram (UDP-like) sockets.
+//!
+//! "The data thread is responsible for handling any data stream operations
+//! over a UDP channel" (§2.1.1).  Datagrams are unreliable and unordered
+//! with respect to streams; the configured loss probability applies.
+
+use crate::addr::Addr;
+use crate::error::NetError;
+use crate::net::NetInner;
+use crossbeam_channel::Receiver;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One received datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    pub from: Addr,
+    pub to: Addr,
+    pub payload: Vec<u8>,
+}
+
+/// A bound datagram socket.
+pub struct DatagramSocket {
+    addr: Addr,
+    rx: Receiver<Datagram>,
+    net: Arc<NetInner>,
+}
+
+impl DatagramSocket {
+    pub(crate) fn new(addr: Addr, rx: Receiver<Datagram>, net: Arc<NetInner>) -> Self {
+        DatagramSocket { addr, rx, net }
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Block until a datagram arrives.
+    pub fn recv(&self) -> Result<Datagram, NetError> {
+        self.rx.recv().map_err(|_| NetError::Closed)
+    }
+
+    /// Receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Datagram, NetError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(d) => Ok(d),
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Datagram> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Number of datagrams waiting.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Drop for DatagramSocket {
+    fn drop(&mut self) {
+        self.net.unbind_dsocket(&self.addr);
+    }
+}
+
+impl std::fmt::Debug for DatagramSocket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DatagramSocket({})", self.addr)
+    }
+}

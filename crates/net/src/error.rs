@@ -1,0 +1,36 @@
+//! Error type for the simulated network.
+
+use crate::addr::Addr;
+use std::fmt;
+
+/// Failures of simulated-network operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No listener is bound at the target address (or the port is not open).
+    ConnectionRefused(Addr),
+    /// The target host does not exist in the environment.
+    UnknownHost(String),
+    /// The source or destination host is down, or a partition separates them.
+    Unreachable { from: String, to: String },
+    /// The peer closed the connection (or its host died).
+    Closed,
+    /// A receive timed out.
+    Timeout,
+    /// The address is already bound.
+    AddrInUse(Addr),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::ConnectionRefused(a) => write!(f, "connection refused at {a}"),
+            NetError::UnknownHost(h) => write!(f, "unknown host `{h}`"),
+            NetError::Unreachable { from, to } => write!(f, "{to} unreachable from {from}"),
+            NetError::Closed => write!(f, "connection closed by peer"),
+            NetError::Timeout => write!(f, "network operation timed out"),
+            NetError::AddrInUse(a) => write!(f, "address {a} already in use"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,76 @@
+//! Traffic accounting for the experiments.
+//!
+//! The lightweight-vs-RMI claim (E3) and the fan-out experiments (E12)
+//! need byte/frame counts; every send path records here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic traffic counters (relaxed atomics; exactness across threads at
+/// a single instant is not required, totals are).
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    frames: AtomicU64,
+    frame_bytes: AtomicU64,
+    datagrams: AtomicU64,
+    datagram_bytes: AtomicU64,
+    datagrams_dropped: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub frames: u64,
+    pub frame_bytes: u64,
+    pub datagrams: u64,
+    pub datagram_bytes: u64,
+    pub datagrams_dropped: u64,
+    pub connections: u64,
+}
+
+impl MetricsSnapshot {
+    /// Difference since an earlier snapshot (for per-experiment accounting).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            frames: self.frames - earlier.frames,
+            frame_bytes: self.frame_bytes - earlier.frame_bytes,
+            datagrams: self.datagrams - earlier.datagrams,
+            datagram_bytes: self.datagram_bytes - earlier.datagram_bytes,
+            datagrams_dropped: self.datagrams_dropped - earlier.datagrams_dropped,
+            connections: self.connections - earlier.connections,
+        }
+    }
+}
+
+impl NetMetrics {
+    pub(crate) fn record_frame(&self, bytes: usize) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        self.frame_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_datagram(&self, bytes: usize) {
+        self.datagrams.fetch_add(1, Ordering::Relaxed);
+        self.datagram_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_datagram_drop(&self) {
+        self.datagrams_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            frames: self.frames.load(Ordering::Relaxed),
+            frame_bytes: self.frame_bytes.load(Ordering::Relaxed),
+            datagrams: self.datagrams.load(Ordering::Relaxed),
+            datagram_bytes: self.datagram_bytes.load(Ordering::Relaxed),
+            datagrams_dropped: self.datagrams_dropped.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The simulated building network.
+//!
+//! The paper's ACE ran on a physical LAN of Unix hosts.  [`SimNet`] is the
+//! in-process substitute: a registry of named hosts, listeners, and datagram
+//! sockets that provides the same observable behaviour — connect/refuse,
+//! ordered reliable streams, lossy datagrams, host crashes, partitions, and
+//! per-frame latency — plus traffic metrics for the experiments.
+//!
+//! `SimNet` is `Clone` (shared handle) and all operations are thread-safe;
+//! every ACE daemon thread holds a handle.
+
+use crate::addr::{Addr, HostId};
+use crate::conn::{Connection, Listener};
+use crate::datagram::{Datagram, DatagramSocket};
+use crate::error::NetError;
+use crate::metrics::NetMetrics;
+use crossbeam_channel::Sender;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunable behaviour of the simulated network.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Added delay per frame/datagram send (models wire latency).
+    pub latency: Duration,
+    /// Probability in `[0, 1]` that a datagram is silently dropped
+    /// (streams are always reliable, like TCP).
+    pub datagram_loss: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency: Duration::ZERO,
+            datagram_loss: 0.0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct HostState {
+    up: bool,
+}
+
+pub(crate) struct NetInner {
+    hosts: RwLock<HashMap<HostId, HostState>>,
+    listeners: Mutex<HashMap<Addr, Sender<Connection>>>,
+    dsockets: Mutex<HashMap<Addr, Sender<Datagram>>>,
+    /// Severed host pairs, stored with the two names ordered.
+    blocked: RwLock<HashSet<(HostId, HostId)>>,
+    config: RwLock<NetConfig>,
+    pub(crate) metrics: NetMetrics,
+    ephemeral: AtomicU16,
+}
+
+impl NetInner {
+    fn host_up(&self, h: &HostId) -> Result<(), NetError> {
+        match self.hosts.read().get(h) {
+            None => Err(NetError::UnknownHost(h.to_string())),
+            Some(s) if !s.up => Err(NetError::Unreachable {
+                from: h.to_string(),
+                to: h.to_string(),
+            }),
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Both endpoints up and no partition between them.
+    pub(crate) fn check_link(&self, a: &HostId, b: &HostId) -> Result<(), NetError> {
+        let hosts = self.hosts.read();
+        for h in [a, b] {
+            match hosts.get(h) {
+                None => return Err(NetError::UnknownHost(h.to_string())),
+                Some(s) if !s.up => {
+                    return Err(NetError::Unreachable {
+                        from: a.to_string(),
+                        to: b.to_string(),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        drop(hosts);
+        if a != b && self.blocked.read().contains(&ordered(a, b)) {
+            return Err(NetError::Unreachable {
+                from: a.to_string(),
+                to: b.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn apply_latency(&self) {
+        let latency = self.config.read().latency;
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+    }
+
+    pub(crate) fn unbind_listener(&self, addr: &Addr) {
+        self.listeners.lock().remove(addr);
+    }
+
+    pub(crate) fn unbind_dsocket(&self, addr: &Addr) {
+        self.dsockets.lock().remove(addr);
+    }
+
+    fn drop_roll(&self) -> bool {
+        let p = self.config.read().datagram_loss;
+        p > 0.0 && rand::random::<f64>() < p
+    }
+}
+
+fn ordered(a: &HostId, b: &HostId) -> (HostId, HostId) {
+    if a <= b {
+        (a.clone(), b.clone())
+    } else {
+        (b.clone(), a.clone())
+    }
+}
+
+/// Shared handle to the simulated network.
+#[derive(Clone)]
+pub struct SimNet {
+    inner: Arc<NetInner>,
+}
+
+impl Default for SimNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimNet {
+    /// A fresh, empty network.
+    pub fn new() -> Self {
+        SimNet {
+            inner: Arc::new(NetInner {
+                hosts: RwLock::new(HashMap::new()),
+                listeners: Mutex::new(HashMap::new()),
+                dsockets: Mutex::new(HashMap::new()),
+                blocked: RwLock::new(HashSet::new()),
+                config: RwLock::new(NetConfig::default()),
+                metrics: NetMetrics::default(),
+                ephemeral: AtomicU16::new(49152),
+            }),
+        }
+    }
+
+    /// Replace the network configuration.
+    pub fn set_config(&self, config: NetConfig) {
+        *self.inner.config.write() = config;
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> NetConfig {
+        self.inner.config.read().clone()
+    }
+
+    /// Traffic metrics.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.inner.metrics
+    }
+
+    /// Add a host (idempotent; re-adding a downed host does not revive it).
+    pub fn add_host(&self, name: impl Into<HostId>) -> HostId {
+        let id = name.into();
+        self.inner
+            .hosts
+            .write()
+            .entry(id.clone())
+            .or_insert(HostState { up: true });
+        id
+    }
+
+    /// All known host names, sorted.
+    pub fn hosts(&self) -> Vec<HostId> {
+        let mut v: Vec<HostId> = self.inner.hosts.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Is the host present and up?
+    pub fn is_up(&self, host: &HostId) -> bool {
+        self.inner
+            .hosts
+            .read()
+            .get(host)
+            .map(|s| s.up)
+            .unwrap_or(false)
+    }
+
+    /// Crash a host: all its listeners and datagram sockets unbind, and every
+    /// link to it fails until [`SimNet::revive_host`].
+    pub fn kill_host(&self, host: &HostId) {
+        if let Some(state) = self.inner.hosts.write().get_mut(host) {
+            state.up = false;
+        }
+        // Dropping the accept/datagram senders wakes blocked accepts with
+        // `Closed`, which is how daemons on that host observe the crash.
+        self.inner
+            .listeners
+            .lock()
+            .retain(|addr, _| addr.host != *host);
+        self.inner
+            .dsockets
+            .lock()
+            .retain(|addr, _| addr.host != *host);
+    }
+
+    /// Bring a crashed host back (its services must re-bind and re-register,
+    /// per the daemon startup sequence of Fig. 9).
+    pub fn revive_host(&self, host: &HostId) {
+        if let Some(state) = self.inner.hosts.write().get_mut(host) {
+            state.up = true;
+        }
+    }
+
+    /// Sever the link between two hosts (network partition).
+    pub fn partition(&self, a: &HostId, b: &HostId) {
+        self.inner.blocked.write().insert(ordered(a, b));
+    }
+
+    /// Restore the link between two hosts.
+    pub fn heal(&self, a: &HostId, b: &HostId) {
+        self.inner.blocked.write().remove(&ordered(a, b));
+    }
+
+    /// Restore every severed link.
+    pub fn heal_all(&self) {
+        self.inner.blocked.write().clear();
+    }
+
+    /// Can `a` currently talk to `b`?
+    pub fn reachable(&self, a: &HostId, b: &HostId) -> bool {
+        self.inner.check_link(a, b).is_ok()
+    }
+
+    /// Bind a listener at `addr`.  The host must exist and be up.
+    pub fn listen(&self, addr: Addr) -> Result<Listener, NetError> {
+        self.inner.host_up(&addr.host)?;
+        let mut listeners = self.inner.listeners.lock();
+        if listeners.contains_key(&addr) {
+            return Err(NetError::AddrInUse(addr));
+        }
+        let (tx, rx) = crossbeam_channel::unbounded();
+        listeners.insert(addr.clone(), tx);
+        Ok(Listener::new(addr, rx, Arc::clone(&self.inner)))
+    }
+
+    /// Connect from `from_host` to the listener at `to`.
+    pub fn connect(&self, from_host: &HostId, to: Addr) -> Result<Connection, NetError> {
+        self.inner.check_link(from_host, &to.host)?;
+        self.inner.apply_latency();
+        let local = Addr::new(
+            from_host.clone(),
+            self.inner.ephemeral.fetch_add(1, Ordering::Relaxed).max(1),
+        );
+        let accept_tx = self
+            .inner
+            .listeners
+            .lock()
+            .get(&to)
+            .cloned()
+            .ok_or_else(|| NetError::ConnectionRefused(to.clone()))?;
+        let (client, server) = Connection::pair(&self.inner, local, to.clone());
+        accept_tx
+            .send(server)
+            .map_err(|_| NetError::ConnectionRefused(to))?;
+        self.inner.metrics.record_connection();
+        Ok(client)
+    }
+
+    /// Bind a datagram socket at `addr` (the daemon data thread's UDP
+    /// channel, §2.1.1).
+    pub fn bind_datagram(&self, addr: Addr) -> Result<DatagramSocket, NetError> {
+        self.inner.host_up(&addr.host)?;
+        let mut sockets = self.inner.dsockets.lock();
+        if sockets.contains_key(&addr) {
+            return Err(NetError::AddrInUse(addr));
+        }
+        let (tx, rx) = crossbeam_channel::unbounded();
+        sockets.insert(addr.clone(), tx);
+        Ok(DatagramSocket::new(addr, rx, Arc::clone(&self.inner)))
+    }
+
+    /// Send one datagram.  Unreliable: it is silently dropped if nothing is
+    /// bound at `to` or the configured loss probability fires; reachability
+    /// failures do error (the sender's OS would notice those).
+    pub fn send_datagram(
+        &self,
+        from: &Addr,
+        to: &Addr,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
+        self.inner.check_link(&from.host, &to.host)?;
+        self.inner.metrics.record_datagram(payload.len());
+        if self.inner.drop_roll() {
+            self.inner.metrics.record_datagram_drop();
+            return Ok(());
+        }
+        self.inner.apply_latency();
+        if let Some(tx) = self.inner.dsockets.lock().get(to) {
+            let _ = tx.send(Datagram {
+                from: from.clone(),
+                to: to.clone(),
+                payload,
+            });
+        }
+        Ok(())
+    }
+
+    /// Multicast a datagram to every socket bound on `port`, on every
+    /// reachable host.  This is the discovery substrate the Jini baseline
+    /// uses (§8.4: "a multicast mechanism is used to find the lookup
+    /// service").
+    pub fn multicast(&self, from: &Addr, port: u16, payload: &[u8]) -> usize {
+        let targets: Vec<(Addr, Sender<Datagram>)> = self
+            .inner
+            .dsockets
+            .lock()
+            .iter()
+            .filter(|(addr, _)| addr.port == port)
+            .map(|(addr, tx)| (addr.clone(), tx.clone()))
+            .collect();
+        let mut delivered = 0;
+        for (addr, tx) in targets {
+            if self.inner.check_link(&from.host, &addr.host).is_err() {
+                continue;
+            }
+            self.inner.metrics.record_datagram(payload.len());
+            if self.inner.drop_roll() {
+                self.inner.metrics.record_datagram_drop();
+                continue;
+            }
+            if tx
+                .send(Datagram {
+                    from: from.clone(),
+                    to: addr,
+                    payload: payload.to_vec(),
+                })
+                .is_ok()
+            {
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+}
+
+impl std::fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimNet({} hosts)", self.inner.hosts.read().len())
+    }
+}

@@ -1,0 +1,279 @@
+//! Behavioural tests of the simulated network: connection lifecycle, host
+//! crashes, partitions, datagram loss, multicast, and metrics.
+
+use ace_net::{Addr, NetConfig, NetError, SimNet};
+use std::time::Duration;
+
+fn two_host_net() -> SimNet {
+    let net = SimNet::new();
+    net.add_host("bar");
+    net.add_host("tube");
+    net
+}
+
+#[test]
+fn connect_and_exchange() {
+    let net = two_host_net();
+    let listener = net.listen(Addr::new("bar", 1234)).unwrap();
+    let client = net.connect(&"tube".into(), Addr::new("bar", 1234)).unwrap();
+    let server = listener.accept_timeout(Duration::from_secs(1)).unwrap();
+
+    client.send(b"hello".to_vec()).unwrap();
+    assert_eq!(server.recv_timeout(Duration::from_secs(1)).unwrap(), b"hello");
+    server.send(b"world".to_vec()).unwrap();
+    assert_eq!(client.recv_timeout(Duration::from_secs(1)).unwrap(), b"world");
+
+    assert_eq!(server.peer_addr().host.as_str(), "tube");
+    assert_eq!(client.peer_addr(), &Addr::new("bar", 1234));
+}
+
+#[test]
+fn frames_preserve_order() {
+    let net = two_host_net();
+    let listener = net.listen(Addr::new("bar", 1)).unwrap();
+    let client = net.connect(&"tube".into(), Addr::new("bar", 1)).unwrap();
+    let server = listener.accept().unwrap();
+    for i in 0..100u8 {
+        client.send(vec![i]).unwrap();
+    }
+    for i in 0..100u8 {
+        assert_eq!(server.recv().unwrap(), vec![i]);
+    }
+}
+
+#[test]
+fn connect_to_unbound_port_refused() {
+    let net = two_host_net();
+    let err = net.connect(&"tube".into(), Addr::new("bar", 9)).unwrap_err();
+    assert!(matches!(err, NetError::ConnectionRefused(_)));
+}
+
+#[test]
+fn connect_to_unknown_host_fails() {
+    let net = two_host_net();
+    let err = net.connect(&"tube".into(), Addr::new("ghost", 9)).unwrap_err();
+    assert!(matches!(err, NetError::UnknownHost(_)));
+}
+
+#[test]
+fn double_bind_rejected() {
+    let net = two_host_net();
+    let _l = net.listen(Addr::new("bar", 7)).unwrap();
+    let err = net.listen(Addr::new("bar", 7)).unwrap_err();
+    assert!(matches!(err, NetError::AddrInUse(_)));
+}
+
+#[test]
+fn listener_drop_unbinds() {
+    let net = two_host_net();
+    {
+        let _l = net.listen(Addr::new("bar", 7)).unwrap();
+    }
+    // Port is free again.
+    let _l2 = net.listen(Addr::new("bar", 7)).unwrap();
+}
+
+#[test]
+fn graceful_close_observed_by_peer() {
+    let net = two_host_net();
+    let listener = net.listen(Addr::new("bar", 1)).unwrap();
+    let client = net.connect(&"tube".into(), Addr::new("bar", 1)).unwrap();
+    let server = listener.accept().unwrap();
+    client.send(b"last".to_vec()).unwrap();
+    drop(client);
+    // Queued data still drains, then Closed.
+    assert_eq!(server.recv().unwrap(), b"last");
+    assert!(matches!(server.recv(), Err(NetError::Closed)));
+}
+
+#[test]
+fn killed_host_breaks_links_and_unbinds() {
+    let net = two_host_net();
+    let listener = net.listen(Addr::new("bar", 1)).unwrap();
+    let client = net.connect(&"tube".into(), Addr::new("bar", 1)).unwrap();
+    let _server = listener.accept().unwrap();
+
+    net.kill_host(&"bar".into());
+    assert!(matches!(
+        client.send(b"x".to_vec()),
+        Err(NetError::Unreachable { .. })
+    ));
+    assert!(matches!(
+        net.connect(&"tube".into(), Addr::new("bar", 1)),
+        Err(NetError::Unreachable { .. })
+    ));
+
+    // Revival restores reachability but not bindings (daemons must restart).
+    net.revive_host(&"bar".into());
+    assert!(matches!(
+        net.connect(&"tube".into(), Addr::new("bar", 1)),
+        Err(NetError::ConnectionRefused(_))
+    ));
+    let _l2 = net.listen(Addr::new("bar", 1)).unwrap();
+}
+
+#[test]
+fn partition_blocks_and_heals() {
+    let net = two_host_net();
+    let _listener = net.listen(Addr::new("bar", 1)).unwrap();
+    net.partition(&"bar".into(), &"tube".into());
+    assert!(!net.reachable(&"bar".into(), &"tube".into()));
+    assert!(matches!(
+        net.connect(&"tube".into(), Addr::new("bar", 1)),
+        Err(NetError::Unreachable { .. })
+    ));
+    net.heal(&"bar".into(), &"tube".into());
+    assert!(net.reachable(&"bar".into(), &"tube".into()));
+    net.connect(&"tube".into(), Addr::new("bar", 1)).unwrap();
+}
+
+#[test]
+fn partition_does_not_block_loopback() {
+    let net = two_host_net();
+    net.partition(&"bar".into(), &"tube".into());
+    assert!(net.reachable(&"bar".into(), &"bar".into()));
+}
+
+#[test]
+fn datagrams_deliver() {
+    let net = two_host_net();
+    let sock = net.bind_datagram(Addr::new("bar", 5000)).unwrap();
+    let from = Addr::new("tube", 6000);
+    net.send_datagram(&from, &Addr::new("bar", 5000), b"dgram".to_vec())
+        .unwrap();
+    let d = sock.recv_timeout(Duration::from_secs(1)).unwrap();
+    assert_eq!(d.payload, b"dgram");
+    assert_eq!(d.from, from);
+}
+
+#[test]
+fn datagram_to_unbound_port_is_silently_dropped() {
+    let net = two_host_net();
+    // No error — UDP semantics.
+    net.send_datagram(
+        &Addr::new("tube", 6000),
+        &Addr::new("bar", 5000),
+        b"x".to_vec(),
+    )
+    .unwrap();
+}
+
+#[test]
+fn datagram_loss_probability_applies() {
+    let net = two_host_net();
+    net.set_config(NetConfig {
+        latency: Duration::ZERO,
+        datagram_loss: 1.0,
+    });
+    let sock = net.bind_datagram(Addr::new("bar", 5000)).unwrap();
+    for _ in 0..50 {
+        net.send_datagram(
+            &Addr::new("tube", 6000),
+            &Addr::new("bar", 5000),
+            b"x".to_vec(),
+        )
+        .unwrap();
+    }
+    assert_eq!(sock.pending(), 0);
+    assert_eq!(net.metrics().snapshot().datagrams_dropped, 50);
+}
+
+#[test]
+fn multicast_reaches_all_bound_sockets_on_port() {
+    let net = SimNet::new();
+    for h in ["a", "b", "c"] {
+        net.add_host(h);
+    }
+    let sa = net.bind_datagram(Addr::new("a", 700)).unwrap();
+    let sb = net.bind_datagram(Addr::new("b", 700)).unwrap();
+    let other_port = net.bind_datagram(Addr::new("c", 701)).unwrap();
+
+    let n = net.multicast(&Addr::new("c", 42), 700, b"announce");
+    assert_eq!(n, 2);
+    assert!(sa.recv_timeout(Duration::from_secs(1)).is_ok());
+    assert!(sb.recv_timeout(Duration::from_secs(1)).is_ok());
+    assert_eq!(other_port.pending(), 0);
+}
+
+#[test]
+fn multicast_respects_partitions() {
+    let net = SimNet::new();
+    net.add_host("a");
+    net.add_host("b");
+    let sa = net.bind_datagram(Addr::new("a", 700)).unwrap();
+    net.partition(&"a".into(), &"b".into());
+    let n = net.multicast(&Addr::new("b", 42), 700, b"announce");
+    assert_eq!(n, 0);
+    assert_eq!(sa.pending(), 0);
+}
+
+#[test]
+fn metrics_count_traffic() {
+    let net = two_host_net();
+    let before = net.metrics().snapshot();
+    let listener = net.listen(Addr::new("bar", 1)).unwrap();
+    let client = net.connect(&"tube".into(), Addr::new("bar", 1)).unwrap();
+    let _server = listener.accept().unwrap();
+    client.send(vec![0u8; 100]).unwrap();
+    client.send(vec![0u8; 50]).unwrap();
+    let delta = net.metrics().snapshot().since(&before);
+    assert_eq!(delta.connections, 1);
+    assert_eq!(delta.frames, 2);
+    assert_eq!(delta.frame_bytes, 150);
+}
+
+#[test]
+fn concurrent_connections_from_many_threads() {
+    let net = two_host_net();
+    let listener = net.listen(Addr::new("bar", 1)).unwrap();
+    let mut joins = Vec::new();
+    for i in 0..8 {
+        let net = net.clone();
+        joins.push(std::thread::spawn(move || {
+            let c = net.connect(&"tube".into(), Addr::new("bar", 1)).unwrap();
+            c.send(vec![i]).unwrap();
+            let echo = c.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(echo, vec![i]);
+        }));
+    }
+    for _ in 0..8 {
+        let s = listener.accept_timeout(Duration::from_secs(5)).unwrap();
+        std::thread::spawn(move || {
+            let f = s.recv().unwrap();
+            s.send(f).unwrap();
+        });
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+}
+
+#[test]
+fn recv_timeout_times_out() {
+    let net = two_host_net();
+    let listener = net.listen(Addr::new("bar", 1)).unwrap();
+    let client = net.connect(&"tube".into(), Addr::new("bar", 1)).unwrap();
+    let server = listener.accept().unwrap();
+    let _keep = client;
+    assert!(matches!(
+        server.recv_timeout(Duration::from_millis(10)),
+        Err(NetError::Timeout)
+    ));
+}
+
+#[test]
+fn latency_is_applied_per_frame() {
+    let net = two_host_net();
+    net.set_config(NetConfig {
+        latency: Duration::from_millis(5),
+        datagram_loss: 0.0,
+    });
+    let listener = net.listen(Addr::new("bar", 1)).unwrap();
+    let client = net.connect(&"tube".into(), Addr::new("bar", 1)).unwrap();
+    let _server = listener.accept().unwrap();
+    let t0 = std::time::Instant::now();
+    for _ in 0..4 {
+        client.send(b"x".to_vec()).unwrap();
+    }
+    assert!(t0.elapsed() >= Duration::from_millis(20));
+}

@@ -1,0 +1,171 @@
+//! The Host Resource Monitor — HRM (§4.1).
+//!
+//! "Provides computational and network resource status on a single host …
+//! host CPU load, CPU speed (in bogomips), network traffic load, total and
+//! available memory, and disk storage."  One HRM runs per host; the local
+//! HAL reports load changes to it, and the SRM polls every HRM to build the
+//! system-wide picture (Fig. 11).
+
+use ace_core::prelude::*;
+
+/// Static capabilities of a simulated host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostProfile {
+    /// CPU speed in bogomips (the paper's unit).
+    pub cpu_bogomips: f64,
+    /// Total memory in MB.
+    pub mem_total_mb: i64,
+    /// Total disk in MB.
+    pub disk_total_mb: i64,
+}
+
+impl Default for HostProfile {
+    fn default() -> Self {
+        HostProfile {
+            cpu_bogomips: 400.0,
+            mem_total_mb: 512,
+            disk_total_mb: 20_000,
+        }
+    }
+}
+
+/// A point-in-time resource report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceReport {
+    pub host: String,
+    pub cpu_bogomips: f64,
+    /// Current CPU load in abstract load units.
+    pub load: f64,
+    pub mem_total_mb: i64,
+    pub mem_used_mb: i64,
+    pub disk_total_mb: i64,
+    pub apps: i64,
+}
+
+impl ResourceReport {
+    /// Free-capacity score used by placement: higher is better.  Load is
+    /// normalized by CPU speed so a fast host with some load can still beat
+    /// a slow idle one.
+    pub fn capacity_score(&self) -> f64 {
+        let cpu_headroom = self.cpu_bogomips / (1.0 + self.load);
+        let mem_headroom = (self.mem_total_mb - self.mem_used_mb).max(0) as f64
+            / self.mem_total_mb.max(1) as f64;
+        cpu_headroom * (0.5 + 0.5 * mem_headroom)
+    }
+}
+
+/// The HRM behavior.
+pub struct Hrm {
+    profile: HostProfile,
+    load: f64,
+    mem_used_mb: i64,
+    apps: i64,
+}
+
+impl Hrm {
+    pub fn new(profile: HostProfile) -> Hrm {
+        Hrm {
+            profile,
+            load: 0.0,
+            mem_used_mb: 0,
+            apps: 0,
+        }
+    }
+}
+
+impl ServiceBehavior for Hrm {
+    fn semantics(&self) -> Semantics {
+        Semantics::new()
+            .with(CmdSpec::new(
+                "getResources",
+                "current host resource report",
+            ))
+            .with(
+                CmdSpec::new("addLoad", "a task started on this host (from the HAL)")
+                    .required("load", ArgType::Float, "CPU load units")
+                    .optional("mem", ArgType::Int, "memory MB"),
+            )
+            .with(
+                CmdSpec::new("removeLoad", "a task ended on this host")
+                    .required("load", ArgType::Float, "CPU load units")
+                    .optional("mem", ArgType::Int, "memory MB"),
+            )
+    }
+
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        match cmd.name() {
+            "getResources" => {
+                let host = ctx.host().to_string();
+                Reply::ok_with(|c| {
+                    c.arg("host", host)
+                        .arg("cpu", self.profile.cpu_bogomips)
+                        .arg("load", self.load)
+                        .arg("memTotal", self.profile.mem_total_mb)
+                        .arg("memUsed", self.mem_used_mb)
+                        .arg("diskTotal", self.profile.disk_total_mb)
+                        .arg("apps", self.apps)
+                })
+            }
+            "addLoad" => {
+                self.load += cmd.get_f64("load").expect("validated");
+                self.mem_used_mb += cmd.get_int("mem").unwrap_or(0);
+                self.apps += 1;
+                // `loadChanged` lets interested services (and tests) react.
+                let load = self.load;
+                ctx.fire_event(CmdLine::new("loadChanged").arg("load", load));
+                Reply::ok()
+            }
+            "removeLoad" => {
+                self.load = (self.load - cmd.get_f64("load").expect("validated")).max(0.0);
+                self.mem_used_mb = (self.mem_used_mb - cmd.get_int("mem").unwrap_or(0)).max(0);
+                self.apps = (self.apps - 1).max(0);
+                let load = self.load;
+                ctx.fire_event(CmdLine::new("loadChanged").arg("load", load));
+                Reply::ok()
+            }
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}
+
+/// Decode a `getResources` reply.
+pub fn report_from_reply(reply: &CmdLine) -> Option<ResourceReport> {
+    Some(ResourceReport {
+        host: reply.get_text("host")?.to_string(),
+        cpu_bogomips: reply.get_f64("cpu")?,
+        load: reply.get_f64("load")?,
+        mem_total_mb: reply.get_int("memTotal")?,
+        mem_used_mb: reply.get_int("memUsed")?,
+        disk_total_mb: reply.get_int("diskTotal")?,
+        apps: reply.get_int("apps")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_score_prefers_idle_fast_hosts() {
+        let idle_fast = ResourceReport {
+            host: "a".into(),
+            cpu_bogomips: 800.0,
+            load: 0.0,
+            mem_total_mb: 512,
+            mem_used_mb: 0,
+            disk_total_mb: 1,
+            apps: 0,
+        };
+        let busy_fast = ResourceReport {
+            load: 4.0,
+            mem_used_mb: 400,
+            ..idle_fast.clone()
+        };
+        let idle_slow = ResourceReport {
+            cpu_bogomips: 100.0,
+            ..idle_fast.clone()
+        };
+        assert!(idle_fast.capacity_score() > busy_fast.capacity_score());
+        assert!(idle_fast.capacity_score() > idle_slow.capacity_score());
+    }
+}

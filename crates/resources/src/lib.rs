@@ -1,0 +1,87 @@
+//! # ace-resources — distributed computational resources
+//!
+//! The §4.1–§4.4 services that give ACE "invisible distribution of
+//! computational resources" (Fig. 11):
+//!
+//! * [`Hrm`] — per-host resource monitor (CPU bogomips, load, memory, disk);
+//! * [`Srm`] — the system-wide aggregator that polls every HRM and answers
+//!   placement queries;
+//! * [`Hal`] — per-host application launcher running simulated processes;
+//! * [`Sal`] — the system launcher that delegates to a HAL chosen randomly
+//!   or by resource allocation (the E9 ablation).
+//!
+//! [`spawn_host_services`] brings up the HRM/HAL pair on one host;
+//! [`spawn_system_services`] brings up the SRM/SAL pair for the
+//! environment.
+
+pub mod hal;
+pub mod hrm;
+pub mod sal;
+pub mod srm;
+
+pub use hal::{Hal, RunningApp};
+pub use hrm::{report_from_reply, HostProfile, Hrm, ResourceReport};
+pub use sal::{Policy, Sal};
+pub use srm::{system_rows_from_value, Srm};
+
+use ace_core::prelude::*;
+use ace_core::SpawnError;
+use ace_directory::Framework;
+
+/// Conventional ports for the per-host pair.
+pub const HRM_PORT: u16 = 5100;
+pub const HAL_PORT: u16 = 5101;
+/// Conventional ports for the system pair.
+pub const SRM_PORT: u16 = 5110;
+pub const SAL_PORT: u16 = 5111;
+
+/// Spawn the HRM and HAL for one host.  Returns `(hrm, hal)`.
+pub fn spawn_host_services(
+    net: &SimNet,
+    fw: &Framework,
+    host: &str,
+    profile: HostProfile,
+) -> Result<(DaemonHandle, DaemonHandle), SpawnError> {
+    let hrm = Daemon::spawn(
+        net,
+        fw.service_config(
+            &format!("hrm_{host}"),
+            "Service.Monitor.HRM",
+            "machineroom",
+            host,
+            HRM_PORT,
+        ),
+        Box::new(Hrm::new(profile)),
+    )?;
+    let hal = Daemon::spawn(
+        net,
+        fw.service_config(
+            &format!("hal_{host}"),
+            "Service.Launcher.HAL",
+            "machineroom",
+            host,
+            HAL_PORT,
+        ),
+        Box::new(Hal::new()),
+    )?;
+    Ok((hrm, hal))
+}
+
+/// Spawn the SRM and SAL on `host`.  Returns `(srm, sal)`.
+pub fn spawn_system_services(
+    net: &SimNet,
+    fw: &Framework,
+    host: &str,
+) -> Result<(DaemonHandle, DaemonHandle), SpawnError> {
+    let srm = Daemon::spawn(
+        net,
+        fw.service_config("srm", "Service.Monitor.SRM", "machineroom", host, SRM_PORT),
+        Box::new(Srm::default()),
+    )?;
+    let sal = Daemon::spawn(
+        net,
+        fw.service_config("sal", "Service.Launcher.SAL", "machineroom", host, SAL_PORT),
+        Box::new(Sal::new()),
+    )?;
+    Ok((srm, sal))
+}

@@ -1,0 +1,68 @@
+//! Non-cryptographic hashing used by the simulated crypto layer.
+//!
+//! FNV-1a in 64- and 128-bit widths.  These are *not* collision-resistant —
+//! the whole security crate is a behavioural stand-in for SSL/RSA (see
+//! DESIGN.md substitutions) — but they are real, deterministic functions the
+//! cipher, MAC, and signature layers build on, so tampering and key
+//! mismatches are actually detected in tests and experiments.
+
+/// FNV-1a, 64-bit.
+pub fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// FNV-1a with a seed mixed in first (keyed hash for MACs).
+pub fn fnv64_keyed(key: u64, data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325 ^ key;
+    h = h.wrapping_mul(0x100000001b3);
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    // Final avalanche (xorshift-multiply) so near-equal inputs diverge.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^= h >> 33;
+    h
+}
+
+/// 128-bit digest as two independently-keyed 64-bit lanes.
+pub fn fnv128(data: &[u8]) -> u128 {
+    let lo = fnv64_keyed(0x9e3779b97f4a7c15, data);
+    let hi = fnv64_keyed(0xc2b2ae3d27d4eb4f, data);
+    ((hi as u128) << 64) | lo as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fnv64(b"abc"), fnv64(b"abc"));
+        assert_eq!(fnv128(b"abc"), fnv128(b"abc"));
+    }
+
+    #[test]
+    fn input_sensitive() {
+        assert_ne!(fnv64(b"abc"), fnv64(b"abd"));
+        assert_ne!(fnv64(b"abc"), fnv64(b"ab"));
+        assert_ne!(fnv128(b"abc"), fnv128(b"abd"));
+    }
+
+    #[test]
+    fn key_sensitive() {
+        assert_ne!(fnv64_keyed(1, b"abc"), fnv64_keyed(2, b"abc"));
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        // Just must not panic and be stable.
+        assert_eq!(fnv64(b""), fnv64(b""));
+    }
+}

@@ -1,0 +1,329 @@
+//! Licensee expressions: to whom an assertion delegates authority.
+//!
+//! RFC 2704 lets the `licensees:` field combine principals with `&&`, `||`,
+//! and k-of-n thresholds.  ACE credentials use all three (e.g. a projector
+//! command may require the room owner *and* an administrator).
+//!
+//! Wire syntax:
+//!
+//! ```text
+//! licensees: "rsa:…" || ("rsa:…" && "rsa:…") || 2-of("a", "b", "c")
+//! ```
+
+use std::fmt;
+
+/// A licensee expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Licensees {
+    /// A single principal (public-key string or symbolic name).
+    Principal(String),
+    /// All sub-expressions must hold.
+    And(Vec<Licensees>),
+    /// At least one sub-expression must hold.
+    Or(Vec<Licensees>),
+    /// At least `k` of the sub-expressions must hold.
+    Threshold(usize, Vec<Licensees>),
+}
+
+impl Licensees {
+    /// Evaluate with `supports(principal)` deciding whether a principal's
+    /// authority is established (directly a requester, or reachable through
+    /// further delegation — the engine supplies the recursion).
+    pub fn satisfied(&self, supports: &mut dyn FnMut(&str) -> bool) -> bool {
+        match self {
+            Licensees::Principal(p) => supports(p),
+            Licensees::And(subs) => subs.iter().all(|s| s.satisfied(supports)),
+            Licensees::Or(subs) => subs.iter().any(|s| s.satisfied(supports)),
+            Licensees::Threshold(k, subs) => {
+                let mut hits = 0;
+                for s in subs {
+                    if s.satisfied(supports) {
+                        hits += 1;
+                        if hits >= *k {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Every principal mentioned anywhere in the expression.
+    pub fn principals(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Licensees::Principal(p) => out.push(p),
+            Licensees::And(subs) | Licensees::Or(subs) | Licensees::Threshold(_, subs) => {
+                for s in subs {
+                    s.collect(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Licensees {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Licensees::Principal(p) => write!(f, "\"{p}\""),
+            Licensees::And(subs) => write_joined(f, subs, " && "),
+            Licensees::Or(subs) => write_joined(f, subs, " || "),
+            Licensees::Threshold(k, subs) => {
+                write!(f, "{k}-of(")?;
+                for (i, s) in subs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn write_joined(f: &mut fmt::Formatter<'_>, subs: &[Licensees], sep: &str) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, s) in subs.iter().enumerate() {
+        if i > 0 {
+            f.write_str(sep)?;
+        }
+        write!(f, "{s}")?;
+    }
+    write!(f, ")")
+}
+
+/// Parse failure for a licensee expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LicenseeParseError(pub String);
+
+impl fmt::Display for LicenseeParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "licensees parse error: {}", self.0)
+    }
+}
+impl std::error::Error for LicenseeParseError {}
+
+/// Parse a licensee expression.
+pub fn parse_licensees(src: &str) -> Result<Licensees, LicenseeParseError> {
+    let mut p = LP { src, i: 0 };
+    let expr = p.or_expr()?;
+    p.skip_ws();
+    if p.i != src.len() {
+        return Err(LicenseeParseError(format!(
+            "trailing input at byte {}",
+            p.i
+        )));
+    }
+    Ok(expr)
+}
+
+struct LP<'a> {
+    src: &'a str,
+    i: usize,
+}
+
+impl<'a> LP<'a> {
+    fn skip_ws(&mut self) {
+        let b = self.src.as_bytes();
+        while self.i < b.len() && (b[self.i] as char).is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Licensees, LicenseeParseError> {
+        let mut parts = vec![self.and_expr()?];
+        while self.eat("||") {
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            Licensees::Or(parts)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Licensees, LicenseeParseError> {
+        let mut parts = vec![self.atom()?];
+        while self.eat("&&") {
+            parts.push(self.atom()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            Licensees::And(parts)
+        })
+    }
+
+    fn atom(&mut self) -> Result<Licensees, LicenseeParseError> {
+        self.skip_ws();
+        let b = self.src.as_bytes();
+        if self.i >= b.len() {
+            return Err(LicenseeParseError("unexpected end of input".into()));
+        }
+        match b[self.i] {
+            b'(' => {
+                self.i += 1;
+                let inner = self.or_expr()?;
+                if !self.eat(")") {
+                    return Err(LicenseeParseError("expected `)`".into()));
+                }
+                Ok(inner)
+            }
+            b'"' => {
+                let start = self.i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'"' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(LicenseeParseError("unterminated principal string".into()));
+                }
+                let p = self.src[start..j].to_string();
+                self.i = j + 1;
+                Ok(Licensees::Principal(p))
+            }
+            c if c.is_ascii_digit() => {
+                // k-of(...)
+                let start = self.i;
+                let mut j = self.i;
+                while j < b.len() && b[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let k: usize = self.src[start..j]
+                    .parse()
+                    .map_err(|_| LicenseeParseError("bad threshold count".into()))?;
+                self.i = j;
+                if !self.eat("-of") {
+                    return Err(LicenseeParseError("expected `-of` after count".into()));
+                }
+                if !self.eat("(") {
+                    return Err(LicenseeParseError("expected `(` after `-of`".into()));
+                }
+                let mut subs = vec![self.or_expr()?];
+                while self.eat(",") {
+                    subs.push(self.or_expr()?);
+                }
+                if !self.eat(")") {
+                    return Err(LicenseeParseError("expected `)` closing threshold".into()));
+                }
+                if k == 0 || k > subs.len() {
+                    return Err(LicenseeParseError(format!(
+                        "threshold {k} out of range for {} licensees",
+                        subs.len()
+                    )));
+                }
+                Ok(Licensees::Threshold(k, subs))
+            }
+            other => Err(LicenseeParseError(format!(
+                "unexpected character `{}`",
+                other as char
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn supports_of<'a>(granted: &'a [&'a str]) -> impl FnMut(&str) -> bool + 'a {
+        move |p: &str| granted.contains(&p)
+    }
+
+    #[test]
+    fn single_principal() {
+        let l = parse_licensees("\"alice\"").unwrap();
+        assert!(l.satisfied(&mut supports_of(&["alice"])));
+        assert!(!l.satisfied(&mut supports_of(&["bob"])));
+    }
+
+    #[test]
+    fn or_expression() {
+        let l = parse_licensees("\"a\" || \"b\"").unwrap();
+        assert!(l.satisfied(&mut supports_of(&["b"])));
+        assert!(!l.satisfied(&mut supports_of(&["c"])));
+    }
+
+    #[test]
+    fn and_expression() {
+        let l = parse_licensees("\"a\" && \"b\"").unwrap();
+        assert!(l.satisfied(&mut supports_of(&["a", "b"])));
+        assert!(!l.satisfied(&mut supports_of(&["a"])));
+    }
+
+    #[test]
+    fn nested_parens() {
+        let l = parse_licensees("\"root\" || (\"a\" && \"b\")").unwrap();
+        assert!(l.satisfied(&mut supports_of(&["root"])));
+        assert!(l.satisfied(&mut supports_of(&["a", "b"])));
+        assert!(!l.satisfied(&mut supports_of(&["a"])));
+    }
+
+    #[test]
+    fn threshold() {
+        let l = parse_licensees("2-of(\"a\", \"b\", \"c\")").unwrap();
+        assert!(l.satisfied(&mut supports_of(&["a", "c"])));
+        assert!(!l.satisfied(&mut supports_of(&["a"])));
+    }
+
+    #[test]
+    fn threshold_bounds_checked() {
+        assert!(parse_licensees("0-of(\"a\")").is_err());
+        assert!(parse_licensees("3-of(\"a\", \"b\")").is_err());
+    }
+
+    #[test]
+    fn display_reparses() {
+        for src in [
+            "\"a\"",
+            "(\"a\" && \"b\")",
+            "(\"a\" || (\"b\" && \"c\"))",
+            "2-of(\"a\", \"b\", \"c\")",
+        ] {
+            let l = parse_licensees(src).unwrap();
+            let l2 = parse_licensees(&l.to_string()).unwrap();
+            assert_eq!(l, l2);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_licensees("").is_err());
+        assert!(parse_licensees("\"a\" &&").is_err());
+        assert!(parse_licensees("(\"a\"").is_err());
+        assert!(parse_licensees("\"a\" extra").is_err());
+        assert!(parse_licensees("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn principals_collects_all() {
+        let l = parse_licensees("\"a\" || 2-of(\"b\", \"c\", \"d\")").unwrap();
+        assert_eq!(l.principals(), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn and_parses_tighter_than_or() {
+        let l = parse_licensees("\"a\" || \"b\" && \"c\"").unwrap();
+        // a || (b && c): satisfied by {a} alone.
+        assert!(l.satisfied(&mut supports_of(&["a"])));
+        assert!(!l.satisfied(&mut supports_of(&["b"])));
+        assert!(l.satisfied(&mut supports_of(&["b", "c"])));
+    }
+}

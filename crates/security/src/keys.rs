@@ -1,0 +1,175 @@
+//! Simulated public-key identities: textbook RSA over 64-bit moduli.
+//!
+//! Every ACE user and service holds a key pair; principals in KeyNote
+//! assertions are the textual form of public keys ("the user must register …
+//! public key", §4.7).  The signatures are mathematically real RSA —
+//! verification genuinely requires the matching public key and detects
+//! tampering — merely with toy parameters, as documented in DESIGN.md.
+
+use crate::hash::fnv64;
+use crate::numtheory::{modinv, modpow, random_prime};
+use rand::Rng;
+use std::fmt;
+
+/// A public key: RSA `(n, e)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    pub n: u64,
+    pub e: u64,
+}
+
+impl PublicKey {
+    /// The principal string used in KeyNote assertions, e.g.
+    /// `rsa:1f2e3d4c5b6a7988:10001`.
+    pub fn principal(&self) -> String {
+        format!("rsa:{:016x}:{:x}", self.n, self.e)
+    }
+
+    /// Parse a principal string back into a key.
+    pub fn from_principal(s: &str) -> Option<PublicKey> {
+        let rest = s.strip_prefix("rsa:")?;
+        let (n, e) = rest.split_once(':')?;
+        Some(PublicKey {
+            n: u64::from_str_radix(n, 16).ok()?,
+            e: u64::from_str_radix(e, 16).ok()?,
+        })
+    }
+
+    /// Verify `sig` over `msg`.
+    pub fn verify(&self, msg: &[u8], sig: Signature) -> bool {
+        let h = fnv64(msg) % self.n;
+        modpow(sig.0, self.e, self.n) == h
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.principal())
+    }
+}
+
+/// A detached signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature(pub u64);
+
+impl Signature {
+    /// Wire form, e.g. `sig-rsa:0123456789abcdef`.
+    pub fn to_wire(self) -> String {
+        format!("sig-rsa:{:016x}", self.0)
+    }
+
+    pub fn from_wire(s: &str) -> Option<Signature> {
+        let hex = s.strip_prefix("sig-rsa:")?;
+        Some(Signature(u64::from_str_radix(hex, 16).ok()?))
+    }
+}
+
+/// A private/public key pair.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyPair {
+    public: PublicKey,
+    d: u64,
+}
+
+impl KeyPair {
+    /// Generate a fresh pair (two random 32-bit primes, `e = 65537`).
+    pub fn generate(rng: &mut impl Rng) -> KeyPair {
+        loop {
+            let p = random_prime(rng, 32);
+            let q = random_prime(rng, 32);
+            if p == q {
+                continue;
+            }
+            let n = p * q; // < 2^64
+            let phi = (p - 1) * (q - 1);
+            let e = 65537u64;
+            if let Some(d) = modinv(e, phi) {
+                return KeyPair {
+                    public: PublicKey { n, e },
+                    d,
+                };
+            }
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// The principal string of the public half.
+    pub fn principal(&self) -> String {
+        self.public.principal()
+    }
+
+    /// Sign `msg`.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let h = fnv64(msg) % self.public.n;
+        Signature(modpow(h, self.d, self.public.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut rng = rand::thread_rng();
+        let kp = KeyPair::generate(&mut rng);
+        let msg = b"authorizer: POLICY";
+        let sig = kp.sign(msg);
+        assert!(kp.public().verify(msg, sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let mut rng = rand::thread_rng();
+        let kp = KeyPair::generate(&mut rng);
+        let sig = kp.sign(b"grant ptzMove");
+        assert!(!kp.public().verify(b"grant shutdown", sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = rand::thread_rng();
+        let a = KeyPair::generate(&mut rng);
+        let b = KeyPair::generate(&mut rng);
+        let sig = a.sign(b"msg");
+        assert!(!b.public().verify(b"msg", sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut rng = rand::thread_rng();
+        let kp = KeyPair::generate(&mut rng);
+        let sig = kp.sign(b"msg");
+        assert!(!kp.public().verify(b"msg", Signature(sig.0 ^ 1)));
+    }
+
+    #[test]
+    fn principal_roundtrip() {
+        let mut rng = rand::thread_rng();
+        let kp = KeyPair::generate(&mut rng);
+        let p = kp.principal();
+        assert!(p.starts_with("rsa:"));
+        assert_eq!(PublicKey::from_principal(&p), Some(kp.public()));
+        assert_eq!(PublicKey::from_principal("rsa:xyz"), None);
+        assert_eq!(PublicKey::from_principal("dsa:123:5"), None);
+    }
+
+    #[test]
+    fn signature_wire_roundtrip() {
+        let sig = Signature(0xdead_beef_1234_5678);
+        assert_eq!(Signature::from_wire(&sig.to_wire()), Some(sig));
+        assert_eq!(Signature::from_wire("nope"), None);
+    }
+
+    #[test]
+    fn distinct_pairs_have_distinct_principals() {
+        let mut rng = rand::thread_rng();
+        let a = KeyPair::generate(&mut rng);
+        let b = KeyPair::generate(&mut rng);
+        assert_ne!(a.principal(), b.principal());
+    }
+}

@@ -1,0 +1,140 @@
+//! Small-modulus number theory for the simulated public-key layer:
+//! modular exponentiation, deterministic Miller–Rabin for `u64`, extended
+//! Euclid, and random prime generation.
+
+use rand::Rng;
+
+/// `base^exp mod modulus` (modulus may be up to 2^64-1; products go through
+/// `u128`).
+pub fn modpow(mut base: u64, mut exp: u64, modulus: u64) -> u64 {
+    assert!(modulus > 1, "modulus must exceed 1");
+    let m = modulus as u128;
+    let mut result: u128 = 1;
+    let mut b = (base as u128) % m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = result * b % m;
+        }
+        b = b * b % m;
+        exp >>= 1;
+    }
+    base = result as u64;
+    base
+}
+
+/// Deterministic Miller–Rabin: the witness set below decides primality for
+/// every `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = modpow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = ((x as u128 * x as u128) % n as u128) as u64;
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// A random prime in `[2^(bits-1), 2^bits)`; `bits` in `[3, 63]`.
+pub fn random_prime(rng: &mut impl Rng, bits: u32) -> u64 {
+    assert!((3..=63).contains(&bits));
+    let lo = 1u64 << (bits - 1);
+    let hi = 1u64 << bits;
+    loop {
+        let mut candidate = rng.gen_range(lo..hi) | 1;
+        // March odd numbers upward from the random start.
+        while candidate < hi {
+            if is_prime(candidate) {
+                return candidate;
+            }
+            candidate += 2;
+        }
+    }
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a*x + b*y = g = gcd(a, b)`.
+pub fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = egcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Multiplicative inverse of `a` mod `m`, if `gcd(a, m) == 1`.
+pub fn modinv(a: u64, m: u64) -> Option<u64> {
+    let (g, x, _) = egcd(a as i128, m as i128);
+    if g != 1 {
+        return None;
+    }
+    Some(((x % m as i128 + m as i128) % m as i128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modpow_basics() {
+        assert_eq!(modpow(2, 10, 1_000_000), 1024);
+        assert_eq!(modpow(3, 0, 7), 1);
+        assert_eq!(modpow(10, 3, 7), 6);
+        // Fermat: a^(p-1) = 1 mod p.
+        let p = 0xFFFF_FFFF_FFFF_FFC5; // largest 64-bit prime
+        assert_eq!(modpow(12345, p - 1, p), 1);
+    }
+
+    #[test]
+    fn primality_known_values() {
+        for p in [2u64, 3, 5, 97, 7919, 2_147_483_647, 0xFFFF_FFFF_FFFF_FFC5] {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 100, 7917, 2_147_483_649, u64::MAX] {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn random_primes_are_prime_and_sized() {
+        let mut rng = rand::thread_rng();
+        for _ in 0..10 {
+            let p = random_prime(&mut rng, 32);
+            assert!(is_prime(p));
+            assert!(p >= (1 << 31) && p < (1 << 32));
+        }
+    }
+
+    #[test]
+    fn modinv_inverts() {
+        let m = 0xFFFF_FFFF_FFFF_FFC5u64;
+        for a in [2u64, 3, 65537, 123456789] {
+            let inv = modinv(a, m).unwrap();
+            assert_eq!((a as u128 * inv as u128 % m as u128) as u64, 1);
+        }
+        assert_eq!(modinv(4, 8), None);
+    }
+}

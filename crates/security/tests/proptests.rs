@@ -1,0 +1,110 @@
+//! Property tests on the security substrate: cipher round-trips and
+//! tamper-rejection, RSA sign/verify totality, and KeyNote monotonicity.
+
+use ace_security::cipher::{SecureChannel, SessionKey};
+use ace_security::keynote::{action_env, Assertion, KeyNoteEngine, Licensees, POLICY};
+use ace_security::keys::KeyPair;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// seal→open is the identity for any payload and any key seed.
+    #[test]
+    fn cipher_roundtrip(seed in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..512)) {
+        let key = SessionKey::from_seed(seed);
+        let mut tx = SecureChannel::new(key);
+        let mut rx = SecureChannel::new(key);
+        let frame = tx.seal(&payload);
+        prop_assert_eq!(rx.open(&frame).unwrap(), payload);
+    }
+
+    /// Flipping any single byte of a sealed frame makes it unopenable.
+    #[test]
+    fn cipher_rejects_any_single_flip(
+        seed in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 1..64),
+        flip_at_frac in 0.0f64..1.0,
+    ) {
+        let key = SessionKey::from_seed(seed);
+        let mut tx = SecureChannel::new(key);
+        let mut rx = SecureChannel::new(key);
+        let mut frame = tx.seal(&payload);
+        let idx = ((frame.len() - 1) as f64 * flip_at_frac) as usize;
+        frame[idx] ^= 0x01;
+        prop_assert!(rx.open(&frame).is_err());
+    }
+
+    /// A sequence of frames round-trips in order.
+    #[test]
+    fn cipher_sequences(seed in any::<u64>(), payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 1..16)) {
+        let key = SessionKey::from_seed(seed);
+        let mut tx = SecureChannel::new(key);
+        let mut rx = SecureChannel::new(key);
+        for p in &payloads {
+            let f = tx.seal(p);
+            prop_assert_eq!(&rx.open(&f).unwrap(), p);
+        }
+    }
+}
+
+proptest! {
+    // RSA keygen is the slow part; keep case counts low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sign/verify round-trips for arbitrary messages; tampering fails.
+    #[test]
+    fn rsa_sign_verify(msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..4)) {
+        let kp = KeyPair::generate(&mut rand::thread_rng());
+        for msg in &msgs {
+            let sig = kp.sign(msg);
+            prop_assert!(kp.public().verify(msg, sig));
+            let mut other = msg.clone();
+            other.push(0x42);
+            prop_assert!(!kp.public().verify(&other, sig));
+        }
+    }
+}
+
+/// Monotonicity: adding assertions never revokes an authorization.
+#[test]
+fn keynote_monotone_under_assertion_addition() {
+    let mut rng = rand::thread_rng();
+    let admin = KeyPair::generate(&mut rng);
+    let user = KeyPair::generate(&mut rng);
+    let extra = KeyPair::generate(&mut rng);
+
+    let mut engine = KeyNoteEngine::new();
+    engine
+        .add_policy(
+            Assertion::new(POLICY, Licensees::Principal(admin.principal()), "true").unwrap(),
+        )
+        .unwrap();
+    engine
+        .add_credential(
+            Assertion::new(
+                admin.principal(),
+                Licensees::Principal(user.principal()),
+                "cmd == \"lookup\"",
+            )
+            .unwrap()
+            .sign(&admin)
+            .unwrap(),
+        )
+        .unwrap();
+
+    let env = action_env([("cmd", "lookup")]);
+    let user_p = user.principal();
+    assert!(engine.query(&env, &[&user_p]));
+
+    // Grow the assertion base in several ways; the grant must survive.
+    for i in 0..10 {
+        let cond = if i % 2 == 0 { "true" } else { "cmd == \"other\"" };
+        engine
+            .add_policy(
+                Assertion::new(POLICY, Licensees::Principal(extra.principal()), cond).unwrap(),
+            )
+            .unwrap();
+        assert!(engine.query(&env, &[&user_p]), "grant revoked by unrelated assertion {i}");
+    }
+}

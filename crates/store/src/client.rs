@@ -1,0 +1,244 @@
+//! The store client: quorum writes, newest-wins reads, read repair.
+//!
+//! "If for any reason, one or two of the servers fail or crash, ACE
+//! services may still access the stored information within them" (§6):
+//! reads succeed while *any* replica answers; writes require a majority so
+//! a partitioned minority can never diverge silently.
+
+use crate::version::Versioned;
+use ace_core::prelude::*;
+use ace_core::protocol::{hex_decode, hex_encode};
+use ace_security::keys::KeyPair;
+use std::fmt;
+
+/// Store-level failures.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Fewer than `quorum` replicas acknowledged a write.
+    QuorumFailed { acked: usize, quorum: usize },
+    /// No replica could be reached at all.
+    AllReplicasDown,
+    /// The key does not exist (or is deleted).
+    NotFound,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::QuorumFailed { acked, quorum } => {
+                write!(f, "write acked by {acked} replicas, quorum is {quorum}")
+            }
+            StoreError::AllReplicasDown => write!(f, "no persistent-store replica reachable"),
+            StoreError::NotFound => write!(f, "key not found"),
+        }
+    }
+}
+impl std::error::Error for StoreError {}
+
+/// A connected store client.
+pub struct StoreClient {
+    net: SimNet,
+    from_host: HostId,
+    identity: KeyPair,
+    replicas: Vec<Addr>,
+    quorum: usize,
+    writer_id: String,
+    connections: Vec<Option<ServiceClient>>,
+}
+
+impl StoreClient {
+    /// Client over a fixed replica set with majority quorum.
+    pub fn new(
+        net: SimNet,
+        from_host: impl Into<HostId>,
+        identity: KeyPair,
+        replicas: Vec<Addr>,
+    ) -> StoreClient {
+        let quorum = replicas.len() / 2 + 1;
+        let writer_id = identity.principal();
+        let connections = replicas.iter().map(|_| None).collect();
+        StoreClient {
+            net,
+            from_host: from_host.into(),
+            identity,
+            replicas,
+            quorum,
+            writer_id,
+            connections,
+        }
+    }
+
+    /// Override the write quorum (tests exercise degraded modes).
+    pub fn with_quorum(mut self, quorum: usize) -> StoreClient {
+        self.quorum = quorum.clamp(1, self.replicas.len().max(1));
+        self
+    }
+
+    /// The configured replica addresses.
+    pub fn replicas(&self) -> &[Addr] {
+        &self.replicas
+    }
+
+    fn call_replica(&mut self, idx: usize, cmd: &CmdLine) -> Option<CmdLine> {
+        for _attempt in 0..2 {
+            if self.connections[idx].is_none() {
+                self.connections[idx] = ServiceClient::connect(
+                    &self.net,
+                    &self.from_host,
+                    self.replicas[idx].clone(),
+                    &self.identity,
+                )
+                .ok();
+            }
+            let client = self.connections[idx].as_mut()?;
+            match client.call(cmd) {
+                Ok(reply) => return Some(reply),
+                Err(ClientError::Service { .. }) => return None, // e.g. NotFound
+                Err(ClientError::Link(_)) => self.connections[idx] = None,
+            }
+        }
+        None
+    }
+
+    /// Read the newest version of a key across all reachable replicas, with
+    /// read repair of stale ones.
+    pub fn get(&mut self, ns: &str, key: &str) -> Result<Vec<u8>, StoreError> {
+        let cmd = CmdLine::new("psGet").arg("ns", ns).arg("key", Value::Str(key.into()));
+        let mut answers: Vec<(usize, Versioned)> = Vec::new();
+        let mut missing: Vec<usize> = Vec::new();
+        for idx in 0..self.replicas.len() {
+            let Some(reply) = self.call_replica(idx, &cmd) else {
+                // Down *or* missing the key; candidates for read repair.
+                missing.push(idx);
+                continue;
+            };
+            answers.push((
+                idx,
+                Versioned {
+                    data: reply
+                        .get_text("data")
+                        .and_then(hex_decode)
+                        .unwrap_or_default(),
+                    version: reply.get_int("version").unwrap_or(0) as u64,
+                    writer: reply.get_text("writer").unwrap_or("").to_string(),
+                    deleted: reply.get_bool("deleted").unwrap_or(false),
+                },
+            ));
+        }
+        let Some((_, best)) = answers
+            .iter()
+            .max_by(|(_, a), (_, b)| {
+                (a.version, a.writer.as_str()).cmp(&(b.version, b.writer.as_str()))
+            })
+            .cloned()
+        else {
+            // Nothing answered anywhere: every replica was unreachable or
+            // lacks the key.  Distinguish by probing liveness with the
+            // connection state we just built.
+            let any_connected = self.connections.iter().any(Option::is_some);
+            return Err(if any_connected {
+                StoreError::NotFound
+            } else {
+                StoreError::AllReplicasDown
+            });
+        };
+        // Stale answers plus replicas that missed the key entirely.
+        let mut stale = missing;
+        for (idx, value) in &answers {
+            if best.beats(value) {
+                stale.push(*idx);
+            }
+        }
+        // Read repair: push the winning version to replicas that lacked it.
+        let repair = CmdLine::new("psPut")
+            .arg("ns", ns)
+            .arg("key", Value::Str(key.into()))
+            .arg("data", hex_encode(&best.data))
+            .arg("version", best.version as i64)
+            .arg("writer", Value::Str(best.writer.clone()));
+        for idx in stale {
+            let _ = self.call_replica(idx, &repair);
+        }
+        if best.deleted {
+            return Err(StoreError::NotFound);
+        }
+        Ok(best.data)
+    }
+
+    /// Newest version number of a key (0 if absent anywhere).
+    fn newest_version(&mut self, ns: &str, key: &str) -> u64 {
+        let cmd = CmdLine::new("psGet").arg("ns", ns).arg("key", Value::Str(key.into()));
+        let mut best = 0;
+        for idx in 0..self.replicas.len() {
+            if let Some(reply) = self.call_replica(idx, &cmd) {
+                best = best.max(reply.get_int("version").unwrap_or(0) as u64);
+            }
+        }
+        best
+    }
+
+    fn write(&mut self, cmd_name: &str, ns: &str, key: &str, data: &[u8]) -> Result<u64, StoreError> {
+        let version = self.newest_version(ns, key) + 1;
+        let mut cmd = CmdLine::new(cmd_name)
+            .arg("ns", ns)
+            .arg("key", Value::Str(key.into()))
+            .arg("version", version as i64)
+            .arg("writer", Value::Str(self.writer_id.clone()));
+        if cmd_name == "psPut" {
+            cmd.push_arg("data", hex_encode(data));
+        }
+        let mut acked = 0;
+        for idx in 0..self.replicas.len() {
+            if self.call_replica(idx, &cmd).is_some() {
+                acked += 1;
+            }
+        }
+        if acked >= self.quorum {
+            Ok(version)
+        } else {
+            Err(StoreError::QuorumFailed {
+                acked,
+                quorum: self.quorum,
+            })
+        }
+    }
+
+    /// Write a value (read-max-plus-one versioning, majority quorum).
+    pub fn put(&mut self, ns: &str, key: &str, data: &[u8]) -> Result<u64, StoreError> {
+        self.write("psPut", ns, key, data)
+    }
+
+    /// Delete a key (tombstone write, majority quorum).
+    pub fn delete(&mut self, ns: &str, key: &str) -> Result<u64, StoreError> {
+        self.write("psDelete", ns, key, &[])
+    }
+
+    /// Live keys of a namespace as seen by the first reachable replica.
+    pub fn list(&mut self, ns: &str) -> Result<Vec<String>, StoreError> {
+        let cmd = CmdLine::new("psList").arg("ns", ns);
+        for idx in 0..self.replicas.len() {
+            if let Some(reply) = self.call_replica(idx, &cmd) {
+                return Ok(reply
+                    .get_vector("keys")
+                    .map(|v| {
+                        v.iter()
+                            .filter_map(|s| s.as_text().map(str::to_string))
+                            .collect()
+                    })
+                    .unwrap_or_default());
+            }
+        }
+        Err(StoreError::AllReplicasDown)
+    }
+}
+
+impl fmt::Debug for StoreClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "StoreClient({} replicas, quorum {})",
+            self.replicas.len(),
+            self.quorum
+        )
+    }
+}

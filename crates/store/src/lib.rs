@@ -1,0 +1,102 @@
+//! # ace-store — the ACE persistent store
+//!
+//! "A cluster of three persistent store servers shall work together to
+//! provide redundant and robust storage of ACE service and application
+//! state, providing the foundation for ACE robust applications and
+//! services" (§6, Fig. 17).
+//!
+//! * [`StoreReplica`] — one replica daemon over a [`DiskImage`] (the
+//!   simulated disk that survives crash/restart), running pull-based
+//!   anti-entropy against its peers;
+//! * [`StoreClient`] — quorum writes (majority), newest-wins reads with
+//!   read repair; reads keep working while *any* replica is up, writes
+//!   while a majority is;
+//! * versioning — client-assigned `(version, writer)` pairs with a total
+//!   order, so concurrent writers converge deterministically;
+//! * the "straightforward object-oriented namespace approach": keys live
+//!   under namespaces (`appstate`, `workspace`, …).
+//!
+//! [`spawn_store_cluster`] brings up the canonical three-replica cluster.
+
+pub mod client;
+pub mod replica;
+pub mod version;
+
+pub use client::{StoreClient, StoreError};
+pub use replica::{DiskImage, StoreReplica};
+pub use version::{StoreKey, Versioned};
+
+use ace_core::prelude::*;
+use ace_core::SpawnError;
+use ace_directory::Framework;
+use std::time::Duration;
+
+/// Conventional replica port.
+pub const STORE_PORT: u16 = 5800;
+
+/// A running store cluster: daemon handles plus each replica's disk image
+/// (needed to restart a crashed replica with its data intact).
+pub struct StoreCluster {
+    pub replicas: Vec<(DaemonHandle, DiskImage)>,
+    pub addrs: Vec<Addr>,
+}
+
+impl StoreCluster {
+    /// Gracefully stop every replica.
+    pub fn shutdown(self) {
+        for (handle, _) in self.replicas {
+            handle.shutdown();
+        }
+    }
+}
+
+/// Spawn one replica per host (the paper's cluster is three).
+pub fn spawn_store_cluster(
+    net: &SimNet,
+    fw: &Framework,
+    hosts: &[&str],
+    sync_interval: Duration,
+) -> Result<StoreCluster, SpawnError> {
+    let mut replicas = Vec::with_capacity(hosts.len());
+    let mut addrs = Vec::with_capacity(hosts.len());
+    for (i, host) in hosts.iter().enumerate() {
+        let disk = DiskImage::new();
+        let handle = Daemon::spawn(
+            net,
+            fw.service_config(
+                &format!("store_{}", i + 1),
+                "Service.Database.PersistentStore",
+                "machineroom",
+                *host,
+                STORE_PORT,
+            ),
+            Box::new(StoreReplica::new(disk.clone(), sync_interval)),
+        )?;
+        addrs.push(handle.addr().clone());
+        replicas.push((handle, disk));
+    }
+    Ok(StoreCluster { replicas, addrs })
+}
+
+/// Respawn a crashed replica on the same host with the same disk image
+/// (the recovery path of experiment E15).
+pub fn respawn_replica(
+    net: &SimNet,
+    fw: &Framework,
+    index: usize,
+    host: &str,
+    disk: DiskImage,
+    sync_interval: Duration,
+) -> Result<DaemonHandle, SpawnError> {
+    Daemon::spawn(
+        net,
+        fw.service_config(
+            &format!("store_{}", index + 1),
+            "Service.Database.PersistentStore",
+            "machineroom",
+            host,
+            STORE_PORT,
+        ),
+        Box::new(StoreReplica::new(disk, sync_interval)),
+    )
+}

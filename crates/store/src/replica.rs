@@ -1,0 +1,499 @@
+//! One persistent-store replica (§6, Fig. 17).
+//!
+//! "Three completely redundant storage systems guarantee safe and up to
+//! date storage of information … the three storage systems perform constant
+//! data synchronization."
+//!
+//! Each replica daemon owns a [`DiskImage`] — shared state standing in for
+//! the machine's disk, so a crashed replica that restarts on the same host
+//! finds its data again.  Anti-entropy runs on a dedicated *sync worker
+//! thread*, not the daemon's control thread: replicas synchronously query
+//! each other (digest pulls), and two control threads calling each other
+//! would deadlock — the worker keeps command service and synchronization
+//! independent, mirroring the paper's separation of command and data paths.
+
+use crate::version::{StoreKey, Versioned};
+use ace_core::prelude::*;
+use ace_core::protocol::{hex_decode, hex_encode};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The simulated disk of one replica: survives daemon crash/restart (hand
+/// the same image to the respawned daemon).
+#[derive(Debug, Clone, Default)]
+pub struct DiskImage {
+    inner: Arc<Mutex<HashMap<StoreKey, Versioned>>>,
+}
+
+impl DiskImage {
+    pub fn new() -> DiskImage {
+        DiskImage::default()
+    }
+
+    /// Apply a versioned write if it beats the current entry.  Returns
+    /// `true` if applied.
+    pub fn apply(&self, key: StoreKey, value: Versioned) -> bool {
+        let mut map = self.inner.lock();
+        match map.get(&key) {
+            Some(existing) if !value.beats(existing) => false,
+            _ => {
+                map.insert(key, value);
+                true
+            }
+        }
+    }
+
+    /// Read a key (tombstones included).
+    pub fn get(&self, key: &StoreKey) -> Option<Versioned> {
+        self.inner.lock().get(key).cloned()
+    }
+
+    /// Live (non-tombstone) keys in a namespace, sorted.
+    pub fn list(&self, ns: &str) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .inner
+            .lock()
+            .iter()
+            .filter(|((n, _), v)| n == ns && !v.deleted)
+            .map(|((_, k), _)| k.clone())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Digest of everything held: `(ns, key, version, writer)`.
+    pub fn digest(&self) -> Vec<(String, String, u64, String)> {
+        let mut out: Vec<_> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|((ns, k), v)| (ns.clone(), k.clone(), v.version, v.writer.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Checksum over the full digest — equal checksums mean replicas have
+    /// converged.
+    pub fn checksum(&self) -> u64 {
+        let mut material = Vec::new();
+        for (ns, k, version, writer) in self.digest() {
+            material.extend_from_slice(ns.as_bytes());
+            material.push(0);
+            material.extend_from_slice(k.as_bytes());
+            material.push(0);
+            material.extend_from_slice(&version.to_le_bytes());
+            material.extend_from_slice(writer.as_bytes());
+            material.push(0);
+        }
+        ace_security::hash::fnv64(&material)
+    }
+}
+
+/// Counters shared between the daemon and its sync worker.
+#[derive(Debug, Default)]
+struct SyncStats {
+    syncs: AtomicU64,
+    pulled: AtomicU64,
+}
+
+/// The replica daemon behavior.
+pub struct StoreReplica {
+    disk: DiskImage,
+    sync_interval: Duration,
+    stats: Arc<SyncStats>,
+    stop: Arc<AtomicBool>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    /// Nudges the worker to sync immediately (`psSync`).
+    nudge: Option<crossbeam_channel::Sender<()>>,
+}
+
+impl StoreReplica {
+    pub fn new(disk: DiskImage, sync_interval: Duration) -> StoreReplica {
+        StoreReplica {
+            disk,
+            sync_interval,
+            stats: Arc::new(SyncStats::default()),
+            stop: Arc::new(AtomicBool::new(false)),
+            worker: None,
+            nudge: None,
+        }
+    }
+}
+
+/// One anti-entropy round from the worker thread: pull newer versions from
+/// every peer replica found in the ASD.
+fn sync_round(
+    net: &SimNet,
+    host: &HostId,
+    identity: &ace_security::keys::KeyPair,
+    asd: &Addr,
+    own_name: &str,
+    disk: &DiskImage,
+    stats: &SyncStats,
+    clients: &mut HashMap<Addr, ServiceClient>,
+) {
+    let call = |clients: &mut HashMap<Addr, ServiceClient>,
+                    addr: &Addr,
+                    cmd: &CmdLine|
+     -> Option<CmdLine> {
+        for attempt in 0..2 {
+            if !clients.contains_key(addr) {
+                match ServiceClient::connect(net, host, addr.clone(), identity) {
+                    Ok(c) => {
+                        clients.insert(addr.clone(), c);
+                    }
+                    Err(_) => return None,
+                }
+            }
+            match clients.get_mut(addr).expect("present").call(cmd) {
+                Ok(r) => return Some(r),
+                Err(ClientError::Service { .. }) => return None,
+                Err(ClientError::Link(_)) => {
+                    clients.remove(addr);
+                    if attempt == 1 {
+                        return None;
+                    }
+                }
+            }
+        }
+        None
+    };
+
+    let Some(reply) = call(clients, asd, &CmdLine::new("lookup").arg("class", Value::Str("PersistentStore".into())))
+    else {
+        return;
+    };
+    let Some(peers) = reply
+        .get("services")
+        .and_then(ace_core::protocol::entries_from_value)
+    else {
+        return;
+    };
+    for peer in peers.into_iter().filter(|p| p.name != own_name) {
+        let Some(reply) = call(clients, &peer.addr, &CmdLine::new("psDigest")) else {
+            continue; // peer down: catch up later
+        };
+        let Some(rows) = digest_from_reply(&reply) else {
+            continue;
+        };
+        for (ns, key, version, writer) in rows {
+            let key_pair = (ns.clone(), key.clone());
+            let newer_remote = match disk.get(&key_pair) {
+                None => true,
+                Some(local) => {
+                    (version, writer.as_str()) > (local.version, local.writer.as_str())
+                }
+            };
+            if !newer_remote {
+                continue;
+            }
+            let Some(got) = call(
+                clients,
+                &peer.addr,
+                &CmdLine::new("psGet")
+                    .arg("ns", ns.as_str())
+                    .arg("key", Value::Str(key.clone())),
+            ) else {
+                continue;
+            };
+            if let Some(value) = versioned_from_reply(&got) {
+                if disk.apply(key_pair, value) {
+                    stats.pulled.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    stats.syncs.fetch_add(1, Ordering::Relaxed);
+}
+
+fn versioned_from_reply(reply: &CmdLine) -> Option<Versioned> {
+    Some(Versioned {
+        data: hex_decode(reply.get_text("data")?)?,
+        version: reply.get_int("version")? as u64,
+        writer: reply.get_text("writer")?.to_string(),
+        deleted: reply.get_bool("deleted")?,
+    })
+}
+
+fn digest_from_reply(reply: &CmdLine) -> Option<Vec<(String, String, u64, String)>> {
+    let rows = match reply.get("entries")? {
+        v if v.as_vector().map_or(false, |s| s.is_empty()) => return Some(Vec::new()),
+        v => v.as_array()?,
+    };
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != 4 {
+            return None;
+        }
+        let cell = |i: usize| row[i].as_text();
+        out.push((
+            cell(0)?.to_string(),
+            cell(1)?.to_string(),
+            cell(2)?.parse().ok()?,
+            cell(3)?.to_string(),
+        ));
+    }
+    Some(out)
+}
+
+impl ServiceBehavior for StoreReplica {
+    fn semantics(&self) -> Semantics {
+        Semantics::new()
+            .with(
+                CmdSpec::new("psPut", "store a versioned value")
+                    .required("ns", ArgType::Word, "namespace")
+                    .required("key", ArgType::Str, "key within the namespace")
+                    .required("data", ArgType::Word, "hex value bytes")
+                    .required("version", ArgType::Int, "client-assigned version")
+                    .required("writer", ArgType::Str, "writer id (tie-break)"),
+            )
+            .with(
+                CmdSpec::new("psGet", "read a key")
+                    .required("ns", ArgType::Word, "namespace")
+                    .required("key", ArgType::Str, "key"),
+            )
+            .with(
+                CmdSpec::new("psDelete", "tombstone a key")
+                    .required("ns", ArgType::Word, "namespace")
+                    .required("key", ArgType::Str, "key")
+                    .required("version", ArgType::Int, "client-assigned version")
+                    .required("writer", ArgType::Str, "writer id"),
+            )
+            .with(
+                CmdSpec::new("psList", "live keys in a namespace")
+                    .required("ns", ArgType::Word, "namespace"),
+            )
+            .with(CmdSpec::new("psDigest", "full (ns,key,version,writer) digest"))
+            .with(CmdSpec::new("psSync", "nudge the sync worker to run now"))
+            .with(CmdSpec::new("psStats", "replica counters"))
+    }
+
+    fn on_start(&mut self, ctx: &mut ServiceCtx) {
+        let Some(asd) = ctx.asd_addr().cloned() else {
+            // Standalone replica (unit tests): no peers to sync with.
+            return;
+        };
+        let (nudge_tx, nudge_rx) = crossbeam_channel::unbounded::<()>();
+        self.nudge = Some(nudge_tx);
+        let net = ctx.net().clone();
+        let host = ctx.host().clone();
+        let identity = *ctx.identity();
+        let own_name = ctx.name().to_string();
+        let disk = self.disk.clone();
+        let stats = Arc::clone(&self.stats);
+        let stop = Arc::clone(&self.stop);
+        let interval = self.sync_interval;
+        self.worker = Some(
+            std::thread::Builder::new()
+                .name(format!("{own_name}-sync"))
+                .spawn(move || {
+                    let mut clients = HashMap::new();
+                    while !stop.load(Ordering::SeqCst) {
+                        // Wait one interval or until nudged.
+                        let _ = nudge_rx.recv_timeout(interval);
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        sync_round(
+                            &net, &host, &identity, &asd, &own_name, &disk, &stats,
+                            &mut clients,
+                        );
+                    }
+                })
+                .expect("spawn sync worker"),
+        );
+    }
+
+    fn on_stop(&mut self, _ctx: &mut ServiceCtx) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(nudge) = &self.nudge {
+            let _ = nudge.send(());
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+
+    fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        match cmd.name() {
+            "psPut" | "psDelete" => {
+                let Some(data) = (if cmd.name() == "psPut" {
+                    hex_decode(cmd.get_text("data").expect("validated"))
+                } else {
+                    Some(Vec::new())
+                }) else {
+                    return Reply::err(ErrorCode::Semantics, "data is not valid hex");
+                };
+                let key = (
+                    cmd.get_text("ns").expect("validated").to_string(),
+                    cmd.get_text("key").expect("validated").to_string(),
+                );
+                let value = Versioned {
+                    data,
+                    version: cmd.get_int("version").expect("validated").max(0) as u64,
+                    writer: cmd.get_text("writer").expect("validated").to_string(),
+                    deleted: cmd.name() == "psDelete",
+                };
+                let applied = self.disk.apply(key, value);
+                Reply::ok_with(|c| c.arg("applied", applied))
+            }
+            "psGet" => {
+                let key = (
+                    cmd.get_text("ns").expect("validated").to_string(),
+                    cmd.get_text("key").expect("validated").to_string(),
+                );
+                match self.disk.get(&key) {
+                    Some(v) => Reply::ok_with(|c| {
+                        c.arg("data", hex_encode(&v.data))
+                            .arg("version", v.version as i64)
+                            .arg("writer", Value::Str(v.writer.clone()))
+                            .arg("deleted", v.deleted)
+                    }),
+                    None => Reply::err(ErrorCode::NotFound, "no such key"),
+                }
+            }
+            "psList" => {
+                let ns = cmd.get_text("ns").expect("validated");
+                let keys: Vec<Scalar> = self
+                    .disk
+                    .list(ns)
+                    .into_iter()
+                    .map(Scalar::Str)
+                    .collect();
+                Reply::ok_with(|c| {
+                    c.arg("count", keys.len() as i64).arg("keys", Value::Vector(keys))
+                })
+            }
+            "psDigest" => {
+                let rows: Vec<Vec<Scalar>> = self
+                    .disk
+                    .digest()
+                    .into_iter()
+                    .map(|(ns, k, version, writer)| {
+                        vec![
+                            Scalar::Str(ns),
+                            Scalar::Str(k),
+                            Scalar::Str(version.to_string()),
+                            Scalar::Str(writer),
+                        ]
+                    })
+                    .collect();
+                Reply::ok_with(|c| {
+                    c.arg("count", rows.len() as i64).arg("entries", Value::Array(rows))
+                })
+            }
+            "psSync" => {
+                if let Some(nudge) = &self.nudge {
+                    let _ = nudge.send(());
+                }
+                Reply::ok()
+            }
+            "psStats" => Reply::ok_with(|c| {
+                c.arg("entries", self.disk.len() as i64)
+                    .arg("syncs", self.stats.syncs.load(Ordering::Relaxed) as i64)
+                    .arg("pulled", self.stats.pulled.load(Ordering::Relaxed) as i64)
+                    .arg(
+                        "checksum",
+                        Value::Word(format!("x{:016x}", self.disk.checksum())),
+                    )
+            }),
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}
+
+impl Drop for StoreReplica {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(nudge) = &self.nudge {
+            let _ = nudge.send(());
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_applies_only_newer() {
+        let disk = DiskImage::new();
+        let key = ("ns".to_string(), "k".to_string());
+        let v1 = Versioned {
+            data: b"one".to_vec(),
+            version: 1,
+            writer: "a".into(),
+            deleted: false,
+        };
+        let v2 = Versioned {
+            data: b"two".to_vec(),
+            version: 2,
+            writer: "a".into(),
+            deleted: false,
+        };
+        assert!(disk.apply(key.clone(), v1.clone()));
+        assert!(disk.apply(key.clone(), v2.clone()));
+        assert!(!disk.apply(key.clone(), v1), "stale write rejected");
+        assert_eq!(disk.get(&key).unwrap().data, b"two");
+    }
+
+    #[test]
+    fn tombstones_hide_from_list_but_stay_in_digest() {
+        let disk = DiskImage::new();
+        disk.apply(
+            ("ns".into(), "k".into()),
+            Versioned {
+                data: b"x".to_vec(),
+                version: 1,
+                writer: "a".into(),
+                deleted: false,
+            },
+        );
+        assert_eq!(disk.list("ns"), vec!["k".to_string()]);
+        disk.apply(
+            ("ns".into(), "k".into()),
+            Versioned {
+                data: vec![],
+                version: 2,
+                writer: "a".into(),
+                deleted: true,
+            },
+        );
+        assert!(disk.list("ns").is_empty());
+        assert_eq!(disk.digest().len(), 1);
+    }
+
+    #[test]
+    fn checksum_tracks_convergence() {
+        let a = DiskImage::new();
+        let b = DiskImage::new();
+        assert_eq!(a.checksum(), b.checksum());
+        let value = Versioned {
+            data: b"v".to_vec(),
+            version: 1,
+            writer: "w".into(),
+            deleted: false,
+        };
+        a.apply(("n".into(), "k".into()), value.clone());
+        assert_ne!(a.checksum(), b.checksum());
+        b.apply(("n".into(), "k".into()), value);
+        assert_eq!(a.checksum(), b.checksum());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests on the store's convergence model: for any interleaving of
+//! writes across replicas, pairwise anti-entropy converges every disk to
+//! the same contents, and the winner of each key is the globally maximal
+//! `(version, writer)` pair.
+
+use ace_store::{DiskImage, Versioned};
+use proptest::prelude::*;
+
+/// One generated write.
+#[derive(Debug, Clone)]
+struct Op {
+    replica: usize,
+    key: u8,
+    version: u64,
+    writer: u8,
+    delete: bool,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The real system guarantees that a (version, writer) pair uniquely
+    // determines a write (writers are distinct principals and bump their
+    // own versions), so content derives deterministically from the pair.
+    (0usize..3, any::<u8>(), 1u64..16, 0u8..4).prop_map(|(replica, key, version, writer)| Op {
+        replica,
+        key: key % 8,
+        version,
+        writer,
+        delete: (version + writer as u64) % 3 == 0,
+    })
+}
+
+/// Pull-based pairwise sync: `a` pulls everything newer from `b` (the same
+/// rule the replica daemon's sync worker applies).
+fn pull(a: &DiskImage, b: &DiskImage) {
+    for (ns, key, _, _) in b.digest() {
+        let k = (ns, key);
+        let remote = b.get(&k).expect("digested");
+        a.apply(k, remote);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any write sequence + enough sync rounds ⇒ all replicas identical,
+    /// and each key holds the maximal (version, writer) value.
+    #[test]
+    fn anti_entropy_converges(ops in prop::collection::vec(op_strategy(), 1..64)) {
+        let disks = [DiskImage::new(), DiskImage::new(), DiskImage::new()];
+        for op in &ops {
+            disks[op.replica].apply(
+                ("ns".into(), format!("k{}", op.key)),
+                Versioned {
+                    data: format!("v{}w{}", op.version, op.writer).into_bytes(),
+                    version: op.version,
+                    writer: format!("w{}", op.writer),
+                    deleted: op.delete,
+                },
+            );
+        }
+        // Two full rounds of pairwise pulls guarantee propagation through
+        // any 3-node topology.
+        for _ in 0..2 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    if i != j {
+                        pull(&disks[i], &disks[j]);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(disks[0].checksum(), disks[1].checksum());
+        prop_assert_eq!(disks[1].checksum(), disks[2].checksum());
+
+        // Winner per key = maximal (version, writer) among all ops on it.
+        for key in 0u8..8 {
+            let expected = ops
+                .iter()
+                .filter(|o| o.key == key)
+                .max_by_key(|o| (o.version, format!("w{}", o.writer)));
+            let stored = disks[0].get(&("ns".into(), format!("k{key}")));
+            match (expected, stored) {
+                (None, None) => {}
+                (Some(op), Some(v)) => {
+                    prop_assert_eq!(v.version, op.version);
+                    prop_assert_eq!(v.writer, format!("w{}", op.writer));
+                    prop_assert_eq!(v.deleted, op.delete);
+                }
+                (e, s) => prop_assert!(false, "mismatch: {e:?} vs {s:?}"),
+            }
+        }
+    }
+
+    /// Applying the same set of writes in any order yields the same disk.
+    #[test]
+    fn apply_order_irrelevant(
+        ops in prop::collection::vec(op_strategy(), 1..32),
+        seed in any::<u64>(),
+    ) {
+        let value = |op: &Op| Versioned {
+            data: vec![op.version as u8],
+            version: op.version,
+            writer: format!("w{}", op.writer),
+            deleted: op.delete,
+        };
+        let a = DiskImage::new();
+        for op in &ops {
+            a.apply(("ns".into(), format!("k{}", op.key)), value(op));
+        }
+        // A deterministic shuffle of the same ops.
+        let mut shuffled = ops.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(i, (state as usize) % (i + 1));
+        }
+        let b = DiskImage::new();
+        for op in &shuffled {
+            b.apply(("ns".into(), format!("k{}", op.key)), value(op));
+        }
+        prop_assert_eq!(a.checksum(), b.checksum());
+    }
+
+    /// `beats` is a strict total order on distinct (version, writer) pairs.
+    #[test]
+    fn beats_total_order(v1 in 0u64..8, w1 in 0u8..4, v2 in 0u64..8, w2 in 0u8..4) {
+        let a = Versioned { data: vec![], version: v1, writer: format!("w{w1}"), deleted: false };
+        let b = Versioned { data: vec![], version: v2, writer: format!("w{w2}"), deleted: false };
+        if (v1, w1) == (v2, w2) {
+            prop_assert!(!a.beats(&b) && !b.beats(&a));
+        } else {
+            prop_assert!(a.beats(&b) ^ b.beats(&a));
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Integration tests of the persistent store (§6, Fig. 17): replication,
+//! quorum behaviour under failures, anti-entropy convergence, crash
+//! recovery with intact disks, and conflict resolution.
+
+use ace_core::prelude::*;
+use ace_directory::{bootstrap, Framework};
+use ace_security::keys::KeyPair;
+use ace_store::{respawn_replica, spawn_store_cluster, StoreClient, StoreCluster, StoreError};
+use std::time::Duration;
+
+fn keypair() -> KeyPair {
+    KeyPair::generate(&mut rand::thread_rng())
+}
+
+const SYNC: Duration = Duration::from_millis(100);
+
+struct World {
+    net: SimNet,
+    fw: Framework,
+    cluster: StoreCluster,
+}
+
+fn world() -> World {
+    let net = SimNet::new();
+    net.add_host("core");
+    for h in ["s1", "s2", "s3"] {
+        net.add_host(h);
+    }
+    let fw = bootstrap(&net, "core", Duration::from_secs(10)).unwrap();
+    let cluster = spawn_store_cluster(&net, &fw, &["s1", "s2", "s3"], SYNC).unwrap();
+    World { net, fw, cluster }
+}
+
+fn client(w: &World) -> StoreClient {
+    StoreClient::new(
+        w.net.clone(),
+        "core",
+        keypair(),
+        w.cluster.addrs.clone(),
+    )
+}
+
+fn wait_converged(w: &World, deadline: Duration) -> bool {
+    let end = std::time::Instant::now() + deadline;
+    while std::time::Instant::now() < end {
+        let sums: Vec<u64> = w
+            .cluster
+            .replicas
+            .iter()
+            .map(|(_, disk)| disk.checksum())
+            .collect();
+        if sums.windows(2).all(|p| p[0] == p[1]) && !w.cluster.replicas[0].1.is_empty() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+#[test]
+fn put_get_roundtrip_and_replication() {
+    let w = world();
+    let mut c = client(&w);
+
+    c.put("appstate", "counter_1", b"count=42").unwrap();
+    assert_eq!(c.get("appstate", "counter_1").unwrap(), b"count=42");
+
+    // The write reached a quorum immediately and all three eventually.
+    assert!(wait_converged(&w, Duration::from_secs(5)), "replicas converged");
+    for (_, disk) in &w.cluster.replicas {
+        let v = disk.get(&("appstate".into(), "counter_1".into())).unwrap();
+        assert_eq!(v.data, b"count=42");
+    }
+
+    w.cluster.shutdown();
+    w.fw.shutdown();
+}
+
+#[test]
+fn versions_increment_and_overwrite() {
+    let w = world();
+    let mut c = client(&w);
+    let v1 = c.put("ns", "k", b"one").unwrap();
+    let v2 = c.put("ns", "k", b"two").unwrap();
+    assert!(v2 > v1);
+    assert_eq!(c.get("ns", "k").unwrap(), b"two");
+    w.cluster.shutdown();
+    w.fw.shutdown();
+}
+
+#[test]
+fn missing_key_is_not_found() {
+    let w = world();
+    let mut c = client(&w);
+    assert!(matches!(c.get("ns", "ghost"), Err(StoreError::NotFound)));
+    w.cluster.shutdown();
+    w.fw.shutdown();
+}
+
+#[test]
+fn delete_tombstones_propagate() {
+    let w = world();
+    let mut c = client(&w);
+    c.put("ns", "k", b"data").unwrap();
+    assert_eq!(c.list("ns").unwrap(), vec!["k".to_string()]);
+    c.delete("ns", "k").unwrap();
+    assert!(matches!(c.get("ns", "k"), Err(StoreError::NotFound)));
+    assert!(c.list("ns").unwrap().is_empty());
+    w.cluster.shutdown();
+    w.fw.shutdown();
+}
+
+/// "If one or two of the servers fail or crash, ACE services may still
+/// access the stored information."
+#[test]
+fn one_replica_down_reads_and_writes_continue() {
+    let w = world();
+    let mut c = client(&w);
+    c.put("ns", "before", b"x").unwrap();
+
+    // Crash replica 1 abruptly.
+    w.net.kill_host(&"s1".into());
+
+    // Reads and quorum (2/3) writes still work.
+    assert_eq!(c.get("ns", "before").unwrap(), b"x");
+    c.put("ns", "during", b"y").unwrap();
+    assert_eq!(c.get("ns", "during").unwrap(), b"y");
+
+    // Cleanup: the s1 daemon is dead; crash its handle.
+    for (handle, _) in w.cluster.replicas {
+        if handle.addr().host.as_str() == "s1" {
+            handle.crash();
+        } else {
+            handle.shutdown();
+        }
+    }
+    w.fw.shutdown();
+}
+
+#[test]
+fn two_replicas_down_reads_work_writes_fail() {
+    let w = world();
+    let mut c = client(&w);
+    c.put("ns", "k", b"v").unwrap();
+
+    w.net.kill_host(&"s1".into());
+    w.net.kill_host(&"s2".into());
+
+    assert_eq!(c.get("ns", "k").unwrap(), b"v", "one survivor still serves reads");
+    assert!(matches!(
+        c.put("ns", "k", b"new"),
+        Err(StoreError::QuorumFailed { acked: 1, quorum: 2 })
+    ));
+
+    for (handle, _) in w.cluster.replicas {
+        if handle.addr().host.as_str() == "s3" {
+            handle.shutdown();
+        } else {
+            handle.crash();
+        }
+    }
+    w.fw.shutdown();
+}
+
+#[test]
+fn all_replicas_down_is_distinguished() {
+    let w = world();
+    let mut c = client(&w);
+    c.put("ns", "k", b"v").unwrap();
+    for h in ["s1", "s2", "s3"] {
+        w.net.kill_host(&h.into());
+    }
+    assert!(matches!(c.get("ns", "k"), Err(StoreError::AllReplicasDown)));
+    for (handle, _) in w.cluster.replicas {
+        handle.crash();
+    }
+    w.fw.shutdown();
+}
+
+/// The E15/E19 recovery path: a replica crashes, misses writes, restarts on
+/// its surviving disk, and anti-entropy brings it back up to date.
+#[test]
+fn crashed_replica_recovers_via_anti_entropy() {
+    let w = world();
+    let mut c = client(&w);
+    c.put("ns", "old", b"before crash").unwrap();
+    assert!(wait_converged(&w, Duration::from_secs(5)));
+
+    // Crash s1, write while it is down.
+    let mut survivors = Vec::new();
+    let mut crashed_disk = None;
+    for (handle, disk) in w.cluster.replicas {
+        if handle.addr().host.as_str() == "s1" {
+            handle.crash();
+            crashed_disk = Some(disk);
+        } else {
+            survivors.push((handle, disk));
+        }
+    }
+    let crashed_disk = crashed_disk.unwrap();
+    for i in 0..10 {
+        c.put("ns", &format!("missed_{i}"), b"written while down").unwrap();
+    }
+    // s1's disk does not have the new keys yet.
+    assert!(crashed_disk
+        .get(&("ns".into(), "missed_0".into()))
+        .is_none());
+
+    // Revive the host and respawn the replica on its old disk.
+    w.net.revive_host(&"s1".into());
+    let revived = respawn_replica(&w.net, &w.fw, 0, "s1", crashed_disk.clone(), SYNC).unwrap();
+
+    // Anti-entropy catches it up.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let ok = (0..10).all(|i| {
+            crashed_disk
+                .get(&("ns".into(), format!("missed_{i}")))
+                .is_some()
+        });
+        if ok {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "replica never caught up");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    revived.shutdown();
+    for (handle, _) in survivors {
+        handle.shutdown();
+    }
+    w.fw.shutdown();
+}
+
+/// Two writers racing on the same key converge to one deterministic winner
+/// on every replica.
+#[test]
+fn concurrent_writers_converge() {
+    let w = world();
+    let mut a = client(&w);
+    let mut b = client(&w);
+    a.put("ns", "seed", b"seed").unwrap();
+
+    // Both clients read version v and write v+1 concurrently (the writer id
+    // breaks the tie).
+    let aj = {
+        let mut a2 = client(&w);
+        std::thread::spawn(move || a2.put("ns", "contested", b"from A"))
+    };
+    let bj = std::thread::spawn(move || b.put("ns", "contested", b"from B"));
+    aj.join().unwrap().unwrap();
+    bj.join().unwrap().unwrap();
+
+    assert!(wait_converged(&w, Duration::from_secs(5)), "replicas converged");
+    let winner = a.get("ns", "contested").unwrap();
+    assert!(winner == b"from A" || winner == b"from B");
+    // Every replica holds exactly the winner.
+    for (_, disk) in &w.cluster.replicas {
+        assert_eq!(
+            disk.get(&("ns".into(), "contested".into())).unwrap().data,
+            winner
+        );
+    }
+
+    w.cluster.shutdown();
+    w.fw.shutdown();
+}
+
+#[test]
+fn read_repair_fixes_stale_replica() {
+    let w = world();
+    let mut c = client(&w);
+    c.put("ns", "k", b"v1").unwrap();
+    assert!(wait_converged(&w, Duration::from_secs(5)));
+
+    // Manually regress replica 3's disk to simulate staleness.
+    let disk3 = &w.cluster.replicas[2].1;
+    disk3.apply(
+        ("ns".into(), "k".into()),
+        ace_store::Versioned {
+            data: b"v1".to_vec(),
+            version: 0,
+            writer: "old".into(),
+            deleted: false,
+        },
+    );
+    // (apply refuses to regress — so instead verify repair via a fresh key
+    // missing from one replica: partition s3, write, heal, read.)
+    w.net.partition(&"core".into(), &"s3".into());
+    c.put("ns", "repaired", b"value").unwrap();
+    w.net.heal_all();
+    // Also cut s3 off from its peers' sync briefly?  Not needed: the read
+    // itself must repair.  Read through the client (which reaches s3 now).
+    assert_eq!(c.get("ns", "repaired").unwrap(), b"value");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if disk3.get(&("ns".into(), "repaired".into())).is_some() {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "read repair never landed");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    w.cluster.shutdown();
+    w.fw.shutdown();
+}

@@ -1,0 +1,22 @@
+//! # ace-workspace — user workspaces
+//!
+//! "A user workspace is a virtual computational space/environment that a
+//! user may utilize to run his/her applications and access the ACE network"
+//! (§1.3).  This crate implements §4.5 and §5.4:
+//!
+//! * [`Framebuffer`] — the tile-hash virtual framebuffer (the VNC
+//!   substitution, Fig. 16);
+//! * [`VncHost`] — a daemon hosting many workspace sessions, pushing tile
+//!   updates to attached viewers over datagrams;
+//! * [`VncViewer`] — the access-point side, replicating the framebuffer;
+//! * [`Wss`] — the Workspace Server: creates/names/removes workspaces,
+//!   manages session passwords invisibly, and reacts to `userAdded` /
+//!   `userAt` events (Scenarios 1, 3, 4).
+
+pub mod framebuffer;
+pub mod vnc;
+pub mod wss;
+
+pub use framebuffer::{Framebuffer, Tile, TileUpdate, TILE_PIXELS};
+pub use vnc::{VncHost, VncViewer};
+pub use wss::{wire_wss, WorkspaceRecord, Wss};

@@ -1,0 +1,124 @@
+//! Property tests on the framebuffer protocol: viewers converge to the
+//! server under arbitrary draw sequences and arbitrary update reordering,
+//! and the wire form is total.
+
+use ace_workspace::{Framebuffer, TileUpdate};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Draw {
+    x: u32,
+    y: u32,
+    w: u32,
+    h: u32,
+    payload: u64,
+}
+
+fn draw_strategy() -> impl Strategy<Value = Draw> {
+    (0u32..320, 0u32..240, 1u32..128, 1u32..96, any::<u64>()).prop_map(
+        |(x, y, w, h, payload)| Draw { x, y, w, h, payload },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// In-order delivery converges the viewer exactly.
+    #[test]
+    fn viewer_converges_in_order(draws in prop::collection::vec(draw_strategy(), 0..32)) {
+        let mut server = Framebuffer::new(320, 240);
+        let mut viewer = Framebuffer::new(320, 240);
+        for d in &draws {
+            for u in server.draw_rect(d.x, d.y, d.w, d.h, &d.payload.to_le_bytes()) {
+                viewer.apply(u);
+            }
+        }
+        prop_assert_eq!(server.checksum(), viewer.checksum());
+    }
+
+    /// Arbitrary reordering of the whole update stream still converges
+    /// (per-tile newest-seq wins).
+    #[test]
+    fn viewer_converges_reordered(
+        draws in prop::collection::vec(draw_strategy(), 1..32),
+        seed in any::<u64>(),
+    ) {
+        let mut server = Framebuffer::new(320, 240);
+        let mut updates = Vec::new();
+        for d in &draws {
+            updates.extend(server.draw_rect(d.x, d.y, d.w, d.h, &d.payload.to_le_bytes()));
+        }
+        // Deterministic shuffle.
+        let mut state = seed | 1;
+        for i in (1..updates.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            updates.swap(i, (state as usize) % (i + 1));
+        }
+        let mut viewer = Framebuffer::new(320, 240);
+        for u in updates {
+            viewer.apply(u);
+        }
+        prop_assert_eq!(server.checksum(), viewer.checksum());
+    }
+
+    /// Losing a *prefix-closed per-tile* set of updates and then applying a
+    /// full frame reconverges (the attach-time repair path).
+    #[test]
+    fn full_frame_repairs_any_loss(
+        draws in prop::collection::vec(draw_strategy(), 1..24),
+        keep_mask in any::<u64>(),
+    ) {
+        let mut server = Framebuffer::new(320, 240);
+        let mut viewer = Framebuffer::new(320, 240);
+        let mut i = 0u64;
+        for d in &draws {
+            for u in server.draw_rect(d.x, d.y, d.w, d.h, &d.payload.to_le_bytes()) {
+                if keep_mask & (1 << (i % 64)) != 0 {
+                    viewer.apply(u); // some arrive, some are lost
+                }
+                i += 1;
+            }
+        }
+        for u in server.full_frame() {
+            viewer.apply(u);
+        }
+        prop_assert_eq!(server.checksum(), viewer.checksum());
+    }
+
+    /// Wire round-trip for arbitrary updates and session names.
+    #[test]
+    fn update_wire_roundtrip(
+        col in any::<u32>(),
+        row in any::<u32>(),
+        hash in any::<u64>(),
+        seq in any::<u64>(),
+        session in "[a-z_][a-z0-9_]{0,12}",
+    ) {
+        let u = TileUpdate { col, row, hash, seq };
+        let (s, back) = TileUpdate::from_wire(&u.to_wire(&session)).unwrap();
+        prop_assert_eq!(s, session);
+        prop_assert_eq!(back, u);
+    }
+
+    /// The wire parser is total on arbitrary bytes.
+    #[test]
+    fn wire_parse_total(payload in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = TileUpdate::from_wire(&payload);
+    }
+
+    /// `updates_since(0)` equals the full frame restricted to drawn tiles.
+    #[test]
+    fn updates_since_zero_covers_all_draws(draws in prop::collection::vec(draw_strategy(), 0..16)) {
+        let mut server = Framebuffer::new(320, 240);
+        for d in &draws {
+            server.draw_rect(d.x, d.y, d.w, d.h, &d.payload.to_le_bytes());
+        }
+        let mut viewer = Framebuffer::new(320, 240);
+        for u in server.updates_since(0) {
+            viewer.apply(u);
+        }
+        prop_assert_eq!(server.checksum(), viewer.checksum());
+    }
+}

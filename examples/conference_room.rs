@@ -1,0 +1,130 @@
+//! The conference-room walkthrough: the paper's §7 scenarios 1–5 in one
+//! run, with per-step timings (the Fig. 19 numbered steps).
+//!
+//! ```sh
+//! cargo run --example conference_room
+//! ```
+
+use ace_core::prelude::*;
+use ace_env::{AceEnvironment, EnvConfig};
+use ace_security::keys::KeyPair;
+use std::time::{Duration, Instant};
+
+fn wait_until(deadline: Duration, mut probe: impl FnMut() -> bool) -> Duration {
+    let start = Instant::now();
+    let end = start + deadline;
+    while Instant::now() < end {
+        if probe() {
+            return start.elapsed();
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("condition never became true");
+}
+
+fn main() {
+    println!("building the ACE environment (Fig. 18)…");
+    let t0 = Instant::now();
+    let ace = AceEnvironment::build(EnvConfig::default()).expect("environment");
+    println!(
+        "  {} service daemons + framework tier in {:?}\n",
+        ace.daemons.len(),
+        t0.elapsed()
+    );
+
+    // ── Scenario 1: new user ────────────────────────────────────────────
+    println!("Scenario 1 — John Doe joins ACECo");
+    let john = KeyPair::generate(&mut rand::thread_rng());
+    let t = Instant::now();
+    ace.register_user("jdoe", "John Doe", "hunter2", &john, Some("fp_jdoe"), None)
+        .unwrap();
+    println!("  [1] registered in the AUD + fingerprint enrolled ({:?})", t.elapsed());
+
+    let mut wss = ace.client("wss").unwrap();
+    let took = wait_until(Duration::from_secs(10), || {
+        wss.call(&CmdLine::new("wssList").arg("user", "jdoe"))
+            .map(|r| r.get_int("count") == Some(1))
+            .unwrap_or(false)
+    });
+    println!("  [2] default workspace provisioned via WSS→SAL→SRM→HAL (+{took:?})\n");
+
+    // ── Scenario 2: identification ──────────────────────────────────────
+    println!("Scenario 2 — John identifies at the podium scanner");
+    let t = Instant::now();
+    let reply = ace.press_finger("fp_jdoe").unwrap();
+    println!(
+        "  [1] FIU matched template, user = {} ({:?})",
+        reply.get_text("username").unwrap(),
+        t.elapsed()
+    );
+    let mut aud = ace.client("aud").unwrap();
+    let took = wait_until(Duration::from_secs(10), || {
+        aud.call(&CmdLine::new("getLocation").arg("username", "jdoe"))
+            .map(|r| r.get_text("room") == Some("hawk"))
+            .unwrap_or(false)
+    });
+    println!("  [2] ID Monitor updated the AUD: jdoe is in hawk at podium (+{took:?})");
+
+    // ── Scenario 3: workspace shows up ──────────────────────────────────
+    let took = wait_until(Duration::from_secs(10), || {
+        wss.call(&CmdLine::new("wssStats"))
+            .map(|r| r.get_int("shows").unwrap_or(0) >= 1)
+            .unwrap_or(false)
+    });
+    println!("Scenario 3 — workspace displayed at the access point (+{took:?})\n");
+
+    // ── Scenario 4: second workspace + selector ─────────────────────────
+    println!("Scenario 4 — a second workspace raises the selector");
+    wss.call(&CmdLine::new("wssCreate").arg("user", "jdoe").arg("name", "slides"))
+        .unwrap();
+    ace.press_finger("fp_jdoe").unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    let shown = wss
+        .call(
+            &CmdLine::new("wssShow")
+                .arg("user", "jdoe")
+                .arg("name", "slides")
+                .arg("accessHost", "podium"),
+        )
+        .unwrap();
+    println!(
+        "  selector confirmed: session {} on {}:{}\n",
+        shown.get_text("session").unwrap(),
+        shown.get_text("vncHost").unwrap(),
+        shown.get_int("vncPort").unwrap()
+    );
+
+    // ── Scenario 5: devices ─────────────────────────────────────────────
+    println!("Scenario 5 — projector and camera for the presentation");
+    let mut projector = ace.client("projector_hawk").unwrap();
+    projector.call_ok(&CmdLine::new("projOn")).unwrap();
+    projector
+        .call_ok(&CmdLine::new("projInput").arg("source", "workspace"))
+        .unwrap();
+    projector
+        .call_ok(&CmdLine::new("projPip").arg("source", "camera"))
+        .unwrap();
+    println!("  projector: on, input=workspace, pip=camera");
+
+    let mut camera = ace.client("camera_hawk").unwrap();
+    camera.call_ok(&CmdLine::new("ptzOn")).unwrap();
+    let moved = camera
+        .call(&CmdLine::new("ptzMove").arg("x", 35.0).arg("y", -10.0).arg("zoom", 2.0))
+        .unwrap();
+    println!(
+        "  camera: pointed at the podium (pan={} tilt={} zoom={})",
+        moved.get_f64("x").unwrap(),
+        moved.get_f64("y").unwrap(),
+        moved.get_f64("zoom").unwrap()
+    );
+
+    let m = ace.net.metrics().snapshot();
+    println!(
+        "\ntraffic for the whole session: {} connections, {} frames, {} KiB",
+        m.connections,
+        m.frames,
+        m.frame_bytes / 1024
+    );
+    println!("John is now ready to give his presentation.");
+    ace.shutdown();
+}

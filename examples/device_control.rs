@@ -1,0 +1,101 @@
+//! The device-control surface of Fig. 2, rendered textually: the
+//! hierarchical tree of rooms and ACE services on the left of the GUI, and
+//! the per-device parameter controls on the right — driven entirely through
+//! the Room Database and ASD, exactly as the paper's GUI was.
+//!
+//! ```sh
+//! cargo run --example device_control
+//! ```
+
+use ace_core::prelude::*;
+use ace_directory::{AsdClient, RoomDbClient};
+use ace_env::{AceEnvironment, EnvConfig};
+
+fn main() {
+    let ace = AceEnvironment::build(EnvConfig::default()).expect("environment");
+
+    // ── Left pane: services listed "in a hierarchical tree fashion based
+    //    on their location within ACE" ───────────────────────────────────
+    let mut roomdb = RoomDbClient::connect(
+        &ace.net,
+        &"core".into(),
+        ace.fw.roomdb_addr.clone(),
+        &ace.admin,
+    )
+    .unwrap();
+    let mut asd = AsdClient::connect(
+        &ace.net,
+        &"core".into(),
+        ace.fw.asd_addr.clone(),
+        &ace.admin,
+    )
+    .unwrap();
+
+    println!("ACE Control — service tree");
+    for room in roomdb.list_rooms().unwrap() {
+        let info = roomdb.room_info(&room).unwrap();
+        println!("▸ {room} (building {})", info.building);
+        let mut placements = roomdb.room_services(&room).unwrap();
+        placements.sort_by(|a, b| a.service.cmp(&b.service));
+        for p in placements {
+            // Class comes from the directory entry.
+            let class = asd
+                .find(&p.service)
+                .ok()
+                .flatten()
+                .map(|e| e.class)
+                .unwrap_or_else(|| "?".into());
+            println!("    • {:<16} {:<40} {}", p.service, class, p.addr);
+        }
+    }
+
+    // ── Right pane: select the PTZ camera, show its controls, drive it ──
+    let camera_entry = asd
+        .lookup(None, Some("PTZCamera"), Some("hawk"))
+        .unwrap()
+        .into_iter()
+        .next()
+        .expect("camera in hawk");
+    println!("\nselected: {} ({})", camera_entry.name, camera_entry.class);
+
+    let mut camera = ServiceClient::connect(
+        &ace.net,
+        &"podium".into(),
+        camera_entry.addr.clone(),
+        &ace.admin,
+    )
+    .unwrap();
+
+    // `describe` is the GUI's source for the parameter panel.
+    let desc = camera.call(&CmdLine::new("describe")).unwrap();
+    let cmds: Vec<&str> = desc
+        .get_vector("cmds")
+        .unwrap()
+        .iter()
+        .filter_map(|s| s.as_text())
+        .collect();
+    println!("controls: {}", cmds.join(", "));
+
+    // Drive the controls like the Fig. 2 sliders/buttons.
+    camera.call_ok(&CmdLine::new("ptzOn")).unwrap();
+    for (x, y, zoom) in [(10.0, 5.0, 1.0), (45.0, -8.0, 3.0), (-30.0, 12.0, 2.0)] {
+        let moved = camera
+            .call(&CmdLine::new("ptzMove").arg("x", x).arg("y", y).arg("zoom", zoom))
+            .unwrap();
+        println!(
+            "ptzMove → pan={:>6.1}° tilt={:>6.1}° zoom={:>4.1}x",
+            moved.get_f64("x").unwrap(),
+            moved.get_f64("y").unwrap(),
+            moved.get_f64("zoom").unwrap()
+        );
+    }
+    let status = camera.call(&CmdLine::new("ptzStatus")).unwrap();
+    println!(
+        "camera status: model={} moves={} powered={}",
+        status.get_text("model").unwrap(),
+        status.get_int("moves").unwrap(),
+        status.get_bool("powered").unwrap()
+    );
+
+    ace.shutdown();
+}

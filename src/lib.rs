@@ -1,0 +1,14 @@
+//! Umbrella crate: re-exports the full ACE stack (see README).
+pub use ace_apps as apps;
+pub use ace_baselines as baselines;
+pub use ace_core as core;
+pub use ace_directory as directory;
+pub use ace_env as env;
+pub use ace_identity as identity;
+pub use ace_lang as lang;
+pub use ace_media as media;
+pub use ace_net as net;
+pub use ace_resources as resources;
+pub use ace_security as security;
+pub use ace_store as store;
+pub use ace_workspace as workspace;

@@ -1,0 +1,223 @@
+//! Chaos test: the §9 robustness goal — "a robust and reliable system of
+//! services that can detect and recover from failures" — under injected
+//! host crashes, revivals, and partitions while clients keep operating.
+
+use ace_core::prelude::*;
+use ace_directory::{bootstrap, AsdClient};
+use ace_security::keys::KeyPair;
+use ace_store::{spawn_store_cluster, StoreClient, StoreError};
+use std::time::Duration;
+
+struct Echo;
+impl ServiceBehavior for Echo {
+    fn semantics(&self) -> Semantics {
+        Semantics::new().with(CmdSpec::new("touch", "no-op"))
+    }
+    fn handle(&mut self, _ctx: &mut ServiceCtx, _cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        Reply::ok()
+    }
+}
+
+/// A service host crash-loops three times; the directory always converges
+/// to the truth (registered while up, purged after death), and an
+/// unaffected service keeps serving throughout.
+#[test]
+fn directory_tracks_crash_loops() {
+    let net = SimNet::new();
+    for h in ["core", "flaky", "stable"] {
+        net.add_host(h);
+    }
+    let fw = bootstrap(&net, "core", Duration::from_millis(300)).unwrap();
+    let me = KeyPair::generate(&mut rand::thread_rng());
+
+    let stable = Daemon::spawn(
+        &net,
+        fw.service_config("steady", "Service.Echo", "hawk", "stable", 6000)
+            .with_lease_renew(Duration::from_millis(100)),
+        Box::new(Echo),
+    )
+    .unwrap();
+    let mut stable_client =
+        ServiceClient::connect(&net, &"core".into(), stable.addr().clone(), &me).unwrap();
+    let mut asd = AsdClient::connect(&net, &"core".into(), fw.asd_addr.clone(), &me).unwrap();
+
+    for round in 0..3 {
+        // Bring the flaky service up.
+        let flaky = Daemon::spawn(
+            &net,
+            fw.service_config("flaky", "Service.Echo", "hawk", "flaky", 6000)
+                .with_lease_renew(Duration::from_millis(100)),
+            Box::new(Echo),
+        )
+        .unwrap();
+        assert!(asd.find("flaky").unwrap().is_some(), "round {round}: registered");
+
+        // Kill its host abruptly.
+        net.kill_host(&"flaky".into());
+        flaky.crash();
+
+        // The lease purges it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while asd.find("flaky").unwrap().is_some() {
+            assert!(std::time::Instant::now() < deadline, "round {round}: never purged");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+
+        // The unaffected service answered the whole time.
+        stable_client.call_ok(&CmdLine::new("touch")).unwrap();
+
+        net.revive_host(&"flaky".into());
+    }
+
+    stable.shutdown();
+    fw.shutdown();
+}
+
+/// Partition the client from one store replica mid-run: quorum writes and
+/// reads keep succeeding, and after healing the isolated replica converges.
+#[test]
+fn store_survives_partition_and_heals() {
+    let net = SimNet::new();
+    for h in ["core", "s1", "s2", "s3"] {
+        net.add_host(h);
+    }
+    let fw = bootstrap(&net, "core", Duration::from_secs(10)).unwrap();
+    let cluster =
+        spawn_store_cluster(&net, &fw, &["s1", "s2", "s3"], Duration::from_millis(100)).unwrap();
+    let mut client = StoreClient::new(
+        net.clone(),
+        "core",
+        KeyPair::generate(&mut rand::thread_rng()),
+        cluster.addrs.clone(),
+    );
+
+    // Isolate s3 from everyone (client and peers).
+    for other in ["core", "s1", "s2"] {
+        net.partition(&"s3".into(), &other.into());
+    }
+    for i in 0..20 {
+        client.put("chaos", &format!("k{i}"), b"during partition").unwrap();
+    }
+    for i in 0..20 {
+        assert_eq!(client.get("chaos", &format!("k{i}")).unwrap(), b"during partition");
+    }
+    let s3_disk = &cluster.replicas[2].1;
+    assert!(
+        s3_disk.get(&("chaos".into(), "k0".into())).is_none(),
+        "isolated replica missed the writes"
+    );
+
+    // Heal: anti-entropy converges s3.
+    net.heal_all();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let caught_up =
+            (0..20).all(|i| s3_disk.get(&("chaos".into(), format!("k{i}"))).is_some());
+        if caught_up {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "s3 never converged");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    cluster.shutdown();
+    fw.shutdown();
+}
+
+/// Flapping partitions between client and service: calls fail during the
+/// cut and succeed after healing — no wedged state, no double execution
+/// beyond the documented at-most-once rule.
+#[test]
+fn links_recover_after_flapping_partitions() {
+    let net = SimNet::new();
+    for h in ["core", "svc"] {
+        net.add_host(h);
+    }
+    let fw = bootstrap(&net, "core", Duration::from_secs(10)).unwrap();
+    let me = KeyPair::generate(&mut rand::thread_rng());
+    let service = Daemon::spawn(
+        &net,
+        fw.service_config("svc", "Service.Echo", "hawk", "svc", 6000),
+        Box::new(Echo),
+    )
+    .unwrap();
+
+    for _ in 0..5 {
+        // Healthy: a fresh client works.
+        let mut client =
+            ServiceClient::connect(&net, &"core".into(), service.addr().clone(), &me).unwrap();
+        client.call_ok(&CmdLine::new("touch")).unwrap();
+
+        // Cut: calls on the existing link fail.
+        net.partition(&"core".into(), &"svc".into());
+        assert!(client.call(&CmdLine::new("touch")).is_err());
+        // New connections also fail.
+        assert!(
+            ServiceClient::connect(&net, &"core".into(), service.addr().clone(), &me).is_err()
+        );
+        net.heal_all();
+    }
+
+    // After all the flapping, the daemon still serves.
+    let mut client =
+        ServiceClient::connect(&net, &"core".into(), service.addr().clone(), &me).unwrap();
+    client.call_ok(&CmdLine::new("touch")).unwrap();
+
+    service.shutdown();
+    fw.shutdown();
+}
+
+/// Killing every store replica and reviving them all on their old disks
+/// restores the full dataset.
+#[test]
+fn full_cluster_restart_preserves_data() {
+    let net = SimNet::new();
+    for h in ["core", "s1", "s2", "s3"] {
+        net.add_host(h);
+    }
+    let fw = bootstrap(&net, "core", Duration::from_secs(10)).unwrap();
+    let cluster =
+        spawn_store_cluster(&net, &fw, &["s1", "s2", "s3"], Duration::from_millis(100)).unwrap();
+    let identity = KeyPair::generate(&mut rand::thread_rng());
+    let mut client = StoreClient::new(net.clone(), "core", identity, cluster.addrs.clone());
+    for i in 0..10 {
+        client.put("blackout", &format!("k{i}"), b"precious").unwrap();
+    }
+
+    // Total blackout.
+    let mut disks = Vec::new();
+    for (i, (handle, disk)) in cluster.replicas.into_iter().enumerate() {
+        net.kill_host(&format!("s{}", i + 1).as_str().into());
+        handle.crash();
+        disks.push(disk);
+    }
+    assert!(matches!(
+        client.get("blackout", "k0"),
+        Err(StoreError::AllReplicasDown)
+    ));
+
+    // Power back on: every replica restarts on its surviving disk.
+    let mut revived = Vec::new();
+    for (i, disk) in disks.into_iter().enumerate() {
+        let host = format!("s{}", i + 1);
+        net.revive_host(&host.as_str().into());
+        revived.push(
+            ace_store::respawn_replica(&net, &fw, i, &host, disk, Duration::from_millis(100))
+                .unwrap(),
+        );
+    }
+    let mut client2 = StoreClient::new(
+        net.clone(),
+        "core",
+        KeyPair::generate(&mut rand::thread_rng()),
+        cluster.addrs.clone(),
+    );
+    for i in 0..10 {
+        assert_eq!(client2.get("blackout", &format!("k{i}")).unwrap(), b"precious");
+    }
+
+    for r in revived {
+        r.shutdown();
+    }
+    fw.shutdown();
+}

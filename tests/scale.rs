@@ -1,0 +1,165 @@
+//! Scale tests for the §9 goal: "significant amount of testing must be done
+//! to ensure the scalability of the system … central services such as the
+//! ASD, AUD, WSS, etc must be fully tested for large communication loads."
+//!
+//! Sizes here are chosen to finish in seconds on one CPU while still
+//! exercising the load paths: many daemons against one ASD, sustained
+//! command streams, and many concurrent links to one daemon.
+
+use ace_core::prelude::*;
+use ace_directory::{bootstrap, AsdClient};
+use ace_identity::{UserDb, UserDbClient};
+use ace_security::keys::KeyPair;
+use std::time::Duration;
+
+struct Echo;
+impl ServiceBehavior for Echo {
+    fn semantics(&self) -> Semantics {
+        Semantics::new().with(CmdSpec::new("touch", "no-op"))
+    }
+    fn handle(&mut self, _ctx: &mut ServiceCtx, _cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        Reply::ok()
+    }
+}
+
+/// Forty daemons register, renew, answer lookups, and deregister cleanly.
+#[test]
+fn forty_daemons_one_asd() {
+    let net = SimNet::new();
+    net.add_host("core");
+    for i in 0..8 {
+        net.add_host(format!("h{i}"));
+    }
+    let fw = bootstrap(&net, "core", Duration::from_secs(5)).unwrap();
+    let me = KeyPair::generate(&mut rand::thread_rng());
+
+    let daemons: Vec<DaemonHandle> = (0..40)
+        .map(|i| {
+            Daemon::spawn(
+                &net,
+                fw.service_config(
+                    &format!("svc{i}"),
+                    "Service.Echo",
+                    "hawk",
+                    format!("h{}", i % 8).as_str(),
+                    6000 + (i / 8) as u16,
+                )
+                .with_lease_renew(Duration::from_millis(500)),
+                Box::new(Echo),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    let mut asd = AsdClient::connect(&net, &"core".into(), fw.asd_addr.clone(), &me).unwrap();
+    // +3 framework services (asd itself does not self-register; roomdb and
+    // netlogger do).
+    assert_eq!(asd.list().unwrap().len(), 42);
+    assert_eq!(asd.lookup(None, Some("Echo"), None).unwrap().len(), 40);
+
+    // Everything stays registered across several lease periods (renewals
+    // under load).
+    std::thread::sleep(Duration::from_millis(600));
+    assert_eq!(asd.lookup(None, Some("Echo"), None).unwrap().len(), 40);
+
+    for d in daemons {
+        d.shutdown();
+    }
+    assert_eq!(asd.lookup(None, Some("Echo"), None).unwrap().len(), 0);
+    fw.shutdown();
+}
+
+/// Sixteen concurrent links hammer one daemon; every command answers and
+/// the daemon stays healthy.
+#[test]
+fn sixteen_links_one_daemon() {
+    let net = SimNet::new();
+    net.add_host("core");
+    net.add_host("svc");
+    let fw = bootstrap(&net, "core", Duration::from_secs(10)).unwrap();
+    let target = Daemon::spawn(
+        &net,
+        fw.service_config("target", "Service.Echo", "hawk", "svc", 6000),
+        Box::new(Echo),
+    )
+    .unwrap();
+
+    let mut joins = Vec::new();
+    for _ in 0..16 {
+        let net = net.clone();
+        let addr = target.addr().clone();
+        joins.push(std::thread::spawn(move || {
+            let me = KeyPair::generate(&mut rand::thread_rng());
+            let mut client = ServiceClient::connect(&net, &"core".into(), addr, &me).unwrap();
+            for _ in 0..50 {
+                client.call_ok(&CmdLine::new("touch")).unwrap();
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    // Still alive and responsive.
+    let me = KeyPair::generate(&mut rand::thread_rng());
+    let mut probe = ServiceClient::connect(&net, &"core".into(), target.addr().clone(), &me).unwrap();
+    probe.call_ok(&CmdLine::new("ping")).unwrap();
+
+    target.shutdown();
+    fw.shutdown();
+}
+
+/// The AUD under a sustained mixed read/write load keeps its indexes
+/// consistent.
+#[test]
+fn aud_sustained_mixed_load() {
+    let net = SimNet::new();
+    net.add_host("core");
+    let fw = bootstrap(&net, "core", Duration::from_secs(10)).unwrap();
+    let aud = Daemon::spawn(
+        &net,
+        fw.service_config("aud", "Service.Database.User", "machineroom", "core", 5200),
+        Box::new(UserDb::new()),
+    )
+    .unwrap();
+    let me = KeyPair::generate(&mut rand::thread_rng());
+    let mut client = UserDbClient::connect(&net, &"core".into(), aud.addr().clone(), &me).unwrap();
+
+    const USERS: usize = 300;
+    for i in 0..USERS {
+        client
+            .add_user(
+                &format!("u{i}"),
+                &format!("User {i}"),
+                "pw",
+                "rsa:0:0",
+                Some(&format!("fp{i}")),
+                Some(&format!("ib{i}")),
+            )
+            .unwrap();
+    }
+    // Mixed reads across all three indexes.
+    for i in (0..USERS).step_by(7) {
+        assert_eq!(
+            client.find_by_fingerprint(&format!("fp{i}")).unwrap().as_deref(),
+            Some(format!("u{i}").as_str())
+        );
+        assert_eq!(
+            client.find_by_ibutton(&format!("ib{i}")).unwrap().as_deref(),
+            Some(format!("u{i}").as_str())
+        );
+        client.set_location(&format!("u{i}"), "hawk", "core").unwrap();
+    }
+    // Remove a third; indexes must drop the entries.
+    for i in (0..USERS).step_by(3) {
+        client
+            .raw()
+            .call_ok(&CmdLine::new("removeUser").arg("username", format!("u{i}").as_str()))
+            .unwrap();
+        assert_eq!(client.find_by_fingerprint(&format!("fp{i}")).unwrap(), None);
+    }
+    assert_eq!(client.list_users().unwrap().len(), USERS - USERS.div_ceil(3));
+
+    aud.shutdown();
+    fw.shutdown();
+}
