@@ -51,8 +51,11 @@ impl ServiceBehavior for FileStorage {
         Semantics::new()
             .with(ace_media::stream::push_spec())
             .with(
-                CmdSpec::new("mediaList", "stored frame keys of a stream")
-                    .required("stream", ArgType::Word, "stream name"),
+                CmdSpec::new("mediaList", "stored frame keys of a stream").required(
+                    "stream",
+                    ArgType::Word,
+                    "stream name",
+                ),
             )
             .with(
                 CmdSpec::new("mediaGet", "fetch one stored frame")
@@ -114,7 +117,8 @@ impl ServiceBehavior for FileStorage {
                 }
             }
             "storageStats" => Reply::ok_with(|c| {
-                c.arg("stored", self.stored as i64).arg("errors", self.errors as i64)
+                c.arg("stored", self.stored as i64)
+                    .arg("errors", self.errors as i64)
             }),
             other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
         }

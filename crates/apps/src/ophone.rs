@@ -21,7 +21,10 @@ use std::collections::BTreeMap;
 enum CallState {
     Idle,
     /// In a call with the peer phone at this address, session id agreed.
-    Connected { peer: Addr, session: String },
+    Connected {
+        peer: Addr,
+        session: String,
+    },
 }
 
 /// The O-Phone behavior.
@@ -86,8 +89,11 @@ impl ServiceBehavior for OPhone {
     fn semantics(&self) -> Semantics {
         Semantics::new()
             .with(
-                CmdSpec::new("dial", "call another phone by service name")
-                    .required("peer", ArgType::Word, "callee phone service name"),
+                CmdSpec::new("dial", "call another phone by service name").required(
+                    "peer",
+                    ArgType::Word,
+                    "callee phone service name",
+                ),
             )
             .with(
                 CmdSpec::new("ring", "incoming call setup (phone-to-phone)")
@@ -97,14 +103,18 @@ impl ServiceBehavior for OPhone {
                     .required("session", ArgType::Word, "session id"),
             )
             .with(
-                CmdSpec::new("speak", "transmit the next voice frame")
-                    .optional("len", ArgType::Int, "samples (default 160)"),
+                CmdSpec::new("speak", "transmit the next voice frame").optional(
+                    "len",
+                    ArgType::Int,
+                    "samples (default 160)",
+                ),
             )
             .with(CmdSpec::new("hangup", "end the call"))
-            .with(
-                CmdSpec::new("onHangup", "peer ended the call")
-                    .optional("session", ArgType::Word, "session id"),
-            )
+            .with(CmdSpec::new("onHangup", "peer ended the call").optional(
+                "session",
+                ArgType::Word,
+                "session id",
+            ))
             .with(CmdSpec::new("phoneStats", "call and audio counters"))
     }
 
@@ -160,12 +170,7 @@ impl ServiceBehavior for OPhone {
                 let len = cmd.get_int("len").unwrap_or(160).max(0) as usize;
                 let w = 2.0 * std::f64::consts::PI * self.voice_freq
                     / ace_media::dsp::SAMPLE_RATE as f64;
-                let samples = sine(
-                    self.voice_freq,
-                    0.4,
-                    len,
-                    w * self.phase_samples as f64,
-                );
+                let samples = sine(self.voice_freq, 0.4, len, w * self.phase_samples as f64);
                 self.phase_samples += len as u64;
                 let payload = format!(
                     "oph {session} {} {}",
@@ -185,7 +190,10 @@ impl ServiceBehavior for OPhone {
                     return Reply::err(ErrorCode::BadState, "not in a call");
                 };
                 self.state = CallState::Idle;
-                ctx.send_async(peer, CmdLine::new("onHangup").arg("session", session.as_str()));
+                ctx.send_async(
+                    peer,
+                    CmdLine::new("onHangup").arg("session", session.as_str()),
+                );
                 Reply::ok()
             }
             "onHangup" => {

@@ -121,9 +121,9 @@ impl ServiceBehavior for RobustCounter {
                 self.save(ctx);
                 Reply::ok_with(|c| c.arg("value", self.count))
             }
-            "read" => Reply::ok_with(|c| {
-                c.arg("value", self.count).arg("recovered", self.recovered)
-            }),
+            "read" => {
+                Reply::ok_with(|c| c.arg("value", self.count).arg("recovered", self.recovered))
+            }
             other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
         }
     }

@@ -2,9 +2,9 @@
 //! (crash → lease expiry → relaunch), robust state recovery through the
 //! persistent store (E19), and the O-Phone call path over lossy datagrams.
 
-use ace_core::prelude::*;
 use ace_apps::{wire_watcher, AppClass, OPhone, RobustCounter, WatchSpec, Watcher};
-use ace_directory::{bootstrap, Framework};
+use ace_core::prelude::*;
+use ace_directory::bootstrap;
 use ace_security::keys::KeyPair;
 use ace_store::spawn_store_cluster;
 use std::time::Duration;
@@ -23,12 +23,14 @@ fn watcher_restarts_robust_service_with_state() {
     }
     // Short leases so expiry is quick.
     let fw = bootstrap(&net, "core", Duration::from_millis(400)).unwrap();
-    let cluster = spawn_store_cluster(&net, &fw, &["s1", "s2", "s3"], Duration::from_millis(100)).unwrap();
+    let cluster =
+        spawn_store_cluster(&net, &fw, &["s1", "s2", "s3"], Duration::from_millis(100)).unwrap();
     let me = keypair();
 
     let replicas = cluster.addrs.clone();
     let spawn_counter = {
-        let fw_cfg = fw.service_config("robustcounter", "Service.Counter", "hawk", "app", 5900)
+        let fw_cfg = fw
+            .service_config("robustcounter", "Service.Counter", "hawk", "app", 5900)
             .with_lease_renew(Duration::from_millis(100));
         let replicas = replicas.clone();
         move |net: &SimNet| {
@@ -82,7 +84,11 @@ fn watcher_restarts_robust_service_with_state() {
         std::thread::sleep(Duration::from_millis(50));
     }
     let reply = reply.expect("relaunched service never answered");
-    assert_eq!(reply.get_int("value"), Some(7), "state recovered from the store");
+    assert_eq!(
+        reply.get_int("value"),
+        Some(7),
+        "state recovered from the store"
+    );
     assert_eq!(reply.get_bool("recovered"), Some(true));
 
     let mut w = ServiceClient::connect(&net, &"core".into(), watcher.addr().clone(), &me).unwrap();
@@ -152,13 +158,25 @@ fn ophone_full_duplex_call() {
 
     let phone_a = Daemon::spawn(
         &net,
-        fw.service_config("phone_a", "Service.OPhone", "office_a_room", "office_a", 5920),
+        fw.service_config(
+            "phone_a",
+            "Service.OPhone",
+            "office_a_room",
+            "office_a",
+            5920,
+        ),
         Box::new(OPhone::new(700.0)),
     )
     .unwrap();
     let phone_b = Daemon::spawn(
         &net,
-        fw.service_config("phone_b", "Service.OPhone", "office_b_room", "office_b", 5920),
+        fw.service_config(
+            "phone_b",
+            "Service.OPhone",
+            "office_b_room",
+            "office_b",
+            5920,
+        ),
         Box::new(OPhone::new(1100.0)),
     )
     .unwrap();
@@ -167,7 +185,9 @@ fn ophone_full_duplex_call() {
     let mut b = ServiceClient::connect(&net, &"core".into(), phone_b.addr().clone(), &me).unwrap();
 
     // Dial B from A (resolved through the ASD).
-    let reply = a.call(&CmdLine::new("dial").arg("peer", "phone_b")).unwrap();
+    let reply = a
+        .call(&CmdLine::new("dial").arg("peer", "phone_b"))
+        .unwrap();
     assert!(reply.get_text("session").unwrap().starts_with("call_"));
 
     // Both sides speak.
@@ -199,7 +219,9 @@ fn ophone_full_duplex_call() {
     )
     .unwrap();
     let mut c = ServiceClient::connect(&net, &"core".into(), phone_c.addr().clone(), &me).unwrap();
-    let err = c.call(&CmdLine::new("dial").arg("peer", "phone_b")).unwrap_err();
+    let err = c
+        .call(&CmdLine::new("dial").arg("peer", "phone_b"))
+        .unwrap_err();
     assert_eq!(err.code(), Some(ErrorCode::Unavailable));
 
     // Hang up; both become idle (async notify).
@@ -210,7 +232,10 @@ fn ophone_full_duplex_call() {
         if sb.get_bool("inCall") == Some(false) {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "peer never saw hangup");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "peer never saw hangup"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
 
@@ -243,7 +268,8 @@ fn ophone_tolerates_datagram_loss() {
     .unwrap();
 
     let mut a = ServiceClient::connect(&net, &"core".into(), phone_a.addr().clone(), &me).unwrap();
-    a.call(&CmdLine::new("dial").arg("peer", "phone_b")).unwrap();
+    a.call(&CmdLine::new("dial").arg("peer", "phone_b"))
+        .unwrap();
 
     // Voice plane becomes lossy AFTER call setup (commands ride reliable
     // streams and are unaffected).
@@ -264,7 +290,10 @@ fn ophone_tolerates_datagram_loss() {
     // With 30% loss, some frames disappear (overwhelmingly likely for 100)
     // yet most arrive, and playback continued past the gaps.
     assert!(received < SENT, "some loss expected, got {received}/{SENT}");
-    assert!(received > SENT / 3, "most frames arrive, got {received}/{SENT}");
+    assert!(
+        received > SENT / 3,
+        "most frames arrive, got {received}/{SENT}"
+    );
     assert!(sb.get_int("playedSamples").unwrap() > 0);
 
     phone_b.shutdown();

@@ -2,8 +2,8 @@
 //! file storage in the replicated persistent store — and the recording is
 //! still readable after a store replica dies.
 
-use ace_core::prelude::*;
 use ace_apps::FileStorage;
+use ace_core::prelude::*;
 use ace_directory::bootstrap;
 use ace_media::{codec, Converter, Format, VideoCapture};
 use ace_security::keys::KeyPair;
@@ -24,7 +24,13 @@ fn capture_convert_store_retrieve() {
     // The Fig. 13 chain.
     let storage = Daemon::spawn(
         &net,
-        fw.service_config("filestorage", "Service.FileStorage", "machineroom", "core", 6000),
+        fw.service_config(
+            "filestorage",
+            "Service.FileStorage",
+            "machineroom",
+            "core",
+            6000,
+        ),
         Box::new(FileStorage::new(cluster.addrs.clone())),
     )
     .unwrap();
@@ -41,14 +47,16 @@ fn capture_convert_store_retrieve() {
     )
     .unwrap();
 
-    let mut conv = ServiceClient::connect(&net, &"core".into(), converter.addr().clone(), &me).unwrap();
+    let mut conv =
+        ServiceClient::connect(&net, &"core".into(), converter.addr().clone(), &me).unwrap();
     conv.call_ok(
         &CmdLine::new("addSink")
             .arg("host", storage.addr().host.as_str())
             .arg("port", storage.addr().port),
     )
     .unwrap();
-    let mut cap = ServiceClient::connect(&net, &"core".into(), capture.addr().clone(), &me).unwrap();
+    let mut cap =
+        ServiceClient::connect(&net, &"core".into(), capture.addr().clone(), &me).unwrap();
     cap.call_ok(
         &CmdLine::new("addSink")
             .arg("host", converter.addr().host.as_str())
@@ -57,22 +65,34 @@ fn capture_convert_store_retrieve() {
     .unwrap();
 
     // Roll the camera.
-    let reply = cap.call(&CmdLine::new("captureFrame").arg("count", 10)).unwrap();
+    let reply = cap
+        .call(&CmdLine::new("captureFrame").arg("count", 10))
+        .unwrap();
     assert_eq!(reply.get_int("delivered"), Some(10));
 
     // The recording exists, compressed.
     let mut st = ServiceClient::connect(&net, &"core".into(), storage.addr().clone(), &me).unwrap();
-    let listed = st.call(&CmdLine::new("mediaList").arg("stream", "video")).unwrap();
+    let listed = st
+        .call(&CmdLine::new("mediaList").arg("stream", "video"))
+        .unwrap();
     assert_eq!(listed.get_int("count"), Some(10));
     let stats = st.call(&CmdLine::new("storageStats")).unwrap();
     assert_eq!(stats.get_int("stored"), Some(10));
 
     // Fetch frame 3 and decompress: exactly the camera's rendering size.
     let frame = st
-        .call(&CmdLine::new("mediaGet").arg("stream", "video").arg("seq", 3))
+        .call(
+            &CmdLine::new("mediaGet")
+                .arg("stream", "video")
+                .arg("seq", 3),
+        )
         .unwrap();
     let rle = ace_core::protocol::hex_decode(frame.get_text("data").unwrap()).unwrap();
-    assert!(rle.len() < 64 * 48 / 4, "stored compressed ({} bytes)", rle.len());
+    assert!(
+        rle.len() < 64 * 48 / 4,
+        "stored compressed ({} bytes)",
+        rle.len()
+    );
     let raw = codec::rle_decode(&rle).unwrap();
     assert_eq!(raw.len(), 64 * 48);
 
@@ -80,7 +100,11 @@ fn capture_convert_store_retrieve() {
     // the redundant store).
     net.kill_host(&"s1".into());
     let frame = st
-        .call(&CmdLine::new("mediaGet").arg("stream", "video").arg("seq", 7))
+        .call(
+            &CmdLine::new("mediaGet")
+                .arg("stream", "video")
+                .arg("seq", 7),
+        )
         .unwrap();
     assert!(frame.get_text("data").is_some());
 

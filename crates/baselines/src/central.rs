@@ -31,7 +31,11 @@ pub struct CentralServer {
 impl CentralServer {
     /// Start the server on `host:port`.  A single dispatcher thread owns all
     /// state and serves one request at a time (the centralization model).
-    pub fn start(net: &SimNet, host: impl Into<HostId>, port: u16) -> Result<CentralServer, NetError> {
+    pub fn start(
+        net: &SimNet,
+        host: impl Into<HostId>,
+        port: u16,
+    ) -> Result<CentralServer, NetError> {
         let host = host.into();
         let addr = Addr::new(host, port);
         let listener = net.listen(addr.clone())?;
@@ -154,7 +158,11 @@ pub struct CentralClient {
 }
 
 impl CentralClient {
-    pub fn connect(net: &SimNet, from_host: &HostId, server: Addr) -> Result<CentralClient, NetError> {
+    pub fn connect(
+        net: &SimNet,
+        from_host: &HostId,
+        server: Addr,
+    ) -> Result<CentralClient, NetError> {
         Ok(CentralClient {
             conn: net.connect(from_host, server)?,
         })

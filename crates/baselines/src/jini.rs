@@ -48,8 +48,7 @@ impl JiniLookup {
     pub fn start(net: &SimNet, host: impl Into<HostId>, port: u16) -> Result<JiniLookup, NetError> {
         let host = host.into();
         let addr = Addr::new(host.clone(), port);
-        let registry: Arc<Mutex<HashMap<String, JiniProxy>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let registry: Arc<Mutex<HashMap<String, JiniProxy>>> = Arc::new(Mutex::new(HashMap::new()));
         let stop = Arc::new(AtomicBool::new(false));
 
         // Discovery responder: answer multicast announcements with our
@@ -230,7 +229,9 @@ pub fn discover(
     announce_interval: Duration,
     max_rounds: usize,
 ) -> Option<(Addr, usize)> {
-    let socket = net.bind_datagram(Addr::new(from_host.clone(), reply_port)).ok()?;
+    let socket = net
+        .bind_datagram(Addr::new(from_host.clone(), reply_port))
+        .ok()?;
     let from = Addr::new(from_host.clone(), reply_port);
     for round in 1..=max_rounds {
         net.multicast(&from, DISCOVERY_PORT, b"jini-discover");
@@ -342,14 +343,8 @@ mod tests {
         net.add_host("client");
         let lookup = JiniLookup::start(&net, "registrar", 4500).unwrap();
 
-        let (addr, rounds) = discover(
-            &net,
-            &"client".into(),
-            4600,
-            Duration::from_millis(100),
-            10,
-        )
-        .expect("discovery");
+        let (addr, rounds) = discover(&net, &"client".into(), 4600, Duration::from_millis(100), 10)
+            .expect("discovery");
         assert_eq!(addr, Addr::new("registrar", 4500));
         assert_eq!(rounds, 1, "responder answers the first announcement");
 
@@ -382,14 +377,8 @@ mod tests {
             JiniLookup::start(&net2, "registrar", 4500).unwrap()
         });
 
-        let (_, rounds) = discover(
-            &net,
-            &"client".into(),
-            4600,
-            Duration::from_millis(50),
-            50,
-        )
-        .expect("discovery eventually succeeds");
+        let (_, rounds) = discover(&net, &"client".into(), 4600, Duration::from_millis(50), 50)
+            .expect("discovery eventually succeeds");
         assert!(rounds > 1, "took {rounds} rounds");
         starter.join().unwrap().shutdown();
     }
@@ -398,13 +387,6 @@ mod tests {
     fn no_registrar_discovery_fails() {
         let net = SimNet::new();
         net.add_host("client");
-        assert!(discover(
-            &net,
-            &"client".into(),
-            4600,
-            Duration::from_millis(10),
-            3
-        )
-        .is_none());
+        assert!(discover(&net, &"client".into(), 4600, Duration::from_millis(10), 3).is_none());
     }
 }

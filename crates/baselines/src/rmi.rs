@@ -59,8 +59,16 @@ fn read_utf(data: &[u8], pos: &mut usize) -> Option<String> {
 fn write_descriptor(out: &mut Vec<u8>, value: &RmiValue) {
     let (class, uid, fields): (&str, u64, &[(&str, u8)]) = match value {
         RmiValue::Long(_) => ("java.lang.Long", 0x3b8b_e490_cc8f_23df, &[("value", b'J')]),
-        RmiValue::Double(_) => ("java.lang.Double", 0x80b3_c24a_296b_fb04, &[("value", b'D')]),
-        RmiValue::Str(_) => ("java.lang.String", 0xa0f0_a438_7a3b_b342, &[("value", b'[')]),
+        RmiValue::Double(_) => (
+            "java.lang.Double",
+            0x80b3_c24a_296b_fb04,
+            &[("value", b'D')],
+        ),
+        RmiValue::Str(_) => (
+            "java.lang.String",
+            0xa0f0_a438_7a3b_b342,
+            &[("value", b'[')],
+        ),
         RmiValue::List(_) => (
             "java.util.ArrayList",
             0x7881_d21d_99c7_619d,

@@ -9,7 +9,9 @@ use proptest::prelude::*;
 fn rmi_value() -> impl Strategy<Value = RmiValue> {
     let leaf = prop_oneof![
         any::<i64>().prop_map(RmiValue::Long),
-        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(RmiValue::Double),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(RmiValue::Double),
         "[ -~]{0,24}".prop_map(RmiValue::Str),
     ];
     leaf.prop_recursive(2, 16, 4, |inner| {

@@ -11,9 +11,7 @@ use std::time::Duration;
 struct Echo;
 impl ServiceBehavior for Echo {
     fn semantics(&self) -> Semantics {
-        Semantics::new().with(
-            CmdSpec::new("echo", "echo").optional("x", ArgType::Int, "payload"),
-        )
+        Semantics::new().with(CmdSpec::new("echo", "echo").optional("x", ArgType::Int, "payload"))
     }
     fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
         let x = cmd.get_int("x").unwrap_or(0);

@@ -42,14 +42,15 @@ fn bench_keynote(c: &mut Criterion) {
     let mut group = c.benchmark_group("keynote");
     for chain in [0usize, 4, 8] {
         // POLICY -> k1 -> … -> user.
-        let mut links: Vec<KeyPair> = (0..chain).map(|_| KeyPair::generate(&mut rand::thread_rng())).collect();
+        let mut links: Vec<KeyPair> = (0..chain)
+            .map(|_| KeyPair::generate(&mut rand::thread_rng()))
+            .collect();
         let user = KeyPair::generate(&mut rand::thread_rng());
         links.push(user);
         let mut engine = KeyNoteEngine::new();
         engine
             .add_policy(
-                Assertion::new(POLICY, Licensees::Principal(links[0].principal()), "true")
-                    .unwrap(),
+                Assertion::new(POLICY, Licensees::Principal(links[0].principal()), "true").unwrap(),
             )
             .unwrap();
         for pair in links.windows(2) {

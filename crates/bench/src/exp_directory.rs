@@ -17,11 +17,12 @@ fn keypair() -> KeyPair {
 /// E5 (Fig. 7): ASD lookup latency vs registry size, against Jini-style
 /// multicast discovery + proxy lookup.
 pub fn e05() {
-    header("E5", "Fig. 7", "service discovery: ASD vs Jini-style baseline");
-    row(
-        "registry size",
-        &["ASD lookup".into(), "ASD bytes".into()],
+    header(
+        "E5",
+        "Fig. 7",
+        "service discovery: ASD vs Jini-style baseline",
     );
+    row("registry size", &["ASD lookup".into(), "ASD bytes".into()]);
     let me = keypair();
     for size in [10usize, 100, 1000, 10000] {
         let net = SimNet::new();
@@ -77,14 +78,9 @@ pub fn e05() {
 
     let mut port = 4600u16;
     let discovery = time_median(10, || {
-        let (_, rounds) = ace_baselines::discover(
-            &net,
-            &"client".into(),
-            port,
-            Duration::from_millis(20),
-            10,
-        )
-        .unwrap();
+        let (_, rounds) =
+            ace_baselines::discover(&net, &"client".into(), port, Duration::from_millis(20), 10)
+                .unwrap();
         assert!(rounds >= 1);
         port += 1;
     });
@@ -119,14 +115,9 @@ pub fn e05() {
             JiniLookup::start(&net2, "registrar", 4500).unwrap()
         });
         let t = std::time::Instant::now();
-        let (_, rounds) = ace_baselines::discover(
-            &net,
-            &"client".into(),
-            4600,
-            Duration::from_millis(50),
-            100,
-        )
-        .unwrap();
+        let (_, rounds) =
+            ace_baselines::discover(&net, &"client".into(), 4600, Duration::from_millis(50), 100)
+                .unwrap();
         row(
             "Jini discovery, registrar 150ms late",
             &[fmt_dur(t.elapsed()), format!("{rounds} rounds")],
@@ -143,7 +134,11 @@ pub fn e05() {
 /// server, and Jini-style lookup (setup cost) — under increasing client
 /// concurrency.
 pub fn e20() {
-    header("E20", "§8", "architecture comparison under concurrent clients");
+    header(
+        "E20",
+        "§8",
+        "architecture comparison under concurrent clients",
+    );
     row(
         "clients",
         &["ACE daemons ops/s".into(), "central server ops/s".into()],

@@ -17,11 +17,12 @@ fn keypair() -> KeyPair {
 
 /// E1 (Fig. 4): frames through a chain of converter daemons, depth 1–4.
 pub fn e01() {
-    header("E1", "Fig. 4", "daemon composition: pipeline throughput vs depth");
-    row(
-        "pipeline depth",
-        &["frames/s".into(), "per-frame".into()],
+    header(
+        "E1",
+        "Fig. 4",
+        "daemon composition: pipeline throughput vs depth",
     );
+    row("pipeline depth", &["frames/s".into(), "per-frame".into()]);
     const FRAMES: usize = 50;
     let payload = vec![0x5au8; 1024];
     for depth in 1..=4usize {
@@ -51,9 +52,9 @@ pub fn e01() {
             );
         }
         // Wire stage i → stage i+1.
-        for i in 0..depth - 1 {
-            let mut c = ServiceClient::connect(&net, &"core".into(), stages[i].addr().clone(), &me)
-                .unwrap();
+        for (i, stage) in stages.iter().enumerate().take(depth - 1) {
+            let mut c =
+                ServiceClient::connect(&net, &"core".into(), stage.addr().clone(), &me).unwrap();
             c.call_ok(
                 &CmdLine::new("addSink")
                     .arg("host", "media")
@@ -116,7 +117,10 @@ impl ServiceBehavior for DepthService {
 /// from deeper and deeper inheritance chains.
 pub fn e04() {
     header("E4", "Fig. 6", "dispatch through the service hierarchy");
-    row("hierarchy depth", &["call latency".into(), "cmds in vocab".into()]);
+    row(
+        "hierarchy depth",
+        &["call latency".into(), "cmds in vocab".into()],
+    );
     for depth in [1usize, 2, 4, 8] {
         let net = SimNet::new();
         net.add_host("core");
@@ -309,7 +313,11 @@ pub fn e07() {
 /// E18 (Scenario 5): end-to-end device command latency through ASD
 /// discovery plus the secure link.
 pub fn e18() {
-    header("E18", "Scenario 5", "device control through discovered daemons");
+    header(
+        "E18",
+        "Scenario 5",
+        "device control through discovered daemons",
+    );
     let ace = ace_env::AceEnvironment::build(ace_env::EnvConfig::default()).unwrap();
     let me = keypair();
 

@@ -25,17 +25,14 @@ fn commands() -> Vec<(&'static str, CmdLine)> {
                 .arg("room", "hawk")
                 .arg("class", Value::Str("Service.Device.PTZCamera.VCC4".into())),
         ),
-        (
-            "trajectory (vector of 16)",
-            {
-                let mut c = CmdLine::new("ptzPath");
-                c.push_arg(
-                    "points",
-                    Value::Vector((0..16).map(ace_lang::Scalar::Int).collect()),
-                );
-                c
-            },
-        ),
+        ("trajectory (vector of 16)", {
+            let mut c = CmdLine::new("ptzPath");
+            c.push_arg(
+                "points",
+                Value::Vector((0..16).map(ace_lang::Scalar::Int).collect()),
+            );
+            c
+        }),
     ]
 }
 
@@ -56,11 +53,7 @@ pub fn e02() {
         });
         row(
             label,
-            &[
-                wire.len().to_string(),
-                fmt_dur(encode),
-                fmt_dur(parse),
-            ],
+            &[wire.len().to_string(), fmt_dur(encode), fmt_dur(parse)],
         );
     }
     // Arg-count scaling series.
@@ -87,7 +80,11 @@ pub fn e02() {
 /// "much more lightweight"; the expected shape is ACE several times smaller
 /// and faster at every size.
 pub fn e03() {
-    header("E3", "Fig. 5 / §2.2", "ACE command language vs RMI-style serialization");
+    header(
+        "E3",
+        "Fig. 5 / §2.2",
+        "ACE command language vs RMI-style serialization",
+    );
     row(
         "call",
         &[

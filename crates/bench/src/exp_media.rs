@@ -75,7 +75,12 @@ pub fn e11() {
     header("E11", "Fig. 13", "converter throughput and compression");
     row(
         "workload",
-        &["frames/s".into(), "in bytes".into(), "out bytes".into(), "ratio".into()],
+        &[
+            "frames/s".into(),
+            "in bytes".into(),
+            "out bytes".into(),
+            "ratio".into(),
+        ],
     );
     const FRAMES: usize = 40;
 
@@ -87,8 +92,18 @@ pub fn e11() {
 
     for (label, from, to, frame) in [
         ("flat video raw→rle", Format::Raw, Format::Rle, &flat_frame),
-        ("noisy video raw→rle", Format::Raw, Format::Rle, &noisy_frame),
-        ("audio pcm16→ulaw", Format::Pcm16, Format::Ulaw, &audio_frame),
+        (
+            "noisy video raw→rle",
+            Format::Raw,
+            Format::Rle,
+            &noisy_frame,
+        ),
+        (
+            "audio pcm16→ulaw",
+            Format::Pcm16,
+            Format::Ulaw,
+            &audio_frame,
+        ),
     ] {
         let mut w = MediaWorld::new();
         let sink = w.spawn("sink", Box::new(AudioSink::new()), 6000);
@@ -129,16 +144,19 @@ pub fn e11() {
 /// E12 (Fig. 14): distribution fan-out throughput vs sink count.
 pub fn e12() {
     header("E12", "Fig. 14", "distribution fan-out");
-    row(
-        "sinks",
-        &["frames/s".into(), "deliveries/s".into()],
-    );
+    row("sinks", &["frames/s".into(), "deliveries/s".into()]);
     const FRAMES: usize = 30;
     let frame = dsp::samples_to_bytes(&dsp::sine(440.0, 0.4, 512, 0.0));
     for sinks in [1usize, 4, 16, 64] {
         let mut w = MediaWorld::new();
         let sink_addrs: Vec<Addr> = (0..sinks)
-            .map(|i| w.spawn(&format!("sink{i}"), Box::new(AudioSink::new()), 6100 + i as u16))
+            .map(|i| {
+                w.spawn(
+                    &format!("sink{i}"),
+                    Box::new(AudioSink::new()),
+                    6100 + i as u16,
+                )
+            })
             .collect();
         let dist = w.spawn("dist", Box::new(Distribution::new()), 6000);
         let mut d = w.client(&dist);
@@ -180,8 +198,12 @@ pub fn e13() {
     let dist = w.spawn("dist", Box::new(Distribution::new()), 6003);
 
     let mut mixer = w.client(&mixer_addr);
-    mixer.call_ok(&CmdLine::new("addInput").arg("stream", "voice")).unwrap();
-    mixer.call_ok(&CmdLine::new("addInput").arg("stream", "echopath")).unwrap();
+    mixer
+        .call_ok(&CmdLine::new("addInput").arg("stream", "voice"))
+        .unwrap();
+    mixer
+        .call_ok(&CmdLine::new("addInput").arg("stream", "echopath"))
+        .unwrap();
     add_sink(&mut mixer, &echo);
     let mut echo_c = w.client(&echo);
     add_sink(&mut echo_c, &dist);
@@ -226,7 +248,10 @@ pub fn e13() {
         "per mic frame (3 hops)",
         &[fmt_dur(total / (FRAMES as u32 * 3))],
     );
-    row("frames/s (20ms frames)", &[format!("{:.0}", ops_per_sec(FRAMES, total))]);
+    row(
+        "frames/s (20ms frames)",
+        &[format!("{:.0}", ops_per_sec(FRAMES, total))],
+    );
     row("voice power at recorder", &[format!("{p_voice:.4}")]);
     row("echo residual power", &[format!("{p_residual:.6}")]);
     row("echo suppression", &[format!("{suppression_db:.0} dB")]);

@@ -18,7 +18,11 @@ fn keypair() -> KeyPair {
 /// placement policy and compare the final per-host load distribution.
 /// Expected shape: resource-aware placement has far lower load variance.
 pub fn e09() {
-    header("E9", "Fig. 11", "SAL placement: random vs resource-aware (ablation)");
+    header(
+        "E9",
+        "Fig. 11",
+        "SAL placement: random vs resource-aware (ablation)",
+    );
     const HOSTS: usize = 8;
     const JOBS: usize = 96;
     row(
@@ -105,8 +109,7 @@ pub fn e10() {
     )
     .unwrap();
     let me = keypair();
-    let mut seed =
-        UserDbClient::connect(&net, &"core".into(), aud.addr().clone(), &me).unwrap();
+    let mut seed = UserDbClient::connect(&net, &"core".into(), aud.addr().clone(), &me).unwrap();
     let load_time = time_once(|| {
         for i in 0..USERS {
             seed.add_user(
@@ -139,8 +142,7 @@ pub fn e10() {
                 joins.push(std::thread::spawn(move || {
                     let me = keypair();
                     let host: HostId = format!("c{c}").into();
-                    let mut client =
-                        UserDbClient::connect(&net, &host, addr, &me).unwrap();
+                    let mut client = UserDbClient::connect(&net, &host, addr, &me).unwrap();
                     for i in 0..OPS {
                         let user = (c * 7919 + i * 104729) % USERS;
                         client.get_user(&format!("user{user}")).unwrap();

@@ -24,13 +24,22 @@ pub fn e16() {
     header("E16", "Fig. 18", "scenario 1: new user & default workspace");
     let build = Instant::now();
     let ace = AceEnvironment::build(EnvConfig::default()).unwrap();
-    row("environment build", &[fmt_dur(build.elapsed()), format!("{} daemons", ace.daemons.len())]);
+    row(
+        "environment build",
+        &[
+            fmt_dur(build.elapsed()),
+            format!("{} daemons", ace.daemons.len()),
+        ],
+    );
 
     let john = KeyPair::generate(&mut rand::thread_rng());
     let t = Instant::now();
     ace.register_user("jdoe", "John Doe", "pw", &john, Some("fp_jdoe"), None)
         .unwrap();
-    row("AUD registration + FIU enrolment", &[fmt_dur(t.elapsed()), String::new()]);
+    row(
+        "AUD registration + FIU enrolment",
+        &[fmt_dur(t.elapsed()), String::new()],
+    );
 
     let mut wss = ace.client("wss").unwrap();
     let took = wait_for(|| {
@@ -48,7 +57,11 @@ pub fn e16() {
 /// E17 (Fig. 19 / Scenarios 2–3): identification → workspace display, with
 /// the figure's numbered steps timed individually.
 pub fn e17() {
-    header("E17", "Fig. 19", "scenarios 2–3: identification to workspace display");
+    header(
+        "E17",
+        "Fig. 19",
+        "scenarios 2–3: identification to workspace display",
+    );
     let ace = AceEnvironment::build(EnvConfig::default()).unwrap();
     let john = KeyPair::generate(&mut rand::thread_rng());
     ace.register_user("jdoe", "John Doe", "pw", &john, Some("fp_jdoe"), None)
@@ -74,7 +87,10 @@ pub fn e17() {
             .map(|r| r.get_text("room") == Some("hawk"))
             .unwrap_or(false)
     });
-    row("[3-4] notification → ID Monitor → AUD update", &[fmt_dur(took)]);
+    row(
+        "[3-4] notification → ID Monitor → AUD update",
+        &[fmt_dur(took)],
+    );
 
     // Step 5-7: WSS shows the workspace at the access point.
     let took = wait_for(|| {

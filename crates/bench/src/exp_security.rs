@@ -51,7 +51,11 @@ pub fn e08() {
     header("E8", "Fig. 10", "KeyNote authorization cost");
     row(
         "delegation chain",
-        &["uncached check".into(), "cached check".into(), "speedup".into()],
+        &[
+            "uncached check".into(),
+            "cached check".into(),
+            "speedup".into(),
+        ],
     );
     let user = keypair();
     let cmd = CmdLine::new("ptzMove").arg("x", 10).arg("zoom", 2);
@@ -98,7 +102,10 @@ pub fn e08() {
     let verify = time_median(200, || {
         cred.verify().unwrap();
     });
-    row("credential signature verify", &[fmt_dur(verify), String::new(), String::new()]);
+    row(
+        "credential signature verify",
+        &[fmt_dur(verify), String::new(), String::new()],
+    );
 
     let engine = engine_with_chain(4, &user);
     let uncached = Authorizer::local(engine).without_cache();
@@ -106,5 +113,8 @@ pub fn e08() {
     let deny = time_median(200, || {
         assert!(!uncached.check(&stranger, &env));
     });
-    row("denial (no path, chain 4)", &[fmt_dur(deny), String::new(), String::new()]);
+    row(
+        "denial (no path, chain 4)",
+        &[fmt_dur(deny), String::new(), String::new()],
+    );
 }

@@ -3,8 +3,8 @@
 //! MTTR.
 
 use crate::util::*;
-use ace_core::prelude::*;
 use ace_apps::{wire_watcher, AppClass, RobustCounter, WatchSpec, Watcher};
+use ace_core::prelude::*;
 use ace_directory::bootstrap;
 use ace_security::keys::KeyPair;
 use ace_store::{respawn_replica, spawn_store_cluster, StoreClient};
@@ -39,7 +39,9 @@ pub fn e15() {
         let mut client = StoreClient::new(net.clone(), "core", keypair(), cluster.addrs.clone());
         let mut i = 0u64;
         let put = time_median(50, || {
-            client.put("bench", &format!("k{i}"), b"value bytes").unwrap();
+            client
+                .put("bench", &format!("k{i}"), b"value bytes")
+                .unwrap();
             i += 1;
         });
         client.put("bench", "fixed", b"v").unwrap();
@@ -61,7 +63,8 @@ pub fn e15() {
         net.add_host(h);
     }
     let fw = bootstrap(&net, "core", Duration::from_secs(120)).unwrap();
-    let cluster = spawn_store_cluster(&net, &fw, &["s1", "s2", "s3"], Duration::from_millis(100)).unwrap();
+    let cluster =
+        spawn_store_cluster(&net, &fw, &["s1", "s2", "s3"], Duration::from_millis(100)).unwrap();
     let mut client = StoreClient::new(net.clone(), "core", keypair(), cluster.addrs.clone());
     client.put("bench", "fixed", b"v").unwrap();
 
@@ -74,7 +77,10 @@ pub fn e15() {
     let get = time_median(30, || {
         client.get("bench", "fixed").unwrap();
     });
-    row("3 replicas, 1 down", &[fmt_dur(put), fmt_dur(get), "yes (quorum 2)".into()]);
+    row(
+        "3 replicas, 1 down",
+        &[fmt_dur(put), fmt_dur(get), "yes (quorum 2)".into()],
+    );
 
     net.kill_host(&"s2".into());
     let get = time_median(30, || {
@@ -86,7 +92,11 @@ pub fn e15() {
         &[
             "-".into(),
             fmt_dur(get),
-            if write_fails { "no (reads only)".into() } else { "BUG".into() },
+            if write_fails {
+                "no (reads only)".into()
+            } else {
+                "BUG".into()
+            },
         ],
     );
 
@@ -95,19 +105,29 @@ pub fn e15() {
     const MISSED: usize = 200;
     // s1 and s2 are down; the surviving quorum is 1 — relax quorum for the
     // backfill writes so the experiment can create divergence.
-    let mut loose = StoreClient::new(net.clone(), "core", keypair(), cluster.addrs.clone())
-        .with_quorum(1);
+    let mut loose =
+        StoreClient::new(net.clone(), "core", keypair(), cluster.addrs.clone()).with_quorum(1);
     for i in 0..MISSED {
-        loose.put("recovery", &format!("m{i}"), b"written while down").unwrap();
+        loose
+            .put("recovery", &format!("m{i}"), b"written while down")
+            .unwrap();
     }
     let s1_disk = cluster.replicas[0].1.clone();
     net.revive_host(&"s1".into());
-    let revived = respawn_replica(&net, &fw, 0, "s1", s1_disk.clone(), Duration::from_millis(100)).unwrap();
+    let revived = respawn_replica(
+        &net,
+        &fw,
+        0,
+        "s1",
+        s1_disk.clone(),
+        Duration::from_millis(100),
+    )
+    .unwrap();
     let resync = time_once(|| {
         let deadline = Instant::now() + Duration::from_secs(30);
         loop {
-            let caught_up = (0..MISSED)
-                .all(|i| s1_disk.get(&("recovery".into(), format!("m{i}"))).is_some());
+            let caught_up =
+                (0..MISSED).all(|i| s1_disk.get(&("recovery".into(), format!("m{i}"))).is_some());
             if caught_up {
                 break;
             }
@@ -136,10 +156,7 @@ pub fn e15() {
 /// restore from the store.
 pub fn e19() {
     header("E19", "§9", "robust application recovery (MTTR vs lease)");
-    row(
-        "ASD lease",
-        &["MTTR".into(), "state intact?".into()],
-    );
+    row("ASD lease", &["MTTR".into(), "state intact?".into()]);
     for lease_ms in [200u64, 400, 800] {
         let net = SimNet::new();
         for h in ["core", "app", "s1", "s2", "s3"] {
@@ -147,7 +164,8 @@ pub fn e19() {
         }
         let fw = bootstrap(&net, "core", Duration::from_millis(lease_ms)).unwrap();
         let cluster =
-            spawn_store_cluster(&net, &fw, &["s1", "s2", "s3"], Duration::from_millis(100)).unwrap();
+            spawn_store_cluster(&net, &fw, &["s1", "s2", "s3"], Duration::from_millis(100))
+                .unwrap();
         let me = keypair();
         let replicas = cluster.addrs.clone();
         let cfg = fw
@@ -157,7 +175,11 @@ pub fn e19() {
             let cfg = cfg.clone();
             let replicas = replicas.clone();
             move |net: &SimNet| {
-                Daemon::spawn(net, cfg.clone(), Box::new(RobustCounter::new(replicas.clone())))
+                Daemon::spawn(
+                    net,
+                    cfg.clone(),
+                    Box::new(RobustCounter::new(replicas.clone())),
+                )
             }
         };
         let first = spawner(&net).unwrap();
@@ -188,14 +210,21 @@ pub fn e19() {
                     break r;
                 }
             }
-            assert!(crash_at.elapsed() < Duration::from_secs(30), "never recovered");
+            assert!(
+                crash_at.elapsed() < Duration::from_secs(30),
+                "never recovered"
+            );
             std::thread::sleep(Duration::from_millis(10));
         };
         let mttr = crash_at.elapsed();
-        let intact = reply.get_int("value") == Some(10) && reply.get_bool("recovered") == Some(true);
+        let intact =
+            reply.get_int("value") == Some(10) && reply.get_bool("recovered") == Some(true);
         row(
             &format!("{lease_ms} ms"),
-            &[fmt_dur(mttr), if intact { "yes".into() } else { "NO".into() }],
+            &[
+                fmt_dur(mttr),
+                if intact { "yes".into() } else { "NO".into() },
+            ],
         );
 
         watcher.shutdown();

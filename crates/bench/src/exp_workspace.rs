@@ -10,7 +10,11 @@ use ace_workspace::{VncHost, VncViewer};
 use std::time::Duration;
 
 pub fn e14() {
-    header("E14", "Fig. 16", "workspace attach latency and update throughput");
+    header(
+        "E14",
+        "Fig. 16",
+        "workspace attach latency and update throughput",
+    );
     let net = SimNet::new();
     net.add_host("core");
     net.add_host("vhost");
@@ -120,7 +124,10 @@ pub fn e14() {
     );
     row(
         "tile updates pushed",
-        &[format!("{:.0}/s", ops_per_sec(tiles_pushed as usize, total))],
+        &[format!(
+            "{:.0}/s",
+            ops_per_sec(tiles_pushed as usize, total)
+        )],
     );
     row("viewer converged", &["yes".into()]);
 

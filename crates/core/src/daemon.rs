@@ -23,8 +23,9 @@ use crate::auth::{action_env_for, AuthMode};
 use crate::behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
 use crate::client::{ClientError, ServiceClient};
 use crate::link::{LinkError, SecureLink};
-use crate::notify::{Notifier, NotificationRegistry, Registration};
+use crate::notify::{NotificationRegistry, Notifier, Registration};
 use crate::protocol;
+use crate::retry::RetryPolicy;
 use ace_lang::{CmdLine, ErrorCode, Reply, Scalar, Semantics, Value};
 use ace_net::{Addr, Datagram, HostId, NetError, SimNet};
 use ace_security::keys::KeyPair;
@@ -179,7 +180,6 @@ impl Daemon {
         let identity = Arc::new(
             config
                 .identity
-                .clone()
                 .unwrap_or_else(|| KeyPair::generate(&mut rand::thread_rng())),
         );
         let addr = Addr::new(config.host.clone(), config.port);
@@ -190,9 +190,11 @@ impl Daemon {
 
         // Step 2: establish location with the Room Database.
         if let Some(roomdb) = &config.roomdb {
-            let mut client =
-                ServiceClient::connect(net, &config.host, roomdb.clone(), &identity)
-                    .map_err(|error| SpawnError::Register { step: "roomdb", error })?;
+            let mut client = ServiceClient::connect(net, &config.host, roomdb.clone(), &identity)
+                .map_err(|error| SpawnError::Register {
+                step: "roomdb",
+                error,
+            })?;
             client
                 .call_ok(
                     &CmdLine::new("roomRegister")
@@ -201,31 +203,41 @@ impl Daemon {
                         .arg("port", config.port)
                         .arg("room", config.room.as_str()),
                 )
-                .map_err(|error| SpawnError::Register { step: "roomdb", error })?;
+                .map_err(|error| SpawnError::Register {
+                    step: "roomdb",
+                    error,
+                })?;
         }
 
-        // Step 3: register with the ASD.
+        // Step 3: register with the ASD.  Registration rides out brief ASD
+        // unavailability (e.g. an ASD restart mid-recovery) with a short
+        // bounded backoff before the spawn is declared failed.
         if let Some(asd) = &config.asd {
-            let mut client = ServiceClient::connect(net, &config.host, asd.clone(), &identity)
-                .map_err(|error| SpawnError::Register { step: "asd", error })?;
-            client
-                .call_ok(
-                    &CmdLine::new("register")
-                        .arg("name", config.name.as_str())
-                        .arg("host", config.host.as_str())
-                        .arg("port", config.port)
-                        .arg("room", config.room.as_str())
-                        .arg("class", config.class.as_str()),
-                )
-                .map_err(|error| SpawnError::Register { step: "asd", error })?;
+            let mut retry = RetryPolicy::new(Duration::from_millis(20))
+                .with_max_attempts(3)
+                .start();
+            loop {
+                let result = ServiceClient::connect(net, &config.host, asd.clone(), &identity)
+                    .and_then(|mut client| client.call_ok(&register_cmd(&config)));
+                match result {
+                    Ok(()) => break,
+                    Err(error) => {
+                        if !retry.backoff() {
+                            return Err(SpawnError::Register { step: "asd", error });
+                        }
+                    }
+                }
+            }
         }
 
         // Step 5: record the start with the Network Logger.  (Step 4 —
         // notifications on the registration — happens inside the ASD.)
         if let Some(logger) = &config.logger {
-            let mut client =
-                ServiceClient::connect(net, &config.host, logger.clone(), &identity)
-                    .map_err(|error| SpawnError::Register { step: "logger", error })?;
+            let mut client = ServiceClient::connect(net, &config.host, logger.clone(), &identity)
+                .map_err(|error| SpawnError::Register {
+                step: "logger",
+                error,
+            })?;
             client
                 .call_ok(
                     &CmdLine::new("log")
@@ -240,7 +252,10 @@ impl Daemon {
                         .arg("service", config.name.as_str())
                         .arg("host", config.host.as_str()),
                 )
-                .map_err(|error| SpawnError::Register { step: "logger", error })?;
+                .map_err(|error| SpawnError::Register {
+                    step: "logger",
+                    error,
+                })?;
         }
 
         // Full vocabulary: service commands inheriting the built-ins.
@@ -506,18 +521,20 @@ fn command_loop(
         {
             break; // control thread gone
         }
-        let reply = reply_rx
-            .recv_timeout(REPLY_TIMEOUT)
-            .unwrap_or_else(|_| {
-                Reply::err(ErrorCode::Internal, "control thread did not reply").to_cmdline()
-            });
+        let reply = reply_rx.recv_timeout(REPLY_TIMEOUT).unwrap_or_else(|_| {
+            Reply::err(ErrorCode::Internal, "control thread did not reply").to_cmdline()
+        });
         if link.send_cmd(&reply).is_err() {
             break;
         }
     }
 }
 
-fn data_loop(dsocket: ace_net::DatagramSocket, stop: Arc<AtomicBool>, control_tx: Sender<ControlMsg>) {
+fn data_loop(
+    dsocket: ace_net::DatagramSocket,
+    stop: Arc<AtomicBool>,
+    control_tx: Sender<ControlMsg>,
+) {
     while !stop.load(Ordering::SeqCst) {
         match dsocket.recv_timeout(COMMAND_POLL) {
             Ok(datagram) => {
@@ -700,6 +717,16 @@ fn drain_events(ctx: &mut ServiceCtx, registry: &NotificationRegistry, name: &st
     }
 }
 
+/// The Fig. 9 step-3 registration command for `config`.
+fn register_cmd(config: &DaemonConfig) -> CmdLine {
+    CmdLine::new("register")
+        .arg("name", config.name.as_str())
+        .arg("host", config.host.as_str())
+        .arg("port", config.port)
+        .arg("room", config.room.as_str())
+        .arg("class", config.class.as_str())
+}
+
 fn lease_loop(
     net: SimNet,
     config: DaemonConfig,
@@ -714,6 +741,15 @@ fn lease_loop(
         }
         return;
     };
+    // Link failures back off exponentially from a quarter-period up to one
+    // full renewal period, jittered per daemon so a room of restarted
+    // services doesn't reconnect to the ASD in lockstep.
+    let reconnect = RetryPolicy::new(config.lease_renew / 4)
+        .with_cap(config.lease_renew)
+        .with_seed(config.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        }));
+    let mut link_failures: u32 = 0;
     let mut client: Option<ServiceClient> = None;
     let mut next_renew = Instant::now() + config.lease_renew;
     while !stop.load(Ordering::SeqCst) {
@@ -723,25 +759,31 @@ fn lease_loop(
         }
         next_renew = Instant::now() + config.lease_renew;
         if client.is_none() {
-            client =
-                ServiceClient::connect(&net, &config.host, asd.clone(), &identity).ok();
+            client = ServiceClient::connect(&net, &config.host, asd.clone(), &identity).ok();
         }
-        if let Some(c) = client.as_mut() {
-            let renew = CmdLine::new("renewLease").arg("name", config.name.as_str());
-            match c.call_ok(&renew) {
-                Ok(()) => {}
-                Err(ClientError::Service { code, .. }) if code == ErrorCode::NotFound => {
-                    // Lease lapsed (e.g. an ASD restart): re-register.
-                    let _ = c.call_ok(
-                        &CmdLine::new("register")
-                            .arg("name", config.name.as_str())
-                            .arg("host", config.host.as_str())
-                            .arg("port", config.port)
-                            .arg("room", config.room.as_str())
-                            .arg("class", config.class.as_str()),
-                    );
+        match client.as_mut() {
+            Some(c) => {
+                let renew = CmdLine::new("renewLease").arg("name", config.name.as_str());
+                match c.call_ok(&renew) {
+                    Ok(()) => link_failures = 0,
+                    Err(ClientError::Service {
+                        code: ErrorCode::NotFound,
+                        ..
+                    }) => {
+                        // Lease lapsed (e.g. an ASD restart): re-register.
+                        let _ = c.call_ok(&register_cmd(&config));
+                    }
+                    Err(_) => {
+                        client = None;
+                        next_renew = Instant::now() + reconnect.delay_for(link_failures);
+                        link_failures = link_failures.saturating_add(1);
+                    }
                 }
-                Err(_) => client = None, // reconnect next period
+            }
+            None => {
+                // Connect itself failed (ASD down or unreachable).
+                next_renew = Instant::now() + reconnect.delay_for(link_failures);
+                link_failures = link_failures.saturating_add(1);
             }
         }
     }
@@ -752,16 +794,13 @@ fn lease_loop(
             let _ = c.call_ok(&CmdLine::new("removeService").arg("name", config.name.as_str()));
         }
         if let Some(roomdb) = &config.roomdb {
-            if let Ok(mut c) =
-                ServiceClient::connect(&net, &config.host, roomdb.clone(), &identity)
+            if let Ok(mut c) = ServiceClient::connect(&net, &config.host, roomdb.clone(), &identity)
             {
-                let _ =
-                    c.call_ok(&CmdLine::new("roomRemove").arg("service", config.name.as_str()));
+                let _ = c.call_ok(&CmdLine::new("roomRemove").arg("service", config.name.as_str()));
             }
         }
         if let Some(logger) = &config.logger {
-            if let Ok(mut c) =
-                ServiceClient::connect(&net, &config.host, logger.clone(), &identity)
+            if let Ok(mut c) = ServiceClient::connect(&net, &config.host, logger.clone(), &identity)
             {
                 let _ = c.call_ok(
                     &CmdLine::new("log")

@@ -15,12 +15,25 @@
 
 use crate::client::{ClientError, ServiceClient};
 use crate::protocol;
+use crate::retry::RetryPolicy;
 use ace_lang::{CmdLine, ErrorCode};
 use ace_net::{Addr, HostId, SimNet};
 use ace_security::keys::KeyPair;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A client bound to a service name, resolved through the ASD.
+///
+/// # Delivery semantics
+///
+/// * [`FailoverClient::call`] is **at-most-once**: resolution and
+///   connection failures are retried within the retry window, but once a
+///   command has been sent on an established link, a lost reply surfaces
+///   as an error — the command may or may not have executed, and the
+///   client never re-sends it.
+/// * [`FailoverClient::call_idempotent`] is **at-least-once**: link
+///   failures after send are also retried against a fresh resolution, so
+///   the command can execute more than once.  Only use it for commands
+///   that are safe to repeat (reads, absolute writes, registrations).
 pub struct FailoverClient {
     net: SimNet,
     from_host: HostId,
@@ -29,8 +42,9 @@ pub struct FailoverClient {
     service_name: String,
     /// How long to keep re-resolving before giving up.
     retry_window: Duration,
-    /// Pause between re-resolutions (lets leases expire / restarts finish).
-    retry_interval: Duration,
+    /// Backoff between re-resolutions (lets leases expire / restarts
+    /// finish).
+    policy: RetryPolicy,
     current: Option<ServiceClient>,
     /// Resolutions performed (observability for tests/experiments).
     resolutions: u64,
@@ -52,7 +66,8 @@ impl FailoverClient {
             asd,
             service_name: service_name.into(),
             retry_window: Duration::from_secs(10),
-            retry_interval: Duration::from_millis(50),
+            policy: RetryPolicy::new(Duration::from_millis(50))
+                .with_cap(Duration::from_millis(400)),
             current: None,
             resolutions: 0,
         }
@@ -64,21 +79,30 @@ impl FailoverClient {
         self
     }
 
+    /// Use a flat retry interval (legacy fixed-sleep behavior).
+    pub fn with_retry_interval(mut self, interval: Duration) -> FailoverClient {
+        self.policy = RetryPolicy::fixed(interval);
+        self
+    }
+
+    /// Use a custom backoff policy between re-resolutions.  Any wall-clock
+    /// budget on the policy is ignored; the retry window set by
+    /// [`FailoverClient::with_retry_window`] governs how long a call hunts.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> FailoverClient {
+        self.policy = policy;
+        self
+    }
+
     /// How many times the name has been (re-)resolved.
     pub fn resolutions(&self) -> u64 {
         self.resolutions
     }
 
     fn resolve(&mut self) -> Result<Addr, ClientError> {
-        let mut asd_client = ServiceClient::connect(
-            &self.net,
-            &self.from_host,
-            self.asd.clone(),
-            &self.identity,
-        )?;
-        let reply = asd_client.call(
-            &CmdLine::new("lookup").arg("name", self.service_name.as_str()),
-        )?;
+        let mut asd_client =
+            ServiceClient::connect(&self.net, &self.from_host, self.asd.clone(), &self.identity)?;
+        let reply =
+            asd_client.call(&CmdLine::new("lookup").arg("name", self.service_name.as_str()))?;
         let entries = reply
             .get("services")
             .and_then(protocol::entries_from_value)
@@ -120,8 +144,12 @@ impl FailoverClient {
         self.call_inner(cmd, true)
     }
 
-    fn call_inner(&mut self, cmd: &CmdLine, retry_after_send: bool) -> Result<CmdLine, ClientError> {
-        let deadline = Instant::now() + self.retry_window;
+    fn call_inner(
+        &mut self,
+        cmd: &CmdLine,
+        retry_after_send: bool,
+    ) -> Result<CmdLine, ClientError> {
+        let mut retry = self.policy.clone().with_budget(self.retry_window).start();
         let mut last_err: Option<ClientError>;
         loop {
             let had_connection = self.current.is_some();
@@ -145,13 +173,12 @@ impl FailoverClient {
                     last_err = Some(err);
                 }
             }
-            if Instant::now() >= deadline {
+            if !retry.backoff() {
                 return Err(last_err.unwrap_or(ClientError::Service {
                     code: ErrorCode::Unavailable,
                     msg: "retry window exhausted".into(),
                 }));
             }
-            std::thread::sleep(self.retry_interval);
         }
     }
 }

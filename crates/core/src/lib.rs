@@ -62,6 +62,8 @@ pub mod failover;
 pub mod link;
 pub mod notify;
 pub mod protocol;
+pub mod retry;
+pub mod supervise;
 
 pub use auth::{action_env_for, AuthMode, Authorizer, CredentialSource};
 pub use behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
@@ -71,6 +73,8 @@ pub use failover::FailoverClient;
 pub use link::{LinkError, SecureLink};
 pub use notify::{NotificationRegistry, Notifier, Registration};
 pub use protocol::{ServiceEntry, ASD_PORT, LOGGER_PORT, ROOMDB_PORT};
+pub use retry::{Retry, RetryPolicy};
+pub use supervise::{RestartPolicy, SuperviseError, SupervisedSpec, Supervisor, SupervisorReport};
 
 /// Everything needed to implement and run a service.
 pub mod prelude {
@@ -80,6 +84,8 @@ pub mod prelude {
     pub use crate::daemon::{Daemon, DaemonConfig, DaemonHandle};
     pub use crate::failover::FailoverClient;
     pub use crate::protocol::ServiceEntry;
+    pub use crate::retry::{Retry, RetryPolicy};
+    pub use crate::supervise::{RestartPolicy, SupervisedSpec, Supervisor};
     pub use ace_lang::{ArgType, CmdLine, CmdSpec, ErrorCode, Reply, Scalar, Semantics, Value};
     pub use ace_net::{Addr, HostId, SimNet};
 }

@@ -13,9 +13,9 @@
 
 use ace_lang::{CmdLine, Value};
 use ace_net::{Connection, NetError};
-use ace_security::cipher::{DhLocal, SecureChannel};
 #[cfg(test)]
 use ace_security::cipher::SessionKey;
+use ace_security::cipher::{DhLocal, SecureChannel};
 use ace_security::keys::{KeyPair, PublicKey, Signature};
 use std::fmt;
 use std::time::Duration;
@@ -255,7 +255,9 @@ mod tests {
             link.send_cmd(&CmdLine::new("ok")).unwrap();
         });
 
-        let conn = net.connect(&"client".into(), Addr::new("server", 100)).unwrap();
+        let conn = net
+            .connect(&"client".into(), Addr::new("server", 100))
+            .unwrap();
         let mut link = SecureLink::connect(conn, &client_id).unwrap();
         assert_eq!(link.peer_principal(), server_principal);
         link.send_cmd(&CmdLine::new("ping")).unwrap();
@@ -278,7 +280,9 @@ mod tests {
             let _ = link.recv_cmd(Duration::from_secs(5));
         });
 
-        let conn = net.connect(&"client".into(), Addr::new("server", 100)).unwrap();
+        let conn = net
+            .connect(&"client".into(), Addr::new("server", 100))
+            .unwrap();
         let mut link = SecureLink::connect(conn, &client_id).unwrap();
         let secret_cmd = CmdLine::new("storeKey").arg("value", Value::Str("hunter2".into()));
         // Seal ourselves to inspect: the sealed frame must not contain the
@@ -308,7 +312,9 @@ mod tests {
         });
 
         // A client that claims `real`'s principal but signs with its own key.
-        let conn = net.connect(&"client".into(), Addr::new("server", 100)).unwrap();
+        let conn = net
+            .connect(&"client".into(), Addr::new("server", 100))
+            .unwrap();
         let mut rng = rand::thread_rng();
         let dh = DhLocal::generate(&mut rng);
         conn.send(
@@ -342,7 +348,9 @@ mod tests {
             let conn = listener.accept().unwrap();
             SecureLink::accept(conn, &server_id)
         });
-        let conn = net.connect(&"client".into(), Addr::new("server", 100)).unwrap();
+        let conn = net
+            .connect(&"client".into(), Addr::new("server", 100))
+            .unwrap();
         conn.send(b"not a hello".to_vec()).unwrap();
         assert!(server.join().unwrap().is_err());
     }

@@ -156,12 +156,7 @@ impl NotifierWorker {
     }
 }
 
-fn deliver_loop(
-    rx: Receiver<Outbound>,
-    net: SimNet,
-    from_host: HostId,
-    identity: Arc<KeyPair>,
-) {
+fn deliver_loop(rx: Receiver<Outbound>, net: SimNet, from_host: HostId, identity: Arc<KeyPair>) {
     let mut clients: HashMap<Addr, ServiceClient> = HashMap::new();
     while let Ok(out) = rx.recv() {
         deliver_one(&mut clients, &net, &from_host, &identity, &out);

@@ -65,12 +65,18 @@ pub fn asd_semantics() -> Semantics {
                 .required("class", ArgType::Str, "service class (hierarchy path)"),
         )
         .with(
-            CmdSpec::new("renewLease", "renew a registration lease")
-                .required("name", ArgType::Word, "registered service name"),
+            CmdSpec::new("renewLease", "renew a registration lease").required(
+                "name",
+                ArgType::Word,
+                "registered service name",
+            ),
         )
         .with(
-            CmdSpec::new("removeService", "deregister a service on shutdown")
-                .required("name", ArgType::Word, "registered service name"),
+            CmdSpec::new("removeService", "deregister a service on shutdown").required(
+                "name",
+                ArgType::Word,
+                "registered service name",
+            ),
         )
         .with(
             CmdSpec::new("lookup", "find services; replies with matches")
@@ -99,16 +105,25 @@ pub fn roomdb_semantics() -> Semantics {
                 .optional("z", ArgType::Float, "position in the room (metres)"),
         )
         .with(
-            CmdSpec::new("roomRemove", "remove a service from its room")
-                .required("service", ArgType::Word, "service name"),
+            CmdSpec::new("roomRemove", "remove a service from its room").required(
+                "service",
+                ArgType::Word,
+                "service name",
+            ),
         )
         .with(
-            CmdSpec::new("roomServices", "list services within a room")
-                .required("room", ArgType::Word, "room name"),
+            CmdSpec::new("roomServices", "list services within a room").required(
+                "room",
+                ArgType::Word,
+                "room name",
+            ),
         )
         .with(
-            CmdSpec::new("roomInfo", "room metadata: building, dimensions")
-                .required("room", ArgType::Word, "room name"),
+            CmdSpec::new("roomInfo", "room metadata: building, dimensions").required(
+                "room",
+                ArgType::Word,
+                "room name",
+            ),
         )
         .with(
             CmdSpec::new("defineRoom", "create or update a room definition")
@@ -158,7 +173,7 @@ pub fn hex_encode(data: &[u8]) -> String {
 /// Decode a [`hex_encode`]d word.
 pub fn hex_decode(hex: &str) -> Option<Vec<u8>> {
     let hex = hex.strip_prefix('x').unwrap_or(hex);
-    if hex.len() % 2 != 0 {
+    if !hex.len().is_multiple_of(2) {
         return None;
     }
     (0..hex.len())
@@ -205,7 +220,7 @@ pub fn entries_from_value(value: &ace_lang::Value) -> Option<Vec<ServiceEntry>> 
     let rows = match value {
         // An empty array encodes as `{}`, which re-parses as an empty
         // vector — treat it as zero rows.
-        v if v.as_vector().map_or(false, |s| s.is_empty()) => return Some(Vec::new()),
+        v if v.as_vector().is_some_and(|s| s.is_empty()) => return Some(Vec::new()),
         v => v.as_array()?,
     };
     let mut out = Vec::with_capacity(rows.len());
@@ -306,7 +321,8 @@ mod tests {
     fn lookup_args_optional() {
         let sem = asd_semantics();
         sem.validate(&CmdLine::new("lookup")).unwrap();
-        sem.validate(&CmdLine::new("lookup").arg("class", "PTZCamera")).unwrap();
+        sem.validate(&CmdLine::new("lookup").arg("class", "PTZCamera"))
+            .unwrap();
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Unified retry/backoff policy (§9 robustness).
+//!
+//! Every recovery path in the stack — failover clients hunting for a moved
+//! service, store clients reconnecting to a replica, daemons renewing
+//! leases or registering with the ASD — used to carry its own ad-hoc
+//! fixed-interval sleep loop.  [`RetryPolicy`] replaces those with one
+//! shared vocabulary: exponential backoff with a cap, *deterministic*
+//! jitter (a pure function of the policy seed and the attempt number, so
+//! simulation runs replay identically), an optional attempt limit, and an
+//! optional wall-clock budget.
+//!
+//! A policy is an immutable recipe; [`RetryPolicy::start`] stamps it with
+//! the current instant to produce a [`Retry`] schedule whose
+//! [`Retry::backoff`] is called between attempts:
+//!
+//! ```
+//! use ace_core::retry::RetryPolicy;
+//! use std::time::Duration;
+//!
+//! let policy = RetryPolicy::new(Duration::from_millis(1))
+//!     .with_budget(Duration::from_millis(20));
+//! let mut retry = policy.start();
+//! let mut attempts = 1;
+//! loop {
+//!     // ... try the operation ...
+//!     if !retry.backoff() {
+//!         break; // budget exhausted
+//!     }
+//!     attempts += 1;
+//! }
+//! assert!(attempts > 1);
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// An immutable retry recipe: exponential backoff, cap, deterministic
+/// jitter, and optional attempt/wall-clock limits.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    initial: Duration,
+    multiplier: f64,
+    cap: Duration,
+    /// Fraction of each delay randomized away, in `[0, 1]`.  Jitter only
+    /// ever *shortens* a delay, so `cap` stays an upper bound.
+    jitter: f64,
+    max_attempts: Option<u32>,
+    budget: Option<Duration>,
+    seed: u64,
+}
+
+impl RetryPolicy {
+    /// Exponential backoff starting at `initial`, doubling per attempt,
+    /// capped at 1s, with 10% deterministic jitter and no attempt or
+    /// wall-clock limit.
+    pub fn new(initial: Duration) -> RetryPolicy {
+        RetryPolicy {
+            initial,
+            multiplier: 2.0,
+            cap: Duration::from_secs(1),
+            jitter: 0.1,
+            max_attempts: None,
+            budget: None,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// A flat schedule: every delay exactly `interval`, no jitter.  This is
+    /// the legacy behavior of the pre-policy retry loops.
+    pub fn fixed(interval: Duration) -> RetryPolicy {
+        RetryPolicy {
+            initial: interval,
+            multiplier: 1.0,
+            cap: interval,
+            jitter: 0.0,
+            max_attempts: None,
+            budget: None,
+            seed: 0,
+        }
+    }
+
+    /// Growth factor between consecutive delays (≥ 1.0).
+    pub fn with_multiplier(mut self, multiplier: f64) -> RetryPolicy {
+        assert!(multiplier >= 1.0, "backoff must not shrink");
+        self.multiplier = multiplier;
+        self
+    }
+
+    /// Upper bound on any single delay.
+    pub fn with_cap(mut self, cap: Duration) -> RetryPolicy {
+        self.cap = cap;
+        self
+    }
+
+    /// Fraction of each delay randomized away (clamped to `[0, 1]`).
+    pub fn with_jitter(mut self, jitter: f64) -> RetryPolicy {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Give up after this many *retries* (calls to [`Retry::backoff`]).
+    pub fn with_max_attempts(mut self, attempts: u32) -> RetryPolicy {
+        self.max_attempts = Some(attempts);
+        self
+    }
+
+    /// Give up once this much wall-clock time has elapsed since
+    /// [`RetryPolicy::start`].
+    pub fn with_budget(mut self, budget: Duration) -> RetryPolicy {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Seed for the jitter stream.  Two schedules with the same policy and
+    /// seed produce identical delays — simulation runs replay exactly.
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// The delay before retry number `attempt` (0-based), as a pure
+    /// function of the policy — no clock, no shared RNG.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let base = self.initial.as_secs_f64() * self.multiplier.powi(attempt as i32);
+        let capped = base.min(self.cap.as_secs_f64());
+        let scaled = if self.jitter > 0.0 {
+            // splitmix64 of (seed, attempt) → fraction in [0, 1); jitter
+            // shortens the delay by up to `jitter * capped`.
+            let mut z = self
+                .seed
+                .wrapping_add((attempt as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let frac = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            capped * (1.0 - self.jitter * frac)
+        } else {
+            capped
+        };
+        Duration::from_secs_f64(scaled.max(0.0))
+    }
+
+    /// Stamp the policy with the current instant, producing a live
+    /// schedule.
+    pub fn start(&self) -> Retry {
+        Retry {
+            policy: self.clone(),
+            attempt: 0,
+            deadline: self.budget.map(|b| Instant::now() + b),
+        }
+    }
+}
+
+/// A live retry schedule produced by [`RetryPolicy::start`].
+#[derive(Debug)]
+pub struct Retry {
+    policy: RetryPolicy,
+    attempt: u32,
+    deadline: Option<Instant>,
+}
+
+impl Retry {
+    /// How many backoffs have been taken so far.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Time left in the wall-clock budget, if one was set.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether the schedule still permits another attempt *right now*.
+    pub fn exhausted(&self) -> bool {
+        if let Some(max) = self.policy.max_attempts {
+            if self.attempt >= max {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Sleep before the next attempt.  Returns `false` — without sleeping —
+    /// once the attempt limit or wall-clock budget is exhausted; sleeps are
+    /// clamped so the schedule never overshoots its deadline.
+    pub fn backoff(&mut self) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        let mut delay = self.policy.delay_for(self.attempt);
+        if let Some(deadline) = self.deadline {
+            delay = delay.min(deadline.saturating_duration_since(Instant::now()));
+        }
+        self.attempt += 1;
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_exponentially_up_to_cap() {
+        let p = RetryPolicy::new(Duration::from_millis(10))
+            .with_jitter(0.0)
+            .with_cap(Duration::from_millis(50));
+        assert_eq!(p.delay_for(0), Duration::from_millis(10));
+        assert_eq!(p.delay_for(1), Duration::from_millis(20));
+        assert_eq!(p.delay_for(2), Duration::from_millis(40));
+        assert_eq!(p.delay_for(3), Duration::from_millis(50));
+        assert_eq!(p.delay_for(10), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn fixed_policy_is_flat() {
+        let p = RetryPolicy::fixed(Duration::from_millis(25));
+        for attempt in 0..8 {
+            assert_eq!(p.delay_for(attempt), Duration::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_bounded() {
+        let a = RetryPolicy::new(Duration::from_millis(100)).with_seed(7);
+        let b = RetryPolicy::new(Duration::from_millis(100)).with_seed(7);
+        let c = RetryPolicy::new(Duration::from_millis(100)).with_seed(8);
+        let mut differs = false;
+        for attempt in 0..16 {
+            assert_eq!(a.delay_for(attempt), b.delay_for(attempt));
+            assert!(a.delay_for(attempt) <= Duration::from_secs(1));
+            // Jitter shortens by at most the jitter fraction.
+            let base = Duration::from_millis(100).as_secs_f64() * 2f64.powi(attempt as i32);
+            let floor = base.min(1.0) * 0.9;
+            assert!(a.delay_for(attempt).as_secs_f64() >= floor - 1e-9);
+            differs |= a.delay_for(attempt) != c.delay_for(attempt);
+        }
+        assert!(differs, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn max_attempts_limits_backoffs() {
+        let mut retry = RetryPolicy::fixed(Duration::from_millis(1))
+            .with_max_attempts(3)
+            .start();
+        let mut taken = 0;
+        while retry.backoff() {
+            taken += 1;
+        }
+        assert_eq!(taken, 3);
+        assert!(retry.exhausted());
+    }
+
+    #[test]
+    fn budget_bounds_total_sleep() {
+        let mut retry = RetryPolicy::fixed(Duration::from_millis(5))
+            .with_budget(Duration::from_millis(40))
+            .start();
+        let start = Instant::now();
+        while retry.backoff() {}
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(40), "{elapsed:?}");
+        assert!(elapsed < Duration::from_millis(400), "{elapsed:?}");
+    }
+}

@@ -105,9 +105,7 @@ impl ServiceBehavior for Asd {
                 match self.leases.get_mut(name) {
                     Some(lease) => {
                         lease.expires = Instant::now() + self.lease_duration;
-                        Reply::ok_with(|c| {
-                            c.arg("lease", self.lease_duration.as_millis() as i64)
-                        })
+                        Reply::ok_with(|c| c.arg("lease", self.lease_duration.as_millis() as i64))
                     }
                     None => Reply::err(ErrorCode::NotFound, format!("no lease for {name}")),
                 }
@@ -128,9 +126,9 @@ impl ServiceBehavior for Asd {
                     .leases
                     .values()
                     .map(|l| &l.entry)
-                    .filter(|e| name.map_or(true, |n| e.name == n))
-                    .filter(|e| class.map_or(true, |c| Self::class_matches(&e.class, c)))
-                    .filter(|e| room.map_or(true, |r| e.room == r))
+                    .filter(|e| name.is_none_or(|n| e.name == n))
+                    .filter(|e| class.is_none_or(|c| Self::class_matches(&e.class, c)))
+                    .filter(|e| room.is_none_or(|r| e.room == r))
                     .cloned()
                     .collect();
                 matches.sort_by(|a, b| a.name.cmp(&b.name));
@@ -140,11 +138,8 @@ impl ServiceBehavior for Asd {
                 })
             }
             "listServices" => {
-                let mut names: Vec<Scalar> = self
-                    .leases
-                    .keys()
-                    .map(|n| Scalar::Str(n.clone()))
-                    .collect();
+                let mut names: Vec<Scalar> =
+                    self.leases.keys().map(|n| Scalar::Str(n.clone())).collect();
                 names.sort_by(|a, b| match (a, b) {
                     (Scalar::Str(x), Scalar::Str(y)) => x.cmp(y),
                     _ => std::cmp::Ordering::Equal,
@@ -263,14 +258,23 @@ mod tests {
 
     #[test]
     fn class_matching_follows_hierarchy() {
-        assert!(Asd::class_matches("Service.Device.PTZCamera.VCC3", "PTZCamera"));
+        assert!(Asd::class_matches(
+            "Service.Device.PTZCamera.VCC3",
+            "PTZCamera"
+        ));
         assert!(Asd::class_matches("Service.Device.PTZCamera.VCC3", "VCC3"));
-        assert!(Asd::class_matches("Service.Device.PTZCamera.VCC3", "Service"));
+        assert!(Asd::class_matches(
+            "Service.Device.PTZCamera.VCC3",
+            "Service"
+        ));
         assert!(Asd::class_matches(
             "Service.Device.PTZCamera.VCC3",
             "Service.Device.PTZCamera.VCC3"
         ));
         assert!(!Asd::class_matches("Service.Device.PTZCamera.VCC3", "PTZ"));
-        assert!(!Asd::class_matches("Service.Device.PTZCamera.VCC3", "Projector"));
+        assert!(!Asd::class_matches(
+            "Service.Device.PTZCamera.VCC3",
+            "Projector"
+        ));
     }
 }

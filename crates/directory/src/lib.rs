@@ -75,20 +75,38 @@ pub fn bootstrap(
 
     let asd = Daemon::spawn(
         net,
-        DaemonConfig::new("asd", "Service.ServiceDirectory", "machineroom", host.clone(), ASD_PORT),
+        DaemonConfig::new(
+            "asd",
+            "Service.ServiceDirectory",
+            "machineroom",
+            host.clone(),
+            ASD_PORT,
+        ),
         Box::new(Asd::new(lease)),
     )?;
     let roomdb = Daemon::spawn(
         net,
-        DaemonConfig::new("roomdb", "Service.Database.Room", "machineroom", host.clone(), ROOMDB_PORT)
-            .with_asd(asd_addr.clone()),
+        DaemonConfig::new(
+            "roomdb",
+            "Service.Database.Room",
+            "machineroom",
+            host.clone(),
+            ROOMDB_PORT,
+        )
+        .with_asd(asd_addr.clone()),
         Box::new(RoomDb::new()),
     )?;
     let logger = Daemon::spawn(
         net,
-        DaemonConfig::new("netlogger", "Service.Logger", "machineroom", host.clone(), LOGGER_PORT)
-            .with_asd(asd_addr.clone())
-            .with_roomdb(roomdb_addr.clone()),
+        DaemonConfig::new(
+            "netlogger",
+            "Service.Logger",
+            "machineroom",
+            host.clone(),
+            LOGGER_PORT,
+        )
+        .with_asd(asd_addr.clone())
+        .with_roomdb(roomdb_addr.clone()),
         Box::new(NetLogger::default()),
     )?;
 

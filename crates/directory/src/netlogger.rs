@@ -63,13 +63,15 @@ fn records_to_value(records: &[&LogRecord]) -> Value {
     )
 }
 
-/// Decode a `records=` array of a `tail` reply into
-/// `(seq, level, service, host, msg)` tuples.
-pub fn records_from_value(value: &Value) -> Option<Vec<(u64, String, String, String, String)>> {
+/// One decoded `tail` row: `(seq, level, service, host, msg)`.
+pub type LogRow = (u64, String, String, String, String);
+
+/// Decode a `records=` array of a `tail` reply into [`LogRow`] tuples.
+pub fn records_from_value(value: &Value) -> Option<Vec<LogRow>> {
     let rows = match value {
         // An empty array encodes as `{}`, which re-parses as an empty
         // vector — treat it as zero rows.
-        v if v.as_vector().map_or(false, |s| s.is_empty()) => return Some(Vec::new()),
+        v if v.as_vector().is_some_and(|s| s.is_empty()) => return Some(Vec::new()),
         v => v.as_array()?,
     };
     let mut out = Vec::with_capacity(rows.len());
@@ -122,7 +124,7 @@ impl ServiceBehavior for NetLogger {
                     .records
                     .iter()
                     .rev()
-                    .filter(|r| level.map_or(true, |l| r.level == l))
+                    .filter(|r| level.is_none_or(|l| r.level == l))
                     .take(count)
                     .collect();
                 // Oldest-first in the reply.
@@ -187,11 +189,7 @@ impl LoggerClient {
     }
 
     /// The most recent records, oldest first.
-    pub fn tail(
-        &mut self,
-        count: usize,
-        level: Option<&str>,
-    ) -> Result<Vec<(u64, String, String, String, String)>, ClientError> {
+    pub fn tail(&mut self, count: usize, level: Option<&str>) -> Result<Vec<LogRow>, ClientError> {
         let mut cmd = CmdLine::new("tail").arg("count", count as i64);
         if let Some(l) = level {
             cmd.push_arg("level", l);

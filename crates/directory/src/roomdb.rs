@@ -40,12 +40,7 @@ impl RoomDb {
     }
 
     /// Pre-define a room (environments usually seed their floor plan).
-    pub fn with_room(
-        mut self,
-        room: &str,
-        building: &str,
-        dimensions: (f64, f64, f64),
-    ) -> RoomDb {
+    pub fn with_room(mut self, room: &str, building: &str, dimensions: (f64, f64, f64)) -> RoomDb {
         self.rooms.insert(
             room.to_string(),
             RoomInfo {
@@ -87,7 +82,7 @@ pub fn placements_from_value(value: &Value) -> Option<Vec<Placement>> {
     let rows = match value {
         // An empty array encodes as `{}`, which re-parses as an empty
         // vector — treat it as zero rows.
-        v if v.as_vector().map_or(false, |s| s.is_empty()) => return Some(Vec::new()),
+        v if v.as_vector().is_some_and(|s| s.is_empty()) => return Some(Vec::new()),
         v => v.as_array()?,
     };
     let mut out = Vec::with_capacity(rows.len());
@@ -239,7 +234,9 @@ impl RoomDbClient {
 
     /// Room metadata.
     pub fn room_info(&mut self, room: &str) -> Result<RoomInfo, ClientError> {
-        let reply = self.client.call(&CmdLine::new("roomInfo").arg("room", room))?;
+        let reply = self
+            .client
+            .call(&CmdLine::new("roomInfo").arg("room", room))?;
         Ok(RoomInfo {
             building: reply.get_text("building").unwrap_or("unknown").to_string(),
             dimensions: (

@@ -43,14 +43,9 @@ fn failover_client_follows_service_across_hosts() {
     )
     .unwrap();
 
-    let mut client = ace_core::FailoverClient::bind(
-        net.clone(),
-        "core",
-        me,
-        fw.asd_addr.clone(),
-        "counter",
-    )
-    .with_retry_window(Duration::from_secs(10));
+    let mut client =
+        ace_core::FailoverClient::bind(net.clone(), "core", me, fw.asd_addr.clone(), "counter")
+            .with_retry_window(Duration::from_secs(10));
 
     let r = client.call(&CmdLine::new("increment")).unwrap();
     assert_eq!(r.get_int("value"), Some(1));
@@ -114,14 +109,9 @@ fn non_idempotent_calls_do_not_retry_after_send() {
     )
     .unwrap();
 
-    let mut client = ace_core::FailoverClient::bind(
-        net.clone(),
-        "core",
-        me,
-        fw.asd_addr.clone(),
-        "counter",
-    )
-    .with_retry_window(Duration::from_millis(500));
+    let mut client =
+        ace_core::FailoverClient::bind(net.clone(), "core", me, fw.asd_addr.clone(), "counter")
+            .with_retry_window(Duration::from_millis(500));
     client.call(&CmdLine::new("increment")).unwrap();
 
     // Sever the link mid-session: the next non-idempotent call fails fast

@@ -46,11 +46,12 @@ impl ServiceBehavior for Counter {
                 "amount (default 1)",
             ))
             .with(CmdSpec::new("read", "current value"))
-            .with(CmdSpec::new("onPeerEvent", "notification sink").optional(
-                "service",
-                ArgType::Str,
-                "origin",
-            ).optional("cmd", ArgType::Str, "what ran").optional("by", ArgType::Int, "amount"))
+            .with(
+                CmdSpec::new("onPeerEvent", "notification sink")
+                    .optional("service", ArgType::Str, "origin")
+                    .optional("cmd", ArgType::Str, "what ran")
+                    .optional("by", ArgType::Int, "amount"),
+            )
     }
 
     fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
@@ -94,12 +95,14 @@ fn startup_sequence_registers_everywhere() {
     assert_eq!(entry.room, "hawk");
 
     // Step 2: placed in the room database.
-    let mut roomdb = RoomDbClient::connect(&net, &"bar".into(), fw.roomdb_addr.clone(), &me).unwrap();
+    let mut roomdb =
+        RoomDbClient::connect(&net, &"bar".into(), fw.roomdb_addr.clone(), &me).unwrap();
     let placements = roomdb.room_services("hawk").unwrap();
     assert!(placements.iter().any(|p| p.service == "counter1"));
 
     // Step 5: start recorded in the logger.
-    let mut logger = LoggerClient::connect(&net, &"bar".into(), fw.logger_addr.clone(), &me).unwrap();
+    let mut logger =
+        LoggerClient::connect(&net, &"bar".into(), fw.logger_addr.clone(), &me).unwrap();
     let records = logger.tail(50, None).unwrap();
     assert!(records
         .iter()
@@ -131,8 +134,11 @@ fn lookup_by_class_and_room() {
     assert_eq!(in_dove[0].name, "c2");
 
     // Full Fig. 7 flow: look up, connect to the returned address, command.
-    let mut client = ServiceClient::connect(&net, &"bar".into(), in_dove[0].addr.clone(), &me).unwrap();
-    let reply = client.call(&CmdLine::new("increment").arg("by", 5)).unwrap();
+    let mut client =
+        ServiceClient::connect(&net, &"bar".into(), in_dove[0].addr.clone(), &me).unwrap();
+    let reply = client
+        .call(&CmdLine::new("increment").arg("by", 5))
+        .unwrap();
     assert_eq!(reply.get_int("value"), Some(5));
 
     c1.shutdown();
@@ -174,7 +180,10 @@ fn crashed_daemon_is_purged_by_lease_expiry() {
     let mut asd = AsdClient::connect(&net, &"bar".into(), fw.asd_addr.clone(), &me).unwrap();
     // Renewal keeps it alive well past one lease duration.
     std::thread::sleep(Duration::from_millis(700));
-    assert!(asd.find("flaky").unwrap().is_some(), "renewal keeps the lease");
+    assert!(
+        asd.find("flaky").unwrap().is_some(),
+        "renewal keeps the lease"
+    );
 
     // Crash without deregistering: the lease mechanism must clean up.
     counter.crash();
@@ -204,7 +213,8 @@ fn notifications_fire_on_command_execution() {
     .unwrap();
 
     // Fig. 8: register interest in `increment` on the watched service.
-    let mut client = ServiceClient::connect(&net, &"tube".into(), watched.addr().clone(), &me).unwrap();
+    let mut client =
+        ServiceClient::connect(&net, &"tube".into(), watched.addr().clone(), &me).unwrap();
     client
         .call_ok(
             &CmdLine::new("addNotification")
@@ -252,7 +262,8 @@ fn semantic_errors_rejected_before_execution() {
     let fw = bootstrap(&net, "core", Duration::from_secs(5)).unwrap();
     let me = keypair();
     let counter = start_counter(&net, &fw, "strict", "bar", 4000);
-    let mut client = ServiceClient::connect(&net, &"bar".into(), counter.addr().clone(), &me).unwrap();
+    let mut client =
+        ServiceClient::connect(&net, &"bar".into(), counter.addr().clone(), &me).unwrap();
 
     // Unknown command.
     let err = client.call(&CmdLine::new("explode")).unwrap_err();
@@ -299,8 +310,12 @@ fn keynote_guards_commands() {
     let service_key = keypair();
     engine
         .add_policy(
-            Assertion::new(POLICY, Licensees::Principal(service_key.principal()), "true")
-                .unwrap(),
+            Assertion::new(
+                POLICY,
+                Licensees::Principal(service_key.principal()),
+                "true",
+            )
+            .unwrap(),
         )
         .unwrap();
 
@@ -345,7 +360,8 @@ fn describe_lists_inherited_and_own_commands() {
     let fw = bootstrap(&net, "core", Duration::from_secs(5)).unwrap();
     let me = keypair();
     let counter = start_counter(&net, &fw, "desc", "bar", 4000);
-    let mut client = ServiceClient::connect(&net, &"bar".into(), counter.addr().clone(), &me).unwrap();
+    let mut client =
+        ServiceClient::connect(&net, &"bar".into(), counter.addr().clone(), &me).unwrap();
 
     let reply = client.call(&CmdLine::new("describe")).unwrap();
     let cmds: Vec<&str> = reply
@@ -369,7 +385,8 @@ fn shutdown_command_stops_daemon() {
     let fw = bootstrap(&net, "core", Duration::from_secs(5)).unwrap();
     let me = keypair();
     let counter = start_counter(&net, &fw, "stopme", "bar", 4000);
-    let mut client = ServiceClient::connect(&net, &"bar".into(), counter.addr().clone(), &me).unwrap();
+    let mut client =
+        ServiceClient::connect(&net, &"bar".into(), counter.addr().clone(), &me).unwrap();
     client.call_ok(&CmdLine::new("shutdown")).unwrap();
 
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -386,11 +403,14 @@ fn logger_stats_and_filtering() {
     let net = net_with(&["core"]);
     let fw = bootstrap(&net, "core", Duration::from_secs(5)).unwrap();
     let me = keypair();
-    let mut logger = LoggerClient::connect(&net, &"core".into(), fw.logger_addr.clone(), &me).unwrap();
+    let mut logger =
+        LoggerClient::connect(&net, &"core".into(), fw.logger_addr.clone(), &me).unwrap();
 
     logger.log("warn", "disk nearly full").unwrap();
     logger.log("security", "invalid login for mallory").unwrap();
-    logger.log("security", "invalid login for mallory again").unwrap();
+    logger
+        .log("security", "invalid login for mallory again")
+        .unwrap();
 
     let security = logger.tail(10, Some("security")).unwrap();
     assert_eq!(security.len(), 2);
@@ -408,16 +428,22 @@ fn room_database_info_and_dimensions() {
     let net = net_with(&["core"]);
     let fw = bootstrap(&net, "core", Duration::from_secs(5)).unwrap();
     let me = keypair();
-    let mut roomdb = RoomDbClient::connect(&net, &"core".into(), fw.roomdb_addr.clone(), &me).unwrap();
+    let mut roomdb =
+        RoomDbClient::connect(&net, &"core".into(), fw.roomdb_addr.clone(), &me).unwrap();
 
-    roomdb.define_room("hawk", "nichols", (8.0, 6.0, 3.0)).unwrap();
+    roomdb
+        .define_room("hawk", "nichols", (8.0, 6.0, 3.0))
+        .unwrap();
     let info = roomdb.room_info("hawk").unwrap();
     assert_eq!(info.building, "nichols");
     assert_eq!(info.dimensions, (8.0, 6.0, 3.0));
 
     let rooms = roomdb.list_rooms().unwrap();
     assert!(rooms.contains(&"hawk".to_string()));
-    assert!(rooms.contains(&"machineroom".to_string()), "auto-created by bootstrap");
+    assert!(
+        rooms.contains(&"machineroom".to_string()),
+        "auto-created by bootstrap"
+    );
 
     fw.shutdown();
 }

@@ -8,7 +8,7 @@
 //! about every lease death.
 
 use ace_core::prelude::*;
-use ace_directory::bootstrap;
+use ace_directory::{bootstrap, AsdClient};
 use ace_security::keys::KeyPair;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -82,7 +82,10 @@ fn asd_registration_and_expiry_notify_listeners() {
     // Listen on the ASD for both the command and the event.
     let mut asd_client =
         ServiceClient::connect(&net, &"core".into(), fw.asd_addr.clone(), &me).unwrap();
-    for (what, sink) in [("register", "onRegistered"), ("serviceExpired", "onExpired")] {
+    for (what, sink) in [
+        ("register", "onRegistered"),
+        ("serviceExpired", "onExpired"),
+    ] {
         asd_client
             .call_ok(
                 &CmdLine::new("addNotification")
@@ -105,7 +108,10 @@ fn asd_registration_and_expiry_notify_listeners() {
     .unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while !arrivals.lock().unwrap().contains(&"newcomer".to_string()) {
-        assert!(std::time::Instant::now() < deadline, "arrival never notified");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "arrival never notified"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
 
@@ -113,8 +119,99 @@ fn asd_registration_and_expiry_notify_listeners() {
     newcomer.crash();
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while !expiries.lock().unwrap().contains(&"newcomer".to_string()) {
-        assert!(std::time::Instant::now() < deadline, "expiry never notified");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "expiry never notified"
+        );
         std::thread::sleep(Duration::from_millis(20));
+    }
+
+    rec.shutdown();
+    fw.shutdown();
+}
+
+/// A lapsed lease fires exactly one `serviceExpired` per service — the
+/// reaper must not re-notify on later sweeps — and the dead entry is
+/// purged from lookups.
+#[test]
+fn lease_expiry_fires_once_per_service_and_purges_entry() {
+    let net = SimNet::new();
+    for h in ["core", "bar", "tube"] {
+        net.add_host(h);
+    }
+    let fw = bootstrap(&net, "core", Duration::from_millis(300)).unwrap();
+    let me = KeyPair::generate(&mut rand::thread_rng());
+
+    let recorder = Recorder::default();
+    let expiries = Arc::clone(&recorder.expiries);
+    let rec = Daemon::spawn(
+        &net,
+        fw.service_config("recorder", "Service.Test", "machineroom", "core", 6100),
+        Box::new(recorder),
+    )
+    .unwrap();
+    let mut asd_client =
+        ServiceClient::connect(&net, &"core".into(), fw.asd_addr.clone(), &me).unwrap();
+    asd_client
+        .call_ok(
+            &CmdLine::new("addNotification")
+                .arg("cmd", "serviceExpired")
+                .arg("service", "recorder")
+                .arg("host", "core")
+                .arg("port", 6100)
+                .arg("notifyCmd", "onExpired"),
+        )
+        .unwrap();
+
+    // Two victims on different hosts; both crash (no deregistration), so
+    // only the lease reaper can remove them.
+    let victims = ["victim_a", "victim_b"];
+    let mut handles = Vec::new();
+    for (name, host) in victims.iter().zip(["bar", "tube"]) {
+        handles.push(
+            Daemon::spawn(
+                &net,
+                fw.service_config(name, "Service.Echo", "hawk", host, 6000)
+                    .with_lease_renew(Duration::from_millis(100)),
+                Box::new(Echo),
+            )
+            .unwrap(),
+        );
+    }
+    let mut asd = AsdClient::connect(&net, &"core".into(), fw.asd_addr.clone(), &me).unwrap();
+    for name in victims {
+        assert!(asd.find(name).unwrap().is_some(), "{name} never registered");
+    }
+    for h in handles {
+        h.crash();
+    }
+
+    // Wait for both expiries, then several extra reaper sweeps to catch
+    // any duplicate notification.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let seen = expiries.lock().unwrap().clone();
+        if victims.iter().all(|v| seen.iter().any(|s| s == v)) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "expiries never fired: {seen:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    std::thread::sleep(Duration::from_millis(900)); // ≥ 2 full lease periods
+    let seen = expiries.lock().unwrap().clone();
+    for name in victims {
+        assert_eq!(
+            seen.iter().filter(|s| s.as_str() == name).count(),
+            1,
+            "expected exactly one serviceExpired for {name}, saw {seen:?}"
+        );
+        assert!(
+            asd.find(name).unwrap().is_none(),
+            "{name} still resolvable after expiry"
+        );
     }
 
     rec.shutdown();

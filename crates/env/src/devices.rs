@@ -89,8 +89,11 @@ impl ServiceBehavior for PtzCamera {
                         .required("name", ArgType::Word, "preset name"),
                 )
                 .with(
-                    CmdSpec::new("ptzPresetRecall", "recall a stored preset")
-                        .required("name", ArgType::Word, "preset name"),
+                    CmdSpec::new("ptzPresetRecall", "recall a stored preset").required(
+                        "name",
+                        ArgType::Word,
+                        "preset name",
+                    ),
                 )
                 .inheriting(&base),
         }
@@ -141,10 +144,13 @@ impl ServiceBehavior for PtzCamera {
                     .arg("y", self.tilt)
                     .arg("zoom", self.zoom)
                     .arg("moves", self.moves as i64)
-                    .arg("model", match self.model {
-                        CameraModel::Vcc3 => "VCC3",
-                        CameraModel::Vcc4 => "VCC4",
-                    })
+                    .arg(
+                        "model",
+                        match self.model {
+                            CameraModel::Vcc3 => "VCC3",
+                            CameraModel::Vcc4 => "VCC4",
+                        },
+                    )
             }),
             "ptzPresetStore" if self.model == CameraModel::Vcc4 => {
                 let name = cmd.get_text("name").expect("validated").to_string();
@@ -162,7 +168,10 @@ impl ServiceBehavior for PtzCamera {
                         (self.pan, self.tilt, self.zoom) = (pan, tilt, zoom);
                         self.moves += 1;
                         ctx.fire_event(
-                            CmdLine::new("ptzMoved").arg("x", pan).arg("y", tilt).arg("zoom", zoom),
+                            CmdLine::new("ptzMoved")
+                                .arg("x", pan)
+                                .arg("y", tilt)
+                                .arg("zoom", zoom),
                         );
                         Reply::ok_with(|c| c.arg("x", pan).arg("y", tilt).arg("zoom", zoom))
                     }
@@ -206,12 +215,18 @@ impl ServiceBehavior for Projector {
             .with(CmdSpec::new("projOn", "power the projector on"))
             .with(CmdSpec::new("projOff", "power the projector off"))
             .with(
-                CmdSpec::new("projInput", "select the projected source")
-                    .required("source", ArgType::Word, "e.g. workspace | camera"),
+                CmdSpec::new("projInput", "select the projected source").required(
+                    "source",
+                    ArgType::Word,
+                    "e.g. workspace | camera",
+                ),
             )
             .with(
-                CmdSpec::new("projPip", "picture-in-picture source (or off)")
-                    .required("source", ArgType::Word, "source name or `off`"),
+                CmdSpec::new("projPip", "picture-in-picture source (or off)").required(
+                    "source",
+                    ArgType::Word,
+                    "source name or `off`",
+                ),
             )
             .with(CmdSpec::new("projStatus", "power and source state"))
     }

@@ -67,8 +67,8 @@ impl AceEnvironment {
         let mut daemons: HashMap<String, DaemonHandle> = HashMap::new();
         let mut order: Vec<String> = Vec::new();
         let add = |daemons: &mut HashMap<String, DaemonHandle>,
-                       order: &mut Vec<String>,
-                       handle: DaemonHandle| {
+                   order: &mut Vec<String>,
+                   handle: DaemonHandle| {
             order.push(handle.name().to_string());
             daemons.insert(handle.name().to_string(), handle);
         };
@@ -91,7 +91,12 @@ impl AceEnvironment {
             .map(String::as_str)
             .collect();
         let store = if store_hosts.len() == 3 {
-            Some(spawn_store_cluster(&net, &fw, &store_hosts, config.store_sync)?)
+            Some(spawn_store_cluster(
+                &net,
+                &fw,
+                &store_hosts,
+                config.store_sync,
+            )?)
         } else {
             None
         };
@@ -126,7 +131,13 @@ impl AceEnvironment {
             &mut order,
             Daemon::spawn(
                 &net,
-                fw.service_config("idmonitor", "Service.IDMonitor", "machineroom", "core", 5301),
+                fw.service_config(
+                    "idmonitor",
+                    "Service.IDMonitor",
+                    "machineroom",
+                    "core",
+                    5301,
+                ),
                 Box::new(IdMonitor::new()),
             )?,
         );
@@ -154,7 +165,13 @@ impl AceEnvironment {
             &mut order,
             Daemon::spawn(
                 &net,
-                fw.service_config("wss", "Service.WorkspaceServer", "machineroom", "core", 5600),
+                fw.service_config(
+                    "wss",
+                    "Service.WorkspaceServer",
+                    "machineroom",
+                    "core",
+                    5600,
+                ),
                 Box::new(Wss::new()),
             )?,
         );
@@ -184,7 +201,11 @@ impl AceEnvironment {
                 Box::new(IButtonReader::new()),
             )?,
         );
-        let camera_host = config.compute_hosts.first().cloned().unwrap_or_else(|| "core".into());
+        let camera_host = config
+            .compute_hosts
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "core".into());
         add(
             &mut daemons,
             &mut order,
@@ -281,11 +302,7 @@ impl AceEnvironment {
     }
 
     /// Connect a client with a specific identity.
-    pub fn client_as(
-        &self,
-        name: &str,
-        identity: &KeyPair,
-    ) -> Result<ServiceClient, ClientError> {
+    pub fn client_as(&self, name: &str, identity: &KeyPair) -> Result<ServiceClient, ClientError> {
         let addr = self.addr_of(name).ok_or(ClientError::Service {
             code: ErrorCode::NotFound,
             msg: format!("no daemon {name}"),

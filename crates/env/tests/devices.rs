@@ -42,7 +42,8 @@ fn vcc3_lacks_presets_vcc4_has_them() {
 
     c4.call_ok(&CmdLine::new("ptzOn")).unwrap();
     c4.call_ok(&CmdLine::new("ptzMove").arg("x", 20.0)).unwrap();
-    c4.call_ok(&CmdLine::new("ptzPresetStore").arg("name", "door")).unwrap();
+    c4.call_ok(&CmdLine::new("ptzPresetStore").arg("name", "door"))
+        .unwrap();
     c4.call_ok(&CmdLine::new("ptzMove").arg("x", 0.0)).unwrap();
     let recalled = c4
         .call(&CmdLine::new("ptzPresetRecall").arg("name", "door"))
@@ -96,7 +97,8 @@ fn camera_relative_mode_and_power_rules() {
     assert_eq!(err.code(), Some(ErrorCode::BadState));
 
     c.call_ok(&CmdLine::new("ptzOn")).unwrap();
-    c.call_ok(&CmdLine::new("ptzMove").arg("x", 10.0).arg("y", 5.0)).unwrap();
+    c.call_ok(&CmdLine::new("ptzMove").arg("x", 10.0).arg("y", 5.0))
+        .unwrap();
     let moved = c
         .call(
             &CmdLine::new("ptzMove")
@@ -133,14 +135,17 @@ fn projector_state_rules() {
     assert_eq!(err.code(), Some(ErrorCode::BadState));
 
     p.call_ok(&CmdLine::new("projOn")).unwrap();
-    p.call_ok(&CmdLine::new("projInput").arg("source", "workspace")).unwrap();
-    p.call_ok(&CmdLine::new("projPip").arg("source", "camera")).unwrap();
+    p.call_ok(&CmdLine::new("projInput").arg("source", "workspace"))
+        .unwrap();
+    p.call_ok(&CmdLine::new("projPip").arg("source", "camera"))
+        .unwrap();
     let status = p.call(&CmdLine::new("projStatus")).unwrap();
     assert_eq!(status.get_bool("powered"), Some(true));
     assert_eq!(status.get_text("pip"), Some("camera"));
 
     // PiP off.
-    p.call_ok(&CmdLine::new("projPip").arg("source", "off")).unwrap();
+    p.call_ok(&CmdLine::new("projPip").arg("source", "off"))
+        .unwrap();
     let status = p.call(&CmdLine::new("projStatus")).unwrap();
     assert_eq!(status.get_text("pip"), Some("off"));
 

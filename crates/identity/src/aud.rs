@@ -76,14 +76,16 @@ impl ServiceBehavior for UserDb {
                     .optional("fingerprint", ArgType::Str, "fingerprint template id")
                     .optional("ibutton", ArgType::Str, "iButton serial number"),
             )
-            .with(
-                CmdSpec::new("getUser", "fetch a user record")
-                    .required("username", ArgType::Word, "login name"),
-            )
-            .with(
-                CmdSpec::new("removeUser", "delete a user record")
-                    .required("username", ArgType::Word, "login name"),
-            )
+            .with(CmdSpec::new("getUser", "fetch a user record").required(
+                "username",
+                ArgType::Word,
+                "login name",
+            ))
+            .with(CmdSpec::new("removeUser", "delete a user record").required(
+                "username",
+                ArgType::Word,
+                "login name",
+            ))
             .with(
                 CmdSpec::new("checkPassword", "verify a password")
                     .required("username", ArgType::Word, "login name")
@@ -96,16 +98,25 @@ impl ServiceBehavior for UserDb {
                     .required("host", ArgType::Word, "access host"),
             )
             .with(
-                CmdSpec::new("getLocation", "last known user location")
-                    .required("username", ArgType::Word, "login name"),
+                CmdSpec::new("getLocation", "last known user location").required(
+                    "username",
+                    ArgType::Word,
+                    "login name",
+                ),
             )
             .with(
-                CmdSpec::new("findByFingerprint", "user owning a template")
-                    .required("template", ArgType::Str, "fingerprint template id"),
+                CmdSpec::new("findByFingerprint", "user owning a template").required(
+                    "template",
+                    ArgType::Str,
+                    "fingerprint template id",
+                ),
             )
             .with(
-                CmdSpec::new("findByIButton", "user owning a serial")
-                    .required("serial", ArgType::Str, "iButton serial number"),
+                CmdSpec::new("findByIButton", "user owning a serial").required(
+                    "serial",
+                    ArgType::Str,
+                    "iButton serial number",
+                ),
             )
             .with(CmdSpec::new("listUsers", "all usernames"))
     }
@@ -309,7 +320,10 @@ impl UserDbClient {
                 .arg("password", Value::Str(password.into())),
         ) {
             Ok(()) => Ok(true),
-            Err(ClientError::Service { code, .. }) if code == ErrorCode::Denied => Ok(false),
+            Err(ClientError::Service {
+                code: ErrorCode::Denied,
+                ..
+            }) => Ok(false),
             Err(e) => Err(e),
         }
     }
@@ -330,7 +344,10 @@ impl UserDbClient {
     }
 
     /// Last known `(room, host)`.
-    pub fn get_location(&mut self, username: &str) -> Result<Option<(String, String)>, ClientError> {
+    pub fn get_location(
+        &mut self,
+        username: &str,
+    ) -> Result<Option<(String, String)>, ClientError> {
         match self
             .client
             .call(&CmdLine::new("getLocation").arg("username", username))
@@ -339,18 +356,25 @@ impl UserDbClient {
                 r.get_text("room").unwrap_or("").to_string(),
                 r.get_text("host").unwrap_or("").to_string(),
             ))),
-            Err(ClientError::Service { code, .. }) if code == ErrorCode::NotFound => Ok(None),
+            Err(ClientError::Service {
+                code: ErrorCode::NotFound,
+                ..
+            }) => Ok(None),
             Err(e) => Err(e),
         }
     }
 
     /// Owner of a fingerprint template.
     pub fn find_by_fingerprint(&mut self, template: &str) -> Result<Option<String>, ClientError> {
-        match self.client.call(
-            &CmdLine::new("findByFingerprint").arg("template", Value::Str(template.into())),
-        ) {
+        match self
+            .client
+            .call(&CmdLine::new("findByFingerprint").arg("template", Value::Str(template.into())))
+        {
             Ok(r) => Ok(r.get_text("username").map(str::to_string)),
-            Err(ClientError::Service { code, .. }) if code == ErrorCode::NotFound => Ok(None),
+            Err(ClientError::Service {
+                code: ErrorCode::NotFound,
+                ..
+            }) => Ok(None),
             Err(e) => Err(e),
         }
     }
@@ -362,7 +386,10 @@ impl UserDbClient {
             .call(&CmdLine::new("findByIButton").arg("serial", Value::Str(serial.into())))
         {
             Ok(r) => Ok(r.get_text("username").map(str::to_string)),
-            Err(ClientError::Service { code, .. }) if code == ErrorCode::NotFound => Ok(None),
+            Err(ClientError::Service {
+                code: ErrorCode::NotFound,
+                ..
+            }) => Ok(None),
             Err(e) => Err(e),
         }
     }

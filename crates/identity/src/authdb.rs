@@ -40,12 +40,18 @@ impl ServiceBehavior for AuthDb {
                     .required("text", ArgType::Word, "hex-encoded credential text"),
             )
             .with(
-                CmdSpec::new("fetchCredentials", "credentials naming a licensee")
-                    .required("licensee", ArgType::Str, "principal to fetch for"),
+                CmdSpec::new("fetchCredentials", "credentials naming a licensee").required(
+                    "licensee",
+                    ArgType::Str,
+                    "principal to fetch for",
+                ),
             )
             .with(
-                CmdSpec::new("removeCredential", "delete a credential")
-                    .required("id", ArgType::Word, "credential id"),
+                CmdSpec::new("removeCredential", "delete a credential").required(
+                    "id",
+                    ArgType::Word,
+                    "credential id",
+                ),
             )
             .with(CmdSpec::new("listCredentials", "all credential ids"))
     }
@@ -84,11 +90,7 @@ impl ServiceBehavior for AuthDb {
             }
             "fetchCredentials" => {
                 let licensee = cmd.get_text("licensee").expect("validated");
-                let ids = self
-                    .by_licensee
-                    .get(licensee)
-                    .cloned()
-                    .unwrap_or_default();
+                let ids = self.by_licensee.get(licensee).cloned().unwrap_or_default();
                 let texts: Vec<Scalar> = ids
                     .iter()
                     .filter_map(|id| self.credentials.get(id))
@@ -155,15 +157,21 @@ impl AuthDbClient {
 
     /// Fetch all credentials naming `licensee`.
     pub fn fetch_for(&mut self, licensee: &str) -> Result<Vec<Assertion>, ClientError> {
-        let reply = self.client.call(
-            &CmdLine::new("fetchCredentials").arg("licensee", Value::Str(licensee.into())),
-        )?;
+        let reply = self
+            .client
+            .call(&CmdLine::new("fetchCredentials").arg("licensee", Value::Str(licensee.into())))?;
         let mut out = Vec::new();
         if let Some(texts) = reply.get_vector("credentials") {
             for scalar in texts {
-                let Some(hex) = scalar.as_text() else { continue };
-                let Some(bytes) = hex_decode(hex) else { continue };
-                let Ok(text) = String::from_utf8(bytes) else { continue };
+                let Some(hex) = scalar.as_text() else {
+                    continue;
+                };
+                let Some(bytes) = hex_decode(hex) else {
+                    continue;
+                };
+                let Ok(text) = String::from_utf8(bytes) else {
+                    continue;
+                };
                 if let Ok(a) = Assertion::parse(&text) {
                     out.push(a);
                 }

@@ -62,7 +62,8 @@ impl ScannerDevice {
 
     /// Load one template into the device table.
     pub fn enroll(&mut self, template: &str, quality: f64) {
-        self.templates.insert(template.to_string(), quality.clamp(0.0, 1.0));
+        self.templates
+            .insert(template.to_string(), quality.clamp(0.0, 1.0));
     }
 
     /// Remove a template.
@@ -114,11 +115,7 @@ impl Fiu {
 
     fn aud_addr(&mut self, ctx: &mut ServiceCtx) -> Option<Addr> {
         if self.aud.is_none() {
-            self.aud = ctx
-                .lookup_one("aud")
-                .ok()
-                .flatten()
-                .map(|entry| entry.addr);
+            self.aud = ctx.lookup_one("aud").ok().flatten().map(|entry| entry.addr);
         }
         self.aud.clone()
     }
@@ -133,8 +130,11 @@ impl ServiceBehavior for Fiu {
                     .optional("quality", ArgType::Float, "enrolment quality (default 0.9)"),
             )
             .with(
-                CmdSpec::new("unenrollTemplate", "remove a template")
-                    .required("template", ArgType::Str, "template id"),
+                CmdSpec::new("unenrollTemplate", "remove a template").required(
+                    "template",
+                    ArgType::Str,
+                    "template id",
+                ),
             )
             .with(
                 CmdSpec::new("press", "a finger pressed the scanner (device event)")

@@ -26,11 +26,7 @@ impl IButtonReader {
 
     fn aud_addr(&mut self, ctx: &mut ServiceCtx) -> Option<Addr> {
         if self.aud.is_none() {
-            self.aud = ctx
-                .lookup_one("aud")
-                .ok()
-                .flatten()
-                .map(|entry| entry.addr);
+            self.aud = ctx.lookup_one("aud").ok().flatten().map(|entry| entry.addr);
         }
         self.aud.clone()
     }
@@ -40,8 +36,11 @@ impl ServiceBehavior for IButtonReader {
     fn semantics(&self) -> Semantics {
         Semantics::new()
             .with(
-                CmdSpec::new("touch", "an iButton touched the reader (device event)")
-                    .required("serial", ArgType::Str, "the button's serial number"),
+                CmdSpec::new("touch", "an iButton touched the reader (device event)").required(
+                    "serial",
+                    ArgType::Str,
+                    "the button's serial number",
+                ),
             )
             .with(CmdSpec::new("readerStatus", "reader status"))
     }

@@ -30,11 +30,7 @@ impl IdMonitor {
 
     fn aud_addr(&mut self, ctx: &mut ServiceCtx) -> Option<Addr> {
         if self.aud.is_none() {
-            self.aud = ctx
-                .lookup_one("aud")
-                .ok()
-                .flatten()
-                .map(|entry| entry.addr);
+            self.aud = ctx.lookup_one("aud").ok().flatten().map(|entry| entry.addr);
         }
         self.aud.clone()
     }
@@ -89,8 +85,11 @@ impl ServiceBehavior for IdMonitor {
                     .optional("reason", ArgType::Str, "failure reason"),
             )
             .with(
-                CmdSpec::new("lastSeen", "where did this user last identify?")
-                    .required("username", ArgType::Word, "user to query"),
+                CmdSpec::new("lastSeen", "where did this user last identify?").required(
+                    "username",
+                    ArgType::Word,
+                    "user to query",
+                ),
             )
             .with(CmdSpec::new("monitorStats", "identification counters"))
     }
@@ -139,9 +138,9 @@ impl ServiceBehavior for IdMonitor {
             "lastSeen" => {
                 let username = cmd.get_text("username").expect("validated");
                 match self.last_seen.get(username) {
-                    Some((room, host)) => Reply::ok_with(|c| {
-                        c.arg("room", room.as_str()).arg("host", host.as_str())
-                    }),
+                    Some((room, host)) => {
+                        Reply::ok_with(|c| c.arg("room", room.as_str()).arg("host", host.as_str()))
+                    }
                     None => Reply::err(ErrorCode::NotFound, "user not seen"),
                 }
             }

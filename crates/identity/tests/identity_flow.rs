@@ -5,8 +5,8 @@
 use ace_core::prelude::*;
 use ace_directory::{bootstrap, Framework, LoggerClient};
 use ace_identity::{
-    AuthDb, AuthDbClient, Fiu, IButtonReader, IdMonitor, RemoteCredentials, ScannerDevice,
-    UserDb, UserDbClient,
+    AuthDb, AuthDbClient, Fiu, IButtonReader, IdMonitor, RemoteCredentials, ScannerDevice, UserDb,
+    UserDbClient,
 };
 use ace_security::keynote::{Assertion, KeyNoteEngine, Licensees, POLICY};
 use ace_security::keys::KeyPair;
@@ -64,8 +64,14 @@ fn user_lifecycle() {
     assert!(aud.check_password("jdoe", "hunter2").unwrap());
     assert!(!aud.check_password("jdoe", "wrong").unwrap());
 
-    assert_eq!(aud.find_by_fingerprint("fp_jdoe").unwrap().as_deref(), Some("jdoe"));
-    assert_eq!(aud.find_by_ibutton("ib_4242").unwrap().as_deref(), Some("jdoe"));
+    assert_eq!(
+        aud.find_by_fingerprint("fp_jdoe").unwrap().as_deref(),
+        Some("jdoe")
+    );
+    assert_eq!(
+        aud.find_by_ibutton("ib_4242").unwrap().as_deref(),
+        Some("jdoe")
+    );
     assert_eq!(aud.find_by_fingerprint("fp_ghost").unwrap(), None);
 
     aud.set_location("jdoe", "hawk", "bar").unwrap();
@@ -99,24 +105,35 @@ fn scenario2_fingerprint_identification_updates_location() {
     device.enroll("fp_jdoe", 0.95);
     let fiu = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("fiu_hawk", "Service.Device.FIU", "hawk", "bar", 5300),
+        w.fw.service_config("fiu_hawk", "Service.Device.FIU", "hawk", "bar", 5300),
         Box::new(Fiu::new(device)),
     )
     .unwrap();
 
     let monitor = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("idmonitor", "Service.IDMonitor", "machineroom", "core", 5301),
+        w.fw.service_config(
+            "idmonitor",
+            "Service.IDMonitor",
+            "machineroom",
+            "core",
+            5301,
+        ),
         Box::new(IdMonitor::new()),
     )
     .unwrap();
     IdMonitor::subscribe_to_devices(&w.net, &monitor, &[&fiu], &me).unwrap();
 
     let mut aud = UserDbClient::connect(&w.net, &"bar".into(), w.aud.addr().clone(), &me).unwrap();
-    aud.add_user("jdoe", "John Doe", "pw", &john.principal(), Some("fp_jdoe"), None)
-        .unwrap();
+    aud.add_user(
+        "jdoe",
+        "John Doe",
+        "pw",
+        &john.principal(),
+        Some("fp_jdoe"),
+        None,
+    )
+    .unwrap();
 
     // John presses his thumb to the scanner at the podium.
     let mut scanner =
@@ -143,7 +160,8 @@ fn scenario2_fingerprint_identification_updates_location() {
     }
 
     // The monitor remembers the sighting too.
-    let mut mon = ServiceClient::connect(&w.net, &"bar".into(), monitor.addr().clone(), &me).unwrap();
+    let mut mon =
+        ServiceClient::connect(&w.net, &"bar".into(), monitor.addr().clone(), &me).unwrap();
     let seen = mon
         .call(&CmdLine::new("lastSeen").arg("username", "jdoe"))
         .unwrap();
@@ -162,22 +180,27 @@ fn failed_identification_reaches_security_log() {
 
     let fiu = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("fiu_hawk", "Service.Device.FIU", "hawk", "bar", 5300),
+        w.fw.service_config("fiu_hawk", "Service.Device.FIU", "hawk", "bar", 5300),
         Box::new(Fiu::new(ScannerDevice::default())),
     )
     .unwrap();
     let monitor = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("idmonitor", "Service.IDMonitor", "machineroom", "core", 5301),
+        w.fw.service_config(
+            "idmonitor",
+            "Service.IDMonitor",
+            "machineroom",
+            "core",
+            5301,
+        ),
         Box::new(IdMonitor::new()),
     )
     .unwrap();
     IdMonitor::subscribe_to_devices(&w.net, &monitor, &[&fiu], &me).unwrap();
 
     // An intruder presses an unenrolled finger.
-    let mut scanner = ServiceClient::connect(&w.net, &"bar".into(), fiu.addr().clone(), &me).unwrap();
+    let mut scanner =
+        ServiceClient::connect(&w.net, &"bar".into(), fiu.addr().clone(), &me).unwrap();
     let reply = scanner
         .call(&CmdLine::new("press").arg("template", Value::Str("fp_mallory".into())))
         .unwrap();
@@ -185,7 +208,8 @@ fn failed_identification_reaches_security_log() {
 
     // The attempt lands in the security log (via FIU directly and the
     // monitor's onIdentFailed).
-    let mut logger = LoggerClient::connect(&w.net, &"core".into(), w.fw.logger_addr.clone(), &me).unwrap();
+    let mut logger =
+        LoggerClient::connect(&w.net, &"core".into(), w.fw.logger_addr.clone(), &me).unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     loop {
         let security = logger.tail(20, Some("security")).unwrap();
@@ -210,17 +234,30 @@ fn ibutton_identification() {
 
     let reader = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("ibutton_dove", "Service.Device.IButton", "dove", "tube", 5310),
+        w.fw.service_config(
+            "ibutton_dove",
+            "Service.Device.IButton",
+            "dove",
+            "tube",
+            5310,
+        ),
         Box::new(IButtonReader::new()),
     )
     .unwrap();
 
     let mut aud = UserDbClient::connect(&w.net, &"bar".into(), w.aud.addr().clone(), &me).unwrap();
-    aud.add_user("jane", "Jane Roe", "pw", &jane.principal(), None, Some("ib_777"))
-        .unwrap();
+    aud.add_user(
+        "jane",
+        "Jane Roe",
+        "pw",
+        &jane.principal(),
+        None,
+        Some("ib_777"),
+    )
+    .unwrap();
 
-    let mut r = ServiceClient::connect(&w.net, &"tube".into(), reader.addr().clone(), &jane).unwrap();
+    let mut r =
+        ServiceClient::connect(&w.net, &"tube".into(), reader.addr().clone(), &jane).unwrap();
     let reply = r
         .call(&CmdLine::new("touch").arg("serial", Value::Str("ib_777".into())))
         .unwrap();
@@ -247,8 +284,13 @@ fn remote_credentials_authorize_via_authdb() {
 
     let authdb = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("authdb", "Service.Database.Authorization", "machineroom", "core", 5400),
+        w.fw.service_config(
+            "authdb",
+            "Service.Database.Authorization",
+            "machineroom",
+            "core",
+            5400,
+        ),
         Box::new(AuthDb::new()),
     )
     .unwrap();
@@ -283,8 +325,7 @@ fn remote_credentials_authorize_via_authdb() {
     }
     let guarded = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("guarded", "Service.Echo", "hawk", "bar", 5401)
+        w.fw.service_config("guarded", "Service.Echo", "hawk", "bar", 5401)
             .with_auth(auth)
             .with_identity(service_key),
         Box::new(Echo),
@@ -306,7 +347,8 @@ fn remote_credentials_authorize_via_authdb() {
     .unwrap()
     .sign(&admin)
     .unwrap();
-    let mut db = AuthDbClient::connect(&w.net, &"core".into(), authdb.addr().clone(), &admin).unwrap();
+    let mut db =
+        AuthDbClient::connect(&w.net, &"core".into(), authdb.addr().clone(), &admin).unwrap();
     db.store("grant_user_touch", &cred).unwrap();
 
     // Now the same command succeeds — the guarded daemon fetched the new
@@ -331,12 +373,18 @@ fn authdb_rejects_forged_credentials() {
 
     let authdb = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("authdb", "Service.Database.Authorization", "machineroom", "core", 5400),
+        w.fw.service_config(
+            "authdb",
+            "Service.Database.Authorization",
+            "machineroom",
+            "core",
+            5400,
+        ),
         Box::new(AuthDb::new()),
     )
     .unwrap();
-    let mut db = AuthDbClient::connect(&w.net, &"core".into(), authdb.addr().clone(), &admin).unwrap();
+    let mut db =
+        AuthDbClient::connect(&w.net, &"core".into(), authdb.addr().clone(), &admin).unwrap();
 
     // Unsigned assertion: rejected at the door.
     let unsigned = Assertion::new(

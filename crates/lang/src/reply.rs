@@ -218,7 +218,9 @@ mod tests {
     #[test]
     fn into_result() {
         assert!(Reply::ok().into_result().is_ok());
-        let (code, _) = Reply::err(ErrorCode::NotFound, "x").into_result().unwrap_err();
+        let (code, _) = Reply::err(ErrorCode::NotFound, "x")
+            .into_result()
+            .unwrap_err();
         assert_eq!(code, ErrorCode::NotFound);
     }
 }

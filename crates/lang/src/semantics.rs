@@ -107,7 +107,12 @@ impl CmdSpec {
     }
 
     /// Add a required argument.
-    pub fn required(mut self, name: impl Into<String>, ty: ArgType, doc: impl Into<String>) -> Self {
+    pub fn required(
+        mut self,
+        name: impl Into<String>,
+        ty: ArgType,
+        doc: impl Into<String>,
+    ) -> Self {
         self.args.push(ArgSpec {
             name: name.into(),
             ty,
@@ -118,7 +123,12 @@ impl CmdSpec {
     }
 
     /// Add an optional argument.
-    pub fn optional(mut self, name: impl Into<String>, ty: ArgType, doc: impl Into<String>) -> Self {
+    pub fn optional(
+        mut self,
+        name: impl Into<String>,
+        ty: ArgType,
+        doc: impl Into<String>,
+    ) -> Self {
         self.args.push(ArgSpec {
             name: name.into(),
             ty,
@@ -165,7 +175,9 @@ impl Semantics {
     /// but with additional functionalities."
     pub fn extend_from(&mut self, parent: &Semantics) -> &mut Self {
         for (name, spec) in &parent.cmds {
-            self.cmds.entry(name.clone()).or_insert_with(|| spec.clone());
+            self.cmds
+                .entry(name.clone())
+                .or_insert_with(|| spec.clone());
         }
         self
     }
@@ -278,7 +290,10 @@ mod tests {
     #[test]
     fn validate_ok() {
         let sem = ptz_semantics();
-        let cmd = CmdLine::new("ptzMove").arg("x", 1.0).arg("y", 2).arg("mode", "absolute");
+        let cmd = CmdLine::new("ptzMove")
+            .arg("x", 1.0)
+            .arg("y", 2)
+            .arg("mode", "absolute");
         assert!(sem.validate(&cmd).is_ok());
     }
 
@@ -299,14 +314,19 @@ mod tests {
     #[test]
     fn missing_required_rejected() {
         let sem = ptz_semantics();
-        let err = sem.validate(&CmdLine::new("ptzMove").arg("x", 1)).unwrap_err();
+        let err = sem
+            .validate(&CmdLine::new("ptzMove").arg("x", 1))
+            .unwrap_err();
         assert!(matches!(err, SemanticError::MissingArg { .. }));
     }
 
     #[test]
     fn unknown_arg_rejected() {
         let sem = ptz_semantics();
-        let cmd = CmdLine::new("ptzMove").arg("x", 1).arg("y", 2).arg("speed", 3);
+        let cmd = CmdLine::new("ptzMove")
+            .arg("x", 1)
+            .arg("y", 2)
+            .arg("speed", 3);
         let err = sem.validate(&cmd).unwrap_err();
         assert!(matches!(err, SemanticError::UnknownArg { .. }));
     }
@@ -330,9 +350,14 @@ mod tests {
 
     #[test]
     fn word_satisfies_str_spec() {
-        let sem = Semantics::new()
-            .with(CmdSpec::new("log", "log").required("msg", ArgType::Str, "message"));
-        assert!(sem.validate(&CmdLine::new("log").arg("msg", "bareword")).is_ok());
+        let sem = Semantics::new().with(CmdSpec::new("log", "log").required(
+            "msg",
+            ArgType::Str,
+            "message",
+        ));
+        assert!(sem
+            .validate(&CmdLine::new("log").arg("msg", "bareword"))
+            .is_ok());
         assert!(sem
             .validate(&CmdLine::new("log").arg("msg", "two words"))
             .is_ok());
@@ -340,8 +365,7 @@ mod tests {
 
     #[test]
     fn str_does_not_satisfy_word_spec() {
-        let sem = Semantics::new()
-            .with(CmdSpec::new("c", "").required("w", ArgType::Word, ""));
+        let sem = Semantics::new().with(CmdSpec::new("c", "").required("w", ArgType::Word, ""));
         let err = sem
             .validate(&CmdLine::new("c").arg("w", "two words"))
             .unwrap_err();
@@ -350,15 +374,20 @@ mod tests {
 
     #[test]
     fn vector_typing() {
-        let sem = Semantics::new().with(
-            CmdSpec::new("c", "").required("v", ArgType::Vector(ScalarType::Float), ""),
-        );
+        let sem = Semantics::new().with(CmdSpec::new("c", "").required(
+            "v",
+            ArgType::Vector(ScalarType::Float),
+            "",
+        ));
         let ints = CmdLine::parse("c v={1,2};").unwrap();
         assert!(sem.validate(&ints).is_ok(), "ints widen to float elements");
         let words = CmdLine::parse("c v={a,b};").unwrap();
         assert!(sem.validate(&words).is_err());
         let empty = CmdLine::parse("c v={};").unwrap();
-        assert!(sem.validate(&empty).is_ok(), "empty vector satisfies any element type");
+        assert!(
+            sem.validate(&empty).is_ok(),
+            "empty vector satisfies any element type"
+        );
     }
 
     #[test]
@@ -375,8 +404,7 @@ mod tests {
 
     #[test]
     fn child_overrides_win() {
-        let base = Semantics::new()
-            .with(CmdSpec::new("set", "").required("a", ArgType::Int, ""));
+        let base = Semantics::new().with(CmdSpec::new("set", "").required("a", ArgType::Int, ""));
         let child = Semantics::new()
             .with(CmdSpec::new("set", "").required("a", ArgType::Word, ""))
             .inheriting(&base);

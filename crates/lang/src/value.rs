@@ -274,7 +274,8 @@ pub fn is_word(s: &str) -> bool {
 /// `true` if `s` may appear inside a quoted `<STRING>`: printable characters
 /// only, and no `"` (the grammar defines no escape sequences).
 pub fn is_quotable(s: &str) -> bool {
-    s.chars().all(|c| c != '"' && c != '\n' && c != '\r' && !c.is_control())
+    s.chars()
+        .all(|c| c != '"' && c != '\n' && c != '\r' && !c.is_control())
 }
 
 impl From<i64> for Value {
@@ -361,7 +362,10 @@ mod tests {
 
     #[test]
     fn string_wire_is_quoted() {
-        assert_eq!(Value::Str("hello world".into()).to_wire(), "\"hello world\"");
+        assert_eq!(
+            Value::Str("hello world".into()).to_wire(),
+            "\"hello world\""
+        );
         assert_eq!(Value::Word("hello".into()).to_wire(), "hello");
     }
 

@@ -40,7 +40,8 @@ fn value() -> impl Strategy<Value = Value> {
         word().prop_map(Value::Word),
         quotable().prop_map(Value::Str),
         // Homogeneous vector: pick one scalar type, then a list of it.
-        (0u8..4).prop_flat_map(|ty| prop::collection::vec(scalar(ty), 0..6).prop_map(Value::Vector)),
+        (0u8..4)
+            .prop_flat_map(|ty| prop::collection::vec(scalar(ty), 0..6).prop_map(Value::Vector)),
         // Homogeneous array: one scalar type across all rows.
         (0u8..4).prop_flat_map(|ty| {
             prop::collection::vec(prop::collection::vec(scalar(ty), 0..4), 1..4)
@@ -50,23 +51,19 @@ fn value() -> impl Strategy<Value = Value> {
 }
 
 fn cmdline() -> impl Strategy<Value = CmdLine> {
-    (
-        word(),
-        prop::collection::vec((word(), value()), 0..8),
-    )
-        .prop_map(|(name, args)| {
-            let mut cmd = CmdLine::new(name);
-            // Deduplicate argument names: duplicates are representable but
-            // rejected by semantics, and equality-after-reparse still holds;
-            // keep them distinct so `get` comparisons are unambiguous.
-            let mut seen = std::collections::HashSet::new();
-            for (n, v) in args {
-                if seen.insert(n.clone()) {
-                    cmd.push_arg(n, v);
-                }
+    (word(), prop::collection::vec((word(), value()), 0..8)).prop_map(|(name, args)| {
+        let mut cmd = CmdLine::new(name);
+        // Deduplicate argument names: duplicates are representable but
+        // rejected by semantics, and equality-after-reparse still holds;
+        // keep them distinct so `get` comparisons are unambiguous.
+        let mut seen = std::collections::HashSet::new();
+        for (n, v) in args {
+            if seen.insert(n.clone()) {
+                cmd.push_arg(n, v);
             }
-            cmd
-        })
+        }
+        cmd
+    })
 }
 
 proptest! {

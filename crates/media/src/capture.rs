@@ -49,8 +49,11 @@ impl ServiceBehavior for VideoCapture {
     fn semantics(&self) -> Semantics {
         let mut sem = Semantics::new()
             .with(
-                CmdSpec::new("captureFrame", "capture and push the next frame")
-                    .optional("count", ArgType::Int, "frames to capture (default 1)"),
+                CmdSpec::new("captureFrame", "capture and push the next frame").optional(
+                    "count",
+                    ArgType::Int,
+                    "frames to capture (default 1)",
+                ),
             )
             .with(CmdSpec::new("captureStatus", "camera state"));
         for spec in sink_specs() {
@@ -76,9 +79,7 @@ impl ServiceBehavior for VideoCapture {
                     self.seq += 1;
                     delivered += self.downstream.forward(ctx, &frame);
                 }
-                Reply::ok_with(|c| {
-                    c.arg("frames", count).arg("delivered", delivered as i64)
-                })
+                Reply::ok_with(|c| c.arg("frames", count).arg("delivered", delivered as i64))
             }
             "captureStatus" => Reply::ok_with(|c| {
                 c.arg("width", self.width as i64)

@@ -103,7 +103,7 @@ pub fn rle_encode(data: &[u8]) -> Vec<u8> {
 
 /// Decode [`rle_encode`] output.
 pub fn rle_decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
-    if data.len() % 2 != 0 {
+    if !data.len().is_multiple_of(2) {
         return Err(CodecError::Malformed("odd RLE length"));
     }
     let mut out = Vec::with_capacity(data.len() * 4);
@@ -112,7 +112,7 @@ pub fn rle_decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
         if count == 0 {
             return Err(CodecError::Malformed("zero run length"));
         }
-        out.extend(std::iter::repeat(byte).take(count as usize));
+        out.extend(std::iter::repeat_n(byte, count as usize));
     }
     Ok(out)
 }
@@ -159,7 +159,7 @@ pub fn ulaw_decode_sample(byte: u8) -> i16 {
 }
 
 fn pcm_to_ulaw(data: &[u8]) -> Result<Vec<u8>, CodecError> {
-    if data.len() % 2 != 0 {
+    if !data.len().is_multiple_of(2) {
         return Err(CodecError::Malformed("odd PCM16 length"));
     }
     Ok(data
@@ -183,13 +183,7 @@ mod tests {
 
     #[test]
     fn rle_roundtrip() {
-        for data in [
-            &b""[..],
-            b"a",
-            b"aaaaabbbbbcccc",
-            b"abcdef",
-            &[7u8; 1000],
-        ] {
+        for data in [&b""[..], b"a", b"aaaaabbbbbcccc", b"abcdef", &[7u8; 1000]] {
             assert_eq!(rle_decode(&rle_encode(data)).unwrap(), data);
         }
     }

@@ -143,8 +143,8 @@ pub fn goertzel(signal: &[i16], freq: f64) -> f64 {
 /// The 16-tone alphabet (spaced to stay distinct under Goertzel at
 /// [`SYMBOL_SAMPLES`] resolution: 100 Hz bins at 10 ms symbols).
 const TONE_ALPHABET: [f64; 16] = [
-    600.0, 800.0, 1000.0, 1200.0, 1400.0, 1600.0, 1800.0, 2000.0, 2200.0, 2400.0, 2600.0,
-    2800.0, 3000.0, 3200.0, 3400.0, 3600.0,
+    600.0, 800.0, 1000.0, 1200.0, 1400.0, 1600.0, 1800.0, 2000.0, 2200.0, 2400.0, 2600.0, 2800.0,
+    3000.0, 3200.0, 3400.0, 3600.0,
 ];
 
 /// Modulate bytes as tone symbols (two symbols per byte, high nibble
@@ -168,7 +168,7 @@ pub fn encode_tones(data: &[u8]) -> Vec<i16> {
 /// substitution).  Returns `None` when the signal is not a whole number of
 /// byte symbols or a symbol is ambiguous/too quiet.
 pub fn decode_tones(signal: &[i16]) -> Option<Vec<u8>> {
-    if signal.is_empty() || signal.len() % (2 * SYMBOL_SAMPLES) != 0 {
+    if signal.is_empty() || !signal.len().is_multiple_of(2 * SYMBOL_SAMPLES) {
         return None;
     }
     let mut nibbles = Vec::with_capacity(signal.len() / SYMBOL_SAMPLES);
@@ -212,7 +212,7 @@ pub fn samples_to_bytes(samples: &[i16]) -> Vec<u8> {
 
 /// Deserialize little-endian bytes to PCM samples.
 pub fn bytes_to_samples(bytes: &[u8]) -> Option<Vec<i16>> {
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         return None;
     }
     Some(
@@ -318,7 +318,12 @@ mod tests {
 
     #[test]
     fn tone_codec_roundtrip() {
-        for data in [&b"ptzMove x=1;"[..], b"", b"hello world", &[0u8, 255, 16, 32]] {
+        for data in [
+            &b"ptzMove x=1;"[..],
+            b"",
+            b"hello world",
+            &[0u8, 255, 16, 32],
+        ] {
             if data.is_empty() {
                 assert_eq!(decode_tones(&encode_tones(data)), None); // empty signal
                 continue;
@@ -331,9 +336,9 @@ mod tests {
     #[test]
     fn tone_decode_rejects_noise_and_partial_symbols() {
         // Wrong length.
-        assert_eq!(decode_tones(&vec![0i16; SYMBOL_SAMPLES]), None);
+        assert_eq!(decode_tones(&[0i16; SYMBOL_SAMPLES]), None);
         // Silence: no energy.
-        assert_eq!(decode_tones(&vec![0i16; 2 * SYMBOL_SAMPLES]), None);
+        assert_eq!(decode_tones(&[0i16; 2 * SYMBOL_SAMPLES]), None);
     }
 
     #[test]

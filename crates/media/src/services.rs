@@ -3,8 +3,7 @@
 
 use crate::codec::{convert, Format};
 use crate::dsp::{
-    bytes_to_samples, decode_tones, encode_tones, mix, rms, samples_to_bytes, sine,
-    EchoCanceller,
+    bytes_to_samples, decode_tones, encode_tones, mix, rms, samples_to_bytes, sine, EchoCanceller,
 };
 use crate::stream::{push_spec, sink_specs, Downstream, Frame};
 use ace_core::prelude::*;
@@ -63,8 +62,7 @@ impl ServiceBehavior for Converter {
         }
         match cmd.name() {
             "convertConfig" => {
-                let Some(from) = Format::from_word(cmd.get_text("from").expect("validated"))
-                else {
+                let Some(from) = Format::from_word(cmd.get_text("from").expect("validated")) else {
                     return Reply::err(ErrorCode::Semantics, "unknown source format");
                 };
                 let Some(to) = Format::from_word(cmd.get_text("to").expect("validated")) else {
@@ -219,7 +217,12 @@ impl ServiceBehavior for AudioCapture {
                 let stream = cmd.get_text("stream").unwrap_or("mic").to_string();
                 // Keep phase continuous across frames.
                 let w = 2.0 * std::f64::consts::PI * self.freq / crate::dsp::SAMPLE_RATE as f64;
-                let samples = sine(self.freq, self.amplitude, len, w * self.phase_samples as f64);
+                let samples = sine(
+                    self.freq,
+                    self.amplitude,
+                    len,
+                    w * self.phase_samples as f64,
+                );
                 self.phase_samples += len as u64;
                 let frame = Frame {
                     stream,
@@ -264,8 +267,11 @@ impl ServiceBehavior for AudioMixer {
             Semantics::new()
                 .with(push_spec())
                 .with(
-                    CmdSpec::new("addInput", "declare an input stream to mix")
-                        .required("stream", ArgType::Word, "input stream name"),
+                    CmdSpec::new("addInput", "declare an input stream to mix").required(
+                        "stream",
+                        ArgType::Word,
+                        "input stream name",
+                    ),
                 )
                 .with(CmdSpec::new("mixerStats", "mixer counters")),
         )
@@ -312,11 +318,8 @@ impl ServiceBehavior for AudioMixer {
                     };
                     forwarded = self.downstream.forward(ctx, &out);
                     // Drop stale partial frames older than what we emitted.
-                    let stale: Vec<i64> = self
-                        .pending
-                        .range(..frame.seq)
-                        .map(|(&s, _)| s)
-                        .collect();
+                    let stale: Vec<i64> =
+                        self.pending.range(..frame.seq).map(|(&s, _)| s).collect();
                     for s in stale {
                         self.pending.remove(&s);
                     }
@@ -425,8 +428,11 @@ impl ServiceBehavior for AudioSink {
             .with(push_spec())
             .with(CmdSpec::new("sinkStats", "received length and RMS level"))
             .with(
-                CmdSpec::new("sinkPower", "Goertzel power of a frequency in the sink")
-                    .required("freq", ArgType::Float, "frequency in Hz"),
+                CmdSpec::new("sinkPower", "Goertzel power of a frequency in the sink").required(
+                    "freq",
+                    ArgType::Float,
+                    "frequency in Hz",
+                ),
             )
             .with(CmdSpec::new(
                 "sinkDecode",
@@ -459,9 +465,9 @@ impl ServiceBehavior for AudioSink {
             }
             "sinkDecode" => match decode_tones(&self.samples) {
                 Some(bytes) => match String::from_utf8(bytes) {
-                    Ok(text) => Reply::ok_with(|c| {
-                        c.arg("decoded", true).arg("text", Value::Str(text))
-                    }),
+                    Ok(text) => {
+                        Reply::ok_with(|c| c.arg("decoded", true).arg("text", Value::Str(text)))
+                    }
                     Err(_) => Reply::ok_with(|c| c.arg("decoded", false)),
                 },
                 None => Reply::ok_with(|c| c.arg("decoded", false)),
@@ -487,11 +493,13 @@ impl TextToSpeech {
 
 impl ServiceBehavior for TextToSpeech {
     fn semantics(&self) -> Semantics {
-        with_sink_specs(Semantics::new().with(
-            CmdSpec::new("say", "synthesize text into the output stream")
-                .required("text", ArgType::Str, "the text to speak")
-                .optional("stream", ArgType::Word, "stream name (default tts)"),
-        ))
+        with_sink_specs(
+            Semantics::new().with(
+                CmdSpec::new("say", "synthesize text into the output stream")
+                    .required("text", ArgType::Str, "the text to speak")
+                    .optional("stream", ArgType::Word, "stream name (default tts)"),
+            ),
+        )
     }
 
     fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
@@ -558,9 +566,7 @@ impl ServiceBehavior for SpeechToCommand {
                     Some(text) => {
                         self.recognized += 1;
                         ctx.log("info", format!("voice command: {text}"));
-                        ctx.fire_event(
-                            CmdLine::new("voiceCommand").arg("text", Value::Str(text)),
-                        );
+                        ctx.fire_event(CmdLine::new("voiceCommand").arg("text", Value::Str(text)));
                         Reply::ok_with(|c| c.arg("recognized", true))
                     }
                     None => {

@@ -36,7 +36,12 @@ fn world() -> World {
 }
 
 impl World {
-    fn spawn(&mut self, name: &str, behavior: Box<dyn ace_core::ServiceBehavior>, port: u16) -> Addr {
+    fn spawn(
+        &mut self,
+        name: &str,
+        behavior: Box<dyn ace_core::ServiceBehavior>,
+        port: u16,
+    ) -> Addr {
         let d = Daemon::spawn(
             &self.net,
             self.fw
@@ -89,7 +94,11 @@ fn converter_pipeline_compresses_video() {
     let mut w = world();
     let me = keypair();
     let storage = w.spawn("storage", Box::new(AudioSink::new()), 6000);
-    let converter = w.spawn("converter", Box::new(Converter::new(Format::Raw, Format::Rle)), 6001);
+    let converter = w.spawn(
+        "converter",
+        Box::new(Converter::new(Format::Raw, Format::Rle)),
+        6001,
+    );
 
     let mut conv = w.client(&converter, &me);
     add_sink(&mut conv, &storage);
@@ -106,7 +115,10 @@ fn converter_pipeline_compresses_video() {
         .unwrap();
     assert_eq!(reply.get_int("delivered"), Some(1));
     let out_bytes = reply.get_int("bytes").unwrap();
-    assert!(out_bytes < frame.len() as i64 / 10, "compressed to {out_bytes}");
+    assert!(
+        out_bytes < frame.len() as i64 / 10,
+        "compressed to {out_bytes}"
+    );
 
     let stats = conv.call(&CmdLine::new("convertStats")).unwrap();
     assert_eq!(stats.get_int("bytesIn"), Some(frame.len() as i64));
@@ -183,8 +195,12 @@ fn distribution_survives_dead_sink() {
     let mut d = w.client(&dist, &me);
     add_sink(&mut d, &alive);
     // A sink that never existed.
-    d.call_ok(&CmdLine::new("addSink").arg("host", "media").arg("port", 9999))
-        .unwrap();
+    d.call_ok(
+        &CmdLine::new("addSink")
+            .arg("host", "media")
+            .arg("port", 9999),
+    )
+    .unwrap();
 
     let signal = dsp::sine(440.0, 0.4, 80, 0.0);
     let reply = d
@@ -195,7 +211,11 @@ fn distribution_survives_dead_sink() {
                 .arg("data", hex_encode(&dsp::samples_to_bytes(&signal))),
         )
         .unwrap();
-    assert_eq!(reply.get_int("delivered"), Some(1), "healthy sink still served");
+    assert_eq!(
+        reply.get_int("delivered"),
+        Some(1),
+        "healthy sink still served"
+    );
     w.teardown();
 }
 
@@ -219,8 +239,12 @@ fn fig15_conference_echo_cancellation() {
 
     // Wiring: mic mixer → echo canceller → distribution → recorder.
     let mut mixer = w.client(&mic_mixer, &me);
-    mixer.call_ok(&CmdLine::new("addInput").arg("stream", "voice")).unwrap();
-    mixer.call_ok(&CmdLine::new("addInput").arg("stream", "echopath")).unwrap();
+    mixer
+        .call_ok(&CmdLine::new("addInput").arg("stream", "voice"))
+        .unwrap();
+    mixer
+        .call_ok(&CmdLine::new("addInput").arg("stream", "echopath"))
+        .unwrap();
     add_sink(&mut mixer, &echo);
     let mut echo_client = w.client(&echo, &me);
     add_sink(&mut echo_client, &dist);
@@ -236,7 +260,12 @@ fn fig15_conference_echo_cancellation() {
     for seq in 0..FRAMES {
         let range = seq * FRAME..(seq + 1) * FRAME;
         // Far-end audio reaches the speaker and the canceller's reference.
-        push(&mut speaker_client, "fromRemote", seq as i64, &far_end[range.clone()]);
+        push(
+            &mut speaker_client,
+            "fromRemote",
+            seq as i64,
+            &far_end[range.clone()],
+        );
         echo_client
             .call(
                 &CmdLine::new("pushRef")
@@ -339,14 +368,21 @@ fn mixer_requires_registered_inputs_and_aligns_seqs() {
         .unwrap_err();
     assert_eq!(err.code(), Some(ErrorCode::BadState));
 
-    mixer.call_ok(&CmdLine::new("addInput").arg("stream", "a")).unwrap();
-    mixer.call_ok(&CmdLine::new("addInput").arg("stream", "b")).unwrap();
+    mixer
+        .call_ok(&CmdLine::new("addInput").arg("stream", "a"))
+        .unwrap();
+    mixer
+        .call_ok(&CmdLine::new("addInput").arg("stream", "b"))
+        .unwrap();
 
     // One input alone does not emit.
     push(&mut mixer, "a", 0, &[100i16; 4]);
     let mut sink_client = w.client(&sink, &me);
     assert_eq!(
-        sink_client.call(&CmdLine::new("sinkStats")).unwrap().get_int("frames"),
+        sink_client
+            .call(&CmdLine::new("sinkStats"))
+            .unwrap()
+            .get_int("frames"),
         Some(0)
     );
     // The matching frame completes the set.

@@ -1,10 +1,11 @@
 //! Property tests on the media kernels: codec round-trips, mixing algebra,
 //! tone-codec totality, and echo-cancellation exactness.
 
-use ace_media::codec::{convert, rle_decode, rle_encode, ulaw_decode_sample, ulaw_encode_sample, Format};
+use ace_media::codec::{
+    convert, rle_decode, rle_encode, ulaw_decode_sample, ulaw_encode_sample, Format,
+};
 use ace_media::dsp::{
-    bytes_to_samples, decode_tones, delay, encode_tones, mix, rms, samples_to_bytes,
-    EchoCanceller,
+    bytes_to_samples, decode_tones, delay, encode_tones, mix, rms, samples_to_bytes, EchoCanceller,
 };
 use proptest::prelude::*;
 

@@ -43,7 +43,13 @@ fn spoken_command_moves_the_camera() {
 
     let camera = Daemon::spawn(
         &net,
-        fw.service_config("camera_hawk", "Service.Device.PTZCamera", "hawk", "cam", 6000),
+        fw.service_config(
+            "camera_hawk",
+            "Service.Device.PTZCamera",
+            "hawk",
+            "cam",
+            6000,
+        ),
         Box::new(MiniCamera { pan: 0.0 }),
     )
     .unwrap();
@@ -67,7 +73,8 @@ fn spoken_command_moves_the_camera() {
     .unwrap();
 
     // Wiring: TTS → STC (audio), STC → voice control (events).
-    let mut tts_client = ServiceClient::connect(&net, &"core".into(), tts.addr().clone(), &me).unwrap();
+    let mut tts_client =
+        ServiceClient::connect(&net, &"core".into(), tts.addr().clone(), &me).unwrap();
     tts_client
         .call_ok(
             &CmdLine::new("addSink")
@@ -80,10 +87,10 @@ fn spoken_command_moves_the_camera() {
     // Say it.  The text is modulated to tones, demodulated by STC,
     // recognized as a command, routed through the ASD, and executed.
     tts_client
-        .call(
-            &CmdLine::new("say")
-                .arg("text", Value::Str("ptzMove target=camera_hawk x=42;".into())),
-        )
+        .call(&CmdLine::new("say").arg(
+            "text",
+            Value::Str("ptzMove target=camera_hawk x=42;".into()),
+        ))
         .unwrap();
 
     // The camera moved (async notification chain).
@@ -110,7 +117,10 @@ fn spoken_command_moves_the_camera() {
             assert_eq!(stats.get_int("executed"), Some(1));
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "failure never counted");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "failure never counted"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
 

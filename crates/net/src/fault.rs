@@ -1,0 +1,405 @@
+//! Deterministic fault injection: seeded chaos plans for [`SimNet`].
+//!
+//! The robustness experiments (E15, E19) need repeatable failure
+//! scenarios: the same seed must produce the same crashes, partitions,
+//! and loss windows every run, so a failing chaos run can be replayed.
+//! A [`FaultPlan`] is that scenario — a time-ordered list of
+//! [`FaultEvent`]s, either hand-built or generated pseudo-randomly from a
+//! seed via [`FaultPlan::generate`].  Generation is a pure function of the
+//! seed and the [`FaultPlanConfig`]; only the *execution* timing depends
+//! on the wall clock.
+//!
+//! Every generated plan is self-healing: crashed hosts are revived,
+//! partitions healed, and latency/loss restored to zero before the plan
+//! ends, so the system under test can be asserted to re-converge.
+
+use crate::addr::HostId;
+use crate::net::SimNet;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// One thing a fault plan does to the network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Kill a host (listeners and sockets die; connections sever).
+    Crash(HostId),
+    /// Bring a killed host back (services must re-bind to return).
+    Revive(HostId),
+    /// Sever the link between two hosts.
+    Partition(HostId, HostId),
+    /// Restore the link between two hosts.
+    Heal(HostId, HostId),
+    /// Remove every partition.
+    HealAll,
+    /// Set the per-frame wire latency.
+    Latency(Duration),
+    /// Set the datagram loss probability.
+    DatagramLoss(f64),
+}
+
+/// A [`FaultKind`] scheduled at an offset from plan start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    pub at: Duration,
+    pub kind: FaultKind,
+}
+
+/// Shape of a generated chaos scenario.
+#[derive(Debug, Clone)]
+pub struct FaultPlanConfig {
+    /// Total plan length; all recovery events land at or before this.
+    pub duration: Duration,
+    /// Hosts eligible for crash/revive windows.
+    pub crashable: Vec<HostId>,
+    /// Hosts among which partition windows are drawn.
+    pub partitionable: Vec<HostId>,
+    /// How many crash windows to attempt.
+    pub crash_windows: usize,
+    /// How many partition windows to attempt.
+    pub partition_windows: usize,
+    /// How many datagram-loss windows to attempt.
+    pub loss_windows: usize,
+    /// How many latency windows to attempt.
+    pub latency_windows: usize,
+    /// Most hosts allowed down at the same instant.
+    pub max_concurrent_crashes: usize,
+    /// Upper bound for generated loss probabilities.
+    pub max_loss: f64,
+    /// Upper bound for generated latency.
+    pub max_latency: Duration,
+}
+
+impl FaultPlanConfig {
+    /// A scenario over `hosts` lasting `duration`, with one crash window
+    /// per host (at most one host down at a time), one partition window,
+    /// and one loss window — a gentle default the tests then tighten.
+    pub fn new(duration: Duration, hosts: Vec<HostId>) -> FaultPlanConfig {
+        let n = hosts.len();
+        FaultPlanConfig {
+            duration,
+            crashable: hosts.clone(),
+            partitionable: hosts,
+            crash_windows: n,
+            partition_windows: 1,
+            loss_windows: 1,
+            latency_windows: 1,
+            max_concurrent_crashes: 1,
+            max_loss: 0.3,
+            max_latency: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A deterministic, time-ordered fault scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    duration: Duration,
+}
+
+impl FaultPlan {
+    /// An empty plan to fill via [`FaultPlan::at`].
+    pub fn new(duration: Duration) -> FaultPlan {
+        FaultPlan {
+            events: Vec::new(),
+            duration,
+        }
+    }
+
+    /// Schedule one event (kept sorted by time, stable for equal times).
+    pub fn at(mut self, at: Duration, kind: FaultKind) -> FaultPlan {
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, FaultEvent { at, kind });
+        self
+    }
+
+    /// Generate a scenario from `seed`.  Pure: the same seed and config
+    /// always produce an identical schedule.
+    pub fn generate(seed: u64, config: &FaultPlanConfig) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new(config.duration);
+        let total = config.duration.as_millis() as u64;
+
+        // Crash windows.  Tracked as (start, end) per host so one host is
+        // never double-crashed, and global overlap stays within the
+        // concurrency budget.
+        let mut windows: Vec<(u64, u64, usize)> = Vec::new(); // (start, end, host idx)
+        if !config.crashable.is_empty() && total >= 20 {
+            for _ in 0..config.crash_windows {
+                // A bounded number of placement attempts keeps generation
+                // deterministic and total.
+                for _attempt in 0..16 {
+                    let host = rng.gen_range(0..config.crashable.len());
+                    let len = rng.gen_range(total / 10..=total / 4);
+                    let start = rng.gen_range(0..total.saturating_sub(len).max(1));
+                    let end = start + len;
+                    let same_host_overlap = windows
+                        .iter()
+                        .any(|&(s, e, h)| h == host && start < e && s < end);
+                    let concurrent = windows
+                        .iter()
+                        .filter(|&&(s, e, _)| start < e && s < end)
+                        .count();
+                    if !same_host_overlap && concurrent < config.max_concurrent_crashes {
+                        windows.push((start, end, host));
+                        plan = plan
+                            .at(
+                                Duration::from_millis(start),
+                                FaultKind::Crash(config.crashable[host].clone()),
+                            )
+                            .at(
+                                Duration::from_millis(end),
+                                FaultKind::Revive(config.crashable[host].clone()),
+                            );
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Partition windows between two distinct hosts.
+        if config.partitionable.len() >= 2 && total >= 20 {
+            for _ in 0..config.partition_windows {
+                let a = rng.gen_range(0..config.partitionable.len());
+                let mut b = rng.gen_range(0..config.partitionable.len() - 1);
+                if b >= a {
+                    b += 1;
+                }
+                let len = rng.gen_range(total / 10..=total / 4);
+                let start = rng.gen_range(0..total.saturating_sub(len).max(1));
+                plan = plan
+                    .at(
+                        Duration::from_millis(start),
+                        FaultKind::Partition(
+                            config.partitionable[a].clone(),
+                            config.partitionable[b].clone(),
+                        ),
+                    )
+                    .at(
+                        Duration::from_millis(start + len),
+                        FaultKind::Heal(
+                            config.partitionable[a].clone(),
+                            config.partitionable[b].clone(),
+                        ),
+                    );
+            }
+        }
+
+        // Datagram-loss and latency windows (each ends with a reset).
+        if total >= 20 {
+            for _ in 0..config.loss_windows {
+                let len = rng.gen_range(total / 10..=total / 4);
+                let start = rng.gen_range(0..total.saturating_sub(len).max(1));
+                let p = rng.gen_range(0.0..config.max_loss.max(f64::MIN_POSITIVE));
+                plan = plan
+                    .at(Duration::from_millis(start), FaultKind::DatagramLoss(p))
+                    .at(
+                        Duration::from_millis(start + len),
+                        FaultKind::DatagramLoss(0.0),
+                    );
+            }
+            for _ in 0..config.latency_windows {
+                let len = rng.gen_range(total / 10..=total / 4);
+                let start = rng.gen_range(0..total.saturating_sub(len).max(1));
+                let lat_us = rng.gen_range(0..config.max_latency.as_micros().max(1) as u64);
+                plan = plan
+                    .at(
+                        Duration::from_millis(start),
+                        FaultKind::Latency(Duration::from_micros(lat_us)),
+                    )
+                    .at(
+                        Duration::from_millis(start + len),
+                        FaultKind::Latency(Duration::ZERO),
+                    );
+            }
+        }
+
+        // Safety net: whatever happened above, the plan ends fully healed.
+        plan = plan
+            .at(config.duration, FaultKind::HealAll)
+            .at(config.duration, FaultKind::Latency(Duration::ZERO))
+            .at(config.duration, FaultKind::DatagramLoss(0.0));
+        for host in &config.crashable {
+            plan = plan.at(config.duration, FaultKind::Revive(host.clone()));
+        }
+        plan
+    }
+
+    /// The schedule, time-ordered.  Two plans from the same seed and
+    /// config compare equal.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Total plan length.
+    pub fn duration(&self) -> Duration {
+        self.duration
+    }
+
+    /// Apply one event to the network right now.
+    fn apply(net: &SimNet, kind: &FaultKind) {
+        match kind {
+            FaultKind::Crash(h) => net.kill_host(h),
+            FaultKind::Revive(h) => net.revive_host(h),
+            FaultKind::Partition(a, b) => net.partition(a, b),
+            FaultKind::Heal(a, b) => net.heal(a, b),
+            FaultKind::HealAll => net.heal_all(),
+            FaultKind::Latency(latency) => {
+                let mut config = net.config();
+                config.latency = *latency;
+                net.set_config(config);
+            }
+            FaultKind::DatagramLoss(p) => {
+                let mut config = net.config();
+                config.datagram_loss = *p;
+                net.set_config(config);
+            }
+        }
+    }
+
+    /// Run the plan on the calling thread: sleep to each event's offset,
+    /// apply it, and return once the full duration has elapsed.
+    pub fn run_blocking(&self, net: &SimNet) {
+        let start = Instant::now();
+        for event in &self.events {
+            let now = start.elapsed();
+            if event.at > now {
+                std::thread::sleep(event.at - now);
+            }
+            Self::apply(net, &event.kind);
+        }
+        let now = start.elapsed();
+        if self.duration > now {
+            std::thread::sleep(self.duration - now);
+        }
+    }
+
+    /// Run the plan on a background thread; join through the returned
+    /// handle.
+    pub fn spawn(&self, net: &SimNet) -> FaultRunner {
+        let plan = self.clone();
+        let net = net.clone();
+        let join = std::thread::Builder::new()
+            .name("fault-plan".into())
+            .spawn(move || plan.run_blocking(&net))
+            .expect("spawn fault-plan thread");
+        FaultRunner { join }
+    }
+}
+
+/// Handle to a running background fault plan.
+pub struct FaultRunner {
+    join: std::thread::JoinHandle<()>,
+}
+
+impl FaultRunner {
+    /// Block until the plan has fully executed (network healed).
+    pub fn join(self) {
+        let _ = self.join.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts(names: &[&str]) -> Vec<HostId> {
+        names.iter().map(|n| HostId::from(*n)).collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let config = FaultPlanConfig::new(Duration::from_secs(2), hosts(&["a", "b", "c"]));
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let x = FaultPlan::generate(seed, &config);
+            let y = FaultPlan::generate(seed, &config);
+            assert_eq!(x, y, "seed {seed} produced diverging schedules");
+            assert!(!x.events().is_empty());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let config = FaultPlanConfig::new(Duration::from_secs(2), hosts(&["a", "b", "c"]));
+        let x = FaultPlan::generate(1, &config);
+        let y = FaultPlan::generate(2, &config);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_plan_self_heals() {
+        let config = FaultPlanConfig::new(Duration::from_secs(2), hosts(&["a", "b", "c"]));
+        let plan = FaultPlan::generate(7, &config);
+        let events = plan.events();
+        for pair in events.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        // Every crash has a revive at or after it.
+        for (i, e) in events.iter().enumerate() {
+            if let FaultKind::Crash(h) = &e.kind {
+                assert!(
+                    events[i..]
+                        .iter()
+                        .any(|later| later.kind == FaultKind::Revive(h.clone())),
+                    "crash of {h} never revived"
+                );
+            }
+        }
+        // The final state of the plan is fully healed.
+        assert!(events
+            .iter()
+            .rev()
+            .take_while(|e| e.at == plan.duration())
+            .any(|e| e.kind == FaultKind::HealAll));
+    }
+
+    #[test]
+    fn crash_concurrency_budget_holds() {
+        let names = hosts(&["a", "b", "c", "d"]);
+        let mut config = FaultPlanConfig::new(Duration::from_secs(4), names);
+        config.crash_windows = 8;
+        config.max_concurrent_crashes = 2;
+        for seed in 0..20u64 {
+            let plan = FaultPlan::generate(seed, &config);
+            let mut down = 0usize;
+            let mut max_down = 0usize;
+            for e in plan.events() {
+                match &e.kind {
+                    FaultKind::Crash(_) => {
+                        down += 1;
+                        max_down = max_down.max(down);
+                    }
+                    FaultKind::Revive(_) if e.at < plan.duration() => {
+                        down = down.saturating_sub(1);
+                    }
+                    _ => {}
+                }
+            }
+            assert!(max_down <= 2, "seed {seed}: {max_down} hosts down at once");
+        }
+    }
+
+    #[test]
+    fn manual_plan_applies_to_net() {
+        let net = SimNet::new();
+        let a = net.add_host("a");
+        let b = net.add_host("b");
+        let plan = FaultPlan::new(Duration::from_millis(30))
+            .at(Duration::ZERO, FaultKind::Crash(a.clone()))
+            .at(Duration::from_millis(10), FaultKind::Revive(a.clone()))
+            .at(
+                Duration::from_millis(10),
+                FaultKind::Partition(a.clone(), b.clone()),
+            )
+            .at(Duration::from_millis(20), FaultKind::HealAll)
+            .at(Duration::from_millis(20), FaultKind::DatagramLoss(0.5));
+        let runner = plan.spawn(&net);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!net.is_up(&a), "crash not applied");
+        runner.join();
+        assert!(net.is_up(&a));
+        assert!(net.reachable(&a, &b));
+        assert!((net.config().datagram_loss - 0.5).abs() < 1e-12);
+    }
+}

@@ -35,6 +35,7 @@ pub mod addr;
 pub mod conn;
 pub mod datagram;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod net;
 
@@ -42,5 +43,6 @@ pub use addr::{Addr, HostId};
 pub use conn::{Connection, Listener};
 pub use datagram::{Datagram, DatagramSocket};
 pub use error::NetError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, FaultRunner};
 pub use metrics::{MetricsSnapshot, NetMetrics};
 pub use net::{NetConfig, SimNet};

@@ -290,12 +290,7 @@ impl SimNet {
     /// Send one datagram.  Unreliable: it is silently dropped if nothing is
     /// bound at `to` or the configured loss probability fires; reachability
     /// failures do error (the sender's OS would notice those).
-    pub fn send_datagram(
-        &self,
-        from: &Addr,
-        to: &Addr,
-        payload: Vec<u8>,
-    ) -> Result<(), NetError> {
+    pub fn send_datagram(&self, from: &Addr, to: &Addr, payload: Vec<u8>) -> Result<(), NetError> {
         self.inner.check_link(&from.host, &to.host)?;
         self.inner.metrics.record_datagram(payload.len());
         if self.inner.drop_roll() {

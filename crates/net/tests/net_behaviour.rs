@@ -19,9 +19,15 @@ fn connect_and_exchange() {
     let server = listener.accept_timeout(Duration::from_secs(1)).unwrap();
 
     client.send(b"hello".to_vec()).unwrap();
-    assert_eq!(server.recv_timeout(Duration::from_secs(1)).unwrap(), b"hello");
+    assert_eq!(
+        server.recv_timeout(Duration::from_secs(1)).unwrap(),
+        b"hello"
+    );
     server.send(b"world".to_vec()).unwrap();
-    assert_eq!(client.recv_timeout(Duration::from_secs(1)).unwrap(), b"world");
+    assert_eq!(
+        client.recv_timeout(Duration::from_secs(1)).unwrap(),
+        b"world"
+    );
 
     assert_eq!(server.peer_addr().host.as_str(), "tube");
     assert_eq!(client.peer_addr(), &Addr::new("bar", 1234));
@@ -44,14 +50,18 @@ fn frames_preserve_order() {
 #[test]
 fn connect_to_unbound_port_refused() {
     let net = two_host_net();
-    let err = net.connect(&"tube".into(), Addr::new("bar", 9)).unwrap_err();
+    let err = net
+        .connect(&"tube".into(), Addr::new("bar", 9))
+        .unwrap_err();
     assert!(matches!(err, NetError::ConnectionRefused(_)));
 }
 
 #[test]
 fn connect_to_unknown_host_fails() {
     let net = two_host_net();
-    let err = net.connect(&"tube".into(), Addr::new("ghost", 9)).unwrap_err();
+    let err = net
+        .connect(&"tube".into(), Addr::new("ghost", 9))
+        .unwrap_err();
     assert!(matches!(err, NetError::UnknownHost(_)));
 }
 
@@ -176,6 +186,44 @@ fn datagram_loss_probability_applies() {
     }
     assert_eq!(sock.pending(), 0);
     assert_eq!(net.metrics().snapshot().datagrams_dropped, 50);
+}
+
+/// `datagrams_dropped` accounting is exact: under total loss every send
+/// increments it by one, deliveries under zero loss never touch it, and
+/// the `since` delta isolates each phase.
+#[test]
+fn datagram_drop_accounting_is_exact() {
+    let net = two_host_net();
+    let sock = net.bind_datagram(Addr::new("bar", 5000)).unwrap();
+    let from = Addr::new("tube", 6000);
+    let send = |net: &SimNet, n: usize| {
+        for _ in 0..n {
+            net.send_datagram(&from, &Addr::new("bar", 5000), b"x".to_vec())
+                .unwrap();
+        }
+    };
+
+    // Phase 1: total loss — every send is a drop, nothing arrives.
+    net.set_config(NetConfig {
+        latency: Duration::ZERO,
+        datagram_loss: 1.0,
+    });
+    let before = net.metrics().snapshot();
+    send(&net, 17);
+    let after_loss = net.metrics().snapshot();
+    assert_eq!(after_loss.since(&before).datagrams_dropped, 17);
+    assert_eq!(sock.pending(), 0);
+
+    // Phase 2: lossless — deliveries must not be counted as drops.
+    net.set_config(NetConfig {
+        latency: Duration::ZERO,
+        datagram_loss: 0.0,
+    });
+    send(&net, 17);
+    let after_clean = net.metrics().snapshot();
+    assert_eq!(after_clean.since(&after_loss).datagrams_dropped, 0);
+    assert_eq!(sock.pending(), 17);
+    assert_eq!(after_clean.datagrams_dropped, before.datagrams_dropped + 17);
 }
 
 #[test]

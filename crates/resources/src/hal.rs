@@ -86,13 +86,19 @@ impl ServiceBehavior for Hal {
                     .optional("durationMs", ArgType::Int, "auto-exit after this long"),
             )
             .with(
-                CmdSpec::new("killApp", "terminate a launched application")
-                    .required("appId", ArgType::Int, "id returned by launchApp"),
+                CmdSpec::new("killApp", "terminate a launched application").required(
+                    "appId",
+                    ArgType::Int,
+                    "id returned by launchApp",
+                ),
             )
             .with(CmdSpec::new("listApps", "running applications"))
             .with(
-                CmdSpec::new("appInfo", "details of one application")
-                    .required("appId", ArgType::Int, "application id"),
+                CmdSpec::new("appInfo", "details of one application").required(
+                    "appId",
+                    ArgType::Int,
+                    "application id",
+                ),
             )
     }
 
@@ -176,7 +182,8 @@ impl ServiceBehavior for Hal {
                     })
                     .collect();
                 Reply::ok_with(|c| {
-                    c.arg("count", rows.len() as i64).arg("apps", Value::Array(rows))
+                    c.arg("count", rows.len() as i64)
+                        .arg("apps", Value::Array(rows))
                 })
             }
             "appInfo" => {

@@ -48,8 +48,8 @@ impl ResourceReport {
     /// a slow idle one.
     pub fn capacity_score(&self) -> f64 {
         let cpu_headroom = self.cpu_bogomips / (1.0 + self.load);
-        let mem_headroom = (self.mem_total_mb - self.mem_used_mb).max(0) as f64
-            / self.mem_total_mb.max(1) as f64;
+        let mem_headroom =
+            (self.mem_total_mb - self.mem_used_mb).max(0) as f64 / self.mem_total_mb.max(1) as f64;
         cpu_headroom * (0.5 + 0.5 * mem_headroom)
     }
 }
@@ -76,10 +76,7 @@ impl Hrm {
 impl ServiceBehavior for Hrm {
     fn semantics(&self) -> Semantics {
         Semantics::new()
-            .with(CmdSpec::new(
-                "getResources",
-                "current host resource report",
-            ))
+            .with(CmdSpec::new("getResources", "current host resource report"))
             .with(
                 CmdSpec::new("addLoad", "a task started on this host (from the HAL)")
                     .required("load", ArgType::Float, "CPU load units")

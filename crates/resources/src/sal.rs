@@ -59,7 +59,11 @@ impl ServiceBehavior for Sal {
                 .optional("load", ArgType::Float, "CPU load units (default 1)")
                 .optional("mem", ArgType::Int, "memory MB (default 32)")
                 .optional("durationMs", ArgType::Int, "auto-exit after this long")
-                .optional("policy", ArgType::Word, "random | resource (default resource)")
+                .optional(
+                    "policy",
+                    ArgType::Word,
+                    "random | resource (default resource)",
+                )
                 .optional("host", ArgType::Word, "pin to a specific host"),
         )
     }
@@ -123,7 +127,10 @@ impl ServiceBehavior for Sal {
 
                 // Delegate to the chosen HAL, forwarding the launch spec.
                 let mut launch = CmdLine::new("launchApp")
-                    .arg("app", Value::Str(cmd.get_text("app").expect("validated").into()))
+                    .arg(
+                        "app",
+                        Value::Str(cmd.get_text("app").expect("validated").into()),
+                    )
                     .arg("load", load)
                     .arg("mem", mem);
                 if let Some(user) = cmd.get_text("user") {

@@ -52,7 +52,7 @@ impl Srm {
     fn poll_if_due(&mut self, ctx: &mut ServiceCtx) {
         let due = self
             .last_poll
-            .map_or(true, |t| t.elapsed() >= self.poll_interval);
+            .is_none_or(|t| t.elapsed() >= self.poll_interval);
         if due {
             self.poll(ctx);
         }
@@ -83,11 +83,13 @@ fn reports_to_value(reports: &[&ResourceReport]) -> Value {
     )
 }
 
-/// Decode a `systemResources` reply into per-host
-/// `(host, cpu, load, mem_total, mem_used, apps)` rows.
-pub fn system_rows_from_value(value: &Value) -> Option<Vec<(String, f64, f64, i64, i64, i64)>> {
+/// One per-host resource row: `(host, cpu, load, mem_total, mem_used, apps)`.
+pub type SystemRow = (String, f64, f64, i64, i64, i64);
+
+/// Decode a `systemResources` reply into per-host [`SystemRow`] rows.
+pub fn system_rows_from_value(value: &Value) -> Option<Vec<SystemRow>> {
     let rows = match value {
-        v if v.as_vector().map_or(false, |s| s.is_empty()) => return Some(Vec::new()),
+        v if v.as_vector().is_some_and(|s| s.is_empty()) => return Some(Vec::new()),
         v => v.as_array()?,
     };
     let mut out = Vec::with_capacity(rows.len());

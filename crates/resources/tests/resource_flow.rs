@@ -81,7 +81,8 @@ fn hal_launch_updates_hrm_load() {
     assert_eq!(res.get_int("memUsed"), Some(64));
     assert_eq!(res.get_int("apps"), Some(1));
 
-    hal.call_ok(&CmdLine::new("killApp").arg("appId", app_id)).unwrap();
+    hal.call_ok(&CmdLine::new("killApp").arg("appId", app_id))
+        .unwrap();
     let res = hrm.call(&CmdLine::new("getResources")).unwrap();
     assert_eq!(res.get_f64("load"), Some(0.0));
     assert_eq!(res.get_int("apps"), Some(0));
@@ -122,7 +123,8 @@ fn timed_apps_expire_and_release_load() {
 fn srm_aggregates_all_hosts() {
     let w = world(&["bar", "tube", "rod"]);
     let me = keypair();
-    let mut srm = ServiceClient::connect(&w.net, &"core".into(), w.srm.addr().clone(), &me).unwrap();
+    let mut srm =
+        ServiceClient::connect(&w.net, &"core".into(), w.srm.addr().clone(), &me).unwrap();
 
     srm.call_ok(&CmdLine::new("refresh")).unwrap();
     let reply = srm.call(&CmdLine::new("systemResources")).unwrap();
@@ -137,7 +139,8 @@ fn srm_aggregates_all_hosts() {
 fn sal_resource_policy_balances_load() {
     let w = world(&["bar", "tube", "rod", "pipe"]);
     let me = keypair();
-    let mut sal = ServiceClient::connect(&w.net, &"core".into(), w.sal.addr().clone(), &me).unwrap();
+    let mut sal =
+        ServiceClient::connect(&w.net, &"core".into(), w.sal.addr().clone(), &me).unwrap();
 
     let mut per_host: HashMap<String, usize> = HashMap::new();
     for i in 0..40 {
@@ -171,7 +174,8 @@ fn sal_resource_policy_balances_load() {
 fn sal_pinned_host_and_unknown_policy() {
     let w = world(&["bar", "tube"]);
     let me = keypair();
-    let mut sal = ServiceClient::connect(&w.net, &"core".into(), w.sal.addr().clone(), &me).unwrap();
+    let mut sal =
+        ServiceClient::connect(&w.net, &"core".into(), w.sal.addr().clone(), &me).unwrap();
 
     let r = sal
         .call(
@@ -212,7 +216,8 @@ fn sal_survives_dead_hal_host() {
     // the ASD may still list them — the SAL must still be able to place on
     // the survivor (random policy may need a retry against the dead host).
     w.net.kill_host(&"tube".into());
-    let mut sal = ServiceClient::connect(&w.net, &"core".into(), w.sal.addr().clone(), &me).unwrap();
+    let mut sal =
+        ServiceClient::connect(&w.net, &"core".into(), w.sal.addr().clone(), &me).unwrap();
     let mut placed = 0;
     for _ in 0..6 {
         if let Ok(r) = sal.call(
@@ -224,7 +229,10 @@ fn sal_survives_dead_hal_host() {
             placed += 1;
         }
     }
-    assert!(placed >= 1, "at least one placement must land on the survivor");
+    assert!(
+        placed >= 1,
+        "at least one placement must land on the survivor"
+    );
 
     // Teardown: the tube daemons are dead; shut down the rest.
     w.sal.shutdown();

@@ -9,7 +9,7 @@
 //! benchmarks, and MAC verification genuinely rejects tampering — but none
 //! of this is cryptographically strong and it must never be used as such.
 
-use crate::hash::{fnv64_keyed, fnv128};
+use crate::hash::{fnv128, fnv64_keyed};
 use rand::Rng;
 
 /// Largest 64-bit prime; the DH group modulus.
@@ -66,9 +66,10 @@ impl SessionKey {
     /// Derive a sub-key for a labelled purpose (e.g. each direction of a
     /// duplex link gets its own key, preventing reflection).
     pub fn derive(&self, label: u64) -> SessionKey {
-        SessionKey::from_seed(
-            fnv64_keyed(self.cipher ^ label.rotate_left(17), &self.mac.to_le_bytes()),
-        )
+        SessionKey::from_seed(fnv64_keyed(
+            self.cipher ^ label.rotate_left(17),
+            &self.mac.to_le_bytes(),
+        ))
     }
 }
 

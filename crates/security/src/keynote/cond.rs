@@ -91,9 +91,9 @@ impl Cond {
 impl Operand {
     fn resolve<'a>(&'a self, env: &'a ActionEnv) -> std::borrow::Cow<'a, str> {
         match self {
-            Operand::Attr(name) => std::borrow::Cow::Borrowed(
-                env.get(name).map(String::as_str).unwrap_or(""),
-            ),
+            Operand::Attr(name) => {
+                std::borrow::Cow::Borrowed(env.get(name).map(String::as_str).unwrap_or(""))
+            }
             Operand::Str(s) => std::borrow::Cow::Borrowed(s),
             Operand::Num(n) => std::borrow::Cow::Owned(format_num(*n)),
         }
@@ -236,8 +236,7 @@ fn lex(src: &str) -> Result<Vec<Tok>, CondParseError> {
             c if c.is_ascii_digit() || c == b'-' || c == b'+' => {
                 let start = i;
                 i += 1;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'.' || b[i] == b'_')
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'.' || b[i] == b'_')
                 {
                     i += 1;
                 }
@@ -249,8 +248,7 @@ fn lex(src: &str) -> Result<Vec<Tok>, CondParseError> {
             }
             c if (c as char).is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
                 {
                     i += 1;
                 }
@@ -395,8 +393,8 @@ mod tests {
 
     #[test]
     fn boolean_connectives() {
-        let c = parse_cond("app_domain == \"ace\" && (cmd == \"ptzMove\" || cmd == \"zoom\")")
-            .unwrap();
+        let c =
+            parse_cond("app_domain == \"ace\" && (cmd == \"ptzMove\" || cmd == \"zoom\")").unwrap();
         assert!(c.eval(&env()));
         let c = parse_cond("!(cmd == \"shutdown\")").unwrap();
         assert!(c.eval(&env()));

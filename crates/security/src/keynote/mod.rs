@@ -52,8 +52,8 @@ impl Assertion {
         licensees: Licensees,
         conditions_src: &str,
     ) -> Result<Assertion, KeyNoteError> {
-        let conditions = parse_cond(conditions_src)
-            .map_err(|e| KeyNoteError::BadAssertion(e.to_string()))?;
+        let conditions =
+            parse_cond(conditions_src).map_err(|e| KeyNoteError::BadAssertion(e.to_string()))?;
         Ok(Assertion {
             authorizer: authorizer.into(),
             licensees,
@@ -144,9 +144,9 @@ impl Assertion {
             if line.is_empty() {
                 continue;
             }
-            let (field, value) = line.split_once(':').ok_or_else(|| {
-                KeyNoteError::BadAssertion(format!("malformed line `{line}`"))
-            })?;
+            let (field, value) = line
+                .split_once(':')
+                .ok_or_else(|| KeyNoteError::BadAssertion(format!("malformed line `{line}`")))?;
             let value = value.trim();
             match field.trim() {
                 "keynote-version" => {
@@ -166,9 +166,10 @@ impl Assertion {
                 }
                 "conditions" => conditions_src = Some(value.to_string()),
                 "signature" => {
-                    signature = Some(Signature::from_wire(unquote(value)).ok_or_else(
-                        || KeyNoteError::BadAssertion("malformed signature".into()),
-                    )?)
+                    signature =
+                        Some(Signature::from_wire(unquote(value)).ok_or_else(|| {
+                            KeyNoteError::BadAssertion("malformed signature".into())
+                        })?)
                 }
                 other => {
                     return Err(KeyNoteError::BadAssertion(format!(
@@ -447,7 +448,9 @@ mod tests {
         let user = keypair();
         let stranger = keypair();
         let mut engine = KeyNoteEngine::new();
-        engine.add_policy(policy_for(&user.principal(), "true")).unwrap();
+        engine
+            .add_policy(policy_for(&user.principal(), "true"))
+            .unwrap();
         assert!(!engine.query(&ActionEnv::new(), &[&stranger.principal()]));
     }
 
@@ -463,7 +466,9 @@ mod tests {
         let admin = keypair();
         let user = keypair();
         let mut engine = KeyNoteEngine::new();
-        engine.add_policy(policy_for(&admin.principal(), "true")).unwrap();
+        engine
+            .add_policy(policy_for(&admin.principal(), "true"))
+            .unwrap();
         let cred = Assertion::new(
             admin.principal(),
             Licensees::Principal(user.principal()),
@@ -558,7 +563,9 @@ mod tests {
         let a = keypair();
         let b = keypair();
         let mut engine = KeyNoteEngine::new();
-        engine.add_policy(policy_for(&a.principal(), "true")).unwrap();
+        engine
+            .add_policy(policy_for(&a.principal(), "true"))
+            .unwrap();
         // a -> b and b -> a: a cycle granting nothing extra.
         engine
             .add_credential(
@@ -616,12 +623,7 @@ mod tests {
     fn policy_must_be_policy() {
         let user = keypair();
         let mut engine = KeyNoteEngine::new();
-        let a = Assertion::new(
-            user.principal(),
-            Licensees::Principal("x".into()),
-            "true",
-        )
-        .unwrap();
+        let a = Assertion::new(user.principal(), Licensees::Principal("x".into()), "true").unwrap();
         assert!(matches!(
             engine.add_policy(a),
             Err(KeyNoteError::NotPolicy(_))
@@ -632,7 +634,9 @@ mod tests {
     fn cache_hits_and_invalidates() {
         let user = keypair();
         let mut caching = CachingEngine::new(KeyNoteEngine::new());
-        caching.add_policy(policy_for(&user.principal(), "true")).unwrap();
+        caching
+            .add_policy(policy_for(&user.principal(), "true"))
+            .unwrap();
         let env = action_env([("cmd", "lookup")]);
         let p = user.principal();
         assert!(caching.query(&env, &[&p]));
@@ -643,7 +647,9 @@ mod tests {
 
         // Adding an assertion invalidates.
         let other = keypair();
-        caching.add_policy(policy_for(&other.principal(), "true")).unwrap();
+        caching
+            .add_policy(policy_for(&other.principal(), "true"))
+            .unwrap();
         assert!(caching.query(&env, &[&p]));
         let (_, misses2) = caching.stats();
         assert_eq!(misses2, 2);

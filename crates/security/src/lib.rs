@@ -48,7 +48,7 @@ pub mod numtheory;
 
 pub use cipher::{DhLocal, SealError, SecureChannel, SessionKey};
 pub use keynote::{
-    action_env, ActionEnv, Assertion, CachingEngine, Cond, KeyNoteEngine, KeyNoteError,
-    Licensees, POLICY,
+    action_env, ActionEnv, Assertion, CachingEngine, Cond, KeyNoteEngine, KeyNoteError, Licensees,
+    POLICY,
 };
 pub use keys::{KeyPair, PublicKey, Signature};

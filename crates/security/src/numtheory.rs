@@ -32,13 +32,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -124,7 +124,7 @@ mod tests {
         for _ in 0..10 {
             let p = random_prime(&mut rng, 32);
             assert!(is_prime(p));
-            assert!(p >= (1 << 31) && p < (1 << 32));
+            assert!(((1 << 31)..(1u64 << 32)).contains(&p));
         }
     }
 

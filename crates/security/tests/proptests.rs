@@ -99,12 +99,19 @@ fn keynote_monotone_under_assertion_addition() {
 
     // Grow the assertion base in several ways; the grant must survive.
     for i in 0..10 {
-        let cond = if i % 2 == 0 { "true" } else { "cmd == \"other\"" };
+        let cond = if i % 2 == 0 {
+            "true"
+        } else {
+            "cmd == \"other\""
+        };
         engine
             .add_policy(
                 Assertion::new(POLICY, Licensees::Principal(extra.principal()), cond).unwrap(),
             )
             .unwrap();
-        assert!(engine.query(&env, &[&user_p]), "grant revoked by unrelated assertion {i}");
+        assert!(
+            engine.query(&env, &[&user_p]),
+            "grant revoked by unrelated assertion {i}"
+        );
     }
 }

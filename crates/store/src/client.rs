@@ -10,6 +10,7 @@ use ace_core::prelude::*;
 use ace_core::protocol::{hex_decode, hex_encode};
 use ace_security::keys::KeyPair;
 use std::fmt;
+use std::time::Duration;
 
 /// Store-level failures.
 #[derive(Debug)]
@@ -44,6 +45,8 @@ pub struct StoreClient {
     quorum: usize,
     writer_id: String,
     connections: Vec<Option<ServiceClient>>,
+    /// Per-replica reconnect schedule for one command.
+    retry: RetryPolicy,
 }
 
 impl StoreClient {
@@ -65,6 +68,10 @@ impl StoreClient {
             quorum,
             writer_id,
             connections,
+            // One immediate reconnect per replica per command — enough to
+            // ride out a dropped connection without stalling a quorum scan
+            // on a genuinely dead replica.
+            retry: RetryPolicy::fixed(Duration::ZERO).with_max_attempts(1),
         }
     }
 
@@ -74,13 +81,21 @@ impl StoreClient {
         self
     }
 
+    /// Override the per-replica reconnect schedule used within a single
+    /// command (chaos runs give replicas longer to come back).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> StoreClient {
+        self.retry = retry;
+        self
+    }
+
     /// The configured replica addresses.
     pub fn replicas(&self) -> &[Addr] {
         &self.replicas
     }
 
     fn call_replica(&mut self, idx: usize, cmd: &CmdLine) -> Option<CmdLine> {
-        for _attempt in 0..2 {
+        let mut retry = self.retry.start();
+        loop {
             if self.connections[idx].is_none() {
                 self.connections[idx] = ServiceClient::connect(
                     &self.net,
@@ -90,20 +105,26 @@ impl StoreClient {
                 )
                 .ok();
             }
-            let client = self.connections[idx].as_mut()?;
-            match client.call(cmd) {
-                Ok(reply) => return Some(reply),
-                Err(ClientError::Service { .. }) => return None, // e.g. NotFound
-                Err(ClientError::Link(_)) => self.connections[idx] = None,
+            // A `None` connection here means connect failed; back off and retry.
+            if let Some(client) = self.connections[idx].as_mut() {
+                match client.call(cmd) {
+                    Ok(reply) => return Some(reply),
+                    Err(ClientError::Service { .. }) => return None, // e.g. NotFound
+                    Err(_) => self.connections[idx] = None,
+                }
+            }
+            if !retry.backoff() {
+                return None;
             }
         }
-        None
     }
 
     /// Read the newest version of a key across all reachable replicas, with
     /// read repair of stale ones.
     pub fn get(&mut self, ns: &str, key: &str) -> Result<Vec<u8>, StoreError> {
-        let cmd = CmdLine::new("psGet").arg("ns", ns).arg("key", Value::Str(key.into()));
+        let cmd = CmdLine::new("psGet")
+            .arg("ns", ns)
+            .arg("key", Value::Str(key.into()));
         let mut answers: Vec<(usize, Versioned)> = Vec::new();
         let mut missing: Vec<usize> = Vec::new();
         for idx in 0..self.replicas.len() {
@@ -167,7 +188,9 @@ impl StoreClient {
 
     /// Newest version number of a key (0 if absent anywhere).
     fn newest_version(&mut self, ns: &str, key: &str) -> u64 {
-        let cmd = CmdLine::new("psGet").arg("ns", ns).arg("key", Value::Str(key.into()));
+        let cmd = CmdLine::new("psGet")
+            .arg("ns", ns)
+            .arg("key", Value::Str(key.into()));
         let mut best = 0;
         for idx in 0..self.replicas.len() {
             if let Some(reply) = self.call_replica(idx, &cmd) {
@@ -177,7 +200,13 @@ impl StoreClient {
         best
     }
 
-    fn write(&mut self, cmd_name: &str, ns: &str, key: &str, data: &[u8]) -> Result<u64, StoreError> {
+    fn write(
+        &mut self,
+        cmd_name: &str,
+        ns: &str,
+        key: &str,
+        data: &[u8],
+    ) -> Result<u64, StoreError> {
         let version = self.newest_version(ns, key) + 1;
         let mut cmd = CmdLine::new(cmd_name)
             .arg("ns", ns)

@@ -136,6 +136,7 @@ impl StoreReplica {
 
 /// One anti-entropy round from the worker thread: pull newer versions from
 /// every peer replica found in the ASD.
+#[allow(clippy::too_many_arguments)]
 fn sync_round(
     net: &SimNet,
     host: &HostId,
@@ -147,8 +148,8 @@ fn sync_round(
     clients: &mut HashMap<Addr, ServiceClient>,
 ) {
     let call = |clients: &mut HashMap<Addr, ServiceClient>,
-                    addr: &Addr,
-                    cmd: &CmdLine|
+                addr: &Addr,
+                cmd: &CmdLine|
      -> Option<CmdLine> {
         for attempt in 0..2 {
             if !clients.contains_key(addr) {
@@ -173,8 +174,11 @@ fn sync_round(
         None
     };
 
-    let Some(reply) = call(clients, asd, &CmdLine::new("lookup").arg("class", Value::Str("PersistentStore".into())))
-    else {
+    let Some(reply) = call(
+        clients,
+        asd,
+        &CmdLine::new("lookup").arg("class", Value::Str("PersistentStore".into())),
+    ) else {
         return;
     };
     let Some(peers) = reply
@@ -194,9 +198,7 @@ fn sync_round(
             let key_pair = (ns.clone(), key.clone());
             let newer_remote = match disk.get(&key_pair) {
                 None => true,
-                Some(local) => {
-                    (version, writer.as_str()) > (local.version, local.writer.as_str())
-                }
+                Some(local) => (version, writer.as_str()) > (local.version, local.writer.as_str()),
             };
             if !newer_remote {
                 continue;
@@ -231,7 +233,7 @@ fn versioned_from_reply(reply: &CmdLine) -> Option<Versioned> {
 
 fn digest_from_reply(reply: &CmdLine) -> Option<Vec<(String, String, u64, String)>> {
     let rows = match reply.get("entries")? {
-        v if v.as_vector().map_or(false, |s| s.is_empty()) => return Some(Vec::new()),
+        v if v.as_vector().is_some_and(|s| s.is_empty()) => return Some(Vec::new()),
         v => v.as_array()?,
     };
     let mut out = Vec::with_capacity(rows.len());
@@ -273,11 +275,15 @@ impl ServiceBehavior for StoreReplica {
                     .required("version", ArgType::Int, "client-assigned version")
                     .required("writer", ArgType::Str, "writer id"),
             )
-            .with(
-                CmdSpec::new("psList", "live keys in a namespace")
-                    .required("ns", ArgType::Word, "namespace"),
-            )
-            .with(CmdSpec::new("psDigest", "full (ns,key,version,writer) digest"))
+            .with(CmdSpec::new("psList", "live keys in a namespace").required(
+                "ns",
+                ArgType::Word,
+                "namespace",
+            ))
+            .with(CmdSpec::new(
+                "psDigest",
+                "full (ns,key,version,writer) digest",
+            ))
             .with(CmdSpec::new("psSync", "nudge the sync worker to run now"))
             .with(CmdSpec::new("psStats", "replica counters"))
     }
@@ -309,7 +315,13 @@ impl ServiceBehavior for StoreReplica {
                             break;
                         }
                         sync_round(
-                            &net, &host, &identity, &asd, &own_name, &disk, &stats,
+                            &net,
+                            &host,
+                            &identity,
+                            &asd,
+                            &own_name,
+                            &disk,
+                            &stats,
                             &mut clients,
                         );
                     }
@@ -368,14 +380,10 @@ impl ServiceBehavior for StoreReplica {
             }
             "psList" => {
                 let ns = cmd.get_text("ns").expect("validated");
-                let keys: Vec<Scalar> = self
-                    .disk
-                    .list(ns)
-                    .into_iter()
-                    .map(Scalar::Str)
-                    .collect();
+                let keys: Vec<Scalar> = self.disk.list(ns).into_iter().map(Scalar::Str).collect();
                 Reply::ok_with(|c| {
-                    c.arg("count", keys.len() as i64).arg("keys", Value::Vector(keys))
+                    c.arg("count", keys.len() as i64)
+                        .arg("keys", Value::Vector(keys))
                 })
             }
             "psDigest" => {
@@ -393,7 +401,8 @@ impl ServiceBehavior for StoreReplica {
                     })
                     .collect();
                 Reply::ok_with(|c| {
-                    c.arg("count", rows.len() as i64).arg("entries", Value::Array(rows))
+                    c.arg("count", rows.len() as i64)
+                        .arg("entries", Value::Array(rows))
                 })
             }
             "psSync" => {

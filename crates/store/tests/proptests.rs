@@ -25,7 +25,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         key: key % 8,
         version,
         writer,
-        delete: (version + writer as u64) % 3 == 0,
+        delete: (version + writer as u64).is_multiple_of(3),
     })
 }
 

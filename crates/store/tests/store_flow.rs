@@ -32,12 +32,7 @@ fn world() -> World {
 }
 
 fn client(w: &World) -> StoreClient {
-    StoreClient::new(
-        w.net.clone(),
-        "core",
-        keypair(),
-        w.cluster.addrs.clone(),
-    )
+    StoreClient::new(w.net.clone(), "core", keypair(), w.cluster.addrs.clone())
 }
 
 fn wait_converged(w: &World, deadline: Duration) -> bool {
@@ -66,7 +61,10 @@ fn put_get_roundtrip_and_replication() {
     assert_eq!(c.get("appstate", "counter_1").unwrap(), b"count=42");
 
     // The write reached a quorum immediately and all three eventually.
-    assert!(wait_converged(&w, Duration::from_secs(5)), "replicas converged");
+    assert!(
+        wait_converged(&w, Duration::from_secs(5)),
+        "replicas converged"
+    );
     for (_, disk) in &w.cluster.replicas {
         let v = disk.get(&("appstate".into(), "counter_1".into())).unwrap();
         assert_eq!(v.data, b"count=42");
@@ -146,10 +144,17 @@ fn two_replicas_down_reads_work_writes_fail() {
     w.net.kill_host(&"s1".into());
     w.net.kill_host(&"s2".into());
 
-    assert_eq!(c.get("ns", "k").unwrap(), b"v", "one survivor still serves reads");
+    assert_eq!(
+        c.get("ns", "k").unwrap(),
+        b"v",
+        "one survivor still serves reads"
+    );
     assert!(matches!(
         c.put("ns", "k", b"new"),
-        Err(StoreError::QuorumFailed { acked: 1, quorum: 2 })
+        Err(StoreError::QuorumFailed {
+            acked: 1,
+            quorum: 2
+        })
     ));
 
     for (handle, _) in w.cluster.replicas {
@@ -199,7 +204,8 @@ fn crashed_replica_recovers_via_anti_entropy() {
     }
     let crashed_disk = crashed_disk.unwrap();
     for i in 0..10 {
-        c.put("ns", &format!("missed_{i}"), b"written while down").unwrap();
+        c.put("ns", &format!("missed_{i}"), b"written while down")
+            .unwrap();
     }
     // s1's disk does not have the new keys yet.
     assert!(crashed_disk
@@ -221,7 +227,10 @@ fn crashed_replica_recovers_via_anti_entropy() {
         if ok {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "replica never caught up");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replica never caught up"
+        );
         std::thread::sleep(Duration::from_millis(50));
     }
 
@@ -251,7 +260,10 @@ fn concurrent_writers_converge() {
     aj.join().unwrap().unwrap();
     bj.join().unwrap().unwrap();
 
-    assert!(wait_converged(&w, Duration::from_secs(5)), "replicas converged");
+    assert!(
+        wait_converged(&w, Duration::from_secs(5)),
+        "replicas converged"
+    );
     let winner = a.get("ns", "contested").unwrap();
     assert!(winner == b"from A" || winner == b"from B");
     // Every replica holds exactly the winner.
@@ -297,7 +309,10 @@ fn read_repair_fixes_stale_replica() {
         if disk3.get(&("ns".into(), "repaired".into())).is_some() {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "read repair never landed");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "read repair never landed"
+        );
         std::thread::sleep(Duration::from_millis(25));
     }
 

@@ -200,7 +200,15 @@ impl TileUpdate {
         if parts.next().is_some() {
             return None;
         }
-        Some((session, TileUpdate { col, row, hash, seq }))
+        Some((
+            session,
+            TileUpdate {
+                col,
+                row,
+                hash,
+                seq,
+            },
+        ))
     }
 }
 

@@ -100,19 +100,21 @@ impl ServiceBehavior for VncHost {
                     .required("session", ArgType::Word, "session id")
                     .required("event", ArgType::Str, "the event"),
             )
-            .with(
-                CmdSpec::new("vncState", "session state summary")
-                    .required("session", ArgType::Word, "session id"),
-            )
+            .with(CmdSpec::new("vncState", "session state summary").required(
+                "session",
+                ArgType::Word,
+                "session id",
+            ))
             .with(
                 CmdSpec::new("vncSetPassword", "rotate the session password (WSS only)")
                     .required("session", ArgType::Word, "session id")
                     .required("password", ArgType::Str, "new password"),
             )
-            .with(
-                CmdSpec::new("vncClose", "destroy a session")
-                    .required("session", ArgType::Word, "session id"),
-            )
+            .with(CmdSpec::new("vncClose", "destroy a session").required(
+                "session",
+                ArgType::Word,
+                "session id",
+            ))
             .with(CmdSpec::new("vncList", "all hosted sessions"))
     }
 
@@ -131,7 +133,10 @@ impl ServiceBehavior for VncHost {
                     viewers: Vec::new(),
                     input_log: Vec::new(),
                 };
-                ctx.log("info", format!("created workspace session {id} for {}", session.user));
+                ctx.log(
+                    "info",
+                    format!("created workspace session {id} for {}", session.user),
+                );
                 self.sessions.insert(id.clone(), session);
                 Reply::ok_with(|c| c.arg("session", id))
             }
@@ -151,7 +156,10 @@ impl ServiceBehavior for VncHost {
                     &data,
                 );
                 Self::push_updates(ctx, id, &session.viewers, &updates);
-                Reply::ok_with(|c| c.arg("tiles", updates.len() as i64).arg("seq", session.fb.seq() as i64))
+                Reply::ok_with(|c| {
+                    c.arg("tiles", updates.len() as i64)
+                        .arg("seq", session.fb.seq() as i64)
+                })
             }
             "vncAttach" => {
                 let id = cmd.get_text("session").expect("validated");
@@ -174,9 +182,10 @@ impl ServiceBehavior for VncHost {
                 Self::push_updates(ctx, id, std::slice::from_ref(&viewer), &full);
                 let (w, h) = session.fb.size();
                 Reply::ok_with(|c| {
-                    c.arg("width", w as i64)
-                        .arg("height", h as i64)
-                        .arg("checksum", Value::Word(format!("x{:016x}", session.fb.checksum())))
+                    c.arg("width", w as i64).arg("height", h as i64).arg(
+                        "checksum",
+                        Value::Word(format!("x{:016x}", session.fb.checksum())),
+                    )
                 })
             }
             "vncDetach" => {
@@ -209,7 +218,10 @@ impl ServiceBehavior for VncHost {
                             .arg("viewers", s.viewers.len() as i64)
                             .arg("inputs", s.input_log.len() as i64)
                             .arg("seq", s.fb.seq() as i64)
-                            .arg("checksum", Value::Word(format!("x{:016x}", s.fb.checksum())))
+                            .arg(
+                                "checksum",
+                                Value::Word(format!("x{:016x}", s.fb.checksum())),
+                            )
                     }),
                     None => Reply::err(ErrorCode::NotFound, format!("no session {id}")),
                 }
@@ -244,7 +256,10 @@ impl ServiceBehavior for VncHost {
                         ]
                     })
                     .collect();
-                Reply::ok_with(|c| c.arg("count", rows.len() as i64).arg("sessions", Value::Array(rows)))
+                Reply::ok_with(|c| {
+                    c.arg("count", rows.len() as i64)
+                        .arg("sessions", Value::Array(rows))
+                })
             }
             other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
         }

@@ -78,7 +78,10 @@ impl Wss {
             .lookup(None, Some("VNCHost"), None)
             .map_err(|e| Reply::err(ErrorCode::Unavailable, format!("ASD: {e}")))?;
         if hosts.is_empty() {
-            return Err(Reply::err(ErrorCode::Unavailable, "no VNC hosts registered"));
+            return Err(Reply::err(
+                ErrorCode::Unavailable,
+                "no VNC hosts registered",
+            ));
         }
 
         // Ask the SAL (→SRM→HRM) where the VNC server process should run;
@@ -98,12 +101,7 @@ impl Wss {
                 .ok()
             })
             .and_then(|r| r.get_text("host").map(str::to_string))
-            .and_then(|host| {
-                hosts
-                    .iter()
-                    .find(|e| e.addr.host.as_str() == host)
-                    .cloned()
-            })
+            .and_then(|host| hosts.iter().find(|e| e.addr.host.as_str() == host).cloned())
             .unwrap_or_else(|| hosts[0].clone());
 
         let password = Self::generate_password();
@@ -114,13 +112,8 @@ impl Wss {
                     .arg("user", user)
                     .arg("password", Value::Str(password.clone())),
             )
-            .map_err(|e| {
-                Reply::err(ErrorCode::Unavailable, format!("VNC host failed: {e}"))
-            })?;
-        let session = reply
-            .get_text("session")
-            .unwrap_or_default()
-            .to_string();
+            .map_err(|e| Reply::err(ErrorCode::Unavailable, format!("VNC host failed: {e}")))?;
+        let session = reply.get_text("session").unwrap_or_default().to_string();
         let record = WorkspaceRecord {
             user: user.to_string(),
             name: name.to_string(),
@@ -189,10 +182,11 @@ impl ServiceBehavior for Wss {
                     .required("user", ArgType::Word, "owning user")
                     .optional("name", ArgType::Word, "workspace name (default `default`)"),
             )
-            .with(
-                CmdSpec::new("wssList", "a user's workspaces")
-                    .required("user", ArgType::Word, "user to list"),
-            )
+            .with(CmdSpec::new("wssList", "a user's workspaces").required(
+                "user",
+                ArgType::Word,
+                "user to list",
+            ))
             .with(
                 CmdSpec::new("wssShow", "bring a workspace to an access point")
                     .required("user", ArgType::Word, "owning user")
@@ -313,10 +307,8 @@ impl ServiceBehavior for Wss {
                         // Several workspaces: raise the selector (Fig. 19's
                         // "Workspace Selector"); the user confirms via
                         // `wssShow`.
-                        let names: Vec<Scalar> = list
-                            .iter()
-                            .map(|w| Scalar::Str(w.name.clone()))
-                            .collect();
+                        let names: Vec<Scalar> =
+                            list.iter().map(|w| Scalar::Str(w.name.clone())).collect();
                         ctx.fire_event(
                             CmdLine::new("workspaceSelector")
                                 .arg("username", user.as_str())

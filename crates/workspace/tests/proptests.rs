@@ -15,9 +15,15 @@ struct Draw {
 }
 
 fn draw_strategy() -> impl Strategy<Value = Draw> {
-    (0u32..320, 0u32..240, 1u32..128, 1u32..96, any::<u64>()).prop_map(
-        |(x, y, w, h, payload)| Draw { x, y, w, h, payload },
-    )
+    (0u32..320, 0u32..240, 1u32..128, 1u32..96, any::<u64>()).prop_map(|(x, y, w, h, payload)| {
+        Draw {
+            x,
+            y,
+            w,
+            h,
+            payload,
+        }
+    })
 }
 
 proptest! {

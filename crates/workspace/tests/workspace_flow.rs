@@ -50,13 +50,13 @@ fn viewer_replicates_session_framebuffer() {
     let me = keypair();
     let vnc = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("vnc_vhost", "Service.VNCHost", "machineroom", "vhost", 5500),
+        w.fw.service_config("vnc_vhost", "Service.VNCHost", "machineroom", "vhost", 5500),
         Box::new(VncHost::new()),
     )
     .unwrap();
 
-    let mut client = ServiceClient::connect(&w.net, &"podium".into(), vnc.addr().clone(), &me).unwrap();
+    let mut client =
+        ServiceClient::connect(&w.net, &"podium".into(), vnc.addr().clone(), &me).unwrap();
     let created = client
         .call(
             &CmdLine::new("vncCreate")
@@ -117,7 +117,10 @@ fn viewer_replicates_session_framebuffer() {
         if format!("x{:016x}", viewer.checksum()) == server_sum {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "viewer never converged");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "viewer never converged"
+        );
     }
 
     w.extra.push(vnc);
@@ -130,12 +133,12 @@ fn attach_requires_password() {
     let me = keypair();
     let vnc = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("vnc_vhost", "Service.VNCHost", "machineroom", "vhost", 5500),
+        w.fw.service_config("vnc_vhost", "Service.VNCHost", "machineroom", "vhost", 5500),
         Box::new(VncHost::new()),
     )
     .unwrap();
-    let mut client = ServiceClient::connect(&w.net, &"podium".into(), vnc.addr().clone(), &me).unwrap();
+    let mut client =
+        ServiceClient::connect(&w.net, &"podium".into(), vnc.addr().clone(), &me).unwrap();
     let created = client
         .call(
             &CmdLine::new("vncCreate")
@@ -207,28 +210,41 @@ fn scenario1_new_user_gets_default_workspace() {
 
     let aud = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("aud", "Service.Database.User", "machineroom", "core", 5200),
+        w.fw.service_config("aud", "Service.Database.User", "machineroom", "core", 5200),
         Box::new(UserDb::new()),
     )
     .unwrap();
     let wss = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("wss", "Service.WorkspaceServer", "machineroom", "core", 5600),
+        w.fw.service_config(
+            "wss",
+            "Service.WorkspaceServer",
+            "machineroom",
+            "core",
+            5600,
+        ),
         Box::new(Wss::new()),
     )
     .unwrap();
     wire_wss(&w.net, &wss, &aud, None, &me).unwrap();
 
     // The administrator registers John (Scenario 1).
-    let mut aud_client = UserDbClient::connect(&w.net, &"core".into(), aud.addr().clone(), &me).unwrap();
+    let mut aud_client =
+        UserDbClient::connect(&w.net, &"core".into(), aud.addr().clone(), &me).unwrap();
     aud_client
-        .add_user("jdoe", "John Doe", "pw", &john.principal(), Some("fp_jdoe"), None)
+        .add_user(
+            "jdoe",
+            "John Doe",
+            "pw",
+            &john.principal(),
+            Some("fp_jdoe"),
+            None,
+        )
         .unwrap();
 
     // The default workspace appears (async notification chain).
-    let mut wss_client = ServiceClient::connect(&w.net, &"core".into(), wss.addr().clone(), &me).unwrap();
+    let mut wss_client =
+        ServiceClient::connect(&w.net, &"core".into(), wss.addr().clone(), &me).unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     let list = loop {
         let reply = wss_client
@@ -237,7 +253,10 @@ fn scenario1_new_user_gets_default_workspace() {
         if reply.get_int("count") == Some(1) {
             break reply;
         }
-        assert!(std::time::Instant::now() < deadline, "default workspace never appeared");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "default workspace never appeared"
+        );
         std::thread::sleep(Duration::from_millis(20));
     };
     let rows = list.get_array("workspaces").unwrap();
@@ -252,35 +271,37 @@ fn scenario1_new_user_gets_default_workspace() {
 /// single workspace; with two workspaces the selector event fires instead.
 #[test]
 fn scenario3_and_4_show_and_selector() {
-    let mut w = world(&["bar", "podium"]);
+    let w = world(&["bar", "podium"]);
     let me = keypair();
     let john = keypair();
 
     let vnc = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("vnc_bar", "Service.VNCHost", "machineroom", "bar", 5500),
+        w.fw.service_config("vnc_bar", "Service.VNCHost", "machineroom", "bar", 5500),
         Box::new(VncHost::new()),
     )
     .unwrap();
     let aud = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("aud", "Service.Database.User", "machineroom", "core", 5200),
+        w.fw.service_config("aud", "Service.Database.User", "machineroom", "core", 5200),
         Box::new(UserDb::new()),
     )
     .unwrap();
     let monitor = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("idmonitor", "Service.IDMonitor", "machineroom", "core", 5301),
+        w.fw.service_config(
+            "idmonitor",
+            "Service.IDMonitor",
+            "machineroom",
+            "core",
+            5301,
+        ),
         Box::new(IdMonitor::new()),
     )
     .unwrap();
     let fiu = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("fiu_hawk", "Service.Device.FIU", "hawk", "podium", 5300),
+        w.fw.service_config("fiu_hawk", "Service.Device.FIU", "hawk", "podium", 5300),
         Box::new(ace_identity::Fiu::new({
             let mut d = ace_identity::ScannerDevice::default();
             d.enroll("fp_jdoe", 0.95);
@@ -291,8 +312,13 @@ fn scenario3_and_4_show_and_selector() {
     ace_identity::IdMonitor::subscribe_to_devices(&w.net, &monitor, &[&fiu], &me).unwrap();
     let wss = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("wss", "Service.WorkspaceServer", "machineroom", "core", 5600),
+        w.fw.service_config(
+            "wss",
+            "Service.WorkspaceServer",
+            "machineroom",
+            "core",
+            5600,
+        ),
         Box::new(Wss::new()),
     )
     .unwrap();
@@ -310,8 +336,26 @@ fn scenario3_and_4_show_and_selector() {
     impl ServiceBehavior for Recorder {
         fn semantics(&self) -> Semantics {
             Semantics::new()
-                .with(CmdSpec::new("onReady", "sink").optional("service", ArgType::Str, "").optional("cmd", ArgType::Str, "").optional("username", ArgType::Word, "").optional("workspace", ArgType::Word, "").optional("session", ArgType::Word, "").optional("vncHost", ArgType::Word, "").optional("vncPort", ArgType::Int, "").optional("password", ArgType::Str, "").optional("accessHost", ArgType::Word, ""))
-                .with(CmdSpec::new("onSelector", "sink").optional("service", ArgType::Str, "").optional("cmd", ArgType::Str, "").optional("username", ArgType::Word, "").optional("accessHost", ArgType::Word, "").optional("workspaces", ArgType::Vector(ace_lang::ScalarType::Str), ""))
+                .with(
+                    CmdSpec::new("onReady", "sink")
+                        .optional("service", ArgType::Str, "")
+                        .optional("cmd", ArgType::Str, "")
+                        .optional("username", ArgType::Word, "")
+                        .optional("workspace", ArgType::Word, "")
+                        .optional("session", ArgType::Word, "")
+                        .optional("vncHost", ArgType::Word, "")
+                        .optional("vncPort", ArgType::Int, "")
+                        .optional("password", ArgType::Str, "")
+                        .optional("accessHost", ArgType::Word, ""),
+                )
+                .with(
+                    CmdSpec::new("onSelector", "sink")
+                        .optional("service", ArgType::Str, "")
+                        .optional("cmd", ArgType::Str, "")
+                        .optional("username", ArgType::Word, "")
+                        .optional("accessHost", ArgType::Word, "")
+                        .optional("workspaces", ArgType::Vector(ace_lang::ScalarType::Str), ""),
+                )
         }
         fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
             match cmd.name() {
@@ -333,13 +377,16 @@ fn scenario3_and_4_show_and_selector() {
     let last_ready = Arc::clone(&recorder.last_ready);
     let rec = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("recorder", "Service.Test", "machineroom", "core", 5700),
+        w.fw.service_config("recorder", "Service.Test", "machineroom", "core", 5700),
         Box::new(recorder),
     )
     .unwrap();
-    let mut to_wss = ServiceClient::connect(&w.net, &"core".into(), wss.addr().clone(), &me).unwrap();
-    for (event, sink) in [("workspaceReady", "onReady"), ("workspaceSelector", "onSelector")] {
+    let mut to_wss =
+        ServiceClient::connect(&w.net, &"core".into(), wss.addr().clone(), &me).unwrap();
+    for (event, sink) in [
+        ("workspaceReady", "onReady"),
+        ("workspaceSelector", "onSelector"),
+    ] {
         to_wss
             .call_ok(
                 &CmdLine::new("addNotification")
@@ -353,9 +400,17 @@ fn scenario3_and_4_show_and_selector() {
     }
 
     // Register John (auto-creates the default workspace).
-    let mut aud_client = UserDbClient::connect(&w.net, &"core".into(), aud.addr().clone(), &me).unwrap();
+    let mut aud_client =
+        UserDbClient::connect(&w.net, &"core".into(), aud.addr().clone(), &me).unwrap();
     aud_client
-        .add_user("jdoe", "John Doe", "pw", &john.principal(), Some("fp_jdoe"), None)
+        .add_user(
+            "jdoe",
+            "John Doe",
+            "pw",
+            &john.principal(),
+            Some("fp_jdoe"),
+            None,
+        )
         .unwrap();
     // Wait for the workspace to exist.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -370,13 +425,17 @@ fn scenario3_and_4_show_and_selector() {
     }
 
     // Scenario 3: John identifies at the podium → workspaceReady.
-    let mut scanner = ServiceClient::connect(&w.net, &"podium".into(), fiu.addr().clone(), &john).unwrap();
+    let mut scanner =
+        ServiceClient::connect(&w.net, &"podium".into(), fiu.addr().clone(), &john).unwrap();
     scanner
         .call(&CmdLine::new("press").arg("template", Value::Str("fp_jdoe".into())))
         .unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while ready.load(Ordering::SeqCst) == 0 {
-        assert!(std::time::Instant::now() < deadline, "workspaceReady never fired");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "workspaceReady never fired"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
     // The event carries everything the access point needs to attach.
@@ -384,14 +443,32 @@ fn scenario3_and_4_show_and_selector() {
     assert_eq!(event.get_text("accessHost"), Some("podium"));
     let session = event.get_text("session").unwrap().to_string();
     let password = event.get_text("password").unwrap().to_string();
-    let vnc_addr = Addr::new(event.get_text("vncHost").unwrap(), event.get_int("vncPort").unwrap() as u16);
-    let viewer = VncViewer::attach(&w.net, &"podium".into(), 6100, &vnc_addr, &session, &password, &me);
-    assert!(viewer.is_ok(), "access point can attach with the event's coordinates");
+    let vnc_addr = Addr::new(
+        event.get_text("vncHost").unwrap(),
+        event.get_int("vncPort").unwrap() as u16,
+    );
+    let viewer = VncViewer::attach(
+        &w.net,
+        &"podium".into(),
+        6100,
+        &vnc_addr,
+        &session,
+        &password,
+        &me,
+    );
+    assert!(
+        viewer.is_ok(),
+        "access point can attach with the event's coordinates"
+    );
 
     // Scenario 4: a second workspace → the selector fires on the next
     // identification.
     to_wss
-        .call(&CmdLine::new("wssCreate").arg("user", "jdoe").arg("name", "slides"))
+        .call(
+            &CmdLine::new("wssCreate")
+                .arg("user", "jdoe")
+                .arg("name", "slides"),
+        )
         .unwrap();
     scanner
         .call(&CmdLine::new("press").arg("template", Value::Str("fp_jdoe".into())))
@@ -424,31 +501,41 @@ fn wss_remove_closes_session() {
     let me = keypair();
     let vnc = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("vnc_bar", "Service.VNCHost", "machineroom", "bar", 5500),
+        w.fw.service_config("vnc_bar", "Service.VNCHost", "machineroom", "bar", 5500),
         Box::new(VncHost::new()),
     )
     .unwrap();
     let wss = Daemon::spawn(
         &w.net,
-        w.fw
-            .service_config("wss", "Service.WorkspaceServer", "machineroom", "core", 5600),
+        w.fw.service_config(
+            "wss",
+            "Service.WorkspaceServer",
+            "machineroom",
+            "core",
+            5600,
+        ),
         Box::new(Wss::new()),
     )
     .unwrap();
 
-    let mut client = ServiceClient::connect(&w.net, &"core".into(), wss.addr().clone(), &me).unwrap();
+    let mut client =
+        ServiceClient::connect(&w.net, &"core".into(), wss.addr().clone(), &me).unwrap();
     let created = client
         .call(&CmdLine::new("wssCreate").arg("user", "jdoe"))
         .unwrap();
     let session = created.get_text("session").unwrap().to_string();
 
     client
-        .call_ok(&CmdLine::new("wssRemove").arg("user", "jdoe").arg("name", "default"))
+        .call_ok(
+            &CmdLine::new("wssRemove")
+                .arg("user", "jdoe")
+                .arg("name", "default"),
+        )
         .unwrap();
 
     // The session is gone on the VNC host.
-    let mut vnc_client = ServiceClient::connect(&w.net, &"core".into(), vnc.addr().clone(), &me).unwrap();
+    let mut vnc_client =
+        ServiceClient::connect(&w.net, &"core".into(), vnc.addr().clone(), &me).unwrap();
     let err = vnc_client
         .call(&CmdLine::new("vncState").arg("session", session.as_str()))
         .unwrap_err();

@@ -48,7 +48,8 @@ fn main() {
     let stc = spawn("speech_to_command", Box::new(SpeechToCommand::new()), 6005);
     let tts = spawn("text_to_speech", Box::new(TextToSpeech::new()), 6006);
 
-    let client = |addr: &Addr| ServiceClient::connect(&net, &"core".into(), addr.clone(), &me).unwrap();
+    let client =
+        |addr: &Addr| ServiceClient::connect(&net, &"core".into(), addr.clone(), &me).unwrap();
     let add_sink = |c: &mut ServiceClient, sink: &Addr| {
         c.call_ok(
             &CmdLine::new("addSink")
@@ -60,8 +61,12 @@ fn main() {
 
     // Wire: mic mixer → echo canceller → distribution → recorder.
     let mut mixer = client(&mic_mixer);
-    mixer.call_ok(&CmdLine::new("addInput").arg("stream", "voice")).unwrap();
-    mixer.call_ok(&CmdLine::new("addInput").arg("stream", "echopath")).unwrap();
+    mixer
+        .call_ok(&CmdLine::new("addInput").arg("stream", "voice"))
+        .unwrap();
+    mixer
+        .call_ok(&CmdLine::new("addInput").arg("stream", "echopath"))
+        .unwrap();
     add_sink(&mut mixer, &echo);
     let mut echo_c = client(&echo);
     add_sink(&mut echo_c, &dist);
@@ -91,8 +96,20 @@ fn main() {
     let mut speaker_c = client(&speaker);
     for seq in 0..FRAMES {
         let range = seq * FRAME..(seq + 1) * FRAME;
-        push(&mut speaker_c, "push", "fromRemote", seq, &far_end[range.clone()]);
-        push(&mut echo_c, "pushRef", "fromRemote", seq, &far_end[range.clone()]);
+        push(
+            &mut speaker_c,
+            "push",
+            "fromRemote",
+            seq,
+            &far_end[range.clone()],
+        );
+        push(
+            &mut echo_c,
+            "pushRef",
+            "fromRemote",
+            seq,
+            &far_end[range.clone()],
+        );
         push(&mut mixer, "push", "voice", seq, &voice[range.clone()]);
         push(&mut mixer, "push", "echopath", seq, &echoed[range]);
     }

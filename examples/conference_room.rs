@@ -38,7 +38,10 @@ fn main() {
     let t = Instant::now();
     ace.register_user("jdoe", "John Doe", "hunter2", &john, Some("fp_jdoe"), None)
         .unwrap();
-    println!("  [1] registered in the AUD + fingerprint enrolled ({:?})", t.elapsed());
+    println!(
+        "  [1] registered in the AUD + fingerprint enrolled ({:?})",
+        t.elapsed()
+    );
 
     let mut wss = ace.client("wss").unwrap();
     let took = wait_until(Duration::from_secs(10), || {
@@ -75,8 +78,12 @@ fn main() {
 
     // ── Scenario 4: second workspace + selector ─────────────────────────
     println!("Scenario 4 — a second workspace raises the selector");
-    wss.call(&CmdLine::new("wssCreate").arg("user", "jdoe").arg("name", "slides"))
-        .unwrap();
+    wss.call(
+        &CmdLine::new("wssCreate")
+            .arg("user", "jdoe")
+            .arg("name", "slides"),
+    )
+    .unwrap();
     ace.press_finger("fp_jdoe").unwrap();
     std::thread::sleep(Duration::from_millis(300));
     let shown = wss
@@ -109,7 +116,12 @@ fn main() {
     let mut camera = ace.client("camera_hawk").unwrap();
     camera.call_ok(&CmdLine::new("ptzOn")).unwrap();
     let moved = camera
-        .call(&CmdLine::new("ptzMove").arg("x", 35.0).arg("y", -10.0).arg("zoom", 2.0))
+        .call(
+            &CmdLine::new("ptzMove")
+                .arg("x", 35.0)
+                .arg("y", -10.0)
+                .arg("zoom", 2.0),
+        )
         .unwrap();
     println!(
         "  camera: pointed at the podium (pan={} tilt={} zoom={})",

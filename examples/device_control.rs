@@ -80,7 +80,12 @@ fn main() {
     camera.call_ok(&CmdLine::new("ptzOn")).unwrap();
     for (x, y, zoom) in [(10.0, 5.0, 1.0), (45.0, -8.0, 3.0), (-30.0, 12.0, 2.0)] {
         let moved = camera
-            .call(&CmdLine::new("ptzMove").arg("x", x).arg("y", y).arg("zoom", zoom))
+            .call(
+                &CmdLine::new("ptzMove")
+                    .arg("x", x)
+                    .arg("y", y)
+                    .arg("zoom", zoom),
+            )
             .unwrap();
         println!(
             "ptzMove → pan={:>6.1}° tilt={:>6.1}° zoom={:>4.1}x",

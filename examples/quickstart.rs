@@ -21,10 +21,11 @@ impl ServiceBehavior for Lamp {
         Semantics::new()
             .with(CmdSpec::new("lampOn", "switch the lamp on"))
             .with(CmdSpec::new("lampOff", "switch the lamp off"))
-            .with(
-                CmdSpec::new("lampDim", "set the brightness")
-                    .required("level", ArgType::Float, "brightness in [0, 1]"),
-            )
+            .with(CmdSpec::new("lampDim", "set the brightness").required(
+                "level",
+                ArgType::Float,
+                "brightness in [0, 1]",
+            ))
             .with(CmdSpec::new("lampStatus", "current state"))
     }
 
@@ -45,9 +46,9 @@ impl ServiceBehavior for Lamp {
                 self.brightness = cmd.get_f64("level").expect("validated").clamp(0.0, 1.0);
                 Reply::ok()
             }
-            "lampStatus" => Reply::ok_with(|c| {
-                c.arg("on", self.on).arg("brightness", self.brightness)
-            }),
+            "lampStatus" => {
+                Reply::ok_with(|c| c.arg("on", self.on).arg("brightness", self.brightness))
+            }
             other => Reply::err(ErrorCode::Internal, format!("unrouted `{other}`")),
         }
     }
@@ -67,7 +68,13 @@ fn main() {
     // the ASD (getting a lease), and the logger automatically.
     let lamp = Daemon::spawn(
         &net,
-        fw.service_config("desklamp", "Service.Device.Lamp", "office101", "office", 4000),
+        fw.service_config(
+            "desklamp",
+            "Service.Device.Lamp",
+            "office101",
+            "office",
+            4000,
+        ),
         Box::new(Lamp {
             on: false,
             brightness: 1.0,
@@ -86,11 +93,16 @@ fn main() {
         .into_iter()
         .next()
         .expect("lamp discovered");
-    println!("discovered `{}` in room {} at {}", entry.name, entry.room, entry.addr);
+    println!(
+        "discovered `{}` in room {} at {}",
+        entry.name, entry.room, entry.addr
+    );
 
     let mut client = ServiceClient::connect(&net, &"core".into(), entry.addr, &me).unwrap();
     client.call_ok(&CmdLine::new("lampOn")).unwrap();
-    client.call_ok(&CmdLine::new("lampDim").arg("level", 0.4)).unwrap();
+    client
+        .call_ok(&CmdLine::new("lampDim").arg("level", 0.4))
+        .unwrap();
     let status = client.call(&CmdLine::new("lampStatus")).unwrap();
     println!(
         "lamp status: on={} brightness={}",

@@ -7,8 +7,8 @@
 //! cargo run --example robust_recovery
 //! ```
 
-use ace_core::prelude::*;
 use ace_apps::{wire_watcher, AppClass, RobustCounter, WatchSpec, Watcher};
+use ace_core::prelude::*;
 use ace_directory::bootstrap;
 use ace_security::keys::KeyPair;
 use ace_store::spawn_store_cluster;
@@ -37,7 +37,11 @@ fn main() {
         let cfg = cfg.clone();
         let replicas = replicas.clone();
         move |net: &SimNet| {
-            Daemon::spawn(net, cfg.clone(), Box::new(RobustCounter::new(replicas.clone())))
+            Daemon::spawn(
+                net,
+                cfg.clone(),
+                Box::new(RobustCounter::new(replicas.clone())),
+            )
         }
     };
     let first = spawn_notes(&net).expect("robust service");

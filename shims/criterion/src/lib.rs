@@ -1,0 +1,281 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal benchmark harness exposing the API subset the workspace's
+//! benches use.  It times each routine over a fixed sample budget and
+//! prints mean per-iteration time — no statistical analysis, plots, or
+//! baseline comparisons.  Numbers are indicative, not criterion-grade.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Accepted as a benchmark name: `&str` or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Throughput annotation (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Batch sizing for `iter_batched` (advisory only here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// (total time, iterations) of the measured run.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly within the measurement budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and calibration: find an iteration count that fills the
+        // measurement window without calling Instant::now in the hot loop.
+        let calib_start = Instant::now();
+        black_box(routine());
+        let once = calib_start.elapsed().max(Duration::from_nanos(1));
+        let target = self.measurement_time;
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup excluded from
+    /// timing).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let calib_input = setup();
+        let calib_start = Instant::now();
+        black_box(routine(calib_input));
+        let once = calib_start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.measurement_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+fn report(group: Option<&str>, id: &str, result: Option<(Duration, u64)>) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    match result {
+        Some((total, iters)) if iters > 0 => {
+            let per_iter = total.as_nanos() as f64 / iters as f64;
+            let (value, unit) = if per_iter >= 1e9 {
+                (per_iter / 1e9, "s")
+            } else if per_iter >= 1e6 {
+                (per_iter / 1e6, "ms")
+            } else if per_iter >= 1e3 {
+                (per_iter / 1e3, "µs")
+            } else {
+                (per_iter, "ns")
+            };
+            println!("bench {full:<50} {value:>10.3} {unit}/iter  ({iters} iters)");
+        }
+        _ => println!("bench {full:<50} (no measurement)"),
+    }
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            // Small budget: these benches run in CI smoke mode, not for
+            // statistically rigorous numbers.
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        // Scale down: the shim runs one sample, not `sample_size` of them.
+        self.measurement_time = (t / 10).max(Duration::from_millis(50));
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut bencher);
+        report(None, &id.into_id(), bencher.result);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = (t / 10).max(Duration::from_millis(50));
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            measurement_time: self.criterion.measurement_time,
+            result: None,
+        };
+        f(&mut bencher);
+        report(Some(&self.name), &id.into_id(), bencher.result);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            measurement_time: self.criterion.measurement_time,
+            result: None,
+        };
+        f(&mut bencher, input);
+        report(Some(&self.name), &id.into_id(), bencher.result);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `criterion_group!` in both plain and `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// `criterion_main!`: run every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

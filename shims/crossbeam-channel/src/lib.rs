@@ -1,0 +1,398 @@
+//! Offline stand-in for the `crossbeam-channel` crate.
+//!
+//! MPMC channels with cloneable senders *and* receivers, blocking and
+//! timed receives, and disconnection semantics matching crossbeam's:
+//! `recv` drains remaining messages after all senders drop and only then
+//! reports disconnection; `send` fails once every receiver is gone.
+//! Built on `Mutex` + `Condvar` — slower than crossbeam proper but
+//! behaviorally equivalent for this workspace's daemon message queues.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => write!(f, "channel is disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => write!(f, "channel is disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    capacity: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+/// A channel of unbounded capacity.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// A channel holding at most `cap` messages (`cap == 0` behaves as 1; the
+/// workspace never uses rendezvous channels).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+/// The sending half; cloneable.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Block until the message is enqueued (or every receiver is gone).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.inner.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self
+                        .inner
+                        .not_full
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // Wake blocked receivers so they observe disconnection.
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sender")
+    }
+}
+
+/// The receiving half; cloneable.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Receiver<T> {
+    fn pop(&self, state: &mut State<T>) -> Option<T> {
+        let value = state.queue.pop_front();
+        if value.is_some() {
+            self.inner.not_full.notify_one();
+        }
+        value
+    }
+
+    /// Block until a message arrives or all senders disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = self.pop(&mut state) {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .inner
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Block up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = self.pop(&mut state) {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .inner
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = self.pop(&mut state) {
+            return Ok(v);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+
+    /// Is the queue empty right now?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking iterator over messages until disconnection.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .receivers += 1;
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.receivers -= 1;
+        let last = state.receivers == 0;
+        drop(state);
+        if last {
+            // Wake blocked senders so they observe disconnection.
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Receiver")
+    }
+}
+
+/// Iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+    }
+
+    #[test]
+    fn disconnection_drains_before_erroring() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_with_no_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        t.join().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn mpmc_across_threads() {
+        let (tx, rx) = unbounded();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(t * 100 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort();
+        assert_eq!(got, (0..400).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,209 @@
+//! String strategies from regex-like patterns.
+//!
+//! In proptest, a `&str` is itself a strategy: it generates strings
+//! matching the pattern.  This shim supports the subset the workspace's
+//! tests use — sequences of character classes (`[A-Za-z0-9_]`, with
+//! ranges and literals), literal characters, `\PC` (any non-control
+//! character), and `{m,n}` / `{n}` / `*` / `+` / `?` quantifiers.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Upper bound substituted for `*`/`+` (generation must terminate).
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Explicit set of candidate characters.
+    Class(Vec<char>),
+    /// Any printable (non-control) character, `\PC`.
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32, // inclusive
+}
+
+fn parse_class(body: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut pending: Option<char> = None;
+    while let Some(c) = body.next() {
+        if c == ']' {
+            break;
+        }
+        if c == '-' {
+            // `a-z` range when between two members; literal `-` otherwise.
+            if let (Some(lo), Some(&hi)) = (pending, body.peek()) {
+                if hi != ']' {
+                    body.next();
+                    set.pop();
+                    for ch in lo..=hi {
+                        set.push(ch);
+                    }
+                    pending = None;
+                    continue;
+                }
+            }
+            set.push('-');
+            pending = Some('-');
+            continue;
+        }
+        set.push(c);
+        pending = Some(c);
+    }
+    set
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for q in chars.by_ref() {
+                if q == '}' {
+                    break;
+                }
+                spec.push(q);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or(0),
+                    hi.trim().parse().unwrap_or(UNBOUNDED_CAP),
+                ),
+                None => {
+                    let n = spec.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        }
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_CAP)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn compile(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => match chars.next() {
+                Some('P') => {
+                    let _ = chars.next(); // the category letter, e.g. `C`
+                    Atom::Printable
+                }
+                Some('n') => Atom::Class(vec!['\n']),
+                Some('t') => Atom::Class(vec!['\t']),
+                Some(other) => Atom::Class(vec![other]),
+                None => break,
+            },
+            literal => Atom::Class(vec![literal]),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Class(set) => {
+            assert!(!set.is_empty(), "empty character class");
+            set[rng.below(set.len() as u64) as usize]
+        }
+        Atom::Printable => loop {
+            // Mostly ASCII, occasionally wider unicode — mirrors proptest's
+            // bias toward common characters.
+            let candidate = if rng.below(4) > 0 {
+                char::from_u32(0x20 + rng.below(0x5f) as u32)
+            } else {
+                char::from_u32(rng.below(0x2500) as u32)
+            };
+            if let Some(c) = candidate {
+                if !c.is_control() {
+                    return c;
+                }
+            }
+        },
+    }
+}
+
+/// A `&str` used as a strategy generates matching strings.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = compile(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+            for _ in 0..count {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_pattern_generates_words() {
+        let mut rng = TestRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let s = "[A-Za-z_][A-Za-z0-9_]{0,11}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 12, "{s:?}");
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{s:?}");
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_range_pattern_stays_printable() {
+        let mut rng = TestRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = "[ -~]{0,24}".generate(&mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_literal_dash_and_exclusion() {
+        let mut rng = TestRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let s = "[ -!#-~]{1,8}".generate(&mut rng);
+            assert!(
+                s.chars().all(|c| c != '"' && (' '..='~').contains(&c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pc_pattern_is_non_control() {
+        let mut rng = TestRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let s = "\\PC{0,64}".generate(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The case runner and its deterministic RNG.
+
+use std::fmt;
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Give up after this many consecutive `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 256,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: discard and regenerate.
+    Reject(String),
+    /// `prop_assert*` failed: the property is false.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic splitmix64 generator used for value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn base_seed(test_name: &str) -> u64 {
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(n) = seed.trim().parse::<u64>() {
+            return n;
+        }
+    }
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Drive one property through `config.cases` successful cases.
+pub fn run(test_name: &str, config: &Config, mut case: impl FnMut(&mut TestRng) -> TestCaseResult) {
+    let seed = base_seed(test_name);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        let case_seed = seed ^ attempt.wrapping_mul(0xA24BAED4963EE407);
+        attempt += 1;
+        let mut rng = TestRng::seed_from_u64(case_seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest `{test_name}`: too many prop_assume rejections \
+                         ({rejected}) before reaching {} cases",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{test_name}` failed after {passed} passing case(s) \
+                     (case seed {case_seed:#x}, set PROPTEST_SEED to replay):\n{msg}"
+                );
+            }
+        }
+    }
+}

@@ -50,7 +50,10 @@ fn directory_tracks_crash_loops() {
             Box::new(Echo),
         )
         .unwrap();
-        assert!(asd.find("flaky").unwrap().is_some(), "round {round}: registered");
+        assert!(
+            asd.find("flaky").unwrap().is_some(),
+            "round {round}: registered"
+        );
 
         // Kill its host abruptly.
         net.kill_host(&"flaky".into());
@@ -59,7 +62,10 @@ fn directory_tracks_crash_loops() {
         // The lease purges it.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while asd.find("flaky").unwrap().is_some() {
-            assert!(std::time::Instant::now() < deadline, "round {round}: never purged");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "round {round}: never purged"
+            );
             std::thread::sleep(Duration::from_millis(25));
         }
 
@@ -96,10 +102,15 @@ fn store_survives_partition_and_heals() {
         net.partition(&"s3".into(), &other.into());
     }
     for i in 0..20 {
-        client.put("chaos", &format!("k{i}"), b"during partition").unwrap();
+        client
+            .put("chaos", &format!("k{i}"), b"during partition")
+            .unwrap();
     }
     for i in 0..20 {
-        assert_eq!(client.get("chaos", &format!("k{i}")).unwrap(), b"during partition");
+        assert_eq!(
+            client.get("chaos", &format!("k{i}")).unwrap(),
+            b"during partition"
+        );
     }
     let s3_disk = &cluster.replicas[2].1;
     assert!(
@@ -111,8 +122,7 @@ fn store_survives_partition_and_heals() {
     net.heal_all();
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
-        let caught_up =
-            (0..20).all(|i| s3_disk.get(&("chaos".into(), format!("k{i}"))).is_some());
+        let caught_up = (0..20).all(|i| s3_disk.get(&("chaos".into(), format!("k{i}"))).is_some());
         if caught_up {
             break;
         }
@@ -152,9 +162,7 @@ fn links_recover_after_flapping_partitions() {
         net.partition(&"core".into(), &"svc".into());
         assert!(client.call(&CmdLine::new("touch")).is_err());
         // New connections also fail.
-        assert!(
-            ServiceClient::connect(&net, &"core".into(), service.addr().clone(), &me).is_err()
-        );
+        assert!(ServiceClient::connect(&net, &"core".into(), service.addr().clone(), &me).is_err());
         net.heal_all();
     }
 
@@ -181,7 +189,9 @@ fn full_cluster_restart_preserves_data() {
     let identity = KeyPair::generate(&mut rand::thread_rng());
     let mut client = StoreClient::new(net.clone(), "core", identity, cluster.addrs.clone());
     for i in 0..10 {
-        client.put("blackout", &format!("k{i}"), b"precious").unwrap();
+        client
+            .put("blackout", &format!("k{i}"), b"precious")
+            .unwrap();
     }
 
     // Total blackout.
@@ -213,7 +223,10 @@ fn full_cluster_restart_preserves_data() {
         cluster.addrs.clone(),
     );
     for i in 0..10 {
-        assert_eq!(client2.get("blackout", &format!("k{i}")).unwrap(), b"precious");
+        assert_eq!(
+            client2.get("blackout", &format!("k{i}")).unwrap(),
+            b"precious"
+        );
     }
 
     for r in revived {

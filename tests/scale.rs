@@ -102,7 +102,8 @@ fn sixteen_links_one_daemon() {
 
     // Still alive and responsive.
     let me = KeyPair::generate(&mut rand::thread_rng());
-    let mut probe = ServiceClient::connect(&net, &"core".into(), target.addr().clone(), &me).unwrap();
+    let mut probe =
+        ServiceClient::connect(&net, &"core".into(), target.addr().clone(), &me).unwrap();
     probe.call_ok(&CmdLine::new("ping")).unwrap();
 
     target.shutdown();
@@ -141,14 +142,22 @@ fn aud_sustained_mixed_load() {
     // Mixed reads across all three indexes.
     for i in (0..USERS).step_by(7) {
         assert_eq!(
-            client.find_by_fingerprint(&format!("fp{i}")).unwrap().as_deref(),
+            client
+                .find_by_fingerprint(&format!("fp{i}"))
+                .unwrap()
+                .as_deref(),
             Some(format!("u{i}").as_str())
         );
         assert_eq!(
-            client.find_by_ibutton(&format!("ib{i}")).unwrap().as_deref(),
+            client
+                .find_by_ibutton(&format!("ib{i}"))
+                .unwrap()
+                .as_deref(),
             Some(format!("u{i}").as_str())
         );
-        client.set_location(&format!("u{i}"), "hawk", "core").unwrap();
+        client
+            .set_location(&format!("u{i}"), "hawk", "core")
+            .unwrap();
     }
     // Remove a third; indexes must drop the entries.
     for i in (0..USERS).step_by(3) {
@@ -158,7 +167,10 @@ fn aud_sustained_mixed_load() {
             .unwrap();
         assert_eq!(client.find_by_fingerprint(&format!("fp{i}")).unwrap(), None);
     }
-    assert_eq!(client.list_users().unwrap().len(), USERS - USERS.div_ceil(3));
+    assert_eq!(
+        client.list_users().unwrap().len(),
+        USERS - USERS.div_ceil(3)
+    );
 
     aud.shutdown();
     fw.shutdown();

@@ -52,8 +52,7 @@ fn scenario1_new_user_and_workspace() {
     // The VNC server process was accounted on some host through the SAL.
     let mut srm = ace.client("srm").unwrap();
     let reply = srm.call(&CmdLine::new("systemResources")).unwrap();
-    let rows =
-        ace_resources::system_rows_from_value(reply.get("hosts").unwrap()).unwrap();
+    let rows = ace_resources::system_rows_from_value(reply.get("hosts").unwrap()).unwrap();
     let total_apps: i64 = rows.iter().map(|r| r.5).sum();
     assert!(total_apps >= 1, "vncserver accounted: {rows:?}");
 
@@ -127,8 +126,12 @@ fn scenario4_multiple_workspaces() {
             .unwrap_or(false)
     }));
     // A second workspace for the presentation.
-    wss.call(&CmdLine::new("wssCreate").arg("user", "jdoe").arg("name", "slides"))
-        .unwrap();
+    wss.call(
+        &CmdLine::new("wssCreate")
+            .arg("user", "jdoe")
+            .arg("name", "slides"),
+    )
+    .unwrap();
 
     let shows_before = wss
         .call(&CmdLine::new("wssStats"))
@@ -193,7 +196,10 @@ fn scenario5_services_and_devices() {
     let placements = roomdb.room_services("hawk").unwrap();
     let names: Vec<&str> = placements.iter().map(|p| p.service.as_str()).collect();
     for expected in ["camera_hawk", "projector_hawk", "fiu_hawk"] {
-        assert!(names.contains(&expected), "{expected} placed in hawk: {names:?}");
+        assert!(
+            names.contains(&expected),
+            "{expected} placed in hawk: {names:?}"
+        );
     }
 
     // Discovery via the ASD by class (Fig. 7), then command the devices.
@@ -239,7 +245,12 @@ fn scenario5_services_and_devices() {
     .unwrap();
     camera.call_ok(&CmdLine::new("ptzOn")).unwrap();
     let moved = camera
-        .call(&CmdLine::new("ptzMove").arg("x", 35.0).arg("y", -10.0).arg("zoom", 2.0))
+        .call(
+            &CmdLine::new("ptzMove")
+                .arg("x", 35.0)
+                .arg("y", -10.0)
+                .arg("zoom", 2.0),
+        )
         .unwrap();
     assert_eq!(moved.get_f64("x"), Some(35.0));
     // VCC4 extension: store/recall the podium preset (hierarchy in action).
@@ -270,7 +281,12 @@ fn camera_limits_clamp() {
     let mut camera = ace.client("camera_hawk").unwrap();
     camera.call_ok(&CmdLine::new("ptzOn")).unwrap();
     let moved = camera
-        .call(&CmdLine::new("ptzMove").arg("x", 500.0).arg("y", -500.0).arg("zoom", 99.0))
+        .call(
+            &CmdLine::new("ptzMove")
+                .arg("x", 500.0)
+                .arg("y", -500.0)
+                .arg("zoom", 99.0),
+        )
         .unwrap();
     // VCC4 limits: ±100 pan, ±30 tilt, 16x zoom.
     assert_eq!(moved.get_f64("x"), Some(100.0));
@@ -284,7 +300,12 @@ fn camera_limits_clamp() {
 fn environment_store_roundtrip() {
     let ace = env();
     let mut store = ace.store_client(keypair()).expect("cluster present");
-    store.put("workspace", "jdoe_default", b"state blob").unwrap();
-    assert_eq!(store.get("workspace", "jdoe_default").unwrap(), b"state blob");
+    store
+        .put("workspace", "jdoe_default", b"state blob")
+        .unwrap();
+    assert_eq!(
+        store.get("workspace", "jdoe_default").unwrap(),
+        b"state blob"
+    );
     ace.shutdown();
 }
