@@ -19,7 +19,8 @@ fn bench_disk(c: &mut Criterion) {
         let disk = DiskImage::new();
         let mut i = 0u64;
         b.iter(|| {
-            disk.apply(("ns".into(), format!("k{i}")), value(1));
+            disk.apply(("ns".into(), format!("k{i}")), value(1))
+                .unwrap();
             i += 1;
         })
     });
@@ -27,16 +28,17 @@ fn bench_disk(c: &mut Criterion) {
     group.bench_function("apply_overwrite", |b| {
         let disk = DiskImage::new();
         let mut version = 1u64;
-        disk.apply(("ns".into(), "k".into()), value(0));
+        disk.apply(("ns".into(), "k".into()), value(0)).unwrap();
         b.iter(|| {
-            disk.apply(("ns".into(), "k".into()), value(version));
+            disk.apply(("ns".into(), "k".into()), value(version))
+                .unwrap();
             version += 1;
         })
     });
 
     group.bench_function("get_hit", |b| {
         let disk = DiskImage::new();
-        disk.apply(("ns".into(), "k".into()), value(1));
+        disk.apply(("ns".into(), "k".into()), value(1)).unwrap();
         let key = ("ns".to_string(), "k".to_string());
         b.iter(|| std::hint::black_box(disk.get(&key)))
     });
@@ -44,7 +46,8 @@ fn bench_disk(c: &mut Criterion) {
     for entries in [100usize, 1000] {
         let disk = DiskImage::new();
         for i in 0..entries {
-            disk.apply(("ns".into(), format!("k{i}")), value(1));
+            disk.apply(("ns".into(), format!("k{i}")), value(1))
+                .unwrap();
         }
         group.bench_with_input(BenchmarkId::new("digest", entries), &disk, |b, disk| {
             b.iter(|| std::hint::black_box(disk.digest()))

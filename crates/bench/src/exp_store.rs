@@ -7,7 +7,10 @@ use ace_apps::{wire_watcher, AppClass, RobustCounter, WatchSpec, Watcher};
 use ace_core::prelude::*;
 use ace_directory::bootstrap;
 use ace_security::keys::KeyPair;
-use ace_store::{respawn_replica, spawn_store_cluster, StoreClient};
+use ace_store::{
+    respawn_replica, spawn_store_cluster, DiskImage, MemStorage, StorageHandle, StoreClient,
+    WalConfig,
+};
 use std::time::{Duration, Instant};
 
 fn keypair() -> KeyPair {
@@ -149,6 +152,81 @@ pub fn e15() {
         }
     }
     fw.shutdown();
+
+    // WAL recovery time: what a respawned replica pays before serving,
+    // replaying an N-update history over 64 keys from (a) the raw log and
+    // (b) a compacted snapshot + log tail.
+    row(
+        "WAL recovery (N updates / 64 keys)",
+        &["log only".into(), "snapshot+tail".into(), String::new()],
+    );
+    for n in [1_000u64, 10_000] {
+        let mut timings = Vec::new();
+        for threshold in [u64::MAX, 64 << 10] {
+            let handle = StorageHandle::Memory(MemStorage::new());
+            let config = WalConfig {
+                fsync_on_commit: false,
+                compact_threshold: threshold,
+            };
+            let (disk, _) = DiskImage::open(&handle, config.clone()).unwrap();
+            for i in 0..n {
+                disk.apply(
+                    ("bench".into(), format!("k{}", i % 64)),
+                    ace_store::Versioned {
+                        data: vec![0xab; 64],
+                        version: i + 1,
+                        writer: "w".into(),
+                        deleted: false,
+                    },
+                )
+                .unwrap();
+            }
+            let replay = time_median(10, || {
+                let (recovered, _) = DiskImage::open(&handle, config.clone()).unwrap();
+                assert_eq!(recovered.len(), 64);
+            });
+            timings.push(replay);
+        }
+        row(
+            &format!("recover from {n} updates"),
+            &[fmt_dur(timings[0]), fmt_dur(timings[1]), String::new()],
+        );
+    }
+
+    // Durability policy: the per-write cost of fsync-on-commit against
+    // group-commit-style lazy sync (MemStorage, so this isolates the WAL
+    // bookkeeping itself; real disks widen the gap).
+    row(
+        "WAL append policy",
+        &["fsync on".into(), "fsync off".into(), String::new()],
+    );
+    let mut costs = Vec::new();
+    for fsync in [true, false] {
+        let handle = StorageHandle::Memory(MemStorage::new());
+        let config = WalConfig {
+            fsync_on_commit: fsync,
+            compact_threshold: u64::MAX,
+        };
+        let (disk, _) = DiskImage::open(&handle, config).unwrap();
+        let mut i = 0u64;
+        costs.push(time_median(200, || {
+            disk.apply(
+                ("bench".into(), format!("k{i}")),
+                ace_store::Versioned {
+                    data: vec![0xcd; 64],
+                    version: 1,
+                    writer: "w".into(),
+                    deleted: false,
+                },
+            )
+            .unwrap();
+            i += 1;
+        }));
+    }
+    row(
+        "logged put (local apply)",
+        &[fmt_dur(costs[0]), fmt_dur(costs[1]), String::new()],
+    );
 }
 
 /// E19 (§9): robust-service mean time to recovery across lease durations —

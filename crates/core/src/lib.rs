@@ -74,7 +74,9 @@ pub use link::{LinkError, SecureLink};
 pub use notify::{NotificationRegistry, Notifier, Registration};
 pub use protocol::{ServiceEntry, ASD_PORT, LOGGER_PORT, ROOMDB_PORT};
 pub use retry::{Retry, RetryPolicy};
-pub use supervise::{RestartPolicy, SuperviseError, SupervisedSpec, Supervisor, SupervisorReport};
+pub use supervise::{
+    Respawn, RespawnFn, RestartPolicy, SuperviseError, SupervisedSpec, Supervisor, SupervisorReport,
+};
 
 /// Everything needed to implement and run a service.
 pub mod prelude {
@@ -85,7 +87,7 @@ pub mod prelude {
     pub use crate::failover::FailoverClient;
     pub use crate::protocol::ServiceEntry;
     pub use crate::retry::{Retry, RetryPolicy};
-    pub use crate::supervise::{RestartPolicy, SupervisedSpec, Supervisor};
+    pub use crate::supervise::{Respawn, RestartPolicy, SupervisedSpec, Supervisor};
     pub use ace_lang::{ArgType, CmdLine, CmdSpec, ErrorCode, Reply, Scalar, Semantics, Value};
     pub use ace_net::{Addr, HostId, SimNet};
 }

@@ -29,9 +29,32 @@ use ace_net::SimNet;
 use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
 
+/// A successful respawn: the new instance plus an optional recovery note
+/// (e.g. what the store replica's WAL replay found), surfaced in the
+/// supervisor's restart log line.
+pub struct Respawn {
+    pub handle: DaemonHandle,
+    pub note: Option<String>,
+}
+
+impl Respawn {
+    pub fn with_note(handle: DaemonHandle, note: impl Into<String>) -> Respawn {
+        Respawn {
+            handle,
+            note: Some(note.into()),
+        }
+    }
+}
+
+impl From<DaemonHandle> for Respawn {
+    fn from(handle: DaemonHandle) -> Respawn {
+        Respawn { handle, note: None }
+    }
+}
+
 /// How a respawned instance is created.  The factory owns whatever state
 /// the new instance must recover (disk images, checkpoints, ports).
-pub type RespawnFn = Box<dyn FnMut(&SimNet) -> Result<DaemonHandle, SpawnError> + Send>;
+pub type RespawnFn = Box<dyn FnMut(&SimNet) -> Result<Respawn, SpawnError> + Send>;
 
 /// One service under supervision.
 pub struct SupervisedSpec {
@@ -272,7 +295,7 @@ impl Supervisor {
         }
 
         match (s.spec.respawn)(ctx.net()) {
-            Ok(handle) => {
+            Ok(Respawn { handle, note }) => {
                 // The old instance (if we held one) is dead; reap it.
                 if let Some(old) = s.handle.take() {
                     old.crash();
@@ -281,7 +304,13 @@ impl Supervisor {
                 s.restarts.push_back(now);
                 s.total_restarts += 1;
                 s.state = ServiceState::Watching { failures: 0 };
-                ctx.log("warn", format!("restarted supervised service {name}"));
+                match note {
+                    Some(note) => ctx.log(
+                        "warn",
+                        format!("restarted supervised service {name} ({note})"),
+                    ),
+                    None => ctx.log("warn", format!("restarted supervised service {name}")),
+                }
                 ctx.fire_event(CmdLine::new("serviceRestarted").arg("name", name));
             }
             Err(e) => {

@@ -16,12 +16,12 @@
 //! 4. a name-bound failover client converges once the plan ends.
 
 use ace_core::prelude::*;
-use ace_core::supervise::{wire_supervisor, RestartPolicy, SupervisedSpec, Supervisor};
+use ace_core::supervise::{wire_supervisor, Respawn, RestartPolicy, SupervisedSpec, Supervisor};
 use ace_core::{FailoverClient, RetryPolicy, ServiceClient};
 use ace_directory::{bootstrap, AsdClient};
 use ace_net::fault::{FaultPlan, FaultPlanConfig};
 use ace_security::keys::KeyPair;
-use ace_store::{spawn_store_cluster, StoreClient, StoreReplica, STORE_PORT};
+use ace_store::{spawn_store_cluster, DiskImage, StoreClient, StoreReplica, WalConfig, STORE_PORT};
 use std::time::{Duration, Instant};
 
 const STORE_SYNC: Duration = Duration::from_millis(50);
@@ -63,8 +63,10 @@ fn run_chaos(seed: u64) {
     )
     .unwrap();
 
-    // Supervisor: store replicas respawn with their surviving DiskImage
-    // (anti-entropy then converges them); the app respawns fresh.
+    // Supervisor: store replicas respawn by *recovering* their disk image
+    // from the write-ahead log + snapshot (reopening also fences any
+    // zombie instance's storage handles); anti-entropy then converges
+    // them.  The app respawns fresh.
     let mut specs = Vec::new();
     for (i, host) in store_hosts.iter().enumerate() {
         let fw_ref = (
@@ -72,12 +74,14 @@ fn run_chaos(seed: u64) {
             fw.roomdb_addr.clone(),
             fw.logger_addr.clone(),
         );
-        let disk = cluster.replicas[i].1.clone();
+        let storage = cluster.storages[i].clone();
         let host = host.to_string();
         specs.push(SupervisedSpec::new(
             format!("store_{}", i + 1),
             Box::new(move |net: &SimNet| {
-                Daemon::spawn(
+                let (disk, report) = DiskImage::open_or_reset(&storage, WalConfig::default())
+                    .map_err(ace_store::storage_spawn_err)?;
+                let handle = Daemon::spawn(
                     net,
                     DaemonConfig::new(
                         format!("store_{}", i + 1),
@@ -89,8 +93,9 @@ fn run_chaos(seed: u64) {
                     .with_asd(fw_ref.0.clone())
                     .with_roomdb(fw_ref.1.clone())
                     .with_logger(fw_ref.2.clone()),
-                    Box::new(StoreReplica::new(disk.clone(), STORE_SYNC)),
-                )
+                    Box::new(StoreReplica::new(disk, STORE_SYNC)),
+                )?;
+                Ok(Respawn::with_note(handle, report.to_string()))
             }),
         ));
     }
@@ -111,6 +116,7 @@ fn run_chaos(seed: u64) {
                         .with_logger(fw_ref.2.clone()),
                     Box::new(Echo(0)),
                 )
+                .map(Respawn::from)
             }),
         ));
     }
@@ -143,6 +149,11 @@ fn run_chaos(seed: u64) {
     fault_config.partitionable = store_hosts.map(HostId::from).to_vec();
     fault_config.crash_windows = 4;
     fault_config.max_latency = Duration::from_millis(1);
+    // Storage faults on the replicas' disks: crashes tear the WAL append
+    // in flight, standalone windows inject torn writes and (at most one)
+    // bit flip.  Log-before-ack + recovery keep the invariants below.
+    fault_config.storage_hosts = store_hosts.map(HostId::from).to_vec();
+    fault_config.storage_fault_windows = 2;
     let plan = FaultPlan::generate(seed, &fault_config);
     assert_eq!(
         plan,
@@ -261,4 +272,23 @@ fn chaos_soak_seed_b() {
 #[test]
 fn chaos_soak_seed_c() {
     run_chaos(7);
+}
+
+/// Seed expansion hook for the CI soak job: `CHAOS_SEEDS="0xACE3,42,7"`
+/// runs each listed seed (decimal or 0x-hex).  Without the variable this
+/// test is a no-op, so ordinary `cargo test` stays fast.
+#[test]
+fn chaos_soak_env_seeds() {
+    let Ok(spec) = std::env::var("CHAOS_SEEDS") else {
+        return;
+    };
+    for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let seed = match token.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => token.parse(),
+        }
+        .unwrap_or_else(|_| panic!("CHAOS_SEEDS: unparsable seed `{token}`"));
+        eprintln!("chaos_soak: running env seed {seed:#x}");
+        run_chaos(seed);
+    }
 }

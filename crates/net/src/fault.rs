@@ -15,9 +15,78 @@
 
 use crate::addr::HostId;
 use crate::net::SimNet;
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::Rng;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// One thing a fault plan does to a host's simulated disk.  Storage faults
+/// are *armed* on a per-host hub ([`StorageFaultHub`]) and consumed by the
+/// host's storage backend at its next append, so the byte-level damage
+/// lands exactly where a real power cut or media error would: inside a
+/// write that the store has not yet acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The process dies mid-append: only the first `n` bytes of the next
+    /// append reach the disk, and the backend is dead until reopened.
+    CrashAtByte(u64),
+    /// The next append is torn after `n` bytes and reports an I/O error,
+    /// but the backend stays usable (a transient write failure).
+    TornWrite(u64),
+    /// Flip bit `i` (mod the log size in bits) of the already-persisted
+    /// log — latent media corruption discovered only on recovery.
+    BitFlip(u64),
+}
+
+impl std::fmt::Display for StorageFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageFault::CrashAtByte(n) => write!(f, "crash at byte {n} of next append"),
+            StorageFault::TornWrite(n) => write!(f, "torn write after {n} bytes"),
+            StorageFault::BitFlip(i) => write!(f, "bit flip at bit {i}"),
+        }
+    }
+}
+
+/// Per-host queue of armed storage faults.  Cloneable shared handle; the
+/// [`SimNet`] owns one (see `SimNet::storage_faults`) so fault plans and
+/// storage backends meet without the net crate knowing about the store.
+#[derive(Debug, Clone, Default)]
+pub struct StorageFaultHub {
+    inner: Arc<Mutex<HashMap<HostId, VecDeque<StorageFault>>>>,
+}
+
+impl StorageFaultHub {
+    pub fn new() -> StorageFaultHub {
+        StorageFaultHub::default()
+    }
+
+    /// Arm a fault for `host`; its backend consumes it on the next append.
+    pub fn arm(&self, host: &HostId, fault: StorageFault) {
+        self.inner
+            .lock()
+            .entry(host.clone())
+            .or_default()
+            .push_back(fault);
+    }
+
+    /// Consume the oldest armed fault for `host`, if any.
+    pub fn take(&self, host: &HostId) -> Option<StorageFault> {
+        self.inner.lock().get_mut(host)?.pop_front()
+    }
+
+    /// Drop every armed fault for `host` (the incident is over).
+    pub fn clear(&self, host: &HostId) {
+        self.inner.lock().remove(host);
+    }
+
+    /// How many faults are currently armed for `host`.
+    pub fn armed(&self, host: &HostId) -> usize {
+        self.inner.lock().get(host).map_or(0, VecDeque::len)
+    }
+}
 
 /// One thing a fault plan does to the network.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +105,8 @@ pub enum FaultKind {
     Latency(Duration),
     /// Set the datagram loss probability.
     DatagramLoss(f64),
+    /// Arm a storage fault on a host's disk (see [`StorageFault`]).
+    Storage(HostId, StorageFault),
 }
 
 /// A [`FaultKind`] scheduled at an offset from plan start.
@@ -68,6 +139,13 @@ pub struct FaultPlanConfig {
     pub max_loss: f64,
     /// Upper bound for generated latency.
     pub max_latency: Duration,
+    /// Hosts whose simulated disks are eligible for storage faults.  A
+    /// crash window on one of these also arms a crash-at-byte fault, so the
+    /// kill tears any in-flight log append.  Empty (the default) disables
+    /// storage-fault generation entirely.
+    pub storage_hosts: Vec<HostId>,
+    /// How many standalone torn-write / bit-flip windows to attempt.
+    pub storage_fault_windows: usize,
 }
 
 impl FaultPlanConfig {
@@ -87,6 +165,8 @@ impl FaultPlanConfig {
             max_concurrent_crashes: 1,
             max_loss: 0.3,
             max_latency: Duration::from_millis(2),
+            storage_hosts: Vec::new(),
+            storage_fault_windows: 0,
         }
     }
 }
@@ -152,6 +232,18 @@ impl FaultPlan {
                                 Duration::from_millis(end),
                                 FaultKind::Revive(config.crashable[host].clone()),
                             );
+                        // A kill on a durable-store host tears whatever log
+                        // append is in flight at the moment of the crash.
+                        if config.storage_hosts.contains(&config.crashable[host]) {
+                            let offset = rng.gen_range(0..64u64);
+                            plan = plan.at(
+                                Duration::from_millis(start),
+                                FaultKind::Storage(
+                                    config.crashable[host].clone(),
+                                    StorageFault::CrashAtByte(offset),
+                                ),
+                            );
+                        }
                         break;
                     }
                 }
@@ -215,6 +307,26 @@ impl FaultPlan {
             }
         }
 
+        // Standalone storage-fault windows: transient torn writes, plus at
+        // most one latent bit flip per plan.  (Two bit flips could corrupt
+        // two replicas holding the only copies of a quorum write; one keeps
+        // the acked-writes-survive invariant checkable.)
+        if !config.storage_hosts.is_empty() && total >= 20 {
+            let mut flipped = false;
+            for _ in 0..config.storage_fault_windows {
+                let host =
+                    config.storage_hosts[rng.gen_range(0..config.storage_hosts.len())].clone();
+                let at = rng.gen_range(0..total);
+                let fault = if !flipped && rng.gen_range(0..3u32) == 0 {
+                    flipped = true;
+                    StorageFault::BitFlip(rng.gen_range(0..1u64 << 16))
+                } else {
+                    StorageFault::TornWrite(rng.gen_range(0..32u64))
+                };
+                plan = plan.at(Duration::from_millis(at), FaultKind::Storage(host, fault));
+            }
+        }
+
         // Safety net: whatever happened above, the plan ends fully healed.
         plan = plan
             .at(config.duration, FaultKind::HealAll)
@@ -241,7 +353,12 @@ impl FaultPlan {
     fn apply(net: &SimNet, kind: &FaultKind) {
         match kind {
             FaultKind::Crash(h) => net.kill_host(h),
-            FaultKind::Revive(h) => net.revive_host(h),
+            FaultKind::Revive(h) => {
+                net.revive_host(h);
+                // The incident is over: faults armed for the crash window
+                // but never consumed must not ambush post-recovery writes.
+                net.storage_faults().clear(h);
+            }
             FaultKind::Partition(a, b) => net.partition(a, b),
             FaultKind::Heal(a, b) => net.heal(a, b),
             FaultKind::HealAll => net.heal_all(),
@@ -255,6 +372,7 @@ impl FaultPlan {
                 config.datagram_loss = *p;
                 net.set_config(config);
             }
+            FaultKind::Storage(h, fault) => net.storage_faults().arm(h, *fault),
         }
     }
 
@@ -378,6 +496,54 @@ mod tests {
             }
             assert!(max_down <= 2, "seed {seed}: {max_down} hosts down at once");
         }
+    }
+
+    #[test]
+    fn storage_faults_generate_deterministically_and_arm_on_apply() {
+        let mut config = FaultPlanConfig::new(Duration::from_secs(2), hosts(&["a", "b", "c"]));
+        config.storage_hosts = hosts(&["a", "b"]);
+        config.storage_fault_windows = 4;
+        let plan = FaultPlan::generate(11, &config);
+        assert_eq!(plan, FaultPlan::generate(11, &config));
+        let storage_events: Vec<_> = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Storage(..)))
+            .collect();
+        assert!(!storage_events.is_empty(), "no storage faults generated");
+        // At most one bit flip per plan, and only on storage hosts.
+        let flips = storage_events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Storage(_, StorageFault::BitFlip(_))))
+            .count();
+        assert!(flips <= 1, "{flips} bit flips in one plan");
+        for e in &storage_events {
+            let FaultKind::Storage(h, _) = &e.kind else {
+                unreachable!()
+            };
+            assert!(config.storage_hosts.contains(h));
+        }
+    }
+
+    #[test]
+    fn revive_clears_armed_storage_faults() {
+        let net = SimNet::new();
+        let a = net.add_host("a");
+        net.storage_faults().arm(&a, StorageFault::CrashAtByte(3));
+        assert_eq!(net.storage_faults().armed(&a), 1);
+        FaultPlan::apply(&net, &FaultKind::Revive(a.clone()));
+        assert_eq!(net.storage_faults().armed(&a), 0);
+    }
+
+    #[test]
+    fn hub_is_a_fifo_per_host() {
+        let hub = StorageFaultHub::new();
+        let h = HostId::from("x");
+        hub.arm(&h, StorageFault::TornWrite(1));
+        hub.arm(&h, StorageFault::BitFlip(2));
+        assert_eq!(hub.take(&h), Some(StorageFault::TornWrite(1)));
+        assert_eq!(hub.take(&h), Some(StorageFault::BitFlip(2)));
+        assert_eq!(hub.take(&h), None);
     }
 
     #[test]

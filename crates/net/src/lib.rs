@@ -43,6 +43,8 @@ pub use addr::{Addr, HostId};
 pub use conn::{Connection, Listener};
 pub use datagram::{Datagram, DatagramSocket};
 pub use error::NetError;
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, FaultRunner};
+pub use fault::{
+    FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, FaultRunner, StorageFault, StorageFaultHub,
+};
 pub use metrics::{MetricsSnapshot, NetMetrics};
 pub use net::{NetConfig, SimNet};

@@ -54,6 +54,8 @@ pub(crate) struct NetInner {
     config: RwLock<NetConfig>,
     pub(crate) metrics: NetMetrics,
     ephemeral: AtomicU16,
+    /// Armed per-host storage faults (see `fault::StorageFaultHub`).
+    storage_faults: crate::fault::StorageFaultHub,
 }
 
 impl NetInner {
@@ -146,8 +148,15 @@ impl SimNet {
                 config: RwLock::new(NetConfig::default()),
                 metrics: NetMetrics::default(),
                 ephemeral: AtomicU16::new(49152),
+                storage_faults: crate::fault::StorageFaultHub::new(),
             }),
         }
+    }
+
+    /// The per-host storage-fault hub: fault plans arm byte-level disk
+    /// faults here and the persistent store's backends consume them.
+    pub fn storage_faults(&self) -> crate::fault::StorageFaultHub {
+        self.inner.storage_faults.clone()
     }
 
     /// Replace the network configuration.

@@ -7,13 +7,13 @@
 
 use crate::version::Versioned;
 use ace_core::prelude::*;
-use ace_core::protocol::{hex_decode, hex_encode};
+use ace_core::protocol::hex_encode;
 use ace_security::keys::KeyPair;
 use std::fmt;
 use std::time::Duration;
 
 /// Store-level failures.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
     /// Fewer than `quorum` replicas acknowledged a write.
     QuorumFailed { acked: usize, quorum: usize },
@@ -21,6 +21,11 @@ pub enum StoreError {
     AllReplicasDown,
     /// The key does not exist (or is deleted).
     NotFound,
+    /// Stored bytes failed validation (CRC mismatch, malformed record).
+    /// Never silently skipped: the holder must reset and resynchronize.
+    Corrupt { offset: u64, detail: String },
+    /// A storage backend failed (torn write, crashed disk, fenced handle).
+    Io(String),
 }
 
 impl fmt::Display for StoreError {
@@ -31,10 +36,29 @@ impl fmt::Display for StoreError {
             }
             StoreError::AllReplicasDown => write!(f, "no persistent-store replica reachable"),
             StoreError::NotFound => write!(f, "key not found"),
+            StoreError::Corrupt { offset, detail } => {
+                write!(f, "storage corrupt at byte {offset}: {detail}")
+            }
+            StoreError::Io(detail) => write!(f, "storage i/o failed: {detail}"),
         }
     }
 }
 impl std::error::Error for StoreError {}
+
+/// Client-side health counters (unit-tested; surfaced by chaos runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Writes that reached quorum.
+    pub writes: u64,
+    /// Writes that reached quorum but not the *full* replica set — data is
+    /// durable yet redundancy is reduced until anti-entropy catches up.
+    pub degraded_writes: u64,
+    /// Writes that failed to reach quorum at all.
+    pub quorum_failures: u64,
+    /// Replica replies dropped because they failed validation (missing or
+    /// malformed fields).  Non-zero means a replica is misbehaving.
+    pub corrupt_replies: u64,
+}
 
 /// A connected store client.
 pub struct StoreClient {
@@ -47,6 +71,10 @@ pub struct StoreClient {
     connections: Vec<Option<ServiceClient>>,
     /// Per-replica reconnect schedule for one command.
     retry: RetryPolicy,
+    stats: ClientStats,
+    /// Network Logger address for degraded-write warnings (lazy connect).
+    logger_addr: Option<Addr>,
+    logger: Option<ace_directory::LoggerClient>,
 }
 
 impl StoreClient {
@@ -72,7 +100,23 @@ impl StoreClient {
             // ride out a dropped connection without stalling a quorum scan
             // on a genuinely dead replica.
             retry: RetryPolicy::fixed(Duration::ZERO).with_max_attempts(1),
+            stats: ClientStats::default(),
+            logger_addr: None,
+            logger: None,
         }
+    }
+
+    /// Report degraded quorum writes to the Network Logger at `addr`.
+    /// The connection is made lazily and rebuilt if it drops; a logger
+    /// outage never affects store operations.
+    pub fn with_logger(mut self, addr: Addr) -> StoreClient {
+        self.logger_addr = Some(addr);
+        self
+    }
+
+    /// Client-side health counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
     }
 
     /// Override the write quorum (tests exercise degraded modes).
@@ -133,18 +177,16 @@ impl StoreClient {
                 missing.push(idx);
                 continue;
             };
-            answers.push((
-                idx,
-                Versioned {
-                    data: reply
-                        .get_text("data")
-                        .and_then(hex_decode)
-                        .unwrap_or_default(),
-                    version: reply.get_int("version").unwrap_or(0) as u64,
-                    writer: reply.get_text("writer").unwrap_or("").to_string(),
-                    deleted: reply.get_bool("deleted").unwrap_or(false),
-                },
-            ));
+            match crate::replica::versioned_from_reply(&reply) {
+                Some(value) => answers.push((idx, value)),
+                None => {
+                    // Malformed reply: never substitute defaults for
+                    // missing fields — count it and mark the replica for
+                    // read repair like one that lacked the key.
+                    self.stats.corrupt_replies += 1;
+                    missing.push(idx);
+                }
+            }
         }
         let Some((_, best)) = answers
             .iter()
@@ -223,12 +265,46 @@ impl StoreClient {
             }
         }
         if acked >= self.quorum {
+            self.stats.writes += 1;
+            if acked < self.replicas.len() {
+                self.stats.degraded_writes += 1;
+                self.warn_degraded(cmd_name, ns, key, acked);
+            }
             Ok(version)
         } else {
+            self.stats.quorum_failures += 1;
             Err(StoreError::QuorumFailed {
                 acked,
                 quorum: self.quorum,
             })
+        }
+    }
+
+    /// Warn the Network Logger that a write committed with reduced
+    /// redundancy.  Best-effort by design: the warning rides on a lazily
+    /// (re)built connection and is dropped if the logger is down.
+    fn warn_degraded(&mut self, cmd: &str, ns: &str, key: &str, acked: usize) {
+        let Some(addr) = self.logger_addr.clone() else {
+            return;
+        };
+        if self.logger.is_none() {
+            self.logger = ace_directory::LoggerClient::connect(
+                &self.net,
+                &self.from_host,
+                addr,
+                &self.identity,
+            )
+            .ok();
+        }
+        if let Some(logger) = self.logger.as_mut() {
+            let msg = format!(
+                "degraded {cmd} {ns}/{key}: {acked}/{} replicas acked (quorum {})",
+                self.replicas.len(),
+                self.quorum
+            );
+            if logger.log("warn", &msg).is_err() {
+                self.logger = None;
+            }
         }
     }
 

@@ -21,10 +21,12 @@
 pub mod client;
 pub mod replica;
 pub mod version;
+pub mod wal;
 
-pub use client::{StoreClient, StoreError};
+pub use client::{ClientStats, StoreClient, StoreError};
 pub use replica::{DiskImage, StoreReplica};
 pub use version::{StoreKey, Versioned};
+pub use wal::{MemStorage, RecoveryReport, StorageHandle, Wal, WalConfig, WalStats};
 
 use ace_core::prelude::*;
 use ace_core::SpawnError;
@@ -35,10 +37,14 @@ use std::time::Duration;
 pub const STORE_PORT: u16 = 5800;
 
 /// A running store cluster: daemon handles plus each replica's disk image
-/// (needed to restart a crashed replica with its data intact).
+/// and the storage handle behind it (needed to restart a crashed replica
+/// with its data recovered from the write-ahead log).
 pub struct StoreCluster {
     pub replicas: Vec<(DaemonHandle, DiskImage)>,
     pub addrs: Vec<Addr>,
+    /// One reopenable storage handle per replica, index-aligned with
+    /// `replicas`.
+    pub storages: Vec<StorageHandle>,
 }
 
 impl StoreCluster {
@@ -59,8 +65,16 @@ pub fn spawn_store_cluster(
 ) -> Result<StoreCluster, SpawnError> {
     let mut replicas = Vec::with_capacity(hosts.len());
     let mut addrs = Vec::with_capacity(hosts.len());
+    let mut storages = Vec::with_capacity(hosts.len());
     for (i, host) in hosts.iter().enumerate() {
-        let disk = DiskImage::new();
+        // Durable by default: every replica writes ahead to a simulated
+        // disk wired into the network's storage-fault hub, so chaos plans
+        // can tear its appends and respawns can recover from the log.
+        let storage = StorageHandle::Memory(
+            MemStorage::new().with_faults(net.storage_faults(), (*host).into()),
+        );
+        let (disk, _) =
+            DiskImage::open(&storage, WalConfig::default()).map_err(storage_spawn_err)?;
         let handle = Daemon::spawn(
             net,
             fw.service_config(
@@ -74,8 +88,55 @@ pub fn spawn_store_cluster(
         )?;
         addrs.push(handle.addr().clone());
         replicas.push((handle, disk));
+        storages.push(storage);
     }
-    Ok(StoreCluster { replicas, addrs })
+    Ok(StoreCluster {
+        replicas,
+        addrs,
+        storages,
+    })
+}
+
+/// Adapt a storage failure into the daemon-spawn error space (spawning a
+/// replica *is* what failed, just below the network layer).  Public so
+/// custom respawn factories can use the same mapping.
+pub fn storage_spawn_err(e: StoreError) -> SpawnError {
+    SpawnError::Register {
+        step: "storage",
+        error: ClientError::Service {
+            code: ErrorCode::Internal,
+            msg: e.to_string(),
+        },
+    }
+}
+
+/// Recover a crashed replica from its write-ahead log + snapshot and
+/// respawn it on the same host — the supervised recovery path.  Detected
+/// corruption resets the storage (see [`DiskImage::open_or_reset`]); the
+/// respawned replica then rebuilds via anti-entropy.  Reopening also
+/// *fences* any backend still held by the crashed daemon.
+pub fn recover_replica(
+    net: &SimNet,
+    fw: &Framework,
+    index: usize,
+    host: &str,
+    storage: &StorageHandle,
+    sync_interval: Duration,
+) -> Result<(DaemonHandle, DiskImage, RecoveryReport), SpawnError> {
+    let (disk, report) =
+        DiskImage::open_or_reset(storage, WalConfig::default()).map_err(storage_spawn_err)?;
+    let handle = Daemon::spawn(
+        net,
+        fw.service_config(
+            &format!("store_{}", index + 1),
+            "Service.Database.PersistentStore",
+            "machineroom",
+            host,
+            STORE_PORT,
+        ),
+        Box::new(StoreReplica::new(disk.clone(), sync_interval)),
+    )?;
+    Ok((handle, disk, report))
 }
 
 /// Respawn a crashed replica on the same host with the same disk image

@@ -12,7 +12,9 @@
 //! would deadlock — the worker keeps command service and synchronization
 //! independent, mirroring the paper's separation of command and data paths.
 
+use crate::client::StoreError;
 use crate::version::{StoreKey, Versioned};
+use crate::wal::{RecoveryReport, StorageHandle, Wal, WalConfig, WalStats};
 use ace_core::prelude::*;
 use ace_core::protocol::{hex_decode, hex_encode};
 use parking_lot::Mutex;
@@ -21,34 +23,94 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// The simulated disk of one replica: survives daemon crash/restart (hand
-/// the same image to the respawned daemon).
+#[derive(Debug, Default)]
+struct DiskInner {
+    map: HashMap<StoreKey, Versioned>,
+    /// `None` for a volatile image (unit tests, benchmarks); durable
+    /// images log every applied write here *before* it becomes visible.
+    wal: Option<Wal>,
+}
+
+/// The disk of one replica: survives daemon crash/restart.  A volatile
+/// image ([`DiskImage::new`]) survives by being handed to the respawned
+/// daemon; a durable one ([`DiskImage::open`]) additionally recovers from
+/// its write-ahead log + snapshot, so it survives the *process* dying with
+/// the image unreferenced.
 #[derive(Debug, Clone, Default)]
 pub struct DiskImage {
-    inner: Arc<Mutex<HashMap<StoreKey, Versioned>>>,
+    inner: Arc<Mutex<DiskInner>>,
 }
 
 impl DiskImage {
+    /// A volatile, empty image (no WAL).
     pub fn new() -> DiskImage {
         DiskImage::default()
     }
 
+    /// Open a durable image: recover state from the snapshot + log behind
+    /// `handle`, then log every further applied write.  Refuses with
+    /// [`StoreError::Corrupt`] when validation fails mid-log or in a
+    /// snapshot slot.
+    pub fn open(
+        handle: &StorageHandle,
+        config: WalConfig,
+    ) -> Result<(DiskImage, RecoveryReport), StoreError> {
+        let (wal, map, report) = Wal::open(handle, config)?;
+        Ok((
+            DiskImage {
+                inner: Arc::new(Mutex::new(DiskInner {
+                    map,
+                    wal: Some(wal),
+                })),
+            },
+            report,
+        ))
+    }
+
+    /// [`DiskImage::open`], but detected corruption resets the storage to
+    /// empty (reported via `reset = true`) instead of failing — the
+    /// controlled response for a replica with peers: never serve
+    /// corrupt data, rebuild from anti-entropy instead.
+    pub fn open_or_reset(
+        handle: &StorageHandle,
+        config: WalConfig,
+    ) -> Result<(DiskImage, RecoveryReport), StoreError> {
+        match DiskImage::open(handle, config.clone()) {
+            Err(StoreError::Corrupt { .. }) => {
+                Wal::reset(handle)?;
+                let (disk, mut report) = DiskImage::open(handle, config)?;
+                report.reset = true;
+                Ok((disk, report))
+            }
+            other => other,
+        }
+    }
+
     /// Apply a versioned write if it beats the current entry.  Returns
-    /// `true` if applied.
-    pub fn apply(&self, key: StoreKey, value: Versioned) -> bool {
-        let mut map = self.inner.lock();
-        match map.get(&key) {
-            Some(existing) if !value.beats(existing) => false,
+    /// `Ok(true)` if applied — for a durable image, only after the write
+    /// is in the log (and synced, per [`WalConfig`]).  An `Err` means the
+    /// write is *not* durable and must not be acknowledged.
+    pub fn apply(&self, key: StoreKey, value: Versioned) -> Result<bool, StoreError> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        match inner.map.get(&key) {
+            Some(existing) if !value.beats(existing) => Ok(false),
             _ => {
-                map.insert(key, value);
-                true
+                if let Some(wal) = inner.wal.as_mut() {
+                    wal.append(&key, &value)?;
+                }
+                inner.map.insert(key, value);
+                if let Some(wal) = inner.wal.as_mut() {
+                    wal.maybe_compact(&inner.map);
+                }
+                Ok(true)
             }
         }
     }
 
     /// Read a key (tombstones included).
     pub fn get(&self, key: &StoreKey) -> Option<Versioned> {
-        self.inner.lock().get(key).cloned()
+        self.inner.lock().map.get(key).cloned()
     }
 
     /// Live (non-tombstone) keys in a namespace, sorted.
@@ -56,6 +118,7 @@ impl DiskImage {
         let mut keys: Vec<String> = self
             .inner
             .lock()
+            .map
             .iter()
             .filter(|((n, _), v)| n == ns && !v.deleted)
             .map(|((_, k), _)| k.clone())
@@ -69,6 +132,7 @@ impl DiskImage {
         let mut out: Vec<_> = self
             .inner
             .lock()
+            .map
             .iter()
             .map(|((ns, k), v)| (ns.clone(), k.clone(), v.version, v.writer.clone()))
             .collect();
@@ -78,12 +142,17 @@ impl DiskImage {
 
     /// Number of entries (including tombstones).
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().map.len()
     }
 
     /// `true` when nothing is stored.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().map.is_empty()
+    }
+
+    /// WAL counters (`None` for a volatile image).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.inner.lock().wal.as_ref().map(|w| w.stats().clone())
     }
 
     /// Checksum over the full digest — equal checksums mean replicas have
@@ -108,6 +177,9 @@ impl DiskImage {
 struct SyncStats {
     syncs: AtomicU64,
     pulled: AtomicU64,
+    /// Pulled values the local disk refused (WAL append failed): the
+    /// entry stays missing locally and a later round retries it.
+    pull_errors: AtomicU64,
 }
 
 /// The replica daemon behavior.
@@ -213,8 +285,14 @@ fn sync_round(
                 continue;
             };
             if let Some(value) = versioned_from_reply(&got) {
-                if disk.apply(key_pair, value) {
-                    stats.pulled.fetch_add(1, Ordering::Relaxed);
+                match disk.apply(key_pair, value) {
+                    Ok(true) => {
+                        stats.pulled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(false) => {}
+                    Err(_) => {
+                        stats.pull_errors.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -222,7 +300,9 @@ fn sync_round(
     stats.syncs.fetch_add(1, Ordering::Relaxed);
 }
 
-fn versioned_from_reply(reply: &CmdLine) -> Option<Versioned> {
+/// Strictly parse a `psGet`-style reply; `None` when any field is missing
+/// or malformed (callers treat that as a corrupt reply, never as defaults).
+pub(crate) fn versioned_from_reply(reply: &CmdLine) -> Option<Versioned> {
     Some(Versioned {
         data: hex_decode(reply.get_text("data")?)?,
         version: reply.get_int("version")? as u64,
@@ -343,31 +423,43 @@ impl ServiceBehavior for StoreReplica {
     fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
         match cmd.name() {
             "psPut" | "psDelete" => {
+                // Arguments passed semantics validation, but a malformed
+                // payload must degrade to an error reply, never a panic
+                // that takes the whole replica down.
+                let parts = (
+                    cmd.get_text("ns"),
+                    cmd.get_text("key"),
+                    cmd.get_int("version"),
+                    cmd.get_text("writer"),
+                );
+                let (Some(ns), Some(key), Some(version), Some(writer)) = parts else {
+                    return Reply::err(ErrorCode::Semantics, "malformed put/delete arguments");
+                };
                 let Some(data) = (if cmd.name() == "psPut" {
-                    hex_decode(cmd.get_text("data").expect("validated"))
+                    cmd.get_text("data").and_then(hex_decode)
                 } else {
                     Some(Vec::new())
                 }) else {
                     return Reply::err(ErrorCode::Semantics, "data is not valid hex");
                 };
-                let key = (
-                    cmd.get_text("ns").expect("validated").to_string(),
-                    cmd.get_text("key").expect("validated").to_string(),
-                );
                 let value = Versioned {
                     data,
-                    version: cmd.get_int("version").expect("validated").max(0) as u64,
-                    writer: cmd.get_text("writer").expect("validated").to_string(),
+                    version: version.max(0) as u64,
+                    writer: writer.to_string(),
                     deleted: cmd.name() == "psDelete",
                 };
-                let applied = self.disk.apply(key, value);
-                Reply::ok_with(|c| c.arg("applied", applied))
+                match self.disk.apply((ns.to_string(), key.to_string()), value) {
+                    Ok(applied) => Reply::ok_with(|c| c.arg("applied", applied)),
+                    // Log-before-ack: a write the WAL refused is not
+                    // durable, so the client must not count this ack.
+                    Err(e) => Reply::err(ErrorCode::Internal, format!("write not durable: {e}")),
+                }
             }
             "psGet" => {
-                let key = (
-                    cmd.get_text("ns").expect("validated").to_string(),
-                    cmd.get_text("key").expect("validated").to_string(),
-                );
+                let (Some(ns), Some(k)) = (cmd.get_text("ns"), cmd.get_text("key")) else {
+                    return Reply::err(ErrorCode::Semantics, "malformed get arguments");
+                };
+                let key = (ns.to_string(), k.to_string());
                 match self.disk.get(&key) {
                     Some(v) => Reply::ok_with(|c| {
                         c.arg("data", hex_encode(&v.data))
@@ -379,7 +471,9 @@ impl ServiceBehavior for StoreReplica {
                 }
             }
             "psList" => {
-                let ns = cmd.get_text("ns").expect("validated");
+                let Some(ns) = cmd.get_text("ns") else {
+                    return Reply::err(ErrorCode::Semantics, "malformed list arguments");
+                };
                 let keys: Vec<Scalar> = self.disk.list(ns).into_iter().map(Scalar::Str).collect();
                 Reply::ok_with(|c| {
                     c.arg("count", keys.len() as i64)
@@ -411,15 +505,25 @@ impl ServiceBehavior for StoreReplica {
                 }
                 Reply::ok()
             }
-            "psStats" => Reply::ok_with(|c| {
-                c.arg("entries", self.disk.len() as i64)
-                    .arg("syncs", self.stats.syncs.load(Ordering::Relaxed) as i64)
-                    .arg("pulled", self.stats.pulled.load(Ordering::Relaxed) as i64)
-                    .arg(
-                        "checksum",
-                        Value::Word(format!("x{:016x}", self.disk.checksum())),
-                    )
-            }),
+            "psStats" => {
+                let wal = self.disk.wal_stats().unwrap_or_default();
+                Reply::ok_with(|c| {
+                    c.arg("entries", self.disk.len() as i64)
+                        .arg("syncs", self.stats.syncs.load(Ordering::Relaxed) as i64)
+                        .arg("pulled", self.stats.pulled.load(Ordering::Relaxed) as i64)
+                        .arg(
+                            "pullErrors",
+                            self.stats.pull_errors.load(Ordering::Relaxed) as i64,
+                        )
+                        .arg("walAppends", wal.appends as i64)
+                        .arg("walCompactions", wal.compactions as i64)
+                        .arg("walAppendFailures", wal.append_failures as i64)
+                        .arg(
+                            "checksum",
+                            Value::Word(format!("x{:016x}", self.disk.checksum())),
+                        )
+                })
+            }
             other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
         }
     }
@@ -457,9 +561,12 @@ mod tests {
             writer: "a".into(),
             deleted: false,
         };
-        assert!(disk.apply(key.clone(), v1.clone()));
-        assert!(disk.apply(key.clone(), v2.clone()));
-        assert!(!disk.apply(key.clone(), v1), "stale write rejected");
+        assert!(disk.apply(key.clone(), v1.clone()).unwrap());
+        assert!(disk.apply(key.clone(), v2.clone()).unwrap());
+        assert!(
+            !disk.apply(key.clone(), v1).unwrap(),
+            "stale write rejected"
+        );
         assert_eq!(disk.get(&key).unwrap().data, b"two");
     }
 
@@ -474,7 +581,8 @@ mod tests {
                 writer: "a".into(),
                 deleted: false,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(disk.list("ns"), vec!["k".to_string()]);
         disk.apply(
             ("ns".into(), "k".into()),
@@ -484,7 +592,8 @@ mod tests {
                 writer: "a".into(),
                 deleted: true,
             },
-        );
+        )
+        .unwrap();
         assert!(disk.list("ns").is_empty());
         assert_eq!(disk.digest().len(), 1);
     }
@@ -500,9 +609,46 @@ mod tests {
             writer: "w".into(),
             deleted: false,
         };
-        a.apply(("n".into(), "k".into()), value.clone());
+        a.apply(("n".into(), "k".into()), value.clone()).unwrap();
         assert_ne!(a.checksum(), b.checksum());
-        b.apply(("n".into(), "k".into()), value);
+        b.apply(("n".into(), "k".into()), value).unwrap();
         assert_eq!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn durable_image_recovers_and_resets_on_corruption() {
+        use crate::wal::MemStorage;
+        let storage = MemStorage::new();
+        let handle = StorageHandle::Memory(storage.clone());
+        let (disk, report) = DiskImage::open(&handle, WalConfig::default()).unwrap();
+        assert!(!report.reset);
+        disk.apply(
+            ("ns".into(), "k".into()),
+            Versioned {
+                data: b"v".to_vec(),
+                version: 1,
+                writer: "w".into(),
+                deleted: false,
+            },
+        )
+        .unwrap();
+        // Reopen (crash + respawn): the write is still there.
+        let (disk2, report) = DiskImage::open_or_reset(&handle, WalConfig::default()).unwrap();
+        assert_eq!(report.replayed_records, 1);
+        assert_eq!(disk2.get(&("ns".into(), "k".into())).unwrap().data, b"v");
+        // Corrupt the log in place: open refuses, open_or_reset resets.
+        let mut bytes = storage.log_bytes();
+        bytes[10] ^= 0x40;
+        storage.set_log_bytes(bytes);
+        assert!(matches!(
+            DiskImage::open(&handle, WalConfig::default()),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let (disk3, report) = DiskImage::open_or_reset(&handle, WalConfig::default()).unwrap();
+        assert!(report.reset);
+        assert!(
+            disk3.is_empty(),
+            "reset image starts empty for anti-entropy"
+        );
     }
 }

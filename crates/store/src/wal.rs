@@ -1,0 +1,983 @@
+//! Write-ahead log: the durability substrate of the persistent store.
+//!
+//! The paper claims "safe and up to date storage of information" across
+//! replica crashes (§6, Fig. 17).  Anti-entropy gives *redundancy*; this
+//! module gives each replica *local durability*, so a crashed daemon
+//! restarted on the same host recovers every write it acknowledged instead
+//! of depending entirely on its peers.
+//!
+//! Layout per replica (three logical "files" behind a pluggable
+//! [`StorageBackend`]):
+//!
+//! * **log** — length-prefixed, CRC-32-framed records, one per applied
+//!   write, appended (and optionally fsynced) *before* the write is
+//!   acknowledged;
+//! * **snapshot slots A/B** — dual-slot full-state snapshots written by
+//!   compaction once the log exceeds a threshold.  The new snapshot is
+//!   committed into the inactive slot and synced before the log is
+//!   truncated, so a crash at any point leaves a valid (slot, log) pair.
+//!
+//! Recovery invariants (asserted by `tests/wal_recovery.rs` and the chaos
+//! soak):
+//!
+//! 1. **Kill at any byte**: a crash at any byte offset of a log append
+//!    loses no acknowledged write — replay truncates the torn tail and
+//!    keeps everything before it.
+//! 2. **No silent corruption**: a record whose CRC does not match is never
+//!    replayed; recovery refuses with [`StoreError::Corrupt`] rather than
+//!    reading past it (callers may then deliberately reset and rebuild via
+//!    anti-entropy).
+//! 3. Replay is idempotent: records re-apply through the same
+//!    `(version, writer)` ordering as live writes.
+
+use crate::client::StoreError;
+use crate::version::{StoreKey, Versioned};
+use ace_net::fault::{StorageFault, StorageFaultHub};
+use ace_net::HostId;
+use ace_security::hash::crc32;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Hard upper bound on one record's payload; a length prefix beyond this is
+/// corruption, not a large record.
+pub const MAX_RECORD: u32 = 16 << 20;
+
+/// Framing overhead per record: `len: u32 | crc32(payload): u32`.
+pub const RECORD_HEADER: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Storage backends
+// ---------------------------------------------------------------------------
+
+/// One logical file of replica storage.  `append` is the only operation a
+/// fault may tear: everything else either fully happens or fully errors,
+/// matching the single-sector atomicity real filesystems give renames and
+/// truncates.
+pub trait StorageBackend: Send {
+    /// Full current contents.
+    fn read_all(&mut self) -> Result<Vec<u8>, StoreError>;
+    /// Append bytes at the end.  Under an armed fault this may persist only
+    /// a prefix and return `Err` — the caller must treat `Err` as
+    /// "not durable".
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError>;
+    /// Flush appended bytes to stable storage.
+    fn sync(&mut self) -> Result<(), StoreError>;
+    /// Atomically replace the full contents (snapshot commit, log reset).
+    fn replace(&mut self, bytes: &[u8]) -> Result<(), StoreError>;
+    /// Cut the contents down to `len` bytes (torn-tail repair).
+    fn truncate(&mut self, len: u64) -> Result<(), StoreError>;
+    /// Current size in bytes.
+    fn size(&mut self) -> Result<u64, StoreError>;
+}
+
+const SEG_LOG: usize = 0;
+const SEG_SNAP_A: usize = 1;
+const SEG_SNAP_B: usize = 2;
+
+#[derive(Debug, Default)]
+struct MemInner {
+    segments: Mutex<[Vec<u8>; 3]>,
+    /// Fencing token: bumped by every [`StorageHandle`] open, so backends
+    /// from a superseded instance (a daemon the supervisor already
+    /// replaced) can no longer write — the same role a fencing epoch plays
+    /// in real shared-storage systems.
+    epoch: AtomicU64,
+    faults: Mutex<Option<(StorageFaultHub, HostId)>>,
+}
+
+/// Cloneable in-memory replica storage: the simulated disk.  Contents
+/// survive daemon crash/restart (any clone reopens the same bytes), and an
+/// attached [`StorageFaultHub`] injects byte-level damage into appends.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    inner: Arc<MemInner>,
+}
+
+impl MemStorage {
+    pub fn new() -> MemStorage {
+        MemStorage::default()
+    }
+
+    /// Attach a fault hub: the log backend consumes faults armed for
+    /// `host` at its next append.
+    pub fn with_faults(self, hub: StorageFaultHub, host: HostId) -> MemStorage {
+        *self.inner.faults.lock() = Some((hub, host));
+        self
+    }
+
+    /// Bump the fencing epoch, invalidating every backend handed out
+    /// before.  Returns the new epoch.
+    fn fence(&self) -> u64 {
+        self.inner.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    fn backend(&self, seg: usize, epoch: u64) -> MemBackend {
+        MemBackend {
+            storage: self.clone(),
+            seg,
+            epoch,
+            dead: false,
+        }
+    }
+
+    /// Raw bytes of the log segment (tests and diagnostics).
+    pub fn log_bytes(&self) -> Vec<u8> {
+        self.inner.segments.lock()[SEG_LOG].clone()
+    }
+
+    /// Overwrite the log segment wholesale — how tests model latent media
+    /// damage that happened while the replica was down.
+    pub fn set_log_bytes(&self, bytes: Vec<u8>) {
+        self.inner.segments.lock()[SEG_LOG] = bytes;
+    }
+}
+
+struct MemBackend {
+    storage: MemStorage,
+    seg: usize,
+    epoch: u64,
+    dead: bool,
+}
+
+impl MemBackend {
+    fn check(&self) -> Result<(), StoreError> {
+        if self.dead {
+            return Err(StoreError::Io("backend dead after storage crash".into()));
+        }
+        if self.storage.inner.epoch.load(Ordering::SeqCst) != self.epoch {
+            return Err(StoreError::Io("backend fenced by a newer open".into()));
+        }
+        Ok(())
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn read_all(&mut self) -> Result<Vec<u8>, StoreError> {
+        self.check()?;
+        Ok(self.storage.inner.segments.lock()[self.seg].clone())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.check()?;
+        // Only the log segment is fault-injectable: snapshots commit via
+        // the atomic `replace`.
+        let fault = if self.seg == SEG_LOG {
+            let guard = self.storage.inner.faults.lock();
+            guard.as_ref().and_then(|(hub, host)| hub.take(host))
+        } else {
+            None
+        };
+        let mut segments = self.storage.inner.segments.lock();
+        match fault {
+            Some(StorageFault::CrashAtByte(n)) => {
+                let keep = (n as usize).min(bytes.len());
+                segments[self.seg].extend_from_slice(&bytes[..keep]);
+                self.dead = true;
+                Err(StoreError::Io(format!(
+                    "simulated crash after {keep} of {} append bytes",
+                    bytes.len()
+                )))
+            }
+            Some(StorageFault::TornWrite(n)) => {
+                let keep = (n as usize).min(bytes.len().saturating_sub(1));
+                segments[self.seg].extend_from_slice(&bytes[..keep]);
+                Err(StoreError::Io(format!(
+                    "simulated torn write: {keep} of {} append bytes",
+                    bytes.len()
+                )))
+            }
+            Some(StorageFault::BitFlip(bit)) => {
+                // Latent damage to what is already on disk; the append
+                // itself succeeds.
+                let seg = &mut segments[self.seg];
+                if !seg.is_empty() {
+                    let bit = (bit as usize) % (seg.len() * 8);
+                    seg[bit / 8] ^= 1 << (bit % 8);
+                }
+                seg.extend_from_slice(bytes);
+                Ok(())
+            }
+            None => {
+                segments[self.seg].extend_from_slice(bytes);
+                Ok(())
+            }
+        }
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        self.check()
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.check()?;
+        self.storage.inner.segments.lock()[self.seg] = bytes.to_vec();
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StoreError> {
+        self.check()?;
+        let mut segments = self.storage.inner.segments.lock();
+        let seg = &mut segments[self.seg];
+        if (len as usize) < seg.len() {
+            seg.truncate(len as usize);
+        }
+        Ok(())
+    }
+
+    fn size(&mut self) -> Result<u64, StoreError> {
+        self.check()?;
+        Ok(self.storage.inner.segments.lock()[self.seg].len() as u64)
+    }
+}
+
+/// Real-file backend: one file per segment.  Snapshot commits go through
+/// write-to-temp + rename so `replace` is atomic on a crash.
+struct FileBackend {
+    path: PathBuf,
+    file: Option<std::fs::File>,
+}
+
+impl FileBackend {
+    fn new(path: PathBuf) -> FileBackend {
+        FileBackend { path, file: None }
+    }
+
+    fn io(e: std::io::Error) -> StoreError {
+        StoreError::Io(e.to_string())
+    }
+
+    fn open_append(&mut self) -> Result<&mut std::fs::File, StoreError> {
+        if self.file.is_none() {
+            let f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)
+                .map_err(Self::io)?;
+            self.file = Some(f);
+        }
+        Ok(self.file.as_mut().expect("just opened"))
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn read_all(&mut self) -> Result<Vec<u8>, StoreError> {
+        match std::fs::read(&self.path) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(Self::io(e)),
+        }
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.open_append()?.write_all(bytes).map_err(Self::io)
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        if let Some(f) = self.file.as_mut() {
+            f.sync_data().map_err(Self::io)?;
+        }
+        Ok(())
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.file = None; // reopen after the rename
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, bytes).map_err(Self::io)?;
+        let f = std::fs::File::open(&tmp).map_err(Self::io)?;
+        f.sync_data().map_err(Self::io)?;
+        std::fs::rename(&tmp, &self.path).map_err(Self::io)
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StoreError> {
+        self.file = None;
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&self.path)
+            .map_err(Self::io)?;
+        f.set_len(len).map_err(Self::io)?;
+        f.sync_data().map_err(Self::io)
+    }
+
+    fn size(&mut self) -> Result<u64, StoreError> {
+        match std::fs::metadata(&self.path) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(Self::io(e)),
+        }
+    }
+}
+
+/// Reopenable description of a replica's storage — what a respawn factory
+/// holds to recover a crashed replica's data.
+#[derive(Debug, Clone)]
+pub enum StorageHandle {
+    /// Simulated disk (chaos and unit tests).
+    Memory(MemStorage),
+    /// A directory of real files: `wal.log`, `snap_a.bin`, `snap_b.bin`.
+    Dir(PathBuf),
+}
+
+impl StorageHandle {
+    fn open_backends(&self) -> Result<[Box<dyn StorageBackend>; 3], StoreError> {
+        match self {
+            StorageHandle::Memory(mem) => {
+                let epoch = mem.fence();
+                Ok([
+                    Box::new(mem.backend(SEG_LOG, epoch)),
+                    Box::new(mem.backend(SEG_SNAP_A, epoch)),
+                    Box::new(mem.backend(SEG_SNAP_B, epoch)),
+                ])
+            }
+            StorageHandle::Dir(dir) => {
+                std::fs::create_dir_all(dir).map_err(FileBackend::io)?;
+                Ok([
+                    Box::new(FileBackend::new(dir.join("wal.log"))),
+                    Box::new(FileBackend::new(dir.join("snap_a.bin"))),
+                    Box::new(FileBackend::new(dir.join("snap_b.bin"))),
+                ])
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record codec
+// ---------------------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.bytes.len() - self.at < n {
+            return Err(format!("payload short: need {n} at {}", self.at));
+        }
+        let out = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let n = self.u16()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|e| format!("bad utf8: {e}"))
+    }
+}
+
+/// Encode one write as a record payload (no framing).
+fn encode_payload(key: &StoreKey, value: &Versioned) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(key.0.len() + key.1.len() + value.writer.len() + value.data.len() + 24);
+    put_str(&mut out, &key.0);
+    put_str(&mut out, &key.1);
+    out.extend_from_slice(&value.version.to_le_bytes());
+    put_str(&mut out, &value.writer);
+    out.push(value.deleted as u8);
+    out.extend_from_slice(&(value.data.len() as u32).to_le_bytes());
+    out.extend_from_slice(&value.data);
+    out
+}
+
+fn decode_payload(payload: &[u8]) -> Result<(StoreKey, Versioned), String> {
+    let mut c = Cursor {
+        bytes: payload,
+        at: 0,
+    };
+    let ns = c.str()?;
+    let key = c.str()?;
+    let version = c.u64()?;
+    let writer = c.str()?;
+    let deleted = match c.take(1)?[0] {
+        0 => false,
+        1 => true,
+        other => return Err(format!("bad tombstone flag {other}")),
+    };
+    let data_len = c.u32()? as usize;
+    let data = c.take(data_len)?.to_vec();
+    if c.at != payload.len() {
+        return Err(format!("{} trailing payload bytes", payload.len() - c.at));
+    }
+    Ok((
+        (ns, key),
+        Versioned {
+            data,
+            version,
+            writer,
+            deleted,
+        },
+    ))
+}
+
+/// Frame one write as a full log record: `len | crc32(payload) | payload`.
+pub fn frame_record(key: &StoreKey, value: &Versioned) -> Vec<u8> {
+    let payload = encode_payload(key, value);
+    let mut out = Vec::with_capacity(RECORD_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// What replaying a log byte stream yielded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// Decoded records in log order.
+    pub entries: Vec<(StoreKey, Versioned)>,
+    /// Byte length of the valid prefix (everything past it is a torn tail).
+    pub good_len: u64,
+    /// Torn-tail bytes discarded past `good_len`.
+    pub torn_bytes: u64,
+}
+
+/// Replay a log byte stream.
+///
+/// * An incomplete record at the end of the stream is a **torn tail** —
+///   the crash model's signature — and is discarded; everything before it
+///   replays.
+/// * A complete record whose CRC mismatches, whose length prefix is
+///   absurd, or whose payload does not decode is **corruption**: the
+///   replay refuses with [`StoreError::Corrupt`] rather than guessing.
+pub fn replay_bytes(bytes: &[u8]) -> Result<Replay, StoreError> {
+    let mut entries = Vec::new();
+    let mut at = 0usize;
+    loop {
+        let rem = bytes.len() - at;
+        if rem == 0 {
+            break;
+        }
+        if rem < RECORD_HEADER {
+            break; // torn inside the header
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        if len > MAX_RECORD {
+            return Err(StoreError::Corrupt {
+                offset: at as u64,
+                detail: format!("record length {len} exceeds {MAX_RECORD}"),
+            });
+        }
+        let len = len as usize;
+        if rem - RECORD_HEADER < len {
+            break; // torn inside the payload
+        }
+        let payload = &bytes[at + RECORD_HEADER..at + RECORD_HEADER + len];
+        if crc32(payload) != crc {
+            return Err(StoreError::Corrupt {
+                offset: at as u64,
+                detail: "record CRC mismatch".into(),
+            });
+        }
+        match decode_payload(payload) {
+            Ok(entry) => entries.push(entry),
+            Err(detail) => {
+                return Err(StoreError::Corrupt {
+                    offset: at as u64,
+                    detail,
+                })
+            }
+        }
+        at += RECORD_HEADER + len;
+    }
+    Ok(Replay {
+        entries,
+        good_len: at as u64,
+        torn_bytes: (bytes.len() - at) as u64,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codec
+// ---------------------------------------------------------------------------
+
+const SNAP_MAGIC: &[u8; 8] = b"ACSNAP01";
+
+fn encode_snapshot(generation: u64, map: &HashMap<StoreKey, Versioned>) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(SNAP_MAGIC);
+    body.extend_from_slice(&generation.to_le_bytes());
+    body.extend_from_slice(&(map.len() as u32).to_le_bytes());
+    // Deterministic order so identical states produce identical snapshots.
+    let mut keys: Vec<&StoreKey> = map.keys().collect();
+    keys.sort();
+    for key in keys {
+        let payload = encode_payload(key, &map[key]);
+        body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        body.extend_from_slice(&crc32(&payload).to_le_bytes());
+        body.extend_from_slice(&payload);
+    }
+    let total_crc = crc32(&body);
+    body.extend_from_slice(&total_crc.to_le_bytes());
+    body
+}
+
+/// A decoded snapshot body: its generation and the records it carries.
+type SnapshotBody = (u64, Vec<(StoreKey, Versioned)>);
+
+/// `Ok(Some(..))` for a valid snapshot, `Ok(None)` for an empty slot, and
+/// `Err(detail)` for a slot that holds bytes which do not validate.
+fn decode_snapshot(bytes: &[u8]) -> Result<Option<SnapshotBody>, String> {
+    if bytes.is_empty() {
+        return Ok(None);
+    }
+    if bytes.len() < SNAP_MAGIC.len() + 12 + 4 {
+        return Err("snapshot shorter than its header".into());
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != stored {
+        return Err("snapshot CRC mismatch".into());
+    }
+    let mut c = Cursor { bytes: body, at: 0 };
+    if c.take(8).map_err(|e| e.to_string())? != SNAP_MAGIC {
+        return Err("bad snapshot magic".into());
+    }
+    let generation = c.u64()?;
+    let count = c.u32()? as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = c.u32()? as usize;
+        let rec_crc = c.u32()?;
+        let payload = c.take(len)?;
+        if crc32(payload) != rec_crc {
+            return Err("snapshot record CRC mismatch".into());
+        }
+        entries.push(decode_payload(payload)?);
+    }
+    if c.at != body.len() {
+        return Err("trailing snapshot bytes".into());
+    }
+    Ok(Some((generation, entries)))
+}
+
+// ---------------------------------------------------------------------------
+// The WAL proper
+// ---------------------------------------------------------------------------
+
+/// Durability policy.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Sync the log before acknowledging each write.  Off trades the tail
+    /// of un-synced writes for append throughput (group-commit style).
+    pub fsync_on_commit: bool,
+    /// Snapshot + truncate once the log exceeds this many bytes.
+    /// `u64::MAX` disables compaction.
+    pub compact_threshold: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> WalConfig {
+        WalConfig {
+            fsync_on_commit: true,
+            compact_threshold: 256 << 10,
+        }
+    }
+}
+
+/// Counters exposed through `psStats` and the recovery experiments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalStats {
+    pub appends: u64,
+    pub append_bytes: u64,
+    pub compactions: u64,
+    pub compaction_failures: u64,
+    pub append_failures: u64,
+}
+
+/// What recovery found, surfaced in supervisor restart notes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records loaded from the winning snapshot slot.
+    pub snapshot_records: u64,
+    /// Records replayed from the log.
+    pub replayed_records: u64,
+    /// Torn-tail bytes truncated off the log.
+    pub torn_bytes: u64,
+    /// True when corruption forced a reset to empty state
+    /// (anti-entropy must rebuild this replica).
+    pub reset: bool,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.reset {
+            return write!(f, "wal corrupt; reset for anti-entropy rebuild");
+        }
+        write!(
+            f,
+            "wal recovered: {} snapshot + {} log records, {}B torn tail dropped",
+            self.snapshot_records, self.replayed_records, self.torn_bytes
+        )
+    }
+}
+
+/// An open write-ahead log plus its snapshot slots.
+pub struct Wal {
+    log: Box<dyn StorageBackend>,
+    snaps: [Box<dyn StorageBackend>; 2],
+    config: WalConfig,
+    /// Committed log length; appends past it that fail are truncated away.
+    end: u64,
+    generation: u64,
+    /// Slot holding the current snapshot (the other is overwritten next).
+    active_slot: usize,
+    /// Set when even torn-tail repair failed; all further appends refuse.
+    broken: bool,
+    stats: WalStats,
+}
+
+impl Wal {
+    /// Open (or create) the WAL behind `handle`, replaying snapshot + log
+    /// into a state map.  Refuses with [`StoreError::Corrupt`] when a
+    /// non-empty snapshot slot or a mid-log record fails validation.
+    pub fn open(
+        handle: &StorageHandle,
+        config: WalConfig,
+    ) -> Result<(Wal, HashMap<StoreKey, Versioned>, RecoveryReport), StoreError> {
+        let [mut log, mut snap_a, mut snap_b] = handle.open_backends()?;
+        let mut report = RecoveryReport::default();
+
+        // Pick the newest valid snapshot.  A non-empty slot that fails
+        // validation is corruption: with atomic slot commits there is no
+        // benign way to observe a half-written snapshot, and silently
+        // falling back to the older slot could resurrect pre-compaction
+        // state with the covering log already truncated.
+        let mut best: Option<(SnapshotBody, usize)> = None;
+        for (slot, backend) in [&mut snap_a, &mut snap_b].into_iter().enumerate() {
+            let bytes = backend.read_all()?;
+            match decode_snapshot(&bytes) {
+                Ok(None) => {}
+                Ok(Some((generation, entries))) => {
+                    if best.as_ref().is_none_or(|((g, _), _)| generation > *g) {
+                        best = Some(((generation, entries), slot));
+                    }
+                }
+                Err(detail) => {
+                    return Err(StoreError::Corrupt {
+                        offset: 0,
+                        detail: format!("snapshot slot {slot}: {detail}"),
+                    })
+                }
+            }
+        }
+        let (generation, snap_entries, active_slot) = match best {
+            Some(((g, entries), slot)) => (g, entries, slot),
+            None => (0, Vec::new(), 1), // next compaction writes slot 0
+        };
+        report.snapshot_records = snap_entries.len() as u64;
+        let mut map: HashMap<StoreKey, Versioned> = HashMap::with_capacity(snap_entries.len());
+        for (key, value) in snap_entries {
+            map.insert(key, value);
+        }
+
+        // Replay the log over the snapshot, truncating a torn tail.
+        let bytes = log.read_all()?;
+        let replay = replay_bytes(&bytes)?;
+        report.replayed_records = replay.entries.len() as u64;
+        report.torn_bytes = replay.torn_bytes;
+        if replay.torn_bytes > 0 {
+            log.truncate(replay.good_len)?;
+        }
+        for (key, value) in replay.entries {
+            match map.get(&key) {
+                Some(existing) if !value.beats(existing) => {}
+                _ => {
+                    map.insert(key, value);
+                }
+            }
+        }
+
+        Ok((
+            Wal {
+                log,
+                snaps: [snap_a, snap_b],
+                config,
+                end: replay.good_len,
+                generation,
+                active_slot,
+                broken: false,
+                stats: WalStats::default(),
+            },
+            map,
+            report,
+        ))
+    }
+
+    /// Wipe every segment of `handle` — the deliberate response to
+    /// detected corruption (anti-entropy then rebuilds from peers).
+    pub fn reset(handle: &StorageHandle) -> Result<(), StoreError> {
+        let backends = handle.open_backends()?;
+        for mut backend in backends {
+            backend.replace(&[])?;
+        }
+        Ok(())
+    }
+
+    /// Log one write durably.  Returns only after the record is appended
+    /// (and synced, under `fsync_on_commit`) — the caller must not
+    /// acknowledge the write before this returns `Ok`.
+    pub fn append(&mut self, key: &StoreKey, value: &Versioned) -> Result<(), StoreError> {
+        if self.broken {
+            return Err(StoreError::Io(
+                "wal is broken; replica needs respawn".into(),
+            ));
+        }
+        let record = frame_record(key, value);
+        let result = self.log.append(&record).and_then(|()| {
+            if self.config.fsync_on_commit {
+                self.log.sync()
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = result {
+            self.stats.append_failures += 1;
+            // Torn-tail repair: cut the log back to the last committed
+            // record so later appends cannot interleave with torn bytes.
+            if self.log.truncate(self.end).is_err() {
+                self.broken = true;
+            }
+            return Err(e);
+        }
+        self.end += record.len() as u64;
+        self.stats.appends += 1;
+        self.stats.append_bytes += record.len() as u64;
+        Ok(())
+    }
+
+    /// Snapshot + truncate when the log has outgrown the threshold.  The
+    /// snapshot commits into the inactive slot and syncs *before* the log
+    /// is truncated, so a crash at any point of compaction leaves a
+    /// recoverable (slot, log) pair.  Failures are counted, not fatal: the
+    /// data is still in the log.
+    pub fn maybe_compact(&mut self, map: &HashMap<StoreKey, Versioned>) -> bool {
+        if self.broken || self.end <= self.config.compact_threshold {
+            return false;
+        }
+        let target = 1 - self.active_slot;
+        let snapshot = encode_snapshot(self.generation + 1, map);
+        let committed = self.snaps[target]
+            .replace(&snapshot)
+            .and_then(|()| self.snaps[target].sync())
+            .and_then(|()| self.log.replace(&[]))
+            .and_then(|()| self.log.sync());
+        match committed {
+            Ok(()) => {
+                self.generation += 1;
+                self.active_slot = target;
+                self.end = 0;
+                self.stats.compactions += 1;
+                true
+            }
+            Err(_) => {
+                self.stats.compaction_failures += 1;
+                false
+            }
+        }
+    }
+
+    /// Current committed log length in bytes.
+    pub fn log_len(&self) -> u64 {
+        self.end
+    }
+
+    /// Snapshot generation currently active.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub fn stats(&self) -> &WalStats {
+        &self.stats
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("end", &self.end)
+            .field("generation", &self.generation)
+            .field("broken", &self.broken)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(version: u64, data: &[u8]) -> Versioned {
+        Versioned {
+            data: data.to_vec(),
+            version,
+            writer: "w1".into(),
+            deleted: false,
+        }
+    }
+
+    fn key(k: &str) -> StoreKey {
+        ("ns".to_string(), k.to_string())
+    }
+
+    #[test]
+    fn record_roundtrips() {
+        let value = Versioned {
+            data: b"payload \xff\x00 bytes".to_vec(),
+            version: 42,
+            writer: "rsa:abc".into(),
+            deleted: true,
+        };
+        let framed = frame_record(&key("k"), &value);
+        let replay = replay_bytes(&framed).unwrap();
+        assert_eq!(replay.entries, vec![(key("k"), value)]);
+        assert_eq!(replay.good_len, framed.len() as u64);
+        assert_eq!(replay.torn_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_replays_strict_prefix() {
+        let mut bytes = Vec::new();
+        for i in 0..5u64 {
+            bytes.extend_from_slice(&frame_record(&key(&format!("k{i}")), &v(i + 1, b"x")));
+        }
+        let full = replay_bytes(&bytes).unwrap();
+        assert_eq!(full.entries.len(), 5);
+        for cut in 0..bytes.len() {
+            let replay = replay_bytes(&bytes[..cut]).unwrap();
+            assert!(replay.entries.len() <= 5);
+            assert_eq!(
+                replay.entries.as_slice(),
+                &full.entries[..replay.entries.len()],
+                "cut at {cut} replayed a non-prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_log_bit_flip_is_refused_not_skipped() {
+        let mut bytes = Vec::new();
+        for i in 0..3u64 {
+            bytes.extend_from_slice(&frame_record(&key(&format!("k{i}")), &v(i + 1, b"data")));
+        }
+        // Flip a payload bit of the *first* record: replay must refuse,
+        // not resynchronize past it.
+        bytes[RECORD_HEADER + 2] ^= 0x10;
+        match replay_bytes(&bytes) {
+            Err(StoreError::Corrupt { offset, .. }) => assert_eq!(offset, 0),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_corrupt() {
+        let mut bytes = frame_record(&key("k"), &v(1, b"x"));
+        bytes[3] = 0xff; // len high byte → > MAX_RECORD
+        assert!(matches!(
+            replay_bytes(&bytes),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn open_append_reopen_recovers_everything() {
+        let storage = MemStorage::new();
+        let handle = StorageHandle::Memory(storage);
+        let (mut wal, map, report) = Wal::open(&handle, WalConfig::default()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(report, RecoveryReport::default());
+        for i in 0..10u64 {
+            wal.append(&key(&format!("k{i}")), &v(i + 1, b"val"))
+                .unwrap();
+        }
+        let (_, map, report) = Wal::open(&handle, WalConfig::default()).unwrap();
+        assert_eq!(map.len(), 10);
+        assert_eq!(report.replayed_records, 10);
+        assert!(!report.reset);
+    }
+
+    #[test]
+    fn compaction_snapshots_and_truncates_then_recovers() {
+        let storage = MemStorage::new();
+        let handle = StorageHandle::Memory(storage.clone());
+        let config = WalConfig {
+            fsync_on_commit: true,
+            compact_threshold: 256,
+        };
+        let (mut wal, _, _) = Wal::open(&handle, config.clone()).unwrap();
+        let mut map = HashMap::new();
+        let mut compactions = 0;
+        for i in 0..100u64 {
+            let (k, value) = (key(&format!("k{}", i % 7)), v(i + 1, b"payload-bytes"));
+            wal.append(&k, &value).unwrap();
+            map.insert(k, value);
+            if wal.maybe_compact(&map) {
+                compactions += 1;
+            }
+        }
+        assert!(compactions >= 2, "threshold never hit: {compactions}");
+        assert!(wal.log_len() < 256 + 64);
+        // Recovery sees snapshot + small tail, with full state intact.
+        let (wal2, recovered, report) = Wal::open(&handle, config).unwrap();
+        assert_eq!(recovered, map);
+        assert!(report.snapshot_records > 0);
+        assert_eq!(wal2.generation(), compactions);
+    }
+
+    #[test]
+    fn fencing_cuts_off_superseded_instances() {
+        let storage = MemStorage::new();
+        let handle = StorageHandle::Memory(storage);
+        let (mut old, _, _) = Wal::open(&handle, WalConfig::default()).unwrap();
+        old.append(&key("a"), &v(1, b"x")).unwrap();
+        let (mut new, map, _) = Wal::open(&handle, WalConfig::default()).unwrap();
+        assert_eq!(map.len(), 1);
+        assert!(matches!(
+            old.append(&key("b"), &v(2, b"y")),
+            Err(StoreError::Io(_))
+        ));
+        new.append(&key("c"), &v(3, b"z")).unwrap();
+        let (_, map, _) = Wal::open(&handle, WalConfig::default()).unwrap();
+        assert_eq!(map.len(), 2, "fenced append must not land");
+    }
+
+    #[test]
+    fn torn_write_fault_is_repaired_and_later_appends_survive() {
+        use ace_net::fault::{StorageFault, StorageFaultHub};
+        let hub = StorageFaultHub::new();
+        let host = HostId::from("s1");
+        let storage = MemStorage::new().with_faults(hub.clone(), host.clone());
+        let handle = StorageHandle::Memory(storage.clone());
+        let (mut wal, _, _) = Wal::open(&handle, WalConfig::default()).unwrap();
+        wal.append(&key("a"), &v(1, b"first")).unwrap();
+        hub.arm(&host, StorageFault::TornWrite(5));
+        assert!(wal.append(&key("b"), &v(2, b"torn")).is_err());
+        // The torn bytes were cut; the next append starts on a record
+        // boundary and the log replays cleanly.
+        wal.append(&key("c"), &v(3, b"after")).unwrap();
+        let (_, map, report) = Wal::open(&handle, WalConfig::default()).unwrap();
+        assert_eq!(map.len(), 2);
+        assert!(map.contains_key(&key("a")) && map.contains_key(&key("c")));
+        assert_eq!(report.torn_bytes, 0, "repair already removed the tear");
+    }
+}

@@ -35,7 +35,7 @@ fn pull(a: &DiskImage, b: &DiskImage) {
     for (ns, key, _, _) in b.digest() {
         let k = (ns, key);
         let remote = b.get(&k).expect("digested");
-        a.apply(k, remote);
+        a.apply(k, remote).unwrap();
     }
 }
 
@@ -56,7 +56,7 @@ proptest! {
                     writer: format!("w{}", op.writer),
                     deleted: op.delete,
                 },
-            );
+            ).unwrap();
         }
         // Two full rounds of pairwise pulls guarantee propagation through
         // any 3-node topology.
@@ -105,7 +105,7 @@ proptest! {
         };
         let a = DiskImage::new();
         for op in &ops {
-            a.apply(("ns".into(), format!("k{}", op.key)), value(op));
+            a.apply(("ns".into(), format!("k{}", op.key)), value(op)).unwrap();
         }
         // A deterministic shuffle of the same ops.
         let mut shuffled = ops.clone();
@@ -118,7 +118,7 @@ proptest! {
         }
         let b = DiskImage::new();
         for op in &shuffled {
-            b.apply(("ns".into(), format!("k{}", op.key)), value(op));
+            b.apply(("ns".into(), format!("k{}", op.key)), value(op)).unwrap();
         }
         prop_assert_eq!(a.checksum(), b.checksum());
     }
@@ -132,6 +132,107 @@ proptest! {
             prop_assert!(!a.beats(&b) && !b.beats(&a));
         } else {
             prop_assert!(a.beats(&b) ^ b.beats(&a));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAL record codec properties
+// ---------------------------------------------------------------------------
+
+mod wal_props {
+    use super::*;
+    use ace_store::wal::{frame_record, replay_bytes};
+    use ace_store::{StoreError, StoreKey};
+
+    fn entry_strategy() -> impl Strategy<Value = (StoreKey, Versioned)> {
+        (
+            0u8..4,
+            any::<u8>(),
+            1u64..1000,
+            0u8..4,
+            any::<bool>(),
+            prop::collection::vec(any::<u8>(), 0..32),
+        )
+            .prop_map(|(ns, key, version, writer, deleted, data)| {
+                (
+                    (format!("ns{ns}"), format!("k{key}")),
+                    Versioned {
+                        data,
+                        version,
+                        writer: format!("w{writer}"),
+                        deleted,
+                    },
+                )
+            })
+    }
+
+    fn concat(entries: &[(StoreKey, Versioned)]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for (k, v) in entries {
+            bytes.extend_from_slice(&frame_record(k, v));
+        }
+        bytes
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Encode → replay is the identity on any record sequence.
+        #[test]
+        fn records_roundtrip(entries in prop::collection::vec(entry_strategy(), 0..16)) {
+            let bytes = concat(&entries);
+            let replay = replay_bytes(&bytes).unwrap();
+            prop_assert_eq!(replay.entries, entries);
+            prop_assert_eq!(replay.good_len, bytes.len() as u64);
+            prop_assert_eq!(replay.torn_bytes, 0);
+        }
+
+        /// Cutting the log at ANY byte never panics and always replays a
+        /// strict prefix of the original records (the crash-tear model).
+        #[test]
+        fn truncation_replays_a_strict_prefix(
+            entries in prop::collection::vec(entry_strategy(), 1..12),
+            cut in any::<u16>(),
+        ) {
+            let bytes = concat(&entries);
+            let full = replay_bytes(&bytes).unwrap();
+            let cut = (cut as usize) % (bytes.len() + 1);
+            let replay = replay_bytes(&bytes[..cut]).unwrap();
+            prop_assert!(replay.entries.len() <= full.entries.len());
+            prop_assert_eq!(
+                replay.entries.as_slice(),
+                &full.entries[..replay.entries.len()]
+            );
+            prop_assert_eq!(replay.good_len + replay.torn_bytes, cut as u64);
+        }
+
+        /// Flipping ANY single bit never panics and never fabricates data:
+        /// replay either refuses with `Corrupt`, or (when the flip turned
+        /// the tail into an apparent tear) yields a strict prefix of the
+        /// original records, byte-identical to what was written.
+        #[test]
+        fn bit_flip_never_panics_and_never_fabricates(
+            entries in prop::collection::vec(entry_strategy(), 1..12),
+            flip in any::<u32>(),
+        ) {
+            let mut bytes = concat(&entries);
+            let full = replay_bytes(&bytes).unwrap();
+            let bit = (flip as usize) % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            match replay_bytes(&bytes) {
+                Err(StoreError::Corrupt { offset, .. }) => {
+                    prop_assert!(offset <= bytes.len() as u64);
+                }
+                Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+                Ok(replay) => {
+                    prop_assert!(replay.entries.len() <= full.entries.len());
+                    prop_assert_eq!(
+                        replay.entries.as_slice(),
+                        &full.entries[..replay.entries.len()]
+                    );
+                }
+            }
         }
     }
 }

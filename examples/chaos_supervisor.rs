@@ -15,7 +15,7 @@ use ace_core::supervise::wire_supervisor;
 use ace_directory::{bootstrap, AsdClient};
 use ace_net::fault::{FaultPlan, FaultPlanConfig};
 use ace_security::keys::KeyPair;
-use ace_store::{spawn_store_cluster, StoreClient, StoreReplica, STORE_PORT};
+use ace_store::{spawn_store_cluster, DiskImage, StoreClient, StoreReplica, WalConfig, STORE_PORT};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -33,8 +33,9 @@ fn main() {
         spawn_store_cluster(&net, &fw, &store_hosts, Duration::from_millis(50)).expect("cluster");
     println!("framework + 3-replica store up on {store_hosts:?}");
 
-    // One supervised spec per replica: respawn on the same host with the
-    // surviving DiskImage, so anti-entropy converges the restartee.
+    // One supervised spec per replica: respawn on the same host after
+    // recovering the disk image from its write-ahead log + snapshot; the
+    // recovery report rides into the supervisor's restart log line.
     let mut specs = Vec::new();
     for (i, host) in store_hosts.iter().enumerate() {
         let addrs = (
@@ -42,12 +43,14 @@ fn main() {
             fw.roomdb_addr.clone(),
             fw.logger_addr.clone(),
         );
-        let disk = cluster.replicas[i].1.clone();
+        let storage = cluster.storages[i].clone();
         let host = host.to_string();
         specs.push(SupervisedSpec::new(
             format!("store_{}", i + 1),
             Box::new(move |net: &SimNet| {
-                Daemon::spawn(
+                let (disk, report) = DiskImage::open_or_reset(&storage, WalConfig::default())
+                    .map_err(ace_store::storage_spawn_err)?;
+                let handle = Daemon::spawn(
                     net,
                     DaemonConfig::new(
                         format!("store_{}", i + 1),
@@ -59,8 +62,9 @@ fn main() {
                     .with_asd(addrs.0.clone())
                     .with_roomdb(addrs.1.clone())
                     .with_logger(addrs.2.clone()),
-                    Box::new(StoreReplica::new(disk.clone(), Duration::from_millis(50))),
-                )
+                    Box::new(StoreReplica::new(disk, Duration::from_millis(50))),
+                )?;
+                Ok(Respawn::with_note(handle, report.to_string()))
             }),
         ));
     }
