@@ -167,6 +167,7 @@ pub fn e15() {
             let config = WalConfig {
                 fsync_on_commit: false,
                 compact_threshold: threshold,
+                ..WalConfig::default()
             };
             let (disk, _) = DiskImage::open(&handle, config.clone()).unwrap();
             for i in 0..n {
@@ -206,6 +207,7 @@ pub fn e15() {
         let config = WalConfig {
             fsync_on_commit: fsync,
             compact_threshold: u64::MAX,
+            ..WalConfig::default()
         };
         let (disk, _) = DiskImage::open(&handle, config).unwrap();
         let mut i = 0u64;

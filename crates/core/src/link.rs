@@ -166,18 +166,22 @@ impl SecureLink {
         self.conn.peer_addr()
     }
 
-    /// Seal and send one command.
+    /// Seal and send one command.  One allocation end-to-end: the wire
+    /// rendering is encrypted in place and handed to the connection by
+    /// ownership (frames move through channels, they are never re-copied).
     pub fn send_cmd(&mut self, cmd: &CmdLine) -> Result<(), LinkError> {
-        let frame = self.tx.seal(cmd.to_wire().as_bytes());
+        let mut frame = cmd.to_wire().into_bytes();
+        self.tx.seal_in_place(&mut frame);
         self.conn.send(frame)?;
         Ok(())
     }
 
-    /// Receive, open, and parse one command.
+    /// Receive, open, and parse one command.  The received frame is
+    /// decrypted in place — no ciphertext copy on the hot path.
     pub fn recv_cmd(&mut self, timeout: Duration) -> Result<CmdLine, LinkError> {
-        let frame = self.conn.recv_timeout(timeout)?;
-        let plain = self.rx.open(&frame).map_err(LinkError::Seal)?;
-        let text = std::str::from_utf8(&plain)
+        let mut frame = self.conn.recv_timeout(timeout)?;
+        self.rx.open_in_place(&mut frame).map_err(LinkError::Seal)?;
+        let text = std::str::from_utf8(&frame)
             .map_err(|_| LinkError::Malformed("frame not UTF-8".into()))?;
         CmdLine::parse(text).map_err(|e| LinkError::Malformed(e.to_string()))
     }

@@ -159,26 +159,37 @@ pub fn logger_semantics() -> Semantics {
 /// credential text, binary payloads) can travel inside commands — the
 /// grammar's quoted strings cannot carry newlines or quotes.
 pub fn hex_encode(data: &[u8]) -> String {
-    use std::fmt::Write;
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
     // The `x` prefix keeps the token a <WORD> even when every digit is
-    // decimal (which would re-lex as an integer).
-    let mut out = String::with_capacity(data.len() * 2 + 1);
-    out.push('x');
-    for b in data {
-        let _ = write!(out, "{b:02x}");
+    // decimal (which would re-lex as an integer).  Nibble lookups into one
+    // byte buffer: this sits under every stored blob and every read-repair
+    // push, where the formatting machinery of `write!` is pure overhead.
+    let mut out = Vec::with_capacity(data.len() * 2 + 1);
+    out.push(b'x');
+    for &b in data {
+        out.push(DIGITS[(b >> 4) as usize]);
+        out.push(DIGITS[(b & 0x0f) as usize]);
     }
-    out
+    String::from_utf8(out).expect("hex digits are ASCII")
 }
 
-/// Decode a [`hex_encode`]d word.
+/// Decode a [`hex_encode`]d word (uppercase digits accepted).
 pub fn hex_decode(hex: &str) -> Option<Vec<u8>> {
+    fn nibble(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
     let hex = hex.strip_prefix('x').unwrap_or(hex);
     if !hex.len().is_multiple_of(2) {
         return None;
     }
-    (0..hex.len())
-        .step_by(2)
-        .map(|i| u8::from_str_radix(hex.get(i..i + 2)?, 16).ok())
+    hex.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| Some(nibble(pair[0])? << 4 | nibble(pair[1])?))
         .collect()
 }
 

@@ -9,13 +9,17 @@
 use crate::error::{ParseError, ParseErrorKind};
 
 /// A lexical token with its byte offset in the source (for error reporting).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Token {
+///
+/// Text tokens borrow from the source string — the hot parse path (every
+/// command crossing every secure link) allocates nothing until a token is
+/// promoted into an owned [`crate::value::Value`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Token<'a> {
     Int(i64),
     Float(f64),
-    Word(String),
+    Word(&'a str),
     /// Quoted string, quotes stripped.
-    Str(String),
+    Str(&'a str),
     Equals,
     Comma,
     OpenBrace,
@@ -23,7 +27,7 @@ pub enum Token {
     Semicolon,
 }
 
-impl Token {
+impl Token<'_> {
     /// Short human name used in "expected X, found Y" errors.
     pub fn describe(&self) -> &'static str {
         match self {
@@ -49,7 +53,7 @@ fn is_atom_char(c: char) -> bool {
 
 /// Classify a bare atom per the grammar: integers first, then floats, then
 /// words.  Anything else (e.g. `1.2.3` or a stray `-`) is a lex error.
-fn classify_atom(atom: &str, pos: usize) -> Result<Token, ParseError> {
+fn classify_atom(atom: &str, pos: usize) -> Result<Token<'_>, ParseError> {
     if let Ok(i) = atom.parse::<i64>() {
         return Ok(Token::Int(i));
     }
@@ -60,7 +64,7 @@ fn classify_atom(atom: &str, pos: usize) -> Result<Token, ParseError> {
         }
     }
     if crate::value::is_word(atom) {
-        return Ok(Token::Word(atom.to_string()));
+        return Ok(Token::Word(atom));
     }
     Err(ParseError::new(
         ParseErrorKind::BadAtom(atom.to_string()),
@@ -69,7 +73,7 @@ fn classify_atom(atom: &str, pos: usize) -> Result<Token, ParseError> {
 }
 
 /// Tokenize `src` into a vector of `(token, byte_offset)` pairs.
-pub fn lex(src: &str) -> Result<Vec<(Token, usize)>, ParseError> {
+pub fn lex(src: &str) -> Result<Vec<(Token<'_>, usize)>, ParseError> {
     let mut out = Vec::with_capacity(16);
     let bytes = src.as_bytes();
     let mut i = 0;
@@ -116,7 +120,7 @@ pub fn lex(src: &str) -> Result<Vec<(Token, usize)>, ParseError> {
                 // Safety of slicing: '"' is a single-byte delimiter, so the
                 // content is a valid UTF-8 substring.
                 let content = &src[content_start..i];
-                out.push((Token::Str(content.to_string()), start));
+                out.push((Token::Str(content), start));
                 i += 1;
             }
             c if is_atom_char(c) => {
@@ -139,7 +143,7 @@ pub fn lex(src: &str) -> Result<Vec<(Token, usize)>, ParseError> {
 mod tests {
     use super::*;
 
-    fn toks(src: &str) -> Vec<Token> {
+    fn toks(src: &str) -> Vec<Token<'_>> {
         lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
     }
 
@@ -148,11 +152,11 @@ mod tests {
         assert_eq!(
             toks("move x=1 y=2;"),
             vec![
-                Token::Word("move".into()),
-                Token::Word("x".into()),
+                Token::Word("move"),
+                Token::Word("x"),
                 Token::Equals,
                 Token::Int(1),
-                Token::Word("y".into()),
+                Token::Word("y"),
                 Token::Equals,
                 Token::Int(2),
                 Token::Semicolon,
@@ -172,16 +176,13 @@ mod tests {
     #[test]
     fn lex_word_that_starts_with_digit() {
         // "3abc" is a legal <WORD> per the grammar (contiguous alphanumerics).
-        assert_eq!(toks("3abc"), vec![Token::Word("3abc".into())]);
+        assert_eq!(toks("3abc"), vec![Token::Word("3abc")]);
     }
 
     #[test]
     fn lex_quoted_string() {
-        assert_eq!(
-            toks("\"hello world\""),
-            vec![Token::Str("hello world".into())]
-        );
-        assert_eq!(toks("\"\""), vec![Token::Str(String::new())]);
+        assert_eq!(toks("\"hello world\""), vec![Token::Str("hello world")]);
+        assert_eq!(toks("\"\""), vec![Token::Str("")]);
     }
 
     #[test]

@@ -22,21 +22,22 @@ use crate::error::{ParseError, ParseErrorKind};
 use crate::lexer::{lex, Token};
 use crate::value::{Scalar, Value};
 
-struct Cursor {
-    toks: Vec<(Token, usize)>,
+struct Cursor<'a> {
+    toks: Vec<(Token<'a>, usize)>,
     i: usize,
     end: usize,
 }
 
-impl Cursor {
-    fn peek(&self) -> Option<&Token> {
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&Token<'a>> {
         self.toks.get(self.i).map(|(t, _)| t)
     }
     fn pos(&self) -> usize {
         self.toks.get(self.i).map(|(_, p)| *p).unwrap_or(self.end)
     }
-    fn next(&mut self) -> Option<Token> {
-        let t = self.toks.get(self.i).map(|(t, _)| t.clone());
+    fn next(&mut self) -> Option<Token<'a>> {
+        // Tokens are `Copy` (they borrow the source), so this is free.
+        let t = self.toks.get(self.i).map(|(t, _)| *t);
         if t.is_some() {
             self.i += 1;
         }
@@ -79,7 +80,7 @@ pub fn parse_all(src: &str) -> Result<Vec<CmdLine>, ParseError> {
     Ok(cmds)
 }
 
-fn parse_one(cur: &mut Cursor) -> Result<CmdLine, ParseError> {
+fn parse_one(cur: &mut Cursor<'_>) -> Result<CmdLine, ParseError> {
     let pos = cur.pos();
     let name = match cur.next() {
         Some(Token::Word(w)) => w,
@@ -143,13 +144,13 @@ fn parse_one(cur: &mut Cursor) -> Result<CmdLine, ParseError> {
     }
 }
 
-fn parse_value(cur: &mut Cursor) -> Result<Value, ParseError> {
+fn parse_value(cur: &mut Cursor<'_>) -> Result<Value, ParseError> {
     let pos = cur.pos();
     match cur.next() {
         Some(Token::Int(i)) => Ok(Value::Int(i)),
         Some(Token::Float(f)) => Ok(Value::Float(f)),
-        Some(Token::Word(w)) => Ok(Value::Word(w)),
-        Some(Token::Str(s)) => Ok(Value::Str(s)),
+        Some(Token::Word(w)) => Ok(Value::Word(w.to_string())),
+        Some(Token::Str(s)) => Ok(Value::Str(s.to_string())),
         Some(Token::OpenBrace) => parse_braced(cur, pos),
         Some(other) => Err(ParseError::new(
             ParseErrorKind::Unexpected {
@@ -167,7 +168,7 @@ fn parse_value(cur: &mut Cursor) -> Result<Value, ParseError> {
 
 /// Parse the interior of a `{…}`: either a vector of scalars or an array of
 /// vectors, decided by the first token after the brace.
-fn parse_braced(cur: &mut Cursor, open_pos: usize) -> Result<Value, ParseError> {
+fn parse_braced(cur: &mut Cursor<'_>, open_pos: usize) -> Result<Value, ParseError> {
     match cur.peek() {
         Some(Token::CloseBrace) => {
             cur.next();
@@ -230,7 +231,7 @@ fn parse_braced(cur: &mut Cursor, open_pos: usize) -> Result<Value, ParseError> 
 
 /// Parse scalars up to and including the closing `}`.  Enforces vector
 /// homogeneity per `<VECTOR> := {[<INTEGER>]','…} | {[<FLOAT>]','…} | …`.
-fn parse_scalar_list(cur: &mut Cursor) -> Result<Vec<Scalar>, ParseError> {
+fn parse_scalar_list(cur: &mut Cursor<'_>) -> Result<Vec<Scalar>, ParseError> {
     let mut out = Vec::new();
     // Empty vector inside an array: `{}`.
     if matches!(cur.peek(), Some(Token::CloseBrace)) {
@@ -242,8 +243,8 @@ fn parse_scalar_list(cur: &mut Cursor) -> Result<Vec<Scalar>, ParseError> {
         let scalar = match cur.next() {
             Some(Token::Int(i)) => Scalar::Int(i),
             Some(Token::Float(f)) => Scalar::Float(f),
-            Some(Token::Word(w)) => Scalar::Word(w),
-            Some(Token::Str(s)) => Scalar::Str(s),
+            Some(Token::Word(w)) => Scalar::Word(w.to_string()),
+            Some(Token::Str(s)) => Scalar::Str(s.to_string()),
             Some(other) => {
                 return Err(ParseError::new(
                     ParseErrorKind::Unexpected {

@@ -5,6 +5,12 @@
 //! or data blocks — the simulation frames at the message level rather than
 //! emulating a byte stream, which preserves per-message wire cost and
 //! ordering without a reassembly layer.
+//!
+//! **Zero-copy contract**: frames move by *ownership*.  [`Connection::send`]
+//! takes the `Vec<u8>` the sender sealed in place and hands the same
+//! allocation through the channel to the receiver, who gets it back from
+//! [`Connection::recv`] and decrypts it in place — the wire hot path never
+//! copies frame bytes between the seal and the open.
 
 use crate::addr::Addr;
 use crate::error::NetError;
@@ -65,8 +71,9 @@ impl Connection {
         &self.peer
     }
 
-    /// Send one frame.  Fails if either host is down, a partition separates
-    /// them, or the peer has gone away.
+    /// Send one frame, transferring ownership of the buffer all the way to
+    /// the receiver (no copy).  Fails if either host is down, a partition
+    /// separates them, or the peer has gone away.
     pub fn send(&self, frame: Vec<u8>) -> Result<(), NetError> {
         self.net.check_link(&self.local.host, &self.peer.host)?;
         self.net.apply_latency();
@@ -76,7 +83,9 @@ impl Connection {
             .map_err(|_| NetError::Closed)
     }
 
-    /// Receive the next frame, blocking until one arrives or the peer closes.
+    /// Receive the next frame, blocking until one arrives or the peer
+    /// closes.  The returned buffer is the sender's own allocation —
+    /// callers may decrypt it in place.
     pub fn recv(&self) -> Result<Vec<u8>, NetError> {
         match self.rx.recv() {
             Ok(WireItem::Frame(f)) => Ok(f),

@@ -9,7 +9,7 @@
 //! benchmarks, and MAC verification genuinely rejects tampering — but none
 //! of this is cryptographically strong and it must never be used as such.
 
-use crate::hash::{fnv128, fnv64_keyed};
+use crate::hash::{fnv64_keyed, Fnv64Stream};
 use rand::Rng;
 
 /// Largest 64-bit prime; the DH group modulus.
@@ -113,33 +113,56 @@ impl SecureChannel {
         }
     }
 
-    /// Encrypt and authenticate one outgoing frame.
+    /// Encrypt and authenticate one outgoing frame.  Allocates a fresh
+    /// buffer; the wire hot path hands its own buffer to
+    /// [`SecureChannel::seal_in_place`] instead.
     pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
-        let seq = self.send_seq;
-        self.send_seq += 1;
         let mut out = Vec::with_capacity(plaintext.len() + 16);
         out.extend_from_slice(plaintext);
-        keystream_xor(self.key.cipher, seq, &mut out);
-        let mac = frame_mac(self.key.mac, seq, &out);
-        out.extend_from_slice(&mac.to_le_bytes());
+        self.seal_in_place(&mut out);
         out
     }
 
-    /// Verify and decrypt one incoming frame.
+    /// Encrypt and authenticate `buf` in place: the plaintext bytes are
+    /// XORed with the keystream and the 16-byte MAC trailer is appended.
+    /// No allocation beyond the trailer growth (amortised to zero when the
+    /// caller reserves 16 spare bytes).
+    pub fn seal_in_place(&mut self, buf: &mut Vec<u8>) {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        keystream_xor(self.key.cipher, seq, buf);
+        let mac = frame_mac(self.key.mac, seq, buf);
+        buf.extend_from_slice(&mac.to_le_bytes());
+    }
+
+    /// Verify and decrypt one incoming frame into a fresh buffer; the
+    /// wire hot path uses [`SecureChannel::open_in_place`] on the frame it
+    /// already owns.
     pub fn open(&mut self, frame: &[u8]) -> Result<Vec<u8>, SealError> {
+        let mut buf = frame.to_vec();
+        self.open_in_place(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Verify and decrypt `frame` in place: on success the MAC trailer is
+    /// truncated off and the remaining bytes are the plaintext — zero
+    /// copies, zero allocations.  On failure the frame is left untouched
+    /// and the receive sequence does not advance.
+    pub fn open_in_place(&mut self, frame: &mut Vec<u8>) -> Result<(), SealError> {
         if frame.len() < 16 {
             return Err(SealError::Truncated);
         }
-        let (ct, mac_bytes) = frame.split_at(frame.len() - 16);
+        let ct_len = frame.len() - 16;
+        let (ct, mac_bytes) = frame.split_at(ct_len);
         let mac = u128::from_le_bytes(mac_bytes.try_into().expect("16-byte trailer"));
         let seq = self.recv_seq;
         if frame_mac(self.key.mac, seq, ct) != mac {
             return Err(SealError::BadMac);
         }
         self.recv_seq += 1;
-        let mut pt = ct.to_vec();
-        keystream_xor(self.key.cipher, seq, &mut pt);
-        Ok(pt)
+        frame.truncate(ct_len);
+        keystream_xor(self.key.cipher, seq, frame);
+        Ok(())
     }
 }
 
@@ -159,12 +182,19 @@ fn keystream_xor(key: u64, seq: u64, buf: &mut [u8]) {
     }
 }
 
+/// 128-bit frame MAC over `key_le || seq_le || ct`, streamed through two
+/// independently-keyed FNV lanes (the keys match [`crate::hash::fnv128`],
+/// so the wire format is identical to hashing the concatenation — without
+/// materialising it).
 fn frame_mac(key: u64, seq: u64, ct: &[u8]) -> u128 {
-    let mut material = Vec::with_capacity(ct.len() + 16);
-    material.extend_from_slice(&key.to_le_bytes());
-    material.extend_from_slice(&seq.to_le_bytes());
-    material.extend_from_slice(ct);
-    fnv128(&material)
+    let mut lo = Fnv64Stream::keyed(0x9e3779b97f4a7c15);
+    let mut hi = Fnv64Stream::keyed(0xc2b2ae3d27d4eb4f);
+    for lane in [&mut lo, &mut hi] {
+        lane.update(&key.to_le_bytes());
+        lane.update(&seq.to_le_bytes());
+        lane.update(ct);
+    }
+    ((hi.finish() as u128) << 64) | lo.finish() as u128
 }
 
 #[cfg(test)]
@@ -248,5 +278,44 @@ mod tests {
         let (mut a, mut b) = channel_pair();
         let frame = a.seal(b"");
         assert_eq!(b.open(&frame).unwrap(), b"");
+    }
+
+    #[test]
+    fn in_place_apis_match_allocating_ones() {
+        let (mut a, mut b) = channel_pair();
+        let (mut a2, mut b2) = channel_pair();
+        let allocating = a.seal(b"zero copy payload");
+        let mut in_place = b"zero copy payload".to_vec();
+        a2.seal_in_place(&mut in_place);
+        assert_eq!(allocating, in_place, "same wire bytes either way");
+        assert_eq!(b.open(&allocating).unwrap(), b"zero copy payload");
+        b2.open_in_place(&mut in_place).unwrap();
+        assert_eq!(in_place, b"zero copy payload");
+    }
+
+    #[test]
+    fn failed_open_in_place_leaves_frame_and_sequence_intact() {
+        let (mut a, mut b) = channel_pair();
+        let mut frame = a.seal(b"first");
+        frame[0] ^= 0xff;
+        let tampered = frame.clone();
+        assert_eq!(b.open_in_place(&mut frame), Err(SealError::BadMac));
+        assert_eq!(frame, tampered, "failed open must not mutate the frame");
+        // The sequence did not advance: the untampered original still opens.
+        frame[0] ^= 0xff;
+        b.open_in_place(&mut frame).unwrap();
+        assert_eq!(frame, b"first");
+    }
+
+    #[test]
+    fn streamed_mac_matches_concatenated_fnv128() {
+        // The MAC wire format is pinned: two FNV lanes over
+        // key_le || seq_le || ct, exactly as fnv128 over the concatenation.
+        let (key, seq, ct) = (0xdead_beefu64, 7u64, b"ciphertext".as_slice());
+        let mut material = Vec::new();
+        material.extend_from_slice(&key.to_le_bytes());
+        material.extend_from_slice(&seq.to_le_bytes());
+        material.extend_from_slice(ct);
+        assert_eq!(frame_mac(key, seq, ct), crate::hash::fnv128(&material));
     }
 }

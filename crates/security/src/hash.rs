@@ -18,17 +18,45 @@ pub fn fnv64(data: &[u8]) -> u64 {
 
 /// FNV-1a with a seed mixed in first (keyed hash for MACs).
 pub fn fnv64_keyed(key: u64, data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325 ^ key;
-    h = h.wrapping_mul(0x100000001b3);
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
+    let mut h = Fnv64Stream::keyed(key);
+    h.update(data);
+    h.finish()
+}
+
+/// Streaming form of [`fnv64_keyed`]: feed input in pieces without
+/// concatenating them into a buffer first.  Byte-for-byte identical to
+/// hashing the concatenation, so the wire MAC format is unchanged while
+/// the per-frame scratch allocation disappears.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64Stream {
+    h: u64,
+}
+
+impl Fnv64Stream {
+    /// Start a keyed stream (same seed-mixing as [`fnv64_keyed`]).
+    pub fn keyed(key: u64) -> Fnv64Stream {
+        let h = (0xcbf29ce484222325u64 ^ key).wrapping_mul(0x100000001b3);
+        Fnv64Stream { h }
     }
-    // Final avalanche (xorshift-multiply) so near-equal inputs diverge.
-    h ^= h >> 33;
-    h = h.wrapping_mul(0xff51afd7ed558ccd);
-    h ^= h >> 33;
-    h
+
+    /// Absorb more input.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut h = self.h;
+        for &b in data {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        self.h = h;
+    }
+
+    /// Final avalanche (xorshift-multiply) so near-equal inputs diverge.
+    pub fn finish(self) -> u64 {
+        let mut h = self.h;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51afd7ed558ccd);
+        h ^= h >> 33;
+        h
+    }
 }
 
 /// 128-bit digest as two independently-keyed 64-bit lanes.
@@ -89,6 +117,19 @@ mod tests {
     #[test]
     fn key_sensitive() {
         assert_ne!(fnv64_keyed(1, b"abc"), fnv64_keyed(2, b"abc"));
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let parts: [&[u8]; 4] = [b"key-le", b"", b"seq-le", b"ciphertext bytes \xff\x00"];
+        let concat: Vec<u8> = parts.concat();
+        for key in [0u64, 1, 0x9e3779b97f4a7c15] {
+            let mut s = Fnv64Stream::keyed(key);
+            for part in parts {
+                s.update(part);
+            }
+            assert_eq!(s.finish(), fnv64_keyed(key, &concat));
+        }
     }
 
     #[test]

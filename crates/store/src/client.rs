@@ -9,6 +9,7 @@ use crate::version::Versioned;
 use ace_core::prelude::*;
 use ace_core::protocol::hex_encode;
 use ace_security::keys::KeyPair;
+use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
 
@@ -58,6 +59,23 @@ pub struct ClientStats {
     /// Replica replies dropped because they failed validation (missing or
     /// malformed fields).  Non-zero means a replica is misbehaving.
     pub corrupt_replies: u64,
+    /// `put_many` calls that reached quorum (each is one wire command and
+    /// one WAL batch per replica, however many records it carried).
+    pub batch_writes: u64,
+    /// Records shipped inside those batches.
+    pub batched_records: u64,
+}
+
+/// Replica-side group-commit effectiveness, aggregated over the replica
+/// set by [`StoreClient::wal_batching`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalBatchReport {
+    /// Records appended across all replicas.
+    pub appends: u64,
+    /// Group-commit batches those records travelled in.
+    pub batches: u64,
+    /// Fsyncs avoided by grouping.
+    pub fsyncs_saved: u64,
 }
 
 /// A connected store client.
@@ -284,6 +302,17 @@ impl StoreClient {
     /// redundancy.  Best-effort by design: the warning rides on a lazily
     /// (re)built connection and is dropped if the logger is down.
     fn warn_degraded(&mut self, cmd: &str, ns: &str, key: &str, acked: usize) {
+        let msg = format!(
+            "degraded {cmd} {ns}/{key}: {acked}/{} replicas acked (quorum {})",
+            self.replicas.len(),
+            self.quorum
+        );
+        self.log_best_effort("warn", &msg);
+    }
+
+    /// Ship one line to the Network Logger over a lazily (re)built
+    /// connection; dropped silently if the logger is down.
+    fn log_best_effort(&mut self, level: &str, msg: &str) {
         let Some(addr) = self.logger_addr.clone() else {
             return;
         };
@@ -297,12 +326,7 @@ impl StoreClient {
             .ok();
         }
         if let Some(logger) = self.logger.as_mut() {
-            let msg = format!(
-                "degraded {cmd} {ns}/{key}: {acked}/{} replicas acked (quorum {})",
-                self.replicas.len(),
-                self.quorum
-            );
-            if logger.log("warn", &msg).is_err() {
+            if logger.log(level, msg).is_err() {
                 self.logger = None;
             }
         }
@@ -311,6 +335,104 @@ impl StoreClient {
     /// Write a value (read-max-plus-one versioning, majority quorum).
     pub fn put(&mut self, ns: &str, key: &str, data: &[u8]) -> Result<u64, StoreError> {
         self.write("psPut", ns, key, data)
+    }
+
+    /// Write a run of values to one namespace in a single quorum round.
+    /// One `psPutBatch` command per replica carries every record, and the
+    /// replica commits the run through one WAL batch — the fsync is paid
+    /// once per replica, not once per record.  Versions are still
+    /// read-max-plus-one, with the read half amortised into one digest
+    /// scan per replica.  Returns the assigned versions (index-aligned
+    /// with `items`, which should not repeat keys); `Err` means *no*
+    /// record may be treated as stored.
+    pub fn put_many(
+        &mut self,
+        ns: &str,
+        items: &[(String, Vec<u8>)],
+    ) -> Result<Vec<u64>, StoreError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut newest: HashMap<&str, u64> = items.iter().map(|(k, _)| (k.as_str(), 0)).collect();
+        let digest = CmdLine::new("psDigest");
+        for idx in 0..self.replicas.len() {
+            let Some(reply) = self.call_replica(idx, &digest) else {
+                continue;
+            };
+            let Some(rows) = crate::replica::digest_from_reply(&reply) else {
+                self.stats.corrupt_replies += 1;
+                continue;
+            };
+            for (row_ns, key, version, _) in rows {
+                if row_ns == ns {
+                    if let Some(best) = newest.get_mut(key.as_str()) {
+                        *best = (*best).max(version);
+                    }
+                }
+            }
+        }
+        let versions: Vec<u64> = items.iter().map(|(k, _)| newest[k.as_str()] + 1).collect();
+        let rows: Vec<Vec<Scalar>> = items
+            .iter()
+            .zip(&versions)
+            .map(|((key, data), version)| {
+                vec![
+                    Scalar::Str(key.clone()),
+                    Scalar::Str(hex_encode(data)),
+                    Scalar::Str(version.to_string()),
+                    Scalar::Str(self.writer_id.clone()),
+                ]
+            })
+            .collect();
+        let cmd = CmdLine::new("psPutBatch")
+            .arg("ns", ns)
+            .arg("items", Value::Array(rows));
+        let mut acked = 0;
+        for idx in 0..self.replicas.len() {
+            if self.call_replica(idx, &cmd).is_some() {
+                acked += 1;
+            }
+        }
+        if acked >= self.quorum {
+            self.stats.writes += 1;
+            self.stats.batch_writes += 1;
+            self.stats.batched_records += items.len() as u64;
+            if acked < self.replicas.len() {
+                self.stats.degraded_writes += 1;
+                let what = format!("batch[{} records]", items.len());
+                self.warn_degraded("psPutBatch", ns, &what, acked);
+            }
+            Ok(versions)
+        } else {
+            self.stats.quorum_failures += 1;
+            Err(StoreError::QuorumFailed {
+                acked,
+                quorum: self.quorum,
+            })
+        }
+    }
+
+    /// Aggregate group-commit counters across the replica set (one
+    /// `psStats` per reachable replica) and report the result to the
+    /// Network Logger — operational visibility into how much fsync
+    /// amortisation the cluster actually achieves.
+    pub fn wal_batching(&mut self) -> WalBatchReport {
+        let cmd = CmdLine::new("psStats");
+        let mut report = WalBatchReport::default();
+        for idx in 0..self.replicas.len() {
+            let Some(reply) = self.call_replica(idx, &cmd) else {
+                continue;
+            };
+            report.appends += reply.get_int("walAppends").unwrap_or(0).max(0) as u64;
+            report.batches += reply.get_int("walBatches").unwrap_or(0).max(0) as u64;
+            report.fsyncs_saved += reply.get_int("walFsyncsSaved").unwrap_or(0).max(0) as u64;
+        }
+        let msg = format!(
+            "wal batching: {} appends in {} batches, {} fsyncs saved",
+            report.appends, report.batches, report.fsyncs_saved
+        );
+        self.log_best_effort("info", &msg);
+        report
     }
 
     /// Delete a key (tombstone write, majority quorum).

@@ -23,7 +23,7 @@ pub mod replica;
 pub mod version;
 pub mod wal;
 
-pub use client::{ClientStats, StoreClient, StoreError};
+pub use client::{ClientStats, StoreClient, StoreError, WalBatchReport};
 pub use replica::{DiskImage, StoreReplica};
 pub use version::{StoreKey, Versioned};
 pub use wal::{MemStorage, RecoveryReport, StorageHandle, Wal, WalConfig, WalStats};
@@ -56,12 +56,26 @@ impl StoreCluster {
     }
 }
 
-/// Spawn one replica per host (the paper's cluster is three).
+/// Spawn one replica per host (the paper's cluster is three) with the
+/// default durability policy.
 pub fn spawn_store_cluster(
     net: &SimNet,
     fw: &Framework,
     hosts: &[&str],
     sync_interval: Duration,
+) -> Result<StoreCluster, SpawnError> {
+    spawn_store_cluster_with(net, fw, hosts, sync_interval, WalConfig::default())
+}
+
+/// [`spawn_store_cluster`] with an explicit [`WalConfig`] — chaos runs and
+/// benchmarks tune the group-commit knobs (`max_batch_bytes`,
+/// `max_batch_delay`) and compaction threshold per scenario.
+pub fn spawn_store_cluster_with(
+    net: &SimNet,
+    fw: &Framework,
+    hosts: &[&str],
+    sync_interval: Duration,
+    config: WalConfig,
 ) -> Result<StoreCluster, SpawnError> {
     let mut replicas = Vec::with_capacity(hosts.len());
     let mut addrs = Vec::with_capacity(hosts.len());
@@ -73,8 +87,7 @@ pub fn spawn_store_cluster(
         let storage = StorageHandle::Memory(
             MemStorage::new().with_faults(net.storage_faults(), (*host).into()),
         );
-        let (disk, _) =
-            DiskImage::open(&storage, WalConfig::default()).map_err(storage_spawn_err)?;
+        let (disk, _) = DiskImage::open(&storage, config.clone()).map_err(storage_spawn_err)?;
         let handle = Daemon::spawn(
             net,
             fw.service_config(

@@ -23,22 +23,26 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-#[derive(Debug, Default)]
-struct DiskInner {
-    map: HashMap<StoreKey, Versioned>,
-    /// `None` for a volatile image (unit tests, benchmarks); durable
-    /// images log every applied write here *before* it becomes visible.
-    wal: Option<Wal>,
-}
-
 /// The disk of one replica: survives daemon crash/restart.  A volatile
 /// image ([`DiskImage::new`]) survives by being handed to the respawned
 /// daemon; a durable one ([`DiskImage::open`]) additionally recovers from
 /// its write-ahead log + snapshot, so it survives the *process* dying with
 /// the image unreferenced.
+///
+/// The map and the WAL are deliberately *not* behind one lock: appenders
+/// log first (where the WAL's group-commit engine batches them across
+/// threads) and only then take the map lock to publish, so concurrent
+/// writers share fsyncs instead of serialising on the image.
 #[derive(Debug, Clone, Default)]
 pub struct DiskImage {
-    inner: Arc<Mutex<DiskInner>>,
+    map: Arc<Mutex<HashMap<StoreKey, Versioned>>>,
+    /// `None` for a volatile image (unit tests, benchmarks); durable
+    /// images log every applied write here *before* it becomes visible.
+    wal: Option<Arc<Wal>>,
+    /// Writes durably in the log but not yet published to `map`.
+    /// Compaction snapshots the map and truncates the log, so it must
+    /// not run while this is non-zero (see [`Wal::maybe_compact_when`]).
+    in_flight: Arc<AtomicU64>,
 }
 
 impl DiskImage {
@@ -58,10 +62,9 @@ impl DiskImage {
         let (wal, map, report) = Wal::open(handle, config)?;
         Ok((
             DiskImage {
-                inner: Arc::new(Mutex::new(DiskInner {
-                    map,
-                    wal: Some(wal),
-                })),
+                map: Arc::new(Mutex::new(map)),
+                wal: Some(Arc::new(wal)),
+                in_flight: Arc::new(AtomicU64::new(0)),
             },
             report,
         ))
@@ -91,34 +94,96 @@ impl DiskImage {
     /// is in the log (and synced, per [`WalConfig`]).  An `Err` means the
     /// write is *not* durable and must not be acknowledged.
     pub fn apply(&self, key: StoreKey, value: Versioned) -> Result<bool, StoreError> {
-        let mut guard = self.inner.lock();
-        let inner = &mut *guard;
-        match inner.map.get(&key) {
-            Some(existing) if !value.beats(existing) => Ok(false),
-            _ => {
-                if let Some(wal) = inner.wal.as_mut() {
-                    wal.append(&key, &value)?;
+        // Cheap staleness pre-check: losing the race to a concurrent
+        // newer write is fine — the authoritative check repeats under
+        // the map lock after logging.
+        {
+            let map = self.map.lock();
+            if let Some(existing) = map.get(&key) {
+                if !value.beats(existing) {
+                    return Ok(false);
                 }
-                inner.map.insert(key, value);
-                if let Some(wal) = inner.wal.as_mut() {
-                    wal.maybe_compact(&inner.map);
-                }
-                Ok(true)
             }
         }
+        if let Some(wal) = &self.wal {
+            // Log before visibility.  `in_flight` brackets the window in
+            // which the record is durable but not yet published, keeping
+            // compaction from truncating it out from under us.
+            self.in_flight.fetch_add(1, Ordering::SeqCst);
+            if let Err(e) = wal.append(&key, &value) {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                return Err(e);
+            }
+        }
+        let mut map = self.map.lock();
+        let applied = match map.get(&key) {
+            Some(existing) if !value.beats(existing) => false,
+            _ => {
+                map.insert(key, value);
+                true
+            }
+        };
+        if let Some(wal) = &self.wal {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            wal.maybe_compact_when(&map, || self.in_flight.load(Ordering::SeqCst) == 0);
+        }
+        Ok(applied)
+    }
+
+    /// Apply a run of versioned writes, sharing one WAL batch (one fsync,
+    /// batch size permitting) across all of them.  Stale entries are
+    /// filtered; the survivors are logged contiguously and then published
+    /// together.  Returns how many entries were applied.  An `Err` means
+    /// *none* of the writes may be acknowledged.
+    pub fn apply_batch(&self, entries: Vec<(StoreKey, Versioned)>) -> Result<usize, StoreError> {
+        let fresh: Vec<(StoreKey, Versioned)> = {
+            let map = self.map.lock();
+            entries
+                .into_iter()
+                .filter(|(key, value)| match map.get(key) {
+                    Some(existing) => value.beats(existing),
+                    None => true,
+                })
+                .collect()
+        };
+        if fresh.is_empty() {
+            return Ok(0);
+        }
+        if let Some(wal) = &self.wal {
+            self.in_flight.fetch_add(1, Ordering::SeqCst);
+            if let Err(e) = wal.append_batch(&fresh) {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                return Err(e);
+            }
+        }
+        let mut map = self.map.lock();
+        let mut applied = 0;
+        for (key, value) in fresh {
+            match map.get(&key) {
+                Some(existing) if !value.beats(existing) => {}
+                _ => {
+                    map.insert(key, value);
+                    applied += 1;
+                }
+            }
+        }
+        if let Some(wal) = &self.wal {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            wal.maybe_compact_when(&map, || self.in_flight.load(Ordering::SeqCst) == 0);
+        }
+        Ok(applied)
     }
 
     /// Read a key (tombstones included).
     pub fn get(&self, key: &StoreKey) -> Option<Versioned> {
-        self.inner.lock().map.get(key).cloned()
+        self.map.lock().get(key).cloned()
     }
 
     /// Live (non-tombstone) keys in a namespace, sorted.
     pub fn list(&self, ns: &str) -> Vec<String> {
         let mut keys: Vec<String> = self
-            .inner
-            .lock()
             .map
+            .lock()
             .iter()
             .filter(|((n, _), v)| n == ns && !v.deleted)
             .map(|((_, k), _)| k.clone())
@@ -130,9 +195,8 @@ impl DiskImage {
     /// Digest of everything held: `(ns, key, version, writer)`.
     pub fn digest(&self) -> Vec<(String, String, u64, String)> {
         let mut out: Vec<_> = self
-            .inner
-            .lock()
             .map
+            .lock()
             .iter()
             .map(|((ns, k), v)| (ns.clone(), k.clone(), v.version, v.writer.clone()))
             .collect();
@@ -142,17 +206,17 @@ impl DiskImage {
 
     /// Number of entries (including tombstones).
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.map.lock().len()
     }
 
     /// `true` when nothing is stored.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().map.is_empty()
+        self.map.lock().is_empty()
     }
 
     /// WAL counters (`None` for a volatile image).
     pub fn wal_stats(&self) -> Option<WalStats> {
-        self.inner.lock().wal.as_ref().map(|w| w.stats().clone())
+        self.wal.as_ref().map(|w| w.stats())
     }
 
     /// Checksum over the full digest — equal checksums mean replicas have
@@ -311,7 +375,7 @@ pub(crate) fn versioned_from_reply(reply: &CmdLine) -> Option<Versioned> {
     })
 }
 
-fn digest_from_reply(reply: &CmdLine) -> Option<Vec<(String, String, u64, String)>> {
+pub(crate) fn digest_from_reply(reply: &CmdLine) -> Option<Vec<(String, String, u64, String)>> {
     let rows = match reply.get("entries")? {
         v if v.as_vector().is_some_and(|s| s.is_empty()) => return Some(Vec::new()),
         v => v.as_array()?,
@@ -342,6 +406,15 @@ impl ServiceBehavior for StoreReplica {
                     .required("data", ArgType::Word, "hex value bytes")
                     .required("version", ArgType::Int, "client-assigned version")
                     .required("writer", ArgType::Str, "writer id (tie-break)"),
+            )
+            .with(
+                CmdSpec::new("psPutBatch", "store many versioned values in one commit")
+                    .required("ns", ArgType::Word, "namespace")
+                    .required(
+                        "items",
+                        ArgType::Array(ace_lang::ScalarType::Str),
+                        "rows of {key, data-hex, version, writer}",
+                    ),
             )
             .with(
                 CmdSpec::new("psGet", "read a key")
@@ -455,6 +528,49 @@ impl ServiceBehavior for StoreReplica {
                     Err(e) => Reply::err(ErrorCode::Internal, format!("write not durable: {e}")),
                 }
             }
+            "psPutBatch" => {
+                let (Some(ns), Some(rows)) = (
+                    cmd.get_text("ns").map(str::to_string),
+                    cmd.get("items").and_then(Value::as_array),
+                ) else {
+                    return Reply::err(ErrorCode::Semantics, "malformed batch arguments");
+                };
+                let mut entries = Vec::with_capacity(rows.len());
+                for row in rows {
+                    // Homogeneous-array wire format: every cell is a Str,
+                    // version travels as its decimal rendering (psDigest
+                    // does the same).
+                    let parsed = (|| {
+                        if row.len() != 4 {
+                            return None;
+                        }
+                        let key = row[0].as_text()?;
+                        let data = hex_decode(row[1].as_text()?)?;
+                        let version: u64 = row[2].as_text()?.parse().ok()?;
+                        let writer = row[3].as_text()?;
+                        Some((
+                            (ns.clone(), key.to_string()),
+                            Versioned {
+                                data,
+                                version,
+                                writer: writer.to_string(),
+                                deleted: false,
+                            },
+                        ))
+                    })();
+                    let Some(entry) = parsed else {
+                        return Reply::err(
+                            ErrorCode::Semantics,
+                            "batch rows must be {key, data-hex, version, writer}",
+                        );
+                    };
+                    entries.push(entry);
+                }
+                match self.disk.apply_batch(entries) {
+                    Ok(applied) => Reply::ok_with(|c| c.arg("applied", applied as i64)),
+                    Err(e) => Reply::err(ErrorCode::Internal, format!("batch not durable: {e}")),
+                }
+            }
             "psGet" => {
                 let (Some(ns), Some(k)) = (cmd.get_text("ns"), cmd.get_text("key")) else {
                     return Reply::err(ErrorCode::Semantics, "malformed get arguments");
@@ -518,6 +634,10 @@ impl ServiceBehavior for StoreReplica {
                         .arg("walAppends", wal.appends as i64)
                         .arg("walCompactions", wal.compactions as i64)
                         .arg("walAppendFailures", wal.append_failures as i64)
+                        .arg("walBatches", wal.batches as i64)
+                        .arg("walFsyncs", wal.fsyncs as i64)
+                        .arg("walFsyncsSaved", wal.fsyncs_saved as i64)
+                        .arg("walMaxBatch", wal.max_batch_records as i64)
                         .arg(
                             "checksum",
                             Value::Word(format!("x{:016x}", self.disk.checksum())),

@@ -79,6 +79,129 @@ fn kill_at_any_byte_offset_loses_no_acked_write() {
     }
 }
 
+/// Group commit under kill-at-any-byte: tear a *batch* commit at every
+/// offset of its concatenated record stream.  The batch must fail as a
+/// unit (no ticket acks), earlier acked writes survive, and unacked batch
+/// records may reappear after recovery only as a clean record-aligned
+/// prefix of the batch — never a hole, never a torn record.
+#[test]
+fn crash_at_any_byte_of_a_batch_commit_is_prefix_atomic() {
+    let entries: Vec<((String, String), Versioned)> = (0..3u64)
+        .map(|i| (key(&format!("b{i}")), value(10 + i, &[0xc3 ^ i as u8; 11])))
+        .collect();
+    let total: usize = entries.iter().map(|(k, v)| frame_record(k, v).len()).sum();
+    for crash_at in 0..=total as u64 {
+        let hub = StorageFaultHub::new();
+        let host = HostId::from("s1");
+        let storage = MemStorage::new().with_faults(hub.clone(), host.clone());
+        let handle = StorageHandle::Memory(storage);
+        let (disk, _) = DiskImage::open(&handle, WalConfig::default()).unwrap();
+        assert!(disk.apply(key("acked"), value(1, b"safe")).unwrap());
+
+        hub.arm(&host, StorageFault::CrashAtByte(crash_at));
+        assert!(
+            disk.apply_batch(entries.clone()).is_err(),
+            "crash at byte {crash_at}: batch acked through a crash"
+        );
+
+        let (recovered, report) = DiskImage::open_or_reset(&handle, WalConfig::default())
+            .unwrap_or_else(|e| panic!("crash at byte {crash_at}: recovery failed: {e}"));
+        assert!(
+            !report.reset,
+            "crash at byte {crash_at}: a clean tear must never read as corruption"
+        );
+        assert_eq!(
+            recovered.get(&key("acked")).unwrap().data,
+            b"safe",
+            "crash at byte {crash_at}: acked write lost"
+        );
+        let visible: Vec<bool> = (0..3)
+            .map(|i| recovered.get(&key(&format!("b{i}"))).is_some())
+            .collect();
+        let survivors = visible.iter().position(|v| !v).unwrap_or(visible.len());
+        assert!(
+            visible[survivors..].iter().all(|v| !v),
+            "crash at byte {crash_at}: non-prefix batch survival {visible:?}"
+        );
+        for (i, (k, v)) in entries.iter().take(survivors).enumerate() {
+            assert_eq!(
+                recovered.get(k).as_ref(),
+                Some(v),
+                "crash at byte {crash_at}: surviving batch record {i} mangled"
+            );
+        }
+    }
+}
+
+/// Concurrent writers sharing group-commit batches, killed mid-batch: no
+/// writer that saw `Ok` may lose its record, however the committer grouped
+/// the in-flight appends when the disk died.
+#[test]
+fn concurrent_writers_crash_mid_batch_lose_nothing_acked() {
+    const WRITERS: u64 = 8;
+    for crash_at in [0u64, 1, 9, 25, 47, 80, 133, 190] {
+        let hub = StorageFaultHub::new();
+        let host = HostId::from("s1");
+        let storage = MemStorage::new().with_faults(hub.clone(), host.clone());
+        let handle = StorageHandle::Memory(storage);
+        // A short linger encourages the committer to group the writers.
+        let config = WalConfig {
+            max_batch_delay: std::time::Duration::from_millis(2),
+            ..WalConfig::default()
+        };
+        let (disk, _) = DiskImage::open(&handle, config.clone()).unwrap();
+        let mut acked = Vec::new();
+        for i in 0..3u64 {
+            let (k, v) = (key(&format!("pre{i}")), value(i + 1, &[i as u8; 7]));
+            assert!(disk.apply(k.clone(), v.clone()).unwrap());
+            acked.push((k, v));
+        }
+
+        hub.arm(&host, StorageFault::CrashAtByte(crash_at));
+        let barrier = std::sync::Barrier::new(WRITERS as usize);
+        let results: Vec<((String, String), Versioned, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..WRITERS)
+                .map(|i| {
+                    let (disk, barrier) = (disk.clone(), &barrier);
+                    s.spawn(move || {
+                        let (k, v) = (key(&format!("w{i}")), value(100 + i, &[0x40 | i as u8; 13]));
+                        barrier.wait();
+                        let ok = disk.apply(k.clone(), v.clone()).is_ok();
+                        (k, v, ok)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let (recovered, report) = DiskImage::open_or_reset(&handle, config)
+            .unwrap_or_else(|e| panic!("crash at byte {crash_at}: recovery failed: {e}"));
+        assert!(
+            !report.reset,
+            "crash at byte {crash_at}: a clean tear must never read as corruption"
+        );
+        for (k, v) in &acked {
+            assert_eq!(
+                recovered.get(k).as_ref(),
+                Some(v),
+                "crash at byte {crash_at}: pre-crash acked write {k:?} lost"
+            );
+        }
+        for (k, v, ok) in &results {
+            match recovered.get(k) {
+                Some(got) => assert_eq!(
+                    &got, v,
+                    "crash at byte {crash_at}: surviving write {k:?} mangled"
+                ),
+                None => assert!(
+                    !ok,
+                    "crash at byte {crash_at}: acked concurrent write {k:?} lost"
+                ),
+            }
+        }
+    }
+}
+
 /// A torn write (transient media failure, replica survives) repairs the
 /// log in place: later writes land on a clean record boundary.
 #[test]
@@ -138,6 +261,7 @@ fn recovery_after_compaction_sees_snapshot_plus_tail() {
     let config = WalConfig {
         fsync_on_commit: true,
         compact_threshold: 512,
+        ..WalConfig::default()
     };
     let (disk, _) = DiskImage::open(&handle, config.clone()).unwrap();
     for i in 0..200u64 {
@@ -212,6 +336,7 @@ fn file_backend_compaction_survives_reopen() {
     let config = WalConfig {
         fsync_on_commit: false,
         compact_threshold: 1024,
+        ..WalConfig::default()
     };
 
     let (disk, _) = DiskImage::open(&handle, config.clone()).unwrap();
