@@ -1,0 +1,249 @@
+//! Snapshot the metrics registries of a small live topology into a JSON
+//! bench artifact (`BENCH_pr4.json`).
+//!
+//! ```sh
+//! cargo run --release -p ace-bench --bin stats_snapshot -- \
+//!     -o BENCH_pr4.json bench_store_disk.txt bench_daemon_roundtrip.txt
+//! ```
+//!
+//! Positional arguments are optional Criterion output files; their `bench`
+//! lines are merged into the artifact under `"benches"` so one file carries
+//! both the timing rows and the per-daemon registry snapshots.
+
+use ace_core::prelude::*;
+use ace_directory::bootstrap;
+use ace_media::services::AudioMixer;
+use ace_media::Frame;
+use ace_security::keys::KeyPair;
+use ace_store::{DiskImage, MemStorage, StorageHandle, StoreClient, StoreReplica, WalConfig};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+struct Echo;
+impl ServiceBehavior for Echo {
+    fn semantics(&self) -> Semantics {
+        Semantics::new().with(CmdSpec::new("echo", "echo").optional("x", ArgType::Int, "payload"))
+    }
+    fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        let x = cmd.get_int("x").unwrap_or(0);
+        Reply::ok_with(|c| c.arg("x", x))
+    }
+}
+
+/// One `bench <name> <value> <unit>/iter (<iters> iters)` line.
+fn parse_bench_line(line: &str) -> Option<(String, f64, String, u64)> {
+    let rest = line.strip_prefix("bench ")?;
+    let mut tokens = rest.split_whitespace();
+    let name = tokens.next()?.to_string();
+    let value: f64 = tokens.next()?.parse().ok()?;
+    let unit = tokens.next()?.strip_suffix("/iter")?.to_string();
+    let iters: u64 = tokens.next()?.trim_start_matches('(').parse().ok()?;
+    Some((name, value, unit, iters))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn report_to_json(report: &StatsReport, indent: &str) -> String {
+    let mut out = String::from("{\n");
+    let kv = |out: &mut String, section: &str, body: String, comma: bool| {
+        let _ = writeln!(
+            out,
+            "{indent}  \"{section}\": {{{body}\n{indent}  }}{}",
+            if comma { "," } else { "" }
+        );
+    };
+    let scalar_body = |pairs: Vec<(String, String)>| {
+        pairs
+            .iter()
+            .map(|(k, v)| format!("\n{indent}    \"{}\": {v}", json_escape(k)))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    kv(
+        &mut out,
+        "counters",
+        scalar_body(
+            report
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_string()))
+                .collect(),
+        ),
+        true,
+    );
+    kv(
+        &mut out,
+        "gauges",
+        scalar_body(
+            report
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_string()))
+                .collect(),
+        ),
+        true,
+    );
+    kv(
+        &mut out,
+        "histograms",
+        scalar_body(
+            report
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        format!(
+                            "{{\"count\": {}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {}, \"mean_us\": {:.1}}}",
+                            h.count, h.p50_us, h.p90_us, h.p99_us, h.max_us, h.mean_us
+                        ),
+                    )
+                })
+                .collect(),
+        ),
+        false,
+    );
+    out.push_str(indent);
+    out.push('}');
+    out
+}
+
+fn ace_stats(client: &mut ServiceClient) -> StatsReport {
+    let reply = client.call(&CmdLine::new("aceStats")).expect("aceStats");
+    StatsReport::from_cmdline(&reply)
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_pr4.json");
+    let mut bench_files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "-o" {
+            out_path = args.next().expect("-o needs a path");
+        } else {
+            bench_files.push(arg);
+        }
+    }
+
+    // A small representative topology: framework tier + store + media + echo.
+    let net = SimNet::new();
+    for h in ["core", "svc", "av"] {
+        net.add_host(h);
+    }
+    let fw = bootstrap(&net, "core", Duration::from_secs(600)).expect("bootstrap");
+    let storage = StorageHandle::Memory(MemStorage::new());
+    let (disk, _) = DiskImage::open(&storage, WalConfig::default()).expect("open disk");
+    let store = Daemon::spawn(
+        &net,
+        fw.service_config("store_a", "Service.Store", "machineroom", "svc", 6100),
+        Box::new(StoreReplica::new(disk, Duration::from_secs(3600))),
+    )
+    .expect("spawn store");
+    let mixer = Daemon::spawn(
+        &net,
+        fw.service_config("mixer", "Service.Media.Mixer", "hawk", "av", 6101),
+        Box::new(AudioMixer::new("out")),
+    )
+    .expect("spawn mixer");
+    let echo = Daemon::spawn(
+        &net,
+        fw.service_config("echo", "Service.Echo", "hawk", "svc", 6102),
+        Box::new(Echo),
+    )
+    .expect("spawn echo");
+
+    // Drive enough traffic that every histogram has a meaningful shape.
+    let me = KeyPair::generate(&mut rand::thread_rng());
+    let mut echo_client = ServiceClient::connect(&net, &"core".into(), echo.addr().clone(), &me)
+        .expect("echo client");
+    for i in 0..500 {
+        echo_client
+            .call(&CmdLine::new("echo").arg("x", i as i64))
+            .expect("echo call");
+    }
+    let mut store_client = StoreClient::new(
+        net.clone(),
+        "core",
+        KeyPair::generate(&mut rand::thread_rng()),
+        vec![store.addr().clone()],
+    );
+    for i in 0..200 {
+        store_client
+            .put("bench", &format!("k{i}"), format!("v{i}").as_bytes())
+            .expect("store put");
+    }
+    let mut mixer_client = ServiceClient::connect(&net, &"core".into(), mixer.addr().clone(), &me)
+        .expect("mixer client");
+    mixer_client
+        .call_ok(&CmdLine::new("addInput").arg("stream", "mic"))
+        .expect("addInput");
+    for seq in 0..200i64 {
+        let frame = Frame {
+            stream: "mic".into(),
+            seq,
+            data: vec![0, 1, 2, 3],
+        };
+        mixer_client.call(&frame.to_cmd()).expect("push");
+    }
+
+    // Snapshot every daemon's registry over the standard verb.
+    let mut daemons: BTreeMap<&str, StatsReport> = BTreeMap::new();
+    for (name, addr) in [
+        ("asd", fw.asd_addr.clone()),
+        ("netlogger", fw.logger_addr.clone()),
+        ("store_a", store.addr().clone()),
+        ("mixer", mixer.addr().clone()),
+        ("echo", echo.addr().clone()),
+    ] {
+        let mut c = ServiceClient::connect(&net, &"core".into(), addr, &me).expect("stats client");
+        daemons.insert(name, ace_stats(&mut c));
+    }
+
+    let mut benches = Vec::new();
+    for path in &bench_files {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read bench file {path}: {e}"));
+        for line in text.lines() {
+            if let Some((name, value, unit, iters)) = parse_bench_line(line) {
+                benches.push(format!(
+                    "    {{\n      \"name\": \"{}\",\n      \"value\": {value},\n      \"unit\": \"{}/iter\",\n      \"iters\": {iters}\n    }}",
+                    json_escape(&name),
+                    json_escape(&unit)
+                ));
+            }
+        }
+    }
+
+    let mut json = String::from("{\n  \"benches\": [\n");
+    json.push_str(&benches.join(",\n"));
+    json.push_str("\n  ],\n  \"daemons\": {\n");
+    let body: Vec<String> = daemons
+        .iter()
+        .map(|(name, report)| format!("    \"{name}\": {}", report_to_json(report, "    ")))
+        .collect();
+    json.push_str(&body.join(",\n"));
+    json.push_str("\n  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write artifact");
+
+    println!(
+        "wrote {out_path}: {} bench rows, {} daemon snapshots",
+        benches.len(),
+        daemons.len()
+    );
+    for (name, report) in &daemons {
+        println!(
+            "  {name}: {} counters, {} gauges, {} histograms",
+            report.counters.len(),
+            report.gauges.len(),
+            report.histograms.len()
+        );
+    }
+
+    echo.shutdown();
+    mixer.shutdown();
+    store.shutdown();
+    fw.shutdown();
+}

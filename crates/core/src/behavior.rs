@@ -8,6 +8,7 @@
 //! `handle`, and the framework does the rest.
 
 use crate::client::{ClientError, ServiceClient};
+use crate::metrics::MetricsRegistry;
 use crate::notify::Notifier;
 use crate::protocol::{self, ServiceEntry};
 use ace_lang::{CmdLine, Reply, Semantics};
@@ -50,6 +51,12 @@ pub trait ServiceBehavior: Send + 'static {
 
     /// Called once when the daemon stops (graceful shutdown only).
     fn on_stop(&mut self, _ctx: &mut ServiceCtx) {}
+
+    /// Called just before a metrics snapshot is taken — on every `aceStats`
+    /// command and before each periodic stats event.  Behaviors export
+    /// service-internal state here (e.g. the store replica publishes WAL
+    /// batch counters as gauges) via `ctx.metrics()`.
+    fn on_stats(&mut self, _ctx: &mut ServiceCtx) {}
 }
 
 /// The daemon-provided capabilities a behavior can use while executing:
@@ -65,6 +72,7 @@ pub struct ServiceCtx {
     asd: Option<Addr>,
     logger: Option<Addr>,
     notifier: Notifier,
+    metrics: Arc<MetricsRegistry>,
     clients: HashMap<Addr, ServiceClient>,
     /// Events fired by the behavior during this dispatch, drained by the
     /// control thread into the notification registry.
@@ -86,6 +94,7 @@ impl ServiceCtx {
         asd: Option<Addr>,
         logger: Option<Addr>,
         notifier: Notifier,
+        metrics: Arc<MetricsRegistry>,
     ) -> ServiceCtx {
         ServiceCtx {
             net,
@@ -98,6 +107,7 @@ impl ServiceCtx {
             asd,
             logger,
             notifier,
+            metrics,
             clients: HashMap::new(),
             pending_events: Vec::new(),
             stop_requested: false,
@@ -234,6 +244,30 @@ impl ServiceCtx {
                 .arg("msg", ace_lang::Value::Str(msg.into()))
                 .arg("service", self.name.as_str())
                 .arg("host", self.host.as_str());
+            self.notifier.send(logger.clone(), cmd);
+        }
+    }
+
+    /// This daemon's metrics registry.  Handles are cheap `Arc`s over
+    /// atomics — grab one once and keep it if the call site is hot.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Push the current metrics snapshot to the Net Logger as a structured
+    /// `stats` event (asynchronous, best-effort).  Called periodically by
+    /// the control thread; `on_stats` has already run.
+    pub(crate) fn push_stats_event(&self) {
+        if let Some(logger) = &self.logger {
+            let payload = self.metrics.snapshot().to_event_payload();
+            let cmd = CmdLine::new("event")
+                .arg("service", self.name.as_str())
+                .arg("kind", "stats")
+                .arg("host", self.host.as_str())
+                .arg(
+                    "data",
+                    ace_lang::Value::Word(protocol::hex_encode(payload.to_wire().as_bytes())),
+                );
             self.notifier.send(logger.clone(), cmd);
         }
     }

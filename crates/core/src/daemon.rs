@@ -23,6 +23,7 @@ use crate::auth::{action_env_for, AuthMode};
 use crate::behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
 use crate::client::{ClientError, ServiceClient};
 use crate::link::{LinkError, SecureLink};
+use crate::metrics::{Histogram, MetricsRegistry};
 use crate::notify::{NotificationRegistry, Notifier, Registration};
 use crate::protocol;
 use crate::retry::RetryPolicy;
@@ -31,6 +32,8 @@ use ace_net::{Addr, Datagram, HostId, NetError, SimNet};
 use ace_security::keys::KeyPair;
 use crossbeam_channel::{Receiver, Sender};
 use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -64,6 +67,9 @@ pub struct DaemonConfig {
     pub tick: Duration,
     /// Lease renewal interval (must be below the ASD's lease duration).
     pub lease_renew: Duration,
+    /// Cadence of periodic `stats` events pushed to the Net Logger.
+    /// Zero disables them; `aceStats` still answers on demand.
+    pub stats_interval: Duration,
 }
 
 impl DaemonConfig {
@@ -89,6 +95,7 @@ impl DaemonConfig {
             identity: None,
             tick: Duration::from_millis(50),
             lease_renew: Duration::from_millis(200),
+            stats_interval: Duration::from_secs(1),
         }
     }
 
@@ -133,6 +140,12 @@ impl DaemonConfig {
         self.lease_renew = interval;
         self
     }
+
+    /// Override the periodic stats-event cadence (zero disables).
+    pub fn with_stats_interval(mut self, interval: Duration) -> Self {
+        self.stats_interval = interval;
+        self
+    }
 }
 
 /// Startup failures (Fig. 9 steps).
@@ -162,6 +175,8 @@ enum ControlMsg {
         cmd: CmdLine,
         from: ClientInfo,
         reply: Sender<CmdLine>,
+        /// When the command thread queued this — measures control-queue wait.
+        enqueued: Instant,
     },
     Data(Datagram),
     Stop,
@@ -183,6 +198,7 @@ impl Daemon {
                 .unwrap_or_else(|| KeyPair::generate(&mut rand::thread_rng())),
         );
         let addr = Addr::new(config.host.clone(), config.port);
+        let metrics = Arc::new(MetricsRegistry::new());
 
         // Step 1: the host "launches" the service — bind its sockets.
         let listener = net.listen(addr.clone()).map_err(SpawnError::Bind)?;
@@ -215,6 +231,7 @@ impl Daemon {
         if let Some(asd) = &config.asd {
             let mut retry = RetryPolicy::new(Duration::from_millis(20))
                 .with_max_attempts(3)
+                .with_counter(metrics.counter("retry.backoffs"))
                 .start();
             loop {
                 let result = ServiceClient::connect(net, &config.host, asd.clone(), &identity)
@@ -264,8 +281,12 @@ impl Daemon {
         let stop = Arc::new(AtomicBool::new(false));
         let crashed = Arc::new(AtomicBool::new(false));
         let (control_tx, control_rx) = crossbeam_channel::unbounded::<ControlMsg>();
-        let (notifier, notifier_worker) =
-            Notifier::spawn(net.clone(), config.host.clone(), Arc::clone(&identity));
+        let (notifier, notifier_worker) = Notifier::spawn(
+            net.clone(),
+            config.host.clone(),
+            Arc::clone(&identity),
+            Arc::clone(&metrics),
+        );
 
         let mut threads = Vec::with_capacity(4);
 
@@ -282,6 +303,7 @@ impl Daemon {
                 config.asd.clone(),
                 config.logger.clone(),
                 notifier.clone(),
+                Arc::clone(&metrics),
             );
             let stop = Arc::clone(&stop);
             let crashed = Arc::clone(&crashed);
@@ -291,13 +313,24 @@ impl Daemon {
             let room = config.room.clone();
             let semantics = Arc::clone(&semantics);
             let tick = config.tick;
+            let stats_interval = config.stats_interval;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("{name}-control"))
                     .spawn(move || {
                         control_loop(
-                            control_rx, behavior, ctx, stop, crashed, auth, name, class, room,
-                            semantics, tick,
+                            control_rx,
+                            behavior,
+                            ctx,
+                            stop,
+                            crashed,
+                            auth,
+                            name,
+                            class,
+                            room,
+                            semantics,
+                            tick,
+                            stats_interval,
                         )
                     })
                     .expect("spawn control thread"),
@@ -311,11 +344,14 @@ impl Daemon {
             let identity = Arc::clone(&identity);
             let semantics = Arc::clone(&semantics);
             let name = config.name.clone();
+            let metrics = Arc::clone(&metrics);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("{name}-accept"))
                     .spawn(move || {
-                        accept_loop(listener, stop, control_tx, identity, semantics, name)
+                        accept_loop(
+                            listener, stop, control_tx, identity, semantics, name, metrics,
+                        )
                     })
                     .expect("spawn accept thread"),
             );
@@ -341,10 +377,11 @@ impl Daemon {
             let net = net.clone();
             let identity = Arc::clone(&identity);
             let config2 = config.clone();
+            let metrics = Arc::clone(&metrics);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("{}-main", config.name))
-                    .spawn(move || lease_loop(net, config2, identity, stop, crashed))
+                    .spawn(move || lease_loop(net, config2, identity, stop, crashed, metrics))
                     .expect("spawn main thread"),
             );
         }
@@ -452,6 +489,7 @@ const ACCEPT_POLL: Duration = Duration::from_millis(25);
 const COMMAND_POLL: Duration = Duration::from_millis(50);
 const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: ace_net::Listener,
     stop: Arc<AtomicBool>,
@@ -459,19 +497,24 @@ fn accept_loop(
     identity: Arc<KeyPair>,
     semantics: Arc<Semantics>,
     name: String,
+    metrics: Arc<MetricsRegistry>,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept_timeout(ACCEPT_POLL) {
             Ok(conn) => {
+                metrics.counter("link.accepted").incr();
                 let stop = Arc::clone(&stop);
                 let control_tx = control_tx.clone();
                 let identity = Arc::clone(&identity);
                 let semantics = Arc::clone(&semantics);
+                let metrics = Arc::clone(&metrics);
                 // Command threads detach; they exit promptly on `stop` or
                 // when the peer hangs up.
                 let _ = std::thread::Builder::new()
                     .name(format!("{name}-command"))
-                    .spawn(move || command_loop(conn, stop, control_tx, identity, semantics));
+                    .spawn(move || {
+                        command_loop(conn, stop, control_tx, identity, semantics, metrics)
+                    });
             }
             Err(NetError::Timeout) => continue,
             Err(_) => break, // listener gone (host killed)
@@ -485,10 +528,18 @@ fn command_loop(
     control_tx: Sender<ControlMsg>,
     identity: Arc<KeyPair>,
     semantics: Arc<Semantics>,
+    metrics: Arc<MetricsRegistry>,
 ) {
     let Ok(mut link) = SecureLink::accept(conn, &identity) else {
         return; // failed handshake: drop the connection
     };
+    link.attach_metrics(
+        metrics.counter("link.sealedBytes"),
+        metrics.counter("link.openedBytes"),
+    );
+    // Fetched once per connection so the per-message path never takes the
+    // registry lock.
+    let rejected = metrics.counter("cmd.rejected");
     let from = ClientInfo {
         principal: link.peer_principal().to_string(),
         addr: link.peer_addr().clone(),
@@ -507,6 +558,7 @@ fn command_loop(
         // Semantic validation happens here, on the command thread, exactly
         // as §2.2 describes the receiving side's parser doing.
         if let Err(e) = semantics.validate(&cmd) {
+            rejected.incr();
             let _ = link.send_cmd(&Reply::err(ErrorCode::Semantics, e.to_string()).to_cmdline());
             continue;
         }
@@ -516,6 +568,7 @@ fn command_loop(
                 cmd,
                 from: from.clone(),
                 reply: reply_tx,
+                enqueued: Instant::now(),
             })
             .is_err()
         {
@@ -561,8 +614,18 @@ fn control_loop(
     room: String,
     semantics: Arc<Semantics>,
     tick: Duration,
+    stats_interval: Duration,
 ) {
     let mut registry = NotificationRegistry::new();
+    // Eagerly created so `aceStats` always reports them, even at zero.
+    let panics = ctx.metrics().counter("control.panics");
+    let errors = ctx.metrics().counter("cmd.errors");
+    let queue_depth = ctx.metrics().gauge("control.queueDepth");
+    let queue_wait = ctx.metrics().histogram("control.queueWait");
+    // Per-verb service-time histograms, cached so the hot path never takes
+    // the registry lock after a verb's first execution.
+    let mut verb_hists: HashMap<String, Arc<Histogram>> = HashMap::new();
+    let mut last_stats = Instant::now();
     behavior.on_start(&mut ctx);
     drain_events(&mut ctx, &registry, &name);
 
@@ -571,20 +634,48 @@ fn control_loop(
             break;
         }
         match rx.recv_timeout(tick) {
-            Ok(ControlMsg::Execute { cmd, from, reply }) => {
-                let response = execute(
-                    &mut behavior,
-                    &mut ctx,
-                    &mut registry,
-                    &auth,
-                    &name,
-                    &class,
-                    &room,
-                    &semantics,
-                    &cmd,
-                    &from,
-                );
+            Ok(ControlMsg::Execute {
+                cmd,
+                from,
+                reply,
+                enqueued,
+            }) => {
+                queue_depth.set(rx.len() as i64);
+                queue_wait.record(enqueued.elapsed());
+                let started = Instant::now();
+                // A panicking handler must not take down the control thread
+                // — the caller gets an Internal error and the daemon keeps
+                // serving everyone else.
+                let response = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    execute(
+                        &mut behavior,
+                        &mut ctx,
+                        &mut registry,
+                        &auth,
+                        &name,
+                        &class,
+                        &room,
+                        &semantics,
+                        &cmd,
+                        &from,
+                    )
+                }))
+                .unwrap_or_else(|_| {
+                    panics.incr();
+                    ctx.log("error", format!("handler for `{}` panicked", cmd.name()));
+                    Reply::err(
+                        ErrorCode::Internal,
+                        format!("handler for `{}` panicked", cmd.name()),
+                    )
+                });
+                verb_hists
+                    .entry(cmd.name().to_string())
+                    .or_insert_with(|| ctx.metrics().histogram(&format!("cmd.{}", cmd.name())))
+                    .record(started.elapsed());
                 let succeeded = response.is_ok();
+                if !succeeded {
+                    errors.incr();
+                }
                 let _ = reply.send(response.to_cmdline());
                 // §2.5: notifications fire after the command has executed.
                 if succeeded {
@@ -608,6 +699,11 @@ fn control_loop(
                 }
             }
             Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+        }
+        if !stats_interval.is_zero() && last_stats.elapsed() >= stats_interval {
+            last_stats = Instant::now();
+            behavior.on_stats(&mut ctx);
+            ctx.push_stats_event();
         }
     }
     if !crashed.load(Ordering::SeqCst) {
@@ -667,24 +763,41 @@ fn execute(
             ctx.request_stop();
             Reply::ok()
         }
+        "aceStats" => {
+            // Let the service export its internal state first (e.g. WAL
+            // batch counters from the store), then freeze the registry.
+            behavior.on_stats(ctx);
+            let mut snap = ctx.metrics().snapshot();
+            if let Some(prefix) = cmd.get_text("prefix") {
+                snap.retain_prefix(prefix);
+            }
+            snap.to_reply()
+        }
         "addNotification" => {
-            // Argument presence/types already validated against
-            // `base_semantics`.
-            let watched = cmd.get_text("cmd").expect("validated");
+            // Validation against `base_semantics` should guarantee these,
+            // but a graceful reply beats trusting that forever.
+            let (Some(watched), Some(service), Some(host), Some(port), Some(notify_cmd)) = (
+                cmd.get_text("cmd"),
+                cmd.get_text("service"),
+                cmd.get_text("host"),
+                cmd.get_int("port"),
+                cmd.get_text("notifyCmd"),
+            ) else {
+                return Reply::err(ErrorCode::Semantics, "missing or mistyped argument");
+            };
             let registration = Registration {
-                service: cmd.get_text("service").expect("validated").to_string(),
-                addr: Addr::new(
-                    cmd.get_text("host").expect("validated"),
-                    cmd.get_int("port").expect("validated") as u16,
-                ),
-                notify_cmd: cmd.get_text("notifyCmd").expect("validated").to_string(),
+                service: service.to_string(),
+                addr: Addr::new(host, port as u16),
+                notify_cmd: notify_cmd.to_string(),
             };
             registry.add(watched, registration);
             Reply::ok()
         }
         "removeNotification" => {
-            let watched = cmd.get_text("cmd").expect("validated");
-            let service = cmd.get_text("service").expect("validated");
+            let (Some(watched), Some(service)) = (cmd.get_text("cmd"), cmd.get_text("service"))
+            else {
+                return Reply::err(ErrorCode::Semantics, "missing or mistyped argument");
+            };
             if registry.remove(watched, service) {
                 Reply::ok()
             } else {
@@ -733,7 +846,11 @@ fn lease_loop(
     identity: Arc<KeyPair>,
     stop: Arc<AtomicBool>,
     crashed: Arc<AtomicBool>,
+    metrics: Arc<MetricsRegistry>,
 ) {
+    let renewals = metrics.counter("lease.renewals");
+    let failures = metrics.counter("lease.failures");
+    let reregisters = metrics.counter("lease.reregisters");
     let Some(asd) = config.asd.clone() else {
         // Nothing to renew; just wait for shutdown to deregister loggers.
         while !stop.load(Ordering::SeqCst) {
@@ -765,15 +882,20 @@ fn lease_loop(
             Some(c) => {
                 let renew = CmdLine::new("renewLease").arg("name", config.name.as_str());
                 match c.call_ok(&renew) {
-                    Ok(()) => link_failures = 0,
+                    Ok(()) => {
+                        renewals.incr();
+                        link_failures = 0;
+                    }
                     Err(ClientError::Service {
                         code: ErrorCode::NotFound,
                         ..
                     }) => {
                         // Lease lapsed (e.g. an ASD restart): re-register.
+                        reregisters.incr();
                         let _ = c.call_ok(&register_cmd(&config));
                     }
                     Err(_) => {
+                        failures.incr();
                         client = None;
                         next_renew = Instant::now() + reconnect.delay_for(link_failures);
                         link_failures = link_failures.saturating_add(1);
@@ -782,6 +904,7 @@ fn lease_loop(
             }
             None => {
                 // Connect itself failed (ASD down or unreachable).
+                failures.incr();
                 next_renew = Instant::now() + reconnect.delay_for(link_failures);
                 link_failures = link_failures.saturating_add(1);
             }

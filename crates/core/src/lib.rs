@@ -60,6 +60,7 @@ pub mod client;
 pub mod daemon;
 pub mod failover;
 pub mod link;
+pub mod metrics;
 pub mod notify;
 pub mod protocol;
 pub mod retry;
@@ -71,6 +72,7 @@ pub use client::{ClientError, ServiceClient};
 pub use daemon::{Daemon, DaemonConfig, DaemonHandle, SpawnError};
 pub use failover::FailoverClient;
 pub use link::{LinkError, SecureLink};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, RegistrySnapshot, StatsReport};
 pub use notify::{NotificationRegistry, Notifier, Registration};
 pub use protocol::{ServiceEntry, ASD_PORT, LOGGER_PORT, ROOMDB_PORT};
 pub use retry::{Retry, RetryPolicy};
@@ -85,9 +87,13 @@ pub mod prelude {
     pub use crate::client::{ClientError, ServiceClient};
     pub use crate::daemon::{Daemon, DaemonConfig, DaemonHandle};
     pub use crate::failover::FailoverClient;
+    pub use crate::metrics::{MetricsRegistry, StatsReport};
     pub use crate::protocol::ServiceEntry;
     pub use crate::retry::{Retry, RetryPolicy};
     pub use crate::supervise::{Respawn, RestartPolicy, SupervisedSpec, Supervisor};
-    pub use ace_lang::{ArgType, CmdLine, CmdSpec, ErrorCode, Reply, Scalar, Semantics, Value};
+    pub use ace_lang::{
+        req_f64, req_int, req_text, ArgType, CmdLine, CmdSpec, ErrorCode, Reply, Scalar, Semantics,
+        Value,
+    };
     pub use ace_net::{Addr, HostId, SimNet};
 }

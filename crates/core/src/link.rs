@@ -11,6 +11,7 @@
 //!    knows *which principal* is issuing commands (the input to KeyNote),
 //! 3. sealed frames for every subsequent command/reply.
 
+use crate::metrics::Counter;
 use ace_lang::{CmdLine, Value};
 use ace_net::{Connection, NetError};
 #[cfg(test)]
@@ -18,6 +19,7 @@ use ace_security::cipher::SessionKey;
 use ace_security::cipher::{DhLocal, SecureChannel};
 use ace_security::keys::{KeyPair, PublicKey, Signature};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Errors establishing or using a secure link.
@@ -64,6 +66,9 @@ pub struct SecureLink {
     rx: SecureChannel,
     /// The authenticated principal of the *peer*.
     peer_principal: String,
+    /// Optional byte counters (sealed-out / opened-in), fed per frame.
+    sealed_bytes: Option<Arc<Counter>>,
+    opened_bytes: Option<Arc<Counter>>,
 }
 
 impl SecureLink {
@@ -83,6 +88,8 @@ impl SecureLink {
             tx: SecureChannel::new(key.derive(DIR_CLIENT_TO_SERVER)),
             rx: SecureChannel::new(key.derive(DIR_SERVER_TO_CLIENT)),
             peer_principal: String::new(),
+            sealed_bytes: None,
+            opened_bytes: None,
         };
 
         // Prove identity: sign the DH transcript.
@@ -122,6 +129,8 @@ impl SecureLink {
             tx: SecureChannel::new(key.derive(DIR_SERVER_TO_CLIENT)),
             rx: SecureChannel::new(key.derive(DIR_CLIENT_TO_SERVER)),
             peer_principal: String::new(),
+            sealed_bytes: None,
+            opened_bytes: None,
         };
 
         let auth = link.recv_cmd(HANDSHAKE_TIMEOUT)?;
@@ -166,12 +175,23 @@ impl SecureLink {
         self.conn.peer_addr()
     }
 
+    /// Count every sealed (outbound) and opened (inbound) frame's bytes on
+    /// the given counters — typically a daemon's `link.sealedBytes` /
+    /// `link.openedBytes` metrics.
+    pub fn attach_metrics(&mut self, sealed: Arc<Counter>, opened: Arc<Counter>) {
+        self.sealed_bytes = Some(sealed);
+        self.opened_bytes = Some(opened);
+    }
+
     /// Seal and send one command.  One allocation end-to-end: the wire
     /// rendering is encrypted in place and handed to the connection by
     /// ownership (frames move through channels, they are never re-copied).
     pub fn send_cmd(&mut self, cmd: &CmdLine) -> Result<(), LinkError> {
         let mut frame = cmd.to_wire().into_bytes();
         self.tx.seal_in_place(&mut frame);
+        if let Some(c) = &self.sealed_bytes {
+            c.add(frame.len() as u64);
+        }
         self.conn.send(frame)?;
         Ok(())
     }
@@ -180,6 +200,9 @@ impl SecureLink {
     /// decrypted in place — no ciphertext copy on the hot path.
     pub fn recv_cmd(&mut self, timeout: Duration) -> Result<CmdLine, LinkError> {
         let mut frame = self.conn.recv_timeout(timeout)?;
+        if let Some(c) = &self.opened_bytes {
+            c.add(frame.len() as u64);
+        }
         self.rx.open_in_place(&mut frame).map_err(LinkError::Seal)?;
         let text = std::str::from_utf8(&frame)
             .map_err(|_| LinkError::Malformed("frame not UTF-8".into()))?;

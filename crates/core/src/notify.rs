@@ -10,12 +10,24 @@
 //! notified services without blocking the daemon's control thread.
 
 use crate::client::ServiceClient;
+use crate::metrics::MetricsRegistry;
 use ace_lang::CmdLine;
 use ace_net::{Addr, HostId, SimNet};
 use ace_security::keys::KeyPair;
 use crossbeam_channel::{Receiver, Sender};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-call reply timeout for notification delivery.  Deliberately far
+/// below the command plane's 30s reply timeout: a slow listener delays the
+/// rest of the queue by at most this much.
+const NOTIFY_CALL_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// After a failed delivery the address sits in a negative cache this long;
+/// messages to it are counted as drops instead of re-paying the connect or
+/// call timeout for every queued message behind a dead subscriber.
+const DEAD_BACKOFF: Duration = Duration::from_millis(250);
 
 /// One registered listener: notify `service` at `addr` by invoking
 /// `notify_cmd` when the watched command/event executes.
@@ -119,16 +131,19 @@ pub struct NotifierWorker {
 }
 
 impl Notifier {
-    /// Spawn the delivery worker.
+    /// Spawn the delivery worker.  Delivery outcomes are recorded in
+    /// `metrics` (`notify.delivered`, `notify.drops`, `notify.latency`,
+    /// `notify.queueDepth`).
     pub fn spawn(
         net: SimNet,
         from_host: HostId,
         identity: Arc<KeyPair>,
+        metrics: Arc<MetricsRegistry>,
     ) -> (Notifier, NotifierWorker) {
         let (tx, rx) = crossbeam_channel::unbounded::<Outbound>();
         let join = std::thread::Builder::new()
             .name(format!("notifier-{from_host}"))
-            .spawn(move || deliver_loop(rx, net, from_host, identity))
+            .spawn(move || deliver_loop(rx, net, from_host, identity, metrics))
             .expect("spawn notifier thread");
         (Notifier { tx }, NotifierWorker { join })
     }
@@ -156,10 +171,42 @@ impl NotifierWorker {
     }
 }
 
-fn deliver_loop(rx: Receiver<Outbound>, net: SimNet, from_host: HostId, identity: Arc<KeyPair>) {
+fn deliver_loop(
+    rx: Receiver<Outbound>,
+    net: SimNet,
+    from_host: HostId,
+    identity: Arc<KeyPair>,
+    metrics: Arc<MetricsRegistry>,
+) {
+    let delivered = metrics.counter("notify.delivered");
+    let drops = metrics.counter("notify.drops");
+    let latency = metrics.histogram("notify.latency");
+    let depth = metrics.gauge("notify.queueDepth");
     let mut clients: HashMap<Addr, ServiceClient> = HashMap::new();
+    // Negative cache of recently unreachable listeners.  Without it, a dead
+    // subscriber makes every queued message behind it re-pay the failed
+    // connect (and under partitions, the full call timeout) — head-of-line
+    // blocking that stalls fan-out to the healthy subscribers.
+    let mut dead: HashMap<Addr, Instant> = HashMap::new();
     while let Ok(out) = rx.recv() {
-        deliver_one(&mut clients, &net, &from_host, &identity, &out);
+        depth.set(rx.len() as i64);
+        if let Some(since) = dead.get(&out.addr) {
+            if since.elapsed() < DEAD_BACKOFF {
+                drops.incr();
+                continue;
+            }
+            dead.remove(&out.addr);
+        }
+        let started = Instant::now();
+        if deliver_one(&mut clients, &net, &from_host, &identity, &out) {
+            delivered.incr();
+            latency.record(started.elapsed());
+        } else {
+            // The drop is counted, never silent: `aceStats` and the periodic
+            // stats events expose `notify.drops` on the originating daemon.
+            drops.incr();
+            dead.insert(out.addr.clone(), Instant::now());
+        }
     }
 }
 
@@ -169,31 +216,33 @@ fn deliver_one(
     from_host: &HostId,
     identity: &KeyPair,
     out: &Outbound,
-) {
+) -> bool {
     // Try a cached connection first; on failure reconnect once.  Delivery is
     // best-effort: a dead listener loses its notification (the paper's
     // registry similarly cannot promise delivery to crashed services).
     for attempt in 0..2 {
         if !clients.contains_key(&out.addr) {
             match ServiceClient::connect(net, from_host, out.addr.clone(), identity) {
-                Ok(c) => {
+                Ok(mut c) => {
+                    c.set_timeout(NOTIFY_CALL_TIMEOUT);
                     clients.insert(out.addr.clone(), c);
                 }
-                Err(_) => return,
+                Err(_) => return false,
             }
         }
         let client = clients.get_mut(&out.addr).expect("just inserted");
         match client.call(&out.cmd) {
-            Ok(_) => return,
-            Err(crate::client::ClientError::Service { .. }) => return, // delivered, listener declined
+            Ok(_) => return true,
+            Err(crate::client::ClientError::Service { .. }) => return true, // delivered, listener declined
             Err(crate::client::ClientError::Link(_)) => {
                 clients.remove(&out.addr);
                 if attempt == 1 {
-                    return;
+                    return false;
                 }
             }
         }
     }
+    false
 }
 
 #[cfg(test)]

@@ -50,6 +50,17 @@ pub fn base_semantics() -> Semantics {
                 .required("cmd", ArgType::Word, "command or event name")
                 .required("service", ArgType::Word, "service that was to be notified"),
         )
+        .with(
+            CmdSpec::new(
+                "aceStats",
+                "unified metrics snapshot: counters, gauges, latency quantiles",
+            )
+            .optional(
+                "prefix",
+                ArgType::Str,
+                "only metrics whose name starts with this prefix",
+            ),
+        )
 }
 
 /// Commands understood by the ACE Service Directory (§2.4).
@@ -153,6 +164,23 @@ pub fn logger_semantics() -> Semantics {
                 .optional("level", ArgType::Word, "filter by level"),
         )
         .with(CmdSpec::new("logStats", "record counts by level"))
+        .with(
+            CmdSpec::new("event", "append one typed event record")
+                .required("service", ArgType::Word, "originating service")
+                .required("kind", ArgType::Word, "event kind, e.g. stats")
+                .required(
+                    "data",
+                    ArgType::Word,
+                    "hex-encoded wire-form command carrying the event fields",
+                )
+                .optional("host", ArgType::Word, "originating host"),
+        )
+        .with(
+            CmdSpec::new("queryEvents", "typed event records for one service")
+                .required("service", ArgType::Word, "originating service")
+                .optional("kind", ArgType::Word, "filter by event kind")
+                .optional("count", ArgType::Int, "how many records (default 10)"),
+        )
 }
 
 /// Hex-encode arbitrary bytes as a `<WORD>` so blobs (multi-line KeyNote

@@ -31,6 +31,8 @@
 //! assert!(attempts > 1);
 //! ```
 
+use crate::metrics::Counter;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// An immutable retry recipe: exponential backoff, cap, deterministic
@@ -46,6 +48,7 @@ pub struct RetryPolicy {
     max_attempts: Option<u32>,
     budget: Option<Duration>,
     seed: u64,
+    counter: Option<Arc<Counter>>,
 }
 
 impl RetryPolicy {
@@ -61,6 +64,7 @@ impl RetryPolicy {
             max_attempts: None,
             budget: None,
             seed: 0x9E37_79B9_7F4A_7C15,
+            counter: None,
         }
     }
 
@@ -75,6 +79,7 @@ impl RetryPolicy {
             max_attempts: None,
             budget: None,
             seed: 0,
+            counter: None,
         }
     }
 
@@ -114,6 +119,13 @@ impl RetryPolicy {
     /// seed produce identical delays — simulation runs replay exactly.
     pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
         self.seed = seed;
+        self
+    }
+
+    /// Count every backoff actually taken on `counter` (typically the
+    /// owning daemon's `retry.backoffs` metric).
+    pub fn with_counter(mut self, counter: Arc<Counter>) -> RetryPolicy {
+        self.counter = Some(counter);
         self
     }
 
@@ -197,6 +209,9 @@ impl Retry {
             delay = delay.min(deadline.saturating_duration_since(Instant::now()));
         }
         self.attempt += 1;
+        if let Some(counter) = &self.policy.counter {
+            counter.incr();
+        }
         if !delay.is_zero() {
             std::thread::sleep(delay);
         }
@@ -257,6 +272,17 @@ mod tests {
         }
         assert_eq!(taken, 3);
         assert!(retry.exhausted());
+    }
+
+    #[test]
+    fn counter_tracks_backoffs_taken() {
+        let c = Arc::new(Counter::new());
+        let mut retry = RetryPolicy::fixed(Duration::from_millis(1))
+            .with_max_attempts(2)
+            .with_counter(Arc::clone(&c))
+            .start();
+        while retry.backoff() {}
+        assert_eq!(c.get(), 2);
     }
 
     #[test]

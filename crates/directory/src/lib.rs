@@ -17,7 +17,7 @@ pub mod netlogger;
 pub mod roomdb;
 
 pub use asd::{Asd, AsdClient};
-pub use netlogger::{LoggerClient, NetLogger};
+pub use netlogger::{EventRecord, EventRow, LogRow, LoggerClient, NetLogger};
 pub use roomdb::{Placement, RoomDb, RoomDbClient, RoomInfo};
 
 use ace_core::prelude::*;

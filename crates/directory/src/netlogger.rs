@@ -8,7 +8,7 @@
 
 use ace_core::prelude::*;
 use ace_core::protocol;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 /// One activity record.
@@ -22,11 +22,34 @@ pub struct LogRecord {
     pub at: Instant,
 }
 
+/// One typed event record: a parsed command line of fields, not free text.
+/// Daemons push these automatically (kind `stats` carries each daemon's
+/// metrics snapshot); `queryEvents` retrieves them per service.
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    pub seq: u64,
+    pub service: String,
+    pub kind: String,
+    pub host: String,
+    /// The decoded payload — e.g. a `stats` command whose `counters` /
+    /// `gauges` / `histograms` arrays parse via `StatsReport::from_cmdline`.
+    pub fields: CmdLine,
+    pub at: Instant,
+}
+
+/// Default per-service retention bound for typed event records.
+pub const DEFAULT_EVENTS_PER_SERVICE: usize = 256;
+
 /// The Network Logger behavior.
 pub struct NetLogger {
     records: VecDeque<LogRecord>,
     capacity: usize,
     next_seq: u64,
+    /// Typed events, bounded per originating service so one chatty daemon
+    /// cannot evict everyone else's history.
+    events: HashMap<String, VecDeque<EventRecord>>,
+    events_per_service: usize,
+    next_event_seq: u64,
 }
 
 impl NetLogger {
@@ -36,7 +59,16 @@ impl NetLogger {
             records: VecDeque::with_capacity(capacity.min(4096)),
             capacity,
             next_seq: 0,
+            events: HashMap::new(),
+            events_per_service: DEFAULT_EVENTS_PER_SERVICE,
+            next_event_seq: 0,
         }
+    }
+
+    /// Override the per-service typed-event retention bound.
+    pub fn with_event_capacity(mut self, per_service: usize) -> NetLogger {
+        self.events_per_service = per_service.max(1);
+        self
     }
 }
 
@@ -61,6 +93,51 @@ fn records_to_value(records: &[&LogRecord]) -> Value {
             })
             .collect(),
     )
+}
+
+fn events_to_value(events: &[&EventRecord]) -> Value {
+    Value::Array(
+        events
+            .iter()
+            .map(|e| {
+                vec![
+                    Scalar::Str(e.seq.to_string()),
+                    Scalar::Str(e.service.clone()),
+                    Scalar::Str(e.kind.clone()),
+                    Scalar::Str(e.host.clone()),
+                    Scalar::Str(protocol::hex_encode(e.fields.to_wire().as_bytes())),
+                ]
+            })
+            .collect(),
+    )
+}
+
+/// One decoded `queryEvents` row: `(seq, service, kind, host, fields)`.
+pub type EventRow = (u64, String, String, String, CmdLine);
+
+/// Decode an `events=` array of a `queryEvents` reply into [`EventRow`]s.
+pub fn events_from_value(value: &Value) -> Option<Vec<EventRow>> {
+    let rows = match value {
+        v if v.as_vector().is_some_and(|s| s.is_empty()) => return Some(Vec::new()),
+        v => v.as_array()?,
+    };
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != 5 {
+            return None;
+        }
+        let cell = |i: usize| row[i].as_text();
+        let bytes = protocol::hex_decode(cell(4)?)?;
+        let wire = String::from_utf8(bytes).ok()?;
+        out.push((
+            cell(0)?.parse().ok()?,
+            cell(1)?.to_string(),
+            cell(2)?.to_string(),
+            cell(3)?.to_string(),
+            CmdLine::parse(&wire).ok()?,
+        ));
+    }
+    Some(out)
 }
 
 /// One decoded `tail` row: `(seq, level, service, host, msg)`.
@@ -101,13 +178,13 @@ impl ServiceBehavior for NetLogger {
             "log" => {
                 let record = LogRecord {
                     seq: self.next_seq,
-                    level: cmd.get_text("level").expect("validated").to_string(),
+                    level: req_text!(cmd, "level").to_string(),
                     service: cmd.get_text("service").unwrap_or("-").to_string(),
                     host: cmd
                         .get_text("host")
                         .unwrap_or(from.addr.host.as_str())
                         .to_string(),
-                    msg: cmd.get_text("msg").expect("validated").to_string(),
+                    msg: req_text!(cmd, "msg").to_string(),
                     at: Instant::now(),
                 };
                 self.next_seq += 1;
@@ -134,6 +211,66 @@ impl ServiceBehavior for NetLogger {
                         .arg("records", records_to_value(&ordered))
                 })
             }
+            "event" => {
+                let service = req_text!(cmd, "service").to_string();
+                let kind = req_text!(cmd, "kind").to_string();
+                let data = req_text!(cmd, "data");
+                let Some(bytes) = protocol::hex_decode(data) else {
+                    return Reply::err(ErrorCode::Semantics, "data is not valid hex");
+                };
+                let Ok(wire) = String::from_utf8(bytes) else {
+                    return Reply::err(ErrorCode::Semantics, "data is not valid UTF-8");
+                };
+                let fields = match CmdLine::parse(&wire) {
+                    Ok(fields) => fields,
+                    Err(e) => {
+                        return Reply::err(
+                            ErrorCode::Semantics,
+                            format!("data does not parse as a command line: {e}"),
+                        )
+                    }
+                };
+                let record = EventRecord {
+                    seq: self.next_event_seq,
+                    service: service.clone(),
+                    kind,
+                    host: cmd
+                        .get_text("host")
+                        .unwrap_or(from.addr.host.as_str())
+                        .to_string(),
+                    fields,
+                    at: Instant::now(),
+                };
+                self.next_event_seq += 1;
+                let ring = self.events.entry(service).or_default();
+                if ring.len() == self.events_per_service {
+                    ring.pop_front();
+                }
+                ring.push_back(record);
+                Reply::ok_with(|c| c.arg("seq", (self.next_event_seq - 1) as i64))
+            }
+            "queryEvents" => {
+                let service = req_text!(cmd, "service");
+                let kind = cmd.get_text("kind");
+                let count = cmd.get_int("count").unwrap_or(10).max(0) as usize;
+                let matches: Vec<&EventRecord> = self
+                    .events
+                    .get(service)
+                    .map(|ring| {
+                        ring.iter()
+                            .rev()
+                            .filter(|e| kind.is_none_or(|k| e.kind == k))
+                            .take(count)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                // Oldest-first in the reply.
+                let ordered: Vec<&EventRecord> = matches.into_iter().rev().collect();
+                Reply::ok_with(|c| {
+                    c.arg("count", ordered.len() as i64)
+                        .arg("events", events_to_value(&ordered))
+                })
+            }
             "logStats" => {
                 let mut info = 0i64;
                 let mut warn = 0i64;
@@ -148,6 +285,7 @@ impl ServiceBehavior for NetLogger {
                         _ => {}
                     }
                 }
+                let events_retained: usize = self.events.values().map(VecDeque::len).sum();
                 Reply::ok_with(|c| {
                     c.arg("total", self.next_seq as i64)
                         .arg("retained", self.records.len() as i64)
@@ -155,6 +293,8 @@ impl ServiceBehavior for NetLogger {
                         .arg("warn", warn)
                         .arg("error", error)
                         .arg("security", security)
+                        .arg("eventsTotal", self.next_event_seq as i64)
+                        .arg("eventsRetained", events_retained as i64)
                 })
             }
             other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
@@ -201,6 +341,47 @@ impl LoggerClient {
             .ok_or(ClientError::Service {
                 code: ErrorCode::Internal,
                 msg: "malformed tail reply".into(),
+            })
+    }
+
+    /// Push one typed event; `fields` is carried hex-encoded on the wire.
+    pub fn event(
+        &mut self,
+        service: &str,
+        kind: &str,
+        fields: &CmdLine,
+    ) -> Result<(), ClientError> {
+        self.client.call_ok(
+            &CmdLine::new("event")
+                .arg("service", service)
+                .arg("kind", kind)
+                .arg(
+                    "data",
+                    Value::Word(protocol::hex_encode(fields.to_wire().as_bytes())),
+                ),
+        )
+    }
+
+    /// The most recent events for `service`, oldest first.
+    pub fn query_events(
+        &mut self,
+        service: &str,
+        kind: Option<&str>,
+        count: usize,
+    ) -> Result<Vec<EventRow>, ClientError> {
+        let mut cmd = CmdLine::new("queryEvents")
+            .arg("service", service)
+            .arg("count", count as i64);
+        if let Some(k) = kind {
+            cmd.push_arg("kind", k);
+        }
+        let reply = self.client.call(&cmd)?;
+        reply
+            .get("events")
+            .and_then(events_from_value)
+            .ok_or(ClientError::Service {
+                code: ErrorCode::Internal,
+                msg: "malformed queryEvents reply".into(),
             })
     }
 

@@ -124,7 +124,7 @@ impl ServiceBehavior for UserDb {
     fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
         match cmd.name() {
             "addUser" => {
-                let username = cmd.get_text("username").expect("validated").to_string();
+                let username = req_text!(cmd, "username").to_string();
                 if self.users.contains_key(&username) {
                     return Reply::err(
                         ErrorCode::BadState,
@@ -133,12 +133,9 @@ impl ServiceBehavior for UserDb {
                 }
                 let record = UserRecord {
                     username: username.clone(),
-                    fullname: cmd.get_text("fullname").expect("validated").to_string(),
-                    password_hash: password_hash(
-                        &username,
-                        cmd.get_text("password").expect("validated"),
-                    ),
-                    public_key: cmd.get_text("publicKey").expect("validated").to_string(),
+                    fullname: req_text!(cmd, "fullname").to_string(),
+                    password_hash: password_hash(&username, req_text!(cmd, "password")),
+                    public_key: req_text!(cmd, "publicKey").to_string(),
                     fingerprint: cmd.get_text("fingerprint").map(str::to_string),
                     ibutton: cmd.get_text("ibutton").map(str::to_string),
                     location: None,
@@ -157,14 +154,14 @@ impl ServiceBehavior for UserDb {
                 Reply::ok()
             }
             "getUser" => {
-                let username = cmd.get_text("username").expect("validated");
+                let username = req_text!(cmd, "username");
                 match self.users.get(username) {
                     Some(user) => user_reply(user),
                     None => Reply::err(ErrorCode::NotFound, format!("no user {username}")),
                 }
             }
             "removeUser" => {
-                let username = cmd.get_text("username").expect("validated");
+                let username = req_text!(cmd, "username");
                 match self.users.remove(username) {
                     Some(record) => {
                         if let Some(fp) = &record.fingerprint {
@@ -179,8 +176,8 @@ impl ServiceBehavior for UserDb {
                 }
             }
             "checkPassword" => {
-                let username = cmd.get_text("username").expect("validated");
-                let password = cmd.get_text("password").expect("validated");
+                let username = req_text!(cmd, "username");
+                let password = req_text!(cmd, "password");
                 match self.users.get(username) {
                     Some(user) if user.password_hash == password_hash(username, password) => {
                         Reply::ok()
@@ -190,9 +187,9 @@ impl ServiceBehavior for UserDb {
                 }
             }
             "setLocation" => {
-                let username = cmd.get_text("username").expect("validated");
-                let room = cmd.get_text("room").expect("validated").to_string();
-                let host = cmd.get_text("host").expect("validated").to_string();
+                let username = req_text!(cmd, "username");
+                let room = req_text!(cmd, "room").to_string();
+                let host = req_text!(cmd, "host").to_string();
                 match self.users.get_mut(username) {
                     Some(user) => {
                         user.location = Some((room, host));
@@ -202,7 +199,7 @@ impl ServiceBehavior for UserDb {
                 }
             }
             "getLocation" => {
-                let username = cmd.get_text("username").expect("validated");
+                let username = req_text!(cmd, "username");
                 match self.users.get(username) {
                     Some(user) => match &user.location {
                         Some((room, host)) => Reply::ok_with(|c| {
@@ -214,14 +211,14 @@ impl ServiceBehavior for UserDb {
                 }
             }
             "findByFingerprint" => {
-                let template = cmd.get_text("template").expect("validated");
+                let template = req_text!(cmd, "template");
                 match self.by_fingerprint.get(template) {
                     Some(username) => Reply::ok_with(|c| c.arg("username", username.as_str())),
                     None => Reply::err(ErrorCode::NotFound, "unknown fingerprint"),
                 }
             }
             "findByIButton" => {
-                let serial = cmd.get_text("serial").expect("validated");
+                let serial = req_text!(cmd, "serial");
                 match self.by_ibutton.get(serial) {
                     Some(username) => Reply::ok_with(|c| c.arg("username", username.as_str())),
                     None => Reply::err(ErrorCode::NotFound, "unknown iButton"),

@@ -59,8 +59,8 @@ impl ServiceBehavior for AuthDb {
     fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
         match cmd.name() {
             "storeCredential" => {
-                let id = cmd.get_text("id").expect("validated").to_string();
-                let Some(bytes) = hex_decode(cmd.get_text("text").expect("validated")) else {
+                let id = req_text!(cmd, "id").to_string();
+                let Some(bytes) = hex_decode(req_text!(cmd, "text")) else {
                     return Reply::err(ErrorCode::Semantics, "text is not valid hex");
                 };
                 let Ok(text) = String::from_utf8(bytes) else {
@@ -89,7 +89,7 @@ impl ServiceBehavior for AuthDb {
                 Reply::ok()
             }
             "fetchCredentials" => {
-                let licensee = cmd.get_text("licensee").expect("validated");
+                let licensee = req_text!(cmd, "licensee");
                 let ids = self.by_licensee.get(licensee).cloned().unwrap_or_default();
                 let texts: Vec<Scalar> = ids
                     .iter()
@@ -102,7 +102,7 @@ impl ServiceBehavior for AuthDb {
                 })
             }
             "removeCredential" => {
-                let id = cmd.get_text("id").expect("validated");
+                let id = req_text!(cmd, "id");
                 if self.credentials.remove(id).is_some() {
                     for ids in self.by_licensee.values_mut() {
                         ids.retain(|i| i != id);

@@ -152,13 +152,13 @@ impl ServiceBehavior for Fiu {
     fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
         match cmd.name() {
             "enrollTemplate" => {
-                let template = cmd.get_text("template").expect("validated");
+                let template = req_text!(cmd, "template");
                 let quality = cmd.get_f64("quality").unwrap_or(0.9);
                 self.device.enroll(template, quality);
                 Reply::ok()
             }
             "unenrollTemplate" => {
-                let template = cmd.get_text("template").expect("validated");
+                let template = req_text!(cmd, "template");
                 if self.device.unenroll(template) {
                     Reply::ok()
                 } else {
@@ -166,7 +166,7 @@ impl ServiceBehavior for Fiu {
                 }
             }
             "verify" => {
-                let template = cmd.get_text("template").expect("validated");
+                let template = req_text!(cmd, "template");
                 let quality = cmd.get_f64("quality").unwrap_or(1.0);
                 match self.device.scan(template, quality) {
                     ScanOutcome::Match { score, .. } => {
@@ -176,7 +176,7 @@ impl ServiceBehavior for Fiu {
                 }
             }
             "press" => {
-                let template = cmd.get_text("template").expect("validated").to_string();
+                let template = req_text!(cmd, "template").to_string();
                 let quality = cmd.get_f64("quality").unwrap_or(1.0);
                 match self.device.scan(&template, quality) {
                     ScanOutcome::Match { template, score } => {

@@ -49,7 +49,7 @@ impl ServiceBehavior for IButtonReader {
         match cmd.name() {
             "touch" => {
                 self.touches += 1;
-                let serial = cmd.get_text("serial").expect("validated").to_string();
+                let serial = req_text!(cmd, "serial").to_string();
                 let user = self.aud_addr(ctx).and_then(|aud| {
                     ctx.call(
                         &aud,

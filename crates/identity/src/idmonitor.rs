@@ -136,7 +136,7 @@ impl ServiceBehavior for IdMonitor {
                 Reply::ok()
             }
             "lastSeen" => {
-                let username = cmd.get_text("username").expect("validated");
+                let username = req_text!(cmd, "username");
                 match self.last_seen.get(username) {
                     Some((room, host)) => {
                         Reply::ok_with(|c| c.arg("room", room.as_str()).arg("host", host.as_str()))

@@ -54,3 +54,56 @@ pub fn parse_checked(src: &str, semantics: &Semantics) -> Result<CmdLine, LangEr
     semantics.validate(&cmd)?;
     Ok(cmd)
 }
+
+/// Fetch a required text argument (word or string) from a [`CmdLine`], or
+/// return an [`ErrorCode::Semantics`] error [`Reply`] from the enclosing
+/// handler.  Semantic validation normally guarantees presence and type, but
+/// handlers must stay panic-free even if spec and accessor drift apart.
+#[macro_export]
+macro_rules! req_text {
+    ($cmd:expr, $name:literal) => {
+        match $cmd.get_text($name) {
+            Some(v) => v,
+            None => {
+                return $crate::Reply::err(
+                    $crate::ErrorCode::Semantics,
+                    concat!("missing or mistyped `", $name, "`"),
+                )
+            }
+        }
+    };
+}
+
+/// Fetch a required integer argument, or return a Semantics error [`Reply`]
+/// from the enclosing handler.  See [`req_text!`].
+#[macro_export]
+macro_rules! req_int {
+    ($cmd:expr, $name:literal) => {
+        match $cmd.get_int($name) {
+            Some(v) => v,
+            None => {
+                return $crate::Reply::err(
+                    $crate::ErrorCode::Semantics,
+                    concat!("missing or mistyped `", $name, "`"),
+                )
+            }
+        }
+    };
+}
+
+/// Fetch a required float argument (integers widen), or return a Semantics
+/// error [`Reply`] from the enclosing handler.  See [`req_text!`].
+#[macro_export]
+macro_rules! req_f64 {
+    ($cmd:expr, $name:literal) => {
+        match $cmd.get_f64($name) {
+            Some(v) => v,
+            None => {
+                return $crate::Reply::err(
+                    $crate::ErrorCode::Semantics,
+                    concat!("missing or mistyped `", $name, "`"),
+                )
+            }
+        }
+    };
+}

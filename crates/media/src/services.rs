@@ -62,10 +62,10 @@ impl ServiceBehavior for Converter {
         }
         match cmd.name() {
             "convertConfig" => {
-                let Some(from) = Format::from_word(cmd.get_text("from").expect("validated")) else {
+                let Some(from) = Format::from_word(req_text!(cmd, "from")) else {
                     return Reply::err(ErrorCode::Semantics, "unknown source format");
                 };
-                let Some(to) = Format::from_word(cmd.get_text("to").expect("validated")) else {
+                let Some(to) = Format::from_word(req_text!(cmd, "to")) else {
                     return Reply::err(ErrorCode::Semantics, "unknown target format");
                 };
                 self.from = from;
@@ -208,12 +208,12 @@ impl ServiceBehavior for AudioCapture {
         }
         match cmd.name() {
             "captureConfig" => {
-                self.freq = cmd.get_f64("freq").expect("validated");
-                self.amplitude = cmd.get_f64("amp").expect("validated").clamp(0.0, 1.0);
+                self.freq = req_f64!(cmd, "freq");
+                self.amplitude = req_f64!(cmd, "amp").clamp(0.0, 1.0);
                 Reply::ok()
             }
             "generate" => {
-                let len = cmd.get_int("len").expect("validated").max(0) as usize;
+                let len = req_int!(cmd, "len").max(0) as usize;
                 let stream = cmd.get_text("stream").unwrap_or("mic").to_string();
                 // Keep phase continuous across frames.
                 let w = 2.0 * std::f64::consts::PI * self.freq / crate::dsp::SAMPLE_RATE as f64;
@@ -238,6 +238,10 @@ impl ServiceBehavior for AudioCapture {
     }
 }
 
+/// Upper bound on buffered partial slots.  A silent input otherwise grows
+/// `pending` without limit, one slot per frame the live inputs push.
+const MAX_PENDING_SLOTS: usize = 64;
+
 /// Audio Mixer: "combines multiple audio signals into one audio
 /// signal/stream".  It waits until every registered input has delivered the
 /// frame for a sequence number, then mixes and forwards.
@@ -247,6 +251,7 @@ pub struct AudioMixer {
     out_stream: String,
     downstream: Downstream,
     mixed: u64,
+    dropped_slots: u64,
 }
 
 impl AudioMixer {
@@ -257,7 +262,55 @@ impl AudioMixer {
             out_stream: out_stream.to_string(),
             downstream: Downstream::new(),
             mixed: 0,
+            dropped_slots: 0,
         }
+    }
+
+    /// Mix and forward the completed slot at `seq`, dropping (and counting)
+    /// any stale partial slots older than the emission point.
+    fn emit(&mut self, ctx: &mut ServiceCtx, seq: i64) -> usize {
+        let Some(parts) = self.pending.remove(&seq) else {
+            return 0;
+        };
+        let refs: Vec<&[i16]> = parts.values().map(Vec::as_slice).collect();
+        let mixed = mix(&refs);
+        self.mixed += 1;
+        let out = Frame {
+            stream: self.out_stream.clone(),
+            seq,
+            data: samples_to_bytes(&mixed),
+        };
+        let forwarded = self.downstream.forward(ctx, &out);
+        // Drop stale partial frames older than what we emitted.
+        let stale: Vec<i64> = self.pending.range(..seq).map(|(&s, _)| s).collect();
+        self.dropped_slots += stale.len() as u64;
+        for s in stale {
+            self.pending.remove(&s);
+        }
+        forwarded
+    }
+
+    /// Emit every slot the current input set makes complete (oldest first).
+    /// Called after the input set changes: a slot buffered while a departed
+    /// input was registered may suddenly have every remaining contribution.
+    fn emit_ready(&mut self, ctx: &mut ServiceCtx) -> usize {
+        let mut forwarded = 0;
+        loop {
+            let need = self.inputs.len();
+            if need == 0 {
+                break;
+            }
+            let Some(seq) = self
+                .pending
+                .iter()
+                .find(|(_, slot)| slot.len() == need)
+                .map(|(&s, _)| s)
+            else {
+                break;
+            };
+            forwarded += self.emit(ctx, seq);
+        }
+        forwarded
     }
 }
 
@@ -273,6 +326,13 @@ impl ServiceBehavior for AudioMixer {
                         "input stream name",
                     ),
                 )
+                .with(
+                    CmdSpec::new("removeInput", "deregister an input stream").required(
+                        "stream",
+                        ArgType::Word,
+                        "input stream name",
+                    ),
+                )
                 .with(CmdSpec::new("mixerStats", "mixer counters")),
         )
     }
@@ -283,11 +343,29 @@ impl ServiceBehavior for AudioMixer {
         }
         match cmd.name() {
             "addInput" => {
-                let stream = cmd.get_text("stream").expect("validated").to_string();
+                let stream = req_text!(cmd, "stream").to_string();
                 if !self.inputs.contains(&stream) {
                     self.inputs.push(stream);
                 }
                 Reply::ok()
+            }
+            "removeInput" => {
+                let stream = req_text!(cmd, "stream").to_string();
+                let before = self.inputs.len();
+                self.inputs.retain(|s| s != &stream);
+                if self.inputs.len() == before {
+                    return Reply::err(ErrorCode::NotFound, "no such input");
+                }
+                // Reconcile `pending` with the shrunk input set: strip the
+                // departed stream's buffered contributions (a slot holding
+                // only them would never complete and leak forever), then
+                // emit any slots the removal just completed.
+                for slot in self.pending.values_mut() {
+                    slot.remove(&stream);
+                }
+                self.pending.retain(|_, slot| !slot.is_empty());
+                let forwarded = self.emit_ready(ctx);
+                Reply::ok_with(|c| c.arg("delivered", forwarded as i64))
             }
             "push" => {
                 let frame = match Frame::from_cmd(cmd) {
@@ -303,26 +381,27 @@ impl ServiceBehavior for AudioMixer {
                 let Some(samples) = bytes_to_samples(&frame.data) else {
                     return Reply::err(ErrorCode::Semantics, "odd-length PCM frame");
                 };
+                // Keep `pending` bounded even when an input goes silent:
+                // evict the oldest slot (or refuse a frame older than all
+                // buffered work) rather than buffering without limit.
+                if !self.pending.contains_key(&frame.seq) && self.pending.len() >= MAX_PENDING_SLOTS
+                {
+                    match self.pending.iter().next().map(|(&s, _)| s) {
+                        Some(oldest) if oldest < frame.seq => {
+                            self.pending.remove(&oldest);
+                            self.dropped_slots += 1;
+                        }
+                        _ => {
+                            self.dropped_slots += 1;
+                            return Reply::ok_with(|c| c.arg("delivered", 0i64));
+                        }
+                    }
+                }
                 let slot = self.pending.entry(frame.seq).or_default();
                 slot.insert(frame.stream, samples);
                 let mut forwarded = 0;
                 if slot.len() == self.inputs.len() {
-                    let parts = self.pending.remove(&frame.seq).expect("present");
-                    let refs: Vec<&[i16]> = parts.values().map(Vec::as_slice).collect();
-                    let mixed = mix(&refs);
-                    self.mixed += 1;
-                    let out = Frame {
-                        stream: self.out_stream.clone(),
-                        seq: frame.seq,
-                        data: samples_to_bytes(&mixed),
-                    };
-                    forwarded = self.downstream.forward(ctx, &out);
-                    // Drop stale partial frames older than what we emitted.
-                    let stale: Vec<i64> =
-                        self.pending.range(..frame.seq).map(|(&s, _)| s).collect();
-                    for s in stale {
-                        self.pending.remove(&s);
-                    }
+                    forwarded = self.emit(ctx, frame.seq);
                 }
                 Reply::ok_with(|c| c.arg("delivered", forwarded as i64))
             }
@@ -330,9 +409,18 @@ impl ServiceBehavior for AudioMixer {
                 c.arg("inputs", self.inputs.len() as i64)
                     .arg("mixed", self.mixed as i64)
                     .arg("pending", self.pending.len() as i64)
+                    .arg("dropped", self.dropped_slots as i64)
             }),
             other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
         }
+    }
+
+    fn on_stats(&mut self, ctx: &mut ServiceCtx) {
+        let m = ctx.metrics();
+        m.gauge("mixer.inputs").set(self.inputs.len() as i64);
+        m.gauge("mixer.pending").set(self.pending.len() as i64);
+        m.gauge("mixer.mixed").set(self.mixed as i64);
+        m.gauge("mixer.droppedSlots").set(self.dropped_slots as i64);
     }
 }
 
@@ -460,7 +548,7 @@ impl ServiceBehavior for AudioSink {
                     .arg("rms", rms(&self.samples))
             }),
             "sinkPower" => {
-                let freq = cmd.get_f64("freq").expect("validated");
+                let freq = req_f64!(cmd, "freq");
                 Reply::ok_with(|c| c.arg("power", crate::dsp::goertzel(&self.samples, freq)))
             }
             "sinkDecode" => match decode_tones(&self.samples) {
@@ -508,7 +596,7 @@ impl ServiceBehavior for TextToSpeech {
         }
         match cmd.name() {
             "say" => {
-                let text = cmd.get_text("text").expect("validated");
+                let text = req_text!(cmd, "text");
                 let signal = encode_tones(text.as_bytes());
                 let frame = Frame {
                     stream: cmd.get_text("stream").unwrap_or("tts").to_string(),

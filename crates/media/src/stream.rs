@@ -39,11 +39,20 @@ pub struct Frame {
 impl Frame {
     /// Decode a validated `push` command.
     pub fn from_cmd(cmd: &CmdLine) -> Result<Frame, Reply> {
-        let data = hex_decode(cmd.get_text("data").expect("validated"))
+        let missing = |name: &str| {
+            Reply::err(
+                ErrorCode::Semantics,
+                format!("missing or mistyped `{name}`"),
+            )
+        };
+        let data = hex_decode(cmd.get_text("data").ok_or_else(|| missing("data"))?)
             .ok_or_else(|| Reply::err(ErrorCode::Semantics, "data is not valid hex"))?;
         Ok(Frame {
-            stream: cmd.get_text("stream").expect("validated").to_string(),
-            seq: cmd.get_int("seq").expect("validated"),
+            stream: cmd
+                .get_text("stream")
+                .ok_or_else(|| missing("stream"))?
+                .to_string(),
+            seq: cmd.get_int("seq").ok_or_else(|| missing("seq"))?,
             data,
         })
     }
@@ -70,22 +79,31 @@ impl Downstream {
 
     /// Handle `addSink`/`removeSink`; `None` if the command is neither.
     pub fn handle(&mut self, cmd: &CmdLine) -> Option<Reply> {
+        let sink_addr = |cmd: &CmdLine| -> Result<Addr, Reply> {
+            match (cmd.get_text("host"), cmd.get_int("port")) {
+                (Some(host), Some(port)) => Ok(Addr::new(host, port as u16)),
+                _ => Err(Reply::err(
+                    ErrorCode::Semantics,
+                    "missing or mistyped sink address",
+                )),
+            }
+        };
         match cmd.name() {
             "addSink" => {
-                let addr = Addr::new(
-                    cmd.get_text("host").expect("validated"),
-                    cmd.get_int("port").expect("validated") as u16,
-                );
+                let addr = match sink_addr(cmd) {
+                    Ok(addr) => addr,
+                    Err(reply) => return Some(reply),
+                };
                 if !self.sinks.contains(&addr) {
                     self.sinks.push(addr);
                 }
                 Some(Reply::ok())
             }
             "removeSink" => {
-                let addr = Addr::new(
-                    cmd.get_text("host").expect("validated"),
-                    cmd.get_int("port").expect("validated") as u16,
-                );
+                let addr = match sink_addr(cmd) {
+                    Ok(addr) => addr,
+                    Err(reply) => return Some(reply),
+                };
                 let before = self.sinks.len();
                 self.sinks.retain(|a| a != &addr);
                 Some(if self.sinks.len() != before {

@@ -647,6 +647,31 @@ impl ServiceBehavior for StoreReplica {
             other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
         }
     }
+
+    /// Re-export WAL batch and sync state into the daemon's unified metrics
+    /// registry, so `aceStats` and the periodic stats events carry them
+    /// alongside the framework's own counters.
+    fn on_stats(&mut self, ctx: &mut ServiceCtx) {
+        let m = ctx.metrics();
+        m.gauge("store.entries").set(self.disk.len() as i64);
+        m.gauge("store.syncs")
+            .set(self.stats.syncs.load(Ordering::Relaxed) as i64);
+        m.gauge("store.pulled")
+            .set(self.stats.pulled.load(Ordering::Relaxed) as i64);
+        m.gauge("store.pullErrors")
+            .set(self.stats.pull_errors.load(Ordering::Relaxed) as i64);
+        if let Some(wal) = self.disk.wal_stats() {
+            m.gauge("wal.appends").set(wal.appends as i64);
+            m.gauge("wal.compactions").set(wal.compactions as i64);
+            m.gauge("wal.appendFailures")
+                .set(wal.append_failures as i64);
+            m.gauge("wal.batches").set(wal.batches as i64);
+            m.gauge("wal.fsyncs").set(wal.fsyncs as i64);
+            m.gauge("wal.fsyncsSaved").set(wal.fsyncs_saved as i64);
+            m.gauge("wal.maxBatchRecords")
+                .set(wal.max_batch_records as i64);
+        }
+    }
 }
 
 impl Drop for StoreReplica {

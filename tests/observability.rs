@@ -1,0 +1,387 @@
+//! The unified observability layer, end to end: `aceStats` round-trips on
+//! directory, store, and media daemons; notify fan-out survives a dead
+//! subscriber with counted (never silent) drops; and periodic `stats`
+//! events land in the Net Logger as typed, queryable records.
+
+use ace_core::prelude::*;
+use ace_core::protocol::LOGGER_PORT;
+use ace_directory::LoggerClient;
+use ace_media::Frame;
+use ace_net::{FaultKind, FaultPlan};
+use ace_security::keys::KeyPair;
+use ace_store::{DiskImage, MemStorage, StorageHandle, StoreClient, StoreReplica, WalConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn keypair() -> KeyPair {
+    KeyPair::generate(&mut rand::thread_rng())
+}
+
+fn wait_until(deadline: Duration, mut probe: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if probe() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+/// Fetch and decode one daemon's `aceStats`.
+fn ace_stats(client: &mut ServiceClient, prefix: Option<&str>) -> StatsReport {
+    let mut cmd = CmdLine::new("aceStats");
+    if let Some(p) = prefix {
+        cmd.push_arg("prefix", p);
+    }
+    let reply = client.call(&cmd).expect("aceStats answers");
+    StatsReport::from_cmdline(&reply)
+}
+
+fn assert_sane_quantiles(report: &StatsReport, name: &str, min_count: u64) {
+    let h = report
+        .histograms
+        .get(name)
+        .unwrap_or_else(|| panic!("histogram `{name}` missing: {:?}", report.histograms.keys()));
+    assert!(
+        h.count >= min_count,
+        "{name}: count {} < {min_count}",
+        h.count
+    );
+    assert!(
+        h.p50_us <= h.p90_us && h.p90_us <= h.p99_us,
+        "{name}: quantiles out of order: {h:?}"
+    );
+    assert!(h.p99_us <= h.max_us as f64, "{name}: p99 above max: {h:?}");
+}
+
+/// ASD: per-verb latency histograms, queue gauges, and link byte counters
+/// all move after traffic, and the prefix filter narrows the reply.
+#[test]
+fn ace_stats_roundtrip_asd() {
+    let net = SimNet::new();
+    net.add_host("core");
+    let daemon = Daemon::spawn(
+        &net,
+        DaemonConfig::new("asd", "Service.Directory.ASD", "machine", "core", 4300),
+        Box::new(ace_directory::Asd::new(Duration::from_secs(60))),
+    )
+    .unwrap();
+    let me = keypair();
+    let mut client =
+        ServiceClient::connect(&net, &"core".into(), daemon.addr().clone(), &me).unwrap();
+
+    for _ in 0..8 {
+        client.call(&CmdLine::new("ping")).unwrap();
+    }
+
+    let report = ace_stats(&mut client, None);
+    assert_sane_quantiles(&report, "cmd.ping", 8);
+    assert!(
+        report
+            .counters
+            .get("link.sealedBytes")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "sealed byte counter never moved: {:?}",
+        report.counters
+    );
+    assert!(
+        report.gauges.contains_key("control.queueDepth"),
+        "queue depth gauge missing: {:?}",
+        report.gauges
+    );
+    assert_sane_quantiles(&report, "control.queueWait", 8);
+
+    let narrowed = ace_stats(&mut client, Some("cmd."));
+    assert!(narrowed.histograms.keys().all(|k| k.starts_with("cmd.")));
+    assert!(narrowed.counters.keys().all(|k| k.starts_with("cmd.")));
+    assert!(!narrowed.histograms.is_empty());
+
+    daemon.shutdown();
+}
+
+/// A WAL-backed store replica re-exports WAL batch stats through `aceStats`.
+#[test]
+fn ace_stats_roundtrip_store_replica() {
+    let net = SimNet::new();
+    net.add_host("store");
+    let storage = StorageHandle::Memory(MemStorage::new());
+    let (disk, _report) = DiskImage::open(&storage, WalConfig::default()).unwrap();
+    let daemon = Daemon::spawn(
+        &net,
+        DaemonConfig::new("store_a", "Service.Store", "machine", "store", 4310),
+        Box::new(StoreReplica::new(disk, Duration::from_secs(3600))),
+    )
+    .unwrap();
+
+    let mut store = StoreClient::new(net.clone(), "store", keypair(), vec![daemon.addr().clone()]);
+    for i in 0..5 {
+        store
+            .put("ns", &format!("key{i}"), format!("value{i}").as_bytes())
+            .unwrap();
+    }
+
+    let me = keypair();
+    let mut client =
+        ServiceClient::connect(&net, &"store".into(), daemon.addr().clone(), &me).unwrap();
+    let report = ace_stats(&mut client, None);
+    assert!(
+        report.gauges.get("store.entries").copied().unwrap_or(0) >= 5,
+        "store entries gauge: {:?}",
+        report.gauges
+    );
+    assert!(
+        report.gauges.get("wal.appends").copied().unwrap_or(0) >= 5,
+        "wal append gauge: {:?}",
+        report.gauges
+    );
+    assert!(
+        !report.histograms.is_empty(),
+        "no per-verb histograms after traffic"
+    );
+
+    daemon.shutdown();
+}
+
+/// A media daemon (the mixer) reports per-verb latency plus its own gauges.
+#[test]
+fn ace_stats_roundtrip_media_mixer() {
+    let net = SimNet::new();
+    net.add_host("av");
+    let daemon = Daemon::spawn(
+        &net,
+        DaemonConfig::new("mixer", "Service.Media.Mixer", "hawk", "av", 4320),
+        Box::new(ace_media::services::AudioMixer::new("out")),
+    )
+    .unwrap();
+    let me = keypair();
+    let mut client =
+        ServiceClient::connect(&net, &"av".into(), daemon.addr().clone(), &me).unwrap();
+
+    client
+        .call_ok(&CmdLine::new("addInput").arg("stream", "mic1"))
+        .unwrap();
+    for seq in 0..6i64 {
+        let frame = Frame {
+            stream: "mic1".into(),
+            seq,
+            data: vec![0, 1, 2, 3],
+        };
+        client.call(&frame.to_cmd()).unwrap();
+    }
+
+    let report = ace_stats(&mut client, None);
+    assert_sane_quantiles(&report, "cmd.push", 6);
+    assert_eq!(report.gauges.get("mixer.inputs").copied(), Some(1));
+    assert!(
+        report.gauges.get("mixer.mixed").copied().unwrap_or(0) >= 6,
+        "mixer gauges: {:?}",
+        report.gauges
+    );
+
+    daemon.shutdown();
+}
+
+struct Poker;
+impl ServiceBehavior for Poker {
+    fn semantics(&self) -> Semantics {
+        Semantics::new().with(CmdSpec::new("poke", "fire a watched command"))
+    }
+    fn handle(&mut self, _ctx: &mut ServiceCtx, _cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        Reply::ok()
+    }
+}
+
+struct Recorder(Arc<AtomicU64>);
+impl ServiceBehavior for Recorder {
+    fn semantics(&self) -> Semantics {
+        Semantics::new().with(
+            CmdSpec::new("observe", "record one notification")
+                .optional("service", ArgType::Word, "originating service")
+                .optional("cmd", ArgType::Word, "executed command"),
+        )
+    }
+    fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        match cmd.name() {
+            "observe" => {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Reply::ok()
+            }
+            other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
+        }
+    }
+}
+
+/// One crashed subscriber must not stall or starve fan-out to the healthy
+/// one, and every failed delivery is counted on the origin — never silent.
+#[test]
+fn notify_fanout_survives_dead_subscriber() {
+    let net = SimNet::new();
+    for h in ["origin", "alive", "dead", "tester"] {
+        net.add_host(h);
+    }
+    let origin = Daemon::spawn(
+        &net,
+        DaemonConfig::new("poker", "Service.Test", "room", "origin", 4400),
+        Box::new(Poker),
+    )
+    .unwrap();
+    let seen = Arc::new(AtomicU64::new(0));
+    let alive = Daemon::spawn(
+        &net,
+        DaemonConfig::new("rec_alive", "Service.Test", "room", "alive", 4401),
+        Box::new(Recorder(Arc::clone(&seen))),
+    )
+    .unwrap();
+    let doomed = Daemon::spawn(
+        &net,
+        DaemonConfig::new("rec_dead", "Service.Test", "room", "dead", 4402),
+        Box::new(Recorder(Arc::new(AtomicU64::new(0)))),
+    )
+    .unwrap();
+
+    let me = keypair();
+    let mut client =
+        ServiceClient::connect(&net, &"tester".into(), origin.addr().clone(), &me).unwrap();
+    for (service, addr) in [("rec_alive", alive.addr()), ("rec_dead", doomed.addr())] {
+        client
+            .call_ok(
+                &CmdLine::new("addNotification")
+                    .arg("cmd", "poke")
+                    .arg("service", service)
+                    .arg("host", addr.host.as_str())
+                    .arg("port", addr.port as i64)
+                    .arg("notifyCmd", "observe"),
+            )
+            .unwrap();
+    }
+
+    // The subscriber on `dead` goes down before any notification flows.
+    let plan = FaultPlan::new(Duration::from_millis(100))
+        .at(Duration::ZERO, FaultKind::Crash("dead".into()));
+    plan.spawn(&net).join();
+
+    const POKES: u64 = 20;
+    for _ in 0..POKES {
+        client.call_ok(&CmdLine::new("poke")).unwrap();
+    }
+
+    // Delivery is asynchronous: the healthy subscriber must receive every
+    // single notification despite the dead peer ahead of it in the queue.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            seen.load(Ordering::SeqCst) >= POKES
+        }),
+        "healthy subscriber starved: got {} of {POKES}",
+        seen.load(Ordering::SeqCst)
+    );
+
+    // The origin's registry owns the evidence: deliveries and drops both
+    // counted.
+    let accounted = wait_until(Duration::from_secs(5), || {
+        let report = ace_stats(&mut client, Some("notify."));
+        report
+            .counters
+            .get("notify.delivered")
+            .copied()
+            .unwrap_or(0)
+            >= POKES
+            && report.counters.get("notify.drops").copied().unwrap_or(0) >= 1
+    });
+    if !accounted {
+        let report = ace_stats(&mut client, Some("notify."));
+        panic!(
+            "origin never accounted the dead subscriber: {:?}",
+            report.counters
+        );
+    }
+
+    origin.shutdown();
+    alive.shutdown();
+}
+
+/// Daemons push periodic `stats` events to the Net Logger; the logger keeps
+/// them as typed records answering `queryEvents`, and the payload decodes
+/// back into a [`StatsReport`].
+#[test]
+fn stats_events_flow_to_logger() {
+    let net = SimNet::new();
+    net.add_host("core");
+    net.add_host("podium");
+    let logger = Daemon::spawn(
+        &net,
+        DaemonConfig::new(
+            "netlogger",
+            "Service.Logger",
+            "machine",
+            "core",
+            LOGGER_PORT,
+        ),
+        Box::new(ace_directory::NetLogger::new(1000)),
+    )
+    .unwrap();
+
+    let cam = Daemon::spawn(
+        &net,
+        DaemonConfig::new("cam1", "Service.Device.PTZCamera", "hawk", "podium", 4410)
+            .with_logger(logger.addr().clone())
+            .with_stats_interval(Duration::from_millis(40)),
+        Box::new(ace_env::PtzCamera::new(ace_env::CameraModel::Vcc4)),
+    )
+    .unwrap();
+
+    let me = keypair();
+    let mut cam_client =
+        ServiceClient::connect(&net, &"podium".into(), cam.addr().clone(), &me).unwrap();
+    let mut log_client =
+        LoggerClient::connect(&net, &"core".into(), logger.addr().clone(), &me).unwrap();
+
+    // Stats pushes ride the control loop, so keep it busy past the interval.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let rows = loop {
+        cam_client.call(&CmdLine::new("ping")).unwrap();
+        let rows = log_client.query_events("cam1", Some("stats"), 5).unwrap();
+        if !rows.is_empty() {
+            break rows;
+        }
+        assert!(Instant::now() < deadline, "no stats event arrived");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+
+    let (_seq, service, kind, host, fields) = rows.last().unwrap();
+    assert_eq!(service, "cam1");
+    assert_eq!(kind, "stats");
+    assert_eq!(host, "podium");
+    assert_eq!(fields.name(), "stats");
+    let report = StatsReport::from_cmdline(fields);
+    assert!(
+        report.histograms.contains_key("cmd.ping"),
+        "event payload lacks ping latency: {:?}",
+        report.histograms.keys()
+    );
+
+    // Typed events also flow through the client API directly, and malformed
+    // payloads are rejected instead of stored.
+    log_client
+        .event("tester", "custom", &CmdLine::new("note").arg("x", 1))
+        .unwrap();
+    let rows = log_client.query_events("tester", None, 5).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].4.get_int("x"), Some(1));
+    let err = ServiceClient::connect(&net, &"core".into(), logger.addr().clone(), &me)
+        .unwrap()
+        .call(
+            &CmdLine::new("event")
+                .arg("service", "tester")
+                .arg("kind", "bad")
+                .arg("data", Value::Word("xzz".into())),
+        )
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Semantics));
+
+    cam.shutdown();
+    logger.shutdown();
+}
