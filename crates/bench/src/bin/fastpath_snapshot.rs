@@ -1,0 +1,202 @@
+//! Turn `connect_storm` bench output plus a live fast-path workload into
+//! the `BENCH_pr5.json` artifact.
+//!
+//! ```sh
+//! cargo bench -p ace-bench --bench connect_storm | tee bench_connect_storm.txt
+//! cargo run --release -p ace-bench --bin fastpath_snapshot -- \
+//!     -o BENCH_pr5.json bench_connect_storm.txt
+//! ```
+//!
+//! The artifact carries three sections: the raw bench rows, the derived
+//! speedup ratios (resumption alone, pooling alone, and the whole fast
+//! path against the pre-PR resolve-and-dial cost), and the fast-path
+//! counters from a short live storm (client side: pool and resolution
+//! cache; server side: resume hits vs full handshakes via `aceStats`).
+
+use ace_core::prelude::*;
+use ace_directory::bootstrap;
+use ace_security::keys::KeyPair;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Echo;
+impl ServiceBehavior for Echo {
+    fn semantics(&self) -> Semantics {
+        Semantics::new().with(CmdSpec::new("echo", "echo").optional("x", ArgType::Int, "payload"))
+    }
+    fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        let x = cmd.get_int("x").unwrap_or(0);
+        Reply::ok_with(|c| c.arg("x", x))
+    }
+}
+
+/// One `bench <name> <value> <unit>/iter (<iters> iters)` line, with the
+/// value normalised to microseconds.
+fn parse_bench_line(line: &str) -> Option<(String, f64, u64)> {
+    let rest = line.strip_prefix("bench ")?;
+    let mut tokens = rest.split_whitespace();
+    let name = tokens.next()?.to_string();
+    let value: f64 = tokens.next()?.parse().ok()?;
+    let unit = tokens.next()?.strip_suffix("/iter")?;
+    let micros = match unit {
+        "s" => value * 1e6,
+        "ms" => value * 1e3,
+        "µs" | "us" => value,
+        "ns" => value / 1e3,
+        _ => return None,
+    };
+    let iters: u64 = tokens.next()?.trim_start_matches('(').parse().ok()?;
+    Some((name, micros, iters))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_pr5.json");
+    let mut bench_files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "-o" {
+            out_path = args.next().expect("-o needs a path");
+        } else {
+            bench_files.push(arg);
+        }
+    }
+
+    let mut rows: Vec<(String, f64, u64)> = Vec::new();
+    for path in &bench_files {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read bench file {path}: {e}"));
+        rows.extend(text.lines().filter_map(parse_bench_line));
+    }
+    let micros = |name: &str| -> Option<f64> {
+        rows.iter()
+            .find(|(n, _, _)| n == &format!("connect_storm/{name}"))
+            .map(|(_, us, _)| *us)
+    };
+    let ratio = |slow: &str, fast: &str| -> Option<f64> {
+        match (micros(slow), micros(fast)) {
+            (Some(s), Some(f)) if f > 0.0 => Some(s / f),
+            _ => None,
+        }
+    };
+    let speedups = [
+        // Handshake skip alone: same dial, DH + signature replaced by one
+        // MAC round trip.
+        (
+            "resumed_vs_full_dial",
+            ratio("full_handshake_dial", "resumed_dial"),
+        ),
+        // Pool hit: no dial at all.
+        (
+            "pooled_vs_full_dial",
+            ratio("full_handshake_dial", "pooled_checkout"),
+        ),
+        // The headline: what a reconnecting client pays pre-PR (ASD
+        // resolve over a fresh link + full-handshake dial) vs the warm
+        // fast path (cached resolution + pooled link).
+        (
+            "fastpath_vs_full_resolve",
+            ratio("cold_client_full_resolve", "cold_client_fastpath"),
+        ),
+    ];
+
+    // Live storm: 200 short-lived clients over one shared pool + cache.
+    let net = SimNet::new();
+    net.add_host("core");
+    net.add_host("svc");
+    let fw = bootstrap(&net, "core", Duration::from_secs(600)).expect("bootstrap");
+    let daemon = Daemon::spawn(
+        &net,
+        fw.service_config("echo", "Service.Echo", "hawk", "svc", 6000),
+        Box::new(Echo),
+    )
+    .expect("spawn echo");
+    let me = KeyPair::generate(&mut rand::thread_rng());
+    let metrics = MetricsRegistry::new();
+    let pool = Arc::new(LinkPool::with_metrics(&net, "core", me, &metrics));
+    let cache = Arc::new(ResolutionCache::with_metrics(&metrics));
+    for i in 0..200 {
+        let mut client = FailoverClient::bind(net.clone(), "core", me, fw.asd_addr.clone(), "echo")
+            .with_pool(Arc::clone(&pool))
+            .with_resolution_cache(Arc::clone(&cache));
+        client
+            .call(&CmdLine::new("echo").arg("x", i as i64))
+            .expect("storm call");
+    }
+    let client_side = metrics.snapshot();
+    let mut stats_client = ServiceClient::connect(&net, &"core".into(), daemon.addr().clone(), &me)
+        .expect("stats client");
+    let reply = stats_client
+        .call(&CmdLine::new("aceStats"))
+        .expect("aceStats");
+    let server_side = StatsReport::from_cmdline(&reply);
+
+    let mut json = String::from("{\n  \"benches\": [\n");
+    let bench_rows: Vec<String> = rows
+        .iter()
+        .map(|(name, us, iters)| {
+            format!(
+                "    {{\"name\": \"{}\", \"micros_per_iter\": {us:.3}, \"iters\": {iters}}}",
+                json_escape(name)
+            )
+        })
+        .collect();
+    json.push_str(&bench_rows.join(",\n"));
+    json.push_str("\n  ],\n  \"speedups\": {\n");
+    let speedup_rows: Vec<String> = speedups
+        .iter()
+        .map(|(name, r)| match r {
+            Some(r) => format!("    \"{name}\": {r:.2}"),
+            None => format!("    \"{name}\": null"),
+        })
+        .collect();
+    json.push_str(&speedup_rows.join(",\n"));
+    json.push_str("\n  },\n  \"storm\": {\n    \"client\": {\n");
+    let counter_rows: Vec<String> = client_side
+        .counters
+        .iter()
+        .map(|(k, v)| format!("      \"{}\": {v}", json_escape(k)))
+        .collect();
+    json.push_str(&counter_rows.join(",\n"));
+    json.push_str("\n    },\n    \"server\": {\n");
+    let server_rows: Vec<String> = server_side
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("link.") || k.starts_with("cmd.") || k.starts_with("auth."))
+        .map(|(k, v)| format!("      \"{}\": {v}", json_escape(k)))
+        .collect();
+    json.push_str(&server_rows.join(",\n"));
+    json.push_str("\n    }\n  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write artifact");
+
+    let mut summary = String::new();
+    for (name, r) in &speedups {
+        if let Some(r) = r {
+            let _ = write!(summary, " {name}={r:.1}x");
+        }
+    }
+    println!("wrote {out_path}: {} bench rows,{summary}", rows.len());
+    println!(
+        "storm client counters: checkouts={} reused={} resume_hits={} full_handshakes={} \
+         cache_hits={} cache_misses={}",
+        client_side.counters.get("pool.checkouts").unwrap_or(&0),
+        client_side.counters.get("pool.reused").unwrap_or(&0),
+        client_side.counters.get("link.resume_hits").unwrap_or(&0),
+        client_side
+            .counters
+            .get("link.full_handshakes")
+            .unwrap_or(&0),
+        client_side.counters.get("resolve.cache_hits").unwrap_or(&0),
+        client_side
+            .counters
+            .get("resolve.cache_misses")
+            .unwrap_or(&0),
+    );
+
+    daemon.shutdown();
+    fw.shutdown();
+}

@@ -13,11 +13,11 @@
 //!   from the Authorization Database service, combined with a local policy
 //!   root (implemented by `crates/identity`'s `RemoteCredentials` source).
 
+use crate::metrics::{Counter, MetricsRegistry};
 use ace_lang::{CmdLine, Value};
 use ace_security::keynote::{ActionEnv, Assertion, KeyNoteEngine, KeyNoteError};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// A pluggable source of additional credentials consulted per command —
@@ -56,15 +56,54 @@ impl std::fmt::Debug for AuthMode {
     }
 }
 
+/// Default bound on cached decisions.  Every distinct (principal, action
+/// attribute set) pair is one entry; unbounded growth was possible when a
+/// hostile or chatty client varied an argument per call.
+const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
 /// A KeyNote authorizer with an optional remote credential source and a
-/// decision cache (the E8 ablation switch).
+/// bounded decision cache (the E8 ablation switch).
 pub struct Authorizer {
     base: Mutex<KeyNoteEngine>,
     source: Option<Arc<dyn CredentialSource>>,
     cache_enabled: bool,
-    cache: Mutex<HashMap<u64, bool>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    cache: Mutex<CacheState>,
+}
+
+/// Decision cache with insertion-order eviction and swappable counters
+/// ([`Authorizer::bind_metrics`] points them at a daemon registry so
+/// `aceStats` reports them).
+struct CacheState {
+    map: HashMap<u64, bool>,
+    order: VecDeque<u64>,
+    capacity: usize,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evicted: Arc<Counter>,
+}
+
+impl CacheState {
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    /// Insert a fresh decision, evicting oldest entries beyond capacity.
+    fn insert_bounded(&mut self, key: u64, decision: bool) {
+        if self.map.insert(key, decision).is_none() {
+            self.order.push_back(key);
+        }
+        while self.map.len() > self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    if self.map.remove(&old).is_some() {
+                        self.evicted.incr();
+                    }
+                }
+                None => break,
+            }
+        }
+    }
 }
 
 impl Authorizer {
@@ -74,9 +113,14 @@ impl Authorizer {
             base: Mutex::new(engine),
             source: None,
             cache_enabled: true,
-            cache: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            cache: Mutex::new(CacheState {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: DEFAULT_CACHE_CAPACITY,
+                hits: Arc::new(Counter::new()),
+                misses: Arc::new(Counter::new()),
+                evicted: Arc::new(Counter::new()),
+            }),
         }
     }
 
@@ -95,6 +139,35 @@ impl Authorizer {
         self
     }
 
+    /// Bound the decision cache at `capacity` entries (default 4096).
+    pub fn with_cache_capacity(self, capacity: usize) -> Authorizer {
+        self.cache.lock().capacity = capacity.max(1);
+        self
+    }
+
+    /// Re-home the cache counters in `metrics` as `auth.cache_hits`,
+    /// `auth.cache_misses`, and `auth.cache_evicted`, carrying over any
+    /// counts accumulated so far.  The daemon runtime calls this at spawn
+    /// so the counters surface through `aceStats`.
+    pub fn bind_metrics(&self, metrics: &MetricsRegistry) {
+        let mut guard = self.cache.lock();
+        let CacheState {
+            hits,
+            misses,
+            evicted,
+            ..
+        } = &mut *guard;
+        for (name, counter) in [
+            ("auth.cache_hits", hits),
+            ("auth.cache_misses", misses),
+            ("auth.cache_evicted", evicted),
+        ] {
+            let bound = metrics.counter(name);
+            bound.add(counter.get());
+            *counter = bound;
+        }
+    }
+
     /// Install a policy assertion (invalidates the cache).
     pub fn add_policy(&self, a: Assertion) -> Result<(), KeyNoteError> {
         self.cache.lock().clear();
@@ -109,22 +182,28 @@ impl Authorizer {
 
     /// `(cache hits, cache misses)`.
     pub fn cache_stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        let cache = self.cache.lock();
+        (cache.hits.get(), cache.misses.get())
+    }
+
+    /// Decisions evicted by the capacity bound.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.lock().evicted.get()
     }
 
     /// The compliance decision.
     pub fn check(&self, principal: &str, env: &ActionEnv) -> bool {
         let key = decision_key(principal, env);
         if self.cache_enabled {
-            if let Some(&v) = self.cache.lock().get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+            let cache = self.cache.lock();
+            if let Some(&v) = cache.map.get(&key) {
+                cache.hits.incr();
                 return v;
             }
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            cache.misses.incr();
         }
+        // The cache lock is released while deciding: compliance checking
+        // (possibly with a remote credential fetch) is the slow part.
         let decision = self.decide(principal, env);
         // With a remote credential source, only *positive* decisions are
         // cacheable: KeyNote authority is monotone under credential
@@ -133,7 +212,7 @@ impl Authorizer {
         // *removal* is not tracked by the cache; deployments that revoke
         // should disable it.)
         if self.cache_enabled && (decision || self.source.is_none()) {
-            self.cache.lock().insert(key, decision);
+            self.cache.lock().insert_bounded(key, decision);
         }
         decision
     }
@@ -283,6 +362,60 @@ mod tests {
             assert!(uncached.check(&p, &env));
         }
         assert_eq!(uncached.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn cache_is_bounded_with_oldest_eviction() {
+        let user = keypair();
+        let mut engine = KeyNoteEngine::new();
+        engine
+            .add_policy(
+                Assertion::new(POLICY, Licensees::Principal(user.principal()), "true").unwrap(),
+            )
+            .unwrap();
+        let auth = Authorizer::local(engine).with_cache_capacity(2);
+        let p = user.principal();
+        let env_n = |n: u32| {
+            let mut e = ActionEnv::new();
+            e.insert("cmd".into(), format!("cmd{n}"));
+            e
+        };
+        for n in 0..3 {
+            auth.check(&p, &env_n(n));
+        }
+        assert_eq!(auth.cache_evictions(), 1, "third insert evicts the oldest");
+        // The oldest decision is gone — re-checking it is a miss again.
+        auth.check(&p, &env_n(0));
+        let (hits, misses) = auth.cache_stats();
+        assert_eq!((hits, misses), (0, 4));
+        // The newest is still cached.
+        auth.check(&p, &env_n(2));
+        assert_eq!(auth.cache_stats(), (1, 4));
+    }
+
+    #[test]
+    fn bind_metrics_rehomes_counters_with_carryover() {
+        let user = keypair();
+        let mut engine = KeyNoteEngine::new();
+        engine
+            .add_policy(
+                Assertion::new(POLICY, Licensees::Principal(user.principal()), "true").unwrap(),
+            )
+            .unwrap();
+        let auth = Authorizer::local(engine);
+        let p = user.principal();
+        let env = ActionEnv::new();
+        auth.check(&p, &env); // miss
+        auth.check(&p, &env); // hit
+
+        let metrics = crate::metrics::MetricsRegistry::new();
+        auth.bind_metrics(&metrics);
+        assert_eq!(metrics.counter("auth.cache_hits").get(), 1);
+        assert_eq!(metrics.counter("auth.cache_misses").get(), 1);
+
+        auth.check(&p, &env); // hit, counted on the registry now
+        assert_eq!(metrics.counter("auth.cache_hits").get(), 2);
+        assert_eq!(auth.cache_stats(), (2, 1), "stats read the same counters");
     }
 
     #[test]

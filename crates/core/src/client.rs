@@ -5,7 +5,7 @@
 //! call/reply discipline ("return commands are used to reply on the status
 //! of the attempted command", §2.2).
 
-use crate::link::{LinkError, SecureLink};
+use crate::link::{LinkError, SecureLink, TicketCache};
 use ace_lang::{CmdLine, ErrorCode, Reply};
 use ace_net::{Addr, HostId, NetError, SimNet};
 use ace_security::keys::KeyPair;
@@ -78,6 +78,37 @@ impl ServiceClient {
             timeout: DEFAULT_CALL_TIMEOUT,
             target,
         })
+    }
+
+    /// Connect via the session-resumption fast path: a ticket cached in
+    /// `tickets` skips the DH + signature handshake; otherwise (or on
+    /// rejection) a full handshake runs and re-primes the cache.
+    pub fn connect_resumable(
+        net: &SimNet,
+        from_host: &HostId,
+        target: Addr,
+        identity: &KeyPair,
+        tickets: &TicketCache,
+    ) -> Result<ServiceClient, ClientError> {
+        let conn = net.connect(from_host, target.clone())?;
+        let link = SecureLink::connect_resumable(conn, identity, tickets)?;
+        Ok(ServiceClient {
+            link,
+            timeout: DEFAULT_CALL_TIMEOUT,
+            target,
+        })
+    }
+
+    /// Did this client's link skip the full handshake via a resumption
+    /// ticket?
+    pub fn resumed(&self) -> bool {
+        self.link.resumed()
+    }
+
+    /// Is the underlying idle link still worth reusing?  (Pool checkout
+    /// health probe — see [`SecureLink::is_healthy_idle`].)
+    pub fn is_healthy_idle(&self) -> bool {
+        self.link.is_healthy_idle()
     }
 
     /// Adjust the per-call deadline.

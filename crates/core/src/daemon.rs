@@ -22,7 +22,7 @@
 use crate::auth::{action_env_for, AuthMode};
 use crate::behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
 use crate::client::{ClientError, ServiceClient};
-use crate::link::{LinkError, SecureLink};
+use crate::link::{LinkError, SecureLink, TicketVault};
 use crate::metrics::{Histogram, MetricsRegistry};
 use crate::notify::{NotificationRegistry, Notifier, Registration};
 use crate::protocol;
@@ -199,6 +199,11 @@ impl Daemon {
         );
         let addr = Addr::new(config.host.clone(), config.port);
         let metrics = Arc::new(MetricsRegistry::new());
+        // Surface the authorizer's cache counters through this daemon's
+        // `aceStats` (they keep whatever counts accrued before spawn).
+        if let AuthMode::Local(auth) = &config.auth {
+            auth.bind_metrics(&metrics);
+        }
 
         // Step 1: the host "launches" the service — bind its sockets.
         let listener = net.listen(addr.clone()).map_err(SpawnError::Bind)?;
@@ -337,7 +342,10 @@ impl Daemon {
             );
         }
 
-        // Accept thread (spawns command threads).
+        // Accept thread (spawns command threads).  The shared ticket vault
+        // lets returning clients skip the full handshake; it dies with the
+        // daemon, which is what forces clients back onto the full handshake
+        // after a restart.
         {
             let stop = Arc::clone(&stop);
             let control_tx = control_tx.clone();
@@ -345,12 +353,13 @@ impl Daemon {
             let semantics = Arc::clone(&semantics);
             let name = config.name.clone();
             let metrics = Arc::clone(&metrics);
+            let vault = Arc::new(TicketVault::with_default_ttl());
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("{name}-accept"))
                     .spawn(move || {
                         accept_loop(
-                            listener, stop, control_tx, identity, semantics, name, metrics,
+                            listener, stop, control_tx, identity, semantics, name, metrics, vault,
                         )
                     })
                     .expect("spawn accept thread"),
@@ -498,6 +507,7 @@ fn accept_loop(
     semantics: Arc<Semantics>,
     name: String,
     metrics: Arc<MetricsRegistry>,
+    vault: Arc<TicketVault>,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept_timeout(ACCEPT_POLL) {
@@ -508,12 +518,13 @@ fn accept_loop(
                 let identity = Arc::clone(&identity);
                 let semantics = Arc::clone(&semantics);
                 let metrics = Arc::clone(&metrics);
+                let vault = Arc::clone(&vault);
                 // Command threads detach; they exit promptly on `stop` or
                 // when the peer hangs up.
                 let _ = std::thread::Builder::new()
                     .name(format!("{name}-command"))
                     .spawn(move || {
-                        command_loop(conn, stop, control_tx, identity, semantics, metrics)
+                        command_loop(conn, stop, control_tx, identity, semantics, metrics, vault)
                     });
             }
             Err(NetError::Timeout) => continue,
@@ -529,10 +540,16 @@ fn command_loop(
     identity: Arc<KeyPair>,
     semantics: Arc<Semantics>,
     metrics: Arc<MetricsRegistry>,
+    vault: Arc<TicketVault>,
 ) {
-    let Ok(mut link) = SecureLink::accept(conn, &identity) else {
+    let Ok(mut link) = SecureLink::accept_with_tickets(conn, &identity, &vault) else {
         return; // failed handshake: drop the connection
     };
+    if link.resumed() {
+        metrics.counter("link.resume_hits").incr();
+    } else {
+        metrics.counter("link.full_handshakes").incr();
+    }
     link.attach_metrics(
         metrics.counter("link.sealedBytes"),
         metrics.counter("link.openedBytes"),

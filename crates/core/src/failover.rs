@@ -12,14 +12,236 @@
 //! Commands are retried at most once per resolution, so a command that
 //! *executed* but whose reply was lost is not silently executed twice
 //! unless the caller opts in with [`FailoverClient::call_idempotent`].
+//!
+//! # The connection fast path
+//!
+//! Out of the box every call re-resolves through the ASD and dials a fresh
+//! full-handshake link — correct, but expensive under churn.  Two opt-in
+//! layers remove that cost without weakening the semantics:
+//!
+//! * [`FailoverClient::with_pool`] checks links out of a shared
+//!   [`LinkPool`] instead of dialing per resolution (and pool misses ride
+//!   session resumption);
+//! * [`FailoverClient::with_resolution_cache`] remembers resolved
+//!   addresses in a [`ResolutionCache`] for a TTL derived from the ASD
+//!   lease, so the ASD round trip disappears from the steady state.
+//!
+//! Both layers invalidate eagerly: *any* link failure drops the cached
+//! resolution for the service (the address may be stale) and discards the
+//! pooled link (it may have a reply in flight).  A cache can additionally
+//! be wired to the ASD's `serviceExpired` event via
+//! [`ResolutionInvalidator`], so lease expiry invalidates even idle
+//! clients.
 
+use crate::behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
 use crate::client::{ClientError, ServiceClient};
+use crate::metrics::{Counter, MetricsRegistry};
+use crate::pool::{LinkPool, PooledLink};
 use crate::protocol;
 use crate::retry::RetryPolicy;
-use ace_lang::{CmdLine, ErrorCode};
+use ace_lang::{ArgType, CmdLine, CmdSpec, ErrorCode, Reply, Semantics};
 use ace_net::{Addr, HostId, SimNet};
 use ace_security::keys::KeyPair;
-use std::time::Duration;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fallback resolution TTL when the ASD reply does not carry a lease.
+const DEFAULT_RESOLUTION_TTL: Duration = Duration::from_secs(2);
+
+// ---------------------------------------------------------------------------
+// Resolution cache
+// ---------------------------------------------------------------------------
+
+/// A shared name → address cache with per-entry TTL, fed by ASD lookups and
+/// invalidated on link failures and `serviceExpired` events.
+///
+/// The TTL is derived from the ASD's lease duration (the `lease` argument
+/// of the lookup reply): an entry can only outlive the registration that
+/// produced it by at most one lease, and the eager invalidation paths
+/// usually clear it much sooner.
+pub struct ResolutionCache {
+    inner: Mutex<HashMap<String, CachedResolution>>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    invalidations: Arc<Counter>,
+}
+
+struct CachedResolution {
+    addr: Addr,
+    expires: Instant,
+}
+
+impl ResolutionCache {
+    /// A cache with its own private counters.
+    pub fn new() -> ResolutionCache {
+        Self::with_metrics(&MetricsRegistry::new())
+    }
+
+    /// A cache whose counters (`resolve.cache_hits`, `resolve.cache_misses`,
+    /// `resolve.invalidations`) live in `metrics`.
+    pub fn with_metrics(metrics: &MetricsRegistry) -> ResolutionCache {
+        ResolutionCache {
+            inner: Mutex::new(HashMap::new()),
+            hits: metrics.counter("resolve.cache_hits"),
+            misses: metrics.counter("resolve.cache_misses"),
+            invalidations: metrics.counter("resolve.invalidations"),
+        }
+    }
+
+    /// The unexpired address for `name`, if cached.
+    pub fn get(&self, name: &str) -> Option<Addr> {
+        let mut inner = self.inner.lock();
+        match inner.get(name) {
+            Some(c) if c.expires > Instant::now() => {
+                self.hits.incr();
+                Some(c.addr.clone())
+            }
+            Some(_) => {
+                inner.remove(name);
+                self.misses.incr();
+                None
+            }
+            None => {
+                self.misses.incr();
+                None
+            }
+        }
+    }
+
+    /// Record a resolution with the given TTL.
+    pub fn store(&self, name: &str, addr: Addr, ttl: Duration) {
+        self.inner.lock().insert(
+            name.to_string(),
+            CachedResolution {
+                addr,
+                expires: Instant::now() + ttl,
+            },
+        );
+    }
+
+    /// Drop the entry for `name` (link failure, `serviceExpired`).
+    pub fn invalidate(&self, name: &str) {
+        if self.inner.lock().remove(name).is_some() {
+            self.invalidations.incr();
+        }
+    }
+
+    /// Cached (possibly expired) entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+}
+
+impl Default for ResolutionCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ResolutionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ResolutionCache({} entries)", self.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serviceExpired → cache invalidation listener
+// ---------------------------------------------------------------------------
+
+/// A tiny service behavior that turns ASD `serviceExpired` notifications
+/// into [`ResolutionCache::invalidate`] calls.  Spawn it as a daemon and
+/// subscribe it with [`subscribe_expiry_invalidation`]; every client
+/// sharing the cache then drops dead addresses as soon as the ASD reaps
+/// them, not just when their own calls fail.
+pub struct ResolutionInvalidator {
+    cache: Arc<ResolutionCache>,
+}
+
+impl ResolutionInvalidator {
+    pub fn new(cache: Arc<ResolutionCache>) -> ResolutionInvalidator {
+        ResolutionInvalidator { cache }
+    }
+}
+
+impl ServiceBehavior for ResolutionInvalidator {
+    fn semantics(&self) -> Semantics {
+        Semantics::new().with(
+            CmdSpec::new("onServiceExpired", "an ASD lease lapsed")
+                .optional("service", ArgType::Str, "origin service")
+                .optional("cmd", ArgType::Str, "origin command")
+                .optional("name", ArgType::Word, "the expired service"),
+        )
+    }
+
+    fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        if cmd.name() == "onServiceExpired" {
+            if let Some(name) = cmd.get_text("name") {
+                self.cache.invalidate(name);
+            }
+        }
+        Reply::ok()
+    }
+}
+
+/// Subscribe a spawned [`ResolutionInvalidator`] daemon (registered as
+/// `listener_name` at `listener_addr`) to the ASD's `serviceExpired` event.
+pub fn subscribe_expiry_invalidation(
+    asd_client: &mut ServiceClient,
+    listener_name: &str,
+    listener_addr: &Addr,
+) -> Result<(), ClientError> {
+    asd_client.call_ok(
+        &CmdLine::new("addNotification")
+            .arg("cmd", "serviceExpired")
+            .arg("service", listener_name)
+            .arg("host", listener_addr.host.as_str())
+            .arg("port", listener_addr.port)
+            .arg("notifyCmd", "onServiceExpired"),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The failover client
+// ---------------------------------------------------------------------------
+
+/// The established connection a [`FailoverClient`] holds between calls:
+/// either its own dedicated link or a checkout from a shared pool.
+enum Conn {
+    Direct(ServiceClient),
+    Pooled(PooledLink),
+}
+
+impl Conn {
+    fn call(&mut self, cmd: &CmdLine) -> Result<CmdLine, ClientError> {
+        match self {
+            Conn::Direct(c) => c.call(cmd),
+            Conn::Pooled(p) => p.call(cmd),
+        }
+    }
+
+    /// Could a command already have executed on this link before the
+    /// current call?  True for links held over from a previous call and
+    /// for pool checkouts that reused an idle link.
+    fn is_established(&self, held_over: bool) -> bool {
+        held_over
+            || match self {
+                Conn::Direct(_) => false,
+                Conn::Pooled(p) => p.was_reused(),
+            }
+    }
+}
 
 /// A client bound to a service name, resolved through the ASD.
 ///
@@ -45,7 +267,9 @@ pub struct FailoverClient {
     /// Backoff between re-resolutions (lets leases expire / restarts
     /// finish).
     policy: RetryPolicy,
-    current: Option<ServiceClient>,
+    current: Option<Conn>,
+    pool: Option<Arc<LinkPool>>,
+    cache: Option<Arc<ResolutionCache>>,
     /// Resolutions performed (observability for tests/experiments).
     resolutions: u64,
 }
@@ -69,6 +293,8 @@ impl FailoverClient {
             policy: RetryPolicy::new(Duration::from_millis(50))
                 .with_cap(Duration::from_millis(400)),
             current: None,
+            pool: None,
+            cache: None,
             resolutions: 0,
         }
     }
@@ -93,22 +319,72 @@ impl FailoverClient {
         self
     }
 
-    /// How many times the name has been (re-)resolved.
+    /// Check service links (and ASD lookup links) out of `pool` instead of
+    /// dialing a dedicated connection per resolution.
+    pub fn with_pool(mut self, pool: Arc<LinkPool>) -> FailoverClient {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Cache resolved addresses in `cache` (TTL from the ASD lease).
+    pub fn with_resolution_cache(mut self, cache: Arc<ResolutionCache>) -> FailoverClient {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// How many times the name has been (re-)resolved through the ASD
+    /// (cache hits don't count — that is the point of the cache).
     pub fn resolutions(&self) -> u64 {
         self.resolutions
     }
 
+    fn lookup_via(&self, asd_client: &mut ServiceClient) -> Result<CmdLine, ClientError> {
+        asd_client.call(&CmdLine::new("lookup").arg("name", self.service_name.as_str()))
+    }
+
+    fn lookup_pooled(&self, pool: &Arc<LinkPool>) -> Result<CmdLine, ClientError> {
+        let mut link = pool.checkout(&self.asd)?;
+        link.call(&CmdLine::new("lookup").arg("name", self.service_name.as_str()))
+    }
+
     fn resolve(&mut self) -> Result<Addr, ClientError> {
-        let mut asd_client =
-            ServiceClient::connect(&self.net, &self.from_host, self.asd.clone(), &self.identity)?;
-        let reply =
-            asd_client.call(&CmdLine::new("lookup").arg("name", self.service_name.as_str()))?;
+        if let Some(cache) = &self.cache {
+            if let Some(addr) = cache.get(&self.service_name) {
+                return Ok(addr);
+            }
+        }
+        let reply = match &self.pool {
+            Some(pool) => {
+                let pool = Arc::clone(pool);
+                self.lookup_pooled(&pool)?
+            }
+            None => {
+                let mut asd_client = ServiceClient::connect(
+                    &self.net,
+                    &self.from_host,
+                    self.asd.clone(),
+                    &self.identity,
+                )?;
+                self.lookup_via(&mut asd_client)?
+            }
+        };
+        self.resolutions += 1;
         let entries = reply
             .get("services")
             .and_then(protocol::entries_from_value)
             .unwrap_or_default();
         match entries.into_iter().next() {
-            Some(entry) => Ok(entry.addr),
+            Some(entry) => {
+                if let Some(cache) = &self.cache {
+                    let ttl = reply
+                        .get_int("lease")
+                        .filter(|&ms| ms > 0)
+                        .map(|ms| Duration::from_millis(ms as u64))
+                        .unwrap_or(DEFAULT_RESOLUTION_TTL);
+                    cache.store(&self.service_name, entry.addr.clone(), ttl);
+                }
+                Ok(entry.addr)
+            }
             None => Err(ClientError::Service {
                 code: ErrorCode::NotFound,
                 msg: format!("{} not registered", self.service_name),
@@ -116,16 +392,19 @@ impl FailoverClient {
         }
     }
 
-    fn connect_current(&mut self) -> Result<&mut ServiceClient, ClientError> {
+    fn connect_current(&mut self) -> Result<&mut Conn, ClientError> {
         if self.current.is_none() {
             let addr = self.resolve()?;
-            self.resolutions += 1;
-            self.current = Some(ServiceClient::connect(
-                &self.net,
-                &self.from_host,
-                addr,
-                &self.identity,
-            )?);
+            let conn = match &self.pool {
+                Some(pool) => Conn::Pooled(pool.checkout(&addr)?),
+                None => Conn::Direct(ServiceClient::connect(
+                    &self.net,
+                    &self.from_host,
+                    addr,
+                    &self.identity,
+                )?),
+            };
+            self.current = Some(conn);
         }
         Ok(self.current.as_mut().expect("just connected"))
     }
@@ -144,6 +423,16 @@ impl FailoverClient {
         self.call_inner(cmd, true)
     }
 
+    /// A link-level failure makes the cached resolution suspect: the
+    /// service may have moved.  Drop both the link and the cache entry so
+    /// the next attempt resolves fresh.
+    fn note_link_failure(&mut self) {
+        self.current = None;
+        if let Some(cache) = &self.cache {
+            cache.invalidate(&self.service_name);
+        }
+    }
+
     fn call_inner(
         &mut self,
         cmd: &CmdLine,
@@ -152,24 +441,28 @@ impl FailoverClient {
         let mut retry = self.policy.clone().with_budget(self.retry_window).start();
         let mut last_err: Option<ClientError>;
         loop {
-            let had_connection = self.current.is_some();
+            let held_over = self.current.is_some();
             match self.connect_current() {
-                Ok(client) => match client.call(cmd) {
-                    Ok(reply) => return Ok(reply),
-                    Err(err @ ClientError::Service { .. }) => return Err(err),
-                    Err(link_err) => {
-                        self.current = None;
-                        // A send on an established link may have executed;
-                        // only retry when the caller allows it or the link
-                        // was fresh enough that nothing can have run.
-                        if !retry_after_send && had_connection {
-                            return Err(link_err);
+                Ok(conn) => {
+                    let established = conn.is_established(held_over);
+                    match conn.call(cmd) {
+                        Ok(reply) => return Ok(reply),
+                        Err(err @ ClientError::Service { .. }) => return Err(err),
+                        Err(link_err) => {
+                            self.note_link_failure();
+                            // A send on an established link may have
+                            // executed; only retry when the caller allows it
+                            // or the link was fresh enough that nothing can
+                            // have run.
+                            if !retry_after_send && established {
+                                return Err(link_err);
+                            }
+                            last_err = Some(link_err);
                         }
-                        last_err = Some(link_err);
                     }
-                },
+                }
                 Err(err) => {
-                    self.current = None;
+                    self.note_link_failure();
                     last_err = Some(err);
                 }
             }
@@ -190,5 +483,27 @@ impl std::fmt::Debug for FailoverClient {
             "FailoverClient({} via ASD {})",
             self.service_name, self.asd
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_respects_ttl_and_invalidation() {
+        let cache = ResolutionCache::new();
+        let addr = Addr::new("svc", 700);
+        cache.store("echo", addr.clone(), Duration::from_secs(5));
+        assert_eq!(cache.get("echo"), Some(addr.clone()));
+        cache.invalidate("echo");
+        assert_eq!(cache.get("echo"), None);
+
+        cache.store("echo", addr, Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(cache.get("echo"), None, "expired entry must not serve");
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 2);
     }
 }

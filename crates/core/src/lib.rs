@@ -62,6 +62,7 @@ pub mod failover;
 pub mod link;
 pub mod metrics;
 pub mod notify;
+pub mod pool;
 pub mod protocol;
 pub mod retry;
 pub mod supervise;
@@ -70,10 +71,13 @@ pub use auth::{action_env_for, AuthMode, Authorizer, CredentialSource};
 pub use behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
 pub use client::{ClientError, ServiceClient};
 pub use daemon::{Daemon, DaemonConfig, DaemonHandle, SpawnError};
-pub use failover::FailoverClient;
-pub use link::{LinkError, SecureLink};
+pub use failover::{
+    subscribe_expiry_invalidation, FailoverClient, ResolutionCache, ResolutionInvalidator,
+};
+pub use link::{LinkError, SecureLink, TicketCache, TicketVault};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, RegistrySnapshot, StatsReport};
 pub use notify::{NotificationRegistry, Notifier, Registration};
+pub use pool::{LinkPool, PooledLink};
 pub use protocol::{ServiceEntry, ASD_PORT, LOGGER_PORT, ROOMDB_PORT};
 pub use retry::{Retry, RetryPolicy};
 pub use supervise::{
@@ -86,8 +90,12 @@ pub mod prelude {
     pub use crate::behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
     pub use crate::client::{ClientError, ServiceClient};
     pub use crate::daemon::{Daemon, DaemonConfig, DaemonHandle};
-    pub use crate::failover::FailoverClient;
+    pub use crate::failover::{
+        subscribe_expiry_invalidation, FailoverClient, ResolutionCache, ResolutionInvalidator,
+    };
+    pub use crate::link::{TicketCache, TicketVault};
     pub use crate::metrics::{MetricsRegistry, StatsReport};
+    pub use crate::pool::{LinkPool, PooledLink};
     pub use crate::protocol::ServiceEntry;
     pub use crate::retry::{Retry, RetryPolicy};
     pub use crate::supervise::{Respawn, RestartPolicy, SupervisedSpec, Supervisor};

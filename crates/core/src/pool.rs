@@ -1,0 +1,389 @@
+//! Pooled secure links: reuse established (and resumable) connections
+//! instead of paying a handshake per client object.
+//!
+//! The PR-1 failover work made every re-resolution open a brand-new
+//! [`ServiceClient`] — correct, but each one costs a TCP-equivalent dial
+//! plus a full DH + signature handshake.  A [`LinkPool`] amortises that:
+//! clients *check out* a connected link for the duration of one
+//! conversation and return it on drop.  Checkout health-checks the idle
+//! link first (see [`ace_net::Connection::is_healthy_idle`]): a pooled link
+//! to a daemon that has since restarted or partitioned fails fast and is
+//! discarded, so pooling can never surface a stale reply — the staleness
+//! rule is *discard, never repair*.
+//!
+//! When the pool must dial, it goes through the shared [`TicketCache`], so
+//! pool misses still ride the session-resumption fast path whenever the
+//! target granted a ticket.
+//!
+//! Counters (bindable to a daemon's registry for `aceStats`):
+//! `pool.checkouts`, `pool.reused`, `pool.stale`, `pool.dials`,
+//! `link.resume_hits`, `link.full_handshakes`.
+
+use crate::client::{ClientError, ServiceClient};
+use crate::link::TicketCache;
+use crate::metrics::{Counter, MetricsRegistry};
+use ace_lang::CmdLine;
+use ace_net::{Addr, HostId, SimNet};
+use ace_security::keys::KeyPair;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Default cap on idle links retained per target address.
+const DEFAULT_MAX_IDLE_PER_TARGET: usize = 8;
+
+/// A shared pool of authenticated secure links, keyed by target address.
+pub struct LinkPool {
+    net: SimNet,
+    from_host: HostId,
+    identity: KeyPair,
+    tickets: TicketCache,
+    idle: Mutex<HashMap<Addr, Vec<ServiceClient>>>,
+    max_idle_per_target: usize,
+    checkouts: Arc<Counter>,
+    reused: Arc<Counter>,
+    stale: Arc<Counter>,
+    dials: Arc<Counter>,
+    resume_hits: Arc<Counter>,
+    full_handshakes: Arc<Counter>,
+}
+
+impl LinkPool {
+    /// A pool dialing from `from_host` as `identity`, with its own private
+    /// metrics registry.
+    pub fn new(net: &SimNet, from_host: impl Into<HostId>, identity: KeyPair) -> LinkPool {
+        Self::with_metrics(net, from_host, identity, &MetricsRegistry::new())
+    }
+
+    /// A pool whose counters live in `metrics` (so `aceStats` can observe
+    /// them alongside the daemon's own).
+    pub fn with_metrics(
+        net: &SimNet,
+        from_host: impl Into<HostId>,
+        identity: KeyPair,
+        metrics: &MetricsRegistry,
+    ) -> LinkPool {
+        LinkPool {
+            net: net.clone(),
+            from_host: from_host.into(),
+            identity,
+            tickets: TicketCache::new(),
+            idle: Mutex::new(HashMap::new()),
+            max_idle_per_target: DEFAULT_MAX_IDLE_PER_TARGET,
+            checkouts: metrics.counter("pool.checkouts"),
+            reused: metrics.counter("pool.reused"),
+            stale: metrics.counter("pool.stale"),
+            dials: metrics.counter("pool.dials"),
+            resume_hits: metrics.counter("link.resume_hits"),
+            full_handshakes: metrics.counter("link.full_handshakes"),
+        }
+    }
+
+    /// Adjust the per-target idle cap (builder style).
+    pub fn with_max_idle(mut self, max_idle_per_target: usize) -> LinkPool {
+        self.max_idle_per_target = max_idle_per_target;
+        self
+    }
+
+    /// The shared ticket cache (e.g. to pre-invalidate a target).
+    pub fn tickets(&self) -> &TicketCache {
+        &self.tickets
+    }
+
+    /// The identity this pool dials with.
+    pub fn identity(&self) -> &KeyPair {
+        &self.identity
+    }
+
+    /// Idle links currently parked for `target`.
+    pub fn idle_count(&self, target: &Addr) -> usize {
+        self.idle.lock().get(target).map_or(0, Vec::len)
+    }
+
+    /// Check a link to `target` out of the pool, reusing a healthy idle one
+    /// or dialing (resumably) on miss.  Stale idle links are discarded here
+    /// — their staleness is counted but never propagated to the caller.
+    pub fn checkout(self: &Arc<Self>, target: &Addr) -> Result<PooledLink, ClientError> {
+        self.checkouts.incr();
+        loop {
+            let candidate = self.idle.lock().get_mut(target).and_then(Vec::pop);
+            let Some(client) = candidate else { break };
+            if client.is_healthy_idle() {
+                self.reused.incr();
+                return Ok(PooledLink {
+                    client: Some(client),
+                    pool: Arc::clone(self),
+                    broken: false,
+                    reused: true,
+                });
+            }
+            self.stale.incr();
+            client.close();
+        }
+
+        self.dials.incr();
+        let client = ServiceClient::connect_resumable(
+            &self.net,
+            &self.from_host,
+            target.clone(),
+            &self.identity,
+            &self.tickets,
+        )?;
+        if client.resumed() {
+            self.resume_hits.incr();
+        } else {
+            self.full_handshakes.incr();
+        }
+        Ok(PooledLink {
+            client: Some(client),
+            pool: Arc::clone(self),
+            broken: false,
+            reused: false,
+        })
+    }
+
+    /// Drop every idle link (e.g. when tearing a scenario down).
+    pub fn drain(&self) {
+        self.idle.lock().clear();
+    }
+
+    fn park(&self, client: ServiceClient) {
+        let mut idle = self.idle.lock();
+        let slot = idle.entry(client.target().clone()).or_default();
+        if slot.len() < self.max_idle_per_target {
+            slot.push(client);
+        }
+        // Over the cap the client just drops, closing the link.
+    }
+}
+
+impl fmt::Debug for LinkPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let idle: usize = self.idle.lock().values().map(Vec::len).sum();
+        write!(f, "LinkPool(from {}, idle: {})", self.from_host, idle)
+    }
+}
+
+/// A checked-out pool link.  Dropping it returns the link to the pool
+/// unless a call failed at the link layer (in which case it is discarded —
+/// a link that has timed out mid-conversation may have a reply in flight,
+/// and parking it would hand that stale reply to the next caller).
+pub struct PooledLink {
+    client: Option<ServiceClient>,
+    pool: Arc<LinkPool>,
+    broken: bool,
+    reused: bool,
+}
+
+impl PooledLink {
+    /// Issue one command on the pooled link.  Service-level error replies
+    /// leave the link healthy; link-level failures mark it broken so it is
+    /// never returned to the pool.
+    pub fn call(&mut self, cmd: &CmdLine) -> Result<CmdLine, ClientError> {
+        let client = self.client.as_mut().expect("pooled link already consumed");
+        match client.call(cmd) {
+            Ok(reply) => Ok(reply),
+            Err(e @ ClientError::Service { .. }) => Err(e),
+            Err(e) => {
+                self.broken = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// As [`PooledLink::call`], discarding a successful result.
+    pub fn call_ok(&mut self, cmd: &CmdLine) -> Result<(), ClientError> {
+        self.call(cmd).map(|_| ())
+    }
+
+    /// Did the underlying link resume rather than full-handshake?
+    pub fn resumed(&self) -> bool {
+        self.client.as_ref().is_some_and(ServiceClient::resumed)
+    }
+
+    /// Was this link taken from the idle pool (as opposed to freshly
+    /// dialed)?  At-most-once callers treat a reused link like an
+    /// established connection: a failure after send is ambiguous.
+    pub fn was_reused(&self) -> bool {
+        self.reused
+    }
+
+    /// The target this link talks to.
+    pub fn target(&self) -> &Addr {
+        self.client
+            .as_ref()
+            .expect("pooled link already consumed")
+            .target()
+    }
+
+    /// The service's authenticated principal.
+    pub fn peer_principal(&self) -> &str {
+        self.client
+            .as_ref()
+            .expect("pooled link already consumed")
+            .peer_principal()
+    }
+
+    /// Adjust the per-call deadline for this checkout.
+    pub fn set_timeout(&mut self, timeout: std::time::Duration) {
+        if let Some(c) = self.client.as_mut() {
+            c.set_timeout(timeout);
+        }
+    }
+
+    /// Explicitly discard instead of returning to the pool.
+    pub fn discard(mut self) {
+        if let Some(client) = self.client.take() {
+            client.close();
+        }
+    }
+}
+
+impl Drop for PooledLink {
+    fn drop(&mut self) {
+        if let Some(client) = self.client.take() {
+            if !self.broken {
+                self.pool.park(client);
+            } else {
+                client.close();
+            }
+        }
+    }
+}
+
+impl fmt::Debug for PooledLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.client {
+            Some(c) => write!(f, "PooledLink({}, broken: {})", c.target(), self.broken),
+            None => write!(f, "PooledLink(consumed)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
+    use crate::daemon::{Daemon, DaemonConfig, DaemonHandle};
+    use ace_lang::{CmdSpec, Reply, Semantics};
+
+    struct Echo;
+    impl ServiceBehavior for Echo {
+        fn semantics(&self) -> Semantics {
+            Semantics::new().with(CmdSpec::new("echo", "echo back"))
+        }
+        fn handle(&mut self, _ctx: &mut ServiceCtx, _cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+            Reply::ok()
+        }
+    }
+
+    fn spawn_echo(net: &SimNet, host: &str, port: u16) -> DaemonHandle {
+        net.add_host(host);
+        Daemon::spawn(
+            net,
+            DaemonConfig::new("echo", "Service.Echo", "lab", host, port),
+            Box::new(Echo),
+        )
+        .unwrap()
+    }
+
+    fn pool_on(net: &SimNet, host: &str) -> Arc<LinkPool> {
+        net.add_host(host);
+        Arc::new(LinkPool::new(
+            net,
+            host,
+            KeyPair::generate(&mut rand::thread_rng()),
+        ))
+    }
+
+    #[test]
+    fn checkout_reuses_parked_links() {
+        let net = SimNet::new();
+        let _daemon = spawn_echo(&net, "svc", 700);
+        let pool = pool_on(&net, "cli");
+        let target = Addr::new("svc", 700);
+
+        let mut a = pool.checkout(&target).unwrap();
+        assert!(!a.resumed(), "first dial is a full handshake");
+        a.call_ok(&CmdLine::new("echo")).unwrap();
+        drop(a); // parks
+        assert_eq!(pool.idle_count(&target), 1);
+
+        let mut b = pool.checkout(&target).unwrap();
+        b.call_ok(&CmdLine::new("echo")).unwrap();
+        assert_eq!(pool.reused.get(), 1);
+        assert_eq!(pool.dials.get(), 1);
+        drop(b);
+    }
+
+    #[test]
+    fn pool_miss_resumes_when_ticket_cached() {
+        let net = SimNet::new();
+        let _daemon = spawn_echo(&net, "svc", 700);
+        let pool = pool_on(&net, "cli");
+        let target = Addr::new("svc", 700);
+
+        // First checkout dials fully (and harvests a ticket); discard it so
+        // the second checkout must dial again.
+        pool.checkout(&target).unwrap().discard();
+        let b = pool.checkout(&target).unwrap();
+        assert!(b.resumed(), "second dial must ride the ticket");
+        assert_eq!(pool.resume_hits.get(), 1);
+        assert_eq!(pool.full_handshakes.get(), 1);
+    }
+
+    #[test]
+    fn stale_link_to_dead_host_is_discarded_at_checkout() {
+        let net = SimNet::new();
+        let _daemon = spawn_echo(&net, "svc", 700);
+        let pool = pool_on(&net, "cli");
+        let target = Addr::new("svc", 700);
+
+        let mut a = pool.checkout(&target).unwrap();
+        a.call_ok(&CmdLine::new("echo")).unwrap();
+        drop(a);
+        assert_eq!(pool.idle_count(&target), 1);
+
+        net.kill_host(&"svc".into());
+        let err = pool.checkout(&target);
+        assert!(err.is_err(), "checkout to a dead host must fail fast");
+        assert_eq!(pool.stale.get(), 1, "the parked link was found stale");
+        assert_eq!(pool.idle_count(&target), 0);
+    }
+
+    #[test]
+    fn broken_links_are_not_returned_to_the_pool() {
+        let net = SimNet::new();
+        let _daemon = spawn_echo(&net, "svc", 700);
+        let pool = pool_on(&net, "cli");
+        let target = Addr::new("svc", 700);
+
+        let mut a = pool.checkout(&target).unwrap();
+        a.set_timeout(std::time::Duration::from_millis(50));
+        net.kill_host(&"svc".into());
+        assert!(a.call(&CmdLine::new("echo")).is_err());
+        drop(a);
+        assert_eq!(
+            pool.idle_count(&target),
+            0,
+            "a link that failed mid-call must not be parked"
+        );
+    }
+
+    #[test]
+    fn idle_cap_bounds_parked_links() {
+        let net = SimNet::new();
+        let _daemon = spawn_echo(&net, "svc", 700);
+        net.add_host("cli");
+        let pool = Arc::new(
+            LinkPool::new(&net, "cli", KeyPair::generate(&mut rand::thread_rng())).with_max_idle(1),
+        );
+        let target = Addr::new("svc", 700);
+        let a = pool.checkout(&target).unwrap();
+        let b = pool.checkout(&target).unwrap();
+        drop(a);
+        drop(b);
+        assert_eq!(pool.idle_count(&target), 1, "cap is enforced");
+    }
+}

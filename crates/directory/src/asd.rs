@@ -6,10 +6,28 @@
 //! automatically when their lease expires — "this mechanism accounts for
 //! system failures whereby daemons that become inactive due to malfunction
 //! are automatically removed from the ASD once their service lease expires."
+//!
+//! # Indexing
+//!
+//! The directory sits on every client's resolution path, so its command
+//! cost matters.  Three structures keep it flat as the environment grows:
+//!
+//! * an **expiry min-heap** replaces the per-command full-map expiry scan —
+//!   each purge pops only entries whose deadline has actually passed (stale
+//!   heap entries from renewals are validated against the live lease and
+//!   skipped, the classic lazy-deletion heap);
+//! * a **room index** (`room → names`) and a **class-segment inverted
+//!   index** (each dot-segment of the class path, plus the full path,
+//!   `→ names`) make the corresponding `lookup` filters O(matches) instead
+//!   of O(all leases).
+//!
+//! A `lookup` reply also carries the granted `lease` duration, which lets
+//! clients bound how long a resolution may be cached.
 
 use ace_core::prelude::*;
 use ace_core::protocol::{self, ServiceEntry};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// One live registration.
@@ -23,6 +41,14 @@ struct Lease {
 pub struct Asd {
     lease_duration: Duration,
     leases: HashMap<String, Lease>,
+    /// Expiry deadlines, oldest first.  Lazy deletion: renewing pushes a
+    /// fresh entry without removing the old one, so a popped deadline is
+    /// only acted on when it still matches the live lease.
+    expiry: BinaryHeap<Reverse<(Instant, String)>>,
+    /// room → registered names in that room.
+    by_room: HashMap<String, HashSet<String>>,
+    /// class segment (each dot-segment and the full path) → names.
+    by_class_segment: HashMap<String, HashSet<String>>,
     /// Registrations since start (monotonic; for experiments).
     total_registrations: u64,
 }
@@ -33,6 +59,9 @@ impl Asd {
         Asd {
             lease_duration,
             leases: HashMap::new(),
+            expiry: BinaryHeap::new(),
+            by_room: HashMap::new(),
+            by_class_segment: HashMap::new(),
             total_registrations: 0,
         }
     }
@@ -42,16 +71,69 @@ impl Asd {
         Asd::new(Duration::from_secs(30))
     }
 
+    /// The full path plus every dot-segment — the keys under which a class
+    /// is indexed, mirroring [`Asd::class_matches`].
+    fn class_keys(class_path: &str) -> impl Iterator<Item = &str> {
+        std::iter::once(class_path)
+            .chain(class_path.split('.'))
+            .filter(|k| !k.is_empty())
+    }
+
+    fn index_insert(&mut self, entry: &ServiceEntry) {
+        self.by_room
+            .entry(entry.room.clone())
+            .or_default()
+            .insert(entry.name.clone());
+        for key in Self::class_keys(&entry.class) {
+            self.by_class_segment
+                .entry(key.to_string())
+                .or_default()
+                .insert(entry.name.clone());
+        }
+    }
+
+    fn index_remove(&mut self, entry: &ServiceEntry) {
+        if let Some(names) = self.by_room.get_mut(&entry.room) {
+            names.remove(&entry.name);
+            if names.is_empty() {
+                self.by_room.remove(&entry.room);
+            }
+        }
+        for key in Self::class_keys(&entry.class) {
+            if let Some(names) = self.by_class_segment.get_mut(key) {
+                names.remove(&entry.name);
+            }
+        }
+        self.by_class_segment.retain(|_, names| !names.is_empty());
+    }
+
+    /// Drop a lease and its index entries, returning the removed lease.
+    fn remove_lease(&mut self, name: &str) -> Option<Lease> {
+        let lease = self.leases.remove(name)?;
+        self.index_remove(&lease.entry);
+        Some(lease)
+    }
+
+    /// Pop genuinely expired leases off the heap.  Cost is O(expired ·
+    /// log n) rather than a scan of every lease per command.
     fn purge_expired(&mut self, ctx: &mut ServiceCtx) {
         let now = Instant::now();
-        let expired: Vec<String> = self
-            .leases
-            .iter()
-            .filter(|(_, l)| l.expires <= now)
-            .map(|(name, _)| name.clone())
-            .collect();
-        for name in expired {
-            self.leases.remove(&name);
+        while let Some(Reverse((deadline, _))) = self.expiry.peek() {
+            if *deadline > now {
+                break;
+            }
+            let Reverse((deadline, name)) = self.expiry.pop().expect("peeked");
+            // Lazy deletion: only act when this deadline is the lease's
+            // *current* one — renewals and re-registrations leave stale
+            // heap entries behind.
+            let live = self
+                .leases
+                .get(&name)
+                .is_some_and(|l| l.expires == deadline);
+            if !live {
+                continue;
+            }
+            self.remove_lease(&name);
             ctx.log("warn", format!("lease expired for service {name}"));
             // Listeners can watch `serviceExpired` to react to failures
             // (the restart-watcher service does exactly this).
@@ -64,6 +146,46 @@ impl Asd {
     /// `Service.Device.PTZCamera.VCC3` (the Fig. 6 hierarchy).
     fn class_matches(class_path: &str, query: &str) -> bool {
         class_path == query || class_path.split('.').any(|seg| seg == query)
+    }
+
+    /// The smallest index set matching the lookup filters, or `None` for an
+    /// unfiltered listing.  Name lookups hit the lease map directly; room
+    /// and class queries use their indexes.
+    fn candidate_names(
+        &self,
+        name: Option<&str>,
+        class: Option<&str>,
+        room: Option<&str>,
+    ) -> Option<Vec<String>> {
+        if let Some(n) = name {
+            return Some(if self.leases.contains_key(n) {
+                vec![n.to_string()]
+            } else {
+                Vec::new()
+            });
+        }
+        let room_set = room.map(|r| self.by_room.get(r));
+        let class_set = class.map(|c| self.by_class_segment.get(c));
+        // A filter whose key has no index entry matches nothing.
+        if matches!(room_set, Some(None)) || matches!(class_set, Some(None)) {
+            return Some(Vec::new());
+        }
+        match (room_set.flatten(), class_set.flatten()) {
+            // Both filtered: intersect starting from the smaller set.
+            (Some(r), Some(c)) => {
+                let (small, large) = if r.len() <= c.len() { (r, c) } else { (c, r) };
+                Some(
+                    small
+                        .iter()
+                        .filter(|n| large.contains(*n))
+                        .cloned()
+                        .collect(),
+                )
+            }
+            (Some(r), None) => Some(r.iter().cloned().collect()),
+            (None, Some(c)) => Some(c.iter().cloned().collect()),
+            (None, None) => None,
+        }
     }
 }
 
@@ -80,39 +202,40 @@ impl ServiceBehavior for Asd {
         self.purge_expired(ctx);
         match cmd.name() {
             "register" => {
-                let name = cmd.get_text("name").expect("validated").to_string();
+                let name = req_text!(cmd, "name").to_string();
                 let entry = ServiceEntry {
                     name: name.clone(),
-                    addr: Addr::new(
-                        cmd.get_text("host").expect("validated"),
-                        cmd.get_int("port").expect("validated") as u16,
-                    ),
-                    class: cmd.get_text("class").expect("validated").to_string(),
-                    room: cmd.get_text("room").expect("validated").to_string(),
+                    addr: Addr::new(req_text!(cmd, "host"), req_int!(cmd, "port") as u16),
+                    class: req_text!(cmd, "class").to_string(),
+                    room: req_text!(cmd, "room").to_string(),
                 };
-                self.leases.insert(
-                    name,
-                    Lease {
-                        entry,
-                        expires: Instant::now() + self.lease_duration,
-                    },
-                );
+                // Re-registration may change room or class: drop the old
+                // index entries before inserting the new ones.
+                self.remove_lease(&name);
+                let expires = Instant::now() + self.lease_duration;
+                self.index_insert(&entry);
+                self.leases.insert(name.clone(), Lease { entry, expires });
+                self.expiry.push(Reverse((expires, name)));
                 self.total_registrations += 1;
                 Reply::ok_with(|c| c.arg("lease", self.lease_duration.as_millis() as i64))
             }
             "renewLease" => {
-                let name = cmd.get_text("name").expect("validated");
+                let name = req_text!(cmd, "name");
                 match self.leases.get_mut(name) {
                     Some(lease) => {
-                        lease.expires = Instant::now() + self.lease_duration;
+                        let expires = Instant::now() + self.lease_duration;
+                        lease.expires = expires;
+                        // The old heap entry goes stale and is skipped by
+                        // the lazy-deletion check on pop.
+                        self.expiry.push(Reverse((expires, name.to_string())));
                         Reply::ok_with(|c| c.arg("lease", self.lease_duration.as_millis() as i64))
                     }
                     None => Reply::err(ErrorCode::NotFound, format!("no lease for {name}")),
                 }
             }
             "removeService" => {
-                let name = cmd.get_text("name").expect("validated");
-                if self.leases.remove(name).is_some() {
+                let name = req_text!(cmd, "name");
+                if self.remove_lease(name).is_some() {
                     Reply::ok()
                 } else {
                     Reply::err(ErrorCode::NotFound, format!("{name} not registered"))
@@ -122,19 +245,28 @@ impl ServiceBehavior for Asd {
                 let name = cmd.get_text("name");
                 let class = cmd.get_text("class");
                 let room = cmd.get_text("room");
-                let mut matches: Vec<ServiceEntry> = self
-                    .leases
-                    .values()
-                    .map(|l| &l.entry)
-                    .filter(|e| name.is_none_or(|n| e.name == n))
-                    .filter(|e| class.is_none_or(|c| Self::class_matches(&e.class, c)))
-                    .filter(|e| room.is_none_or(|r| e.room == r))
-                    .cloned()
-                    .collect();
+                let mut matches: Vec<ServiceEntry> = match self.candidate_names(name, class, room) {
+                    Some(candidates) => candidates
+                        .iter()
+                        .filter_map(|n| self.leases.get(n))
+                        .map(|l| &l.entry)
+                        // The indexes narrow; the filters still decide —
+                        // a name hit must also satisfy class/room, and a
+                        // class-segment hit re-checks the hierarchy rule.
+                        .filter(|e| name.is_none_or(|n| e.name == n))
+                        .filter(|e| class.is_none_or(|c| Self::class_matches(&e.class, c)))
+                        .filter(|e| room.is_none_or(|r| e.room == r))
+                        .cloned()
+                        .collect(),
+                    None => self.leases.values().map(|l| l.entry.clone()).collect(),
+                };
                 matches.sort_by(|a, b| a.name.cmp(&b.name));
                 Reply::ok_with(|c| {
                     c.arg("count", matches.len() as i64)
                         .arg("services", protocol::entries_to_value(&matches))
+                        // Resolution-cache TTL bound: an entry the client
+                        // caches can be trusted at most one lease long.
+                        .arg("lease", self.lease_duration.as_millis() as i64)
                 })
             }
             "listServices" => {
@@ -154,13 +286,23 @@ impl ServiceBehavior for Asd {
     }
 }
 
+/// How an [`AsdClient`] reaches the directory: a dedicated link, or
+/// checkouts from a shared [`LinkPool`] (one per call, returned after).
+enum AsdConn {
+    Direct(ServiceClient),
+    Pooled {
+        pool: std::sync::Arc<LinkPool>,
+        asd: Addr,
+    },
+}
+
 /// Typed client for the ASD.
 pub struct AsdClient {
-    client: ServiceClient,
+    conn: AsdConn,
 }
 
 impl AsdClient {
-    /// Connect to the ASD at `asd`.
+    /// Connect to the ASD at `asd` over a dedicated link.
     pub fn connect(
         net: &SimNet,
         from_host: &HostId,
@@ -168,8 +310,23 @@ impl AsdClient {
         identity: &ace_security::keys::KeyPair,
     ) -> Result<AsdClient, ClientError> {
         Ok(AsdClient {
-            client: ServiceClient::connect(net, from_host, asd, identity)?,
+            conn: AsdConn::Direct(ServiceClient::connect(net, from_host, asd, identity)?),
         })
+    }
+
+    /// Talk to the ASD through a shared link pool: each call checks a link
+    /// out (riding session resumption on pool misses) and returns it after.
+    pub fn connect_pooled(pool: std::sync::Arc<LinkPool>, asd: Addr) -> AsdClient {
+        AsdClient {
+            conn: AsdConn::Pooled { pool, asd },
+        }
+    }
+
+    fn call(&mut self, cmd: &CmdLine) -> Result<CmdLine, ClientError> {
+        match &mut self.conn {
+            AsdConn::Direct(client) => client.call(cmd),
+            AsdConn::Pooled { pool, asd } => pool.checkout(asd)?.call(cmd),
+        }
     }
 
     /// Look up services by any combination of name/class/room.
@@ -189,7 +346,7 @@ impl AsdClient {
         if let Some(r) = room {
             cmd.push_arg("room", r);
         }
-        let reply = self.client.call(&cmd)?;
+        let reply = self.call(&cmd)?;
         reply
             .get("services")
             .and_then(protocol::entries_from_value)
@@ -206,7 +363,7 @@ impl AsdClient {
 
     /// All registered service names.
     pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
-        let reply = self.client.call(&CmdLine::new("listServices"))?;
+        let reply = self.call(&CmdLine::new("listServices"))?;
         let names = reply
             .get_vector("names")
             .map(|v| {
@@ -221,7 +378,7 @@ impl AsdClient {
     /// Register a service (used by tests and non-daemon actors; daemons
     /// register automatically at spawn).
     pub fn register(&mut self, entry: &ServiceEntry) -> Result<Duration, ClientError> {
-        let reply = self.client.call(
+        let reply = self.call(
             &CmdLine::new("register")
                 .arg("name", entry.name.as_str())
                 .arg("host", entry.addr.host.as_str())
@@ -236,19 +393,24 @@ impl AsdClient {
 
     /// Renew a lease.
     pub fn renew(&mut self, name: &str) -> Result<(), ClientError> {
-        self.client
-            .call_ok(&CmdLine::new("renewLease").arg("name", name))
+        self.call(&CmdLine::new("renewLease").arg("name", name))
+            .map(|_| ())
     }
 
     /// Deregister a service.
     pub fn remove(&mut self, name: &str) -> Result<(), ClientError> {
-        self.client
-            .call_ok(&CmdLine::new("removeService").arg("name", name))
+        self.call(&CmdLine::new("removeService").arg("name", name))
+            .map(|_| ())
     }
 
-    /// Access the raw client (for `addNotification` etc.).
-    pub fn raw(&mut self) -> &mut ServiceClient {
-        &mut self.client
+    /// Access the raw dedicated client (for `addNotification` etc.).
+    /// `None` when this client talks through a pool — pooled checkouts are
+    /// per-call and cannot be borrowed out.
+    pub fn raw(&mut self) -> Option<&mut ServiceClient> {
+        match &mut self.conn {
+            AsdConn::Direct(client) => Some(client),
+            AsdConn::Pooled { .. } => None,
+        }
     }
 }
 
@@ -276,5 +438,132 @@ mod tests {
             "Service.Device.PTZCamera.VCC3",
             "Projector"
         ));
+    }
+
+    fn entry(name: &str, class: &str, room: &str) -> ServiceEntry {
+        ServiceEntry {
+            name: name.to_string(),
+            addr: Addr::new("host", 1),
+            class: class.to_string(),
+            room: room.to_string(),
+        }
+    }
+
+    fn seeded() -> Asd {
+        let mut asd = Asd::new(Duration::from_secs(30));
+        for e in [
+            entry("cam1", "Service.Device.PTZCamera.VCC3", "hawk"),
+            entry("cam2", "Service.Device.PTZCamera.EVI30", "dove"),
+            entry("proj1", "Service.Device.Projector", "hawk"),
+        ] {
+            asd.index_insert(&e);
+            let expires = Instant::now() + asd.lease_duration;
+            asd.expiry.push(Reverse((expires, e.name.clone())));
+            asd.leases
+                .insert(e.name.clone(), Lease { entry: e, expires });
+        }
+        asd
+    }
+
+    #[test]
+    fn candidate_indexes_narrow_correctly() {
+        let asd = seeded();
+        // Name: direct hit.
+        assert_eq!(
+            asd.candidate_names(Some("cam1"), None, None),
+            Some(vec!["cam1".to_string()])
+        );
+        assert_eq!(asd.candidate_names(Some("nope"), None, None), Some(vec![]));
+        // Room index.
+        let mut hawk = asd.candidate_names(None, None, Some("hawk")).unwrap();
+        hawk.sort();
+        assert_eq!(hawk, vec!["cam1".to_string(), "proj1".to_string()]);
+        // Class-segment index.
+        let mut cams = asd.candidate_names(None, Some("PTZCamera"), None).unwrap();
+        cams.sort();
+        assert_eq!(cams, vec!["cam1".to_string(), "cam2".to_string()]);
+        // Intersection.
+        assert_eq!(
+            asd.candidate_names(None, Some("PTZCamera"), Some("hawk")),
+            Some(vec!["cam1".to_string()])
+        );
+        // Unknown index keys: empty, not full-scan.
+        assert_eq!(
+            asd.candidate_names(None, Some("Toaster"), None),
+            Some(vec![])
+        );
+        // No filters: full listing.
+        assert_eq!(asd.candidate_names(None, None, None), None);
+    }
+
+    #[test]
+    fn index_follows_reregistration_and_removal() {
+        let mut asd = seeded();
+        // cam1 moves rooms via re-registration.
+        let moved = entry("cam1", "Service.Device.PTZCamera.VCC3", "dove");
+        asd.remove_lease("cam1");
+        asd.index_insert(&moved);
+        let expires = Instant::now() + asd.lease_duration;
+        asd.expiry.push(Reverse((expires, moved.name.clone())));
+        asd.leases.insert(
+            moved.name.clone(),
+            Lease {
+                entry: moved,
+                expires,
+            },
+        );
+        assert_eq!(
+            asd.candidate_names(None, None, Some("hawk")),
+            Some(vec!["proj1".to_string()])
+        );
+        let mut dove = asd.candidate_names(None, None, Some("dove")).unwrap();
+        dove.sort();
+        assert_eq!(dove, vec!["cam1".to_string(), "cam2".to_string()]);
+
+        // Removal cleans both indexes.
+        asd.remove_lease("cam2");
+        let cams = asd.candidate_names(None, Some("PTZCamera"), None).unwrap();
+        assert_eq!(cams, vec!["cam1".to_string()]);
+        assert_eq!(asd.candidate_names(None, Some("EVI30"), None), Some(vec![]));
+    }
+
+    #[test]
+    fn expiry_heap_skips_stale_renewal_entries() {
+        let mut asd = Asd::new(Duration::from_millis(40));
+        let e = entry("svc", "Service.Test", "lab");
+        let first = Instant::now() + asd.lease_duration;
+        asd.index_insert(&e);
+        asd.leases.insert(
+            "svc".to_string(),
+            Lease {
+                entry: e,
+                expires: first,
+            },
+        );
+        asd.expiry.push(Reverse((first, "svc".to_string())));
+        // Renew: fresh deadline, stale heap entry left behind.
+        let renewed = first + Duration::from_millis(200);
+        asd.leases.get_mut("svc").unwrap().expires = renewed;
+        asd.expiry.push(Reverse((renewed, "svc".to_string())));
+
+        std::thread::sleep(Duration::from_millis(60));
+        // Simulate the purge loop's heap discipline without a ServiceCtx.
+        let now = Instant::now();
+        let mut purged = Vec::new();
+        while let Some(Reverse((deadline, _))) = asd.expiry.peek() {
+            if *deadline > now {
+                break;
+            }
+            let Reverse((deadline, name)) = asd.expiry.pop().unwrap();
+            if asd.leases.get(&name).is_some_and(|l| l.expires == deadline) {
+                asd.remove_lease(&name);
+                purged.push(name);
+            }
+        }
+        assert!(
+            purged.is_empty(),
+            "renewed lease must survive its stale heap entry"
+        );
+        assert!(asd.leases.contains_key("svc"));
     }
 }

@@ -114,9 +114,9 @@ impl ServiceBehavior for RoomDb {
     fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
         match cmd.name() {
             "defineRoom" => {
-                let room = cmd.get_text("room").expect("validated").to_string();
+                let room = req_text!(cmd, "room").to_string();
                 let info = RoomInfo {
-                    building: cmd.get_text("building").expect("validated").to_string(),
+                    building: req_text!(cmd, "building").to_string(),
                     dimensions: (
                         cmd.get_f64("width").unwrap_or(0.0),
                         cmd.get_f64("depth").unwrap_or(0.0),
@@ -127,8 +127,8 @@ impl ServiceBehavior for RoomDb {
                 Reply::ok()
             }
             "roomRegister" => {
-                let service = cmd.get_text("service").expect("validated").to_string();
-                let room = cmd.get_text("room").expect("validated").to_string();
+                let service = req_text!(cmd, "service").to_string();
+                let room = req_text!(cmd, "room").to_string();
                 // Auto-create unknown rooms so daemon startup never depends
                 // on floor-plan seeding order.
                 self.rooms.entry(room.clone()).or_insert_with(|| RoomInfo {
@@ -143,10 +143,7 @@ impl ServiceBehavior for RoomDb {
                     service.clone(),
                     Placement {
                         service,
-                        addr: Addr::new(
-                            cmd.get_text("host").expect("validated"),
-                            cmd.get_int("port").expect("validated") as u16,
-                        ),
+                        addr: Addr::new(req_text!(cmd, "host"), req_int!(cmd, "port") as u16),
                         room,
                         position,
                     },
@@ -154,7 +151,7 @@ impl ServiceBehavior for RoomDb {
                 Reply::ok()
             }
             "roomRemove" => {
-                let service = cmd.get_text("service").expect("validated");
+                let service = req_text!(cmd, "service");
                 if self.placements.remove(service).is_some() {
                     Reply::ok()
                 } else {
@@ -162,7 +159,7 @@ impl ServiceBehavior for RoomDb {
                 }
             }
             "roomServices" => {
-                let room = cmd.get_text("room").expect("validated");
+                let room = req_text!(cmd, "room");
                 let mut matches: Vec<&Placement> = self
                     .placements
                     .values()
@@ -175,7 +172,7 @@ impl ServiceBehavior for RoomDb {
                 })
             }
             "roomInfo" => {
-                let room = cmd.get_text("room").expect("validated");
+                let room = req_text!(cmd, "room");
                 match self.rooms.get(room) {
                     Some(info) => Reply::ok_with(|c| {
                         c.arg("room", room)

@@ -103,6 +103,27 @@ impl Connection {
         }
     }
 
+    /// Health probe for an *idle* connection, as used by pooled-link
+    /// checkout.  Returns `false` when the route to the peer is down
+    /// (crashed host or partition), the peer has closed or vanished, or —
+    /// crucially — when anything at all is queued inbound: on an idle
+    /// request/reply link a queued frame can only be left-over state from a
+    /// previous conversation, and reusing such a link could surface a stale
+    /// reply.  Unhealthy links must be discarded, never repaired.
+    pub fn is_healthy_idle(&self) -> bool {
+        if self
+            .net
+            .check_link(&self.local.host, &self.peer.host)
+            .is_err()
+        {
+            return false;
+        }
+        matches!(
+            self.rx.try_recv(),
+            Err(crossbeam_channel::TryRecvError::Empty)
+        )
+    }
+
     /// Non-blocking receive: `Ok(None)` when no frame is queued.
     pub fn try_recv(&self) -> Result<Option<Vec<u8>>, NetError> {
         match self.rx.try_recv() {

@@ -71,6 +71,13 @@ impl SessionKey {
             &self.mac.to_le_bytes(),
         ))
     }
+
+    /// A keyed tag over `data` under this key's MAC half — the primitive
+    /// behind resumption proofs (possession of the key without revealing
+    /// it).
+    pub fn mac_tag(&self, data: &[u8]) -> u64 {
+        fnv64_keyed(self.mac, data)
+    }
 }
 
 /// An established secure channel: seal/open frames with encryption + MAC.

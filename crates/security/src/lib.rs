@@ -45,6 +45,7 @@ pub mod hash;
 pub mod keynote;
 pub mod keys;
 pub mod numtheory;
+pub mod ticket;
 
 pub use cipher::{DhLocal, SealError, SecureChannel, SessionKey};
 pub use keynote::{
@@ -52,3 +53,4 @@ pub use keynote::{
     POLICY,
 };
 pub use keys::{KeyPair, PublicKey, Signature};
+pub use ticket::{resume_proof, ResumptionTicket};

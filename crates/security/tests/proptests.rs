@@ -1,9 +1,11 @@
 //! Property tests on the security substrate: cipher round-trips and
-//! tamper-rejection, RSA sign/verify totality, and KeyNote monotonicity.
+//! tamper-rejection, resumption-ticket codec totality, RSA sign/verify
+//! totality, and KeyNote monotonicity.
 
 use ace_security::cipher::{SecureChannel, SessionKey};
 use ace_security::keynote::{action_env, Assertion, KeyNoteEngine, Licensees, POLICY};
 use ace_security::keys::KeyPair;
+use ace_security::ticket::{resume_proof, ResumptionTicket};
 use proptest::prelude::*;
 
 proptest! {
@@ -45,6 +47,56 @@ proptest! {
             let f = tx.seal(p);
             prop_assert_eq!(&rx.open(&f).unwrap(), p);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Ticket encode→decode is the identity for any id, TTL, and principal
+    /// strings — including principals full of delimiter characters.
+    #[test]
+    fn ticket_wire_roundtrip(
+        id in any::<u64>(),
+        ttl_ms in any::<u64>(),
+        client in "[ -~]{0,48}",
+        server in "[ -~]{0,48}",
+    ) {
+        let t = ResumptionTicket {
+            id,
+            ttl_ms,
+            client_principal: client,
+            server_principal: server,
+        };
+        prop_assert_eq!(ResumptionTicket::from_wire(&t.to_wire()), Some(t));
+    }
+
+    /// The decoder is total: arbitrary input never panics, and whatever it
+    /// accepts re-encodes to a wire form it decodes identically (decode is
+    /// a partial inverse of encode, never a lossy guess).
+    #[test]
+    fn ticket_decode_is_total_and_consistent(input in "[ -~]{0,96}") {
+        if let Some(t) = ResumptionTicket::from_wire(&input) {
+            prop_assert_eq!(ResumptionTicket::from_wire(&t.to_wire()), Some(t));
+        }
+    }
+
+    /// A proof over different inputs (or a different master) never
+    /// collides with the original proof.
+    #[test]
+    fn ticket_proof_separates_inputs(
+        seed in any::<u64>(),
+        id in any::<u64>(),
+        nonce in any::<u64>(),
+    ) {
+        let master = SessionKey::from_seed(seed);
+        let base = resume_proof(&master, id, nonce);
+        prop_assert_ne!(base, resume_proof(&master, id, nonce.wrapping_add(1)));
+        prop_assert_ne!(base, resume_proof(&master, id.wrapping_add(1), nonce));
+        prop_assert_ne!(
+            base,
+            resume_proof(&SessionKey::from_seed(seed.wrapping_add(1)), id, nonce)
+        );
     }
 }
 

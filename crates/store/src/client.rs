@@ -11,6 +11,7 @@ use ace_core::protocol::hex_encode;
 use ace_security::keys::KeyPair;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Store-level failures.
@@ -87,6 +88,12 @@ pub struct StoreClient {
     quorum: usize,
     writer_id: String,
     connections: Vec<Option<ServiceClient>>,
+    /// Shared link pool; when set, each replica call checks a link out
+    /// instead of holding one dedicated connection per replica.
+    pool: Option<Arc<LinkPool>>,
+    /// Pooled-mode liveness memory (mirrors what `connections[i].is_some()`
+    /// means in dedicated mode): did the last pooled call reach replica i?
+    pooled_reachable: Vec<bool>,
     /// Per-replica reconnect schedule for one command.
     retry: RetryPolicy,
     stats: ClientStats,
@@ -106,6 +113,7 @@ impl StoreClient {
         let quorum = replicas.len() / 2 + 1;
         let writer_id = identity.principal();
         let connections = replicas.iter().map(|_| None).collect();
+        let pooled_reachable = vec![false; replicas.len()];
         StoreClient {
             net,
             from_host: from_host.into(),
@@ -114,6 +122,8 @@ impl StoreClient {
             quorum,
             writer_id,
             connections,
+            pool: None,
+            pooled_reachable,
             // One immediate reconnect per replica per command — enough to
             // ride out a dropped connection without stalling a quorum scan
             // on a genuinely dead replica.
@@ -155,7 +165,19 @@ impl StoreClient {
         &self.replicas
     }
 
+    /// Route replica calls through a shared [`LinkPool`] instead of
+    /// per-replica dedicated connections.  Checkouts ride session
+    /// resumption on pool misses, and a link broken mid-call is discarded
+    /// rather than parked, so a restarted replica never serves stale links.
+    pub fn with_pool(mut self, pool: Arc<LinkPool>) -> StoreClient {
+        self.pool = Some(pool);
+        self
+    }
+
     fn call_replica(&mut self, idx: usize, cmd: &CmdLine) -> Option<CmdLine> {
+        if let Some(pool) = self.pool.clone() {
+            return self.call_replica_pooled(&pool, idx, cmd);
+        }
         let mut retry = self.retry.start();
         loop {
             if self.connections[idx].is_none() {
@@ -174,6 +196,38 @@ impl StoreClient {
                     Err(ClientError::Service { .. }) => return None, // e.g. NotFound
                     Err(_) => self.connections[idx] = None,
                 }
+            }
+            if !retry.backoff() {
+                return None;
+            }
+        }
+    }
+
+    fn call_replica_pooled(
+        &mut self,
+        pool: &Arc<LinkPool>,
+        idx: usize,
+        cmd: &CmdLine,
+    ) -> Option<CmdLine> {
+        let mut retry = self.retry.start();
+        loop {
+            match pool.checkout(&self.replicas[idx]) {
+                Ok(mut link) => match link.call(cmd) {
+                    Ok(reply) => {
+                        self.pooled_reachable[idx] = true;
+                        return Some(reply);
+                    }
+                    // The replica answered (e.g. NotFound): it is alive.
+                    Err(ClientError::Service { .. }) => {
+                        self.pooled_reachable[idx] = true;
+                        return None;
+                    }
+                    // Link failure: `PooledLink` already marked itself
+                    // broken so it will not be parked; back off and retry
+                    // with a fresh checkout.
+                    Err(_) => self.pooled_reachable[idx] = false,
+                },
+                Err(_) => self.pooled_reachable[idx] = false,
             }
             if !retry.backoff() {
                 return None;
@@ -216,7 +270,8 @@ impl StoreClient {
             // Nothing answered anywhere: every replica was unreachable or
             // lacks the key.  Distinguish by probing liveness with the
             // connection state we just built.
-            let any_connected = self.connections.iter().any(Option::is_some);
+            let any_connected = self.connections.iter().any(Option::is_some)
+                || self.pooled_reachable.iter().any(|&up| up);
             return Err(if any_connected {
                 StoreError::NotFound
             } else {
