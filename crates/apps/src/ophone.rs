@@ -11,7 +11,7 @@
 //! skips gaps.
 
 use ace_core::prelude::*;
-use ace_core::protocol::{hex_decode, hex_encode};
+use ace_core::protocol::{hex_decode, hex_encode, open_snapshot, seal_snapshot};
 use ace_media::dsp::{bytes_to_samples, samples_to_bytes, sine};
 use ace_net::Datagram;
 use std::collections::BTreeMap;
@@ -248,5 +248,66 @@ impl ServiceBehavior for OPhone {
         self.received_frames += 1;
         self.jitter.insert(seq, samples);
         self.drain_jitter();
+    }
+
+    // Live upgrade: the call itself (peer, session) and the transmit/play
+    // cursors ride the snapshot so a hot-swapped phone stays in the call
+    // with monotone sequence numbers.  The jitter buffer and played-out
+    // audio are transient: frames in flight during the pause are treated
+    // as datagram loss, which playback already skips over.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        let mut state = CmdLine::new("ophoneState")
+            .arg("voiceFreq", self.voice_freq)
+            .arg("txSeq", self.tx_seq as i64)
+            .arg("phase", self.phase_samples as i64)
+            .arg("nextPlay", self.next_play_seq as i64)
+            .arg("received", self.received_frames as i64);
+        if let CallState::Connected { peer, session } = &self.state {
+            state = state
+                .arg("peerHost", peer.host.as_str())
+                .arg("peerPort", peer.port as i64)
+                .arg("session", session.as_str());
+        }
+        Some(seal_snapshot("ophone", state))
+    }
+
+    fn restore_state(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        let state = open_snapshot("ophone", snapshot)?;
+        let voice_freq = state
+            .get_f64("voiceFreq")
+            .filter(|f| f.is_finite() && *f > 0.0)
+            .ok_or_else(|| "ophone snapshot: malformed voiceFreq".to_string())?;
+        let counter = |name: &str| {
+            state
+                .get_int(name)
+                .filter(|v| *v >= 0)
+                .map(|v| v as u64)
+                .ok_or_else(|| format!("ophone snapshot: malformed {name}"))
+        };
+        let tx_seq = counter("txSeq")?;
+        let phase_samples = counter("phase")?;
+        let next_play_seq = counter("nextPlay")?;
+        let received_frames = counter("received")?;
+        self.state = match (
+            state.get_text("peerHost"),
+            state.get_int("peerPort"),
+            state.get_text("session"),
+        ) {
+            (Some(host), Some(port), Some(session)) if (0..=65535).contains(&port) => {
+                CallState::Connected {
+                    peer: Addr::new(host, port as u16),
+                    session: session.to_string(),
+                }
+            }
+            (None, None, None) => CallState::Idle,
+            _ => return Err("ophone snapshot: inconsistent call state".to_string()),
+        };
+        self.voice_freq = voice_freq;
+        self.tx_seq = tx_seq;
+        self.phase_samples = phase_samples;
+        self.next_play_seq = next_play_seq;
+        self.received_frames = received_frames;
+        self.jitter.clear();
+        Ok(())
     }
 }

@@ -1,0 +1,190 @@
+//! Measure the live-upgrade pause across the whole building and turn it
+//! into the `BENCH_pr6.json` artifact.
+//!
+//! ```sh
+//! cargo run --release -p ace-bench --bin upgrade_pause -- -o BENCH_pr6.json
+//! ```
+//!
+//! The harness builds the canonical [`AceEnvironment`], then rolls
+//! repeated building-wide upgrade sweeps (every service daemon, the store
+//! replicas, and the framework tier).  Two result sections:
+//!
+//! * **pause quantiles** — per-daemon p50/p99 of the upgrade pause (last
+//!   in-flight verb drained → replacement serving), plus the building-wide
+//!   aggregate;
+//! * **session survival** — client links parked before the sweeps, checked
+//!   out again after each one: how many resumed on their pre-upgrade
+//!   ticket in one round trip vs fell back to a full handshake.
+
+use ace_apps::OPhone;
+use ace_core::prelude::*;
+use ace_env::{AceEnvironment, CameraModel, EnvConfig, Projector, PtzCamera};
+use ace_identity::{AuthDb, Fiu, IButtonReader, IdMonitor, ScannerDevice, UserDb};
+use ace_workspace::{VncHost, Wss};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Replacements for the classes `default_replacement` leaves to the
+/// caller (stateless here, or carried by the behavior snapshot).
+fn custom_replacement(handle: &DaemonHandle) -> Option<Box<dyn ServiceBehavior>> {
+    let class = handle.config().class.as_str();
+    Some(match class {
+        "Service.Database.User" => Box::new(UserDb::new()) as Box<dyn ServiceBehavior>,
+        "Service.Database.Authorization" => Box::new(AuthDb::new()),
+        "Service.IDMonitor" => Box::new(IdMonitor::new()),
+        "Service.VNCHost" => Box::new(VncHost::new()),
+        "Service.WorkspaceServer" => Box::new(Wss::new()),
+        "Service.Device.FIU" => Box::new(Fiu::new(ScannerDevice::default())),
+        "Service.Device.IButton" => Box::new(IButtonReader::new()),
+        "Service.App.OPhone" => Box::new(OPhone::new(440.0)),
+        _ if class == Projector::CLASS => Box::new(Projector::new()),
+        _ if class.contains("Camera") => Box::new(PtzCamera::new(CameraModel::Vcc4)),
+        _ => return None,
+    })
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_pr6.json");
+    let mut sweeps: usize = 8;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" => out_path = args.next().expect("-o needs a path"),
+            "--sweeps" => {
+                sweeps = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--sweeps needs a count")
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let mut env = AceEnvironment::build(EnvConfig::default()).expect("build environment");
+    let admin = env.admin;
+
+    // Session pool over every upgradeable address: prime one full
+    // handshake per target so each later checkout can only succeed by
+    // resuming on its ticket (or re-handshaking, which we count).
+    let metrics = MetricsRegistry::new();
+    let pool = Arc::new(LinkPool::with_metrics(&env.net, "core", admin, &metrics));
+    let mut targets: Vec<(String, Addr)> = env
+        .daemons
+        .iter()
+        .map(|(n, h)| (n.clone(), h.addr().clone()))
+        .collect();
+    if let Some(cluster) = &env.store {
+        for (h, _) in &cluster.replicas {
+            targets.push((h.name().to_string(), h.addr().clone()));
+        }
+    }
+    targets.push(("roomdb".into(), env.fw.roomdb_addr.clone()));
+    targets.push(("asd".into(), env.fw.asd_addr.clone()));
+    targets.sort_by(|a, b| a.0.cmp(&b.0));
+    for (_, addr) in &targets {
+        pool.checkout(addr).expect("prime dial").discard();
+    }
+    let primed_handshakes = metrics.counter("link.full_handshakes").get();
+
+    let mut pauses_ms: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut resumed: u64 = 0;
+    let mut rehandshaked: u64 = 0;
+    for sweep in 0..sweeps {
+        let rolled = env
+            .rolling_upgrade(&mut |env, handle| {
+                env.default_replacement(handle)
+                    .or_else(|| custom_replacement(handle))
+            })
+            .expect("rolling sweep");
+        for entry in &rolled {
+            pauses_ms
+                .entry(entry.name.clone())
+                .or_default()
+                .push(entry.stats.pause.as_secs_f64() * 1e3);
+            assert_eq!(
+                entry.incarnation,
+                sweep as u64 + 1,
+                "{}: non-monotone incarnation",
+                entry.name
+            );
+        }
+        // Every parked pre-sweep link is now stale; a fresh checkout per
+        // target either resumes on the carried-over ticket vault or pays
+        // a full handshake.
+        for (_, addr) in &targets {
+            let link = pool.checkout(addr).expect("post-sweep dial");
+            if link.resumed() {
+                resumed += 1;
+            } else {
+                rehandshaked += 1;
+            }
+            link.discard();
+        }
+    }
+
+    let mut all_ms: Vec<f64> = pauses_ms.values().flatten().copied().collect();
+    all_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let mut json = String::from("{\n  \"upgrade_pause\": {\n    \"per_daemon\": [\n");
+    let daemon_rows: Vec<String> = pauses_ms
+        .iter()
+        .map(|(name, ms)| {
+            let mut sorted = ms.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            format!(
+                "      {{\"name\": \"{}\", \"samples\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                json_escape(name),
+                sorted.len(),
+                percentile(&sorted, 50.0),
+                percentile(&sorted, 99.0)
+            )
+        })
+        .collect();
+    json.push_str(&daemon_rows.join(",\n"));
+    json.push_str(&format!(
+        "\n    ],\n    \"overall\": {{\"sweeps\": {sweeps}, \"upgrades\": {}, \
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}}}\n  }},\n",
+        all_ms.len(),
+        percentile(&all_ms, 50.0),
+        percentile(&all_ms, 99.0),
+        all_ms.last().copied().unwrap_or(0.0)
+    ));
+    let total = resumed + rehandshaked;
+    let rate = if total > 0 {
+        resumed as f64 / total as f64
+    } else {
+        0.0
+    };
+    json.push_str(&format!(
+        "  \"sessions\": {{\n    \"post_upgrade_checkouts\": {total},\n    \
+         \"resumed\": {resumed},\n    \"rehandshaked\": {rehandshaked},\n    \
+         \"resume_rate\": {rate:.4},\n    \"priming_handshakes\": {primed_handshakes},\n    \
+         \"pool_resume_hits\": {},\n    \"pool_full_handshakes\": {}\n  }}\n}}\n",
+        metrics.counter("link.resume_hits").get(),
+        metrics.counter("link.full_handshakes").get(),
+    ));
+    std::fs::write(&out_path, &json).expect("write artifact");
+
+    println!(
+        "wrote {out_path}: {} upgrades over {sweeps} sweeps, pause p50={:.2}ms p99={:.2}ms, \
+         sessions resumed={resumed}/{total} ({:.1}%)",
+        all_ms.len(),
+        percentile(&all_ms, 50.0),
+        percentile(&all_ms, 99.0),
+        rate * 100.0
+    );
+
+    env.shutdown();
+}

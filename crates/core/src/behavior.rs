@@ -57,6 +57,26 @@ pub trait ServiceBehavior: Send + 'static {
     /// service-internal state here (e.g. the store replica publishes WAL
     /// batch counters as gauges) via `ctx.metrics()`.
     fn on_stats(&mut self, _ctx: &mut ServiceCtx) {}
+
+    /// Serialize this behavior's state for a live upgrade.  Called on the
+    /// control thread after the daemon has quiesced (no command is in
+    /// flight, new work is being refused with `E_UPGRADING`).  Stateless
+    /// services return `None` (the default): the replacement incarnation
+    /// starts fresh.  Stateful services seal their state with
+    /// [`crate::protocol::seal_snapshot`] so corruption is detected at
+    /// restore time.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Rebuild state from a [`ServiceBehavior::snapshot_state`] blob on
+    /// the *replacement* behavior, before its daemon registers with the
+    /// ASD or admits any traffic.  An `Err` refuses the snapshot — the
+    /// upgrade driver must then abort the swap and leave the old
+    /// incarnation serving.
+    fn restore_state(&mut self, _snapshot: &[u8]) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// The daemon-provided capabilities a behavior can use while executing:

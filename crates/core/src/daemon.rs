@@ -23,7 +23,7 @@ use crate::auth::{action_env_for, AuthMode};
 use crate::behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
 use crate::client::{ClientError, ServiceClient};
 use crate::link::{LinkError, SecureLink, TicketVault};
-use crate::metrics::{Histogram, MetricsRegistry};
+use crate::metrics::{Counter, Histogram, MetricsRegistry};
 use crate::notify::{NotificationRegistry, Notifier, Registration};
 use crate::protocol;
 use crate::retry::RetryPolicy;
@@ -70,6 +70,20 @@ pub struct DaemonConfig {
     /// Cadence of periodic `stats` events pushed to the Net Logger.
     /// Zero disables them; `aceStats` still answers on demand.
     pub stats_interval: Duration,
+    /// Monotone spawn generation of this service name.  Every live
+    /// upgrade (and supervised restart that opts in) increments it; the
+    /// daemon stamps it into `ping` replies so clients and chaos tests
+    /// can detect stale incarnations answering.
+    pub incarnation: u64,
+    /// Resumption-ticket vault to serve `resume` handshakes from.  A live
+    /// upgrade hands the old incarnation's vault (and identity) to the
+    /// replacement so established clients resume in one round trip; when
+    /// absent a fresh vault is created and dies with the daemon, which is
+    /// what forces clients back onto the full handshake after a crash.
+    pub ticket_vault: Option<Arc<TicketVault>>,
+    /// Notification registrations carried over from a previous
+    /// incarnation, seeded before the first command executes.
+    pub notifications: Vec<(String, Registration)>,
 }
 
 impl DaemonConfig {
@@ -96,6 +110,9 @@ impl DaemonConfig {
             tick: Duration::from_millis(50),
             lease_renew: Duration::from_millis(200),
             stats_interval: Duration::from_secs(1),
+            incarnation: 0,
+            ticket_vault: None,
+            notifications: Vec::new(),
         }
     }
 
@@ -146,6 +163,26 @@ impl DaemonConfig {
         self.stats_interval = interval;
         self
     }
+
+    /// Stamp this spawn generation (monotone across restarts of one name).
+    pub fn with_incarnation(mut self, incarnation: u64) -> Self {
+        self.incarnation = incarnation;
+        self
+    }
+
+    /// Serve session resumption from an existing ticket vault (live
+    /// upgrades pass the previous incarnation's vault here).
+    pub fn with_ticket_vault(mut self, vault: Arc<TicketVault>) -> Self {
+        self.ticket_vault = Some(vault);
+        self
+    }
+
+    /// Seed notification registrations carried over from a previous
+    /// incarnation.
+    pub fn with_notifications(mut self, notifications: Vec<(String, Registration)>) -> Self {
+        self.notifications = notifications;
+        self
+    }
 }
 
 /// Startup failures (Fig. 9 steps).
@@ -158,6 +195,10 @@ pub enum SpawnError {
         step: &'static str,
         error: ClientError,
     },
+    /// The behavior refused a live-upgrade state snapshot (torn,
+    /// corrupted, or of the wrong kind) — the old incarnation must keep
+    /// serving.
+    Restore(String),
 }
 
 impl std::fmt::Display for SpawnError {
@@ -165,6 +206,7 @@ impl std::fmt::Display for SpawnError {
         match self {
             SpawnError::Bind(e) => write!(f, "bind: {e}"),
             SpawnError::Register { step, error } => write!(f, "register ({step}): {error}"),
+            SpawnError::Restore(msg) => write!(f, "restore: {msg}"),
         }
     }
 }
@@ -285,6 +327,16 @@ impl Daemon {
 
         let stop = Arc::new(AtomicBool::new(false));
         let crashed = Arc::new(AtomicBool::new(false));
+        // Quiesce gate: while set, command threads refuse every verb except
+        // liveness probes with a retryable `E_UPGRADING` error.
+        let upgrading = Arc::new(AtomicBool::new(false));
+        // Graceful stops deregister by default; `retire()` clears this so a
+        // live upgrade's replacement registration is never clobbered by the
+        // old incarnation's goodbye.
+        let deregister = Arc::new(AtomicBool::new(true));
+        metrics
+            .gauge("daemon.incarnation")
+            .set(config.incarnation as i64);
         let (control_tx, control_rx) = crossbeam_channel::unbounded::<ControlMsg>();
         let (notifier, notifier_worker) = Notifier::spawn(
             net.clone(),
@@ -312,6 +364,7 @@ impl Daemon {
             );
             let stop = Arc::clone(&stop);
             let crashed = Arc::clone(&crashed);
+            let upgrading = Arc::clone(&upgrading);
             let auth = config.auth.clone();
             let name = config.name.clone();
             let class = config.class.clone();
@@ -319,16 +372,19 @@ impl Daemon {
             let semantics = Arc::clone(&semantics);
             let tick = config.tick;
             let stats_interval = config.stats_interval;
+            let incarnation = config.incarnation;
+            let notifications = config.notifications.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("{name}-control"))
                     .spawn(move || {
-                        control_loop(
-                            control_rx,
+                        control_loop(ControlParams {
+                            rx: control_rx,
                             behavior,
                             ctx,
                             stop,
                             crashed,
+                            upgrading,
                             auth,
                             name,
                             class,
@@ -336,30 +392,39 @@ impl Daemon {
                             semantics,
                             tick,
                             stats_interval,
-                        )
+                            incarnation,
+                            notifications,
+                        })
                     })
                     .expect("spawn control thread"),
             );
         }
 
         // Accept thread (spawns command threads).  The shared ticket vault
-        // lets returning clients skip the full handshake; it dies with the
-        // daemon, which is what forces clients back onto the full handshake
-        // after a restart.
+        // lets returning clients skip the full handshake; by default it
+        // dies with the daemon, which is what forces clients back onto the
+        // full handshake after a crash — a live upgrade instead injects the
+        // old incarnation's vault so sessions resume across the swap.
+        let vault = config
+            .ticket_vault
+            .clone()
+            .unwrap_or_else(|| Arc::new(TicketVault::with_default_ttl()));
         {
             let stop = Arc::clone(&stop);
+            let upgrading = Arc::clone(&upgrading);
             let control_tx = control_tx.clone();
             let identity = Arc::clone(&identity);
             let semantics = Arc::clone(&semantics);
             let name = config.name.clone();
             let metrics = Arc::clone(&metrics);
-            let vault = Arc::new(TicketVault::with_default_ttl());
+            let vault = Arc::clone(&vault);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("{name}-accept"))
                     .spawn(move || {
                         accept_loop(
-                            listener, stop, control_tx, identity, semantics, name, metrics, vault,
+                            listener, stop, upgrading, control_tx, identity, semantics, name,
+                            metrics, vault,
                         )
                     })
                     .expect("spawn accept thread"),
@@ -383,6 +448,7 @@ impl Daemon {
         {
             let stop = Arc::clone(&stop);
             let crashed = Arc::clone(&crashed);
+            let deregister = Arc::clone(&deregister);
             let net = net.clone();
             let identity = Arc::clone(&identity);
             let config2 = config.clone();
@@ -390,17 +456,26 @@ impl Daemon {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("{}-main", config.name))
-                    .spawn(move || lease_loop(net, config2, identity, stop, crashed, metrics))
+                    .spawn(move || {
+                        lease_loop(net, config2, identity, stop, crashed, deregister, metrics)
+                    })
                     .expect("spawn main thread"),
             );
         }
 
         Ok(DaemonHandle {
-            name: config.name,
+            name: config.name.clone(),
             addr,
             principal: identity.principal(),
+            identity,
+            incarnation: config.incarnation,
+            config,
             stop,
             crashed,
+            upgrading,
+            deregister,
+            ticket_vault: vault,
+            metrics,
             control_tx,
             threads: Mutex::new(threads),
             notifier_worker: Mutex::new(Some(notifier_worker)),
@@ -414,8 +489,15 @@ pub struct DaemonHandle {
     name: String,
     addr: Addr,
     principal: String,
+    identity: Arc<KeyPair>,
+    incarnation: u64,
+    config: DaemonConfig,
     stop: Arc<AtomicBool>,
     crashed: Arc<AtomicBool>,
+    upgrading: Arc<AtomicBool>,
+    deregister: Arc<AtomicBool>,
+    ticket_vault: Arc<TicketVault>,
+    metrics: Arc<MetricsRegistry>,
     control_tx: Sender<ControlMsg>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     notifier_worker: Mutex<Option<crate::notify::NotifierWorker>>,
@@ -438,6 +520,40 @@ impl DaemonHandle {
         &self.principal
     }
 
+    /// The daemon's key pair — a live upgrade reuses it so resumption
+    /// tickets minted by the old incarnation stay valid for the new one.
+    pub fn identity(&self) -> &KeyPair {
+        &self.identity
+    }
+
+    /// The spawn generation this daemon was started under.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// The configuration this daemon was spawned with.  A live upgrade
+    /// clones it as the replacement's base config, so drivers don't have
+    /// to reconstruct name/class/room/port wiring by hand.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.config
+    }
+
+    /// The resumption-ticket vault this daemon serves from — handed to
+    /// the replacement incarnation across a live upgrade.
+    pub fn ticket_vault(&self) -> Arc<TicketVault> {
+        Arc::clone(&self.ticket_vault)
+    }
+
+    /// Is the daemon currently quiesced for an upgrade?
+    pub fn is_upgrading(&self) -> bool {
+        self.upgrading.load(Ordering::SeqCst)
+    }
+
+    /// This daemon's metrics registry (`link.resume_hits`, `upgrade.*`, …).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
     /// Is the daemon still running (not stopped or crashed)?
     pub fn is_running(&self) -> bool {
         !self.stop.load(Ordering::SeqCst)
@@ -449,6 +565,18 @@ impl DaemonHandle {
         self.stop.store(true, Ordering::SeqCst);
         let _ = self.control_tx.send(ControlMsg::Stop);
         self.join_threads();
+    }
+
+    /// Graceful stop *without* deregistration: `on_stop` runs (workers
+    /// join, state flushes) but the ASD/Room DB registrations are left in
+    /// place for the replacement incarnation that has already (or is about
+    /// to) register under the same name.  Used by live upgrades, where a
+    /// late `removeService` from the old instance would clobber the new
+    /// instance's registration — the lease cleans up if no replacement
+    /// ever arrives.
+    pub fn retire(&self) {
+        self.deregister.store(false, Ordering::SeqCst);
+        self.shutdown();
     }
 
     /// Abrupt crash: threads stop immediately and *no* deregistration
@@ -502,6 +630,7 @@ const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 fn accept_loop(
     listener: ace_net::Listener,
     stop: Arc<AtomicBool>,
+    upgrading: Arc<AtomicBool>,
     control_tx: Sender<ControlMsg>,
     identity: Arc<KeyPair>,
     semantics: Arc<Semantics>,
@@ -514,6 +643,7 @@ fn accept_loop(
             Ok(conn) => {
                 metrics.counter("link.accepted").incr();
                 let stop = Arc::clone(&stop);
+                let upgrading = Arc::clone(&upgrading);
                 let control_tx = control_tx.clone();
                 let identity = Arc::clone(&identity);
                 let semantics = Arc::clone(&semantics);
@@ -524,7 +654,9 @@ fn accept_loop(
                 let _ = std::thread::Builder::new()
                     .name(format!("{name}-command"))
                     .spawn(move || {
-                        command_loop(conn, stop, control_tx, identity, semantics, metrics, vault)
+                        command_loop(
+                            conn, stop, upgrading, control_tx, identity, semantics, metrics, vault,
+                        )
                     });
             }
             Err(NetError::Timeout) => continue,
@@ -533,9 +665,11 @@ fn accept_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn command_loop(
     conn: ace_net::Connection,
     stop: Arc<AtomicBool>,
+    upgrading: Arc<AtomicBool>,
     control_tx: Sender<ControlMsg>,
     identity: Arc<KeyPair>,
     semantics: Arc<Semantics>,
@@ -557,6 +691,7 @@ fn command_loop(
     // Fetched once per connection so the per-message path never takes the
     // registry lock.
     let rejected = metrics.counter("cmd.rejected");
+    let upgrade_rejected = metrics.counter("upgrade.rejected");
     let from = ClientInfo {
         principal: link.peer_principal().to_string(),
         addr: link.peer_addr().clone(),
@@ -577,6 +712,18 @@ fn command_loop(
         if let Err(e) = semantics.validate(&cmd) {
             rejected.incr();
             let _ = link.send_cmd(&Reply::err(ErrorCode::Semantics, e.to_string()).to_cmdline());
+            continue;
+        }
+        // Quiesce gate: once an upgrade begins, refuse new work here on
+        // the command thread — fast, and it never reaches the draining
+        // control queue.  Probes and the upgrade plane itself stay open.
+        if upgrading.load(Ordering::SeqCst)
+            && !matches!(cmd.name(), "ping" | "describe" | "aceUpgrade")
+        {
+            upgrade_rejected.incr();
+            let _ = link.send_cmd(
+                &Reply::err(ErrorCode::Upgrading, "service is upgrading; retry").to_cmdline(),
+            );
             continue;
         }
         let (reply_tx, reply_rx) = crossbeam_channel::bounded(1);
@@ -618,13 +765,15 @@ fn data_loop(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn control_loop(
+/// Everything the control thread owns, bundled so the spawn site stays
+/// readable as the daemon grows capabilities.
+struct ControlParams {
     rx: Receiver<ControlMsg>,
-    mut behavior: Box<dyn ServiceBehavior>,
-    mut ctx: ServiceCtx,
+    behavior: Box<dyn ServiceBehavior>,
+    ctx: ServiceCtx,
     stop: Arc<AtomicBool>,
     crashed: Arc<AtomicBool>,
+    upgrading: Arc<AtomicBool>,
     auth: AuthMode,
     name: String,
     class: String,
@@ -632,16 +781,52 @@ fn control_loop(
     semantics: Arc<Semantics>,
     tick: Duration,
     stats_interval: Duration,
-) {
+    incarnation: u64,
+    notifications: Vec<(String, Registration)>,
+}
+
+/// Per-dispatch bookkeeping shared between the main loop and the upgrade
+/// drain (which executes queued verbs through the same path).
+struct DispatchStats {
+    panics: Arc<Counter>,
+    errors: Arc<Counter>,
+    /// Per-verb service-time histograms, cached so the hot path never takes
+    /// the registry lock after a verb's first execution.
+    verb_hists: HashMap<String, Arc<Histogram>>,
+}
+
+fn control_loop(params: ControlParams) {
+    let ControlParams {
+        rx,
+        mut behavior,
+        mut ctx,
+        stop,
+        crashed,
+        upgrading,
+        auth,
+        name,
+        class,
+        room,
+        semantics,
+        tick,
+        stats_interval,
+        incarnation,
+        notifications,
+    } = params;
     let mut registry = NotificationRegistry::new();
+    // Listeners carried over from the previous incarnation (live upgrade)
+    // are live before the first command executes.
+    for (watched, registration) in notifications {
+        registry.add(&watched, registration);
+    }
     // Eagerly created so `aceStats` always reports them, even at zero.
-    let panics = ctx.metrics().counter("control.panics");
-    let errors = ctx.metrics().counter("cmd.errors");
+    let mut stats = DispatchStats {
+        panics: ctx.metrics().counter("control.panics"),
+        errors: ctx.metrics().counter("cmd.errors"),
+        verb_hists: HashMap::new(),
+    };
     let queue_depth = ctx.metrics().gauge("control.queueDepth");
     let queue_wait = ctx.metrics().histogram("control.queueWait");
-    // Per-verb service-time histograms, cached so the hot path never takes
-    // the registry lock after a verb's first execution.
-    let mut verb_hists: HashMap<String, Arc<Histogram>> = HashMap::new();
     let mut last_stats = Instant::now();
     behavior.on_start(&mut ctx);
     drain_events(&mut ctx, &registry, &name);
@@ -659,49 +844,43 @@ fn control_loop(
             }) => {
                 queue_depth.set(rx.len() as i64);
                 queue_wait.record(enqueued.elapsed());
-                let started = Instant::now();
-                // A panicking handler must not take down the control thread
-                // — the caller gets an Internal error and the daemon keeps
-                // serving everyone else.
-                let response = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    execute(
+                if cmd.name() == "aceUpgrade" {
+                    let response = handle_upgrade(
+                        &rx,
                         &mut behavior,
                         &mut ctx,
                         &mut registry,
+                        &mut stats,
+                        &upgrading,
                         &auth,
                         &name,
                         &class,
                         &room,
                         &semantics,
+                        incarnation,
                         &cmd,
                         &from,
-                    )
-                }))
-                .unwrap_or_else(|_| {
-                    panics.incr();
-                    ctx.log("error", format!("handler for `{}` panicked", cmd.name()));
-                    Reply::err(
-                        ErrorCode::Internal,
-                        format!("handler for `{}` panicked", cmd.name()),
-                    )
-                });
-                verb_hists
-                    .entry(cmd.name().to_string())
-                    .or_insert_with(|| ctx.metrics().histogram(&format!("cmd.{}", cmd.name())))
-                    .record(started.elapsed());
-                let succeeded = response.is_ok();
-                if !succeeded {
-                    errors.incr();
+                        &stop,
+                    );
+                    let _ = reply.send(response.to_cmdline());
+                    continue;
                 }
-                let _ = reply.send(response.to_cmdline());
-                // §2.5: notifications fire after the command has executed.
-                if succeeded {
-                    fire_notifications(&ctx, &registry, &name, &cmd);
-                }
-                drain_events(&mut ctx, &registry, &name);
-                if ctx.stop_requested {
-                    stop.store(true, Ordering::SeqCst);
-                }
+                dispatch_execute(
+                    &mut behavior,
+                    &mut ctx,
+                    &mut registry,
+                    &mut stats,
+                    &auth,
+                    &name,
+                    &class,
+                    &room,
+                    &semantics,
+                    incarnation,
+                    cmd,
+                    from,
+                    reply,
+                    &stop,
+                );
             }
             Ok(ControlMsg::Data(datagram)) => {
                 behavior.on_data(&mut ctx, datagram);
@@ -728,6 +907,212 @@ fn control_loop(
     }
 }
 
+/// Execute one queued command end-to-end: authorize + run (panic-proofed),
+/// record service time, send the reply, fire notifications, drain events.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_execute(
+    behavior: &mut Box<dyn ServiceBehavior>,
+    ctx: &mut ServiceCtx,
+    registry: &mut NotificationRegistry,
+    stats: &mut DispatchStats,
+    auth: &AuthMode,
+    name: &str,
+    class: &str,
+    room: &str,
+    semantics: &Semantics,
+    incarnation: u64,
+    cmd: CmdLine,
+    from: ClientInfo,
+    reply: Sender<CmdLine>,
+    stop: &AtomicBool,
+) {
+    let started = Instant::now();
+    // A panicking handler must not take down the control thread — the
+    // caller gets an Internal error and the daemon keeps serving everyone
+    // else.
+    let response = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        execute(
+            behavior,
+            ctx,
+            registry,
+            auth,
+            name,
+            class,
+            room,
+            semantics,
+            incarnation,
+            &cmd,
+            &from,
+        )
+    }))
+    .unwrap_or_else(|_| {
+        stats.panics.incr();
+        ctx.log("error", format!("handler for `{}` panicked", cmd.name()));
+        Reply::err(
+            ErrorCode::Internal,
+            format!("handler for `{}` panicked", cmd.name()),
+        )
+    });
+    stats
+        .verb_hists
+        .entry(cmd.name().to_string())
+        .or_insert_with(|| ctx.metrics().histogram(&format!("cmd.{}", cmd.name())))
+        .record(started.elapsed());
+    let succeeded = response.is_ok();
+    if !succeeded {
+        stats.errors.incr();
+    }
+    let _ = reply.send(response.to_cmdline());
+    // §2.5: notifications fire after the command has executed.
+    if succeeded {
+        fire_notifications(ctx, registry, name, &cmd);
+    }
+    drain_events(ctx, registry, name);
+    if ctx.stop_requested {
+        stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The short grace period after the quiesce gate closes: a command thread
+/// that checked the gate just before it closed may still enqueue one verb,
+/// so the drain takes one extra look after going empty.
+const QUIESCE_GRACE: Duration = Duration::from_millis(5);
+
+/// The `aceUpgrade` control plane, run on the control thread so the drain
+/// and snapshot observe a fully quiesced behavior.
+#[allow(clippy::too_many_arguments)]
+fn handle_upgrade(
+    rx: &Receiver<ControlMsg>,
+    behavior: &mut Box<dyn ServiceBehavior>,
+    ctx: &mut ServiceCtx,
+    registry: &mut NotificationRegistry,
+    stats: &mut DispatchStats,
+    upgrading: &AtomicBool,
+    auth: &AuthMode,
+    name: &str,
+    class: &str,
+    room: &str,
+    semantics: &Semantics,
+    incarnation: u64,
+    cmd: &CmdLine,
+    from: &ClientInfo,
+    stop: &AtomicBool,
+) -> Reply {
+    // The upgrade plane is never authorization-exempt: quiescing a daemon
+    // is as invasive as `shutdown`.
+    let env = action_env_for(name, class, room, cmd);
+    if !auth.check(&from.principal, &env) {
+        ctx.log(
+            "security",
+            format!(
+                "denied `aceUpgrade` from {} at {}",
+                from.principal, from.addr
+            ),
+        );
+        return Reply::err(ErrorCode::Denied, "no credentials permit `aceUpgrade`");
+    }
+    match cmd.get_text("phase") {
+        Some("status") => Reply::ok_with(|c| {
+            c.arg("upgrading", upgrading.load(Ordering::SeqCst))
+                .arg("incarnation", incarnation)
+        }),
+        Some("abort") => {
+            upgrading.store(false, Ordering::SeqCst);
+            ctx.log("info", "upgrade aborted; re-admitting traffic");
+            Reply::ok_with(|c| c.arg("incarnation", incarnation))
+        }
+        Some("quiesce") => {
+            let started = Instant::now();
+            upgrading.store(true, Ordering::SeqCst);
+            // Drain in-flight verbs: everything already queued (plus any
+            // straggler that passed the gate as it closed) executes and
+            // replies normally before the state is frozen.
+            let mut drained: u64 = 0;
+            let mut graced = false;
+            loop {
+                match rx.try_recv() {
+                    Ok(ControlMsg::Execute {
+                        cmd, from, reply, ..
+                    }) => {
+                        graced = false;
+                        if cmd.name() == "aceUpgrade" {
+                            // A second driver racing us observes the quiesce
+                            // already in progress instead of recursing.
+                            let _ = reply.send(
+                                Reply::ok_with(|c| {
+                                    c.arg("upgrading", true).arg("incarnation", incarnation)
+                                })
+                                .to_cmdline(),
+                            );
+                            continue;
+                        }
+                        drained += 1;
+                        dispatch_execute(
+                            behavior,
+                            ctx,
+                            registry,
+                            stats,
+                            auth,
+                            name,
+                            class,
+                            room,
+                            semantics,
+                            incarnation,
+                            cmd,
+                            from,
+                            reply,
+                            stop,
+                        );
+                    }
+                    Ok(ControlMsg::Data(datagram)) => {
+                        behavior.on_data(ctx, datagram);
+                        drain_events(ctx, registry, name);
+                    }
+                    Ok(ControlMsg::Stop) => {
+                        stop.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    Err(_) => {
+                        if graced {
+                            break;
+                        }
+                        std::thread::sleep(QUIESCE_GRACE);
+                        graced = true;
+                    }
+                }
+            }
+            let metrics = Arc::clone(ctx.metrics());
+            metrics.counter("upgrade.drainedVerbs").add(drained);
+            metrics
+                .histogram("upgrade.quiesceTime")
+                .record(started.elapsed());
+            let snapshot = behavior.snapshot_state();
+            let notifications = registry.export();
+            ctx.log(
+                "info",
+                format!("quiesced for upgrade ({drained} verbs drained)"),
+            );
+            Reply::ok_with(|c| {
+                let mut c = c.arg("incarnation", incarnation).arg("drained", drained);
+                if let Some(bytes) = &snapshot {
+                    c = c.arg("snapshot", Value::Word(protocol::hex_encode(bytes)));
+                }
+                if !notifications.is_empty() {
+                    c = c.arg(
+                        "notifications",
+                        protocol::registrations_to_value(&notifications),
+                    );
+                }
+                c
+            })
+        }
+        _ => Reply::err(
+            ErrorCode::Semantics,
+            "phase must be quiesce | abort | status",
+        ),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn execute(
     behavior: &mut Box<dyn ServiceBehavior>,
@@ -738,6 +1123,7 @@ fn execute(
     class: &str,
     room: &str,
     semantics: &Semantics,
+    incarnation: u64,
     cmd: &CmdLine,
     from: &ClientInfo,
 ) -> Reply {
@@ -764,7 +1150,7 @@ fn execute(
     }
 
     match cmd.name() {
-        "ping" => Reply::ok_with(|c| c.arg("service", name)),
+        "ping" => Reply::ok_with(|c| c.arg("service", name).arg("incarnation", incarnation)),
         "describe" => {
             let mut names: Vec<Scalar> = semantics
                 .specs()
@@ -855,6 +1241,7 @@ fn register_cmd(config: &DaemonConfig) -> CmdLine {
         .arg("port", config.port)
         .arg("room", config.room.as_str())
         .arg("class", config.class.as_str())
+        .arg("incarnation", config.incarnation)
 }
 
 fn lease_loop(
@@ -863,6 +1250,7 @@ fn lease_loop(
     identity: Arc<KeyPair>,
     stop: Arc<AtomicBool>,
     crashed: Arc<AtomicBool>,
+    deregister: Arc<AtomicBool>,
     metrics: Arc<MetricsRegistry>,
 ) {
     let renewals = metrics.counter("lease.renewals");
@@ -897,7 +1285,9 @@ fn lease_loop(
         }
         match client.as_mut() {
             Some(c) => {
-                let renew = CmdLine::new("renewLease").arg("name", config.name.as_str());
+                let renew = CmdLine::new("renewLease")
+                    .arg("name", config.name.as_str())
+                    .arg("incarnation", config.incarnation);
                 match c.call_ok(&renew) {
                     Ok(()) => {
                         renewals.incr();
@@ -928,15 +1318,21 @@ fn lease_loop(
         }
     }
     // Graceful stop: remove our registrations (crashed daemons can't —
-    // that's what leases are for).
+    // that's what leases are for).  A retiring daemon skips deregistration:
+    // its live-upgrade replacement owns the registrations now, and a late
+    // `removeService` here would clobber them.
     if !crashed.load(Ordering::SeqCst) {
-        if let Ok(mut c) = ServiceClient::connect(&net, &config.host, asd, &identity) {
-            let _ = c.call_ok(&CmdLine::new("removeService").arg("name", config.name.as_str()));
-        }
-        if let Some(roomdb) = &config.roomdb {
-            if let Ok(mut c) = ServiceClient::connect(&net, &config.host, roomdb.clone(), &identity)
-            {
-                let _ = c.call_ok(&CmdLine::new("roomRemove").arg("service", config.name.as_str()));
+        if deregister.load(Ordering::SeqCst) {
+            if let Ok(mut c) = ServiceClient::connect(&net, &config.host, asd, &identity) {
+                let _ = c.call_ok(&CmdLine::new("removeService").arg("name", config.name.as_str()));
+            }
+            if let Some(roomdb) = &config.roomdb {
+                if let Ok(mut c) =
+                    ServiceClient::connect(&net, &config.host, roomdb.clone(), &identity)
+                {
+                    let _ =
+                        c.call_ok(&CmdLine::new("roomRemove").arg("service", config.name.as_str()));
+                }
             }
         }
         if let Some(logger) = &config.logger {

@@ -433,6 +433,29 @@ impl FailoverClient {
         }
     }
 
+    /// An `E_UPGRADING` rejection is *not* a link failure — the link is
+    /// healthy and a plain drop would park it back into the pool, handing
+    /// the next checkout a connection to the quiescing instance.  Discard
+    /// the held link explicitly, evict any idle links parked for the same
+    /// address, and drop the cached resolution so the retry resolves the
+    /// replacement.
+    fn note_upgrading(&mut self) {
+        match self.current.take() {
+            Some(Conn::Pooled(link)) => {
+                let target = link.target().clone();
+                link.discard();
+                if let Some(pool) = &self.pool {
+                    pool.evict(&target);
+                }
+            }
+            Some(Conn::Direct(client)) => client.close(),
+            None => {}
+        }
+        if let Some(cache) = &self.cache {
+            cache.invalidate(&self.service_name);
+        }
+    }
+
     fn call_inner(
         &mut self,
         cmd: &CmdLine,
@@ -447,7 +470,17 @@ impl FailoverClient {
                     let established = conn.is_established(held_over);
                     match conn.call(cmd) {
                         Ok(reply) => return Ok(reply),
-                        Err(err @ ClientError::Service { .. }) => return Err(err),
+                        Err(err @ ClientError::Service { .. }) => {
+                            // E_UPGRADING means the verb was not executed
+                            // and the replacement is moments away: evict
+                            // the link + resolution and keep hunting.
+                            if err.code() == Some(ErrorCode::Upgrading) {
+                                self.note_upgrading();
+                                last_err = Some(err);
+                            } else {
+                                return Err(err);
+                            }
+                        }
                         Err(link_err) => {
                             self.note_link_failure();
                             // A send on an established link may have

@@ -81,7 +81,8 @@ pub use pool::{LinkPool, PooledLink};
 pub use protocol::{ServiceEntry, ASD_PORT, LOGGER_PORT, ROOMDB_PORT};
 pub use retry::{Retry, RetryPolicy};
 pub use supervise::{
-    Respawn, RespawnFn, RestartPolicy, SuperviseError, SupervisedSpec, Supervisor, SupervisorReport,
+    live_upgrade, Respawn, RespawnFn, RestartPolicy, SuperviseError, SupervisedSpec, Supervisor,
+    SupervisorReport, UpgradeError, UpgradeFn, UpgradeStats,
 };
 
 /// Everything needed to implement and run a service.
@@ -98,7 +99,10 @@ pub mod prelude {
     pub use crate::pool::{LinkPool, PooledLink};
     pub use crate::protocol::ServiceEntry;
     pub use crate::retry::{Retry, RetryPolicy};
-    pub use crate::supervise::{Respawn, RestartPolicy, SupervisedSpec, Supervisor};
+    pub use crate::supervise::{
+        live_upgrade, Respawn, RestartPolicy, SupervisedSpec, Supervisor, UpgradeError,
+        UpgradeStats,
+    };
     pub use ace_lang::{
         req_f64, req_int, req_text, ArgType, CmdLine, CmdSpec, ErrorCode, Reply, Scalar, Semantics,
         Value,

@@ -90,6 +90,19 @@ impl NotificationRegistry {
         self.by_cmd.is_empty()
     }
 
+    /// Every registration as `(watched_cmd, registration)` rows, sorted for
+    /// determinism — a live upgrade exports these so the replacement
+    /// incarnation keeps notifying the same listeners.
+    pub fn export(&self) -> Vec<(String, Registration)> {
+        let mut out: Vec<(String, Registration)> = self
+            .by_cmd
+            .iter()
+            .flat_map(|(cmd, regs)| regs.iter().map(move |r| (cmd.clone(), r.clone())))
+            .collect();
+        out.sort_by(|a, b| (&a.0, &a.1.service).cmp(&(&b.0, &b.1.service)));
+        out
+    }
+
     /// Build the notification command sent to a listener: the registered
     /// `notifyCmd` carrying provenance (`service`, `cmd`) plus the executed
     /// command's own arguments (skipping any that would collide).

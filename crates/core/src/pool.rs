@@ -148,6 +148,18 @@ impl LinkPool {
         self.idle.lock().clear();
     }
 
+    /// Close and forget every idle link parked for `target`.  Used when a
+    /// daemon at that address announces it is upgrading: parked links would
+    /// otherwise hand the next checkout a connection to the quiescing
+    /// instance.
+    pub fn evict(&self, target: &Addr) {
+        if let Some(links) = self.idle.lock().remove(target) {
+            for client in links {
+                client.close();
+            }
+        }
+    }
+
     fn park(&self, client: ServiceClient) {
         let mut idle = self.idle.lock();
         let slot = idle.entry(client.target().clone()).or_default();

@@ -10,7 +10,7 @@
 //! (`ping`, `describe`, `shutdown`, `addNotification`, `removeNotification`,
 //! §2.5).
 
-use ace_lang::{ArgType, CmdSpec, Semantics};
+use ace_lang::{ArgType, CmdLine, CmdSpec, Semantics};
 
 /// Well-known port of the ACE Service Directory ("the location of which is
 /// known to all ACE daemons", §2.4).
@@ -61,6 +61,13 @@ pub fn base_semantics() -> Semantics {
                 "only metrics whose name starts with this prefix",
             ),
         )
+        .with(
+            CmdSpec::new(
+                "aceUpgrade",
+                "live-upgrade control: quiesce (drain + snapshot), abort, status",
+            )
+            .required("phase", ArgType::Word, "quiesce | abort | status"),
+        )
 }
 
 /// Commands understood by the ACE Service Directory (§2.4).
@@ -73,14 +80,21 @@ pub fn asd_semantics() -> Semantics {
                 .required("host", ArgType::Word, "host the service runs on")
                 .required("port", ArgType::Int, "port the service listens on")
                 .required("room", ArgType::Word, "room the service lives in")
-                .required("class", ArgType::Str, "service class (hierarchy path)"),
+                .required("class", ArgType::Str, "service class (hierarchy path)")
+                .optional(
+                    "incarnation",
+                    ArgType::Int,
+                    "spawn generation; older incarnations are fenced out",
+                ),
         )
         .with(
-            CmdSpec::new("renewLease", "renew a registration lease").required(
-                "name",
-                ArgType::Word,
-                "registered service name",
-            ),
+            CmdSpec::new("renewLease", "renew a registration lease")
+                .required("name", ArgType::Word, "registered service name")
+                .optional(
+                    "incarnation",
+                    ArgType::Int,
+                    "spawn generation; older incarnations are fenced out",
+                ),
         )
         .with(
             CmdSpec::new("removeService", "deregister a service on shutdown").required(
@@ -221,6 +235,63 @@ pub fn hex_decode(hex: &str) -> Option<Vec<u8>> {
         .collect()
 }
 
+/// Checksum used to seal state snapshots (FNV-1a, 64 bit).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Seal a behavior state snapshot for transport and storage.
+///
+/// The payload is a command line (the same vocabulary state travels in on
+/// the wire), framed with its kind and an FNV-1a checksum so that a torn
+/// or bit-flipped blob is *refused* at restore time rather than half
+/// applied — a live upgrade must never seed the replacement incarnation
+/// with corrupt state.
+pub fn seal_snapshot(kind: &str, state: CmdLine) -> Vec<u8> {
+    let inner = state.to_wire().into_bytes();
+    let crc = fnv1a64(&inner);
+    CmdLine::new("snapshot")
+        .arg("kind", ace_lang::Value::Word(kind.to_string()))
+        .arg("crc", ace_lang::Value::Word(format!("x{crc:016x}")))
+        .arg("data", ace_lang::Value::Word(hex_encode(&inner)))
+        .to_wire()
+        .into_bytes()
+}
+
+/// Open a sealed snapshot, verifying kind and checksum.  Any framing,
+/// kind, or integrity mismatch refuses the whole snapshot.
+pub fn open_snapshot(kind: &str, bytes: &[u8]) -> Result<CmdLine, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "snapshot is not text".to_string())?;
+    let outer = CmdLine::parse(text).map_err(|e| format!("snapshot frame does not parse: {e}"))?;
+    if outer.name() != "snapshot" {
+        return Err(format!("not a snapshot frame: `{}`", outer.name()));
+    }
+    match outer.get_text("kind") {
+        Some(k) if k == kind => {}
+        Some(k) => return Err(format!("snapshot kind mismatch: got `{k}`, want `{kind}`")),
+        None => return Err("snapshot frame missing kind".to_string()),
+    }
+    let crc = outer
+        .get_text("crc")
+        .and_then(|w| u64::from_str_radix(w.strip_prefix('x').unwrap_or(w), 16).ok())
+        .ok_or_else(|| "snapshot frame missing checksum".to_string())?;
+    let inner = outer
+        .get_text("data")
+        .and_then(hex_decode)
+        .ok_or_else(|| "snapshot payload is not valid hex".to_string())?;
+    if fnv1a64(&inner) != crc {
+        return Err("snapshot checksum mismatch (torn or corrupted)".to_string());
+    }
+    let inner_text =
+        std::str::from_utf8(&inner).map_err(|_| "snapshot payload is not text".to_string())?;
+    CmdLine::parse(inner_text).map_err(|e| format!("snapshot payload does not parse: {e}"))
+}
+
 /// A directory entry as returned by ASD `lookup` replies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceEntry {
@@ -275,6 +346,56 @@ pub fn entries_from_value(value: &ace_lang::Value) -> Option<Vec<ServiceEntry>> 
             class: cell(3)?.to_string(),
             room: cell(4)?.to_string(),
         });
+    }
+    Some(out)
+}
+
+/// Encode notification registrations as a
+/// `notifications={{cmd,service,host,port,notifyCmd},…}` array — carried in
+/// `aceUpgrade quiesce` replies so a replacement incarnation keeps every
+/// listener the old one had.
+pub fn registrations_to_value(rows: &[(String, crate::notify::Registration)]) -> ace_lang::Value {
+    use ace_lang::Scalar;
+    ace_lang::Value::Array(
+        rows.iter()
+            .map(|(cmd, r)| {
+                vec![
+                    Scalar::Str(cmd.clone()),
+                    Scalar::Str(r.service.clone()),
+                    Scalar::Str(r.addr.host.to_string()),
+                    Scalar::Str(r.addr.port.to_string()),
+                    Scalar::Str(r.notify_cmd.clone()),
+                ]
+            })
+            .collect(),
+    )
+}
+
+/// Decode a `notifications=` array back into registrations.  Malformed rows
+/// reject the whole value (`None`) — better to restart with no listeners
+/// than with a half-decoded registry.
+pub fn registrations_from_value(
+    value: &ace_lang::Value,
+) -> Option<Vec<(String, crate::notify::Registration)>> {
+    let rows = match value {
+        v if v.as_vector().is_some_and(|s| s.is_empty()) => return Some(Vec::new()),
+        v => v.as_array()?,
+    };
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != 5 {
+            return None;
+        }
+        let cell = |i: usize| row[i].as_text();
+        let port: u16 = cell(3)?.parse().ok()?;
+        out.push((
+            cell(0)?.to_string(),
+            crate::notify::Registration {
+                service: cell(1)?.to_string(),
+                addr: ace_net::Addr::new(cell(2)?, port),
+                notify_cmd: cell(4)?.to_string(),
+            },
+        ));
     }
     Some(out)
 }
@@ -382,6 +503,54 @@ mod tests {
                     .arg("msg", "service foo started"),
             )
             .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let state = CmdLine::new("asdState").arg("lease", 300).arg(
+            "services",
+            entries_to_value(&[ServiceEntry {
+                name: "cam1".into(),
+                addr: ace_net::Addr::new("bar", 1234),
+                class: "PTZCamera".into(),
+                room: "hawk".into(),
+            }]),
+        );
+        let sealed = seal_snapshot("asd", state.clone());
+        let opened = open_snapshot("asd", &sealed).unwrap();
+        assert_eq!(opened.to_wire(), state.to_wire());
+    }
+
+    #[test]
+    fn snapshot_kind_is_fenced() {
+        let sealed = seal_snapshot("asd", CmdLine::new("asdState"));
+        assert!(open_snapshot("roomdb", &sealed).is_err());
+    }
+
+    #[test]
+    fn snapshot_refuses_torn_and_flipped_bytes() {
+        let sealed = seal_snapshot("asd", CmdLine::new("asdState").arg("lease", 300));
+        // Torn write: any truncation refuses.
+        for cut in 1..sealed.len() {
+            assert!(
+                open_snapshot("asd", &sealed[..cut]).is_err(),
+                "accepted a snapshot torn at byte {cut}"
+            );
+        }
+        // Bit flip: corrupt every byte in turn.
+        for i in 0..sealed.len() {
+            let mut bent = sealed.clone();
+            bent[i] ^= 0x04;
+            assert!(
+                open_snapshot("asd", &bent).is_err(),
+                "accepted a snapshot with byte {i} flipped"
+            );
+        }
     }
 }
 

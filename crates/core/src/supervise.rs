@@ -22,10 +22,13 @@
 //! class).
 
 use crate::behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
-use crate::daemon::{DaemonHandle, SpawnError};
+use crate::client::ServiceClient;
+use crate::daemon::{Daemon, DaemonConfig, DaemonHandle, SpawnError};
+use crate::protocol;
 use crate::retry::RetryPolicy;
 use ace_lang::{ArgType, CmdLine, CmdSpec, ErrorCode, Reply, Scalar, Semantics, Value};
-use ace_net::SimNet;
+use ace_net::{HostId, SimNet};
+use ace_security::keys::KeyPair;
 use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
 
@@ -56,12 +59,20 @@ impl From<DaemonHandle> for Respawn {
 /// the new instance must recover (disk images, checkpoints, ports).
 pub type RespawnFn = Box<dyn FnMut(&SimNet) -> Result<Respawn, SpawnError> + Send>;
 
+/// How a *replacement behavior* for a live upgrade is created.  Unlike
+/// [`RespawnFn`] it builds an unspawned behavior: the upgrade protocol
+/// itself decides when the old instance retires and the new one starts.
+pub type UpgradeFn = Box<dyn FnMut() -> Box<dyn ServiceBehavior> + Send>;
+
 /// One service under supervision.
 pub struct SupervisedSpec {
     /// The ASD registration name to watch.
     pub name: String,
     /// Factory invoked to bring a failed instance back.
     pub respawn: RespawnFn,
+    /// Factory for a live-upgrade replacement behavior; enables the
+    /// `upgradeService` verb for this service.
+    pub upgrade: Option<UpgradeFn>,
 }
 
 impl SupervisedSpec {
@@ -69,7 +80,15 @@ impl SupervisedSpec {
         SupervisedSpec {
             name: name.into(),
             respawn,
+            upgrade: None,
         }
+    }
+
+    /// Enable wire-driven live upgrades (`upgradeService name=<w>`) with
+    /// `factory` building each replacement behavior.
+    pub fn with_upgrade(mut self, factory: UpgradeFn) -> SupervisedSpec {
+        self.upgrade = Some(factory);
+        self
     }
 }
 
@@ -214,6 +233,16 @@ impl Supervisor {
     /// cadence is also bounded below by `DaemonConfig::tick`).
     pub fn with_probe_interval(mut self, interval: Duration) -> Supervisor {
         self.probe_interval = interval;
+        self
+    }
+
+    /// Hand the supervisor an already-running instance of a supervised
+    /// service, making it eligible for `upgradeService` before its first
+    /// respawn.  Handles for unknown names are dropped (shut down).
+    pub fn adopt(mut self, handle: DaemonHandle) -> Supervisor {
+        if let Some(s) = self.services.get_mut(handle.name()) {
+            s.handle = Some(handle);
+        }
         self
     }
 
@@ -370,6 +399,64 @@ impl Supervisor {
         }
     }
 
+    /// Live-upgrade a supervised service whose handle this supervisor owns:
+    /// quiesce → snapshot → swap to `replacement` under the next
+    /// incarnation (see [`live_upgrade`]).  On an abort-class failure the
+    /// old instance keeps serving and stays supervised; if the replacement
+    /// fails to spawn after the old one retired, the service is marked down
+    /// so the normal respawn factory brings it back.
+    pub fn upgrade(
+        &mut self,
+        ctx: &mut ServiceCtx,
+        name: &str,
+        config: DaemonConfig,
+        replacement: Box<dyn ServiceBehavior>,
+    ) -> Result<UpgradeStats, UpgradeError> {
+        let net = ctx.net().clone();
+        let host = ctx.host().clone();
+        let driver = *ctx.identity();
+        let Some(s) = self.services.get_mut(name) else {
+            return Err(UpgradeError::Protocol(format!("{name} is not supervised")));
+        };
+        let Some(old) = s.handle.take() else {
+            return Err(UpgradeError::Protocol(format!(
+                "{name} has no supervised instance to upgrade"
+            )));
+        };
+        match live_upgrade(&net, &host, &driver, &old, config, replacement, None) {
+            Ok((handle, stats)) => {
+                s.handle = Some(handle);
+                s.state = ServiceState::Watching { failures: 0 };
+                ctx.log(
+                    "info",
+                    format!(
+                        "upgraded {name} to incarnation {} (pause {:?}, {} verbs drained)",
+                        old.incarnation() + 1,
+                        stats.pause,
+                        stats.drained
+                    ),
+                );
+                Ok(stats)
+            }
+            Err(e @ UpgradeError::Spawn(_)) => {
+                // The old instance already retired; let the respawn factory
+                // bring the service back.
+                s.state = ServiceState::Pending {
+                    attempt: 0,
+                    next_try: Instant::now(),
+                };
+                ctx.log("error", format!("upgrade of {name} failed mid-swap: {e}"));
+                Err(e)
+            }
+            Err(e) => {
+                // Aborted before the swap: the old instance keeps serving.
+                s.handle = Some(old);
+                ctx.log("warn", format!("upgrade of {name} aborted: {e}"));
+                Err(e)
+            }
+        }
+    }
+
     fn run_probes(&mut self, ctx: &mut ServiceCtx) {
         let now = Instant::now();
         if self
@@ -399,6 +486,13 @@ impl ServiceBehavior for Supervisor {
                 "superviseStats",
                 "supervision counters and state",
             ))
+            .with(
+                CmdSpec::new("upgradeService", "live-upgrade a supervised service").required(
+                    "name",
+                    ArgType::Word,
+                    "the supervised service to hot-swap",
+                ),
+            )
     }
 
     fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
@@ -424,6 +518,34 @@ impl ServiceBehavior for Supervisor {
                     Some(ServiceState::Watching { .. })
                 );
                 Reply::ok_with(|c| c.arg("restarted", restarted))
+            }
+            "upgradeService" => {
+                let Some(name) = cmd.get_text("name").map(str::to_string) else {
+                    return Reply::err(ErrorCode::Semantics, "upgradeService needs name");
+                };
+                let Some(s) = self.services.get_mut(&name) else {
+                    return Reply::err(ErrorCode::NotFound, format!("{name} is not supervised"));
+                };
+                let Some(make) = s.spec.upgrade.as_mut() else {
+                    return Reply::err(
+                        ErrorCode::BadState,
+                        format!("{name} has no upgrade factory"),
+                    );
+                };
+                let replacement = make();
+                let Some(config) = s.handle.as_ref().map(|h| h.config().clone()) else {
+                    return Reply::err(
+                        ErrorCode::BadState,
+                        format!("{name} has no supervised instance to upgrade"),
+                    );
+                };
+                match self.upgrade(ctx, &name, config, replacement) {
+                    Ok(stats) => Reply::ok_with(|c| {
+                        c.arg("drained", stats.drained as i64)
+                            .arg("pauseMs", stats.pause.as_millis() as i64)
+                    }),
+                    Err(e) => Reply::err(ErrorCode::Internal, format!("upgrade failed: {e}")),
+                }
             }
             "superviseStats" => {
                 let report = self.report();
@@ -470,6 +592,168 @@ impl ServiceBehavior for Supervisor {
             }
         }
     }
+}
+
+/// What one live upgrade cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpgradeStats {
+    /// Verbs that were already queued (or in flight past the gate) when the
+    /// quiesce began, all executed to completion before the snapshot.
+    pub drained: u64,
+    /// Quiesce call round-trip: gate close → drain → snapshot → reply.
+    pub quiesce: Duration,
+    /// Time the replacement spent rebuilding state from the snapshot.
+    pub restore: Duration,
+    /// Total client-visible pause: quiesce begin → replacement registered
+    /// and admitting traffic.
+    pub pause: Duration,
+}
+
+/// Why a live upgrade did not complete.  Every variant except [`Spawn`]
+/// leaves the old incarnation serving (the swap is aborted before it
+/// retires); `Spawn` means the old instance already retired and the
+/// supervisor must bring the service back through its respawn factory.
+///
+/// [`Spawn`]: UpgradeError::Spawn
+#[derive(Debug)]
+pub enum UpgradeError {
+    /// The quiesce call failed (daemon unreachable or refused).
+    Quiesce(crate::client::ClientError),
+    /// The quiesce reply was malformed, or the target is unknown.
+    Protocol(String),
+    /// The replacement behavior refused the snapshot (torn, corrupted, or
+    /// of the wrong kind); aborted, old incarnation keeps serving.
+    Restore(String),
+    /// Persisting the snapshot failed; aborted, old incarnation keeps
+    /// serving.
+    Persist(String),
+    /// The replacement failed to spawn *after* the old instance retired.
+    Spawn(SpawnError),
+}
+
+impl std::fmt::Display for UpgradeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpgradeError::Quiesce(e) => write!(f, "quiesce: {e}"),
+            UpgradeError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            UpgradeError::Restore(msg) => write!(f, "restore refused: {msg}"),
+            UpgradeError::Persist(msg) => write!(f, "snapshot persist failed: {msg}"),
+            UpgradeError::Spawn(e) => write!(f, "replacement spawn failed: {e}"),
+        }
+    }
+}
+impl std::error::Error for UpgradeError {}
+
+/// Hook invoked with the sealed snapshot before the swap commits — the env
+/// layer persists it through the store client for durability/forensics.
+pub type PersistFn<'a> = &'a mut dyn FnMut(&str, &[u8]) -> Result<(), String>;
+
+/// Hot-swap a running daemon with zero dropped sessions (ROADMAP item 3).
+///
+/// The protocol, in order:
+///
+/// 1. **Quiesce** — `aceUpgrade phase=quiesce` closes the daemon's command
+///    gate (new verbs bounce with retryable `E_UPGRADING`), drains every
+///    in-flight verb to completion, snapshots behavior state, and exports
+///    the notification registry.
+/// 2. **Restore** — the replacement behavior rebuilds from the snapshot
+///    *before* anything is torn down; a refusal (checksum mismatch, wrong
+///    kind) aborts the swap and re-opens the old daemon's gate.
+/// 3. **Persist** — the sealed snapshot is handed to `persist` (store
+///    write) so the state survives even a botched swap.
+/// 4. **Swap** — the old instance retires (graceful stop, *no*
+///    deregistration: its ASD/RoomDB entries now belong to the
+///    replacement), then the replacement spawns on the same address under
+///    `incarnation + 1`, with the old identity and ticket vault so pooled
+///    links and resumable sessions reconnect in one round trip, and
+///    re-registers with the ASD — fencing out any straggler of the old
+///    generation — before admitting traffic.
+pub fn live_upgrade(
+    net: &SimNet,
+    from_host: &HostId,
+    driver: &KeyPair,
+    old: &DaemonHandle,
+    config: DaemonConfig,
+    mut replacement: Box<dyn ServiceBehavior>,
+    persist: Option<PersistFn<'_>>,
+) -> Result<(DaemonHandle, UpgradeStats), UpgradeError> {
+    let swap_started = Instant::now();
+    let mut client = ServiceClient::connect(net, from_host, old.addr().clone(), driver)
+        .map_err(UpgradeError::Quiesce)?;
+    let reply = client
+        .call(&CmdLine::new("aceUpgrade").arg("phase", "quiesce"))
+        .map_err(UpgradeError::Quiesce)?;
+    let quiesce = swap_started.elapsed();
+    let abort = |client: &mut ServiceClient| {
+        let _ = client.call(&CmdLine::new("aceUpgrade").arg("phase", "abort"));
+    };
+
+    let drained = reply.get_int("drained").unwrap_or(0).max(0) as u64;
+    let snapshot = match reply.get_text("snapshot") {
+        Some(hex) => match protocol::hex_decode(hex) {
+            Some(bytes) => Some(bytes),
+            None => {
+                abort(&mut client);
+                return Err(UpgradeError::Protocol("snapshot is not valid hex".into()));
+            }
+        },
+        None => None,
+    };
+    let notifications = match reply.get("notifications") {
+        Some(value) => match protocol::registrations_from_value(value) {
+            Some(rows) => rows,
+            None => {
+                abort(&mut client);
+                return Err(UpgradeError::Protocol("malformed notifications".into()));
+            }
+        },
+        None => Vec::new(),
+    };
+
+    // Validate the snapshot against the replacement *before* tearing
+    // anything down — a refused restore must leave the old incarnation
+    // serving untouched.
+    let restore_started = Instant::now();
+    if let Some(bytes) = &snapshot {
+        if let Err(msg) = replacement.restore_state(bytes) {
+            abort(&mut client);
+            return Err(UpgradeError::Restore(msg));
+        }
+    }
+    let restore = restore_started.elapsed();
+
+    if let (Some(bytes), Some(persist)) = (&snapshot, persist) {
+        if let Err(msg) = persist(old.name(), bytes) {
+            abort(&mut client);
+            return Err(UpgradeError::Persist(msg));
+        }
+    }
+
+    // Point of no return: the old instance retires (releasing its address,
+    // keeping its registrations) and the replacement takes over its
+    // identity, ticket vault, listeners, and — incremented — incarnation.
+    let config = config
+        .with_identity(*old.identity())
+        .with_ticket_vault(old.ticket_vault())
+        .with_incarnation(old.incarnation() + 1)
+        .with_notifications(notifications);
+    old.retire();
+    let handle = Daemon::spawn(net, config, replacement).map_err(UpgradeError::Spawn)?;
+    let pause = swap_started.elapsed();
+    handle
+        .metrics()
+        .histogram("upgrade.restoreTime")
+        .record(restore);
+    handle.metrics().histogram("upgrade.pause").record(pause);
+    Ok((
+        handle,
+        UpgradeStats {
+            drained,
+            quiesce,
+            restore,
+            pause,
+        },
+    ))
 }
 
 /// Subscribe a running supervisor daemon to the ASD's `serviceExpired`

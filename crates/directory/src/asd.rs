@@ -35,6 +35,10 @@ use std::time::{Duration, Instant};
 struct Lease {
     entry: ServiceEntry,
     expires: Instant,
+    /// Spawn generation of the registrant.  Monotone per name: a lower
+    /// incarnation is a stale instance (pre-restart or pre-upgrade) whose
+    /// late register/renew must not clobber its replacement.
+    incarnation: u64,
 }
 
 /// The ASD service behavior.
@@ -203,6 +207,22 @@ impl ServiceBehavior for Asd {
         match cmd.name() {
             "register" => {
                 let name = req_text!(cmd, "name").to_string();
+                let incarnation = cmd.get_int("incarnation").unwrap_or(0).max(0) as u64;
+                // Incarnation fence: a restarted/upgraded instance registers
+                // under a higher generation; a stale instance's late
+                // re-register (e.g. its lease loop saw NotFound mid-swap)
+                // must not clobber the replacement's address.
+                if let Some(existing) = self.leases.get(&name) {
+                    if incarnation < existing.incarnation {
+                        return Reply::err(
+                            ErrorCode::BadState,
+                            format!(
+                                "stale incarnation {incarnation} for {name} (registered: {})",
+                                existing.incarnation
+                            ),
+                        );
+                    }
+                }
                 let entry = ServiceEntry {
                     name: name.clone(),
                     addr: Addr::new(req_text!(cmd, "host"), req_int!(cmd, "port") as u16),
@@ -214,14 +234,29 @@ impl ServiceBehavior for Asd {
                 self.remove_lease(&name);
                 let expires = Instant::now() + self.lease_duration;
                 self.index_insert(&entry);
-                self.leases.insert(name.clone(), Lease { entry, expires });
+                self.leases.insert(
+                    name.clone(),
+                    Lease {
+                        entry,
+                        expires,
+                        incarnation,
+                    },
+                );
                 self.expiry.push(Reverse((expires, name)));
                 self.total_registrations += 1;
                 Reply::ok_with(|c| c.arg("lease", self.lease_duration.as_millis() as i64))
             }
             "renewLease" => {
                 let name = req_text!(cmd, "name");
+                let incarnation = cmd.get_int("incarnation").unwrap_or(0).max(0) as u64;
                 match self.leases.get_mut(name) {
+                    Some(lease) if incarnation < lease.incarnation => Reply::err(
+                        ErrorCode::BadState,
+                        format!(
+                            "stale incarnation {incarnation} for {name} (registered: {})",
+                            lease.incarnation
+                        ),
+                    ),
                     Some(lease) => {
                         let expires = Instant::now() + self.lease_duration;
                         lease.expires = expires;
@@ -283,6 +318,70 @@ impl ServiceBehavior for Asd {
             }
             other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
         }
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        // Rows sorted by name so the snapshot is deterministic; the
+        // incarnation vector is index-aligned with the services array.
+        let mut leases: Vec<&Lease> = self.leases.values().collect();
+        leases.sort_by(|a, b| a.entry.name.cmp(&b.entry.name));
+        let entries: Vec<ServiceEntry> = leases.iter().map(|l| l.entry.clone()).collect();
+        let incarnations: Vec<Scalar> = leases
+            .iter()
+            .map(|l| Scalar::Int(l.incarnation as i64))
+            .collect();
+        let state = CmdLine::new("asdState")
+            .arg("total", self.total_registrations)
+            .arg("services", protocol::entries_to_value(&entries))
+            .arg("incarnations", Value::Vector(incarnations));
+        Some(protocol::seal_snapshot("asd", state))
+    }
+
+    fn restore_state(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        let state = protocol::open_snapshot("asd", snapshot)?;
+        let entries = state
+            .get("services")
+            .and_then(protocol::entries_from_value)
+            .ok_or_else(|| "asd snapshot: malformed services".to_string())?;
+        let incarnations: Vec<u64> = state
+            .get("incarnations")
+            .and_then(Value::as_vector)
+            .ok_or_else(|| "asd snapshot: malformed incarnations".to_string())?
+            .iter()
+            .map(|s| match s {
+                Scalar::Int(i) if *i >= 0 => Ok(*i as u64),
+                _ => Err("asd snapshot: malformed incarnations".to_string()),
+            })
+            .collect::<Result<_, _>>()?;
+        if incarnations.len() != entries.len() {
+            return Err("asd snapshot: incarnations do not align with services".to_string());
+        }
+        let total = state
+            .get_int("total")
+            .ok_or_else(|| "asd snapshot: missing total".to_string())?;
+        self.leases.clear();
+        self.expiry.clear();
+        self.by_room.clear();
+        self.by_class_segment.clear();
+        // Every restored lease gets a fresh full deadline: registrants keep
+        // renewing against the replacement, and anything truly dead still
+        // expires one lease after the swap.
+        let expires = Instant::now() + self.lease_duration;
+        for (entry, incarnation) in entries.into_iter().zip(incarnations) {
+            let name = entry.name.clone();
+            self.index_insert(&entry);
+            self.leases.insert(
+                name.clone(),
+                Lease {
+                    entry,
+                    expires,
+                    incarnation,
+                },
+            );
+            self.expiry.push(Reverse((expires, name)));
+        }
+        self.total_registrations = total.max(0) as u64;
+        Ok(())
     }
 }
 
@@ -459,8 +558,14 @@ mod tests {
             asd.index_insert(&e);
             let expires = Instant::now() + asd.lease_duration;
             asd.expiry.push(Reverse((expires, e.name.clone())));
-            asd.leases
-                .insert(e.name.clone(), Lease { entry: e, expires });
+            asd.leases.insert(
+                e.name.clone(),
+                Lease {
+                    entry: e,
+                    expires,
+                    incarnation: 0,
+                },
+            );
         }
         asd
     }
@@ -510,6 +615,7 @@ mod tests {
             Lease {
                 entry: moved,
                 expires,
+                incarnation: 0,
             },
         );
         assert_eq!(
@@ -538,6 +644,7 @@ mod tests {
             Lease {
                 entry: e,
                 expires: first,
+                incarnation: 0,
             },
         );
         asd.expiry.push(Reverse((first, "svc".to_string())));
@@ -565,5 +672,31 @@ mod tests {
             "renewed lease must survive its stale heap entry"
         );
         assert!(asd.leases.contains_key("svc"));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_leases_and_incarnations() {
+        let mut asd = seeded();
+        asd.leases.get_mut("cam1").unwrap().incarnation = 3;
+        asd.total_registrations = 7;
+        let blob = asd.snapshot_state().expect("asd is stateful");
+
+        let mut restored = Asd::new(Duration::from_secs(30));
+        restored.restore_state(&blob).expect("restore");
+        assert_eq!(restored.leases.len(), 3);
+        assert_eq!(restored.leases["cam1"].incarnation, 3);
+        assert_eq!(restored.leases["cam2"].incarnation, 0);
+        assert_eq!(restored.total_registrations, 7);
+        // Indexes are rebuilt, not just the lease map.
+        let mut hawk = restored.candidate_names(None, None, Some("hawk")).unwrap();
+        hawk.sort();
+        assert_eq!(hawk, vec!["cam1".to_string(), "proj1".to_string()]);
+
+        // A flipped byte refuses the snapshot.
+        let mut torn = blob.clone();
+        let mid = torn.len() / 2;
+        torn[mid] ^= 0x40;
+        let mut fresh = Asd::new(Duration::from_secs(30));
+        assert!(fresh.restore_state(&torn).is_err());
     }
 }

@@ -196,6 +196,79 @@ impl ServiceBehavior for RoomDb {
             other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),
         }
     }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        // Rooms as `{name, building, w, d, h}` rows, placements via the
+        // wire codec `roomServices` already uses; both sorted by name so
+        // the snapshot is deterministic.
+        let mut rooms: Vec<(&String, &RoomInfo)> = self.rooms.iter().collect();
+        rooms.sort_by(|a, b| a.0.cmp(b.0));
+        let room_rows = Value::Array(
+            rooms
+                .iter()
+                .map(|(name, info)| {
+                    vec![
+                        Scalar::Str((*name).clone()),
+                        Scalar::Str(info.building.clone()),
+                        Scalar::Str(info.dimensions.0.to_string()),
+                        Scalar::Str(info.dimensions.1.to_string()),
+                        Scalar::Str(info.dimensions.2.to_string()),
+                    ]
+                })
+                .collect(),
+        );
+        let mut placements: Vec<&Placement> = self.placements.values().collect();
+        placements.sort_by(|a, b| a.service.cmp(&b.service));
+        let state = CmdLine::new("roomDbState")
+            .arg("rooms", room_rows)
+            .arg("placements", placements_to_value(&placements));
+        Some(protocol::seal_snapshot("roomdb", state))
+    }
+
+    fn restore_state(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        let state = protocol::open_snapshot("roomdb", snapshot)?;
+        let room_rows = state
+            .get("rooms")
+            .ok_or_else(|| "roomdb snapshot: missing rooms".to_string())?;
+        let mut rooms = HashMap::new();
+        if !room_rows.as_vector().is_some_and(|s| s.is_empty()) {
+            for row in room_rows
+                .as_array()
+                .ok_or_else(|| "roomdb snapshot: malformed rooms".to_string())?
+            {
+                let cell = |i: usize| {
+                    row.get(i)
+                        .and_then(Scalar::as_text)
+                        .ok_or_else(|| "roomdb snapshot: malformed room row".to_string())
+                };
+                if row.len() != 5 {
+                    return Err("roomdb snapshot: malformed room row".to_string());
+                }
+                let dim = |i: usize| -> Result<f64, String> {
+                    cell(i)?
+                        .parse()
+                        .map_err(|_| "roomdb snapshot: malformed room row".to_string())
+                };
+                rooms.insert(
+                    cell(0)?.to_string(),
+                    RoomInfo {
+                        building: cell(1)?.to_string(),
+                        dimensions: (dim(2)?, dim(3)?, dim(4)?),
+                    },
+                );
+            }
+        }
+        let placements = state
+            .get("placements")
+            .and_then(placements_from_value)
+            .ok_or_else(|| "roomdb snapshot: malformed placements".to_string())?;
+        self.rooms = rooms;
+        self.placements = placements
+            .into_iter()
+            .map(|p| (p.service.clone(), p))
+            .collect();
+        Ok(())
+    }
 }
 
 /// Typed client for the Room Database.
@@ -310,5 +383,32 @@ mod tests {
     fn malformed_placements_rejected() {
         let bad = Value::Array(vec![vec![Scalar::Str("short".into())]]);
         assert_eq!(placements_from_value(&bad), None);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_rooms_and_placements() {
+        let mut db = RoomDb::new().with_room("hawk", "research", (6.0, 4.0, 3.0));
+        db.placements.insert(
+            "cam1".into(),
+            Placement {
+                service: "cam1".into(),
+                addr: Addr::new("bar", 1234),
+                room: "hawk".into(),
+                position: Some((1.0, 2.0, 2.5)),
+            },
+        );
+        let blob = db.snapshot_state().expect("roomdb is stateful");
+
+        let mut restored = RoomDb::new();
+        restored.restore_state(&blob).expect("restore");
+        assert_eq!(restored.rooms, db.rooms);
+        assert_eq!(restored.placements, db.placements);
+
+        // Corruption is refused, never half-applied.
+        let mut torn = blob.clone();
+        torn.truncate(torn.len() / 2);
+        let mut fresh = RoomDb::new();
+        assert!(fresh.restore_state(&torn).is_err());
+        assert!(fresh.rooms.is_empty());
     }
 }

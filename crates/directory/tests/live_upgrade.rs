@@ -1,0 +1,498 @@
+//! Live upgrade: supervisor-driven rolling restarts with zero dropped
+//! sessions.
+//!
+//! Pinned properties:
+//!
+//! 1. **State, tickets, and listeners survive the swap** — behavior state
+//!    rides the sealed snapshot, resumption tickets stay valid (the vault
+//!    and identity carry over), and notification registrations keep firing
+//!    from the replacement incarnation.
+//! 2. **`E_UPGRADING` is retryable and evicts the fast path** — a client
+//!    that hits the quiesce gate discards its pooled link, evicts parked
+//!    idle links, drops the cached resolution, and retries to success;
+//!    the verb executes exactly once.
+//! 3. **Incarnation fencing wins the lease race** — the replacement
+//!    re-registers before the old lease expires, and any straggler
+//!    `register`/`renewLease` from the superseded generation is refused
+//!    with `E_BADSTATE` without clobbering the live registration.
+//! 4. **A refused restore aborts the swap** — the old incarnation keeps
+//!    serving with its gate re-opened.
+
+use ace_core::prelude::*;
+use ace_core::protocol::{open_snapshot, seal_snapshot};
+use ace_core::supervise::{live_upgrade, Respawn, RestartPolicy, SupervisedSpec, Supervisor};
+use ace_core::UpgradeError;
+use ace_security::keys::KeyPair;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A counter whose value must survive upgrades via the snapshot protocol.
+/// Executions are also counted outside the daemon so exactly-once claims
+/// survive the swap.
+struct Counter {
+    count: i64,
+    exec: Arc<AtomicU64>,
+}
+
+impl Counter {
+    fn fresh(exec: &Arc<AtomicU64>) -> Box<Counter> {
+        Box::new(Counter {
+            count: 0,
+            exec: Arc::clone(exec),
+        })
+    }
+}
+
+impl ServiceBehavior for Counter {
+    fn semantics(&self) -> Semantics {
+        Semantics::new()
+            .with(CmdSpec::new("bump", "increment the counter"))
+            .with(CmdSpec::new("value", "read the counter"))
+    }
+
+    fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        match cmd.name() {
+            "bump" => {
+                self.count += 1;
+                self.exec.fetch_add(1, Ordering::SeqCst);
+                let count = self.count;
+                Reply::ok_with(|c| c.arg("count", count))
+            }
+            "value" => {
+                let count = self.count;
+                Reply::ok_with(|c| c.arg("count", count))
+            }
+            _ => Reply::err(ErrorCode::Internal, "unrouted"),
+        }
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(seal_snapshot(
+            "counter",
+            CmdLine::new("counterState").arg("count", self.count),
+        ))
+    }
+
+    fn restore_state(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        let state = open_snapshot("counter", snapshot)?;
+        self.count = state
+            .get_int("count")
+            .ok_or_else(|| "counter snapshot: missing count".to_string())?;
+        Ok(())
+    }
+}
+
+/// A replacement that expects a different snapshot kind — every restore is
+/// refused, which must abort the swap.
+struct Refusenik;
+impl ServiceBehavior for Refusenik {
+    fn semantics(&self) -> Semantics {
+        Semantics::new().with(CmdSpec::new("bump", "increment"))
+    }
+    fn handle(&mut self, _ctx: &mut ServiceCtx, _cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        Reply::ok()
+    }
+    fn restore_state(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        open_snapshot("somethingElse", snapshot).map(|_| ())
+    }
+}
+
+/// Records notifications it receives.
+#[derive(Default)]
+struct Recorder {
+    heard: Arc<Mutex<Vec<String>>>,
+}
+
+impl ServiceBehavior for Recorder {
+    fn semantics(&self) -> Semantics {
+        Semantics::new().with(
+            CmdSpec::new("onBump", "the counter bumped")
+                .optional("service", ArgType::Str, "")
+                .optional("cmd", ArgType::Str, ""),
+        )
+    }
+    fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        self.heard
+            .lock()
+            .unwrap()
+            .push(cmd.get_text("cmd").unwrap_or("?").to_string());
+        Reply::ok()
+    }
+}
+
+struct Rig {
+    net: SimNet,
+    fw: ace_directory::Framework,
+    me: KeyPair,
+    exec: Arc<AtomicU64>,
+}
+
+fn rig(lease: Duration) -> Rig {
+    let net = SimNet::new();
+    for h in ["ctrl", "app"] {
+        net.add_host(h);
+    }
+    let fw = ace_directory::bootstrap(&net, "ctrl", lease).unwrap();
+    Rig {
+        net,
+        fw,
+        me: KeyPair::generate(&mut rand::thread_rng()),
+        exec: Arc::new(AtomicU64::new(0)),
+    }
+}
+
+impl Rig {
+    fn spawn_counter(&self) -> DaemonHandle {
+        Daemon::spawn(
+            &self.net,
+            self.fw
+                .service_config("counter1", "Service.App.Counter", "office", "app", 4700)
+                .with_lease_renew(Duration::from_millis(100)),
+            Counter::fresh(&self.exec),
+        )
+        .unwrap()
+    }
+
+    fn client_to(&self, addr: &Addr) -> ServiceClient {
+        ServiceClient::connect(&self.net, &"ctrl".into(), addr.clone(), &self.me).unwrap()
+    }
+}
+
+fn ping_incarnation(client: &mut ServiceClient) -> u64 {
+    let reply = client.call(&CmdLine::new("ping")).unwrap();
+    reply.get_int("incarnation").unwrap_or(-1) as u64
+}
+
+/// Tentpole end-to-end: counter state, resumption tickets, and the
+/// notification registry all survive the hot swap, and the address keeps
+/// serving under the next incarnation.
+#[test]
+fn upgrade_carries_state_tickets_and_listeners() {
+    let r = rig(Duration::from_secs(5));
+    let old = r.spawn_counter();
+    let target = old.addr().clone();
+
+    // Seed state and a notification listener.
+    let recorder = Recorder::default();
+    let heard = Arc::clone(&recorder.heard);
+    let rec = Daemon::spawn(
+        &r.net,
+        r.fw.service_config("recorder", "Service.Test", "office", "ctrl", 4710),
+        Box::new(recorder),
+    )
+    .unwrap();
+    let mut client = r.client_to(&target);
+    client.call_ok(&CmdLine::new("bump")).unwrap();
+    client.call_ok(&CmdLine::new("bump")).unwrap();
+    client
+        .call_ok(
+            &CmdLine::new("addNotification")
+                .arg("cmd", "bump")
+                .arg("service", "recorder")
+                .arg("host", "ctrl")
+                .arg("port", 4710)
+                .arg("notifyCmd", "onBump"),
+        )
+        .unwrap();
+    assert_eq!(ping_incarnation(&mut client), 0);
+
+    // Prime the resumption fast path: a pooled full handshake harvests a
+    // ticket for this target.
+    let metrics = MetricsRegistry::new();
+    let pool = Arc::new(LinkPool::with_metrics(&r.net, "ctrl", r.me, &metrics));
+    pool.checkout(&target).unwrap().discard();
+
+    // Hot swap.
+    let persisted: Arc<Mutex<Vec<(String, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&persisted);
+    let mut persist = move |name: &str, bytes: &[u8]| -> Result<(), String> {
+        sink.lock().unwrap().push((name.to_string(), bytes.len()));
+        Ok(())
+    };
+    let (fresh, stats) = live_upgrade(
+        &r.net,
+        &"ctrl".into(),
+        &r.me,
+        &old,
+        old.config().clone(),
+        Counter::fresh(&r.exec),
+        Some(&mut persist),
+    )
+    .unwrap();
+    assert_eq!(fresh.incarnation(), 1);
+    assert!(stats.pause >= stats.quiesce);
+    assert_eq!(
+        persisted.lock().unwrap().len(),
+        1,
+        "the sealed snapshot must be persisted exactly once"
+    );
+
+    // State survived; the replacement answers on the same address.
+    let mut client = r.client_to(&target);
+    assert_eq!(ping_incarnation(&mut client), 1);
+    let reply = client.call(&CmdLine::new("value")).unwrap();
+    assert_eq!(reply.get_int("count"), Some(2), "count lost in the swap");
+
+    // Sessions resume: the old parked link is stale, but the dial rides
+    // the pre-upgrade ticket against the carried-over vault.
+    let resumed = pool.checkout(&target).unwrap();
+    assert!(
+        resumed.resumed(),
+        "post-upgrade dial must resume, not re-handshake"
+    );
+    assert!(metrics.counter("link.resume_hits").get() >= 1);
+
+    // Listeners carried: a post-upgrade bump still notifies the recorder.
+    client.call_ok(&CmdLine::new("bump")).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !heard.lock().unwrap().iter().any(|c| c == "bump") {
+        assert!(
+            Instant::now() < deadline,
+            "notification registry lost in the swap"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    drop(resumed);
+    fresh.shutdown();
+    rec.shutdown();
+    r.fw.shutdown();
+}
+
+/// Satellite 2: a quiesced daemon bounces a verb with `E_UPGRADING`; the
+/// failover client evicts its pooled link, the parked idles, and the
+/// cached resolution, then retries to success once the gate re-opens.
+/// The verb executes exactly once.
+#[test]
+fn upgrading_rejection_evicts_fast_path_and_retries() {
+    let r = rig(Duration::from_secs(5));
+    let daemon = r.spawn_counter();
+    let target = daemon.addr().clone();
+
+    let metrics = MetricsRegistry::new();
+    let pool = Arc::new(LinkPool::with_metrics(&r.net, "ctrl", r.me, &metrics));
+    let cache = Arc::new(ResolutionCache::with_metrics(&metrics));
+    let mut failover = FailoverClient::bind(
+        r.net.clone(),
+        "ctrl",
+        r.me,
+        r.fw.asd_addr.clone(),
+        "counter1",
+    )
+    .with_retry_window(Duration::from_secs(5))
+    .with_pool(Arc::clone(&pool))
+    .with_resolution_cache(Arc::clone(&cache));
+
+    failover.call(&CmdLine::new("bump")).unwrap();
+    assert_eq!(r.exec.load(Ordering::SeqCst), 1);
+    // Park one extra idle link so the eviction has something to clear.
+    drop(pool.checkout(&target).unwrap());
+    assert_eq!(pool.idle_count(&target), 1);
+
+    // Close the gate, and re-open it shortly from another thread.
+    let mut admin = r.client_to(&target);
+    let status = admin
+        .call(&CmdLine::new("aceUpgrade").arg("phase", "quiesce"))
+        .unwrap();
+    assert!(status.get_int("incarnation").is_some());
+    let net = r.net.clone();
+    let me = r.me;
+    let addr = target.clone();
+    let opener = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        let mut c = ServiceClient::connect(&net, &"ctrl".into(), addr, &me).unwrap();
+        c.call_ok(&CmdLine::new("aceUpgrade").arg("phase", "abort"))
+            .unwrap();
+    });
+
+    // The held-over link and the parked idle both point at the quiescing
+    // instance; the call must ride out the gate and execute exactly once.
+    let reply = failover.call(&CmdLine::new("bump")).unwrap();
+    opener.join().unwrap();
+    assert_eq!(reply.get_int("count"), Some(2));
+    assert_eq!(
+        r.exec.load(Ordering::SeqCst),
+        2,
+        "E_UPGRADING retries must not double-execute"
+    );
+    assert!(
+        failover.resolutions() >= 2,
+        "the cached resolution must be dropped on E_UPGRADING"
+    );
+
+    daemon.shutdown();
+    r.fw.shutdown();
+}
+
+/// Satellite 1 (lease-race regression): the replacement registers under
+/// the bumped incarnation before the old lease lapses, and stragglers of
+/// the superseded generation are fenced out with `E_BADSTATE` — they can
+/// neither renew nor re-register over the live instance.
+#[test]
+fn stale_incarnation_stragglers_are_fenced_out() {
+    // Short lease: the upgrade must beat it.
+    let r = rig(Duration::from_millis(600));
+    let old = r.spawn_counter();
+    let target = old.addr().clone();
+
+    let (fresh, _) = live_upgrade(
+        &r.net,
+        &"ctrl".into(),
+        &r.me,
+        &old,
+        old.config().clone(),
+        Counter::fresh(&r.exec),
+        None,
+    )
+    .unwrap();
+
+    let mut asd = r.client_to(&r.fw.asd_addr);
+    let fenced = |err: ClientError| match err {
+        ClientError::Service { code, .. } => code == ErrorCode::BadState,
+        _ => false,
+    };
+
+    // A straggler renewal from the retired generation (incarnation 0).
+    let stale_renew = asd.call(
+        &CmdLine::new("renewLease")
+            .arg("name", "counter1")
+            .arg("incarnation", 0),
+    );
+    assert!(
+        stale_renew.is_err_and(fenced),
+        "stale renewal must be refused with BadState"
+    );
+    // A straggler re-registration pointing somewhere else entirely.
+    let stale_register = asd.call(
+        &CmdLine::new("register")
+            .arg("name", "counter1")
+            .arg("host", "ctrl")
+            .arg("port", 9999)
+            .arg("room", "office")
+            .arg("class", "Service.App.Counter")
+            .arg("incarnation", 0),
+    );
+    assert!(
+        stale_register.is_err_and(fenced),
+        "stale re-registration must be refused with BadState"
+    );
+
+    // The live registration is untouched and outlives the *old* lease:
+    // the replacement's renewals (at incarnation 1) keep it alive.
+    std::thread::sleep(Duration::from_millis(900));
+    let mut finder =
+        ace_directory::AsdClient::connect(&r.net, &"ctrl".into(), r.fw.asd_addr.clone(), &r.me)
+            .unwrap();
+    let found = finder.find("counter1").unwrap();
+    assert_eq!(
+        found.map(|e| e.addr.port),
+        Some(target.port),
+        "replacement registration clobbered or expired"
+    );
+
+    fresh.shutdown();
+    r.fw.shutdown();
+}
+
+/// A refused restore aborts the swap before anything is torn down: the old
+/// incarnation keeps serving with its quiesce gate re-opened.
+#[test]
+fn refused_restore_aborts_and_old_keeps_serving() {
+    let r = rig(Duration::from_secs(5));
+    let old = r.spawn_counter();
+    let target = old.addr().clone();
+    let mut client = r.client_to(&target);
+    client.call_ok(&CmdLine::new("bump")).unwrap();
+
+    let err = live_upgrade(
+        &r.net,
+        &"ctrl".into(),
+        &r.me,
+        &old,
+        old.config().clone(),
+        Box::new(Refusenik),
+        None,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, UpgradeError::Restore(_)),
+        "expected a restore refusal, got {err}"
+    );
+
+    // Old incarnation still serving, gate open, state intact.
+    assert_eq!(ping_incarnation(&mut client), 0);
+    let reply = client.call(&CmdLine::new("value")).unwrap();
+    assert_eq!(reply.get_int("count"), Some(1));
+    client.call_ok(&CmdLine::new("bump")).unwrap();
+
+    old.shutdown();
+    r.fw.shutdown();
+}
+
+/// The supervisor's wire-driven path: `upgradeService` hot-swaps an
+/// adopted instance via the spec's upgrade factory, and the service stays
+/// supervised afterwards.
+#[test]
+fn supervisor_upgrades_over_the_wire() {
+    let r = rig(Duration::from_secs(5));
+    let app = r.spawn_counter();
+    let target = app.addr().clone();
+    let mut client = r.client_to(&target);
+    client.call_ok(&CmdLine::new("bump")).unwrap();
+
+    let fw_asd = r.fw.asd_addr.clone();
+    let fw_roomdb = r.fw.roomdb_addr.clone();
+    let respawn_exec = Arc::clone(&r.exec);
+    let upgrade_exec = Arc::clone(&r.exec);
+    let spec = SupervisedSpec::new(
+        "counter1",
+        Box::new(move |net: &SimNet| {
+            Daemon::spawn(
+                net,
+                DaemonConfig::new("counter1", "Service.App.Counter", "office", "app", 4700)
+                    .with_asd(fw_asd.clone())
+                    .with_roomdb(fw_roomdb.clone()),
+                Counter::fresh(&respawn_exec),
+            )
+            .map(Respawn::from)
+        }),
+    )
+    .with_upgrade(Box::new(move || Counter::fresh(&upgrade_exec)));
+    let supervisor = Daemon::spawn(
+        &r.net,
+        r.fw.service_config(
+            "supervisor",
+            "Service.Supervisor",
+            "machineroom",
+            "ctrl",
+            4720,
+        ),
+        Box::new(Supervisor::new(vec![spec], RestartPolicy::default()).adopt(app)),
+    )
+    .unwrap();
+
+    let mut sup = r.client_to(supervisor.addr());
+    let reply = sup
+        .call(&CmdLine::new("upgradeService").arg("name", "counter1"))
+        .unwrap();
+    assert!(reply.get_int("pauseMs").is_some());
+
+    // Same address, next incarnation, state carried.
+    let mut client = r.client_to(&target);
+    assert_eq!(ping_incarnation(&mut client), 1);
+    assert_eq!(
+        client
+            .call(&CmdLine::new("value"))
+            .unwrap()
+            .get_int("count"),
+        Some(1)
+    );
+
+    // Still supervised: the report sees one service, none pending/failed.
+    let stats = sup.call(&CmdLine::new("superviseStats")).unwrap();
+    assert_eq!(stats.get_int("supervised"), Some(1));
+
+    supervisor.shutdown(); // also shuts the adopted replacement down
+    r.fw.shutdown();
+}

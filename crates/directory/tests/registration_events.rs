@@ -30,7 +30,8 @@ impl ServiceBehavior for Recorder {
                     .optional("host", ArgType::Word, "")
                     .optional("port", ArgType::Int, "")
                     .optional("room", ArgType::Word, "")
-                    .optional("class", ArgType::Str, ""),
+                    .optional("class", ArgType::Str, "")
+                    .optional("incarnation", ArgType::Int, ""),
             )
             .with(
                 CmdSpec::new("onExpired", "a lease lapsed")

@@ -49,7 +49,10 @@ pub struct AceEnvironment {
     pub daemons: HashMap<String, DaemonHandle>,
     /// The administrator identity (fully trusted in examples/scenarios).
     pub admin: KeyPair,
-    teardown_order: Vec<String>,
+    /// The tuning the environment was built with (rolling upgrades rebuild
+    /// replacement behaviors from it).
+    pub config: EnvConfig,
+    pub(crate) teardown_order: Vec<String>,
 }
 
 impl AceEnvironment {
@@ -243,6 +246,7 @@ impl AceEnvironment {
             store,
             daemons,
             admin,
+            config,
             teardown_order: order,
         };
 

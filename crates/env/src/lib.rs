@@ -11,6 +11,8 @@
 
 pub mod devices;
 pub mod environment;
+pub mod upgrade;
 
 pub use devices::{CameraModel, Projector, PtzCamera};
 pub use environment::{AceEnvironment, EnvConfig};
+pub use upgrade::{ReplacementFactory, RollingEntry};

@@ -1,0 +1,226 @@
+//! Building-wide rolling upgrades over a running [`AceEnvironment`].
+//!
+//! The environment-level face of the live-upgrade subsystem
+//! (`ace_core::supervise::live_upgrade`): every daemon is hot-swapped
+//! one at a time — quiesce, snapshot, restore-validate, retire, respawn
+//! under the next incarnation — while the rest of the building keeps
+//! serving.  Sealed snapshots are persisted through the store cluster
+//! (namespace `upgrade`, key = service name) before each swap commits,
+//! so state survives even a botched replacement.
+
+use crate::environment::AceEnvironment;
+use ace_core::prelude::*;
+use ace_directory::{Asd, NetLogger, RoomDb};
+use ace_resources::{Hal, HostProfile, Hrm, Sal, Srm};
+use ace_store::StoreReplica;
+
+/// Builds the replacement behavior for one daemon in a rolling sweep;
+/// `None` skips that daemon.
+pub type ReplacementFactory<'a> =
+    &'a mut dyn FnMut(&AceEnvironment, &DaemonHandle) -> Option<Box<dyn ServiceBehavior>>;
+
+/// The upgrade-pause record of one daemon in a rolling sweep.
+#[derive(Debug, Clone)]
+pub struct RollingEntry {
+    pub name: String,
+    pub stats: UpgradeStats,
+    /// Incarnation the replacement is serving under.
+    pub incarnation: u64,
+}
+
+impl AceEnvironment {
+    /// Hot-swap one named daemon (including store replicas addressed as
+    /// `store_1`…) with `replacement`, persisting its sealed snapshot to
+    /// the store cluster when one exists.  On success the environment's
+    /// handle is replaced; every error except a replacement-spawn failure
+    /// leaves the old incarnation serving.
+    pub fn upgrade_daemon(
+        &mut self,
+        name: &str,
+        replacement: Box<dyn ServiceBehavior>,
+    ) -> Result<UpgradeStats, UpgradeError> {
+        // The persist hook writes through the replica quorum; a quiesced
+        // replica bounces its own copy with E_UPGRADING, and the other
+        // two still make the majority.
+        let mut store = self.store_client(self.admin);
+        let mut persist = |svc: &str, bytes: &[u8]| -> Result<(), String> {
+            match &mut store {
+                Some(client) => client
+                    .put("upgrade", svc, bytes)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string()),
+                None => Ok(()),
+            }
+        };
+        let from: HostId = "core".into();
+
+        if self.daemons.contains_key(name) {
+            let old = &self.daemons[name];
+            let (fresh, stats) = ace_core::live_upgrade(
+                &self.net,
+                &from,
+                &self.admin,
+                old,
+                old.config().clone(),
+                replacement,
+                Some(&mut persist),
+            )?;
+            self.daemons.insert(name.to_string(), fresh);
+            return Ok(stats);
+        }
+        if let Some(cluster) = &mut self.store {
+            if let Some(idx) = cluster
+                .replicas
+                .iter()
+                .position(|(handle, _)| handle.name() == name)
+            {
+                let old = &cluster.replicas[idx].0;
+                let (fresh, stats) = ace_core::live_upgrade(
+                    &self.net,
+                    &from,
+                    &self.admin,
+                    old,
+                    old.config().clone(),
+                    replacement,
+                    Some(&mut persist),
+                )?;
+                cluster.replicas[idx].0 = fresh;
+                return Ok(stats);
+            }
+        }
+        if let Some(old) = match name {
+            "asd" => Some(&self.fw.asd),
+            "roomdb" => Some(&self.fw.roomdb),
+            "netlogger" => Some(&self.fw.logger),
+            _ => None,
+        } {
+            let (fresh, stats) = ace_core::live_upgrade(
+                &self.net,
+                &from,
+                &self.admin,
+                old,
+                old.config().clone(),
+                replacement,
+                Some(&mut persist),
+            )?;
+            match name {
+                "asd" => self.fw.asd = fresh,
+                "roomdb" => self.fw.roomdb = fresh,
+                _ => self.fw.logger = fresh,
+            }
+            return Ok(stats);
+        }
+        Err(UpgradeError::Protocol(format!("no daemon named {name}")))
+    }
+
+    /// The stock replacement behavior for a daemon, by service class.
+    /// Covers every service whose state is either carried by the upgrade
+    /// snapshot or reconstructible from scratch (monitors, launchers, the
+    /// framework tier); `None` means "this class holds state the snapshot
+    /// protocol does not carry — supply your own replacement".
+    pub fn default_replacement(&self, handle: &DaemonHandle) -> Option<Box<dyn ServiceBehavior>> {
+        match handle.config().class.as_str() {
+            "Service.Monitor.HRM" => Some(Box::new(Hrm::new(HostProfile::default()))),
+            "Service.Launcher.HAL" => Some(Box::new(Hal::new())),
+            "Service.Monitor.SRM" => Some(Box::new(Srm::default())),
+            "Service.Launcher.SAL" => Some(Box::new(Sal::new())),
+            "Service.ServiceDirectory" => Some(Box::new(Asd::new(self.config.lease))),
+            "Service.Database.Room" => Some(Box::new(RoomDb::new())),
+            "Service.Logger" => Some(Box::new(NetLogger::default())),
+            "Service.Database.PersistentStore" => {
+                let cluster = self.store.as_ref()?;
+                let disk = cluster
+                    .replicas
+                    .iter()
+                    .find(|(h, _)| h.name() == handle.name())
+                    .map(|(_, disk)| disk.clone())?;
+                Some(Box::new(StoreReplica::new(disk, self.config.store_sync)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Roll an upgrade across the whole building, one daemon at a time:
+    /// every service daemon in spawn order, then the store replicas.
+    /// `factory` builds each replacement (see [`Self::default_replacement`]
+    /// for the stock ones); returning `None` skips that daemon.  The sweep
+    /// stops at the first failed swap.
+    pub fn rolling_upgrade(
+        &mut self,
+        factory: ReplacementFactory<'_>,
+    ) -> Result<Vec<RollingEntry>, UpgradeError> {
+        let mut rolled = Vec::new();
+        let names: Vec<String> = self.teardown_order.clone();
+        for name in names {
+            let Some(old) = self.daemons.get(&name) else {
+                continue;
+            };
+            let Some(replacement) = factory(self, old) else {
+                continue;
+            };
+            let stats = self.upgrade_daemon(&name, replacement)?;
+            rolled.push(RollingEntry {
+                incarnation: self.daemons[&name].incarnation(),
+                name,
+                stats,
+            });
+        }
+        let replica_names: Vec<String> = self
+            .store
+            .iter()
+            .flat_map(|c| c.replicas.iter().map(|(h, _)| h.name().to_string()))
+            .collect();
+        for name in replica_names {
+            let handle = &self
+                .store
+                .as_ref()
+                .expect("store exists: names came from it")
+                .replicas
+                .iter()
+                .find(|(h, _)| h.name() == name)
+                .expect("replica exists")
+                .0;
+            let Some(replacement) = factory(self, handle) else {
+                continue;
+            };
+            let stats = self.upgrade_daemon(&name, replacement)?;
+            let incarnation = self
+                .store
+                .as_ref()
+                .and_then(|c| c.replicas.iter().find(|(h, _)| h.name() == name))
+                .map(|(h, _)| h.incarnation())
+                .unwrap_or(0);
+            rolled.push(RollingEntry {
+                name,
+                stats,
+                incarnation,
+            });
+        }
+        // Framework tier last — Net Logger, Room DB, then the ASD itself:
+        // during the ASD's quiesce window every other daemon's lease
+        // renewal bounces with retryable E_UPGRADING, and the restored
+        // leases come back with fresh deadlines.
+        for name in ["netlogger", "roomdb", "asd"] {
+            let handle = match name {
+                "asd" => &self.fw.asd,
+                "roomdb" => &self.fw.roomdb,
+                _ => &self.fw.logger,
+            };
+            let Some(replacement) = factory(self, handle) else {
+                continue;
+            };
+            let stats = self.upgrade_daemon(name, replacement)?;
+            let incarnation = match name {
+                "asd" => self.fw.asd.incarnation(),
+                "roomdb" => self.fw.roomdb.incarnation(),
+                _ => self.fw.logger.incarnation(),
+            };
+            rolled.push(RollingEntry {
+                name: name.to_string(),
+                stats,
+                incarnation,
+            });
+        }
+        Ok(rolled)
+    }
+}

@@ -27,6 +27,10 @@ pub enum ErrorCode {
     Unavailable,
     /// The command is valid but its preconditions are not met.
     BadState,
+    /// The service is quiescing for a live upgrade; the command was *not*
+    /// executed and is safe to retry — the replacement incarnation
+    /// re-registers under the same name within the upgrade pause.
+    Upgrading,
     /// Internal daemon failure.
     Internal,
 }
@@ -42,6 +46,7 @@ impl ErrorCode {
             ErrorCode::NotFound => "E_NOTFOUND",
             ErrorCode::Unavailable => "E_UNAVAILABLE",
             ErrorCode::BadState => "E_BADSTATE",
+            ErrorCode::Upgrading => "E_UPGRADING",
             ErrorCode::Internal => "E_INTERNAL",
         }
     }
@@ -56,6 +61,7 @@ impl ErrorCode {
             "E_NOTFOUND" => ErrorCode::NotFound,
             "E_UNAVAILABLE" => ErrorCode::Unavailable,
             "E_BADSTATE" => ErrorCode::BadState,
+            "E_UPGRADING" => ErrorCode::Upgrading,
             "E_INTERNAL" => ErrorCode::Internal,
             _ => return None,
         })
@@ -199,6 +205,7 @@ mod tests {
             ErrorCode::NotFound,
             ErrorCode::Unavailable,
             ErrorCode::BadState,
+            ErrorCode::Upgrading,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_word(code.as_word()), Some(code));

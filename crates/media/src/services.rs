@@ -422,6 +422,78 @@ impl ServiceBehavior for AudioMixer {
         m.gauge("mixer.mixed").set(self.mixed as i64);
         m.gauge("mixer.droppedSlots").set(self.dropped_slots as i64);
     }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        // Routing only: registered inputs, the output stream name, and the
+        // downstream sink set.  Partial `pending` slots are deliberately
+        // dropped — producers retry the quiesce-window frames and the slot
+        // refills on the replacement.
+        let inputs: Vec<Scalar> = self.inputs.iter().map(|s| Scalar::Str(s.clone())).collect();
+        // Port as a quoted string: array rows must be homogeneous per the
+        // wire grammar (a Str/Int mix would be refused on re-parse).
+        let sinks: Vec<Vec<Scalar>> = self
+            .downstream
+            .sinks()
+            .iter()
+            .map(|a| {
+                vec![
+                    Scalar::Str(a.host.to_string()),
+                    Scalar::Str(a.port.to_string()),
+                ]
+            })
+            .collect();
+        let state = CmdLine::new("mixerState")
+            .arg("outStream", self.out_stream.as_str())
+            .arg("inputs", Value::Vector(inputs))
+            .arg("sinks", Value::Array(sinks));
+        Some(ace_core::protocol::seal_snapshot("audioMixer", state))
+    }
+
+    fn restore_state(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        let state = ace_core::protocol::open_snapshot("audioMixer", snapshot)?;
+        let out_stream = state
+            .get_text("outStream")
+            .ok_or_else(|| "mixer snapshot: missing outStream".to_string())?
+            .to_string();
+        let inputs_val = state
+            .get("inputs")
+            .ok_or_else(|| "mixer snapshot: missing inputs".to_string())?;
+        let inputs: Vec<String> = inputs_val
+            .as_vector()
+            .ok_or_else(|| "mixer snapshot: malformed inputs".to_string())?
+            .iter()
+            .map(|s| match s {
+                Scalar::Str(text) => Ok(text.clone()),
+                _ => Err("mixer snapshot: malformed inputs".to_string()),
+            })
+            .collect::<Result<_, _>>()?;
+        let sinks_val = state
+            .get("sinks")
+            .ok_or_else(|| "mixer snapshot: missing sinks".to_string())?;
+        // An empty sink set round-trips through the wire form as an empty
+        // vector, not an empty array.
+        let sinks: Vec<Addr> = if sinks_val.as_vector().is_some_and(|s| s.is_empty()) {
+            Vec::new()
+        } else {
+            sinks_val
+                .as_array()
+                .ok_or_else(|| "mixer snapshot: malformed sinks".to_string())?
+                .iter()
+                .map(|row| match row.as_slice() {
+                    [Scalar::Str(host), Scalar::Str(port)] => port
+                        .parse::<u16>()
+                        .map(|p| Addr::new(host.as_str(), p))
+                        .map_err(|_| "mixer snapshot: malformed sinks".to_string()),
+                    _ => Err("mixer snapshot: malformed sinks".to_string()),
+                })
+                .collect::<Result<_, _>>()?
+        };
+        self.out_stream = out_stream;
+        self.inputs = inputs;
+        self.downstream.set_sinks(sinks);
+        self.pending.clear();
+        Ok(())
+    }
 }
 
 /// Echo Cancellation: subtracts the delayed reference (fed with `pushRef`)

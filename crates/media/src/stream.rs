@@ -121,6 +121,12 @@ impl Downstream {
         &self.sinks
     }
 
+    /// Replace the sink set wholesale (snapshot restore across a live
+    /// upgrade).
+    pub fn set_sinks(&mut self, sinks: Vec<Addr>) {
+        self.sinks = sinks;
+    }
+
     /// Forward one frame to every sink.  Returns how many deliveries
     /// succeeded; dead sinks are skipped (and logged), not fatal —
     /// Fig. 14's distribution keeps serving the healthy receivers.

@@ -483,6 +483,32 @@ impl ServiceBehavior for StoreReplica {
         );
     }
 
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        // The data itself lives in the [`DiskImage`], which the upgrade
+        // factory hands to the replacement (it is `Arc`-shared, and the
+        // WAL epoch fences the superseded instance).  The snapshot carries
+        // the replica *configuration* plus the key count at quiesce time
+        // so the replacement can sanity-log what it inherited.
+        let state = CmdLine::new("replicaState")
+            .arg("syncIntervalMs", self.sync_interval.as_millis() as i64)
+            .arg("keys", self.disk.len() as i64);
+        Some(ace_core::protocol::seal_snapshot("storeReplica", state))
+    }
+
+    fn restore_state(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        let state = ace_core::protocol::open_snapshot("storeReplica", snapshot)?;
+        let interval_ms = state
+            .get_int("syncIntervalMs")
+            .filter(|&ms| ms > 0)
+            .ok_or_else(|| "replica snapshot: malformed syncIntervalMs".to_string())?;
+        state
+            .get_int("keys")
+            .filter(|&k| k >= 0)
+            .ok_or_else(|| "replica snapshot: malformed keys".to_string())?;
+        self.sync_interval = Duration::from_millis(interval_ms as u64);
+        Ok(())
+    }
+
     fn on_stop(&mut self, _ctx: &mut ServiceCtx) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(nudge) = &self.nudge {

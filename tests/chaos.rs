@@ -2,10 +2,16 @@
 //! services that can detect and recover from failures" — under injected
 //! host crashes, revivals, and partitions while clients keep operating.
 
+use ace_apps::OPhone;
 use ace_core::prelude::*;
 use ace_directory::{bootstrap, AsdClient};
+use ace_env::{AceEnvironment, CameraModel, EnvConfig, Projector, PtzCamera};
+use ace_identity::{AuthDb, Fiu, IButtonReader, IdMonitor, ScannerDevice, UserDb};
 use ace_security::keys::KeyPair;
 use ace_store::{spawn_store_cluster, StoreClient, StoreError};
+use ace_workspace::{VncHost, Wss};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 struct Echo;
@@ -233,4 +239,338 @@ fn full_cluster_restart_preserves_data() {
         r.shutdown();
     }
     fw.shutdown();
+}
+
+/// Deterministic per-seed jitter for the traffic threads.
+struct Jitter(u64);
+impl Jitter {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// The live-upgrade chaos scenario: roll an upgrade across **every** daemon
+/// in the Fig. 18 building — resource tier, identity tier, workspace tier,
+/// devices, store replicas, and finally the framework itself — one at a
+/// time, while an O-Phone call and a store read/write stream keep running.
+/// Then hot-swap both phones mid-call.
+///
+/// Invariants held throughout:
+/// * **zero dropped calls** — every `speak` and every store round-trip
+///   succeeds (quiesce bounces are retryable, never failures);
+/// * **monotone incarnations** — no service is ever observed answering
+///   under a lower incarnation than previously seen (no stale replies
+///   from a superseded instance);
+/// * **no stale data** — every store read returns the value written;
+/// * the call survives the phones' own swap: sequence numbers stay
+///   monotone and frames keep arriving.
+fn run_rolling_upgrade_chaos(seed: u64) {
+    let mut env = AceEnvironment::build(EnvConfig::default()).unwrap();
+    let admin = env.admin;
+
+    // Two O-Phones in a call across compute hosts.
+    let oph_a = Daemon::spawn(
+        &env.net,
+        env.fw
+            .service_config("oph_a", "Service.App.OPhone", "hawk", "bar", 5900)
+            .with_lease_renew(Duration::from_millis(250)),
+        Box::new(OPhone::new(440.0)),
+    )
+    .unwrap();
+    let oph_b = Daemon::spawn(
+        &env.net,
+        env.fw
+            .service_config("oph_b", "Service.App.OPhone", "nichols", "tube", 5900)
+            .with_lease_renew(Duration::from_millis(250)),
+        Box::new(OPhone::new(880.0)),
+    )
+    .unwrap();
+    let mut dialer =
+        ServiceClient::connect(&env.net, &"core".into(), oph_a.addr().clone(), &admin).unwrap();
+    dialer
+        .call_ok(&CmdLine::new("dial").arg("peer", "oph_b"))
+        .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let dropped: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let speak_ok = Arc::new(AtomicU64::new(0));
+    let last_seq = Arc::new(AtomicU64::new(0));
+
+    // Stream 1: sustained O-Phone traffic. The failover client retries
+    // through quiesce bounces (E_UPGRADING evicts its pooled link and
+    // cached resolution) — a drop is a hard failure.
+    let speak_thread = {
+        let net = env.net.clone();
+        let asd_addr = env.fw.asd_addr.clone();
+        let stop = Arc::clone(&stop);
+        let dropped = Arc::clone(&dropped);
+        let speak_ok = Arc::clone(&speak_ok);
+        let last_seq = Arc::clone(&last_seq);
+        let metrics = MetricsRegistry::new();
+        let pool = Arc::new(LinkPool::with_metrics(&net, "core", admin, &metrics));
+        let cache = Arc::new(ResolutionCache::with_metrics(&metrics));
+        let mut rng = Jitter(seed | 1);
+        std::thread::spawn(move || {
+            let mut phone = FailoverClient::bind(net, "core", admin, asd_addr, "oph_a")
+                .with_retry_window(Duration::from_secs(10))
+                .with_pool(pool)
+                .with_resolution_cache(cache);
+            while !stop.load(Ordering::SeqCst) {
+                let len = 40 + (rng.next() % 4) * 40;
+                match phone.call(&CmdLine::new("speak").arg("len", len as i64)) {
+                    Ok(reply) => {
+                        speak_ok.fetch_add(1, Ordering::SeqCst);
+                        let seq = reply.get_int("seq").unwrap_or(-1);
+                        let prev = last_seq.load(Ordering::SeqCst);
+                        if seq < 0 || (seq as u64) < prev {
+                            dropped.lock().unwrap().push(format!(
+                                "speak seq went backwards: {seq} after {prev} (stale phone?)"
+                            ));
+                        } else {
+                            last_seq.store(seq as u64, Ordering::SeqCst);
+                        }
+                    }
+                    Err(e) => dropped.lock().unwrap().push(format!("speak dropped: {e}")),
+                }
+                std::thread::sleep(Duration::from_millis(1 + rng.next() % 3));
+            }
+        })
+    };
+
+    // Stream 2: store writes and read-back (quorum rides out each
+    // replica's quiesce window and retire/respawn gap).
+    let store_thread = {
+        let mut store = env.store_client(admin).expect("store cluster exists");
+        let stop = Arc::clone(&stop);
+        let dropped = Arc::clone(&dropped);
+        let mut rng = Jitter(seed | 2);
+        std::thread::spawn(move || {
+            let mut i: u64 = 0;
+            while !stop.load(Ordering::SeqCst) {
+                let key = format!("k{}", i % 32);
+                let val = format!("v{i}");
+                let outcome = store
+                    .put("rolling", &key, val.as_bytes())
+                    .map_err(|e| format!("put {key} dropped: {e}"))
+                    .and_then(|_| {
+                        store
+                            .get("rolling", &key)
+                            .map_err(|e| format!("get {key} dropped: {e}"))
+                    })
+                    .and_then(|read| {
+                        if read == val.as_bytes() {
+                            Ok(())
+                        } else {
+                            Err(format!("stale read on {key}: wanted {val}"))
+                        }
+                    });
+                if let Err(msg) = outcome {
+                    dropped.lock().unwrap().push(msg);
+                }
+                i += 1;
+                std::thread::sleep(Duration::from_millis(1 + rng.next() % 4));
+            }
+            i
+        })
+    };
+
+    // Stream 3: incarnation monitor. `ping` passes the quiesce gate, so a
+    // superseded instance still answering would be caught red-handed.
+    let monitor_thread = {
+        let net = env.net.clone();
+        let targets: Vec<(String, Addr)> = [
+            ("srm", env.addr_of("srm").unwrap()),
+            ("hrm_bar", env.addr_of("hrm_bar").unwrap()),
+            ("wss", env.addr_of("wss").unwrap()),
+            ("asd", env.fw.asd_addr.clone()),
+            ("roomdb", env.fw.roomdb_addr.clone()),
+            ("oph_a", oph_a.addr().clone()),
+        ]
+        .into_iter()
+        .map(|(n, a)| (n.to_string(), a))
+        .collect();
+        let stop = Arc::clone(&stop);
+        let dropped = Arc::clone(&dropped);
+        std::thread::spawn(move || {
+            let mut floor: Vec<u64> = vec![0; targets.len()];
+            while !stop.load(Ordering::SeqCst) {
+                for (i, (name, addr)) in targets.iter().enumerate() {
+                    // A connect failure is just the retire/respawn gap;
+                    // only a *successful* ping can violate monotonicity.
+                    let Ok(mut c) =
+                        ServiceClient::connect(&net, &"core".into(), addr.clone(), &admin)
+                    else {
+                        continue;
+                    };
+                    if let Ok(reply) = c.call(&CmdLine::new("ping")) {
+                        let inc = reply.get_int("incarnation").unwrap_or(0).max(0) as u64;
+                        if inc < floor[i] {
+                            dropped.lock().unwrap().push(format!(
+                                "{name}: stale reply from incarnation {inc} after {}",
+                                floor[i]
+                            ));
+                        }
+                        floor[i] = floor[i].max(inc);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            floor
+        })
+    };
+
+    // Let traffic flow, then roll the whole building, one daemon at a time.
+    std::thread::sleep(Duration::from_millis(100));
+    let rolled = env
+        .rolling_upgrade(&mut |env, handle| {
+            env.default_replacement(handle)
+                .or_else(|| custom_replacement(handle))
+        })
+        .expect("rolling upgrade failed");
+    let swept: usize = env.daemons.len() + 3 /* store */ + 3 /* framework */;
+    assert_eq!(
+        rolled.len(),
+        swept,
+        "every daemon in the building must be swept: {rolled:?}"
+    );
+    for entry in &rolled {
+        assert_eq!(
+            entry.incarnation, 1,
+            "{}: expected incarnation 1 after one sweep",
+            entry.name
+        );
+    }
+
+    // The upgraded ASD still resolves everything (registrations rode its
+    // snapshot through its own swap).
+    let mut asd =
+        AsdClient::connect(&env.net, &"core".into(), env.fw.asd_addr.clone(), &admin).unwrap();
+    for name in ["oph_a", "oph_b", "srm", "wss", "store_1"] {
+        assert!(
+            asd.find(name).unwrap().is_some(),
+            "{name} lost its registration in the ASD swap"
+        );
+    }
+
+    // Now hot-swap both phones mid-call, under the live speak stream.
+    let received_before = {
+        let mut b =
+            ServiceClient::connect(&env.net, &"core".into(), oph_b.addr().clone(), &admin).unwrap();
+        let stats = b.call(&CmdLine::new("phoneStats")).unwrap();
+        assert_eq!(stats.get_bool("inCall"), Some(true));
+        stats.get_int("received").unwrap()
+    };
+    let (oph_a, a_stats) = ace_core::live_upgrade(
+        &env.net,
+        &"core".into(),
+        &admin,
+        &oph_a,
+        oph_a.config().clone(),
+        Box::new(OPhone::new(440.0)),
+        None,
+    )
+    .unwrap();
+    let (oph_b, _) = ace_core::live_upgrade(
+        &env.net,
+        &"core".into(),
+        &admin,
+        &oph_b,
+        oph_b.config().clone(),
+        Box::new(OPhone::new(880.0)),
+        None,
+    )
+    .unwrap();
+    assert_eq!(oph_a.incarnation(), 1);
+    assert_eq!(oph_b.incarnation(), 1);
+
+    // The restored call keeps flowing: frames arrive at the upgraded
+    // callee beyond its pre-swap count.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut b =
+            ServiceClient::connect(&env.net, &"core".into(), oph_b.addr().clone(), &admin).unwrap();
+        let stats = b.call(&CmdLine::new("phoneStats")).unwrap();
+        if stats.get_bool("inCall") == Some(true)
+            && stats.get_int("received").unwrap() > received_before
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "call did not survive the phones' hot swap: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    speak_thread.join().unwrap();
+    let store_rounds = store_thread.join().unwrap();
+    let floors = monitor_thread.join().unwrap();
+
+    let drops = dropped.lock().unwrap().clone();
+    assert!(drops.is_empty(), "seed {seed:#x}: dropped calls: {drops:?}");
+    let speaks = speak_ok.load(Ordering::SeqCst);
+    assert!(speaks > 0, "no speak traffic flowed");
+    assert!(store_rounds > 0, "no store traffic flowed");
+    assert!(
+        floors.iter().any(|&f| f >= 1),
+        "monitor never observed an upgraded incarnation"
+    );
+    eprintln!(
+        "rolling_upgrade seed {seed:#x}: {} daemons swept, {speaks} speaks, \
+         {store_rounds} store rounds, phone pause {:?}, 0 drops",
+        rolled.len(),
+        a_stats.pause,
+    );
+
+    oph_a.shutdown();
+    oph_b.shutdown();
+    env.shutdown();
+}
+
+/// Replacements for the classes `default_replacement` leaves to the
+/// caller (their state is either carried by the behavior snapshot or
+/// reconstructible by re-enrolment in this scenario).
+fn custom_replacement(handle: &DaemonHandle) -> Option<Box<dyn ServiceBehavior>> {
+    let class = handle.config().class.as_str();
+    Some(match class {
+        "Service.Database.User" => Box::new(UserDb::new()),
+        "Service.Database.Authorization" => Box::new(AuthDb::new()),
+        "Service.IDMonitor" => Box::new(IdMonitor::new()),
+        "Service.VNCHost" => Box::new(VncHost::new()),
+        "Service.WorkspaceServer" => Box::new(Wss::new()),
+        "Service.Device.FIU" => Box::new(Fiu::new(ScannerDevice::default())),
+        "Service.Device.IButton" => Box::new(IButtonReader::new()),
+        _ if class == Projector::CLASS => Box::new(Projector::new()),
+        _ if class.contains("Camera") => Box::new(PtzCamera::new(CameraModel::Vcc4)),
+        _ => return None,
+    })
+}
+
+#[test]
+fn rolling_upgrade_whole_building_zero_drops() {
+    run_rolling_upgrade_chaos(0xACE6);
+}
+
+/// Seed expansion hook for the CI soak job: `CHAOS_SEEDS="0xACE3,42,7"`
+/// sweeps each listed seed.
+#[test]
+fn rolling_upgrade_env_seeds() {
+    let Ok(spec) = std::env::var("CHAOS_SEEDS") else {
+        return;
+    };
+    for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let seed = match token.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => token.parse(),
+        }
+        .unwrap_or_else(|_| panic!("CHAOS_SEEDS: unparsable seed `{token}`"));
+        eprintln!("rolling_upgrade: running env seed {seed:#x}");
+        run_rolling_upgrade_chaos(seed);
+    }
 }

@@ -1,0 +1,339 @@
+//! Property tests on the live-upgrade snapshot protocol, for every
+//! stateful behavior that ships one: the ASD, the Room DB, a store
+//! replica, the audio mixer, and the O-Phone.
+//!
+//! Two families of properties:
+//!
+//! * **Round trip** — any valid sealed state restores cleanly, and
+//!   `restore → snapshot → restore → snapshot` reaches a fixed point:
+//!   the second snapshot is byte-identical to the first.  (The first
+//!   restore may normalize — deduplicate names, recount keys — but the
+//!   normalized form must be stable.)
+//! * **Corruption refusal** — a torn write (any strict prefix) is always
+//!   refused, and a bit flip is either refused or — when the flip is
+//!   semantically neutral, e.g. a hex digit's case — restores state
+//!   byte-identical to the good snapshot.  Corrupt state is **never**
+//!   half-applied: after any refused restore the behavior still snapshots
+//!   exactly what it held before, which is what lets the old incarnation
+//!   keep serving when an upgrade aborts.
+
+use ace_apps::OPhone;
+use ace_core::prelude::*;
+use ace_core::protocol::{entries_to_value, seal_snapshot, ServiceEntry};
+use ace_directory::{Asd, RoomDb};
+use ace_media::AudioMixer;
+use ace_store::{DiskImage, StoreReplica};
+use proptest::prelude::*;
+use std::time::Duration;
+
+type Behavior = Box<dyn ServiceBehavior>;
+
+/// Restore `crafted` into a fresh instance and check the snapshot fixed
+/// point, returning the normalized snapshot.
+fn roundtrip(make: &dyn Fn() -> Behavior, crafted: &[u8]) -> Result<Vec<u8>, TestCaseError> {
+    let mut first = make();
+    if let Err(e) = first.restore_state(crafted) {
+        return Err(TestCaseError::fail(format!(
+            "crafted snapshot refused: {e}"
+        )));
+    }
+    let s1 = first.snapshot_state().expect("behavior is stateful");
+    let mut second = make();
+    if let Err(e) = second.restore_state(&s1) {
+        return Err(TestCaseError::fail(format!("own snapshot refused: {e}")));
+    }
+    let s2 = second.snapshot_state().expect("behavior is stateful");
+    prop_assert_eq!(
+        String::from_utf8_lossy(&s1),
+        String::from_utf8_lossy(&s2),
+        "snapshot is not a fixed point"
+    );
+    Ok(s1)
+}
+
+/// TornWrite + BitFlip discipline against a known-good snapshot.
+fn corruption_refused(
+    make: &dyn Fn() -> Behavior,
+    good: &[u8],
+    flip: (usize, u8),
+    cut_seed: usize,
+) -> TestCaseResult {
+    // Seed an instance with the good state; every refused restore below
+    // must leave it serving exactly that state.
+    let mut b = make();
+    b.restore_state(good)
+        .map_err(|e| TestCaseError::fail(format!("good snapshot refused: {e}")))?;
+    let baseline = b.snapshot_state().expect("behavior is stateful");
+
+    // BitFlip: refused, or (for a semantically neutral flip such as a hex
+    // digit's case) restores the identical state.  Never corrupt state.
+    let mut flipped = good.to_vec();
+    let idx = flip.0 % flipped.len();
+    flipped[idx] ^= 1 << (flip.1 % 8);
+    if b.restore_state(&flipped).is_ok() {
+        let after = b.snapshot_state().expect("behavior is stateful");
+        prop_assert_eq!(
+            String::from_utf8_lossy(&baseline),
+            String::from_utf8_lossy(&after),
+            "bit flip at byte {} accepted as *different* state",
+            idx
+        );
+        // Re-seed for the torn-write half.
+        b.restore_state(good).expect("good snapshot restores");
+    } else {
+        let after = b.snapshot_state().expect("behavior is stateful");
+        prop_assert_eq!(
+            String::from_utf8_lossy(&baseline),
+            String::from_utf8_lossy(&after),
+            "refused bit-flip restore disturbed the serving state"
+        );
+    }
+
+    // TornWrite: any strict prefix is refused outright.
+    let cut = cut_seed % good.len();
+    prop_assert!(
+        b.restore_state(&good[..cut]).is_err(),
+        "torn snapshot ({} of {} bytes) accepted",
+        cut,
+        good.len()
+    );
+    let after = b.snapshot_state().expect("behavior is stateful");
+    prop_assert_eq!(
+        String::from_utf8_lossy(&baseline),
+        String::from_utf8_lossy(&after),
+        "refused torn restore disturbed the serving state"
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------- crafting
+
+fn asd_snapshot(rows: &[(u16, u16, u8, u8, u8)], total: u32) -> Vec<u8> {
+    let entries: Vec<ServiceEntry> = rows
+        .iter()
+        .map(|(n, port, room, class, _)| ServiceEntry {
+            name: format!("svc{n}"),
+            addr: Addr::new(format!("host{}", n % 7).as_str(), *port),
+            class: format!("Service.Class{class}"),
+            room: format!("room{room}"),
+        })
+        .collect();
+    let incarnations: Vec<Scalar> = rows.iter().map(|r| Scalar::Int(r.4 as i64)).collect();
+    seal_snapshot(
+        "asd",
+        CmdLine::new("asdState")
+            .arg("total", total as i64)
+            .arg("services", entries_to_value(&entries))
+            .arg("incarnations", Value::Vector(incarnations)),
+    )
+}
+
+type RoomRow = (u8, u8, u16, u16, u16);
+type PlacementRow = (u16, u16, u8, Option<(u16, u16, u16)>);
+
+fn roomdb_snapshot(rooms: &[RoomRow], placements: &[PlacementRow]) -> Vec<u8> {
+    let quarter = |q: u16| (q as f64 / 4.0).to_string();
+    let room_rows = Value::Array(
+        rooms
+            .iter()
+            .map(|(n, b, w, d, h)| {
+                vec![
+                    Scalar::Str(format!("room{n}")),
+                    Scalar::Str(format!("bldg{b}")),
+                    Scalar::Str(quarter(*w)),
+                    Scalar::Str(quarter(*d)),
+                    Scalar::Str(quarter(*h)),
+                ]
+            })
+            .collect(),
+    );
+    let placement_rows = Value::Array(
+        placements
+            .iter()
+            .map(|(s, port, room, pos)| {
+                let (x, y, z) = match pos {
+                    Some((x, y, z)) => (quarter(*x), quarter(*y), quarter(*z)),
+                    None => (String::new(), String::new(), String::new()),
+                };
+                vec![
+                    Scalar::Str(format!("svc{s}")),
+                    Scalar::Str(format!("host{}", s % 5)),
+                    Scalar::Str(port.to_string()),
+                    Scalar::Str(format!("room{room}")),
+                    Scalar::Str(x),
+                    Scalar::Str(y),
+                    Scalar::Str(z),
+                ]
+            })
+            .collect(),
+    );
+    seal_snapshot(
+        "roomdb",
+        CmdLine::new("roomDbState")
+            .arg("rooms", room_rows)
+            .arg("placements", placement_rows),
+    )
+}
+
+fn replica_snapshot(interval_ms: u32, keys: u16) -> Vec<u8> {
+    seal_snapshot(
+        "storeReplica",
+        CmdLine::new("replicaState")
+            .arg("syncIntervalMs", interval_ms as i64)
+            .arg("keys", keys as i64),
+    )
+}
+
+fn mixer_snapshot(out: u8, inputs: &[u8], sinks: &[(u8, u16)]) -> Vec<u8> {
+    let input_rows: Vec<Scalar> = inputs
+        .iter()
+        .map(|i| Scalar::Str(format!("in{i}")))
+        .collect();
+    let sink_rows: Vec<Vec<Scalar>> = sinks
+        .iter()
+        .map(|(h, p)| vec![Scalar::Str(format!("host{h}")), Scalar::Str(p.to_string())])
+        .collect();
+    seal_snapshot(
+        "audioMixer",
+        CmdLine::new("mixerState")
+            .arg("outStream", format!("out{out}"))
+            .arg("inputs", Value::Vector(input_rows))
+            .arg("sinks", Value::Array(sink_rows)),
+    )
+}
+
+type PhoneCall = Option<(u8, u16, u8)>;
+
+fn ophone_snapshot(freq_q: u32, counters: (u32, u32, u32, u32), call: PhoneCall) -> Vec<u8> {
+    let (tx, phase, play, recv) = counters;
+    let mut state = CmdLine::new("ophoneState")
+        .arg("voiceFreq", freq_q as f64 / 8.0)
+        .arg("txSeq", tx as i64)
+        .arg("phase", phase as i64)
+        .arg("nextPlay", play as i64)
+        .arg("received", recv as i64);
+    if let Some((host, port, session)) = call {
+        state = state
+            .arg("peerHost", format!("host{host}"))
+            .arg("peerPort", port as i64)
+            .arg("session", format!("call_{session}"));
+    }
+    seal_snapshot("ophone", state)
+}
+
+// ------------------------------------------------------------------- tests
+
+fn make_asd() -> Behavior {
+    Box::new(Asd::new(Duration::from_secs(5)))
+}
+fn make_roomdb() -> Behavior {
+    Box::new(RoomDb::new())
+}
+fn make_replica() -> Behavior {
+    Box::new(StoreReplica::new(
+        DiskImage::new(),
+        Duration::from_millis(100),
+    ))
+}
+fn make_mixer() -> Behavior {
+    Box::new(AudioMixer::new("mixed"))
+}
+fn make_phone() -> Behavior {
+    Box::new(OPhone::new(440.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn asd_snapshot_roundtrips_and_refuses_corruption(
+        rows in prop::collection::vec(
+            (0u16..64, 1024u16..u16::MAX, 0u8..8, 0u8..8, 0u8..16), 0..24),
+        total in 0u32..1_000_000,
+        flip in (any::<usize>(), any::<u8>()),
+        cut in any::<usize>(),
+    ) {
+        let crafted = asd_snapshot(&rows, total);
+        let good = roundtrip(&make_asd, &crafted)?;
+        corruption_refused(&make_asd, &good, flip, cut)?;
+    }
+
+    #[test]
+    fn roomdb_snapshot_roundtrips_and_refuses_corruption(
+        rooms in prop::collection::vec(
+            (0u8..16, 0u8..4, 1u16..200, 1u16..200, 1u16..60), 0..12),
+        placements in prop::collection::vec(
+            (0u16..64, 1024u16..u16::MAX, 0u8..16,
+             prop::strategy::Union::new(vec![
+                Just(None).boxed(),
+                (0u16..100, 0u16..100, 0u16..100).prop_map(Some).boxed(),
+             ])), 0..16),
+        flip in (any::<usize>(), any::<u8>()),
+        cut in any::<usize>(),
+    ) {
+        let crafted = roomdb_snapshot(&rooms, &placements);
+        let good = roundtrip(&make_roomdb, &crafted)?;
+        corruption_refused(&make_roomdb, &good, flip, cut)?;
+    }
+
+    #[test]
+    fn replica_snapshot_roundtrips_and_refuses_corruption(
+        interval_ms in 1u32..600_000,
+        keys in 0u16..1000,
+        flip in (any::<usize>(), any::<u8>()),
+        cut in any::<usize>(),
+    ) {
+        let crafted = replica_snapshot(interval_ms, keys);
+        let good = roundtrip(&make_replica, &crafted)?;
+        corruption_refused(&make_replica, &good, flip, cut)?;
+    }
+
+    #[test]
+    fn mixer_snapshot_roundtrips_and_refuses_corruption(
+        out in any::<u8>(),
+        inputs in prop::collection::vec(0u8..32, 0..8),
+        sinks in prop::collection::vec((0u8..8, 0u16..u16::MAX), 0..6),
+        flip in (any::<usize>(), any::<u8>()),
+        cut in any::<usize>(),
+    ) {
+        let crafted = mixer_snapshot(out, &inputs, &sinks);
+        let good = roundtrip(&make_mixer, &crafted)?;
+        corruption_refused(&make_mixer, &good, flip, cut)?;
+    }
+
+    #[test]
+    fn ophone_snapshot_roundtrips_and_refuses_corruption(
+        freq_q in 1u32..200_000,
+        counters in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        call in prop::strategy::Union::new(vec![
+            Just(None).boxed(),
+            (any::<u8>(), any::<u16>(), any::<u8>()).prop_map(Some).boxed(),
+        ]),
+        flip in (any::<usize>(), any::<u8>()),
+        cut in any::<usize>(),
+    ) {
+        let crafted = ophone_snapshot(freq_q, counters, call);
+        let good = roundtrip(&make_phone, &crafted)?;
+        corruption_refused(&make_phone, &good, flip, cut)?;
+    }
+
+    /// Cross-kind confusion: a perfectly intact snapshot of one kind is
+    /// refused by every *other* behavior (an upgrade driver wiring the
+    /// wrong blob to a service can never half-apply foreign state).
+    #[test]
+    fn foreign_snapshots_are_refused(
+        interval_ms in 1u32..600_000,
+        keys in 0u16..1000,
+    ) {
+        let replica_blob = replica_snapshot(interval_ms, keys);
+        let makers: [&dyn Fn() -> Behavior; 4] =
+            [&make_asd, &make_roomdb, &make_mixer, &make_phone];
+        for make in makers {
+            let mut b = make();
+            prop_assert!(
+                b.restore_state(&replica_blob).is_err(),
+                "a storeReplica snapshot was accepted by a foreign behavior"
+            );
+        }
+    }
+}
