@@ -1,0 +1,332 @@
+//! Shed-vs-collapse: measure what bounded admission buys under overload,
+//! and turn it into the `BENCH_pr7.json` artifact.
+//!
+//! ```sh
+//! cargo run --release -p ace-bench --bin overload -- -o BENCH_pr7.json
+//! ```
+//!
+//! One daemon with a deliberately slow bulk verb (`work`, ~10ms of
+//! control-thread time, so capacity is ~100 calls/s) is offered rising load
+//! by impatient clients: each call carries the client's 100ms timeout as a
+//! `deadline=` budget, and a client that times out abandons the link and
+//! re-offers immediately — the behavior that drives real queue collapse.
+//!
+//! Two server configurations face the same storm:
+//!
+//! * **uncontrolled** — the pre-overload-control daemon: effectively
+//!   unbounded queue, no deadline enforcement.  Every abandoned call stays
+//!   queued and is eventually *executed for nobody*; once the standing
+//!   queue exceeds the client timeout, goodput collapses toward zero.
+//! * **controlled** — the default [`AdmissionConfig`]: bounded lanes,
+//!   CoDel-style queue-wait shedding, deadline-expired commands dropped at
+//!   dequeue.  Excess offers come back as instant retryable `E_BUSY`; the
+//!   standing queue stays short, so admitted calls finish inside their
+//!   budget and goodput holds near capacity.
+
+use ace_core::prelude::*;
+use ace_core::AdmissionConfig;
+use ace_security::keys::KeyPair;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Control-thread burn per `work` call.
+const WORK_MS: i64 = 10;
+/// Client patience; also the stamped `deadline=` budget.
+const CLIENT_TIMEOUT: Duration = Duration::from_millis(150);
+/// Per-row warmup before samples count.
+const WARMUP: Duration = Duration::from_secs(1);
+/// Per-row measurement window.
+const MEASURE: Duration = Duration::from_secs(3);
+
+struct SlowWork;
+impl ServiceBehavior for SlowWork {
+    fn semantics(&self) -> Semantics {
+        Semantics::new().with(CmdSpec::new("work", "burn control-thread time").optional(
+            "ms",
+            ArgType::Int,
+            "milliseconds of simulated work",
+        ))
+    }
+    fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        let ms = cmd.get_int("ms").unwrap_or(WORK_MS).clamp(0, 100) as u64;
+        std::thread::sleep(Duration::from_millis(ms));
+        Reply::ok()
+    }
+}
+
+#[derive(Default)]
+struct RowTotals {
+    attempts: u64,
+    goodput: u64,
+    shed: u64,
+    timeouts: u64,
+    latencies_ms: Vec<f64>,
+}
+
+struct Row {
+    mode: &'static str,
+    load: &'static str,
+    workers: usize,
+    offered_per_sec: f64,
+    goodput_per_sec: f64,
+    shed_per_sec: f64,
+    timeouts_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    queue_shed: u64,
+    queue_deadline_shed: u64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Run one (server config, worker count) cell and return its table row.
+fn run_row(
+    mode: &'static str,
+    load: &'static str,
+    workers: usize,
+    admission: AdmissionConfig,
+) -> Row {
+    let net = SimNet::new();
+    net.add_host("h");
+    let daemon = Daemon::spawn(
+        &net,
+        DaemonConfig::new("victim", "Service.SlowWork", "room", "h", 6200)
+            .with_admission(admission),
+        Box::new(SlowWork),
+    )
+    .expect("spawn victim");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let measuring = Arc::new(AtomicBool::new(false));
+    let totals: Arc<Mutex<RowTotals>> = Arc::new(Mutex::new(RowTotals::default()));
+
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let net = net.clone();
+            let addr = daemon.addr().clone();
+            let stop = Arc::clone(&stop);
+            let measuring = Arc::clone(&measuring);
+            let totals = Arc::clone(&totals);
+            std::thread::spawn(move || {
+                let me = KeyPair::generate(&mut rand::thread_rng());
+                let mut local = RowTotals::default();
+                let mut client: Option<ServiceClient> = None;
+                while !stop.load(Ordering::SeqCst) {
+                    if client.is_none() {
+                        match ServiceClient::connect(&net, &"h".into(), addr.clone(), &me) {
+                            Ok(mut c) => {
+                                c.set_timeout(CLIENT_TIMEOUT);
+                                client = Some(c);
+                            }
+                            Err(_) => {
+                                std::thread::sleep(Duration::from_millis(1));
+                                continue;
+                            }
+                        }
+                    }
+                    let counted = measuring.load(Ordering::SeqCst);
+                    if counted {
+                        local.attempts += 1;
+                    }
+                    let t0 = Instant::now();
+                    match client
+                        .as_mut()
+                        .expect("connected")
+                        .call(&CmdLine::new("work"))
+                    {
+                        Ok(_) => {
+                            if counted {
+                                local.goodput += 1;
+                                local.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                            }
+                        }
+                        Err(ClientError::Service { code, .. }) if code.is_retryable() => {
+                            if counted {
+                                local.shed += 1;
+                            }
+                            // Impatient re-offer: the shed reply came back
+                            // fast, so the client is free to hammer again.
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(ClientError::Service { code, msg }) => {
+                            panic!("unexpected service error {code}: {msg}");
+                        }
+                        Err(ClientError::Link(_)) => {
+                            // Timed out (or severed): abandon the link and
+                            // re-offer on a fresh one — the queued command
+                            // is now a zombie the server may still execute.
+                            if counted {
+                                local.timeouts += 1;
+                            }
+                            client = None;
+                        }
+                    }
+                }
+                let mut t = totals.lock().unwrap();
+                t.attempts += local.attempts;
+                t.goodput += local.goodput;
+                t.shed += local.shed;
+                t.timeouts += local.timeouts;
+                t.latencies_ms.extend(local.latencies_ms);
+            })
+        })
+        .collect();
+
+    std::thread::sleep(WARMUP);
+    measuring.store(true, Ordering::SeqCst);
+    std::thread::sleep(MEASURE);
+    measuring.store(false, Ordering::SeqCst);
+    stop.store(true, Ordering::SeqCst);
+    for h in handles {
+        h.join().expect("worker");
+    }
+
+    // Server-side accounting via the priority lane (answerable even with a
+    // drowning bulk lane — that is the point).
+    let me = KeyPair::generate(&mut rand::thread_rng());
+    let mut probe =
+        ServiceClient::connect(&net, &"h".into(), daemon.addr().clone(), &me).expect("probe");
+    let report = StatsReport::from_cmdline(&probe.call(&CmdLine::new("aceStats")).expect("stats"));
+    let counter = |k: &str| report.counters.get(k).copied().unwrap_or(0);
+    let queue_shed = counter("shed.bulkFull") + counter("shed.queueWait");
+    let queue_deadline_shed = counter("shed.deadline");
+    daemon.shutdown();
+
+    let t = totals.lock().unwrap();
+    let mut sorted = t.latencies_ms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let secs = MEASURE.as_secs_f64();
+    Row {
+        mode,
+        load,
+        workers,
+        offered_per_sec: t.attempts as f64 / secs,
+        goodput_per_sec: t.goodput as f64 / secs,
+        shed_per_sec: t.shed as f64 / secs,
+        timeouts_per_sec: t.timeouts as f64 / secs,
+        p50_ms: percentile(&sorted, 50.0),
+        p99_ms: percentile(&sorted, 99.0),
+        queue_shed,
+        queue_deadline_shed,
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_pr7.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" => out_path = args.next().expect("-o needs a path"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let capacity = 1000.0 / WORK_MS as f64;
+    // Worker counts per offered-load tier.  4 closed-loop workers sit at
+    // capacity (the 1x baseline); with 100ms patience, N impatient workers
+    // re-offer at least N·10/s even when every call times out, so 20 and 40
+    // workers pin offered load at or above 2x and 4x capacity.
+    let tiers: [(&str, usize); 3] = [("1x", 4), ("2x", 20), ("4x", 40)];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (load, workers) in tiers {
+        for (mode, admission) in [
+            ("uncontrolled", AdmissionConfig::uncontrolled()),
+            ("controlled", AdmissionConfig::default()),
+        ] {
+            let row = run_row(mode, load, workers, admission);
+            eprintln!(
+                "{mode:>12} {load}: offered {:.0}/s, goodput {:.0}/s, shed {:.0}/s, \
+                 timeouts {:.0}/s, p50 {:.1}ms, p99 {:.1}ms, queue shed {} (+{} expired)",
+                row.offered_per_sec,
+                row.goodput_per_sec,
+                row.shed_per_sec,
+                row.timeouts_per_sec,
+                row.p50_ms,
+                row.p99_ms,
+                row.queue_shed,
+                row.queue_deadline_shed,
+            );
+            rows.push(row);
+        }
+    }
+
+    let find = |mode: &str, load: &str| {
+        rows.iter()
+            .find(|r| r.mode == mode && r.load == load)
+            .expect("row exists")
+    };
+    let baseline_p99 = find("uncontrolled", "1x").p99_ms;
+    let controlled_4x = find("controlled", "4x");
+    let uncontrolled_4x = find("uncontrolled", "4x");
+
+    let mut json = format!(
+        "{{\n  \"overload\": {{\n    \"service_ms\": {WORK_MS},\n    \
+         \"capacity_per_sec\": {capacity:.0},\n    \"client_timeout_ms\": {},\n    \
+         \"warmup_s\": {},\n    \"measure_s\": {},\n    \"rows\": [\n",
+        CLIENT_TIMEOUT.as_millis(),
+        WARMUP.as_secs(),
+        MEASURE.as_secs(),
+    );
+    let row_lines: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"mode\": \"{}\", \"load\": \"{}\", \"workers\": {}, \
+                 \"offered_per_sec\": {:.1}, \"goodput_per_sec\": {:.1}, \
+                 \"shed_per_sec\": {:.1}, \"timeouts_per_sec\": {:.1}, \
+                 \"p50_ms\": {:.2}, \"p99_ms\": {:.2}, \
+                 \"queue_shed\": {}, \"queue_deadline_shed\": {}}}",
+                r.mode,
+                r.load,
+                r.workers,
+                r.offered_per_sec,
+                r.goodput_per_sec,
+                r.shed_per_sec,
+                r.timeouts_per_sec,
+                r.p50_ms,
+                r.p99_ms,
+                r.queue_shed,
+                r.queue_deadline_shed,
+            )
+        })
+        .collect();
+    json.push_str(&row_lines.join(",\n"));
+    json.push_str(&format!(
+        "\n    ],\n    \"summary\": {{\n      \
+         \"uncontrolled_1x_p99_ms\": {baseline_p99:.2},\n      \
+         \"controlled_4x_goodput_per_sec\": {:.1},\n      \
+         \"controlled_4x_goodput_frac_of_capacity\": {:.3},\n      \
+         \"controlled_4x_p99_ms\": {:.2},\n      \
+         \"controlled_4x_p99_vs_baseline\": {:.2},\n      \
+         \"uncontrolled_4x_goodput_per_sec\": {:.1},\n      \
+         \"uncontrolled_4x_goodput_frac_of_capacity\": {:.3}\n    }}\n  }}\n}}\n",
+        controlled_4x.goodput_per_sec,
+        controlled_4x.goodput_per_sec / capacity,
+        controlled_4x.p99_ms,
+        if baseline_p99 > 0.0 {
+            controlled_4x.p99_ms / baseline_p99
+        } else {
+            0.0
+        },
+        uncontrolled_4x.goodput_per_sec,
+        uncontrolled_4x.goodput_per_sec / capacity,
+    ));
+    std::fs::write(&out_path, &json).expect("write artifact");
+    println!(
+        "wrote {out_path}: controlled 4x goodput {:.0}/s ({:.0}% of capacity, p99 {:.1}ms) \
+         vs uncontrolled 4x {:.0}/s ({:.0}%)",
+        controlled_4x.goodput_per_sec,
+        100.0 * controlled_4x.goodput_per_sec / capacity,
+        controlled_4x.p99_ms,
+        uncontrolled_4x.goodput_per_sec,
+        100.0 * uncontrolled_4x.goodput_per_sec / capacity,
+    );
+}

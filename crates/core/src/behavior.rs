@@ -16,7 +16,7 @@ use ace_net::{Addr, Datagram, HostId, SimNet};
 use ace_security::keys::KeyPair;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Who issued the command being handled.
 #[derive(Debug, Clone)]
@@ -99,6 +99,10 @@ pub struct ServiceCtx {
     pub(crate) pending_events: Vec<CmdLine>,
     /// Set by the behavior to request daemon shutdown.
     pub(crate) stop_requested: bool,
+    /// Absolute expiry of the command currently being dispatched, derived
+    /// from its `deadline=` header; set by the control thread around each
+    /// dispatch.
+    deadline: Option<Instant>,
 }
 
 impl ServiceCtx {
@@ -131,7 +135,27 @@ impl ServiceCtx {
             clients: HashMap::new(),
             pending_events: Vec::new(),
             stop_requested: false,
+            deadline: None,
         }
+    }
+
+    /// Install (or clear) the deadline of the command being dispatched.
+    pub(crate) fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Wall-clock budget left before the current command's client gives
+    /// up, if the caller stamped a `deadline=`.  Long-running handlers can
+    /// check this and bail out early instead of computing a reply nobody
+    /// will read.
+    pub fn time_remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Has the current command's deadline already lapsed?
+    pub fn deadline_expired(&self) -> bool {
+        matches!(self.time_remaining(), Some(r) if r.is_zero())
     }
 
     /// This service's name.
@@ -182,7 +206,21 @@ impl ServiceCtx {
     /// Call another ACE service, reusing a cached connection.  On a link
     /// failure the connection is discarded and retried once (services may
     /// have restarted on the same address).
+    ///
+    /// When the command being dispatched carried a `deadline=`, the
+    /// remaining budget is stamped onto the outbound command so downstream
+    /// hops inherit (and decrement) the caller's deadline.
     pub fn call(&mut self, addr: &Addr, cmd: &CmdLine) -> Result<CmdLine, ClientError> {
+        let stamped;
+        let cmd = match self.time_remaining() {
+            Some(remaining) if cmd.deadline_ms().is_none() => {
+                let mut c = cmd.clone();
+                c.set_deadline_ms(remaining.as_millis() as i64);
+                stamped = c;
+                &stamped
+            }
+            _ => cmd,
+        };
         for attempt in 0..2 {
             if !self.clients.contains_key(addr) {
                 let client =

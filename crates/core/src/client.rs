@@ -130,7 +130,20 @@ impl ServiceClient {
     ///
     /// `Ok(reply)` is the service's `ok …;` result; service-level failures
     /// (`error code=… msg=…;`) surface as [`ClientError::Service`].
+    ///
+    /// Commands without an explicit `deadline=` are stamped with this
+    /// client's call timeout, so the server can shed the request once we
+    /// have given up waiting for its reply.
     pub fn call(&mut self, cmd: &CmdLine) -> Result<CmdLine, ClientError> {
+        let stamped;
+        let cmd = if cmd.deadline_ms().is_none() {
+            let mut c = cmd.clone();
+            c.set_deadline_ms(self.timeout.as_millis() as i64);
+            stamped = c;
+            &stamped
+        } else {
+            cmd
+        };
         self.link.send_cmd(cmd)?;
         let reply_cmd = self.link.recv_cmd(self.timeout)?;
         match Reply::from_cmdline(&reply_cmd) {

@@ -19,6 +19,10 @@
 //! * **data thread** — receives datagrams on the daemon's UDP channel and
 //!   forwards them to control.
 
+use crate::admission::{
+    admission_queue, AdmissionConfig, AdmissionQueue, AdmissionReceiver, AdmissionRecvError,
+    AdmitError, Lane,
+};
 use crate::auth::{action_env_for, AuthMode};
 use crate::behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
 use crate::client::{ClientError, ServiceClient};
@@ -26,11 +30,11 @@ use crate::link::{LinkError, SecureLink, TicketVault};
 use crate::metrics::{Counter, Histogram, MetricsRegistry};
 use crate::notify::{NotificationRegistry, Notifier, Registration};
 use crate::protocol;
-use crate::retry::RetryPolicy;
+use crate::retry::{RetryBudget, RetryPolicy};
 use ace_lang::{CmdLine, ErrorCode, Reply, Scalar, Semantics, Value};
 use ace_net::{Addr, Datagram, HostId, NetError, SimNet};
 use ace_security::keys::KeyPair;
-use crossbeam_channel::{Receiver, Sender};
+use crossbeam_channel::Sender;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
@@ -84,6 +88,8 @@ pub struct DaemonConfig {
     /// Notification registrations carried over from a previous
     /// incarnation, seeded before the first command executes.
     pub notifications: Vec<(String, Registration)>,
+    /// Admission-control sizing and shedding policy of the command plane.
+    pub admission: AdmissionConfig,
 }
 
 impl DaemonConfig {
@@ -113,6 +119,7 @@ impl DaemonConfig {
             incarnation: 0,
             ticket_vault: None,
             notifications: Vec::new(),
+            admission: AdmissionConfig::default(),
         }
     }
 
@@ -183,6 +190,13 @@ impl DaemonConfig {
         self.notifications = notifications;
         self
     }
+
+    /// Override the admission-control policy (lane sizes, CoDel target,
+    /// deadline enforcement).
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
 }
 
 /// Startup failures (Fig. 9 steps).
@@ -219,6 +233,9 @@ enum ControlMsg {
         reply: Sender<CmdLine>,
         /// When the command thread queued this — measures control-queue wait.
         enqueued: Instant,
+        /// Absolute expiry derived from the command's `deadline=` header;
+        /// the control thread sheds expired work before executing it.
+        deadline: Option<Instant>,
     },
     Data(Datagram),
     Stop,
@@ -272,13 +289,20 @@ impl Daemon {
                 })?;
         }
 
+        // Shared storm-prevention budget for this daemon's own retry loops
+        // (ASD registration below + lease renewal): even framework-plane
+        // retries must not amplify an overload.
+        let retry_budget = Arc::new(RetryBudget::new(5, 0.1));
+
         // Step 3: register with the ASD.  Registration rides out brief ASD
         // unavailability (e.g. an ASD restart mid-recovery) with a short
         // bounded backoff before the spawn is declared failed.
         if let Some(asd) = &config.asd {
+            retry_budget.note_call();
             let mut retry = RetryPolicy::new(Duration::from_millis(20))
                 .with_max_attempts(3)
                 .with_counter(metrics.counter("retry.backoffs"))
+                .with_retry_budget(Arc::clone(&retry_budget))
                 .start();
             loop {
                 let result = ServiceClient::connect(net, &config.host, asd.clone(), &identity)
@@ -337,7 +361,9 @@ impl Daemon {
         metrics
             .gauge("daemon.incarnation")
             .set(config.incarnation as i64);
-        let (control_tx, control_rx) = crossbeam_channel::unbounded::<ControlMsg>();
+        // Bounded two-lane admission queue: the command plane sheds instead
+        // of buffering without limit (see `crate::admission`).
+        let (control_tx, control_rx) = admission_queue::<ControlMsg>(&config.admission, &metrics);
         let (notifier, notifier_worker) = Notifier::spawn(
             net.clone(),
             config.host.clone(),
@@ -453,11 +479,21 @@ impl Daemon {
             let identity = Arc::clone(&identity);
             let config2 = config.clone();
             let metrics = Arc::clone(&metrics);
+            let retry_budget = Arc::clone(&retry_budget);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("{}-main", config.name))
                     .spawn(move || {
-                        lease_loop(net, config2, identity, stop, crashed, deregister, metrics)
+                        lease_loop(
+                            net,
+                            config2,
+                            identity,
+                            stop,
+                            crashed,
+                            deregister,
+                            metrics,
+                            retry_budget,
+                        )
                     })
                     .expect("spawn main thread"),
             );
@@ -498,7 +534,7 @@ pub struct DaemonHandle {
     deregister: Arc<AtomicBool>,
     ticket_vault: Arc<TicketVault>,
     metrics: Arc<MetricsRegistry>,
-    control_tx: Sender<ControlMsg>,
+    control_tx: AdmissionQueue<ControlMsg>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     notifier_worker: Mutex<Option<crate::notify::NotifierWorker>>,
     notifier: Mutex<Option<Notifier>>,
@@ -563,7 +599,9 @@ impl DaemonHandle {
     /// then joins all threads.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        let _ = self.control_tx.send(ControlMsg::Stop);
+        // Shutdown bypasses admission: it must land even when both lanes
+        // are saturated.
+        self.control_tx.force_priority(ControlMsg::Stop);
         self.join_threads();
     }
 
@@ -585,7 +623,7 @@ impl DaemonHandle {
     pub fn crash(&self) {
         self.crashed.store(true, Ordering::SeqCst);
         self.stop.store(true, Ordering::SeqCst);
-        let _ = self.control_tx.send(ControlMsg::Stop);
+        self.control_tx.force_priority(ControlMsg::Stop);
         self.join_threads();
     }
 
@@ -631,7 +669,7 @@ fn accept_loop(
     listener: ace_net::Listener,
     stop: Arc<AtomicBool>,
     upgrading: Arc<AtomicBool>,
-    control_tx: Sender<ControlMsg>,
+    control_tx: AdmissionQueue<ControlMsg>,
     identity: Arc<KeyPair>,
     semantics: Arc<Semantics>,
     name: String,
@@ -670,7 +708,7 @@ fn command_loop(
     conn: ace_net::Connection,
     stop: Arc<AtomicBool>,
     upgrading: Arc<AtomicBool>,
-    control_tx: Sender<ControlMsg>,
+    control_tx: AdmissionQueue<ControlMsg>,
     identity: Arc<KeyPair>,
     semantics: Arc<Semantics>,
     metrics: Arc<MetricsRegistry>,
@@ -692,6 +730,7 @@ fn command_loop(
     // registry lock.
     let rejected = metrics.counter("cmd.rejected");
     let upgrade_rejected = metrics.counter("upgrade.rejected");
+    let shed_deadline = metrics.counter("shed.deadline");
     let from = ClientInfo {
         principal: link.peer_principal().to_string(),
         addr: link.peer_addr().clone(),
@@ -726,17 +765,49 @@ fn command_loop(
             );
             continue;
         }
+        // Overload control happens here, on the command thread, before the
+        // control queue: expired deadlines and saturated lanes are refused
+        // with retryable errors instead of buffered.
+        let now = Instant::now();
+        let deadline = cmd
+            .deadline_ms()
+            .map(|ms| now + Duration::from_millis(ms.max(0) as u64));
+        if control_tx.enforce_deadlines() {
+            if let Some(ms) = cmd.deadline_ms() {
+                if ms <= 0 {
+                    shed_deadline.incr();
+                    let _ = link.send_cmd(
+                        &Reply::err(ErrorCode::Deadline, "deadline already expired").to_cmdline(),
+                    );
+                    continue;
+                }
+            }
+        }
+        let lane = if protocol::is_priority_verb(cmd.name()) {
+            Lane::Priority
+        } else {
+            Lane::Bulk
+        };
         let (reply_tx, reply_rx) = crossbeam_channel::bounded(1);
-        if control_tx
-            .send(ControlMsg::Execute {
+        match control_tx.offer(
+            lane,
+            ControlMsg::Execute {
                 cmd,
                 from: from.clone(),
                 reply: reply_tx,
-                enqueued: Instant::now(),
-            })
-            .is_err()
-        {
-            break; // control thread gone
+                enqueued: now,
+                deadline,
+            },
+        ) {
+            Ok(()) => {}
+            Err(AdmitError::Busy) => {
+                let _ = link.send_cmd(
+                    &Reply::err(ErrorCode::Busy, "admission queue saturated; retry later")
+                        .to_cmdline(),
+                );
+                continue;
+            }
+            Err(AdmitError::Closed) => break, // control thread gone
         }
         let reply = reply_rx.recv_timeout(REPLY_TIMEOUT).unwrap_or_else(|_| {
             Reply::err(ErrorCode::Internal, "control thread did not reply").to_cmdline()
@@ -750,13 +821,17 @@ fn command_loop(
 fn data_loop(
     dsocket: ace_net::DatagramSocket,
     stop: Arc<AtomicBool>,
-    control_tx: Sender<ControlMsg>,
+    control_tx: AdmissionQueue<ControlMsg>,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match dsocket.recv_timeout(COMMAND_POLL) {
             Ok(datagram) => {
-                if control_tx.send(ControlMsg::Data(datagram)).is_err() {
-                    break;
+                // Datagrams are lossy by contract: a saturated bulk lane
+                // drops them (counted by the admission shed counters)
+                // rather than buffering without bound.
+                match control_tx.offer(Lane::Bulk, ControlMsg::Data(datagram)) {
+                    Ok(()) | Err(AdmitError::Busy) => {}
+                    Err(AdmitError::Closed) => break,
                 }
             }
             Err(NetError::Timeout) => continue,
@@ -768,7 +843,7 @@ fn data_loop(
 /// Everything the control thread owns, bundled so the spawn site stays
 /// readable as the daemon grows capabilities.
 struct ControlParams {
-    rx: Receiver<ControlMsg>,
+    rx: AdmissionReceiver<ControlMsg>,
     behavior: Box<dyn ServiceBehavior>,
     ctx: ServiceCtx,
     stop: Arc<AtomicBool>,
@@ -825,8 +900,8 @@ fn control_loop(params: ControlParams) {
         errors: ctx.metrics().counter("cmd.errors"),
         verb_hists: HashMap::new(),
     };
-    let queue_depth = ctx.metrics().gauge("control.queueDepth");
     let queue_wait = ctx.metrics().histogram("control.queueWait");
+    let shed_deadline = ctx.metrics().counter("shed.deadline");
     let mut last_stats = Instant::now();
     behavior.on_start(&mut ctx);
     drain_events(&mut ctx, &registry, &name);
@@ -841,9 +916,31 @@ fn control_loop(params: ControlParams) {
                 from,
                 reply,
                 enqueued,
+                deadline,
             }) => {
-                queue_depth.set(rx.len() as i64);
-                queue_wait.record(enqueued.elapsed());
+                // Feed the CoDel estimator (the queue-depth gauge is kept
+                // current by the admission queue itself, on enqueue *and*
+                // dequeue).
+                let waited = enqueued.elapsed();
+                rx.note_wait(waited);
+                queue_wait.record(waited);
+                // Shed work whose client-side budget lapsed in queue: the
+                // caller is gone, executing would burn capacity for nobody.
+                if rx.enforce_deadlines() {
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            shed_deadline.incr();
+                            let _ = reply.send(
+                                Reply::err(
+                                    ErrorCode::Deadline,
+                                    "deadline expired in queue; shed before execution",
+                                )
+                                .to_cmdline(),
+                            );
+                            continue;
+                        }
+                    }
+                }
                 if cmd.name() == "aceUpgrade" {
                     let response = handle_upgrade(
                         &rx,
@@ -879,6 +976,7 @@ fn control_loop(params: ControlParams) {
                     cmd,
                     from,
                     reply,
+                    deadline,
                     &stop,
                 );
             }
@@ -887,14 +985,14 @@ fn control_loop(params: ControlParams) {
                 drain_events(&mut ctx, &registry, &name);
             }
             Ok(ControlMsg::Stop) => break,
-            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+            Err(AdmissionRecvError::Timeout) => {
                 behavior.on_tick(&mut ctx);
                 drain_events(&mut ctx, &registry, &name);
                 if ctx.stop_requested {
                     stop.store(true, Ordering::SeqCst);
                 }
             }
-            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+            Err(AdmissionRecvError::Disconnected) => break,
         }
         if !stats_interval.is_zero() && last_stats.elapsed() >= stats_interval {
             last_stats = Instant::now();
@@ -924,9 +1022,13 @@ fn dispatch_execute(
     cmd: CmdLine,
     from: ClientInfo,
     reply: Sender<CmdLine>,
+    deadline: Option<Instant>,
     stop: &AtomicBool,
 ) {
     let started = Instant::now();
+    // Handlers (and any downstream call they make) see the remaining
+    // client budget through `ctx.time_remaining()`.
+    ctx.set_deadline(deadline);
     // A panicking handler must not take down the control thread — the
     // caller gets an Internal error and the daemon keeps serving everyone
     // else.
@@ -953,6 +1055,7 @@ fn dispatch_execute(
             format!("handler for `{}` panicked", cmd.name()),
         )
     });
+    ctx.set_deadline(None);
     stats
         .verb_hists
         .entry(cmd.name().to_string())
@@ -982,7 +1085,7 @@ const QUIESCE_GRACE: Duration = Duration::from_millis(5);
 /// and snapshot observe a fully quiesced behavior.
 #[allow(clippy::too_many_arguments)]
 fn handle_upgrade(
-    rx: &Receiver<ControlMsg>,
+    rx: &AdmissionReceiver<ControlMsg>,
     behavior: &mut Box<dyn ServiceBehavior>,
     ctx: &mut ServiceCtx,
     registry: &mut NotificationRegistry,
@@ -1031,8 +1134,12 @@ fn handle_upgrade(
             let mut graced = false;
             loop {
                 match rx.try_recv() {
-                    Ok(ControlMsg::Execute {
-                        cmd, from, reply, ..
+                    Some(ControlMsg::Execute {
+                        cmd,
+                        from,
+                        reply,
+                        deadline,
+                        ..
                     }) => {
                         graced = false;
                         if cmd.name() == "aceUpgrade" {
@@ -1061,18 +1168,19 @@ fn handle_upgrade(
                             cmd,
                             from,
                             reply,
+                            deadline,
                             stop,
                         );
                     }
-                    Ok(ControlMsg::Data(datagram)) => {
+                    Some(ControlMsg::Data(datagram)) => {
                         behavior.on_data(ctx, datagram);
                         drain_events(ctx, registry, name);
                     }
-                    Ok(ControlMsg::Stop) => {
+                    Some(ControlMsg::Stop) => {
                         stop.store(true, Ordering::SeqCst);
                         break;
                     }
-                    Err(_) => {
+                    None => {
                         if graced {
                             break;
                         }
@@ -1244,6 +1352,7 @@ fn register_cmd(config: &DaemonConfig) -> CmdLine {
         .arg("incarnation", config.incarnation)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn lease_loop(
     net: SimNet,
     config: DaemonConfig,
@@ -1252,10 +1361,12 @@ fn lease_loop(
     crashed: Arc<AtomicBool>,
     deregister: Arc<AtomicBool>,
     metrics: Arc<MetricsRegistry>,
+    retry_budget: Arc<RetryBudget>,
 ) {
     let renewals = metrics.counter("lease.renewals");
     let failures = metrics.counter("lease.failures");
     let reregisters = metrics.counter("lease.reregisters");
+    let budget_denied = metrics.counter("retry.budgetDenied");
     let Some(asd) = config.asd.clone() else {
         // Nothing to renew; just wait for shutdown to deregister loggers.
         while !stop.load(Ordering::SeqCst) {
@@ -1280,6 +1391,23 @@ fn lease_loop(
             continue;
         }
         next_renew = Instant::now() + config.lease_renew;
+        // Each renewal period is fresh (non-retry) work: it earns back a
+        // slice of the shared retry budget.
+        retry_budget.note_call();
+        // An early (before the next full period) retry must be paid for
+        // out of the shared budget — when the bucket is dry we fall back
+        // to the regular renewal cadence instead of adding retry pressure
+        // to an ASD that is already struggling.
+        let schedule_retry = |link_failures: &mut u32| {
+            let at = if retry_budget.try_withdraw() {
+                Instant::now() + reconnect.delay_for(*link_failures)
+            } else {
+                budget_denied.incr();
+                Instant::now() + config.lease_renew
+            };
+            *link_failures = link_failures.saturating_add(1);
+            at
+        };
         if client.is_none() {
             client = ServiceClient::connect(&net, &config.host, asd.clone(), &identity).ok();
         }
@@ -1304,16 +1432,14 @@ fn lease_loop(
                     Err(_) => {
                         failures.incr();
                         client = None;
-                        next_renew = Instant::now() + reconnect.delay_for(link_failures);
-                        link_failures = link_failures.saturating_add(1);
+                        next_renew = schedule_retry(&mut link_failures);
                     }
                 }
             }
             None => {
                 // Connect itself failed (ASD down or unreachable).
                 failures.incr();
-                next_renew = Instant::now() + reconnect.delay_for(link_failures);
-                link_failures = link_failures.saturating_add(1);
+                next_renew = schedule_retry(&mut link_failures);
             }
         }
     }

@@ -34,11 +34,12 @@
 //! clients.
 
 use crate::behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
+use crate::breaker::{BreakerRegistry, BreakerVerdict};
 use crate::client::{ClientError, ServiceClient};
 use crate::metrics::{Counter, MetricsRegistry};
 use crate::pool::{LinkPool, PooledLink};
 use crate::protocol;
-use crate::retry::RetryPolicy;
+use crate::retry::{RetryBudget, RetryPolicy};
 use ace_lang::{ArgType, CmdLine, CmdSpec, ErrorCode, Reply, Semantics};
 use ace_net::{Addr, HostId, SimNet};
 use ace_security::keys::KeyPair;
@@ -241,6 +242,13 @@ impl Conn {
                 Conn::Pooled(p) => p.was_reused(),
             }
     }
+
+    fn target(&self) -> Addr {
+        match self {
+            Conn::Direct(c) => c.target().clone(),
+            Conn::Pooled(p) => p.target().clone(),
+        }
+    }
 }
 
 /// A client bound to a service name, resolved through the ASD.
@@ -270,8 +278,12 @@ pub struct FailoverClient {
     current: Option<Conn>,
     pool: Option<Arc<LinkPool>>,
     cache: Option<Arc<ResolutionCache>>,
+    breaker: Option<Arc<BreakerRegistry>>,
+    retry_budget: Option<Arc<RetryBudget>>,
     /// Resolutions performed (observability for tests/experiments).
     resolutions: u64,
+    /// Calls rejected locally by an open circuit breaker.
+    breaker_fast_fails: u64,
 }
 
 impl FailoverClient {
@@ -295,7 +307,10 @@ impl FailoverClient {
             current: None,
             pool: None,
             cache: None,
+            breaker: None,
+            retry_budget: None,
             resolutions: 0,
+            breaker_fast_fails: 0,
         }
     }
 
@@ -332,10 +347,34 @@ impl FailoverClient {
         self
     }
 
+    /// Guard calls with per-target circuit breakers (shared across the
+    /// process's clients).  Link failures and `E_BUSY` sheds count toward
+    /// opening; an open breaker fails calls fast without touching the
+    /// network, and opening evicts pooled links and the cached resolution
+    /// exactly like an `E_UPGRADING` rejection does.
+    pub fn with_breaker(mut self, breaker: Arc<BreakerRegistry>) -> FailoverClient {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Cap this client's retries with a shared [`RetryBudget`]: each call
+    /// deposits a fraction of a retry, each actual retry withdraws one, so
+    /// sustained failure degrades to roughly one attempt per call instead
+    /// of a full retry storm.
+    pub fn with_retry_budget(mut self, budget: Arc<RetryBudget>) -> FailoverClient {
+        self.retry_budget = Some(budget);
+        self
+    }
+
     /// How many times the name has been (re-)resolved through the ASD
     /// (cache hits don't count — that is the point of the cache).
     pub fn resolutions(&self) -> u64 {
         self.resolutions
+    }
+
+    /// Calls rejected locally because the target's breaker was open.
+    pub fn breaker_fast_fails(&self) -> u64 {
+        self.breaker_fast_fails
     }
 
     fn lookup_via(&self, asd_client: &mut ServiceClient) -> Result<CmdLine, ClientError> {
@@ -395,16 +434,31 @@ impl FailoverClient {
     fn connect_current(&mut self) -> Result<&mut Conn, ClientError> {
         if self.current.is_none() {
             let addr = self.resolve()?;
-            let conn = match &self.pool {
-                Some(pool) => Conn::Pooled(pool.checkout(&addr)?),
-                None => Conn::Direct(ServiceClient::connect(
-                    &self.net,
-                    &self.from_host,
-                    addr,
-                    &self.identity,
-                )?),
+            if let Some(breaker) = &self.breaker {
+                if breaker.check(&addr) == BreakerVerdict::Rejected {
+                    self.breaker_fast_fails += 1;
+                    return Err(ClientError::Service {
+                        code: ErrorCode::Busy,
+                        msg: format!("circuit breaker open for {addr}"),
+                    });
+                }
+            }
+            let dialed = match &self.pool {
+                Some(pool) => pool.checkout(&addr).map(Conn::Pooled),
+                None => {
+                    ServiceClient::connect(&self.net, &self.from_host, addr.clone(), &self.identity)
+                        .map(Conn::Direct)
+                }
             };
-            self.current = Some(conn);
+            match dialed {
+                Ok(conn) => self.current = Some(conn),
+                Err(err) => {
+                    // A breaker `Admit` (possibly a half-open probe slot)
+                    // must see exactly one outcome report.
+                    self.note_target_failure(&addr);
+                    return Err(err);
+                }
+            }
         }
         Ok(self.current.as_mut().expect("just connected"))
     }
@@ -430,6 +484,29 @@ impl FailoverClient {
         self.current = None;
         if let Some(cache) = &self.cache {
             cache.invalidate(&self.service_name);
+        }
+    }
+
+    /// Report a failed call to the breaker.  When this failure *opens* the
+    /// target's breaker, evict its pooled links and the cached resolution —
+    /// the same cleanup `note_upgrading` performs — so no client keeps
+    /// dialing a melting instance from warm state.
+    fn note_target_failure(&mut self, target: &Addr) {
+        if let Some(breaker) = &self.breaker {
+            if breaker.record_failure(target) {
+                if let Some(pool) = &self.pool {
+                    pool.evict(target);
+                }
+                if let Some(cache) = &self.cache {
+                    cache.invalidate(&self.service_name);
+                }
+            }
+        }
+    }
+
+    fn note_target_success(&mut self, target: &Addr) {
+        if let Some(breaker) = &self.breaker {
+            breaker.record_success(target);
         }
     }
 
@@ -461,27 +538,61 @@ impl FailoverClient {
         cmd: &CmdLine,
         retry_after_send: bool,
     ) -> Result<CmdLine, ClientError> {
-        let mut retry = self.policy.clone().with_budget(self.retry_window).start();
+        if let Some(budget) = &self.retry_budget {
+            budget.note_call();
+        }
+        let mut policy = self.policy.clone().with_budget(self.retry_window);
+        if let Some(budget) = &self.retry_budget {
+            policy = policy.with_retry_budget(Arc::clone(budget));
+        }
+        let mut retry = policy.start();
+        // Commands without an explicit deadline get stamped with what is
+        // left of the hunt window on each attempt, so servers can shed
+        // work we will have given up on.
+        let hunt_deadline = Instant::now() + self.retry_window;
+        let stamp = cmd.deadline_ms().is_none();
         let mut last_err: Option<ClientError>;
         loop {
+            let attempt_cmd;
+            let cmd = if stamp {
+                let remaining = hunt_deadline.saturating_duration_since(Instant::now());
+                let mut c = cmd.clone();
+                c.set_deadline_ms(remaining.as_millis() as i64);
+                attempt_cmd = c;
+                &attempt_cmd
+            } else {
+                cmd
+            };
             let held_over = self.current.is_some();
             match self.connect_current() {
                 Ok(conn) => {
                     let established = conn.is_established(held_over);
+                    let target = conn.target();
                     match conn.call(cmd) {
-                        Ok(reply) => return Ok(reply),
-                        Err(err @ ClientError::Service { .. }) => {
+                        Ok(reply) => {
+                            self.note_target_success(&target);
+                            return Ok(reply);
+                        }
+                        Err(err @ ClientError::Service { .. }) => match err.code() {
                             // E_UPGRADING means the verb was not executed
                             // and the replacement is moments away: evict
                             // the link + resolution and keep hunting.
-                            if err.code() == Some(ErrorCode::Upgrading) {
+                            Some(ErrorCode::Upgrading) => {
                                 self.note_upgrading();
                                 last_err = Some(err);
-                            } else {
-                                return Err(err);
                             }
-                        }
+                            // E_BUSY / E_DEADLINE: the daemon shed the
+                            // command before executing it.  The link is
+                            // healthy — keep it — but an overloaded target
+                            // counts toward opening its breaker.
+                            Some(code) if code.is_retryable() => {
+                                self.note_target_failure(&target);
+                                last_err = Some(err);
+                            }
+                            _ => return Err(err),
+                        },
                         Err(link_err) => {
+                            self.note_target_failure(&target);
                             self.note_link_failure();
                             // A send on an established link may have
                             // executed; only retry when the caller allows it
@@ -495,7 +606,12 @@ impl FailoverClient {
                     }
                 }
                 Err(err) => {
-                    self.note_link_failure();
+                    // Resolution failures, dial failures, and breaker
+                    // fast-fails.  Only link-level errors implicate the
+                    // cached resolution.
+                    if matches!(err, ClientError::Link(_)) {
+                        self.note_link_failure();
+                    }
                     last_err = Some(err);
                 }
             }

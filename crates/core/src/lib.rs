@@ -54,8 +54,10 @@
 //! daemon.shutdown();
 //! ```
 
+pub mod admission;
 pub mod auth;
 pub mod behavior;
+pub mod breaker;
 pub mod client;
 pub mod daemon;
 pub mod failover;
@@ -67,8 +69,10 @@ pub mod protocol;
 pub mod retry;
 pub mod supervise;
 
+pub use admission::{AdmissionConfig, AdmitError, Lane};
 pub use auth::{action_env_for, AuthMode, Authorizer, CredentialSource};
 pub use behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
+pub use breaker::{BreakerConfig, BreakerRegistry, BreakerVerdict};
 pub use client::{ClientError, ServiceClient};
 pub use daemon::{Daemon, DaemonConfig, DaemonHandle, SpawnError};
 pub use failover::{
@@ -79,7 +83,7 @@ pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, RegistrySnapshot, 
 pub use notify::{NotificationRegistry, Notifier, Registration};
 pub use pool::{LinkPool, PooledLink};
 pub use protocol::{ServiceEntry, ASD_PORT, LOGGER_PORT, ROOMDB_PORT};
-pub use retry::{Retry, RetryPolicy};
+pub use retry::{Retry, RetryBudget, RetryPolicy};
 pub use supervise::{
     live_upgrade, Respawn, RespawnFn, RestartPolicy, SuperviseError, SupervisedSpec, Supervisor,
     SupervisorReport, UpgradeError, UpgradeFn, UpgradeStats,
@@ -87,8 +91,10 @@ pub use supervise::{
 
 /// Everything needed to implement and run a service.
 pub mod prelude {
+    pub use crate::admission::AdmissionConfig;
     pub use crate::auth::{AuthMode, Authorizer};
     pub use crate::behavior::{ClientInfo, ServiceBehavior, ServiceCtx};
+    pub use crate::breaker::{BreakerConfig, BreakerRegistry};
     pub use crate::client::{ClientError, ServiceClient};
     pub use crate::daemon::{Daemon, DaemonConfig, DaemonHandle};
     pub use crate::failover::{
@@ -98,7 +104,7 @@ pub mod prelude {
     pub use crate::metrics::{MetricsRegistry, StatsReport};
     pub use crate::pool::{LinkPool, PooledLink};
     pub use crate::protocol::ServiceEntry;
-    pub use crate::retry::{Retry, RetryPolicy};
+    pub use crate::retry::{Retry, RetryBudget, RetryPolicy};
     pub use crate::supervise::{
         live_upgrade, Respawn, RestartPolicy, SupervisedSpec, Supervisor, UpgradeError,
         UpgradeStats,

@@ -10,11 +10,11 @@
 //! notified services without blocking the daemon's control thread.
 
 use crate::client::ServiceClient;
-use crate::metrics::MetricsRegistry;
-use ace_lang::CmdLine;
+use crate::metrics::{Counter, MetricsRegistry};
+use ace_lang::{CmdLine, DEADLINE_ARG};
 use ace_net::{Addr, HostId, SimNet};
 use ace_security::keys::KeyPair;
-use crossbeam_channel::{Receiver, Sender};
+use crossbeam_channel::{Receiver, Sender, TrySendError};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -23,6 +23,12 @@ use std::time::{Duration, Instant};
 /// below the command plane's 30s reply timeout: a slow listener delays the
 /// rest of the queue by at most this much.
 const NOTIFY_CALL_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Outbound queue bound.  A producer that outruns delivery (an event storm,
+/// a partition stalling the worker on call timeouts) sheds the newest
+/// messages — counted in `notify.shed` — instead of growing the queue, and
+/// the daemon's memory, without limit.
+const NOTIFY_QUEUE_CAPACITY: usize = 1024;
 
 /// After a failed delivery the address sits in a negative cache this long;
 /// messages to it are counted as drops instead of re-paying the connect or
@@ -115,7 +121,10 @@ impl NotificationRegistry {
             .arg("service", origin_service)
             .arg("cmd", executed.name());
         for (name, value) in executed.args() {
-            if name != "service" && name != "cmd" {
+            // The executed command's `deadline=` was the *caller's* budget;
+            // propagating it would expire notifications that are delivered
+            // after the original call returned.
+            if name != "service" && name != "cmd" && name != DEADLINE_ARG {
                 out.push_arg(name.clone(), value.clone());
             }
         }
@@ -136,6 +145,7 @@ pub struct Outbound {
 /// never blocks on a slow or dead listener.
 pub struct Notifier {
     tx: Sender<Outbound>,
+    shed: Arc<Counter>,
 }
 
 /// Handle used to join the worker on shutdown.
@@ -145,26 +155,35 @@ pub struct NotifierWorker {
 
 impl Notifier {
     /// Spawn the delivery worker.  Delivery outcomes are recorded in
-    /// `metrics` (`notify.delivered`, `notify.drops`, `notify.latency`,
-    /// `notify.queueDepth`).
+    /// `metrics` (`notify.delivered`, `notify.drops`, `notify.shed`,
+    /// `notify.latency`, `notify.queueDepth`).
     pub fn spawn(
         net: SimNet,
         from_host: HostId,
         identity: Arc<KeyPair>,
         metrics: Arc<MetricsRegistry>,
     ) -> (Notifier, NotifierWorker) {
-        let (tx, rx) = crossbeam_channel::unbounded::<Outbound>();
+        let (tx, rx) = crossbeam_channel::bounded::<Outbound>(NOTIFY_QUEUE_CAPACITY);
+        let shed = metrics.counter("notify.shed");
         let join = std::thread::Builder::new()
             .name(format!("notifier-{from_host}"))
             .spawn(move || deliver_loop(rx, net, from_host, identity, metrics))
             .expect("spawn notifier thread");
-        (Notifier { tx }, NotifierWorker { join })
+        (Notifier { tx, shed }, NotifierWorker { join })
     }
 
     /// Queue one message for delivery.  Returns `false` if the worker has
-    /// stopped.
+    /// stopped or the queue is full (the message is shed, never blocking
+    /// the caller — typically the daemon's control thread).
     pub fn send(&self, addr: Addr, cmd: CmdLine) -> bool {
-        self.tx.send(Outbound { addr, cmd }).is_ok()
+        match self.tx.try_send(Outbound { addr, cmd }) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                self.shed.incr();
+                false
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        }
     }
 }
 
@@ -172,6 +191,7 @@ impl Clone for Notifier {
     fn clone(&self) -> Self {
         Notifier {
             tx: self.tx.clone(),
+            shed: Arc::clone(&self.shed),
         }
     }
 }
@@ -311,6 +331,16 @@ mod tests {
         assert_eq!(n.name(), "on_recorder");
         assert_eq!(n.get_text("service"), Some("cam1")); // provenance wins
         assert_eq!(n.get_text("cmd"), Some("ptzMove"));
+        assert_eq!(n.get_int("x"), Some(3));
+    }
+
+    #[test]
+    fn notification_cmd_strips_caller_deadline() {
+        let registration = reg("recorder", 1);
+        let mut executed = CmdLine::new("ptzMove").arg("x", 3);
+        executed.set_deadline_ms(25);
+        let n = NotificationRegistry::notification_cmd(&registration, "cam1", &executed);
+        assert_eq!(n.deadline_ms(), None, "caller budget must not propagate");
         assert_eq!(n.get_int("x"), Some(3));
     }
 }

@@ -20,6 +20,23 @@ pub const ROOMDB_PORT: u16 = 5001;
 /// Well-known port of the Network Logger.
 pub const LOGGER_PORT: u16 = 5002;
 
+/// Verbs admitted on the daemon's **priority lane**: the control, health,
+/// lease, and upgrade plane that must keep answering while bulk traffic is
+/// being shed.  Everything else rides the bounded bulk lane and may be
+/// refused with `E_BUSY` under overload.
+pub fn is_priority_verb(name: &str) -> bool {
+    matches!(
+        name,
+        // Health / liveness.
+        "ping" | "describe" | "aceStats"
+        // Control plane.
+        | "shutdown" | "aceUpgrade"
+        // Lease / registration plane (ASD + Room DB verbs).
+        | "register" | "renewLease" | "removeService"
+        | "roomRegister" | "roomRemove"
+    )
+}
+
 /// Built-in commands of every service daemon.  Service-specific semantics
 /// inherit from this set (the root of the Fig. 6 hierarchy).
 pub fn base_semantics() -> Semantics {

@@ -32,8 +32,98 @@
 //! ```
 
 use crate::metrics::Counter;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A storm-prevention retry budget (token bucket), shared by every retry
+/// loop of one client or daemon.
+///
+/// Backoff alone does not stop a synchronized fleet from amplifying an
+/// overload: when a daemon sheds with `E_BUSY`, each caller that retries
+/// multiplies the offered load.  A budget caps the *ratio* of retries to
+/// fresh work: every logical request deposits a fraction of a token
+/// ([`RetryBudget::note_call`]), every retry withdraws a whole one
+/// ([`RetryBudget::try_withdraw`]), and when the bucket is empty the retry
+/// is skipped — the failure surfaces immediately instead of adding fuel.
+/// The bucket starts full (`max` tokens) so cold-start blips can still be
+/// ridden out.
+///
+/// Token arithmetic is done in integer milli-tokens on one atomic, so the
+/// budget can be shared across threads without locks.
+#[derive(Debug)]
+pub struct RetryBudget {
+    /// Current balance in milli-tokens.
+    mtokens: AtomicI64,
+    /// Bucket capacity in milli-tokens.
+    max_mtokens: i64,
+    /// Deposit per logical request, in milli-tokens.
+    deposit_mtokens: i64,
+    /// Retries refused because the bucket was empty.
+    denied: AtomicU64,
+}
+
+impl RetryBudget {
+    /// A bucket holding at most `max` retry tokens, refilled by
+    /// `deposit_per_call` tokens per logical request (clamped to `[0, 1]`).
+    pub fn new(max: u32, deposit_per_call: f64) -> RetryBudget {
+        let max_mtokens = i64::from(max) * 1000;
+        RetryBudget {
+            mtokens: AtomicI64::new(max_mtokens),
+            max_mtokens,
+            deposit_mtokens: (deposit_per_call.clamp(0.0, 1.0) * 1000.0) as i64,
+            denied: AtomicU64::new(0),
+        }
+    }
+
+    /// The conventional client budget: retries may add at most ~10% load
+    /// on top of fresh requests, with a 10-token reserve for cold starts.
+    pub fn default_for_client() -> RetryBudget {
+        RetryBudget::new(10, 0.1)
+    }
+
+    /// Record one logical (non-retry) request, depositing its fraction of
+    /// a retry token.
+    pub fn note_call(&self) {
+        let prev = self
+            .mtokens
+            .fetch_add(self.deposit_mtokens, Ordering::Relaxed);
+        if prev + self.deposit_mtokens > self.max_mtokens {
+            self.mtokens.store(self.max_mtokens, Ordering::Relaxed);
+        }
+    }
+
+    /// Try to pay for one retry.  Returns `false` — and counts the denial —
+    /// when the bucket is empty, in which case the caller must *not* retry.
+    pub fn try_withdraw(&self) -> bool {
+        let mut cur = self.mtokens.load(Ordering::Relaxed);
+        loop {
+            if cur < 1000 {
+                self.denied.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match self.mtokens.compare_exchange_weak(
+                cur,
+                cur - 1000,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Whole tokens currently in the bucket.
+    pub fn balance(&self) -> u32 {
+        (self.mtokens.load(Ordering::Relaxed).max(0) / 1000) as u32
+    }
+
+    /// How many retries the budget has refused so far.
+    pub fn denied(&self) -> u64 {
+        self.denied.load(Ordering::Relaxed)
+    }
+}
 
 /// An immutable retry recipe: exponential backoff, cap, deterministic
 /// jitter, and optional attempt/wall-clock limits.
@@ -47,6 +137,7 @@ pub struct RetryPolicy {
     jitter: f64,
     max_attempts: Option<u32>,
     budget: Option<Duration>,
+    retry_budget: Option<Arc<RetryBudget>>,
     seed: u64,
     counter: Option<Arc<Counter>>,
 }
@@ -63,6 +154,7 @@ impl RetryPolicy {
             jitter: 0.1,
             max_attempts: None,
             budget: None,
+            retry_budget: None,
             seed: 0x9E37_79B9_7F4A_7C15,
             counter: None,
         }
@@ -78,6 +170,7 @@ impl RetryPolicy {
             jitter: 0.0,
             max_attempts: None,
             budget: None,
+            retry_budget: None,
             seed: 0,
             counter: None,
         }
@@ -112,6 +205,16 @@ impl RetryPolicy {
     /// [`RetryPolicy::start`].
     pub fn with_budget(mut self, budget: Duration) -> RetryPolicy {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Charge every backoff against a shared storm-prevention
+    /// [`RetryBudget`]: when the bucket is empty, [`Retry::backoff`] gives
+    /// up immediately instead of amplifying an overload.  The caller is
+    /// responsible for depositing via [`RetryBudget::note_call`] once per
+    /// logical request.
+    pub fn with_retry_budget(mut self, budget: Arc<RetryBudget>) -> RetryPolicy {
+        self.retry_budget = Some(budget);
         self
     }
 
@@ -204,6 +307,11 @@ impl Retry {
         if self.exhausted() {
             return false;
         }
+        if let Some(budget) = &self.policy.retry_budget {
+            if !budget.try_withdraw() {
+                return false;
+            }
+        }
         let mut delay = self.policy.delay_for(self.attempt);
         if let Some(deadline) = self.deadline {
             delay = delay.min(deadline.saturating_duration_since(Instant::now()));
@@ -283,6 +391,46 @@ mod tests {
             .start();
         while retry.backoff() {}
         assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn retry_budget_starts_full_and_refuses_when_empty() {
+        let budget = RetryBudget::new(2, 0.1);
+        assert!(budget.try_withdraw());
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw(), "bucket exhausted");
+        assert_eq!(budget.denied(), 1);
+        // 10 fresh calls buy back one retry token.
+        for _ in 0..10 {
+            budget.note_call();
+        }
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw());
+    }
+
+    #[test]
+    fn retry_budget_deposits_cap_at_max() {
+        let budget = RetryBudget::new(1, 1.0);
+        for _ in 0..100 {
+            budget.note_call();
+        }
+        assert_eq!(budget.balance(), 1);
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw());
+    }
+
+    #[test]
+    fn backoff_respects_retry_budget() {
+        let budget = Arc::new(RetryBudget::new(3, 0.0));
+        let mut retry = RetryPolicy::fixed(Duration::from_millis(1))
+            .with_retry_budget(Arc::clone(&budget))
+            .start();
+        let mut taken = 0;
+        while retry.backoff() {
+            taken += 1;
+        }
+        assert_eq!(taken, 3, "only the budgeted retries run");
+        assert_eq!(budget.denied(), 1);
     }
 
     #[test]

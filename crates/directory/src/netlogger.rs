@@ -8,7 +8,9 @@
 
 use ace_core::prelude::*;
 use ace_core::protocol;
+use ace_core::Counter;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One activity record.
@@ -50,6 +52,13 @@ pub struct NetLogger {
     events: HashMap<String, VecDeque<EventRecord>>,
     events_per_service: usize,
     next_event_seq: u64,
+    /// Ring evictions, i.e. history lost to bounded retention.  Mirrored
+    /// into the daemon's metrics as `shed.records` / `shed.events` so a
+    /// flood that outruns the rings is visible, never silent.
+    records_shed: u64,
+    events_shed: u64,
+    shed_records_counter: Option<Arc<Counter>>,
+    shed_events_counter: Option<Arc<Counter>>,
 }
 
 impl NetLogger {
@@ -62,6 +71,10 @@ impl NetLogger {
             events: HashMap::new(),
             events_per_service: DEFAULT_EVENTS_PER_SERVICE,
             next_event_seq: 0,
+            records_shed: 0,
+            events_shed: 0,
+            shed_records_counter: None,
+            shed_events_counter: None,
         }
     }
 
@@ -173,7 +186,7 @@ impl ServiceBehavior for NetLogger {
         protocol::logger_semantics()
     }
 
-    fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, from: &ClientInfo) -> Reply {
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, from: &ClientInfo) -> Reply {
         match cmd.name() {
             "log" => {
                 let record = LogRecord {
@@ -190,6 +203,10 @@ impl ServiceBehavior for NetLogger {
                 self.next_seq += 1;
                 if self.records.len() == self.capacity {
                     self.records.pop_front();
+                    self.records_shed += 1;
+                    self.shed_records_counter
+                        .get_or_insert_with(|| ctx.metrics().counter("shed.records"))
+                        .incr();
                 }
                 self.records.push_back(record);
                 Reply::ok_with(|c| c.arg("seq", (self.next_seq - 1) as i64))
@@ -245,6 +262,10 @@ impl ServiceBehavior for NetLogger {
                 let ring = self.events.entry(service).or_default();
                 if ring.len() == self.events_per_service {
                     ring.pop_front();
+                    self.events_shed += 1;
+                    self.shed_events_counter
+                        .get_or_insert_with(|| ctx.metrics().counter("shed.events"))
+                        .incr();
                 }
                 ring.push_back(record);
                 Reply::ok_with(|c| c.arg("seq", (self.next_event_seq - 1) as i64))
@@ -295,6 +316,8 @@ impl ServiceBehavior for NetLogger {
                         .arg("security", security)
                         .arg("eventsTotal", self.next_event_seq as i64)
                         .arg("eventsRetained", events_retained as i64)
+                        .arg("recordsShed", self.records_shed as i64)
+                        .arg("eventsShed", self.events_shed as i64)
                 })
             }
             other => Reply::err(ErrorCode::Internal, format!("unrouted command `{other}`")),

@@ -1,0 +1,55 @@
+//! Overload regressions for the directory tier: the Net Logger's bounded
+//! rings must absorb a flood by evicting oldest-first — retention pinned at
+//! the ring bound, every eviction counted in both the `logStats` reply and
+//! the `shed.*` metrics — instead of growing without limit.
+
+use ace_core::prelude::*;
+use ace_directory::{LoggerClient, NetLogger};
+use ace_security::keys::KeyPair;
+
+#[test]
+fn netlogger_flood_is_bounded_and_counted() {
+    let net = SimNet::new();
+    net.add_host("h");
+    let logger = Daemon::spawn(
+        &net,
+        DaemonConfig::new("logger", "Service.Logger", "room", "h", 4700),
+        Box::new(NetLogger::new(8).with_event_capacity(4)),
+    )
+    .unwrap();
+    let me = KeyPair::generate(&mut rand::thread_rng());
+    let mut client = LoggerClient::connect(&net, &"h".into(), logger.addr().clone(), &me).unwrap();
+
+    // Flood the record ring: 50 appends into 8 slots.
+    for i in 0..50 {
+        client.log("info", &format!("flood {i}")).unwrap();
+    }
+    // Flood one service's event ring: 20 events into 4 slots.  A quiet
+    // service's ring must not be collateral damage.
+    for i in 0..20 {
+        client
+            .event("stormy", "tick", &CmdLine::new("tick").arg("i", i as i64))
+            .unwrap();
+    }
+    client.event("calm", "tick", &CmdLine::new("tick")).unwrap();
+
+    // Retention stays at the bound and the newest entries won.
+    let rows = client.tail(100, None).unwrap();
+    assert_eq!(rows.len(), 8, "record ring grew past its bound");
+    assert_eq!(rows.last().unwrap().4, "flood 49");
+    let events = client.query_events("stormy", None, 100).unwrap();
+    assert_eq!(events.len(), 4, "event ring grew past its bound");
+    assert_eq!(events.last().unwrap().4.get_int("i"), Some(19));
+    assert_eq!(client.query_events("calm", None, 100).unwrap().len(), 1);
+
+    // Every eviction is visible, and the two accountings agree.
+    let mut raw = ServiceClient::connect(&net, &"h".into(), logger.addr().clone(), &me).unwrap();
+    let stats = raw.call(&CmdLine::new("logStats")).unwrap();
+    assert_eq!(stats.get_int("recordsShed"), Some(42));
+    assert_eq!(stats.get_int("eventsShed"), Some(16));
+    let report = StatsReport::from_cmdline(&raw.call(&CmdLine::new("aceStats")).unwrap());
+    assert_eq!(report.counters.get("shed.records").copied(), Some(42));
+    assert_eq!(report.counters.get("shed.events").copied(), Some(16));
+
+    logger.shutdown();
+}

@@ -56,6 +56,19 @@ impl CmdLine {
         }
     }
 
+    /// Stamp (or tighten) the protocol-level `deadline` header: the
+    /// remaining milliseconds the sender will wait for the reply.  Values
+    /// clamp at zero so an already-expired budget still travels as a valid
+    /// integer and is shed server-side.
+    pub fn set_deadline_ms(&mut self, ms: i64) {
+        self.set_arg(crate::semantics::DEADLINE_ARG, ms.max(0));
+    }
+
+    /// The protocol-level `deadline` header, if stamped.
+    pub fn deadline_ms(&self) -> Option<i64> {
+        self.get_int(crate::semantics::DEADLINE_ARG)
+    }
+
     /// The command name.
     pub fn name(&self) -> &str {
         &self.name

@@ -44,7 +44,7 @@ pub use cmdline::CmdLine;
 pub use error::{LangError, ParseError, ParseErrorKind, SemanticError};
 pub use parser::{parse, parse_all};
 pub use reply::{ErrorCode, Reply};
-pub use semantics::{ArgSpec, ArgType, CmdSpec, Semantics};
+pub use semantics::{ArgSpec, ArgType, CmdSpec, Semantics, DEADLINE_ARG};
 pub use value::{Scalar, ScalarType, Value, ValueType};
 
 /// Parse and validate in one step — the exact path an ACE daemon's command

@@ -31,6 +31,13 @@ pub enum ErrorCode {
     /// executed and is safe to retry — the replacement incarnation
     /// re-registers under the same name within the upgrade pause.
     Upgrading,
+    /// The daemon's admission queue is saturated; the command was shed
+    /// *before* execution and is safe to retry after backing off.
+    Busy,
+    /// The command's `deadline=` budget expired while it waited in queue;
+    /// it was shed *before* execution and is safe to retry with a fresh
+    /// deadline.
+    Deadline,
     /// Internal daemon failure.
     Internal,
 }
@@ -47,6 +54,8 @@ impl ErrorCode {
             ErrorCode::Unavailable => "E_UNAVAILABLE",
             ErrorCode::BadState => "E_BADSTATE",
             ErrorCode::Upgrading => "E_UPGRADING",
+            ErrorCode::Busy => "E_BUSY",
+            ErrorCode::Deadline => "E_DEADLINE",
             ErrorCode::Internal => "E_INTERNAL",
         }
     }
@@ -62,9 +71,22 @@ impl ErrorCode {
             "E_UNAVAILABLE" => ErrorCode::Unavailable,
             "E_BADSTATE" => ErrorCode::BadState,
             "E_UPGRADING" => ErrorCode::Upgrading,
+            "E_BUSY" => ErrorCode::Busy,
+            "E_DEADLINE" => ErrorCode::Deadline,
             "E_INTERNAL" => ErrorCode::Internal,
             _ => return None,
         })
+    }
+
+    /// `true` for codes that guarantee the command was *not* executed, so
+    /// a retry cannot double-apply side effects: quiesce bounces
+    /// (`E_UPGRADING`), admission sheds (`E_BUSY`) and in-queue deadline
+    /// expiry (`E_DEADLINE`).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Upgrading | ErrorCode::Busy | ErrorCode::Deadline
+        )
     }
 }
 
@@ -206,11 +228,23 @@ mod tests {
             ErrorCode::Unavailable,
             ErrorCode::BadState,
             ErrorCode::Upgrading,
+            ErrorCode::Busy,
+            ErrorCode::Deadline,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_word(code.as_word()), Some(code));
         }
         assert_eq!(ErrorCode::from_word("E_BOGUS"), None);
+    }
+
+    #[test]
+    fn retryable_codes_were_not_executed() {
+        assert!(ErrorCode::Busy.is_retryable());
+        assert!(ErrorCode::Deadline.is_retryable());
+        assert!(ErrorCode::Upgrading.is_retryable());
+        assert!(!ErrorCode::Internal.is_retryable());
+        assert!(!ErrorCode::NotFound.is_retryable());
+        assert!(!ErrorCode::Denied.is_retryable());
     }
 
     #[test]

@@ -14,6 +14,15 @@ use crate::error::SemanticError;
 use crate::value::{ScalarType, Value};
 use std::collections::HashMap;
 
+/// Protocol-level argument carried by *any* command: the remaining
+/// wall-clock budget, in milliseconds, that the sender is still willing to
+/// wait for the reply.  Stamped by clients from their call timeout and
+/// decremented across hops; a daemon sheds queued commands whose deadline
+/// lapsed before execution (`E_DEADLINE`).  Accepted by every [`Semantics`]
+/// vocabulary without per-command declaration, the same way transport
+/// headers ride below application vocabularies.
+pub const DEADLINE_ARG: &str = "deadline";
+
 /// The type specification an argument must satisfy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArgType {
@@ -225,6 +234,19 @@ impl Semantics {
                 });
             }
             seen.push(name);
+            // The protocol-level deadline header is legal on every command
+            // unless the vocabulary explicitly redefines it.
+            if name == DEADLINE_ARG && spec.arg(name).is_none() {
+                if !ArgType::Int.accepts(value) {
+                    return Err(SemanticError::TypeMismatch {
+                        cmd: cmd.name().to_string(),
+                        arg: name.clone(),
+                        expected: ArgType::Int.describe(),
+                        found: value.value_type(),
+                    });
+                }
+                continue;
+            }
             let arg_spec = spec.arg(name).ok_or_else(|| SemanticError::UnknownArg {
                 cmd: cmd.name().to_string(),
                 arg: name.clone(),
@@ -410,6 +432,52 @@ mod tests {
             .inheriting(&base);
         assert!(child.validate(&CmdLine::new("set").arg("a", "w")).is_ok());
         assert!(child.validate(&CmdLine::new("set").arg("a", 1)).is_err());
+    }
+
+    #[test]
+    fn deadline_header_accepted_everywhere() {
+        let sem = ptz_semantics();
+        let cmd = CmdLine::new("ptzMove")
+            .arg("x", 1)
+            .arg("y", 2)
+            .arg(DEADLINE_ARG, 250);
+        assert!(sem.validate(&cmd).is_ok());
+        // Still typed: a non-integer deadline is rejected.
+        let bad = CmdLine::new("ptzMove")
+            .arg("x", 1)
+            .arg("y", 2)
+            .arg(DEADLINE_ARG, "soon");
+        assert!(matches!(
+            sem.validate(&bad).unwrap_err(),
+            SemanticError::TypeMismatch { .. }
+        ));
+        // And still subject to the duplicate rule.
+        let mut dup = CmdLine::new("ptzMove")
+            .arg("x", 1)
+            .arg("y", 2)
+            .arg(DEADLINE_ARG, 250);
+        dup.push_arg(DEADLINE_ARG, 300);
+        assert!(matches!(
+            sem.validate(&dup).unwrap_err(),
+            SemanticError::DuplicateArg { .. }
+        ));
+    }
+
+    #[test]
+    fn explicit_deadline_spec_overrides_header() {
+        // A vocabulary that declares its own `deadline` arg wins: the
+        // declared type is enforced instead of the protocol Int.
+        let sem = Semantics::new().with(CmdSpec::new("plan", "").required(
+            DEADLINE_ARG,
+            ArgType::Word,
+            "symbolic deadline",
+        ));
+        assert!(sem
+            .validate(&CmdLine::new("plan").arg(DEADLINE_ARG, "tonight"))
+            .is_ok());
+        assert!(sem
+            .validate(&CmdLine::new("plan").arg(DEADLINE_ARG, 5))
+            .is_err());
     }
 
     #[test]

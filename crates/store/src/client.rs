@@ -193,6 +193,10 @@ impl StoreClient {
             if let Some(client) = self.connections[idx].as_mut() {
                 match client.call(cmd) {
                     Ok(reply) => return Some(reply),
+                    // Retryable rejections (E_BUSY, E_DEADLINE, E_UPGRADING)
+                    // guarantee the command did not execute: back off and
+                    // try the replica again within the retry schedule.
+                    Err(ClientError::Service { code, .. }) if code.is_retryable() => {}
                     Err(ClientError::Service { .. }) => return None, // e.g. NotFound
                     Err(_) => self.connections[idx] = None,
                 }
@@ -216,6 +220,12 @@ impl StoreClient {
                     Ok(reply) => {
                         self.pooled_reachable[idx] = true;
                         return Some(reply);
+                    }
+                    // The replica shed the command before executing it
+                    // (E_BUSY / E_DEADLINE / E_UPGRADING): it is alive but
+                    // refusing — back off and retry within the schedule.
+                    Err(ClientError::Service { code, .. }) if code.is_retryable() => {
+                        self.pooled_reachable[idx] = true;
                     }
                     // The replica answered (e.g. NotFound): it is alive.
                     Err(ClientError::Service { .. }) => {

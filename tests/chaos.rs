@@ -557,6 +557,285 @@ fn rolling_upgrade_whole_building_zero_drops() {
     run_rolling_upgrade_chaos(0xACE6);
 }
 
+/// A service whose bulk verb burns real control-thread time, so a flood of
+/// `work` calls saturates the daemon the way a login storm saturates a real
+/// one.
+struct SlowWork;
+impl ServiceBehavior for SlowWork {
+    fn semantics(&self) -> Semantics {
+        Semantics::new().with(CmdSpec::new("work", "burn control-thread time").optional(
+            "ms",
+            ArgType::Int,
+            "milliseconds of simulated work",
+        ))
+    }
+    fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+        let ms = cmd.get_int("ms").unwrap_or(2).clamp(0, 50) as u64;
+        std::thread::sleep(Duration::from_millis(ms));
+        Reply::ok()
+    }
+}
+
+/// The overload-storm chaos scenario: a service with a deliberately small
+/// bulk lane is offered several times its capacity by closed-loop flooders
+/// (every shed is retried immediately, so offered load stays far above the
+/// ~2ms-per-call service rate), while a seeded [`FaultPlan`] crash-loops the
+/// flooders' own host under them.
+///
+/// Invariants held throughout:
+/// * **the control plane stays alive** — every `ping` and `aceStats` probe
+///   from an unfaulted host succeeds; the victim's lease keeps renewing, so
+///   it is still registered when the storm ends;
+/// * **overload degrades, never collapses** — bulk calls either succeed or
+///   come back as *retryable* sheds (`E_BUSY`/`E_DEADLINE`/`E_UPGRADING`);
+///   no other service error class, no handler panics;
+/// * **clients with breakers ride it out** — the failover stream (circuit
+///   breaker + retry budget) keeps extracting goodput without livelock.
+fn run_overload_storm_chaos(seed: u64) {
+    use ace_net::{FaultPlan, FaultPlanConfig};
+
+    let net = SimNet::new();
+    for h in ["core", "svc", "load"] {
+        net.add_host(h);
+    }
+    let fw = bootstrap(&net, "core", Duration::from_millis(600)).unwrap();
+    let admin = KeyPair::generate(&mut rand::thread_rng());
+
+    let victim = Daemon::spawn(
+        &net,
+        fw.service_config("victim", "Service.SlowWork", "hawk", "svc", 6100)
+            .with_lease_renew(Duration::from_millis(100))
+            .with_admission(ace_core::AdmissionConfig {
+                // Ten closed-loop flooders against four slots: in-flight
+                // demand sits well past lane capacity, so overflow shedding
+                // is structural, not a timing accident.
+                bulk_capacity: 4,
+                ..ace_core::AdmissionConfig::default()
+            }),
+        Box::new(SlowWork),
+    )
+    .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let violations: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let ok_calls = Arc::new(AtomicU64::new(0));
+    let shed_calls = Arc::new(AtomicU64::new(0));
+
+    // Stream 1: six direct flooders hammer the bulk lane from the host the
+    // fault plan crash-loops.  Link errors are expected (their own host
+    // dies under them); any non-retryable service error is a violation.
+    let flooders: Vec<_> = (0..10)
+        .map(|w| {
+            let net = net.clone();
+            let addr = victim.addr().clone();
+            let stop = Arc::clone(&stop);
+            let violations = Arc::clone(&violations);
+            let ok_calls = Arc::clone(&ok_calls);
+            let shed_calls = Arc::clone(&shed_calls);
+            let mut rng = Jitter(seed | (w as u64) << 8 | 1);
+            std::thread::spawn(move || {
+                let me = KeyPair::generate(&mut rand::thread_rng());
+                let mut client: Option<ServiceClient> = None;
+                while !stop.load(Ordering::SeqCst) {
+                    if client.is_none() {
+                        match ServiceClient::connect(&net, &"load".into(), addr.clone(), &me) {
+                            Ok(c) => client = Some(c),
+                            Err(_) => {
+                                // Host down or reviving; back off briefly.
+                                std::thread::sleep(Duration::from_millis(5 + rng.next() % 10));
+                                continue;
+                            }
+                        }
+                    }
+                    let cmd = CmdLine::new("work").arg("ms", 3);
+                    match client.as_mut().expect("just connected").call(&cmd) {
+                        Ok(_) => {
+                            ok_calls.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(ClientError::Service { code, msg }) => {
+                            if code.is_retryable() {
+                                shed_calls.fetch_add(1, Ordering::SeqCst);
+                                // Immediate re-offer keeps the storm at
+                                // several times capacity without spinning.
+                                std::thread::sleep(Duration::from_millis(1 + rng.next() % 2));
+                            } else {
+                                violations
+                                    .lock()
+                                    .unwrap()
+                                    .push(format!("flooder {w}: non-retryable {code}: {msg}"));
+                            }
+                        }
+                        Err(ClientError::Link(_)) => {
+                            client = None; // crash window: reconnect
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Stream 2: a breaker-and-budget failover client on the same doomed
+    // host — the full client-side overload stack must extract goodput
+    // without livelocking or surfacing non-retryable errors.
+    let breaker_stream = {
+        let net = net.clone();
+        let asd_addr = fw.asd_addr.clone();
+        let stop = Arc::clone(&stop);
+        let violations = Arc::clone(&violations);
+        let ok_calls = Arc::clone(&ok_calls);
+        let shed_calls = Arc::clone(&shed_calls);
+        let mut rng = Jitter(seed | 2);
+        std::thread::spawn(move || {
+            let me = KeyPair::generate(&mut rand::thread_rng());
+            let breaker = Arc::new(ace_core::BreakerRegistry::new(
+                ace_core::BreakerConfig::default(),
+            ));
+            let budget = Arc::new(ace_core::RetryBudget::new(10, 0.5));
+            let mut client = FailoverClient::bind(net, "load", me, asd_addr, "victim")
+                .with_retry_window(Duration::from_secs(2))
+                .with_breaker(breaker)
+                .with_retry_budget(budget);
+            let mut fast_fails = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                match client.call_idempotent(&CmdLine::new("work").arg("ms", 2)) {
+                    Ok(_) => {
+                        ok_calls.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(ClientError::Service { code, msg }) => {
+                        if code.is_retryable() {
+                            shed_calls.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            violations
+                                .lock()
+                                .unwrap()
+                                .push(format!("breaker stream: non-retryable {code}: {msg}"));
+                        }
+                    }
+                    Err(ClientError::Link(_)) => {} // own host crashed
+                }
+                fast_fails = client.breaker_fast_fails();
+                std::thread::sleep(Duration::from_millis(rng.next() % 3));
+            }
+            fast_fails
+        })
+    };
+
+    // Stream 3: priority probes from an unfaulted host.  The whole point of
+    // the two-lane queue is that these never fail while bulk is drowning.
+    let probe_thread = {
+        let net = net.clone();
+        let addr = victim.addr().clone();
+        let stop = Arc::clone(&stop);
+        let violations = Arc::clone(&violations);
+        std::thread::spawn(move || {
+            let me = KeyPair::generate(&mut rand::thread_rng());
+            let mut probe = ServiceClient::connect(&net, &"core".into(), addr, &me)
+                .expect("probe connect to unfaulted victim");
+            let mut pings = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                for verb in ["ping", "aceStats"] {
+                    if let Err(e) = probe.call(&CmdLine::new(verb)) {
+                        violations
+                            .lock()
+                            .unwrap()
+                            .push(format!("priority `{verb}` failed under storm: {e}"));
+                        return pings;
+                    }
+                }
+                pings += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            pings
+        })
+    };
+
+    // Let the storm establish, then crash-loop the flooder host on a
+    // deterministic schedule.
+    std::thread::sleep(Duration::from_millis(100));
+    let plan = FaultPlan::generate(
+        seed,
+        &FaultPlanConfig::new(Duration::from_secs(2), vec!["load".into()]),
+    );
+    plan.spawn(&net).join();
+    std::thread::sleep(Duration::from_millis(200));
+
+    stop.store(true, Ordering::SeqCst);
+    for f in flooders {
+        f.join().unwrap();
+    }
+    let breaker_fast_fails = breaker_stream.join().unwrap();
+    let pings = probe_thread.join().unwrap();
+
+    let found = violations.lock().unwrap().clone();
+    assert!(found.is_empty(), "seed {seed:#x}: violations: {found:?}");
+    let ok = ok_calls.load(Ordering::SeqCst);
+    let shed = shed_calls.load(Ordering::SeqCst);
+    assert!(ok > 0, "seed {seed:#x}: no goodput at all under the storm");
+    assert!(
+        shed > 0,
+        "seed {seed:#x}: overload never shed (lane not saturated?)"
+    );
+    assert!(
+        pings > 20,
+        "seed {seed:#x}: priority probes barely ran ({pings})"
+    );
+
+    // The victim's lease kept renewing through the storm (renewLease rides
+    // the ASD's priority lane), so it is still resolvable.
+    let mut asd = AsdClient::connect(&net, &"core".into(), fw.asd_addr.clone(), &admin).unwrap();
+    assert!(
+        asd.find("victim").unwrap().is_some(),
+        "seed {seed:#x}: victim lost its registration during the storm"
+    );
+
+    // And it shed at the admission queue, without a single handler panic.
+    let mut probe =
+        ServiceClient::connect(&net, &"core".into(), victim.addr().clone(), &admin).unwrap();
+    let report = StatsReport::from_cmdline(&probe.call(&CmdLine::new("aceStats")).unwrap());
+    assert_eq!(
+        report.counters.get("control.panics").copied().unwrap_or(0),
+        0,
+        "seed {seed:#x}: victim panicked under overload"
+    );
+    let shed_at_queue = report.counters.get("shed.bulkFull").copied().unwrap_or(0)
+        + report.counters.get("shed.queueWait").copied().unwrap_or(0)
+        + report.counters.get("shed.deadline").copied().unwrap_or(0);
+    assert!(
+        shed_at_queue > 0,
+        "seed {seed:#x}: admission queue never shed"
+    );
+    eprintln!(
+        "overload_storm seed {seed:#x}: {ok} served, {shed} shed at clients, \
+         {shed_at_queue} shed at queue, {breaker_fast_fails} breaker fast-fails, {pings} probes"
+    );
+
+    victim.shutdown();
+    fw.shutdown();
+}
+
+#[test]
+fn overload_storm_sheds_but_never_collapses() {
+    run_overload_storm_chaos(0xACE7);
+}
+
+/// Seed expansion hook for the CI soak job, mirroring
+/// `rolling_upgrade_env_seeds`.
+#[test]
+fn overload_storm_env_seeds() {
+    let Ok(spec) = std::env::var("CHAOS_SEEDS") else {
+        return;
+    };
+    for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let seed = match token.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => token.parse(),
+        }
+        .unwrap_or_else(|_| panic!("CHAOS_SEEDS: unparsable seed `{token}`"));
+        eprintln!("overload_storm: running env seed {seed:#x}");
+        run_overload_storm_chaos(seed);
+    }
+}
+
 /// Seed expansion hook for the CI soak job: `CHAOS_SEEDS="0xACE3,42,7"`
 /// sweeps each listed seed.
 #[test]

@@ -7,8 +7,11 @@
 
 use ace_core::prelude::*;
 use ace_core::protocol;
+use ace_core::AdmissionConfig;
 use ace_lang::{CmdSpec, ScalarType};
 use ace_security::keys::KeyPair;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A value that satisfies `ty`.
@@ -244,6 +247,132 @@ fn every_daemon_survives_malformed_commands() {
             report.counters.get("control.panics").copied().unwrap_or(0),
             0,
             "{name}: a handler panicked during fuzzing"
+        );
+        daemon.shutdown();
+    }
+}
+
+/// Overload conformance: every daemon type, spawned with a single-slot bulk
+/// lane, must degrade the same way when saturated — well-formed *retryable*
+/// `E_BUSY` for overflow, deterministic `E_DEADLINE` for an already-expired
+/// budget, a priority lane (`ping`) that stays answerable throughout, and
+/// zero panics.  No daemon class gets to invent its own collapse mode.
+#[test]
+fn every_daemon_sheds_cleanly_when_saturated() {
+    for (i, (name, factory)) in factories().into_iter().enumerate() {
+        let net = SimNet::new();
+        net.add_host("h");
+        let behavior = factory();
+        let daemon = Daemon::spawn(
+            &net,
+            DaemonConfig::new(
+                format!("{name}1"),
+                "Service.Conformance",
+                "room",
+                "h",
+                4600 + i as u16,
+            )
+            .with_admission(AdmissionConfig {
+                bulk_capacity: 1,
+                // Capacity overflow only: wait-based shedding would make the
+                // expected error mix timing-dependent.
+                queue_target: None,
+                ..AdmissionConfig::default()
+            }),
+            behavior,
+        )
+        .unwrap_or_else(|e| panic!("{name}: spawn failed: {e:?}"));
+
+        let me = KeyPair::generate(&mut rand::thread_rng());
+        let mut probe =
+            ServiceClient::connect(&net, &"h".into(), daemon.addr().clone(), &me).unwrap();
+
+        // An already-spent budget is shed before the handler runs —
+        // deterministically, on every class.
+        let mut expired = CmdLine::new("removeNotification")
+            .arg("cmd", "x")
+            .arg("service", "y");
+        expired.set_deadline_ms(0);
+        match probe.call(&expired) {
+            Err(ClientError::Service { code, msg }) => {
+                assert_eq!(
+                    code,
+                    ErrorCode::Deadline,
+                    "{name}: expired budget answered {code}: {msg}"
+                );
+                assert!(code.is_retryable(), "{name}: E_DEADLINE must be retryable");
+                assert!(!msg.is_empty(), "{name}: E_DEADLINE carried no message");
+            }
+            other => panic!("{name}: expired budget was not shed: {other:?}"),
+        }
+
+        // Flood the one-slot bulk lane from several links until overflow is
+        // observed.  Every reply must be ok, the expected E_NOTFOUND, or a
+        // well-formed retryable shed — never a dead link, never another
+        // error class.
+        let stop = Arc::new(AtomicBool::new(false));
+        let busy = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let net = net.clone();
+                let addr = daemon.addr().clone();
+                let stop = Arc::clone(&stop);
+                let busy = Arc::clone(&busy);
+                let name = name.to_string();
+                std::thread::spawn(move || {
+                    let me = KeyPair::generate(&mut rand::thread_rng());
+                    let mut client = ServiceClient::connect(&net, &"h".into(), addr, &me).unwrap();
+                    let cmd = CmdLine::new("removeNotification")
+                        .arg("cmd", format!("c{w}"))
+                        .arg("service", "nobody");
+                    while !stop.load(Ordering::SeqCst) {
+                        match client.call(&cmd) {
+                            Ok(_) => {}
+                            Err(ClientError::Service { code, msg }) => match code {
+                                ErrorCode::NotFound => {}
+                                ErrorCode::Busy => {
+                                    assert!(code.is_retryable());
+                                    assert!(!msg.is_empty(), "{name}: E_BUSY carried no message");
+                                    busy.fetch_add(1, Ordering::SeqCst);
+                                }
+                                ErrorCode::Deadline => {
+                                    assert!(code.is_retryable());
+                                }
+                                other => panic!("{name}: flood answered {other}: {msg}"),
+                            },
+                            Err(e) => panic!("{name}: flood killed the link: {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // The priority lane stays answerable while bulk is saturated.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while busy.load(Ordering::SeqCst) == 0 {
+            probe
+                .call(&CmdLine::new("ping"))
+                .unwrap_or_else(|e| panic!("{name}: ping failed under bulk saturation: {e}"));
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{name}: flood never tripped E_BUSY (bulk lane not bounded?)"
+            );
+        }
+        stop.store(true, Ordering::SeqCst);
+        for w in workers {
+            w.join().unwrap();
+        }
+
+        let stats = probe.call(&CmdLine::new("aceStats")).unwrap();
+        let report = StatsReport::from_cmdline(&stats);
+        assert_eq!(
+            report.counters.get("control.panics").copied().unwrap_or(0),
+            0,
+            "{name}: a handler panicked during saturation"
+        );
+        assert!(
+            report.counters.get("shed.bulkFull").copied().unwrap_or(0) > 0,
+            "{name}: shed.bulkFull never moved despite observed E_BUSY"
         );
         daemon.shutdown();
     }
