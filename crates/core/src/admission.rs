@@ -109,6 +109,9 @@ struct QueueState<T> {
 struct Shared<T> {
     state: Mutex<QueueState<T>>,
     not_empty: Condvar,
+    /// Cooperative-runtime consumer, woken alongside `not_empty` (the
+    /// shared-runtime daemon task polls `try_recv` instead of blocking).
+    wake: ace_net::WakeCell,
     /// EWMA of recent bulk queue waits, µs.  Written by the consumer,
     /// read at admission for the CoDel-style test.
     wait_ewma_us: AtomicU64,
@@ -149,6 +152,7 @@ pub fn admission_queue<T>(
             closed: false,
         }),
         not_empty: Condvar::new(),
+        wake: ace_net::WakeCell::new(),
         wait_ewma_us: AtomicU64::new(0),
         target_us: config.queue_target.map(|t| t.as_micros() as u64),
         enforce_deadlines: config.enforce_deadlines,
@@ -211,6 +215,7 @@ impl<T> AdmissionQueue<T> {
         self.shared.set_depth(&state);
         drop(state);
         self.shared.not_empty.notify_one();
+        self.shared.wake.wake();
         Ok(())
     }
 
@@ -226,6 +231,7 @@ impl<T> AdmissionQueue<T> {
         self.shared.set_depth(&state);
         drop(state);
         self.shared.not_empty.notify_one();
+        self.shared.wake.wake();
     }
 
     /// Is server-side deadline shedding enabled for this daemon?
@@ -261,6 +267,7 @@ impl<T> Drop for AdmissionQueue<T> {
         drop(state);
         if last {
             self.shared.not_empty.notify_all();
+            self.shared.wake.wake();
         }
     }
 }
@@ -316,6 +323,12 @@ impl<T> AdmissionReceiver<T> {
         }
     }
 
+    /// Register the waker notified on every admission (and on producer
+    /// disconnect).  Register before polling [`Self::try_recv`].
+    pub fn register_waker(&self, waker: &std::task::Waker) {
+        self.shared.wake.register(waker);
+    }
+
     /// Non-blocking dequeue (used by the upgrade quiesce drain).
     pub fn try_recv(&self) -> Option<T> {
         let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -353,11 +366,22 @@ impl<T> AdmissionReceiver<T> {
 
 impl<T> Drop for AdmissionReceiver<T> {
     fn drop(&mut self) {
-        self.shared
-            .state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .closed = true;
+        let orphaned: Vec<T> = {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.closed = true;
+            let mut orphaned: Vec<T> = state.priority.queue.drain(..).collect();
+            orphaned.extend(state.bulk.queue.drain(..));
+            self.shared.set_depth(&state);
+            orphaned
+        };
+        // Dropped outside the lock: releasing a queued message drops its
+        // reply channel, which unblocks the session thread waiting on it.
+        // Without this drain, messages stranded by a dead control loop pin
+        // their sessions open until the 30 s reply timeout — remote health
+        // probes then hang out their own call timeout instead of seeing the
+        // session close, and a crashed service takes tens of seconds to
+        // convict instead of milliseconds.
+        drop(orphaned);
     }
 }
 

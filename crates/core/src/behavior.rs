@@ -103,6 +103,10 @@ pub struct ServiceCtx {
     /// from its `deadline=` header; set by the control thread around each
     /// dispatch.
     deadline: Option<Instant>,
+    /// The shared runtime this daemon runs on, when in
+    /// [`crate::runtime::RuntimeMode::Shared`] — lets stats paths publish
+    /// `runtime.*` gauges into this daemon's registry.
+    pub(crate) runtime: Option<crate::runtime::Runtime>,
 }
 
 impl ServiceCtx {
@@ -136,6 +140,7 @@ impl ServiceCtx {
             pending_events: Vec::new(),
             stop_requested: false,
             deadline: None,
+            runtime: None,
         }
     }
 

@@ -31,15 +31,17 @@ use crate::metrics::{Counter, Histogram, MetricsRegistry};
 use crate::notify::{NotificationRegistry, Notifier, Registration};
 use crate::protocol;
 use crate::retry::{RetryBudget, RetryPolicy};
+use crate::runtime::{Runtime, RuntimeMode, RuntimeTask, TaskContext, TaskHandle, TaskPoll};
 use ace_lang::{CmdLine, ErrorCode, Reply, Scalar, Semantics, Value};
-use ace_net::{Addr, Datagram, HostId, NetError, SimNet};
+use ace_net::{Addr, Datagram, HostId, NetError, SimNet, WakeCell};
 use ace_security::keys::KeyPair;
-use crossbeam_channel::Sender;
+use crossbeam_channel::{Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::task::{Wake, Waker};
 use std::time::{Duration, Instant};
 
 /// Configuration of one daemon.
@@ -90,6 +92,13 @@ pub struct DaemonConfig {
     pub notifications: Vec<(String, Registration)>,
     /// Admission-control sizing and shedding policy of the command plane.
     pub admission: AdmissionConfig,
+    /// Which runtime hosts this daemon: `None` resolves from the
+    /// `ACE_RUNTIME` environment variable ([`RuntimeMode::from_env`]).
+    pub runtime: Option<RuntimeMode>,
+    /// Explicit runtime pool for [`RuntimeMode::Shared`]; defaults to the
+    /// process-wide [`Runtime::global`].  Tests and benches pass a private
+    /// pool for isolation and worker-count ablation.
+    pub runtime_pool: Option<Runtime>,
 }
 
 impl DaemonConfig {
@@ -120,6 +129,8 @@ impl DaemonConfig {
             ticket_vault: None,
             notifications: Vec::new(),
             admission: AdmissionConfig::default(),
+            runtime: None,
+            runtime_pool: None,
         }
     }
 
@@ -195,6 +206,23 @@ impl DaemonConfig {
     /// deadline enforcement).
     pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
         self.admission = admission;
+        self
+    }
+
+    /// Pin this daemon to a runtime mode instead of resolving from
+    /// `ACE_RUNTIME`.
+    pub fn with_runtime(mut self, mode: RuntimeMode) -> Self {
+        self.runtime = Some(mode);
+        self
+    }
+
+    /// Run on this specific shared-runtime pool (implies
+    /// [`RuntimeMode::Shared`] unless overridden).
+    pub fn with_runtime_pool(mut self, pool: Runtime) -> Self {
+        self.runtime_pool = Some(pool);
+        if self.runtime.is_none() {
+            self.runtime = Some(RuntimeMode::Shared);
+        }
         self
     }
 }
@@ -364,140 +392,255 @@ impl Daemon {
         // Bounded two-lane admission queue: the command plane sheds instead
         // of buffering without limit (see `crate::admission`).
         let (control_tx, control_rx) = admission_queue::<ControlMsg>(&config.admission, &metrics);
-        let (notifier, notifier_worker) = Notifier::spawn(
-            net.clone(),
-            config.host.clone(),
-            Arc::clone(&identity),
-            Arc::clone(&metrics),
-        );
-
-        let mut threads = Vec::with_capacity(4);
-
-        // Control thread.
-        {
-            let ctx = ServiceCtx::new(
-                net.clone(),
-                config.name.clone(),
-                config.class.clone(),
-                config.room.clone(),
-                config.host.clone(),
-                config.port,
-                Arc::clone(&identity),
-                config.asd.clone(),
-                config.logger.clone(),
-                notifier.clone(),
-                Arc::clone(&metrics),
-            );
-            let stop = Arc::clone(&stop);
-            let crashed = Arc::clone(&crashed);
-            let upgrading = Arc::clone(&upgrading);
-            let auth = config.auth.clone();
-            let name = config.name.clone();
-            let class = config.class.clone();
-            let room = config.room.clone();
-            let semantics = Arc::clone(&semantics);
-            let tick = config.tick;
-            let stats_interval = config.stats_interval;
-            let incarnation = config.incarnation;
-            let notifications = config.notifications.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("{name}-control"))
-                    .spawn(move || {
-                        control_loop(ControlParams {
-                            rx: control_rx,
-                            behavior,
-                            ctx,
-                            stop,
-                            crashed,
-                            upgrading,
-                            auth,
-                            name,
-                            class,
-                            room,
-                            semantics,
-                            tick,
-                            stats_interval,
-                            incarnation,
-                            notifications,
-                        })
-                    })
-                    .expect("spawn control thread"),
-            );
-        }
-
-        // Accept thread (spawns command threads).  The shared ticket vault
-        // lets returning clients skip the full handshake; by default it
-        // dies with the daemon, which is what forces clients back onto the
-        // full handshake after a crash — a live upgrade instead injects the
-        // old incarnation's vault so sessions resume across the swap.
+        // The shared ticket vault lets returning clients skip the full
+        // handshake; by default it dies with the daemon, which is what
+        // forces clients back onto the full handshake after a crash — a
+        // live upgrade instead injects the old incarnation's vault so
+        // sessions resume across the swap.
         let vault = config
             .ticket_vault
             .clone()
             .unwrap_or_else(|| Arc::new(TicketVault::with_default_ttl()));
-        {
-            let stop = Arc::clone(&stop);
-            let upgrading = Arc::clone(&upgrading);
-            let control_tx = control_tx.clone();
-            let identity = Arc::clone(&identity);
-            let semantics = Arc::clone(&semantics);
-            let name = config.name.clone();
-            let metrics = Arc::clone(&metrics);
-            let vault = Arc::clone(&vault);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("{name}-accept"))
-                    .spawn(move || {
-                        accept_loop(
-                            listener, stop, upgrading, control_tx, identity, semantics, name,
-                            metrics, vault,
-                        )
-                    })
-                    .expect("spawn accept thread"),
-            );
-        }
 
-        // Data thread.
-        {
-            let stop = Arc::clone(&stop);
-            let control_tx = control_tx.clone();
-            let name = config.name.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("{name}-data"))
-                    .spawn(move || data_loop(dsocket, stop, control_tx))
-                    .expect("spawn data thread"),
-            );
-        }
+        let mode = config.runtime.unwrap_or_else(RuntimeMode::from_env);
+        let (backing, notifier) = match mode {
+            RuntimeMode::Threads => {
+                let (notifier, notifier_worker) = Notifier::spawn(
+                    net.clone(),
+                    config.host.clone(),
+                    Arc::clone(&identity),
+                    Arc::clone(&metrics),
+                );
+                let mut threads = Vec::with_capacity(4);
 
-        // Main/lease thread.
-        {
-            let stop = Arc::clone(&stop);
-            let crashed = Arc::clone(&crashed);
-            let deregister = Arc::clone(&deregister);
-            let net = net.clone();
-            let identity = Arc::clone(&identity);
-            let config2 = config.clone();
-            let metrics = Arc::clone(&metrics);
-            let retry_budget = Arc::clone(&retry_budget);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("{}-main", config.name))
-                    .spawn(move || {
-                        lease_loop(
-                            net,
-                            config2,
-                            identity,
-                            stop,
-                            crashed,
-                            deregister,
-                            metrics,
-                            retry_budget,
-                        )
-                    })
-                    .expect("spawn main thread"),
-            );
-        }
+                // Control thread.
+                {
+                    let ctx = ServiceCtx::new(
+                        net.clone(),
+                        config.name.clone(),
+                        config.class.clone(),
+                        config.room.clone(),
+                        config.host.clone(),
+                        config.port,
+                        Arc::clone(&identity),
+                        config.asd.clone(),
+                        config.logger.clone(),
+                        notifier.clone(),
+                        Arc::clone(&metrics),
+                    );
+                    let stop = Arc::clone(&stop);
+                    let crashed = Arc::clone(&crashed);
+                    let upgrading = Arc::clone(&upgrading);
+                    let auth = config.auth.clone();
+                    let name = config.name.clone();
+                    let class = config.class.clone();
+                    let room = config.room.clone();
+                    let semantics = Arc::clone(&semantics);
+                    let tick = config.tick;
+                    let stats_interval = config.stats_interval;
+                    let incarnation = config.incarnation;
+                    let notifications = config.notifications.clone();
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("{name}-control"))
+                            .spawn(move || {
+                                control_loop(ControlParams {
+                                    rx: control_rx,
+                                    behavior,
+                                    ctx,
+                                    stop,
+                                    crashed,
+                                    upgrading,
+                                    auth,
+                                    name,
+                                    class,
+                                    room,
+                                    semantics,
+                                    tick,
+                                    stats_interval,
+                                    incarnation,
+                                    notifications,
+                                })
+                            })
+                            .expect("spawn control thread"),
+                    );
+                }
+
+                // Accept thread (spawns command threads).
+                {
+                    let stop = Arc::clone(&stop);
+                    let crashed = Arc::clone(&crashed);
+                    let upgrading = Arc::clone(&upgrading);
+                    let control_tx = control_tx.clone();
+                    let identity = Arc::clone(&identity);
+                    let semantics = Arc::clone(&semantics);
+                    let name = config.name.clone();
+                    let metrics = Arc::clone(&metrics);
+                    let vault = Arc::clone(&vault);
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("{name}-accept"))
+                            .spawn(move || {
+                                accept_loop(
+                                    listener, stop, crashed, upgrading, control_tx, identity,
+                                    semantics, name, metrics, vault,
+                                )
+                            })
+                            .expect("spawn accept thread"),
+                    );
+                }
+
+                // Data thread.
+                {
+                    let stop = Arc::clone(&stop);
+                    let crashed = Arc::clone(&crashed);
+                    let control_tx = control_tx.clone();
+                    let name = config.name.clone();
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("{name}-data"))
+                            .spawn(move || data_loop(dsocket, stop, crashed, control_tx))
+                            .expect("spawn data thread"),
+                    );
+                }
+
+                // Main/lease thread.
+                {
+                    let stop = Arc::clone(&stop);
+                    let crashed = Arc::clone(&crashed);
+                    let deregister = Arc::clone(&deregister);
+                    let net = net.clone();
+                    let identity = Arc::clone(&identity);
+                    let config2 = config.clone();
+                    let metrics = Arc::clone(&metrics);
+                    let retry_budget = Arc::clone(&retry_budget);
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("{}-main", config.name))
+                            .spawn(move || {
+                                lease_loop(
+                                    net,
+                                    config2,
+                                    identity,
+                                    stop,
+                                    crashed,
+                                    deregister,
+                                    metrics,
+                                    retry_budget,
+                                )
+                            })
+                            .expect("spawn main thread"),
+                    );
+                }
+
+                (
+                    Backing::Threads {
+                        threads,
+                        worker: Some(notifier_worker),
+                    },
+                    notifier,
+                )
+            }
+            RuntimeMode::Shared => {
+                // One cooperative task carries all four roles; the notifier
+                // becomes a second, smaller task on the same pool.
+                let runtime = config
+                    .runtime_pool
+                    .clone()
+                    .unwrap_or_else(|| Runtime::global().clone());
+                let (notifier, notifier_task) = Notifier::cooperative(
+                    net.clone(),
+                    config.host.clone(),
+                    Arc::clone(&identity),
+                    Arc::clone(&metrics),
+                );
+                let mut ctx = ServiceCtx::new(
+                    net.clone(),
+                    config.name.clone(),
+                    config.class.clone(),
+                    config.room.clone(),
+                    config.host.clone(),
+                    config.port,
+                    Arc::clone(&identity),
+                    config.asd.clone(),
+                    config.logger.clone(),
+                    notifier.clone(),
+                    Arc::clone(&metrics),
+                );
+                ctx.runtime = Some(runtime.clone());
+                let mut registry = NotificationRegistry::new();
+                for (watched, registration) in config.notifications.clone() {
+                    registry.add(&watched, registration);
+                }
+                // Eagerly created so `aceStats` always reports them, even
+                // at zero (same contract as the threaded control loop).
+                let stats = DispatchStats {
+                    panics: metrics.counter("control.panics"),
+                    errors: metrics.counter("cmd.errors"),
+                    verb_hists: HashMap::new(),
+                };
+                let lease = LeaseState::new(
+                    net.clone(),
+                    config.clone(),
+                    Arc::clone(&identity),
+                    &metrics,
+                    Arc::clone(&retry_budget),
+                );
+                let now = Instant::now();
+                let task = DaemonTask {
+                    listener,
+                    listener_dead: false,
+                    dsocket,
+                    dsocket_dead: false,
+                    identity: Arc::clone(&identity),
+                    vault: Arc::clone(&vault),
+                    semantics: Arc::clone(&semantics),
+                    auth: config.auth.clone(),
+                    name: config.name.clone(),
+                    class: config.class.clone(),
+                    room: config.room.clone(),
+                    incarnation: config.incarnation,
+                    tick: config.tick,
+                    stats_interval: config.stats_interval,
+                    stop: Arc::clone(&stop),
+                    crashed: Arc::clone(&crashed),
+                    upgrading: Arc::clone(&upgrading),
+                    deregister: Arc::clone(&deregister),
+                    control_tx: control_tx.clone(),
+                    control_rx,
+                    behavior,
+                    ctx,
+                    registry,
+                    stats,
+                    queue_wait: metrics.histogram("control.queueWait"),
+                    shed_deadline: metrics.counter("shed.deadline"),
+                    accepted: metrics.counter("link.accepted"),
+                    resume_hits: metrics.counter("link.resume_hits"),
+                    full_handshakes: metrics.counter("link.full_handshakes"),
+                    rejected: metrics.counter("cmd.rejected"),
+                    upgrade_rejected: metrics.counter("upgrade.rejected"),
+                    sealed_bytes: metrics.counter("link.sealedBytes"),
+                    opened_bytes: metrics.counter("link.openedBytes"),
+                    sessions: HashMap::new(),
+                    next_session: 0,
+                    ready: Arc::new(Mutex::new(Vec::new())),
+                    wake_cell: Arc::new(WakeCell::new()),
+                    lease,
+                    started: false,
+                    last_tick: now,
+                    last_stats: now,
+                };
+                let main = runtime.spawn(Box::new(task));
+                let notifier_handle = runtime.spawn(Box::new(notifier_task));
+                (
+                    Backing::Task {
+                        main,
+                        notifier: notifier_handle,
+                    },
+                    notifier,
+                )
+            }
+        };
 
         Ok(DaemonHandle {
             name: config.name.clone(),
@@ -513,11 +656,25 @@ impl Daemon {
             ticket_vault: vault,
             metrics,
             control_tx,
-            threads: Mutex::new(threads),
-            notifier_worker: Mutex::new(Some(notifier_worker)),
+            backing: Mutex::new(backing),
             notifier: Mutex::new(Some(notifier)),
         })
     }
+}
+
+/// What actually runs this daemon: the paper's four OS threads, or one
+/// cooperative task (plus its notifier task) on the shared runtime.
+enum Backing {
+    Threads {
+        threads: Vec<std::thread::JoinHandle<()>>,
+        worker: Option<crate::notify::NotifierWorker>,
+    },
+    Task {
+        main: TaskHandle,
+        notifier: TaskHandle,
+    },
+    /// Already joined/waited; nothing left to tear down.
+    Finished,
 }
 
 /// Handle to a running daemon.
@@ -535,8 +692,7 @@ pub struct DaemonHandle {
     ticket_vault: Arc<TicketVault>,
     metrics: Arc<MetricsRegistry>,
     control_tx: AdmissionQueue<ControlMsg>,
-    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    notifier_worker: Mutex<Option<crate::notify::NotifierWorker>>,
+    backing: Mutex<Backing>,
     notifier: Mutex<Option<Notifier>>,
 }
 
@@ -628,14 +784,32 @@ impl DaemonHandle {
     }
 
     fn join_threads(&self) {
-        let threads: Vec<_> = self.threads.lock().drain(..).collect();
-        for t in threads {
-            let _ = t.join();
-        }
-        // Dropping the last notifier lets its worker drain and exit.
-        drop(self.notifier.lock().take());
-        if let Some(worker) = self.notifier_worker.lock().take() {
-            worker.join();
+        let backing = std::mem::replace(&mut *self.backing.lock(), Backing::Finished);
+        match backing {
+            Backing::Threads { threads, worker } => {
+                for t in threads {
+                    let _ = t.join();
+                }
+                // Dropping the last notifier lets its worker drain and exit.
+                drop(self.notifier.lock().take());
+                if let Some(worker) = worker {
+                    worker.join();
+                }
+            }
+            Backing::Task { main, notifier } => {
+                // The task observes the stop flag on its next poll; waiting
+                // on the handle guarantees the task object (listener bind,
+                // datagram socket) is dropped before we return — the
+                // live-upgrade respawn path rebinds the same address.
+                main.wake();
+                main.wait(Duration::from_secs(60));
+                drop(self.notifier.lock().take());
+                notifier.wake();
+                notifier.wait(Duration::from_secs(60));
+            }
+            Backing::Finished => {
+                drop(self.notifier.lock().take());
+            }
         }
     }
 }
@@ -668,6 +842,7 @@ const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 fn accept_loop(
     listener: ace_net::Listener,
     stop: Arc<AtomicBool>,
+    crashed: Arc<AtomicBool>,
     upgrading: Arc<AtomicBool>,
     control_tx: AdmissionQueue<ControlMsg>,
     identity: Arc<KeyPair>,
@@ -698,7 +873,17 @@ fn accept_loop(
                     });
             }
             Err(NetError::Timeout) => continue,
-            Err(_) => break, // listener gone (host killed)
+            Err(_) => {
+                // Listener gone (host killed).  The bind never comes back —
+                // only a respawn can re-listen — so take the whole daemon
+                // down as crashed instead of leaving a zombie that renews
+                // its lease and answers probes over surviving sessions
+                // while refusing every new connection (see the cooperative
+                // task's accept path for the full rationale).
+                crashed.store(true, Ordering::SeqCst);
+                stop.store(true, Ordering::SeqCst);
+                break;
+            }
         }
     }
 }
@@ -821,6 +1006,7 @@ fn command_loop(
 fn data_loop(
     dsocket: ace_net::DatagramSocket,
     stop: Arc<AtomicBool>,
+    crashed: Arc<AtomicBool>,
     control_tx: AdmissionQueue<ControlMsg>,
 ) {
     while !stop.load(Ordering::SeqCst) {
@@ -835,8 +1021,689 @@ fn data_loop(
                 }
             }
             Err(NetError::Timeout) => continue,
-            Err(_) => break,
+            Err(_) => {
+                // Dead socket = killed host: crash the daemon (see
+                // accept_loop).
+                crashed.store(true, Ordering::SeqCst);
+                stop.store(true, Ordering::SeqCst);
+                break;
+            }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative daemon task (RuntimeMode::Shared)
+// ---------------------------------------------------------------------------
+
+// Per-poll work caps — fairness bounds so one busy daemon yields the worker
+// back to its co-scheduled siblings instead of monopolizing it.
+const ACCEPTS_PER_POLL: usize = 64;
+const FRAMES_PER_SESSION: usize = 32;
+const DGRAMS_PER_POLL: usize = 256;
+const CONTROL_PER_POLL: usize = 256;
+/// A connection whose client never starts the handshake is dropped after
+/// this (swept on the tick cadence).
+const PRE_HANDSHAKE_TTL: Duration = Duration::from_secs(5);
+
+/// Granular readiness: one signal per session, so a frame arriving on one
+/// link marks only that session ready instead of forcing the task to scan
+/// every session it owns.
+struct SessionSignal {
+    id: u64,
+    /// Dedup: set while the id sits in `ready`.
+    queued: AtomicBool,
+    ready: Arc<Mutex<Vec<u64>>>,
+    /// The daemon task's wake cell (holds the task waker).
+    cell: Arc<WakeCell>,
+}
+
+impl SessionSignal {
+    /// Queue this session for the next poll (idempotent while queued).
+    fn mark(&self) {
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            self.ready.lock().push(self.id);
+        }
+    }
+}
+
+impl Wake for SessionSignal {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.mark();
+        self.cell.wake();
+    }
+}
+
+/// One client connection owned by the daemon task.
+enum Session {
+    /// Accepted but not yet handshaken.  The handshake is deferred until
+    /// the client's hello arrives, so `accept_with_tickets` (a blocking
+    /// exchange) runs with data already in hand and finishes promptly.
+    Handshaking {
+        conn: Option<ace_net::Connection>,
+        since: Instant,
+    },
+    /// Secure link up.  At most one command is in flight per session —
+    /// exactly the ordering the threaded shell's per-connection command
+    /// thread enforced.
+    Established {
+        link: SecureLink,
+        from: ClientInfo,
+        /// Reply channel (and offer time) of the in-flight command.
+        pending: Option<(Receiver<CmdLine>, Instant)>,
+    },
+}
+
+struct SessionSlot {
+    session: Session,
+    signal: Arc<SessionSignal>,
+}
+
+/// A whole daemon as one cooperative task: accept, handshake, command
+/// parsing/gating, admission, dispatch, replies, datagrams, ticks, stats,
+/// and lease renewal — everything the four threads did, multiplexed onto
+/// the shared runtime's worker pool.
+struct DaemonTask {
+    listener: ace_net::Listener,
+    listener_dead: bool,
+    dsocket: ace_net::DatagramSocket,
+    dsocket_dead: bool,
+    identity: Arc<KeyPair>,
+    vault: Arc<TicketVault>,
+    semantics: Arc<Semantics>,
+    auth: AuthMode,
+    name: String,
+    class: String,
+    room: String,
+    incarnation: u64,
+    tick: Duration,
+    stats_interval: Duration,
+    stop: Arc<AtomicBool>,
+    crashed: Arc<AtomicBool>,
+    upgrading: Arc<AtomicBool>,
+    deregister: Arc<AtomicBool>,
+    control_tx: AdmissionQueue<ControlMsg>,
+    control_rx: AdmissionReceiver<ControlMsg>,
+    behavior: Box<dyn ServiceBehavior>,
+    ctx: ServiceCtx,
+    registry: NotificationRegistry,
+    stats: DispatchStats,
+    queue_wait: Arc<Histogram>,
+    shed_deadline: Arc<Counter>,
+    accepted: Arc<Counter>,
+    resume_hits: Arc<Counter>,
+    full_handshakes: Arc<Counter>,
+    rejected: Arc<Counter>,
+    upgrade_rejected: Arc<Counter>,
+    sealed_bytes: Arc<Counter>,
+    opened_bytes: Arc<Counter>,
+    sessions: HashMap<u64, SessionSlot>,
+    next_session: u64,
+    ready: Arc<Mutex<Vec<u64>>>,
+    wake_cell: Arc<WakeCell>,
+    lease: LeaseState,
+    started: bool,
+    last_tick: Instant,
+    last_stats: Instant,
+}
+
+impl RuntimeTask for DaemonTask {
+    fn poll(&mut self, cx: &mut TaskContext<'_>) -> TaskPoll {
+        // Register wakers BEFORE checking for work: an event landing
+        // between the check and the park must still wake us (spurious
+        // wakes are safe; lost wakes are not).
+        self.wake_cell.register(cx.waker());
+        if !self.listener_dead {
+            self.listener.register_waker(cx.waker());
+        }
+        if !self.dsocket_dead {
+            self.dsocket.register_waker(cx.waker());
+        }
+        self.control_rx.register_waker(cx.waker());
+
+        if !self.started {
+            self.started = true;
+            self.behavior.on_start(&mut self.ctx);
+            drain_events(&mut self.ctx, &self.registry, &self.name);
+        }
+
+        // An external stop (shutdown/crash/retire) skips new intake
+        // entirely, mirroring the threaded control loop's top-of-loop
+        // check; buffered frames and already-computed replies still go out
+        // first.
+        if self.stop.load(Ordering::SeqCst) {
+            return self.stop_poll();
+        }
+
+        let mut more = false;
+        self.poll_accepts(&mut more);
+        self.poll_datagrams(&mut more);
+        self.poll_sessions(&mut more);
+        self.drain_control(&mut more);
+        // Replies flush AFTER dispatch and BEFORE the stop check below, so
+        // the client that sent `shutdown` receives its acknowledgement
+        // before the daemon tears down.
+        self.flush_replies(&mut more);
+
+        if self.stop.load(Ordering::SeqCst) {
+            return self.stop_poll();
+        }
+
+        let now = Instant::now();
+        if now.duration_since(self.last_tick) >= self.tick {
+            self.last_tick = now;
+            self.behavior.on_tick(&mut self.ctx);
+            drain_events(&mut self.ctx, &self.registry, &self.name);
+            if self.ctx.stop_requested {
+                self.stop.store(true, Ordering::SeqCst);
+            }
+            self.sweep_stale_handshakes(now);
+        }
+        if self.stop.load(Ordering::SeqCst) {
+            return self.stop_poll();
+        }
+        if !self.stats_interval.is_zero() && self.last_stats.elapsed() >= self.stats_interval {
+            self.last_stats = Instant::now();
+            // Shared-runtime gauges ride the same periodic stats event as
+            // the daemon's own counters.
+            if let Some(rt) = &self.ctx.runtime {
+                rt.publish_into(self.ctx.metrics());
+            }
+            self.behavior.on_stats(&mut self.ctx);
+            self.ctx.push_stats_event();
+        }
+        self.lease.tick();
+
+        if more {
+            return TaskPoll::Again;
+        }
+        // Park until an endpoint wakes us or the earliest periodic
+        // deadline (tick, stats, lease renewal) arrives.  The tick timer
+        // also bounds how long an in-flight reply waits for its timeout
+        // check.
+        let mut at = self.last_tick + self.tick;
+        if !self.stats_interval.is_zero() {
+            at = at.min(self.last_stats + self.stats_interval);
+        }
+        if let Some(renew) = self.lease.next_deadline() {
+            at = at.min(renew);
+        }
+        cx.set_timer(at);
+        TaskPoll::Pending
+    }
+}
+
+impl DaemonTask {
+    /// The task's last act.  The threaded command threads kept reading
+    /// frames right up to the stop flag and blocked for in-flight replies,
+    /// so a client whose frame raced the teardown still got an answer
+    /// (E_UPGRADING during a quiesce, E_INTERNAL for work the dying
+    /// control queue abandoned) before its link closed.  Reproduce that
+    /// here, and run `finish` (on_stop + the goodbye sequence — slow,
+    /// networked) *before* the sweep so the unread-frame window between
+    /// the sweep and the link drop is microseconds, not the whole
+    /// teardown.
+    fn stop_poll(&mut self) -> TaskPoll {
+        self.finish();
+        let mut ignored = false;
+        self.poll_sessions(&mut ignored);
+        while self.control_rx.try_recv().is_some() {}
+        self.flush_replies(&mut ignored);
+        TaskPoll::Complete
+    }
+
+    fn poll_accepts(&mut self, more: &mut bool) {
+        if self.listener_dead {
+            return;
+        }
+        let mut n = 0;
+        while n < ACCEPTS_PER_POLL {
+            match self.listener.try_accept() {
+                Ok(Some(conn)) => {
+                    n += 1;
+                    self.accepted.incr();
+                    let id = self.next_session;
+                    self.next_session += 1;
+                    let signal = Arc::new(SessionSignal {
+                        id,
+                        queued: AtomicBool::new(false),
+                        ready: Arc::clone(&self.ready),
+                        cell: Arc::clone(&self.wake_cell),
+                    });
+                    let waker = Waker::from(Arc::clone(&signal));
+                    conn.register_waker(&waker);
+                    // The hello may have raced the registration.
+                    if conn.has_pending() {
+                        signal.mark();
+                    }
+                    self.sessions.insert(
+                        id,
+                        SessionSlot {
+                            session: Session::Handshaking {
+                                conn: Some(conn),
+                                since: Instant::now(),
+                            },
+                            signal,
+                        },
+                    );
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    // Listener gone: on the simulated net that only happens
+                    // when this host was killed, and a revived host never
+                    // restores the bind — only a respawned daemon can listen
+                    // again.  Surviving here would leave a zombie: still
+                    // renewing its lease and answering pings over sessions
+                    // that outlived the crash, yet refusing every new
+                    // connection — which pins the supervisor's health probes
+                    // green and blocks the respawn forever.  Die as crashed
+                    // so the lease lapses and recovery proceeds.
+                    self.listener_dead = true;
+                    self.crashed.store(true, Ordering::SeqCst);
+                    self.stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+        *more = true;
+    }
+
+    fn poll_datagrams(&mut self, more: &mut bool) {
+        if self.dsocket_dead {
+            return;
+        }
+        let mut n = 0;
+        while n < DGRAMS_PER_POLL {
+            match self.dsocket.poll_recv() {
+                Ok(Some(datagram)) => {
+                    n += 1;
+                    // Datagrams are lossy by contract: a saturated bulk
+                    // lane drops them (counted by the admission shed
+                    // counters) rather than buffering without bound.
+                    match self
+                        .control_tx
+                        .offer(Lane::Bulk, ControlMsg::Data(datagram))
+                    {
+                        Ok(()) | Err(AdmitError::Busy) => {}
+                        Err(AdmitError::Closed) => return,
+                    }
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    // Same as a dead listener: the bind is gone for good
+                    // (host killed), so the daemon dies as crashed rather
+                    // than linger half-reachable.
+                    self.dsocket_dead = true;
+                    self.crashed.store(true, Ordering::SeqCst);
+                    self.stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+        *more = true;
+    }
+
+    fn poll_sessions(&mut self, more: &mut bool) {
+        let ready: Vec<u64> = std::mem::take(&mut *self.ready.lock());
+        for id in ready {
+            if !self.progress_handshake(id) {
+                continue;
+            }
+            self.read_session_frames(id, more);
+        }
+    }
+
+    /// Advance a handshaking session; `true` when the session is (now)
+    /// established and should be read from.
+    fn progress_handshake(&mut self, id: u64) -> bool {
+        let Some(slot) = self.sessions.get_mut(&id) else {
+            return false;
+        };
+        // Clear BEFORE processing: a wake during processing re-queues the
+        // session (and re-wakes the task) instead of being lost.
+        slot.signal.queued.store(false, Ordering::Release);
+        let Session::Handshaking { conn, .. } = &mut slot.session else {
+            return true;
+        };
+        if !conn.as_ref().map(|c| c.has_pending()).unwrap_or(false) {
+            return false; // spurious wake; TTL sweep reaps abandoned peers
+        }
+        let c = conn.take().expect("handshaking session holds its conn");
+        // The client's hello is already here, so this bounded blocking
+        // exchange completes promptly (the watchdog covers the slow case).
+        match SecureLink::accept_with_tickets(c, &self.identity, &self.vault) {
+            Ok(mut link) => {
+                if link.resumed() {
+                    self.resume_hits.incr();
+                } else {
+                    self.full_handshakes.incr();
+                }
+                link.attach_metrics(
+                    Arc::clone(&self.sealed_bytes),
+                    Arc::clone(&self.opened_bytes),
+                );
+                let waker = Waker::from(Arc::clone(&slot.signal));
+                link.register_waker(&waker);
+                let from = ClientInfo {
+                    principal: link.peer_principal().to_string(),
+                    addr: link.peer_addr().clone(),
+                };
+                slot.session = Session::Established {
+                    link,
+                    from,
+                    pending: None,
+                };
+                true
+            }
+            Err(_) => {
+                // Failed handshake: drop the connection.
+                self.sessions.remove(&id);
+                false
+            }
+        }
+    }
+
+    /// Parse, validate, gate, and admit frames from one established
+    /// session — the command thread's per-message pipeline, minus the
+    /// blocking reply wait (see `flush_replies`).
+    fn read_session_frames(&mut self, id: u64, more: &mut bool) {
+        let mut dead = false;
+        {
+            let Some(slot) = self.sessions.get_mut(&id) else {
+                return;
+            };
+            let Session::Established {
+                link,
+                from,
+                pending,
+            } = &mut slot.session
+            else {
+                return;
+            };
+            if pending.is_some() {
+                return; // one in flight; flush_replies re-marks the session
+            }
+            let mut frames = 0;
+            while frames < FRAMES_PER_SESSION {
+                let cmd = match link.try_recv_cmd() {
+                    Ok(Some(cmd)) => cmd,
+                    Ok(None) => break,
+                    Err(LinkError::Malformed(msg)) => {
+                        frames += 1;
+                        if link
+                            .send_cmd(&Reply::err(ErrorCode::Parse, msg).to_cmdline())
+                            .is_err()
+                        {
+                            dead = true;
+                            break;
+                        }
+                        continue;
+                    }
+                    // Closed peer, dead host, or a tampered frame: end the
+                    // session.
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                };
+                frames += 1;
+                // Semantic validation happens before admission, exactly as
+                // §2.2 describes the receiving side's parser doing.
+                if let Err(e) = self.semantics.validate(&cmd) {
+                    self.rejected.incr();
+                    if link
+                        .send_cmd(&Reply::err(ErrorCode::Semantics, e.to_string()).to_cmdline())
+                        .is_err()
+                    {
+                        dead = true;
+                        break;
+                    }
+                    continue;
+                }
+                // Quiesce gate: once an upgrade begins, refuse new work
+                // before it reaches the draining control queue.  Probes and
+                // the upgrade plane itself stay open.
+                if self.upgrading.load(Ordering::SeqCst)
+                    && !matches!(cmd.name(), "ping" | "describe" | "aceUpgrade")
+                {
+                    self.upgrade_rejected.incr();
+                    if link
+                        .send_cmd(
+                            &Reply::err(ErrorCode::Upgrading, "service is upgrading; retry")
+                                .to_cmdline(),
+                        )
+                        .is_err()
+                    {
+                        dead = true;
+                        break;
+                    }
+                    continue;
+                }
+                // Overload control before the control queue: expired
+                // deadlines and saturated lanes are refused with retryable
+                // errors instead of buffered.
+                let now = Instant::now();
+                let deadline = cmd
+                    .deadline_ms()
+                    .map(|ms| now + Duration::from_millis(ms.max(0) as u64));
+                if self.control_tx.enforce_deadlines() {
+                    if let Some(ms) = cmd.deadline_ms() {
+                        if ms <= 0 {
+                            self.shed_deadline.incr();
+                            if link
+                                .send_cmd(
+                                    &Reply::err(ErrorCode::Deadline, "deadline already expired")
+                                        .to_cmdline(),
+                                )
+                                .is_err()
+                            {
+                                dead = true;
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                }
+                let lane = if protocol::is_priority_verb(cmd.name()) {
+                    Lane::Priority
+                } else {
+                    Lane::Bulk
+                };
+                let (reply_tx, reply_rx) = crossbeam_channel::bounded(1);
+                match self.control_tx.offer(
+                    lane,
+                    ControlMsg::Execute {
+                        cmd,
+                        from: from.clone(),
+                        reply: reply_tx,
+                        enqueued: now,
+                        deadline,
+                    },
+                ) {
+                    Ok(()) => {
+                        *pending = Some((reply_rx, now));
+                        break; // one in flight per session
+                    }
+                    Err(AdmitError::Busy) => {
+                        if link
+                            .send_cmd(
+                                &Reply::err(
+                                    ErrorCode::Busy,
+                                    "admission queue saturated; retry later",
+                                )
+                                .to_cmdline(),
+                            )
+                            .is_err()
+                        {
+                            dead = true;
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(AdmitError::Closed) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if frames >= FRAMES_PER_SESSION && !dead {
+                // Cap hit with input possibly still buffered: re-queue the
+                // session and yield instead of starving siblings.
+                slot.signal.mark();
+                *more = true;
+            }
+        }
+        if dead {
+            self.sessions.remove(&id);
+        }
+    }
+
+    /// The control thread's dequeue half: CoDel accounting, queue-lapsed
+    /// deadline shedding, upgrade plane, dispatch.
+    fn drain_control(&mut self, more: &mut bool) {
+        let mut n = 0;
+        while n < CONTROL_PER_POLL {
+            match self.control_rx.try_recv() {
+                Some(ControlMsg::Execute {
+                    cmd,
+                    from,
+                    reply,
+                    enqueued,
+                    deadline,
+                }) => {
+                    n += 1;
+                    let waited = enqueued.elapsed();
+                    self.control_rx.note_wait(waited);
+                    self.queue_wait.record(waited);
+                    // Shed work whose client-side budget lapsed in queue.
+                    if self.control_rx.enforce_deadlines() {
+                        if let Some(d) = deadline {
+                            if Instant::now() >= d {
+                                self.shed_deadline.incr();
+                                let _ = reply.send(
+                                    Reply::err(
+                                        ErrorCode::Deadline,
+                                        "deadline expired in queue; shed before execution",
+                                    )
+                                    .to_cmdline(),
+                                );
+                                continue;
+                            }
+                        }
+                    }
+                    if cmd.name() == "aceUpgrade" {
+                        let response = handle_upgrade(
+                            &self.control_rx,
+                            &mut self.behavior,
+                            &mut self.ctx,
+                            &mut self.registry,
+                            &mut self.stats,
+                            &self.upgrading,
+                            &self.auth,
+                            &self.name,
+                            &self.class,
+                            &self.room,
+                            &self.semantics,
+                            self.incarnation,
+                            &cmd,
+                            &from,
+                            &self.stop,
+                        );
+                        let _ = reply.send(response.to_cmdline());
+                        continue;
+                    }
+                    dispatch_execute(
+                        &mut self.behavior,
+                        &mut self.ctx,
+                        &mut self.registry,
+                        &mut self.stats,
+                        &self.auth,
+                        &self.name,
+                        &self.class,
+                        &self.room,
+                        &self.semantics,
+                        self.incarnation,
+                        cmd,
+                        from,
+                        reply,
+                        deadline,
+                        &self.stop,
+                    );
+                }
+                Some(ControlMsg::Data(datagram)) => {
+                    n += 1;
+                    self.behavior.on_data(&mut self.ctx, datagram);
+                    drain_events(&mut self.ctx, &self.registry, &self.name);
+                }
+                Some(ControlMsg::Stop) => {
+                    self.stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+                None => return,
+            }
+        }
+        *more = true;
+    }
+
+    /// Deliver finished replies back onto their sessions — the command
+    /// thread's `reply_rx.recv_timeout` made non-blocking.
+    fn flush_replies(&mut self, more: &mut bool) {
+        let mut dead: Vec<u64> = Vec::new();
+        for (&id, slot) in self.sessions.iter_mut() {
+            let Session::Established { link, pending, .. } = &mut slot.session else {
+                continue;
+            };
+            let Some((reply_rx, offered)) = pending else {
+                continue;
+            };
+            let reply = match reply_rx.try_recv() {
+                Ok(reply) => reply,
+                Err(TryRecvError::Empty) => {
+                    if offered.elapsed() < REPLY_TIMEOUT {
+                        continue;
+                    }
+                    Reply::err(ErrorCode::Internal, "control plane did not reply").to_cmdline()
+                }
+                Err(TryRecvError::Disconnected) => {
+                    Reply::err(ErrorCode::Internal, "control plane did not reply").to_cmdline()
+                }
+            };
+            *pending = None;
+            if link.send_cmd(&reply).is_err() {
+                dead.push(id);
+            } else {
+                // More frames may be buffered behind the one just
+                // answered.
+                slot.signal.mark();
+                *more = true;
+            }
+        }
+        for id in dead {
+            self.sessions.remove(&id);
+        }
+    }
+
+    fn sweep_stale_handshakes(&mut self, now: Instant) {
+        self.sessions.retain(|_, slot| match &slot.session {
+            Session::Handshaking { since, .. } => now.duration_since(*since) < PRE_HANDSHAKE_TTL,
+            Session::Established { .. } => true,
+        });
+    }
+
+    /// Graceful teardown: `on_stop` (unless crashed) and the Fig. 9
+    /// goodbye sequence.  The listener/datagram binds release when the
+    /// runtime drops this task — before `TaskHandle::wait` returns.
+    fn finish(&mut self) {
+        let crashed = self.crashed.load(Ordering::SeqCst);
+        if !crashed {
+            self.behavior.on_stop(&mut self.ctx);
+        }
+        self.lease
+            .goodbye(crashed, self.deregister.load(Ordering::SeqCst));
     }
 }
 
@@ -1275,6 +2142,12 @@ fn execute(
             Reply::ok()
         }
         "aceStats" => {
+            // Shared-runtime gauges (tasks live, worker count, long polls)
+            // refresh on demand, so `aceStats` sees current values even
+            // between periodic stats events.
+            if let Some(rt) = &ctx.runtime {
+                rt.publish_into(ctx.metrics());
+            }
             // Let the service export its internal state first (e.g. WAL
             // batch counters from the store), then freeze the registry.
             behavior.on_stats(ctx);
@@ -1352,6 +2225,175 @@ fn register_cmd(config: &DaemonConfig) -> CmdLine {
         .arg("incarnation", config.incarnation)
 }
 
+/// The ASD lease client (§2.4): periodic renewal, lapsed-lease
+/// re-registration, and the graceful-stop deregistration sequence.  Shared
+/// by the thread-per-daemon `lease_loop` and the cooperative `DaemonTask`.
+struct LeaseState {
+    net: SimNet,
+    config: DaemonConfig,
+    identity: Arc<KeyPair>,
+    renewals: Arc<Counter>,
+    failures: Arc<Counter>,
+    reregisters: Arc<Counter>,
+    budget_denied: Arc<Counter>,
+    retry_budget: Arc<RetryBudget>,
+    /// Link failures back off exponentially from a quarter-period up to
+    /// one full renewal period, jittered per daemon so a room of restarted
+    /// services doesn't reconnect to the ASD in lockstep.
+    reconnect: RetryPolicy,
+    link_failures: u32,
+    client: Option<ServiceClient>,
+    next_renew: Instant,
+}
+
+impl LeaseState {
+    fn new(
+        net: SimNet,
+        config: DaemonConfig,
+        identity: Arc<KeyPair>,
+        metrics: &MetricsRegistry,
+        retry_budget: Arc<RetryBudget>,
+    ) -> LeaseState {
+        let reconnect = RetryPolicy::new(config.lease_renew / 4)
+            .with_cap(config.lease_renew)
+            .with_seed(config.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+            }));
+        LeaseState {
+            renewals: metrics.counter("lease.renewals"),
+            failures: metrics.counter("lease.failures"),
+            reregisters: metrics.counter("lease.reregisters"),
+            budget_denied: metrics.counter("retry.budgetDenied"),
+            next_renew: Instant::now() + config.lease_renew,
+            reconnect,
+            link_failures: 0,
+            client: None,
+            net,
+            config,
+            identity,
+            retry_budget,
+        }
+    }
+
+    /// When `tick` next has renewal work, if this daemon holds a lease.
+    fn next_deadline(&self) -> Option<Instant> {
+        self.config.asd.as_ref().map(|_| self.next_renew)
+    }
+
+    /// Renew the lease if due.  Bounded work: at most one connect and one
+    /// call per invocation.
+    fn tick(&mut self) {
+        let Some(asd) = self.config.asd.clone() else {
+            return;
+        };
+        if Instant::now() < self.next_renew {
+            return;
+        }
+        self.next_renew = Instant::now() + self.config.lease_renew;
+        // Each renewal period is fresh (non-retry) work: it earns back a
+        // slice of the shared retry budget.
+        self.retry_budget.note_call();
+        if self.client.is_none() {
+            self.client =
+                ServiceClient::connect(&self.net, &self.config.host, asd, &self.identity).ok();
+        }
+        match self.client.as_mut() {
+            Some(c) => {
+                let renew = CmdLine::new("renewLease")
+                    .arg("name", self.config.name.as_str())
+                    .arg("incarnation", self.config.incarnation);
+                match c.call_ok(&renew) {
+                    Ok(()) => {
+                        self.renewals.incr();
+                        self.link_failures = 0;
+                    }
+                    Err(ClientError::Service {
+                        code: ErrorCode::NotFound,
+                        ..
+                    }) => {
+                        // Lease lapsed (e.g. an ASD restart): re-register.
+                        self.reregisters.incr();
+                        let _ = c.call_ok(&register_cmd(&self.config));
+                    }
+                    Err(_) => {
+                        self.failures.incr();
+                        self.client = None;
+                        self.schedule_retry();
+                    }
+                }
+            }
+            None => {
+                // Connect itself failed (ASD down or unreachable).
+                self.failures.incr();
+                self.schedule_retry();
+            }
+        }
+    }
+
+    /// An early (before the next full period) retry must be paid for out
+    /// of the shared budget — when the bucket is dry we fall back to the
+    /// regular renewal cadence instead of adding retry pressure to an ASD
+    /// that is already struggling.
+    fn schedule_retry(&mut self) {
+        self.next_renew = if self.retry_budget.try_withdraw() {
+            Instant::now() + self.reconnect.delay_for(self.link_failures)
+        } else {
+            self.budget_denied.incr();
+            Instant::now() + self.config.lease_renew
+        };
+        self.link_failures = self.link_failures.saturating_add(1);
+    }
+
+    /// Graceful stop: remove our registrations (crashed daemons can't —
+    /// that's what leases are for).  A retiring daemon skips
+    /// deregistration: its live-upgrade replacement owns the registrations
+    /// now, and a late `removeService` here would clobber them.
+    fn goodbye(&mut self, crashed: bool, deregister: bool) {
+        let Some(asd) = self.config.asd.clone() else {
+            return;
+        };
+        if crashed {
+            return;
+        }
+        if deregister {
+            if let Ok(mut c) =
+                ServiceClient::connect(&self.net, &self.config.host, asd, &self.identity)
+            {
+                let _ = c
+                    .call_ok(&CmdLine::new("removeService").arg("name", self.config.name.as_str()));
+            }
+            if let Some(roomdb) = &self.config.roomdb {
+                if let Ok(mut c) = ServiceClient::connect(
+                    &self.net,
+                    &self.config.host,
+                    roomdb.clone(),
+                    &self.identity,
+                ) {
+                    let _ = c.call_ok(
+                        &CmdLine::new("roomRemove").arg("service", self.config.name.as_str()),
+                    );
+                }
+            }
+        }
+        if let Some(logger) = &self.config.logger {
+            if let Ok(mut c) =
+                ServiceClient::connect(&self.net, &self.config.host, logger.clone(), &self.identity)
+            {
+                let _ = c.call_ok(
+                    &CmdLine::new("log")
+                        .arg("level", "info")
+                        .arg(
+                            "msg",
+                            Value::Str(format!("service {} stopped", self.config.name)),
+                        )
+                        .arg("service", self.config.name.as_str())
+                        .arg("host", self.config.host.as_str()),
+                );
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn lease_loop(
     net: SimNet,
@@ -1363,118 +2405,21 @@ fn lease_loop(
     metrics: Arc<MetricsRegistry>,
     retry_budget: Arc<RetryBudget>,
 ) {
-    let renewals = metrics.counter("lease.renewals");
-    let failures = metrics.counter("lease.failures");
-    let reregisters = metrics.counter("lease.reregisters");
-    let budget_denied = metrics.counter("retry.budgetDenied");
-    let Some(asd) = config.asd.clone() else {
-        // Nothing to renew; just wait for shutdown to deregister loggers.
+    let mut lease = LeaseState::new(net, config, identity, &metrics, retry_budget);
+    if lease.config.asd.is_none() {
+        // Nothing to renew and nothing to say goodbye to; just wait for
+        // shutdown.
         while !stop.load(Ordering::SeqCst) {
             std::thread::sleep(Duration::from_millis(25));
         }
         return;
-    };
-    // Link failures back off exponentially from a quarter-period up to one
-    // full renewal period, jittered per daemon so a room of restarted
-    // services doesn't reconnect to the ASD in lockstep.
-    let reconnect = RetryPolicy::new(config.lease_renew / 4)
-        .with_cap(config.lease_renew)
-        .with_seed(config.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-        }));
-    let mut link_failures: u32 = 0;
-    let mut client: Option<ServiceClient> = None;
-    let mut next_renew = Instant::now() + config.lease_renew;
+    }
     while !stop.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(10));
-        if Instant::now() < next_renew {
-            continue;
-        }
-        next_renew = Instant::now() + config.lease_renew;
-        // Each renewal period is fresh (non-retry) work: it earns back a
-        // slice of the shared retry budget.
-        retry_budget.note_call();
-        // An early (before the next full period) retry must be paid for
-        // out of the shared budget — when the bucket is dry we fall back
-        // to the regular renewal cadence instead of adding retry pressure
-        // to an ASD that is already struggling.
-        let schedule_retry = |link_failures: &mut u32| {
-            let at = if retry_budget.try_withdraw() {
-                Instant::now() + reconnect.delay_for(*link_failures)
-            } else {
-                budget_denied.incr();
-                Instant::now() + config.lease_renew
-            };
-            *link_failures = link_failures.saturating_add(1);
-            at
-        };
-        if client.is_none() {
-            client = ServiceClient::connect(&net, &config.host, asd.clone(), &identity).ok();
-        }
-        match client.as_mut() {
-            Some(c) => {
-                let renew = CmdLine::new("renewLease")
-                    .arg("name", config.name.as_str())
-                    .arg("incarnation", config.incarnation);
-                match c.call_ok(&renew) {
-                    Ok(()) => {
-                        renewals.incr();
-                        link_failures = 0;
-                    }
-                    Err(ClientError::Service {
-                        code: ErrorCode::NotFound,
-                        ..
-                    }) => {
-                        // Lease lapsed (e.g. an ASD restart): re-register.
-                        reregisters.incr();
-                        let _ = c.call_ok(&register_cmd(&config));
-                    }
-                    Err(_) => {
-                        failures.incr();
-                        client = None;
-                        next_renew = schedule_retry(&mut link_failures);
-                    }
-                }
-            }
-            None => {
-                // Connect itself failed (ASD down or unreachable).
-                failures.incr();
-                next_renew = schedule_retry(&mut link_failures);
-            }
-        }
+        lease.tick();
     }
-    // Graceful stop: remove our registrations (crashed daemons can't —
-    // that's what leases are for).  A retiring daemon skips deregistration:
-    // its live-upgrade replacement owns the registrations now, and a late
-    // `removeService` here would clobber them.
-    if !crashed.load(Ordering::SeqCst) {
-        if deregister.load(Ordering::SeqCst) {
-            if let Ok(mut c) = ServiceClient::connect(&net, &config.host, asd, &identity) {
-                let _ = c.call_ok(&CmdLine::new("removeService").arg("name", config.name.as_str()));
-            }
-            if let Some(roomdb) = &config.roomdb {
-                if let Ok(mut c) =
-                    ServiceClient::connect(&net, &config.host, roomdb.clone(), &identity)
-                {
-                    let _ =
-                        c.call_ok(&CmdLine::new("roomRemove").arg("service", config.name.as_str()));
-                }
-            }
-        }
-        if let Some(logger) = &config.logger {
-            if let Ok(mut c) = ServiceClient::connect(&net, &config.host, logger.clone(), &identity)
-            {
-                let _ = c.call_ok(
-                    &CmdLine::new("log")
-                        .arg("level", "info")
-                        .arg(
-                            "msg",
-                            Value::Str(format!("service {} stopped", config.name)),
-                        )
-                        .arg("service", config.name.as_str())
-                        .arg("host", config.host.as_str()),
-                );
-            }
-        }
-    }
+    lease.goodbye(
+        crashed.load(Ordering::SeqCst),
+        deregister.load(Ordering::SeqCst),
+    );
 }

@@ -67,6 +67,7 @@ pub mod notify;
 pub mod pool;
 pub mod protocol;
 pub mod retry;
+pub mod runtime;
 pub mod supervise;
 
 pub use admission::{AdmissionConfig, AdmitError, Lane};
@@ -80,10 +81,11 @@ pub use failover::{
 };
 pub use link::{LinkError, SecureLink, TicketCache, TicketVault};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, RegistrySnapshot, StatsReport};
-pub use notify::{NotificationRegistry, Notifier, Registration};
+pub use notify::{NotificationRegistry, Notifier, NotifierTask, Registration};
 pub use pool::{LinkPool, PooledLink};
 pub use protocol::{ServiceEntry, ASD_PORT, LOGGER_PORT, ROOMDB_PORT};
 pub use retry::{Retry, RetryBudget, RetryPolicy};
+pub use runtime::{Runtime, RuntimeMode, RuntimeTask, TaskContext, TaskHandle, TaskPoll};
 pub use supervise::{
     live_upgrade, Respawn, RespawnFn, RestartPolicy, SuperviseError, SupervisedSpec, Supervisor,
     SupervisorReport, UpgradeError, UpgradeFn, UpgradeStats,
@@ -105,6 +107,7 @@ pub mod prelude {
     pub use crate::pool::{LinkPool, PooledLink};
     pub use crate::protocol::ServiceEntry;
     pub use crate::retry::{Retry, RetryBudget, RetryPolicy};
+    pub use crate::runtime::{Runtime, RuntimeMode};
     pub use crate::supervise::{
         live_upgrade, Respawn, RestartPolicy, SupervisedSpec, Supervisor, UpgradeError,
         UpgradeStats,

@@ -637,7 +637,20 @@ impl SecureLink {
     /// Receive, open, and parse one command.  The received frame is
     /// decrypted in place — no ciphertext copy on the hot path.
     pub fn recv_cmd(&mut self, timeout: Duration) -> Result<CmdLine, LinkError> {
-        let mut frame = self.conn.recv_timeout(timeout)?;
+        let frame = self.conn.recv_timeout(timeout)?;
+        self.open_frame(frame)
+    }
+
+    /// Non-blocking receive for reactor consumers: `Ok(None)` when no frame
+    /// is queued, errors on close/tamper exactly like [`Self::recv_cmd`].
+    pub fn try_recv_cmd(&mut self) -> Result<Option<CmdLine>, LinkError> {
+        match self.conn.try_recv()? {
+            Some(frame) => self.open_frame(frame).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn open_frame(&mut self, mut frame: Vec<u8>) -> Result<CmdLine, LinkError> {
         if let Some(c) = &self.opened_bytes {
             c.add(frame.len() as u64);
         }
@@ -645,6 +658,12 @@ impl SecureLink {
         let text = std::str::from_utf8(&frame)
             .map_err(|_| LinkError::Malformed("frame not UTF-8".into()))?;
         CmdLine::parse(text).map_err(|e| LinkError::Malformed(e.to_string()))
+    }
+
+    /// Register the waker notified when the peer queues a frame or closes
+    /// (see [`Connection::register_waker`]).
+    pub fn register_waker(&self, waker: &std::task::Waker) {
+        self.conn.register_waker(waker);
     }
 
     /// Graceful close.

@@ -10,11 +10,12 @@
 //! notified services without blocking the daemon's control thread.
 
 use crate::client::ServiceClient;
-use crate::metrics::{Counter, MetricsRegistry};
+use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use crate::runtime::{RuntimeTask, TaskContext, TaskPoll};
 use ace_lang::{CmdLine, DEADLINE_ARG};
-use ace_net::{Addr, HostId, SimNet};
+use ace_net::{Addr, HostId, SimNet, WakeCell};
 use ace_security::keys::KeyPair;
-use crossbeam_channel::{Receiver, Sender, TrySendError};
+use crossbeam_channel::{Receiver, Sender, TryRecvError, TrySendError};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -139,13 +140,19 @@ pub struct Outbound {
     pub cmd: CmdLine,
 }
 
-/// Asynchronous outbound delivery: a worker thread with a connection cache.
+/// Asynchronous outbound delivery: a worker (its own thread in the
+/// thread-per-daemon runtime, a cooperative task on the shared runtime)
+/// with a connection cache.
 ///
-/// Used for notifications and fire-and-forget logging so the control thread
+/// Used for notifications and fire-and-forget logging so the control plane
 /// never blocks on a slow or dead listener.
 pub struct Notifier {
-    tx: Sender<Outbound>,
+    /// `Option` so `Drop` can release the sender *before* waking the
+    /// cooperative delivery task — otherwise the task would observe a
+    /// still-connected channel and miss the disconnect.
+    tx: Option<Sender<Outbound>>,
     shed: Arc<Counter>,
+    wake: Option<Arc<WakeCell>>,
 }
 
 /// Handle used to join the worker on shutdown.
@@ -154,9 +161,9 @@ pub struct NotifierWorker {
 }
 
 impl Notifier {
-    /// Spawn the delivery worker.  Delivery outcomes are recorded in
-    /// `metrics` (`notify.delivered`, `notify.drops`, `notify.shed`,
-    /// `notify.latency`, `notify.queueDepth`).
+    /// Spawn the delivery worker on its own thread.  Delivery outcomes are
+    /// recorded in `metrics` (`notify.delivered`, `notify.drops`,
+    /// `notify.shed`, `notify.latency`, `notify.queueDepth`).
     pub fn spawn(
         net: SimNet,
         from_host: HostId,
@@ -169,15 +176,59 @@ impl Notifier {
             .name(format!("notifier-{from_host}"))
             .spawn(move || deliver_loop(rx, net, from_host, identity, metrics))
             .expect("spawn notifier thread");
-        (Notifier { tx, shed }, NotifierWorker { join })
+        (
+            Notifier {
+                tx: Some(tx),
+                shed,
+                wake: None,
+            },
+            NotifierWorker { join },
+        )
+    }
+
+    /// Build a cooperative delivery worker for the shared runtime: same
+    /// queue bound, shed accounting, and dead-listener cache as
+    /// [`Notifier::spawn`], but the returned [`NotifierTask`] must be
+    /// spawned on a [`crate::runtime::Runtime`] instead of a thread.
+    pub fn cooperative(
+        net: SimNet,
+        from_host: HostId,
+        identity: Arc<KeyPair>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> (Notifier, NotifierTask) {
+        let (tx, rx) = crossbeam_channel::bounded::<Outbound>(NOTIFY_QUEUE_CAPACITY);
+        let shed = metrics.counter("notify.shed");
+        let wake = Arc::new(WakeCell::new());
+        let task = NotifierTask {
+            rx,
+            wake: Arc::clone(&wake),
+            state: DeliveryState::new(&metrics),
+            net,
+            from_host,
+            identity,
+        };
+        (
+            Notifier {
+                tx: Some(tx),
+                shed,
+                wake: Some(wake),
+            },
+            task,
+        )
     }
 
     /// Queue one message for delivery.  Returns `false` if the worker has
     /// stopped or the queue is full (the message is shed, never blocking
     /// the caller — typically the daemon's control thread).
     pub fn send(&self, addr: Addr, cmd: CmdLine) -> bool {
-        match self.tx.try_send(Outbound { addr, cmd }) {
-            Ok(()) => true,
+        let Some(tx) = &self.tx else { return false };
+        match tx.try_send(Outbound { addr, cmd }) {
+            Ok(()) => {
+                if let Some(wake) = &self.wake {
+                    wake.wake();
+                }
+                true
+            }
             Err(TrySendError::Full(_)) => {
                 self.shed.incr();
                 false
@@ -192,6 +243,19 @@ impl Clone for Notifier {
         Notifier {
             tx: self.tx.clone(),
             shed: Arc::clone(&self.shed),
+            wake: self.wake.clone(),
+        }
+    }
+}
+
+impl Drop for Notifier {
+    fn drop(&mut self) {
+        // Release our sender first, then wake: when this was the last
+        // clone, the cooperative task's next poll observes the disconnect
+        // and completes.
+        self.tx.take();
+        if let Some(wake) = &self.wake {
+            wake.wake();
         }
     }
 }
@@ -204,6 +268,95 @@ impl NotifierWorker {
     }
 }
 
+/// Per-poll delivery cap for the cooperative worker: after this many
+/// messages the task yields (`TaskPoll::Again`) so one storming daemon's
+/// notifications cannot monopolize a shared-runtime worker.
+const NOTIFY_BATCH: usize = 64;
+
+/// The delivery machinery shared by the threaded `deliver_loop` and the
+/// cooperative [`NotifierTask`]: connection cache, dead-listener negative
+/// cache, and delivery metrics.
+struct DeliveryState {
+    delivered: Arc<Counter>,
+    drops: Arc<Counter>,
+    latency: Arc<Histogram>,
+    depth: Arc<Gauge>,
+    clients: HashMap<Addr, ServiceClient>,
+    // Negative cache of recently unreachable listeners.  Without it, a dead
+    // subscriber makes every queued message behind it re-pay the failed
+    // connect (and under partitions, the full call timeout) — head-of-line
+    // blocking that stalls fan-out to the healthy subscribers.
+    dead: HashMap<Addr, Instant>,
+}
+
+impl DeliveryState {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        DeliveryState {
+            delivered: metrics.counter("notify.delivered"),
+            drops: metrics.counter("notify.drops"),
+            latency: metrics.histogram("notify.latency"),
+            depth: metrics.gauge("notify.queueDepth"),
+            clients: HashMap::new(),
+            dead: HashMap::new(),
+        }
+    }
+
+    fn handle(&mut self, out: Outbound, net: &SimNet, from_host: &HostId, identity: &KeyPair) {
+        if let Some(since) = self.dead.get(&out.addr) {
+            if since.elapsed() < DEAD_BACKOFF {
+                self.drops.incr();
+                return;
+            }
+            self.dead.remove(&out.addr);
+        }
+        let started = Instant::now();
+        if deliver_one(&mut self.clients, net, from_host, identity, &out) {
+            self.delivered.incr();
+            self.latency.record(started.elapsed());
+        } else {
+            // The drop is counted, never silent: `aceStats` and the periodic
+            // stats events expose `notify.drops` on the originating daemon.
+            self.drops.incr();
+            self.dead.insert(out.addr.clone(), Instant::now());
+        }
+    }
+}
+
+/// Cooperative delivery worker for the shared runtime; see
+/// [`Notifier::cooperative`].
+pub struct NotifierTask {
+    rx: Receiver<Outbound>,
+    wake: Arc<WakeCell>,
+    state: DeliveryState,
+    net: SimNet,
+    from_host: HostId,
+    identity: Arc<KeyPair>,
+}
+
+impl RuntimeTask for NotifierTask {
+    fn poll(&mut self, cx: &mut TaskContext<'_>) -> TaskPoll {
+        // Register before draining: a send that lands between the last
+        // `try_recv` and the return would otherwise be a lost wakeup.
+        self.wake.register(cx.waker());
+        let mut handled = 0usize;
+        loop {
+            match self.rx.try_recv() {
+                Ok(out) => {
+                    self.state.depth.set(self.rx.len() as i64);
+                    self.state
+                        .handle(out, &self.net, &self.from_host, &self.identity);
+                    handled += 1;
+                    if handled >= NOTIFY_BATCH {
+                        return TaskPoll::Again;
+                    }
+                }
+                Err(TryRecvError::Empty) => return TaskPoll::Pending,
+                Err(TryRecvError::Disconnected) => return TaskPoll::Complete,
+            }
+        }
+    }
+}
+
 fn deliver_loop(
     rx: Receiver<Outbound>,
     net: SimNet,
@@ -211,35 +364,10 @@ fn deliver_loop(
     identity: Arc<KeyPair>,
     metrics: Arc<MetricsRegistry>,
 ) {
-    let delivered = metrics.counter("notify.delivered");
-    let drops = metrics.counter("notify.drops");
-    let latency = metrics.histogram("notify.latency");
-    let depth = metrics.gauge("notify.queueDepth");
-    let mut clients: HashMap<Addr, ServiceClient> = HashMap::new();
-    // Negative cache of recently unreachable listeners.  Without it, a dead
-    // subscriber makes every queued message behind it re-pay the failed
-    // connect (and under partitions, the full call timeout) — head-of-line
-    // blocking that stalls fan-out to the healthy subscribers.
-    let mut dead: HashMap<Addr, Instant> = HashMap::new();
+    let mut state = DeliveryState::new(&metrics);
     while let Ok(out) = rx.recv() {
-        depth.set(rx.len() as i64);
-        if let Some(since) = dead.get(&out.addr) {
-            if since.elapsed() < DEAD_BACKOFF {
-                drops.incr();
-                continue;
-            }
-            dead.remove(&out.addr);
-        }
-        let started = Instant::now();
-        if deliver_one(&mut clients, &net, &from_host, &identity, &out) {
-            delivered.incr();
-            latency.record(started.elapsed());
-        } else {
-            // The drop is counted, never silent: `aceStats` and the periodic
-            // stats events expose `notify.drops` on the originating daemon.
-            drops.incr();
-            dead.insert(out.addr.clone(), Instant::now());
-        }
+        state.depth.set(rx.len() as i64);
+        state.handle(out, &net, &from_host, &identity);
     }
 }
 

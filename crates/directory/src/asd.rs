@@ -388,7 +388,7 @@ impl ServiceBehavior for Asd {
 /// How an [`AsdClient`] reaches the directory: a dedicated link, or
 /// checkouts from a shared [`LinkPool`] (one per call, returned after).
 enum AsdConn {
-    Direct(ServiceClient),
+    Direct(Box<ServiceClient>),
     Pooled {
         pool: std::sync::Arc<LinkPool>,
         asd: Addr,
@@ -409,7 +409,9 @@ impl AsdClient {
         identity: &ace_security::keys::KeyPair,
     ) -> Result<AsdClient, ClientError> {
         Ok(AsdClient {
-            conn: AsdConn::Direct(ServiceClient::connect(net, from_host, asd, identity)?),
+            conn: AsdConn::Direct(Box::new(ServiceClient::connect(
+                net, from_host, asd, identity,
+            )?)),
         })
     }
 

@@ -15,8 +15,10 @@
 use crate::addr::Addr;
 use crate::error::NetError;
 use crate::net::NetInner;
+use crate::wake::WakeCell;
 use crossbeam_channel::{Receiver, Sender};
 use std::sync::Arc;
+use std::task::Waker;
 use std::time::Duration;
 
 /// One frame in flight.
@@ -33,6 +35,10 @@ pub struct Connection {
     peer: Addr,
     tx: Sender<WireItem>,
     rx: Receiver<WireItem>,
+    /// Woken whenever the *peer* queues something for us (reactor support).
+    rx_wake: Arc<WakeCell>,
+    /// The peer's `rx_wake`: our sends and close wake their consumer.
+    peer_wake: Arc<WakeCell>,
     net: Arc<NetInner>,
 }
 
@@ -44,11 +50,15 @@ impl Connection {
     ) -> (Connection, Connection) {
         let (c2s_tx, c2s_rx) = crossbeam_channel::unbounded();
         let (s2c_tx, s2c_rx) = crossbeam_channel::unbounded();
+        let client_wake = Arc::new(WakeCell::new());
+        let server_wake = Arc::new(WakeCell::new());
         let client_side = Connection {
             local: client.clone(),
             peer: server.clone(),
             tx: c2s_tx,
             rx: s2c_rx,
+            rx_wake: Arc::clone(&client_wake),
+            peer_wake: Arc::clone(&server_wake),
             net: Arc::clone(net),
         };
         let server_side = Connection {
@@ -56,6 +66,8 @@ impl Connection {
             peer: client,
             tx: s2c_tx,
             rx: c2s_rx,
+            rx_wake: server_wake,
+            peer_wake: client_wake,
             net: Arc::clone(net),
         };
         (client_side, server_side)
@@ -80,7 +92,9 @@ impl Connection {
         self.net.metrics.record_frame(frame.len());
         self.tx
             .send(WireItem::Frame(frame))
-            .map_err(|_| NetError::Closed)
+            .map_err(|_| NetError::Closed)?;
+        self.peer_wake.wake();
+        Ok(())
     }
 
     /// Receive the next frame, blocking until one arrives or the peer
@@ -134,10 +148,24 @@ impl Connection {
         }
     }
 
+    /// Register the waker notified whenever the peer queues a frame (or
+    /// closes).  Reactor contract: register first, then [`Self::try_recv`]
+    /// until empty — anything arriving after the empty check wakes anew.
+    pub fn register_waker(&self, waker: &Waker) {
+        self.rx_wake.register(waker);
+    }
+
+    /// Is anything queued inbound right now?  (Cheap; used by the reactor
+    /// to defer handshakes until the first frame has actually arrived.)
+    pub fn has_pending(&self) -> bool {
+        !self.rx.is_empty()
+    }
+
     /// Graceful shutdown; the peer's next receive returns [`NetError::Closed`]
     /// once queued frames drain.
     pub fn close(&self) {
         let _ = self.tx.send(WireItem::Close);
+        self.peer_wake.wake();
     }
 }
 
@@ -157,12 +185,26 @@ impl std::fmt::Debug for Connection {
 pub struct Listener {
     addr: Addr,
     rx: Receiver<Connection>,
+    wake: Arc<WakeCell>,
     net: Arc<NetInner>,
+    bind_id: u64,
 }
 
 impl Listener {
-    pub(crate) fn new(addr: Addr, rx: Receiver<Connection>, net: Arc<NetInner>) -> Self {
-        Listener { addr, rx, net }
+    pub(crate) fn new(
+        addr: Addr,
+        rx: Receiver<Connection>,
+        wake: Arc<WakeCell>,
+        net: Arc<NetInner>,
+        bind_id: u64,
+    ) -> Self {
+        Listener {
+            addr,
+            rx,
+            wake,
+            net,
+            bind_id,
+        }
     }
 
     /// The bound address.
@@ -183,11 +225,27 @@ impl Listener {
             Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
         }
     }
+
+    /// Non-blocking accept: `Ok(None)` when nobody is connecting,
+    /// `Err(Closed)` once the host is killed (accept sender dropped).
+    pub fn try_accept(&self) -> Result<Option<Connection>, NetError> {
+        match self.rx.try_recv() {
+            Ok(c) => Ok(Some(c)),
+            Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
+    /// Register the waker notified on each inbound connection (or when the
+    /// host is killed).  Register before polling [`Self::try_accept`].
+    pub fn register_waker(&self, waker: &Waker) {
+        self.wake.register(waker);
+    }
 }
 
 impl Drop for Listener {
     fn drop(&mut self) {
-        self.net.unbind_listener(&self.addr);
+        self.net.unbind_listener(&self.addr, self.bind_id);
     }
 }
 

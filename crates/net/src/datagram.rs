@@ -7,8 +7,10 @@
 use crate::addr::Addr;
 use crate::error::NetError;
 use crate::net::NetInner;
+use crate::wake::WakeCell;
 use crossbeam_channel::Receiver;
 use std::sync::Arc;
+use std::task::Waker;
 use std::time::Duration;
 
 /// One received datagram.
@@ -23,12 +25,26 @@ pub struct Datagram {
 pub struct DatagramSocket {
     addr: Addr,
     rx: Receiver<Datagram>,
+    wake: Arc<WakeCell>,
     net: Arc<NetInner>,
+    bind_id: u64,
 }
 
 impl DatagramSocket {
-    pub(crate) fn new(addr: Addr, rx: Receiver<Datagram>, net: Arc<NetInner>) -> Self {
-        DatagramSocket { addr, rx, net }
+    pub(crate) fn new(
+        addr: Addr,
+        rx: Receiver<Datagram>,
+        wake: Arc<WakeCell>,
+        net: Arc<NetInner>,
+        bind_id: u64,
+    ) -> Self {
+        DatagramSocket {
+            addr,
+            rx,
+            wake,
+            net,
+            bind_id,
+        }
     }
 
     /// The bound address.
@@ -55,6 +71,23 @@ impl DatagramSocket {
         self.rx.try_recv().ok()
     }
 
+    /// Non-blocking receive that distinguishes "nothing queued"
+    /// (`Ok(None)`) from "socket unbound" (`Err(Closed)`), for reactor
+    /// consumers that must notice host kills.
+    pub fn poll_recv(&self) -> Result<Option<Datagram>, NetError> {
+        match self.rx.try_recv() {
+            Ok(d) => Ok(Some(d)),
+            Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
+    /// Register the waker notified when a datagram is delivered here (or
+    /// the socket is unbound by a host kill).  Register before polling.
+    pub fn register_waker(&self, waker: &Waker) {
+        self.wake.register(waker);
+    }
+
     /// Number of datagrams waiting.
     pub fn pending(&self) -> usize {
         self.rx.len()
@@ -63,7 +96,7 @@ impl DatagramSocket {
 
 impl Drop for DatagramSocket {
     fn drop(&mut self) {
-        self.net.unbind_dsocket(&self.addr);
+        self.net.unbind_dsocket(&self.addr, self.bind_id);
     }
 }
 

