@@ -1,0 +1,551 @@
+//! Directory-plane scale benchmark, and the `BENCH_pr9.json` artifact.
+//!
+//! ```sh
+//! cargo run --release -p ace-bench --bin directory_shard -- -o BENCH_pr9.json
+//! cargo run --release -p ace-bench --bin directory_shard -- --services 10000 --secs 1
+//! ```
+//!
+//! Four systems answer the same closed-loop name-lookup storm
+//! ([`ace_baselines::lookup_storm`]) over the same registered population:
+//!
+//! * **single** — one ASD daemon (the pre-PR-9 directory plane), driven
+//!   through the same sharded client with a 1-shard map so the client path
+//!   is identical;
+//! * **sharded** — 4 shards × 3 replicas with quorum writes; name lookups
+//!   route to the owning shard and rotate across its replica set;
+//! * **jini** — the §8 Jini-style lookup service (RMI-framed calls);
+//! * **central** — the §8 WebSphere-style central server (single
+//!   dispatcher, one request per connection per 200 µs sweep).
+//!
+//! Latency quantiles come from the `dir.lookup` [`MetricsRegistry`]
+//! histogram (the ACE arms record inside [`ShardedAsdClient`]; the
+//! baseline arms record through the storm callback into the same
+//! registry), not ad-hoc timers.
+//!
+//! # Aggregate capacity on a constrained harness
+//!
+//! Two throughput figures are reported per arm.  The **concurrent** storm
+//! drives every shard at once from one process; on a small runner (CI, or
+//! a single-core container) that number measures the load generator and
+//! the shared CPU, not the plane — every shard daemon time-shares the
+//! same cores, so wall-clock throughput cannot exceed one machine's worth
+//! regardless of shard count.  The **aggregate capacity** storms each
+//! shard *in isolation* over the names it owns and sums the per-shard
+//! saturation throughputs.  Name lookups touch exactly their owning shard
+//! (no cross-shard coordination on that path), so per-shard capacities
+//! add across hosts in a real deployment where each replica has its own
+//! machine; the single-ASD arm is measured identically (its "sum" is its
+//! one shard), making the speedup an apples-to-apples capacity ratio.
+//!
+//! The sharded arm then runs the recovery drill the acceptance criterion
+//! asks for: kill one replica host at full population, show the directory
+//! lost nothing (quorum survivors answer a complete `list()` and every
+//! sampled name still resolves), then respawn the replica empty and show
+//! renewal traffic repairs it.
+
+use ace_baselines::{
+    lookup_storm, CentralClient, CentralServer, JiniClient, JiniLookup, JiniProxy,
+};
+use ace_core::prelude::*;
+use ace_core::protocol::ServiceEntry;
+use ace_directory::{spawn_sharded_asd, ShardedDirectory};
+use ace_security::keys::KeyPair;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DEFAULT_SERVICES: usize = 100_000;
+const DEFAULT_THREADS: usize = 8;
+const DEFAULT_STORM: Duration = Duration::from_secs(3);
+const SEED_WRITERS: usize = 32;
+const REPAIR_SAMPLE: usize = 1_000;
+
+fn entry(i: usize) -> ServiceEntry {
+    ServiceEntry {
+        name: format!("svc{i}"),
+        addr: Addr::new("app", 4000 + (i % 60_000) as u16),
+        class: format!("Service.App.Bench.Kind{}", i % 8),
+        room: format!("room{}", i % 64),
+    }
+}
+
+struct Row {
+    system: &'static str,
+    shards: usize,
+    replication: usize,
+    services: usize,
+    threads: usize,
+    register_s: f64,
+    ops: u64,
+    errors: u64,
+    per_sec: f64,
+    per_min: f64,
+    /// Sum of per-shard saturation throughputs (equals `per_sec` for the
+    /// single-server arms up to run-to-run noise).
+    aggregate_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+struct Recovery {
+    killed_host: String,
+    listed_after_kill: usize,
+    lost: usize,
+    sample_resolved: usize,
+    sample: usize,
+    repairs: u64,
+    replica_repaired: bool,
+}
+
+/// An ACE arm: spawn `shards × replication` ASD daemons, register the
+/// population in parallel, storm it, and (optionally) run the
+/// kill/repair recovery drill.
+fn ace_arm(
+    system: &'static str,
+    shards: usize,
+    replication: usize,
+    services: usize,
+    threads: usize,
+    storm_len: Duration,
+    recover: bool,
+) -> (Row, Option<Recovery>) {
+    let net = SimNet::new();
+    net.add_host("client");
+    let hosts: Vec<HostId> = (0..shards * replication)
+        .map(|i| {
+            let h = format!("d{i}");
+            net.add_host(h.as_str());
+            HostId::from(h.as_str())
+        })
+        .collect();
+    let mut dir: ShardedDirectory = spawn_sharded_asd(
+        &net,
+        &hosts,
+        shards,
+        replication,
+        Duration::from_secs(3600),
+        5900,
+    )
+    .unwrap();
+    let me = KeyPair::generate(&mut rand::thread_rng());
+    let metrics = MetricsRegistry::new();
+    let pool = Arc::new(LinkPool::new(&net, "client", me));
+
+    let reg_started = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let mut client = dir.client(Arc::clone(&pool));
+            scope.spawn(move || {
+                let mut i = w;
+                while i < services {
+                    client.register(&entry(i), 1).unwrap();
+                    i += threads;
+                }
+            });
+        }
+    });
+    let register_s = reg_started.elapsed().as_secs_f64();
+    eprintln!("  {system}: registered {services} services in {register_s:.2}s");
+
+    let report = lookup_storm(
+        threads,
+        storm_len,
+        |w| {
+            let mut client = dir.client(Arc::clone(&pool)).with_metrics(&metrics);
+            let mut i = w;
+            move || {
+                i = i.wrapping_add(1);
+                let name = format!("svc{}", i % services);
+                matches!(client.lookup(Some(&name), None, None), Ok(e) if !e.is_empty())
+            }
+        },
+        |_| {}, // the client records into the registry itself
+    );
+    // Aggregate capacity: each shard stormed in isolation over the names
+    // it owns (see the module doc).  The storm duration is split so the
+    // capacity pass costs about as much wall-clock as the concurrent one.
+    let mut by_shard: Vec<Vec<String>> = vec![Vec::new(); shards];
+    for i in 0..services {
+        let name = entry(i).name;
+        by_shard[dir.map.shard_for(&name)].push(name);
+    }
+    let capacity_len = storm_len
+        .div_f64(shards as f64)
+        .max(Duration::from_millis(250));
+    let mut aggregate_per_sec = 0.0;
+    for (s, names) in by_shard.iter().enumerate() {
+        assert!(!names.is_empty(), "shard {s} owns no names");
+        let rep = lookup_storm(
+            threads,
+            capacity_len,
+            |w| {
+                let mut client = dir.client(Arc::clone(&pool)).with_metrics(&metrics);
+                let mut i = w;
+                move || {
+                    i = i.wrapping_add(1);
+                    let name = &names[i % names.len()];
+                    matches!(client.lookup(Some(name), None, None), Ok(e) if !e.is_empty())
+                }
+            },
+            |_| {},
+        );
+        assert_eq!(rep.errors, 0, "shard {s}: capacity storm saw errors");
+        aggregate_per_sec += rep.per_sec();
+    }
+
+    let hist = metrics.histogram("dir.lookup").snapshot();
+    let row = Row {
+        system,
+        shards,
+        replication,
+        services,
+        threads,
+        register_s,
+        ops: report.ops,
+        errors: report.errors,
+        per_sec: report.per_sec(),
+        per_min: report.per_min(),
+        aggregate_per_sec,
+        p50_us: hist.quantile(0.50),
+        p99_us: hist.quantile(0.99),
+    };
+
+    let recovery = if recover && replication > 1 {
+        // A writer that owns a sample of shard-0 names (equal-incarnation
+        // re-register is idempotent), so its renewals can repair the
+        // respawned replica after the kill.
+        let mut repairer = dir.client(Arc::clone(&pool));
+        let sample: Vec<usize> = (0..services)
+            .filter(|&i| dir.map.shard_for(&entry(i).name) == 0)
+            .take(REPAIR_SAMPLE)
+            .collect();
+        for &i in &sample {
+            repairer.register(&entry(i), 1).unwrap();
+        }
+
+        let victim_host = dir.replica_host(0, 0);
+        let victim_addr = dir.map.replicas(0)[0].clone();
+        net.kill_host(&victim_host);
+
+        // Zero lost registrations: the quorum survivors answer a complete
+        // directory listing, and every sampled name still resolves.
+        let mut auditor = dir.client(Arc::clone(&pool));
+        let listed_after_kill = auditor.list().unwrap().len();
+        let sample_resolved = sample
+            .iter()
+            .filter(|&&i| {
+                auditor
+                    .find(&entry(i).name)
+                    .ok()
+                    .flatten()
+                    .is_some_and(|e| e.addr == entry(i).addr)
+            })
+            .count();
+
+        // Respawn empty and let renewal traffic repair it.
+        net.revive_host(&victim_host);
+        dir.respawn_replica(&net, 0, 0).unwrap();
+        for &i in &sample {
+            repairer.renew(&entry(i).name).unwrap();
+        }
+        let replica_repaired = pool
+            .checkout(&victim_addr)
+            .and_then(|mut link| link.call(&CmdLine::new("listServices")))
+            .ok()
+            .and_then(|reply| {
+                reply.get_vector("names").map(|names| {
+                    let have: Vec<&str> = names.iter().filter_map(|s| s.as_text()).collect();
+                    sample
+                        .iter()
+                        .all(|&i| have.contains(&entry(i).name.as_str()))
+                })
+            })
+            .unwrap_or(false);
+        Some(Recovery {
+            killed_host: victim_host.to_string(),
+            listed_after_kill,
+            lost: services - listed_after_kill,
+            sample_resolved,
+            sample: sample.len(),
+            repairs: repairer.repairs(),
+            replica_repaired,
+        })
+    } else {
+        None
+    };
+
+    dir.shutdown();
+    (row, recovery)
+}
+
+/// The §8 Jini-style lookup service under the same storm.
+fn jini_arm(services: usize, threads: usize, storm_len: Duration) -> Row {
+    let net = SimNet::new();
+    net.add_host("server");
+    net.add_host("client");
+    let lookup = JiniLookup::start(&net, "server", 4160).unwrap();
+    let metrics = MetricsRegistry::new();
+
+    let reg_started = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let net = net.clone();
+            let addr = lookup.addr().clone();
+            scope.spawn(move || {
+                let mut client = JiniClient::connect(&net, &"client".into(), addr).unwrap();
+                let mut i = w;
+                while i < services {
+                    let e = entry(i);
+                    let proxy = JiniProxy {
+                        name: e.name,
+                        interface: e.class,
+                        host: e.addr.host.to_string(),
+                        port: e.addr.port,
+                    };
+                    client.register(&proxy).expect("jini register");
+                    i += threads;
+                }
+            });
+        }
+    });
+    let register_s = reg_started.elapsed().as_secs_f64();
+    eprintln!("  jini: registered {services} proxies in {register_s:.2}s");
+
+    let hist = metrics.histogram("dir.lookup");
+    let report = lookup_storm(
+        threads,
+        storm_len,
+        |w| {
+            let mut client =
+                JiniClient::connect(&net, &"client".into(), lookup.addr().clone()).unwrap();
+            let mut i = w;
+            move || {
+                i = i.wrapping_add(1);
+                client.lookup(&format!("svc{}", i % services)).is_some()
+            }
+        },
+        |d| hist.record(d),
+    );
+    let snap = hist.snapshot();
+    lookup.shutdown();
+    Row {
+        system: "jini",
+        shards: 1,
+        replication: 1,
+        services,
+        threads,
+        register_s,
+        ops: report.ops,
+        errors: report.errors,
+        per_sec: report.per_sec(),
+        per_min: report.per_min(),
+        aggregate_per_sec: report.per_sec(),
+        p50_us: snap.quantile(0.50),
+        p99_us: snap.quantile(0.99),
+    }
+}
+
+/// The §8 WebSphere-style central server under the same storm.  Seeding
+/// needs wide parallelism: the dispatcher serves one request per
+/// connection per 200 µs sweep.
+fn central_arm(services: usize, threads: usize, storm_len: Duration) -> Row {
+    let net = SimNet::new();
+    net.add_host("server");
+    net.add_host("client");
+    let server = CentralServer::start(&net, "server", 8080).unwrap();
+    let metrics = MetricsRegistry::new();
+
+    let reg_started = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..SEED_WRITERS {
+            let net = net.clone();
+            let addr = server.addr().clone();
+            scope.spawn(move || {
+                let mut client = CentralClient::connect(&net, &"client".into(), addr).unwrap();
+                let mut i = w;
+                while i < services {
+                    let e = entry(i);
+                    assert!(client.put(&e.name, "addr", &format!("{}", e.addr)));
+                    i += SEED_WRITERS;
+                }
+            });
+        }
+    });
+    let register_s = reg_started.elapsed().as_secs_f64();
+    eprintln!("  central: seeded {services} devices in {register_s:.2}s");
+
+    let hist = metrics.histogram("dir.lookup");
+    let report = lookup_storm(
+        threads,
+        storm_len,
+        |w| {
+            let mut client =
+                CentralClient::connect(&net, &"client".into(), server.addr().clone()).unwrap();
+            let mut i = w;
+            move || {
+                i = i.wrapping_add(1);
+                client
+                    .get(&format!("svc{}", i % services), "addr")
+                    .is_some()
+            }
+        },
+        |d| hist.record(d),
+    );
+    let snap = hist.snapshot();
+    let row = Row {
+        system: "central",
+        shards: 1,
+        replication: 1,
+        services,
+        threads,
+        register_s,
+        ops: report.ops,
+        errors: report.errors,
+        per_sec: report.per_sec(),
+        per_min: report.per_min(),
+        aggregate_per_sec: report.per_sec(),
+        p50_us: snap.quantile(0.50),
+        p99_us: snap.quantile(0.99),
+    };
+    server.shutdown();
+    row
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_pr9.json");
+    let mut services = DEFAULT_SERVICES;
+    let mut threads = DEFAULT_THREADS;
+    let mut storm_len = DEFAULT_STORM;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" => out_path = args.next().expect("-o needs a path"),
+            "--services" => {
+                services = args
+                    .next()
+                    .expect("--services needs an integer")
+                    .parse()
+                    .expect("--services takes an integer");
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs an integer")
+                    .parse()
+                    .expect("--threads takes an integer");
+            }
+            "--secs" => {
+                storm_len = Duration::from_secs_f64(
+                    args.next()
+                        .expect("--secs needs a number")
+                        .parse()
+                        .expect("--secs takes a number"),
+                );
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    eprintln!("arm: single ASD × {services} services");
+    let (single, _) = ace_arm("single", 1, 1, services, threads, storm_len, false);
+    eprintln!("arm: sharded ASD (4×3) × {services} services");
+    let (sharded, recovery) = ace_arm("sharded", 4, 3, services, threads, storm_len, true);
+    eprintln!("arm: jini × {services} services");
+    let jini = jini_arm(services, threads, storm_len);
+    eprintln!("arm: central × {services} services");
+    let central = central_arm(services, threads, storm_len);
+
+    let rows = [&single, &sharded, &jini, &central];
+    let speedup = sharded.aggregate_per_sec / single.aggregate_per_sec.max(1e-9);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut json = String::from("{\n  \"directory_shard\": {\n");
+    let _ = writeln!(json, "    \"services\": {services},");
+    let _ = writeln!(json, "    \"threads\": {threads},");
+    let _ = writeln!(json, "    \"cores\": {cores},");
+    let _ = writeln!(json, "    \"storm_secs\": {},", storm_len.as_secs_f64());
+    let _ = writeln!(
+        json,
+        "    \"methodology\": \"aggregate = sum of per-shard isolated saturation storms \
+         (name lookups touch only their owning shard, so capacities add across hosts); \
+         concurrent = all shards stormed at once from one process, bounded by this \
+         machine's cores\","
+    );
+    json.push_str("    \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"system\": \"{}\", \"shards\": {}, \"replication\": {}, \
+             \"services\": {}, \"threads\": {}, \"register_s\": {:.2}, \
+             \"ops\": {}, \"errors\": {}, \"concurrent_lookups_per_sec\": {:.0}, \
+             \"concurrent_lookups_per_min\": {:.0}, \"aggregate_lookups_per_sec\": {:.0}, \
+             \"aggregate_lookups_per_min\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}{}",
+            r.system,
+            r.shards,
+            r.replication,
+            r.services,
+            r.threads,
+            r.register_s,
+            r.ops,
+            r.errors,
+            r.per_sec,
+            r.per_min,
+            r.aggregate_per_sec,
+            r.aggregate_per_sec * 60.0,
+            r.p50_us,
+            r.p99_us,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"summary\": {\n");
+    let _ = writeln!(json, "      \"sharded_speedup_vs_single\": {speedup:.2},");
+    let _ = writeln!(
+        json,
+        "      \"sharded_lookups_per_min\": {:.0},",
+        sharded.aggregate_per_sec * 60.0
+    );
+    let _ = writeln!(json, "      \"meets_3x_speedup\": {},", speedup >= 3.0);
+    let _ = writeln!(
+        json,
+        "      \"meets_1m_lookups_per_min\": {}{}",
+        sharded.aggregate_per_sec * 60.0 >= 1e6,
+        if recovery.is_some() { "," } else { "" }
+    );
+    if let Some(rec) = &recovery {
+        json.push_str("      \"recovery\": {\n");
+        let _ = writeln!(json, "        \"killed_host\": \"{}\",", rec.killed_host);
+        let _ = writeln!(
+            json,
+            "        \"listed_after_kill\": {},",
+            rec.listed_after_kill
+        );
+        let _ = writeln!(json, "        \"lost_registrations\": {},", rec.lost);
+        let _ = writeln!(
+            json,
+            "        \"sample_resolved\": \"{}/{}\",",
+            rec.sample_resolved, rec.sample
+        );
+        let _ = writeln!(json, "        \"renewal_repairs\": {},", rec.repairs);
+        let _ = writeln!(
+            json,
+            "        \"replica_repaired\": {}",
+            rec.replica_repaired
+        );
+        json.push_str("      }\n");
+    }
+    json.push_str("    }\n  }\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    if let Some(rec) = &recovery {
+        assert_eq!(
+            rec.lost, 0,
+            "shard-kill recovery lost registrations — see {out_path}"
+        );
+    }
+}

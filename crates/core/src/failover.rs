@@ -51,6 +51,25 @@ use std::time::{Duration, Instant};
 /// Fallback resolution TTL when the ASD reply does not carry a lease.
 const DEFAULT_RESOLUTION_TTL: Duration = Duration::from_secs(2);
 
+/// Upper bound on the TTL a lookup reply may impose on the cache.  A
+/// corrupt or hostile `lease` argument (e.g. `i64::MAX` milliseconds)
+/// must not produce an `Instant` arithmetic overflow in
+/// [`ResolutionCache::store`] or an effectively-immortal cache entry.
+const MAX_RESOLUTION_TTL: Duration = Duration::from_secs(3600);
+
+/// Derive a cache TTL from the `lease` argument of an ASD lookup reply.
+///
+/// Absent, zero, or negative leases fall back to
+/// [`DEFAULT_RESOLUTION_TTL`] (a zero TTL would turn every steady-state
+/// resolve into a cache miss); oversized leases are clamped to
+/// [`MAX_RESOLUTION_TTL`].
+fn resolution_ttl(lease_ms: Option<i64>) -> Duration {
+    match lease_ms {
+        Some(ms) if ms > 0 => Duration::from_millis(ms as u64).min(MAX_RESOLUTION_TTL),
+        _ => DEFAULT_RESOLUTION_TTL,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Resolution cache
 // ---------------------------------------------------------------------------
@@ -268,7 +287,10 @@ pub struct FailoverClient {
     net: SimNet,
     from_host: HostId,
     identity: KeyPair,
-    asd: Addr,
+    /// Directory replicas to resolve through, tried in order.  A single
+    /// ASD is the one-element case; the sharded directory plane passes
+    /// the replica set of the shard owning `service_name`.
+    directory: Vec<Addr>,
     service_name: String,
     /// How long to keep re-resolving before giving up.
     retry_window: Duration,
@@ -299,7 +321,7 @@ impl FailoverClient {
             net,
             from_host: from_host.into(),
             identity,
-            asd,
+            directory: vec![asd],
             service_name: service_name.into(),
             retry_window: Duration::from_secs(10),
             policy: RetryPolicy::new(Duration::from_millis(50))
@@ -312,6 +334,18 @@ impl FailoverClient {
             resolutions: 0,
             breaker_fast_fails: 0,
         }
+    }
+
+    /// Resolve through a replicated directory: `replicas` are tried in
+    /// order until one answers, so a crashed directory replica costs one
+    /// extra round trip instead of a failed resolution.  Replaces the
+    /// single address given to [`FailoverClient::bind`]; an empty vector
+    /// is ignored.
+    pub fn with_directory_replicas(mut self, replicas: Vec<Addr>) -> FailoverClient {
+        if !replicas.is_empty() {
+            self.directory = replicas;
+        }
+        self
     }
 
     /// Adjust how long a failed call keeps hunting for a live instance.
@@ -381,9 +415,28 @@ impl FailoverClient {
         asd_client.call(&CmdLine::new("lookup").arg("name", self.service_name.as_str()))
     }
 
-    fn lookup_pooled(&self, pool: &Arc<LinkPool>) -> Result<CmdLine, ClientError> {
-        let mut link = pool.checkout(&self.asd)?;
+    fn lookup_pooled(&self, pool: &Arc<LinkPool>, asd: &Addr) -> Result<CmdLine, ClientError> {
+        let mut link = pool.checkout(asd)?;
         link.call(&CmdLine::new("lookup").arg("name", self.service_name.as_str()))
+    }
+
+    /// One lookup round trip against a specific directory replica.
+    fn lookup_replica(&self, asd: &Addr) -> Result<CmdLine, ClientError> {
+        match &self.pool {
+            Some(pool) => {
+                let pool = Arc::clone(pool);
+                self.lookup_pooled(&pool, asd)
+            }
+            None => {
+                let mut asd_client = ServiceClient::connect(
+                    &self.net,
+                    &self.from_host,
+                    asd.clone(),
+                    &self.identity,
+                )?;
+                self.lookup_via(&mut asd_client)
+            }
+        }
     }
 
     fn resolve(&mut self) -> Result<Addr, ClientError> {
@@ -392,19 +445,26 @@ impl FailoverClient {
                 return Ok(addr);
             }
         }
-        let reply = match &self.pool {
-            Some(pool) => {
-                let pool = Arc::clone(pool);
-                self.lookup_pooled(&pool)?
+        // Hunt across the directory replica set: any live replica can
+        // answer, so only fail when every replica is unreachable.
+        let mut reply = None;
+        let mut last_err: Option<ClientError> = None;
+        for asd in self.directory.clone() {
+            match self.lookup_replica(&asd) {
+                Ok(r) => {
+                    reply = Some(r);
+                    break;
+                }
+                Err(err) => last_err = Some(err),
             }
+        }
+        let reply = match reply {
+            Some(r) => r,
             None => {
-                let mut asd_client = ServiceClient::connect(
-                    &self.net,
-                    &self.from_host,
-                    self.asd.clone(),
-                    &self.identity,
-                )?;
-                self.lookup_via(&mut asd_client)?
+                return Err(last_err.unwrap_or(ClientError::Service {
+                    code: ErrorCode::Unavailable,
+                    msg: "no directory replica configured".into(),
+                }))
             }
         };
         self.resolutions += 1;
@@ -415,11 +475,7 @@ impl FailoverClient {
         match entries.into_iter().next() {
             Some(entry) => {
                 if let Some(cache) = &self.cache {
-                    let ttl = reply
-                        .get_int("lease")
-                        .filter(|&ms| ms > 0)
-                        .map(|ms| Duration::from_millis(ms as u64))
-                        .unwrap_or(DEFAULT_RESOLUTION_TTL);
+                    let ttl = resolution_ttl(reply.get_int("lease"));
                     cache.store(&self.service_name, entry.addr.clone(), ttl);
                 }
                 Ok(entry.addr)
@@ -629,8 +685,10 @@ impl std::fmt::Debug for FailoverClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "FailoverClient({} via ASD {})",
-            self.service_name, self.asd
+            "FailoverClient({} via {} directory replica{})",
+            self.service_name,
+            self.directory.len(),
+            if self.directory.len() == 1 { "" } else { "s" }
         )
     }
 }
@@ -654,5 +712,28 @@ mod tests {
         let (hits, misses) = cache.stats();
         assert_eq!(hits, 1);
         assert_eq!(misses, 2);
+    }
+
+    // Regression: a lookup reply carrying lease=0 (or a negative or
+    // absurdly large value) must not poison the cache with a zero-duration
+    // or overflowing TTL.
+    #[test]
+    fn resolution_ttl_clamps_degenerate_leases() {
+        assert_eq!(resolution_ttl(None), DEFAULT_RESOLUTION_TTL);
+        assert_eq!(resolution_ttl(Some(0)), DEFAULT_RESOLUTION_TTL);
+        assert_eq!(resolution_ttl(Some(-5_000)), DEFAULT_RESOLUTION_TTL);
+        assert_eq!(resolution_ttl(Some(i64::MIN)), DEFAULT_RESOLUTION_TTL);
+        assert_eq!(resolution_ttl(Some(1_500)), Duration::from_millis(1_500));
+        assert_eq!(resolution_ttl(Some(i64::MAX)), MAX_RESOLUTION_TTL);
+    }
+
+    #[test]
+    fn overflowing_lease_does_not_panic_the_cache() {
+        // Before the clamp, Instant::now() + Duration::from_millis(i64::MAX
+        // as u64) panicked inside ResolutionCache::store.
+        let cache = ResolutionCache::new();
+        let addr = Addr::new("svc", 700);
+        cache.store("echo", addr.clone(), resolution_ttl(Some(i64::MAX)));
+        assert_eq!(cache.get("echo"), Some(addr));
     }
 }

@@ -66,6 +66,7 @@ pub mod metrics;
 pub mod notify;
 pub mod pool;
 pub mod protocol;
+pub mod quorum;
 pub mod retry;
 pub mod runtime;
 pub mod supervise;
@@ -84,6 +85,7 @@ pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, RegistrySnapshot, 
 pub use notify::{NotificationRegistry, Notifier, NotifierTask, Registration};
 pub use pool::{LinkPool, PooledLink};
 pub use protocol::{ServiceEntry, ASD_PORT, LOGGER_PORT, ROOMDB_PORT};
+pub use quorum::{majority, QuorumRound};
 pub use retry::{Retry, RetryBudget, RetryPolicy};
 pub use runtime::{Runtime, RuntimeMode, RuntimeTask, TaskContext, TaskHandle, TaskPoll};
 pub use supervise::{
@@ -106,6 +108,7 @@ pub mod prelude {
     pub use crate::metrics::{MetricsRegistry, StatsReport};
     pub use crate::pool::{LinkPool, PooledLink};
     pub use crate::protocol::ServiceEntry;
+    pub use crate::quorum::{majority, QuorumRound};
     pub use crate::retry::{Retry, RetryBudget, RetryPolicy};
     pub use crate::runtime::{Runtime, RuntimeMode};
     pub use crate::supervise::{

@@ -130,6 +130,10 @@ pub fn asd_semantics() -> Semantics {
             "listServices",
             "list all currently registered service names",
         ))
+        .with(CmdSpec::new(
+            "shardMap",
+            "the directory shard map: replica addresses per shard",
+        ))
 }
 
 /// Commands understood by the Room Database (§4.11).

@@ -1,0 +1,104 @@
+//! Majority-quorum bookkeeping.
+//!
+//! The persistent store's replica client (§6) and the sharded directory
+//! plane both follow the same discipline: issue a write to every replica
+//! of a group, count acknowledgements, and succeed only when a majority
+//! answered — a partitioned minority can never diverge silently.  The
+//! counting (and the "reached quorum but not the full set" degraded
+//! signal that drives redundancy warnings) lives here so both planes
+//! share one implementation.
+
+/// The majority quorum for a replica group of `replicas` members.
+pub fn majority(replicas: usize) -> usize {
+    replicas / 2 + 1
+}
+
+/// One quorum round: a write fanned out to `total` replicas that must be
+/// acknowledged by at least `quorum` of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumRound {
+    total: usize,
+    quorum: usize,
+    acked: usize,
+}
+
+impl QuorumRound {
+    /// A round over `total` replicas with an explicit quorum (clamped to
+    /// `1..=total`).
+    pub fn new(total: usize, quorum: usize) -> QuorumRound {
+        QuorumRound {
+            total,
+            quorum: quorum.clamp(1, total.max(1)),
+            acked: 0,
+        }
+    }
+
+    /// A round requiring a simple majority of `total`.
+    pub fn majority_of(total: usize) -> QuorumRound {
+        QuorumRound::new(total, majority(total))
+    }
+
+    /// Record one replica acknowledgement.
+    pub fn ack(&mut self) {
+        self.acked += 1;
+    }
+
+    /// Acknowledgements so far.
+    pub fn acked(&self) -> usize {
+        self.acked
+    }
+
+    /// The quorum this round requires.
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+
+    /// Did enough replicas acknowledge?
+    pub fn reached(&self) -> bool {
+        self.acked >= self.quorum
+    }
+
+    /// Reached quorum, but not the full replica set: the write is durable
+    /// yet redundancy is reduced until repair catches the stragglers up.
+    pub fn degraded(&self) -> bool {
+        self.reached() && self.acked < self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_is_floor_half_plus_one() {
+        assert_eq!(majority(1), 1);
+        assert_eq!(majority(2), 2);
+        assert_eq!(majority(3), 2);
+        assert_eq!(majority(4), 3);
+        assert_eq!(majority(5), 3);
+    }
+
+    #[test]
+    fn round_tracks_reached_and_degraded() {
+        let mut round = QuorumRound::majority_of(3);
+        assert_eq!(round.quorum(), 2);
+        assert!(!round.reached());
+        round.ack();
+        assert!(!round.reached());
+        round.ack();
+        assert!(round.reached());
+        assert!(round.degraded(), "2/3 is durable but not fully redundant");
+        round.ack();
+        assert!(round.reached());
+        assert!(!round.degraded());
+    }
+
+    #[test]
+    fn quorum_is_clamped_sanely() {
+        assert_eq!(QuorumRound::new(3, 0).quorum(), 1);
+        assert_eq!(QuorumRound::new(3, 9).quorum(), 3);
+        // Degenerate empty group still needs one ack to "reach" quorum,
+        // so a fan-out that found no replicas can never claim success.
+        assert!(!QuorumRound::new(0, 1).reached());
+    }
+}

@@ -41,13 +41,18 @@ struct Lease {
     incarnation: u64,
 }
 
+/// Below this heap size compaction is never worth the rebuild.
+const HEAP_COMPACT_MIN: usize = 128;
+
 /// The ASD service behavior.
 pub struct Asd {
     lease_duration: Duration,
     leases: HashMap<String, Lease>,
     /// Expiry deadlines, oldest first.  Lazy deletion: renewing pushes a
     /// fresh entry without removing the old one, so a popped deadline is
-    /// only acted on when it still matches the live lease.
+    /// only acted on when it still matches the live lease.  Bounded by
+    /// [`Asd::maybe_compact_heap`]: when stale entries outnumber live
+    /// leases the heap is rebuilt from the lease map.
     expiry: BinaryHeap<Reverse<(Instant, String)>>,
     /// room → registered names in that room.
     by_room: HashMap<String, HashSet<String>>,
@@ -55,6 +60,11 @@ pub struct Asd {
     by_class_segment: HashMap<String, HashSet<String>>,
     /// Registrations since start (monotonic; for experiments).
     total_registrations: u64,
+    /// Lazy-deletion heap rebuilds (surfaced as `asd.heapCompactions`).
+    heap_compactions: u64,
+    /// When this ASD is one shard of a partitioned directory plane, the
+    /// full shard map it serves to clients via the `shardMap` verb.
+    shard_map: Option<crate::shardmap::ShardMap>,
 }
 
 impl Asd {
@@ -67,12 +77,21 @@ impl Asd {
             by_room: HashMap::new(),
             by_class_segment: HashMap::new(),
             total_registrations: 0,
+            heap_compactions: 0,
+            shard_map: None,
         }
     }
 
     /// The default production lease (30 s).  Tests use much shorter ones.
     pub fn with_default_lease() -> Asd {
         Asd::new(Duration::from_secs(30))
+    }
+
+    /// Serve `map` from the `shardMap` verb: every replica of every shard
+    /// carries the full map, so clients can bootstrap from any of them.
+    pub fn with_shard_map(mut self, map: crate::shardmap::ShardMap) -> Asd {
+        self.shard_map = Some(map);
+        self
     }
 
     /// The full path plus every dot-segment — the keys under which a class
@@ -103,12 +122,17 @@ impl Asd {
                 self.by_room.remove(&entry.room);
             }
         }
+        // Drop only the keys this entry emptied (mirroring the room path
+        // above) — a blanket `retain` over the whole index is O(all
+        // segments) per unregister and dominates at 100k services.
         for key in Self::class_keys(&entry.class) {
             if let Some(names) = self.by_class_segment.get_mut(key) {
                 names.remove(&entry.name);
+                if names.is_empty() {
+                    self.by_class_segment.remove(key);
+                }
             }
         }
-        self.by_class_segment.retain(|_, names| !names.is_empty());
     }
 
     /// Drop a lease and its index entries, returning the removed lease.
@@ -116,6 +140,50 @@ impl Asd {
         let lease = self.leases.remove(name)?;
         self.index_remove(&lease.entry);
         Some(lease)
+    }
+
+    /// Keep the lazy-deletion heap bounded.  Every renewal strands one
+    /// stale entry, so under a renew-heavy workload the heap would grow
+    /// without limit; once stale entries outnumber live leases (heap more
+    /// than twice the lease count) rebuild it from the live deadlines.
+    /// Amortised O(1) per renewal: a rebuild costs O(n) but only happens
+    /// after O(n) strandings.
+    fn maybe_compact_heap(&mut self) {
+        if self.expiry.len() < HEAP_COMPACT_MIN
+            || self.expiry.len() < self.leases.len().saturating_mul(2)
+        {
+            return;
+        }
+        self.expiry = self
+            .leases
+            .iter()
+            .map(|(name, lease)| Reverse((lease.expires, name.clone())))
+            .collect();
+        self.heap_compactions += 1;
+    }
+
+    /// Renew the lease for `name` (the `renewLease` verb body; free of
+    /// `ServiceCtx` so tests can drive renewal storms directly).
+    fn apply_renewal(&mut self, name: &str, incarnation: u64) -> Reply {
+        match self.leases.get_mut(name) {
+            Some(lease) if incarnation < lease.incarnation => Reply::err(
+                ErrorCode::BadState,
+                format!(
+                    "stale incarnation {incarnation} for {name} (registered: {})",
+                    lease.incarnation
+                ),
+            ),
+            Some(lease) => {
+                let expires = Instant::now() + self.lease_duration;
+                lease.expires = expires;
+                // The old heap entry goes stale and is skipped by the
+                // lazy-deletion check on pop.
+                self.expiry.push(Reverse((expires, name.to_string())));
+                self.maybe_compact_heap();
+                Reply::ok_with(|c| c.arg("lease", self.lease_duration.as_millis() as i64))
+            }
+            None => Reply::err(ErrorCode::NotFound, format!("no lease for {name}")),
+        }
     }
 
     /// Pop genuinely expired leases off the heap.  Cost is O(expired ·
@@ -202,6 +270,16 @@ impl ServiceBehavior for Asd {
         self.purge_expired(ctx);
     }
 
+    fn on_stats(&mut self, ctx: &mut ServiceCtx) {
+        let m = ctx.metrics();
+        m.gauge("asd.leases").set(self.leases.len() as i64);
+        m.gauge("asd.expiryHeap").set(self.expiry.len() as i64);
+        m.gauge("asd.heapCompactions")
+            .set(self.heap_compactions as i64);
+        m.gauge("asd.registrations")
+            .set(self.total_registrations as i64);
+    }
+
     fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
         self.purge_expired(ctx);
         match cmd.name() {
@@ -243,30 +321,14 @@ impl ServiceBehavior for Asd {
                     },
                 );
                 self.expiry.push(Reverse((expires, name)));
+                self.maybe_compact_heap();
                 self.total_registrations += 1;
                 Reply::ok_with(|c| c.arg("lease", self.lease_duration.as_millis() as i64))
             }
             "renewLease" => {
-                let name = req_text!(cmd, "name");
+                let name = req_text!(cmd, "name").to_string();
                 let incarnation = cmd.get_int("incarnation").unwrap_or(0).max(0) as u64;
-                match self.leases.get_mut(name) {
-                    Some(lease) if incarnation < lease.incarnation => Reply::err(
-                        ErrorCode::BadState,
-                        format!(
-                            "stale incarnation {incarnation} for {name} (registered: {})",
-                            lease.incarnation
-                        ),
-                    ),
-                    Some(lease) => {
-                        let expires = Instant::now() + self.lease_duration;
-                        lease.expires = expires;
-                        // The old heap entry goes stale and is skipped by
-                        // the lazy-deletion check on pop.
-                        self.expiry.push(Reverse((expires, name.to_string())));
-                        Reply::ok_with(|c| c.arg("lease", self.lease_duration.as_millis() as i64))
-                    }
-                    None => Reply::err(ErrorCode::NotFound, format!("no lease for {name}")),
-                }
+                self.apply_renewal(&name, incarnation)
             }
             "removeService" => {
                 let name = req_text!(cmd, "name");
@@ -304,6 +366,14 @@ impl ServiceBehavior for Asd {
                         .arg("lease", self.lease_duration.as_millis() as i64)
                 })
             }
+            "shardMap" => match &self.shard_map {
+                Some(map) => map.to_reply(),
+                // An unsharded ASD answers with an empty map: the client
+                // treats it as "this one daemon owns everything".
+                None => {
+                    Reply::ok_with(|c| c.arg("epoch", 0).arg("shards", Value::Array(Vec::new())))
+                }
+            },
             "listServices" => {
                 let mut names: Vec<Scalar> =
                     self.leases.keys().map(|n| Scalar::Str(n.clone())).collect();
@@ -674,6 +744,125 @@ mod tests {
             "renewed lease must survive its stale heap entry"
         );
         assert!(asd.leases.contains_key("svc"));
+    }
+
+    /// Full index-consistency check: every indexed name is a live lease
+    /// indexed under exactly its keys, every lease is fully indexed, and
+    /// no index bucket is empty (emptied keys must be dropped eagerly —
+    /// the O(all-segments) `retain` this replaces hid leaks like that).
+    fn assert_indexes_consistent(asd: &Asd) {
+        for (room, names) in &asd.by_room {
+            assert!(!names.is_empty(), "empty room bucket {room:?} leaked");
+            for name in names {
+                let lease = asd.leases.get(name).expect("indexed name has no lease");
+                assert_eq!(&lease.entry.room, room);
+            }
+        }
+        for (key, names) in &asd.by_class_segment {
+            assert!(!names.is_empty(), "empty class bucket {key:?} leaked");
+            for name in names {
+                let lease = asd.leases.get(name).expect("indexed name has no lease");
+                assert!(
+                    Asd::class_keys(&lease.entry.class).any(|k| k == key),
+                    "{name} indexed under foreign key {key:?}"
+                );
+            }
+        }
+        for lease in asd.leases.values() {
+            assert!(asd.by_room[&lease.entry.room].contains(&lease.entry.name));
+            for key in Asd::class_keys(&lease.entry.class) {
+                assert!(
+                    asd.by_class_segment[key].contains(&lease.entry.name),
+                    "{} missing from class key {key:?}",
+                    lease.entry.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unregister_drops_only_emptied_class_keys() {
+        let mut asd = Asd::new(Duration::from_secs(30));
+        // Overlapping segment sets: removing one entry must only delete
+        // keys it emptied, never buckets other entries still occupy.
+        for i in 0..40 {
+            let e = entry(
+                &format!("svc{i}"),
+                &format!("Service.Device.Kind{}.Model{i}", i % 4),
+                &format!("room{}", i % 5),
+            );
+            asd.index_insert(&e);
+            let expires = Instant::now() + asd.lease_duration;
+            asd.leases.insert(
+                e.name.clone(),
+                Lease {
+                    entry: e,
+                    expires,
+                    incarnation: 0,
+                },
+            );
+        }
+        assert_indexes_consistent(&asd);
+        for i in (0..40).step_by(2) {
+            assert!(asd.remove_lease(&format!("svc{i}")).is_some());
+            assert_indexes_consistent(&asd);
+        }
+        // Shared segments survive while any holder remains…
+        assert!(asd.by_class_segment.contains_key("Service"));
+        assert!(asd.by_class_segment.contains_key("Kind1"));
+        // …and per-entry keys vanish with their entry.
+        assert!(!asd.by_class_segment.contains_key("Model0"));
+        assert!(asd.by_class_segment.contains_key("Model1"));
+        for i in (1..40).step_by(2) {
+            assert!(asd.remove_lease(&format!("svc{i}")).is_some());
+        }
+        assert!(asd.by_class_segment.is_empty(), "all buckets must drain");
+        assert!(asd.by_room.is_empty());
+    }
+
+    #[test]
+    fn renewal_storm_keeps_expiry_heap_bounded() {
+        let mut asd = Asd::new(Duration::from_secs(30));
+        for i in 0..10 {
+            let e = entry(&format!("svc{i}"), "Service.Test", "lab");
+            asd.index_insert(&e);
+            let expires = Instant::now() + asd.lease_duration;
+            asd.expiry.push(Reverse((expires, e.name.clone())));
+            asd.leases.insert(
+                e.name.clone(),
+                Lease {
+                    entry: e,
+                    expires,
+                    incarnation: 0,
+                },
+            );
+        }
+        // 5,000 renewals used to strand 5,000 stale heap entries.
+        for round in 0..500 {
+            for i in 0..10 {
+                let reply = asd.apply_renewal(&format!("svc{i}"), 0);
+                assert!(reply.is_ok(), "renewal failed on round {round}");
+            }
+        }
+        assert!(
+            asd.expiry.len() <= HEAP_COMPACT_MIN,
+            "heap must stay bounded under renewals, got {}",
+            asd.expiry.len()
+        );
+        assert!(
+            asd.heap_compactions > 0,
+            "soak must actually exercise compaction"
+        );
+        // Compaction preserves exactly the live deadlines: every lease
+        // keeps a heap entry matching its current expiry.
+        for (name, lease) in &asd.leases {
+            assert!(
+                asd.expiry
+                    .iter()
+                    .any(|Reverse((at, n))| n == name && *at == lease.expires),
+                "live deadline for {name} lost by compaction"
+            );
+        }
     }
 
     #[test]

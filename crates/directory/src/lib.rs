@@ -11,14 +11,22 @@
 //!
 //! [`bootstrap`] brings all three up in dependency order on a given host —
 //! the first thing every environment (and most tests) does.
+//!
+//! For environments that outgrow a single directory daemon, [`shardmap`]
+//! partitions the ASD across replicated shards ([`spawn_sharded_asd`],
+//! [`ShardedAsdClient`]) while keeping the same wire protocol per shard.
 
 pub mod asd;
 pub mod netlogger;
 pub mod roomdb;
+pub mod shardmap;
 
 pub use asd::{Asd, AsdClient};
 pub use netlogger::{EventRecord, EventRow, LogRow, LoggerClient, NetLogger};
 pub use roomdb::{Placement, RoomDb, RoomDbClient, RoomInfo};
+pub use shardmap::{
+    spawn_sharded_asd, subscribe_invalidation_all, ShardMap, ShardedAsdClient, ShardedDirectory,
+};
 
 use ace_core::prelude::*;
 use ace_core::protocol::{ASD_PORT, LOGGER_PORT, ROOMDB_PORT};

@@ -1,0 +1,383 @@
+//! The sharded directory plane under fire: kill one ASD shard replica in
+//! the middle of a lookup storm and hold three properties:
+//!
+//! 1. **Zero lost registrations** — with majority-quorum writes and
+//!    renewal-driven repair, every name registered before the fault plan
+//!    resolves after it, and a full `list()` still returns the complete
+//!    directory.
+//! 2. **Monotone incarnations** — the per-name incarnation fence (PR 6)
+//!    survives the crash: a register carrying a stale incarnation is
+//!    rejected with `E_BADSTATE` by the replicas that outlived the fault,
+//!    and a newer incarnation is accepted.
+//! 3. **Selective invalidation** — when one shard's leases expire, the
+//!    `ResolutionInvalidator` evicts exactly that shard's names from the
+//!    shared [`ResolutionCache`]; every other shard's cached resolutions
+//!    stay warm.
+
+use ace_core::prelude::*;
+use ace_core::protocol::ServiceEntry;
+use ace_directory::{spawn_sharded_asd, subscribe_invalidation_all, ShardedAsdClient};
+use ace_net::fault::{FaultPlan, FaultPlanConfig};
+use ace_security::keys::KeyPair;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 3;
+const REPLICATION: usize = 3;
+const SERVICES: usize = 45;
+const LEASE: Duration = Duration::from_secs(2);
+const RENEW_EVERY: Duration = Duration::from_millis(200);
+const PLAN_LEN: Duration = Duration::from_millis(1500);
+const RECOVERY_DEADLINE: Duration = Duration::from_secs(15);
+
+/// Renewal phases, flipped by the harness while the renewal thread runs.
+const PHASE_RENEW_ALL: usize = 0;
+const PHASE_DROP_VICTIM_SHARD: usize = 1;
+const PHASE_STOP: usize = 2;
+
+fn entry(i: usize) -> ServiceEntry {
+    ServiceEntry {
+        name: format!("svc{i}"),
+        addr: Addr::new("client", 4000 + i as u16),
+        class: format!("Service.App.Chaos.Kind{}", i % 4),
+        room: format!("room{}", i % 5),
+    }
+}
+
+fn await_true(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + RECOVERY_DEADLINE;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// One full chaos run for `seed`: the victim replica is a pure function of
+/// the seed, the fault schedule is `FaultPlan::generate` over its host.
+fn run_shard_failover(seed: u64) {
+    let net = SimNet::new();
+    net.add_host("client");
+    let hosts: Vec<HostId> = (0..SHARDS * REPLICATION)
+        .map(|i| {
+            let h = format!("d{i}");
+            net.add_host(h.as_str());
+            HostId::from(h.as_str())
+        })
+        .collect();
+    let mut dir = spawn_sharded_asd(&net, &hosts, SHARDS, REPLICATION, LEASE, 5900).unwrap();
+
+    let me = KeyPair::generate(&mut rand::thread_rng());
+    let metrics = MetricsRegistry::new();
+    let pool = Arc::new(LinkPool::with_metrics(&net, "client", me, &metrics));
+    let cache = Arc::new(ResolutionCache::with_metrics(&metrics));
+    let invalidator = Daemon::spawn(
+        &net,
+        DaemonConfig::new(
+            "invalidator",
+            "Service.CacheInvalidator",
+            "machineroom",
+            "client",
+            5850,
+        ),
+        Box::new(ResolutionInvalidator::new(Arc::clone(&cache))),
+    )
+    .unwrap();
+    let subscribed = subscribe_invalidation_all(
+        &net,
+        &"client".into(),
+        &me,
+        &dir.map,
+        "invalidator",
+        invalidator.addr(),
+    )
+    .unwrap();
+    assert_eq!(
+        subscribed,
+        SHARDS * REPLICATION,
+        "every replica must accept the expiry subscription"
+    );
+
+    // Register the fleet (incarnation 1) and prime the shared resolution
+    // cache with a long TTL, so the *only* thing that may evict an entry
+    // during the run is the invalidator reacting to a lease expiry.
+    let mut client = dir.client(Arc::clone(&pool));
+    for i in 0..SERVICES {
+        let lease = client.register(&entry(i), 1).unwrap();
+        assert!(lease > Duration::ZERO, "svc{i}: lease must be granted");
+        cache.store(&entry(i).name, entry(i).addr, Duration::from_secs(3600));
+    }
+    assert_eq!(cache.len(), SERVICES);
+
+    // The victim replica is derived from the seed; its shard is the one
+    // whose cache entries must (later) be evicted — and no others.
+    let victim_idx = (seed as usize) % (SHARDS * REPLICATION);
+    let victim_shard = victim_idx / REPLICATION;
+    let victim_replica = victim_idx % REPLICATION;
+    let victim_host = dir.replica_host(victim_shard, victim_replica);
+    let victim_addr = dir.map.replicas(victim_shard)[victim_replica].clone();
+    let map = dir.map.clone();
+    let shard_of = move |name: &str| map.shard_for(name);
+    let victim_names: Vec<String> = (0..SERVICES)
+        .map(|i| entry(i).name)
+        .filter(|n| shard_of(n) == victim_shard)
+        .collect();
+    assert!(
+        !victim_names.is_empty(),
+        "seed {seed}: victim shard {victim_shard} owns no names — rebalance the fixture"
+    );
+
+    let mut fault_config = FaultPlanConfig::new(PLAN_LEN, vec![victim_host.clone()]);
+    fault_config.crash_windows = 2;
+    fault_config.max_latency = Duration::from_millis(1);
+    let plan = FaultPlan::generate(seed, &fault_config);
+    assert_eq!(
+        plan,
+        FaultPlan::generate(seed, &fault_config),
+        "fault schedule must be a pure function of the seed"
+    );
+
+    let phase = AtomicUsize::new(PHASE_RENEW_ALL);
+    let storm_errors = AtomicU64::new(0);
+    let storm_ok = AtomicU64::new(0);
+
+    let (mut client, repairs) = std::thread::scope(|scope| {
+        // Renewal thread: the writer that owns the registrations keeps
+        // every lease alive (phase 0), then deliberately lets the victim
+        // shard's leases lapse (phase 1) so expiry-driven invalidation can
+        // be observed, then stops (phase 2).
+        let phase_ref = &phase;
+        let victim_ref = &victim_names;
+        let renewer = scope.spawn(move || loop {
+            match phase_ref.load(Ordering::SeqCst) {
+                PHASE_STOP => break client,
+                p => {
+                    for i in 0..SERVICES {
+                        let name = entry(i).name;
+                        if p == PHASE_DROP_VICTIM_SHARD && victim_ref.contains(&name) {
+                            continue;
+                        }
+                        if let Err(err) = client.renew(&name) {
+                            panic!("renew {name} failed mid-chaos: {err}");
+                        }
+                    }
+                    std::thread::sleep(RENEW_EVERY);
+                }
+            }
+        });
+
+        // Lookup storm: four readers hammer name lookups across every
+        // shard while the fault plan kills and revives the victim host.
+        // With per-call replica failover, not a single lookup may fail or
+        // come back empty.
+        let storm_deadline = Instant::now() + PLAN_LEN;
+        let storm: Vec<_> = (0..4)
+            .map(|w| {
+                let mut reader = dir.client(Arc::clone(&pool));
+                let ok = &storm_ok;
+                let errors = &storm_errors;
+                scope.spawn(move || {
+                    let mut i = w;
+                    while Instant::now() < storm_deadline {
+                        let name = entry(i % SERVICES).name;
+                        match reader.lookup(Some(&name), None, None) {
+                            Ok(entries) if !entries.is_empty() => {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+
+        let runner = plan.spawn(&net);
+        for h in storm {
+            h.join().expect("storm worker panicked");
+        }
+        runner.join(); // network fully healed
+
+        // Post-plan recovery: a fresh, empty replica comes back at the
+        // victim's address and is repaired purely by renewal traffic.
+        dir.respawn_replica(&net, victim_shard, victim_replica)
+            .unwrap();
+        await_true("renewal repair of the respawned replica", || {
+            pool.checkout(&victim_addr)
+                .and_then(|mut link| link.call(&CmdLine::new("listServices")))
+                .ok()
+                .and_then(|reply| {
+                    reply.get_vector("names").map(|names| {
+                        let have: Vec<&str> = names.iter().filter_map(|s| s.as_text()).collect();
+                        victim_names.iter().all(|n| have.contains(&n.as_str()))
+                    })
+                })
+                .unwrap_or(false)
+        });
+
+        // Property 1: zero lost registrations.
+        let mut auditor = dir.client(Arc::clone(&pool));
+        let listed = auditor.list().unwrap();
+        let expected: Vec<String> = {
+            let mut v: Vec<String> = (0..SERVICES).map(|i| entry(i).name).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            listed, expected,
+            "seed {seed}: directory lost registrations across the fault plan"
+        );
+        for i in 0..SERVICES {
+            let found = auditor.find(&entry(i).name).unwrap();
+            assert_eq!(
+                found.map(|e| e.addr),
+                Some(entry(i).addr),
+                "seed {seed}: svc{i} must resolve to its registered address"
+            );
+        }
+        assert_eq!(
+            storm_errors.load(Ordering::Relaxed),
+            0,
+            "seed {seed}: lookups failed mid-storm despite replica failover"
+        );
+        assert!(storm_ok.load(Ordering::Relaxed) > 0, "storm never ran");
+
+        // Property 3 (first half): nothing has been evicted yet — every
+        // lease was renewed throughout the plan, so the primed cache is
+        // still complete.
+        assert_eq!(
+            cache.len(),
+            SERVICES,
+            "seed {seed}: cache entries evicted while every lease was live"
+        );
+
+        // Let the victim shard's leases lapse.
+        phase.store(PHASE_DROP_VICTIM_SHARD, Ordering::SeqCst);
+        await_true("victim shard's cache entries to be evicted", || {
+            victim_names.iter().all(|n| cache.get(n).is_none())
+        });
+        for i in 0..SERVICES {
+            let name = entry(i).name;
+            if !victim_names.contains(&name) {
+                assert!(
+                    cache.get(&name).is_some(),
+                    "seed {seed}: {name} evicted but its shard never expired anything"
+                );
+            }
+        }
+
+        phase.store(PHASE_STOP, Ordering::SeqCst);
+        let client = renewer.join().expect("renewal thread panicked");
+        let repairs = client.repairs();
+        (client, repairs)
+    });
+
+    // The respawned replica really was repaired by renewals, not by luck.
+    assert!(
+        repairs > 0,
+        "seed {seed}: no renew-driven repair happened — the respawned replica \
+         should have answered E_NOTFOUND at least once"
+    );
+
+    // Property 2: monotone incarnations.  The surviving replicas remember
+    // incarnation 1 for a still-live (non-victim) name: a stale register
+    // is fenced, a newer one wins.  Do this immediately after the renewal
+    // thread stops, while those leases are still live.
+    let live = (0..SERVICES)
+        .map(entry)
+        .find(|e| shard_of(&e.name) != victim_shard)
+        .expect("some shard other than the victim owns a name");
+    let stale = client.register(&live, 0);
+    assert_eq!(
+        stale.as_ref().err().and_then(|e| e.code()),
+        Some(ErrorCode::BadState),
+        "seed {seed}: a stale incarnation must be fenced, got {stale:?}"
+    );
+    client
+        .register(&live, 2)
+        .expect("a newer incarnation must be accepted");
+
+    eprintln!(
+        "shard_failover seed {seed:#x}: victim s{victim_shard}r{victim_replica} ({}), \
+         {} victim names, {} storm lookups, {repairs} repairs, fanouts={}",
+        victim_host,
+        victim_names.len(),
+        storm_ok.load(Ordering::Relaxed),
+        client.fanouts(),
+    );
+
+    invalidator.shutdown();
+    dir.shutdown();
+}
+
+#[test]
+fn shard_failover_seed_a() {
+    run_shard_failover(0xACE9);
+}
+
+#[test]
+fn shard_failover_seed_b() {
+    run_shard_failover(13);
+}
+
+/// Seed expansion hook for the CI soak job, mirroring `chaos_fastpath`:
+/// `CHAOS_SEEDS="0xACE3,42,7"` runs each listed seed.
+#[test]
+fn shard_failover_env_seeds() {
+    let Ok(spec) = std::env::var("CHAOS_SEEDS") else {
+        return;
+    };
+    for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let seed = match token.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => token.parse(),
+        }
+        .unwrap_or_else(|_| panic!("CHAOS_SEEDS: unparsable seed `{token}`"));
+        eprintln!("shard_failover: running env seed {seed:#x}");
+        run_shard_failover(seed);
+    }
+}
+
+/// Cross-shard queries keep working while a replica is down: class and
+/// room fan-outs merge partial answers from every shard, with per-shard
+/// replica failover underneath.
+#[test]
+fn fanout_queries_survive_a_dead_replica() {
+    let net = SimNet::new();
+    net.add_host("client");
+    let hosts: Vec<HostId> = (0..6)
+        .map(|i| {
+            let h = format!("d{i}");
+            net.add_host(h.as_str());
+            HostId::from(h.as_str())
+        })
+        .collect();
+    let dir = spawn_sharded_asd(&net, &hosts, 3, 2, Duration::from_secs(30), 5900).unwrap();
+    let me = KeyPair::generate(&mut rand::thread_rng());
+    let pool = Arc::new(LinkPool::new(&net, "client", me));
+    let mut client = ShardedAsdClient::new(Arc::clone(&pool), dir.map.clone());
+    for i in 0..30 {
+        client.register(&entry(i), 1).unwrap();
+    }
+
+    net.kill_host(&dir.replica_host(1, 0));
+
+    // Name lookups on every shard still resolve (shard 1 through its
+    // surviving replica), and a class fan-out still returns the complete
+    // answer across all three shards.
+    for i in 0..30 {
+        assert!(client.find(&entry(i).name).unwrap().is_some());
+    }
+    let kind0 = client
+        .lookup(None, Some("Service.App.Chaos.Kind0"), None)
+        .unwrap();
+    assert_eq!(kind0.len(), 8); // i % 4 == 0 for 8 of 0..30
+    let room3 = client.lookup(None, None, Some("room3")).unwrap();
+    assert_eq!(room3.len(), 6); // i % 5 == 3 for 6 of 0..30
+    assert!(client.fanouts() >= 2);
+
+    net.revive_host(&dir.replica_host(1, 0));
+    dir.shutdown();
+}

@@ -356,6 +356,33 @@ impl AceEnvironment {
         fiu.call(&CmdLine::new("press").arg("template", Value::Str(template.into())))
     }
 
+    /// Bring up a sharded, replicated directory plane on the environment's
+    /// compute hosts (ports 5900+), for workloads whose registration or
+    /// lookup volume outgrows the single bootstrap ASD.  The plane uses
+    /// the environment's lease duration; callers route through
+    /// [`ace_directory::ShardedAsdClient`] (the framework tier keeps using
+    /// the bootstrap ASD).
+    pub fn spawn_sharded_directory(
+        &self,
+        shards: usize,
+        replication: usize,
+    ) -> Result<ace_directory::ShardedDirectory, SpawnError> {
+        let hosts: Vec<HostId> = self
+            .config
+            .compute_hosts
+            .iter()
+            .map(|h| HostId::from(h.as_str()))
+            .collect();
+        ace_directory::spawn_sharded_asd(
+            &self.net,
+            &hosts,
+            shards,
+            replication,
+            self.config.lease,
+            5900,
+        )
+    }
+
     /// A store client over the environment's replica cluster.
     pub fn store_client(&self, identity: KeyPair) -> Option<StoreClient> {
         self.store.as_ref().map(|cluster| {

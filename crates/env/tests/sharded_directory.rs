@@ -1,0 +1,64 @@
+//! The canonical environment can grow a sharded directory plane alongside
+//! its bootstrap ASD: the framework tier keeps resolving through the
+//! single `asd`, while high-volume workloads route through the plane.
+
+use ace_core::prelude::*;
+use ace_core::protocol::ServiceEntry;
+use ace_env::{AceEnvironment, EnvConfig};
+use std::sync::Arc;
+
+#[test]
+fn environment_grows_a_sharded_directory_plane() {
+    let env = AceEnvironment::build(EnvConfig::default()).unwrap();
+    let dir = env.spawn_sharded_directory(2, 2).unwrap();
+    assert_eq!(dir.map.shard_count(), 2);
+
+    // Replicas land on the environment's compute hosts only.
+    for addr in dir.map.all_replicas() {
+        assert!(
+            env.config
+                .compute_hosts
+                .iter()
+                .any(|h| HostId::from(h.as_str()) == addr.host),
+            "replica {addr} placed off the compute hosts"
+        );
+    }
+
+    // Register + resolve through the plane.
+    let pool = Arc::new(LinkPool::new(&env.net, "core", env.admin));
+    let mut client = dir.client(Arc::clone(&pool));
+    for i in 0..20 {
+        let entry = ServiceEntry {
+            name: format!("sensor{i}"),
+            addr: Addr::new("podium", 6200 + i as u16),
+            class: "Service.Device.Sensor".into(),
+            room: "hawk".into(),
+        };
+        client.register(&entry, 1).unwrap();
+    }
+    let found = client.find("sensor7").unwrap().expect("sensor7 registered");
+    assert_eq!(found.addr, Addr::new("podium", 6207));
+    let in_hawk = client.lookup(None, None, Some("hawk")).unwrap();
+    assert!(in_hawk.len() >= 20, "room fan-out must see every sensor");
+
+    // The bootstrap ASD is a separate plane: the framework tier's own
+    // registrations are there, the sensors are not.
+    let mut boot = ServiceClient::connect(
+        &env.net,
+        &"core".into(),
+        env.fw.asd_addr.clone(),
+        &env.admin,
+    )
+    .unwrap();
+    let reply = boot
+        .call(&CmdLine::new("lookup").arg("name", "sensor7"))
+        .unwrap();
+    let entries = ace_core::protocol::entries_from_value(reply.get("services").unwrap()).unwrap();
+    assert!(
+        entries.is_empty(),
+        "the bootstrap ASD must not see the sharded plane's registrations"
+    );
+
+    dir.shutdown();
+    env.shutdown();
+}

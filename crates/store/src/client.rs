@@ -110,7 +110,7 @@ impl StoreClient {
         identity: KeyPair,
         replicas: Vec<Addr>,
     ) -> StoreClient {
-        let quorum = replicas.len() / 2 + 1;
+        let quorum = ace_core::quorum::majority(replicas.len());
         let writer_id = identity.principal();
         let connections = replicas.iter().map(|_| None).collect();
         let pooled_reachable = vec![false; replicas.len()];
@@ -341,23 +341,23 @@ impl StoreClient {
         if cmd_name == "psPut" {
             cmd.push_arg("data", hex_encode(data));
         }
-        let mut acked = 0;
+        let mut round = QuorumRound::new(self.replicas.len(), self.quorum);
         for idx in 0..self.replicas.len() {
             if self.call_replica(idx, &cmd).is_some() {
-                acked += 1;
+                round.ack();
             }
         }
-        if acked >= self.quorum {
+        if round.reached() {
             self.stats.writes += 1;
-            if acked < self.replicas.len() {
+            if round.degraded() {
                 self.stats.degraded_writes += 1;
-                self.warn_degraded(cmd_name, ns, key, acked);
+                self.warn_degraded(cmd_name, ns, key, round.acked());
             }
             Ok(version)
         } else {
             self.stats.quorum_failures += 1;
             Err(StoreError::QuorumFailed {
-                acked,
+                acked: round.acked(),
                 quorum: self.quorum,
             })
         }
@@ -452,26 +452,26 @@ impl StoreClient {
         let cmd = CmdLine::new("psPutBatch")
             .arg("ns", ns)
             .arg("items", Value::Array(rows));
-        let mut acked = 0;
+        let mut round = QuorumRound::new(self.replicas.len(), self.quorum);
         for idx in 0..self.replicas.len() {
             if self.call_replica(idx, &cmd).is_some() {
-                acked += 1;
+                round.ack();
             }
         }
-        if acked >= self.quorum {
+        if round.reached() {
             self.stats.writes += 1;
             self.stats.batch_writes += 1;
             self.stats.batched_records += items.len() as u64;
-            if acked < self.replicas.len() {
+            if round.degraded() {
                 self.stats.degraded_writes += 1;
                 let what = format!("batch[{} records]", items.len());
-                self.warn_degraded("psPutBatch", ns, &what, acked);
+                self.warn_degraded("psPutBatch", ns, &what, round.acked());
             }
             Ok(versions)
         } else {
             self.stats.quorum_failures += 1;
             Err(StoreError::QuorumFailed {
-                acked,
+                acked: round.acked(),
                 quorum: self.quorum,
             })
         }
