@@ -1,0 +1,553 @@
+//! Store scale-out benchmark, and the `BENCH_pr10.json` artifact.
+//!
+//! ```sh
+//! cargo run --release -p ace-bench --bin store_shard -- -o BENCH_pr10.json
+//! cargo run --release -p ace-bench --bin store_shard -- --secs 1 --threads 4
+//! ```
+//!
+//! Three experiments on the sharded persistent-store plane:
+//!
+//! * **Write scaling** — a closed-loop put storm against one replica
+//!   group (the pre-PR-10 store) vs 4 shards × 3 replicas.  As in the
+//!   directory bench, the headline figure is **aggregate capacity**: each
+//!   shard stormed in isolation over keys it owns, per-shard saturation
+//!   throughputs summed.  Writes touch exactly their owning group (no
+//!   cross-shard coordination), so capacities add across hosts in a real
+//!   deployment; the single-group arm is measured identically, making the
+//!   speedup a capacity ratio, not a load-generator artifact.
+//! * **Read latency** — the same keys read through the leased
+//!   single-replica path vs the quorum digest scan (the ablation arm the
+//!   lease-safety argument in DESIGN.md calls for).
+//! * **Rebuild time vs keyspace** — kill one replica at 1k/4k/16k keys
+//!   and rejoin it by snapshot shipping + WAL tail, against the old
+//!   anti-entropy-only rejoin (empty replica, pull-based sync).
+//! * **Rebuild time vs write history** — the near-flat claim.  A full
+//!   replay pays for every write ever made; the snapshot ships only live
+//!   state.  At a fixed keyspace, grow the overwrite history 16× and
+//!   show rebuild time barely moves while replayed-history cost would
+//!   grow linearly.
+
+use ace_baselines::lookup_storm;
+use ace_core::prelude::*;
+use ace_security::keys::KeyPair;
+use ace_store::{
+    spawn_sharded_store, DiskImage, MemStorage, ShardedStoreClient, ShardedStoreCluster,
+    StorageHandle, StoreReplica, WalConfig, SHARD_CLASS,
+};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DEFAULT_THREADS: usize = 8;
+const DEFAULT_STORM: Duration = Duration::from_secs(3);
+const REBUILD_KEYSPACES: [usize; 3] = [1_000, 4_000, 16_000];
+const HISTORY_KEYS: usize = 2_000;
+const HISTORY_ROUNDS: [usize; 3] = [1, 4, 16];
+const KEYS_PER_SHARD: usize = 1_000;
+const READ_KEYS: usize = 200;
+const READS: usize = 2_000;
+const PAYLOAD: &[u8] = &[0x5A; 64];
+
+struct World {
+    net: SimNet,
+    cluster: ShardedStoreCluster,
+}
+
+fn world(groups: usize, replication: usize, sync: Duration) -> World {
+    let net = SimNet::new();
+    net.add_host("client");
+    let hosts: Vec<HostId> = (0..groups * replication)
+        .map(|i| {
+            let h = format!("b{i}");
+            net.add_host(h.as_str());
+            HostId::from(h.as_str())
+        })
+        .collect();
+    let cluster = spawn_sharded_store(
+        &net,
+        &hosts,
+        groups,
+        replication,
+        sync,
+        WalConfig::default(),
+    )
+    .unwrap();
+    World { net, cluster }
+}
+
+fn client(w: &World) -> ShardedStoreClient {
+    let identity = KeyPair::generate(&mut rand::thread_rng());
+    let pool = Arc::new(LinkPool::new(&w.net, "client", identity));
+    w.cluster.client(&w.net, "client", identity, pool)
+}
+
+struct WriteRow {
+    system: &'static str,
+    groups: usize,
+    replication: usize,
+    threads: usize,
+    ops: u64,
+    errors: u64,
+    per_sec: f64,
+    aggregate_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Storm one arm: concurrent pass over the whole plane, then the
+/// per-shard isolated capacity passes (see the module doc).
+fn write_arm(
+    system: &'static str,
+    groups: usize,
+    replication: usize,
+    threads: usize,
+    storm_len: Duration,
+) -> WriteRow {
+    let w = world(groups, replication, Duration::from_secs(3600));
+    let metrics = MetricsRegistry::new();
+    let hist = metrics.histogram("store.put");
+
+    // Key pools per group: puts on an existing key exercise the full
+    // production write path (version read, then quorum commit).
+    let probe = client(&w);
+    let mut pools: Vec<Vec<String>> = vec![Vec::new(); groups];
+    let mut j = 0usize;
+    while pools.iter().any(|p| p.len() < KEYS_PER_SHARD) {
+        let key = format!("k{j}");
+        let g = probe.group_for("bench", &key);
+        if pools[g].len() < KEYS_PER_SHARD {
+            pools[g].push(key);
+        }
+        j += 1;
+    }
+
+    let report = lookup_storm(
+        threads,
+        storm_len,
+        |worker| {
+            let mut c = client(&w);
+            let mut i = worker;
+            move || {
+                i = i.wrapping_add(1);
+                let key = format!("k{}", i % (groups * KEYS_PER_SHARD));
+                c.put("bench", &key, PAYLOAD).is_ok()
+            }
+        },
+        |d| hist.record(d),
+    );
+
+    // Aggregate capacity: storm each group in isolation over its own keys.
+    let capacity_len = storm_len
+        .div_f64(groups as f64)
+        .max(Duration::from_millis(250));
+    let mut aggregate_per_sec = 0.0;
+    for (g, pool) in pools.iter().enumerate() {
+        let rep = lookup_storm(
+            threads,
+            capacity_len,
+            |worker| {
+                let mut c = client(&w);
+                let mut i = worker;
+                move || {
+                    i = i.wrapping_add(1);
+                    c.put("bench", &pool[i % pool.len()], PAYLOAD).is_ok()
+                }
+            },
+            |_| {},
+        );
+        assert_eq!(rep.errors, 0, "group {g}: capacity storm saw put errors");
+        aggregate_per_sec += rep.per_sec();
+    }
+
+    let snap = hist.snapshot();
+    w.cluster.shutdown();
+    WriteRow {
+        system,
+        groups,
+        replication,
+        threads,
+        ops: report.ops,
+        errors: report.errors,
+        per_sec: report.per_sec(),
+        aggregate_per_sec,
+        p50_us: snap.quantile(0.50),
+        p99_us: snap.quantile(0.99),
+    }
+}
+
+struct ReadRow {
+    mode: &'static str,
+    reads: usize,
+    p50_us: f64,
+    p99_us: f64,
+    leased_share: f64,
+}
+
+/// Leased single-replica reads vs the quorum digest scan over the same
+/// warmed keyspace.
+fn read_arms() -> (ReadRow, ReadRow) {
+    let w = world(4, 3, Duration::from_secs(3600));
+    let mut c = client(&w);
+    let items: Vec<(String, Vec<u8>)> = (0..READ_KEYS)
+        .map(|i| (format!("r{i}"), PAYLOAD.to_vec()))
+        .collect();
+    c.put_many("bench", &items).unwrap();
+
+    let metrics = MetricsRegistry::new();
+    // Warm every group's lease off the clock.
+    for i in 0..READ_KEYS {
+        c.get("bench", &format!("r{i}")).unwrap();
+    }
+    let before = c.stats();
+    let leased_hist = metrics.histogram("read.leased");
+    for i in 0..READS {
+        let key = format!("r{}", i % READ_KEYS);
+        let started = Instant::now();
+        c.get("bench", &key).unwrap();
+        leased_hist.record(started.elapsed());
+    }
+    let stats = c.stats();
+    let leased_share = (stats.leased_reads - before.leased_reads) as f64 / READS as f64;
+
+    let quorum_hist = metrics.histogram("read.quorum");
+    for i in 0..READS {
+        let key = format!("r{}", i % READ_KEYS);
+        let g = c.group_for("bench", &key);
+        let started = Instant::now();
+        c.group_client(g).get("bench", &key).unwrap();
+        quorum_hist.record(started.elapsed());
+    }
+
+    let leased = leased_hist.snapshot();
+    let quorum = quorum_hist.snapshot();
+    w.cluster.shutdown();
+    (
+        ReadRow {
+            mode: "leased",
+            reads: READS,
+            p50_us: leased.quantile(0.50),
+            p99_us: leased.quantile(0.99),
+            leased_share,
+        },
+        ReadRow {
+            mode: "quorum",
+            reads: READS,
+            p50_us: quorum.quantile(0.50),
+            p99_us: quorum.quantile(0.99),
+            leased_share: 0.0,
+        },
+    )
+}
+
+struct RebuildRow {
+    keys: usize,
+    snapshot_ms: f64,
+    snapshot_bytes: usize,
+    snapshot_chunks: usize,
+    tail_records: usize,
+    anti_entropy_ms: f64,
+    speedup: f64,
+}
+
+fn seed_keys(c: &mut ShardedStoreClient, keys: usize) {
+    let mut i = 0;
+    while i < keys {
+        let batch: Vec<(String, Vec<u8>)> = (i..(i + 500).min(keys))
+            .map(|k| (format!("k{k}"), PAYLOAD.to_vec()))
+            .collect();
+        c.put_many("bench", &batch).unwrap();
+        i += 500;
+    }
+}
+
+/// Kill replica 2 of a 1×3 group at `keys` population and time both
+/// rejoin protocols: snapshot shipping + WAL tail vs anti-entropy-only
+/// (respawn empty, let pull-based sync repopulate it).
+fn rebuild_arm(keys: usize) -> RebuildRow {
+    // Snapshot shipping.  Sync is parked at one hour so the measurement
+    // is the rebuild protocol alone.
+    let mut w = world(1, 3, Duration::from_secs(3600));
+    let mut c = client(&w);
+    seed_keys(&mut c, keys);
+    w.cluster.groups[0][2].0.crash();
+    let started = Instant::now();
+    let report = w.cluster.rebuild_replica(&w.net, 0, 2).unwrap();
+    let snapshot_ms = started.elapsed().as_secs_f64() * 1e3;
+    let rebuilt = w.cluster.groups[0][2].1.clone();
+    assert_eq!(
+        rebuilt.len(),
+        keys,
+        "snapshot rebuild at {keys} keys is incomplete"
+    );
+    w.cluster.shutdown();
+
+    // Anti-entropy ablation: the pre-PR-10 rejoin.  An empty replica at
+    // the same address pulls everything through periodic sync rounds.
+    let w = world(1, 3, Duration::from_millis(50));
+    let mut c = client(&w);
+    seed_keys(&mut c, keys);
+    w.cluster.groups[0][2].0.crash();
+    let victim = w.cluster.placement.replicas(0)[2].clone();
+    let peers: Vec<Addr> = w.cluster.placement.replicas(0)[..2].to_vec();
+    let storage = StorageHandle::Memory(MemStorage::new());
+    let (disk, _) = DiskImage::open(&storage, WalConfig::default()).unwrap();
+    let empty = disk.clone();
+    let started = Instant::now();
+    let daemon = Daemon::spawn(
+        &w.net,
+        DaemonConfig::new(
+            "store-rejoin",
+            SHARD_CLASS,
+            "machine",
+            victim.host.as_str(),
+            victim.port,
+        )
+        .with_incarnation(1),
+        Box::new(
+            StoreReplica::new(disk, Duration::from_millis(50))
+                .with_peers(peers)
+                .with_placement(w.cluster.placement.clone()),
+        ),
+    )
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(180);
+    while empty.len() < keys {
+        assert!(
+            Instant::now() < deadline,
+            "anti-entropy rejoin at {keys} keys stalled at {} entries",
+            empty.len()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let anti_entropy_ms = started.elapsed().as_secs_f64() * 1e3;
+    daemon.shutdown();
+    w.cluster.shutdown();
+
+    RebuildRow {
+        keys,
+        snapshot_ms,
+        snapshot_bytes: report.snapshot_bytes,
+        snapshot_chunks: report.snapshot_chunks,
+        tail_records: report.tail_records,
+        anti_entropy_ms,
+        speedup: anti_entropy_ms / snapshot_ms.max(1e-9),
+    }
+}
+
+struct HistoryRow {
+    rounds: usize,
+    history_records: usize,
+    snapshot_ms: f64,
+    snapshot_records: usize,
+}
+
+/// Fixed keyspace, growing overwrite history: snapshot-ship rebuild time
+/// must stay near-flat because the snapshot carries the live map only —
+/// a full-history replay would grow linearly with `rounds`.
+fn history_arm(rounds: usize) -> HistoryRow {
+    let mut w = world(1, 3, Duration::from_secs(3600));
+    let mut c = client(&w);
+    for _ in 0..rounds {
+        seed_keys(&mut c, HISTORY_KEYS);
+    }
+    w.cluster.groups[0][2].0.crash();
+    let started = Instant::now();
+    let report = w.cluster.rebuild_replica(&w.net, 0, 2).unwrap();
+    let snapshot_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(w.cluster.groups[0][2].1.len(), HISTORY_KEYS);
+    w.cluster.shutdown();
+    HistoryRow {
+        rounds,
+        history_records: HISTORY_KEYS * rounds,
+        snapshot_ms,
+        snapshot_records: report.snapshot_records,
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_pr10.json");
+    let mut threads = DEFAULT_THREADS;
+    let mut storm_len = DEFAULT_STORM;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" => out_path = args.next().expect("-o needs a path"),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs an integer")
+                    .parse()
+                    .expect("--threads takes an integer");
+            }
+            "--secs" => {
+                storm_len = Duration::from_secs_f64(
+                    args.next()
+                        .expect("--secs needs a number")
+                        .parse()
+                        .expect("--secs takes a number"),
+                );
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    eprintln!("arm: single-group write storm (1×3)");
+    let single = write_arm("single", 1, 3, threads, storm_len);
+    eprintln!("arm: sharded write storm (4×3)");
+    let sharded = write_arm("sharded", 4, 3, threads, storm_len);
+    eprintln!("arm: leased vs quorum read latency");
+    let (leased, quorum) = read_arms();
+    let mut rebuilds = Vec::new();
+    for keys in REBUILD_KEYSPACES {
+        eprintln!("arm: rebuild at {keys} keys");
+        rebuilds.push(rebuild_arm(keys));
+    }
+    let mut histories = Vec::new();
+    for rounds in HISTORY_ROUNDS {
+        eprintln!("arm: rebuild at {HISTORY_KEYS} keys × {rounds} overwrite rounds");
+        histories.push(history_arm(rounds));
+    }
+
+    let write_speedup = sharded.aggregate_per_sec / single.aggregate_per_sec.max(1e-9);
+    let rebuild_growth = rebuilds.last().unwrap().snapshot_ms / rebuilds[0].snapshot_ms.max(1e-9);
+    let keyspace_growth =
+        REBUILD_KEYSPACES[REBUILD_KEYSPACES.len() - 1] as f64 / REBUILD_KEYSPACES[0] as f64;
+    let history_time_growth =
+        histories.last().unwrap().snapshot_ms / histories[0].snapshot_ms.max(1e-9);
+    let history_growth = HISTORY_ROUNDS[HISTORY_ROUNDS.len() - 1] as f64 / HISTORY_ROUNDS[0] as f64;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut json = String::from("{\n  \"store_shard\": {\n");
+    let _ = writeln!(json, "    \"threads\": {threads},");
+    let _ = writeln!(json, "    \"cores\": {cores},");
+    let _ = writeln!(json, "    \"storm_secs\": {},", storm_len.as_secs_f64());
+    let _ = writeln!(
+        json,
+        "    \"methodology\": \"aggregate = sum of per-shard isolated saturation storms \
+         (puts touch only their owning group, so capacities add across hosts); \
+         rebuild arms compare snapshot-ship + WAL-tail against the anti-entropy-only \
+         rejoin at the same population; the history arms hold the keyspace fixed and \
+         grow overwrite history, where full replay is linear and the snapshot is \
+         near-flat\","
+    );
+    json.push_str("    \"write_scaling\": [\n");
+    for (i, r) in [&single, &sharded].iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"system\": \"{}\", \"groups\": {}, \"replication\": {}, \
+             \"threads\": {}, \"ops\": {}, \"errors\": {}, \
+             \"concurrent_puts_per_sec\": {:.0}, \"aggregate_puts_per_sec\": {:.0}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}}}{}",
+            r.system,
+            r.groups,
+            r.replication,
+            r.threads,
+            r.ops,
+            r.errors,
+            r.per_sec,
+            r.aggregate_per_sec,
+            r.p50_us,
+            r.p99_us,
+            if i == 1 { "" } else { "," }
+        );
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"read_latency\": [\n");
+    for (i, r) in [&leased, &quorum].iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"mode\": \"{}\", \"reads\": {}, \"p50_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"leased_share\": {:.3}}}{}",
+            r.mode,
+            r.reads,
+            r.p50_us,
+            r.p99_us,
+            r.leased_share,
+            if i == 1 { "" } else { "," }
+        );
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"rebuild\": [\n");
+    for (i, r) in rebuilds.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"keys\": {}, \"snapshot_ms\": {:.1}, \"snapshot_bytes\": {}, \
+             \"snapshot_chunks\": {}, \"tail_records\": {}, \
+             \"anti_entropy_ms\": {:.1}, \"speedup_vs_anti_entropy\": {:.2}}}{}",
+            r.keys,
+            r.snapshot_ms,
+            r.snapshot_bytes,
+            r.snapshot_chunks,
+            r.tail_records,
+            r.anti_entropy_ms,
+            r.speedup,
+            if i + 1 == rebuilds.len() { "" } else { "," }
+        );
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"rebuild_vs_history\": [\n");
+    for (i, r) in histories.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"keys\": {HISTORY_KEYS}, \"overwrite_rounds\": {}, \
+             \"history_records\": {}, \"snapshot_records\": {}, \"snapshot_ms\": {:.1}}}{}",
+            r.rounds,
+            r.history_records,
+            r.snapshot_records,
+            r.snapshot_ms,
+            if i + 1 == histories.len() { "" } else { "," }
+        );
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"summary\": {\n");
+    let _ = writeln!(
+        json,
+        "      \"sharded_write_speedup_vs_single\": {write_speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"leased_p50_us\": {:.1}, \"quorum_p50_us\": {:.1},",
+        leased.p50_us, quorum.p50_us
+    );
+    let _ = writeln!(
+        json,
+        "      \"rebuild_time_growth_vs_keyspace\": {rebuild_growth:.2}, \
+         \"keyspace_growth\": {keyspace_growth:.0},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"rebuild_time_growth_vs_history\": {history_time_growth:.2}, \
+         \"history_growth\": {history_growth:.0},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"meets_2_5x_write_speedup\": {},",
+        write_speedup >= 2.5
+    );
+    let _ = writeln!(
+        json,
+        "      \"meets_leased_faster\": {},",
+        leased.p50_us < quorum.p50_us
+    );
+    // Near-flat = a full replay pays for the whole history (16× more
+    // records here), the snapshot pays for live state only.
+    let _ = writeln!(
+        json,
+        "      \"meets_near_flat_rebuild\": {}",
+        history_time_growth <= 2.5
+    );
+    json.push_str("    }\n  }\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    assert_eq!(single.errors + sharded.errors, 0, "write storms saw errors");
+    assert!(
+        leased.leased_share >= 0.95,
+        "leased pass fell back to quorum too often: {:.3}",
+        leased.leased_share
+    );
+}

@@ -218,6 +218,53 @@ pub fn logger_semantics() -> Semantics {
         )
 }
 
+/// Commands a scale-out persistent-store replica understands on top of
+/// its basic `psPut`/`psGet` plane: snapshot shipping for rebuilds
+/// (`psSnapFetch` + `psWalTail`), per-shard read leases, and the shard
+/// placement map (the store analog of the directory's `shardMap`).
+pub fn store_scaleout_semantics() -> Semantics {
+    Semantics::new()
+        .with(
+            CmdSpec::new(
+                "psSnapFetch",
+                "fetch the replica's current snapshot in chunks (offset 0 cuts a fresh one)",
+            )
+            .required("offset", ArgType::Int, "byte offset into the snapshot")
+            .optional("chunk", ArgType::Int, "max chunk bytes (default 32768)"),
+        )
+        .with(
+            CmdSpec::new(
+                "psWalTail",
+                "applied writes at or after a sequence number (snapshot catch-up)",
+            )
+            .required("since", ArgType::Int, "first sequence number wanted")
+            .optional("max", ArgType::Int, "max entries per reply (default 512)"),
+        )
+        .with(
+            CmdSpec::new("psLeaseGrant", "grant/renew the shard read lease")
+                .required("holder", ArgType::Str, "leaseholder address host:port")
+                .required("epoch", ArgType::Int, "lease epoch (newer wins)")
+                .required("ttlMs", ArgType::Int, "lease duration in milliseconds"),
+        )
+        .with(
+            CmdSpec::new("psLeaseRevoke", "revoke the shard read lease if held")
+                .required("holder", ArgType::Str, "leaseholder address host:port")
+                .required("epoch", ArgType::Int, "lease epoch being revoked"),
+        )
+        .with(
+            CmdSpec::new(
+                "psGetLeased",
+                "read a key served only by the live leaseholder",
+            )
+            .required("ns", ArgType::Word, "namespace")
+            .required("key", ArgType::Str, "key"),
+        )
+        .with(CmdSpec::new(
+            "psPlacement",
+            "the store placement map: replica addresses per shard group",
+        ))
+}
+
 /// Hex-encode arbitrary bytes as a `<WORD>` so blobs (multi-line KeyNote
 /// credential text, binary payloads) can travel inside commands — the
 /// grammar's quoted strings cannot carry newlines or quotes.

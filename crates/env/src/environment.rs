@@ -383,6 +383,48 @@ impl AceEnvironment {
         )
     }
 
+    /// Bring up a sharded store plane on the environment's compute hosts
+    /// (ports 6100+), for workloads whose write volume outgrows a single
+    /// quorum group.  Keys place by rendezvous hash of `namespace/key`;
+    /// callers route through [`ace_store::ShardedStoreClient`] (see
+    /// [`AceEnvironment::sharded_store_client`]).  The unsharded cluster
+    /// keeps serving framework state.
+    pub fn spawn_sharded_store(
+        &self,
+        shards: usize,
+        replication: usize,
+    ) -> Result<ace_store::ShardedStoreCluster, SpawnError> {
+        let hosts: Vec<HostId> = self
+            .config
+            .compute_hosts
+            .iter()
+            .map(|h| HostId::from(h.as_str()))
+            .collect();
+        ace_store::spawn_sharded_store(
+            &self.net,
+            &hosts,
+            shards,
+            replication,
+            self.config.store_sync,
+            ace_store::WalConfig::default(),
+        )
+    }
+
+    /// A routing client over a sharded store plane spawned with
+    /// [`AceEnvironment::spawn_sharded_store`].
+    pub fn sharded_store_client(
+        &self,
+        cluster: &ace_store::ShardedStoreCluster,
+        identity: KeyPair,
+    ) -> ace_store::ShardedStoreClient {
+        cluster.client(
+            &self.net,
+            "core",
+            identity,
+            std::sync::Arc::new(LinkPool::new(&self.net, "core", identity)),
+        )
+    }
+
     /// A store client over the environment's replica cluster.
     pub fn store_client(&self, identity: KeyPair) -> Option<StoreClient> {
         self.store.as_ref().map(|cluster| {

@@ -96,6 +96,10 @@ pub struct StoreClient {
     pooled_reachable: Vec<bool>,
     /// Per-replica reconnect schedule for one command.
     retry: RetryPolicy,
+    /// Which replicas acked the most recent quorum write (index-aligned
+    /// with `replicas`).  The sharded client reads this to tell whether
+    /// the leaseholder saw the write it will serve reads over.
+    last_acks: Vec<bool>,
     stats: ClientStats,
     /// Network Logger address for degraded-write warnings (lazy connect).
     logger_addr: Option<Addr>,
@@ -128,6 +132,7 @@ impl StoreClient {
             // ride out a dropped connection without stalling a quorum scan
             // on a genuinely dead replica.
             retry: RetryPolicy::fixed(Duration::ZERO).with_max_attempts(1),
+            last_acks: Vec::new(),
             stats: ClientStats::default(),
             logger_addr: None,
             logger: None,
@@ -163,6 +168,13 @@ impl StoreClient {
     /// The configured replica addresses.
     pub fn replicas(&self) -> &[Addr] {
         &self.replicas
+    }
+
+    /// Per-replica acks of the most recent write (`put`/`delete`/
+    /// `put_many`), index-aligned with [`StoreClient::replicas`].  Empty
+    /// until the first write.
+    pub fn last_write_acks(&self) -> &[bool] {
+        &self.last_acks
     }
 
     /// Route replica calls through a shared [`LinkPool`] instead of
@@ -247,20 +259,28 @@ impl StoreClient {
 
     /// Read the newest version of a key across all reachable replicas, with
     /// read repair of stale ones.
+    ///
+    /// The scan fans out a **version-only digest** — replicas answer
+    /// `(version, writer, deleted)` without the value bytes — and the
+    /// full value then travels once, from a replica holding the newest
+    /// version.  Before, every replica shipped its full copy on every
+    /// read, so an n-replica group paid n value transfers per `get`.
     pub fn get(&mut self, ns: &str, key: &str) -> Result<Vec<u8>, StoreError> {
-        let cmd = CmdLine::new("psGet")
+        let digest = CmdLine::new("psGet")
             .arg("ns", ns)
-            .arg("key", Value::Str(key.into()));
-        let mut answers: Vec<(usize, Versioned)> = Vec::new();
+            .arg("key", Value::Str(key.into()))
+            .arg("digest", true);
+        // (replica index, version, writer, deleted)
+        let mut answers: Vec<(usize, u64, String, bool)> = Vec::new();
         let mut missing: Vec<usize> = Vec::new();
         for idx in 0..self.replicas.len() {
-            let Some(reply) = self.call_replica(idx, &cmd) else {
+            let Some(reply) = self.call_replica(idx, &digest) else {
                 // Down *or* missing the key; candidates for read repair.
                 missing.push(idx);
                 continue;
             };
-            match crate::replica::versioned_from_reply(&reply) {
-                Some(value) => answers.push((idx, value)),
+            match digest_fields(&reply) {
+                Some((version, writer, deleted)) => answers.push((idx, version, writer, deleted)),
                 None => {
                     // Malformed reply: never substitute defaults for
                     // missing fields — count it and mark the replica for
@@ -270,11 +290,9 @@ impl StoreClient {
                 }
             }
         }
-        let Some((_, best)) = answers
+        let Some((_, best_version, best_writer, _)) = answers
             .iter()
-            .max_by(|(_, a), (_, b)| {
-                (a.version, a.writer.as_str()).cmp(&(b.version, b.writer.as_str()))
-            })
+            .max_by(|(_, av, aw, _), (_, bv, bw, _)| (av, aw.as_str()).cmp(&(bv, bw.as_str())))
             .cloned()
         else {
             // Nothing answered anywhere: every replica was unreachable or
@@ -288,20 +306,56 @@ impl StoreClient {
                 StoreError::AllReplicasDown
             });
         };
+        // Fetch the value once, from any replica whose digest matched the
+        // winner (it may crash between rounds — try each in turn).
+        let full = CmdLine::new("psGet")
+            .arg("ns", ns)
+            .arg("key", Value::Str(key.into()));
+        let mut best: Option<Versioned> = None;
+        for (idx, version, writer, _) in &answers {
+            if (*version, writer.as_str()) != (best_version, best_writer.as_str()) {
+                continue;
+            }
+            if let Some(reply) = self.call_replica(*idx, &full) {
+                match crate::replica::versioned_from_reply(&reply) {
+                    Some(value) => {
+                        best = Some(value);
+                        break;
+                    }
+                    None => self.stats.corrupt_replies += 1,
+                }
+            }
+        }
+        let Some(best) = best else {
+            // Every newest holder vanished between the digest round and
+            // the fetch; whoever is left holds only older versions, which
+            // newest-wins must not serve as current.
+            return Err(StoreError::AllReplicasDown);
+        };
         // Stale answers plus replicas that missed the key entirely.
         let mut stale = missing;
-        for (idx, value) in &answers {
-            if best.beats(value) {
+        for (idx, version, writer, _) in &answers {
+            if (best.version, best.writer.as_str()) > (*version, writer.as_str()) {
                 stale.push(*idx);
             }
         }
-        // Read repair: push the winning version to replicas that lacked it.
-        let repair = CmdLine::new("psPut")
-            .arg("ns", ns)
-            .arg("key", Value::Str(key.into()))
-            .arg("data", hex_encode(&best.data))
-            .arg("version", best.version as i64)
-            .arg("writer", Value::Str(best.writer.clone()));
+        // Read repair: push the winning version to replicas that lacked
+        // it.  A winning tombstone repairs as a delete — repairing it as
+        // a put would resurrect the key on the stale replica.
+        let repair = if best.deleted {
+            CmdLine::new("psDelete")
+                .arg("ns", ns)
+                .arg("key", Value::Str(key.into()))
+                .arg("version", best.version as i64)
+                .arg("writer", Value::Str(best.writer.clone()))
+        } else {
+            CmdLine::new("psPut")
+                .arg("ns", ns)
+                .arg("key", Value::Str(key.into()))
+                .arg("data", hex_encode(&best.data))
+                .arg("version", best.version as i64)
+                .arg("writer", Value::Str(best.writer.clone()))
+        };
         for idx in stale {
             let _ = self.call_replica(idx, &repair);
         }
@@ -311,11 +365,13 @@ impl StoreClient {
         Ok(best.data)
     }
 
-    /// Newest version number of a key (0 if absent anywhere).
+    /// Newest version number of a key (0 if absent anywhere).  Digest
+    /// reads only — no value bytes travel.
     fn newest_version(&mut self, ns: &str, key: &str) -> u64 {
         let cmd = CmdLine::new("psGet")
             .arg("ns", ns)
-            .arg("key", Value::Str(key.into()));
+            .arg("key", Value::Str(key.into()))
+            .arg("digest", true);
         let mut best = 0;
         for idx in 0..self.replicas.len() {
             if let Some(reply) = self.call_replica(idx, &cmd) {
@@ -342,11 +398,14 @@ impl StoreClient {
             cmd.push_arg("data", hex_encode(data));
         }
         let mut round = QuorumRound::new(self.replicas.len(), self.quorum);
-        for idx in 0..self.replicas.len() {
+        let mut acks = vec![false; self.replicas.len()];
+        for (idx, ack) in acks.iter_mut().enumerate() {
             if self.call_replica(idx, &cmd).is_some() {
                 round.ack();
+                *ack = true;
             }
         }
+        self.last_acks = acks;
         if round.reached() {
             self.stats.writes += 1;
             if round.degraded() {
@@ -453,11 +512,14 @@ impl StoreClient {
             .arg("ns", ns)
             .arg("items", Value::Array(rows));
         let mut round = QuorumRound::new(self.replicas.len(), self.quorum);
-        for idx in 0..self.replicas.len() {
+        let mut acks = vec![false; self.replicas.len()];
+        for (idx, ack) in acks.iter_mut().enumerate() {
             if self.call_replica(idx, &cmd).is_some() {
                 round.ack();
+                *ack = true;
             }
         }
+        self.last_acks = acks;
         if round.reached() {
             self.stats.writes += 1;
             self.stats.batch_writes += 1;
@@ -522,6 +584,15 @@ impl StoreClient {
         }
         Err(StoreError::AllReplicasDown)
     }
+}
+
+/// Parse a digest-mode `psGet` reply: `(version, writer, deleted)`.
+fn digest_fields(reply: &CmdLine) -> Option<(u64, String, bool)> {
+    Some((
+        reply.get_int("version")?.max(0) as u64,
+        reply.get_text("writer")?.to_string(),
+        reply.get_bool("deleted")?,
+    ))
 }
 
 impl fmt::Debug for StoreClient {

@@ -19,22 +19,35 @@
 //! [`spawn_store_cluster`] brings up the canonical three-replica cluster.
 
 pub mod client;
+pub mod placement;
 pub mod replica;
 pub mod version;
 pub mod wal;
 
 pub use client::{ClientStats, StoreClient, StoreError, WalBatchReport};
+pub use placement::{ShardedStats, ShardedStoreClient, StorePlacement};
 pub use replica::{DiskImage, StoreReplica};
 pub use version::{StoreKey, Versioned};
 pub use wal::{MemStorage, RecoveryReport, StorageHandle, Wal, WalConfig, WalStats};
 
 use ace_core::prelude::*;
+use ace_core::protocol::hex_decode;
 use ace_core::SpawnError;
 use ace_directory::Framework;
+use ace_security::keys::KeyPair;
 use std::time::Duration;
 
 /// Conventional replica port.
 pub const STORE_PORT: u16 = 5800;
+
+/// Base port of the sharded store plane (replica `r` of group `g` listens
+/// on `SHARDED_STORE_PORT + g * replication + r`).
+pub const SHARDED_STORE_PORT: u16 = 6100;
+
+/// Service class of sharded-plane replicas.  Distinct from the unsharded
+/// class on purpose: directory-driven anti-entropy matches on class, and a
+/// shard replica must never pull keys from another shard's group.
+pub const SHARD_CLASS: &str = "Service.Database.PersistentStoreShard";
 
 /// A running store cluster: daemon handles plus each replica's disk image
 /// and the storage handle behind it (needed to restart a crashed replica
@@ -150,6 +163,364 @@ pub fn recover_replica(
         Box::new(StoreReplica::new(disk.clone(), sync_interval)),
     )?;
     Ok((handle, disk, report))
+}
+
+// ---------------------------------------------------------------------------
+// The sharded store plane
+// ---------------------------------------------------------------------------
+
+/// A running sharded store: `groups × replication` durable replicas, each
+/// carrying the full [`StorePlacement`] and syncing only with its own
+/// group (fixed peer lists — a shard replica must never pull another
+/// shard's keys).
+pub struct ShardedStoreCluster {
+    pub placement: StorePlacement,
+    /// `groups[g][r]` — daemon handle + disk image of replica `r` of
+    /// group `g`.
+    pub groups: Vec<Vec<(DaemonHandle, DiskImage)>>,
+    /// Reopenable storage handles, shape-aligned with `groups`.
+    pub storages: Vec<Vec<StorageHandle>>,
+    sync_interval: Duration,
+    config: WalConfig,
+}
+
+/// What a snapshot-ship rebuild moved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebuildReport {
+    /// The peer that served the snapshot and WAL tail.
+    pub peer: Addr,
+    /// Validated snapshot size on the wire.
+    pub snapshot_bytes: usize,
+    /// Chunked frames the snapshot travelled in.
+    pub snapshot_chunks: usize,
+    /// Entries the snapshot carried.
+    pub snapshot_records: usize,
+    /// Entries replayed from the peer's WAL tail after the cut.
+    pub tail_records: usize,
+}
+
+/// Bring up a sharded store plane: `groups × replication` durable
+/// replicas spread round-robin across `hosts`, every replica carrying the
+/// full placement map (any replica bootstraps a client via `psPlacement`).
+pub fn spawn_sharded_store(
+    net: &SimNet,
+    hosts: &[HostId],
+    groups: usize,
+    replication: usize,
+    sync_interval: Duration,
+    config: WalConfig,
+) -> Result<ShardedStoreCluster, SpawnError> {
+    assert!(groups > 0 && replication > 0, "empty plane");
+    assert!(!hosts.is_empty(), "no hosts to place replicas on");
+    let layout: Vec<Vec<Addr>> = (0..groups)
+        .map(|g| {
+            (0..replication)
+                .map(|r| {
+                    let idx = g * replication + r;
+                    Addr::new(
+                        hosts[idx % hosts.len()].clone(),
+                        SHARDED_STORE_PORT + idx as u16,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let placement = StorePlacement::new(1, layout);
+    let mut group_handles = Vec::with_capacity(groups);
+    let mut group_storages = Vec::with_capacity(groups);
+    for g in 0..groups {
+        let mut handles = Vec::with_capacity(replication);
+        let mut storages = Vec::with_capacity(replication);
+        for (r, addr) in placement.replicas(g).to_vec().iter().enumerate() {
+            let storage = StorageHandle::Memory(
+                MemStorage::new().with_faults(net.storage_faults(), addr.host.clone()),
+            );
+            let (disk, _) = DiskImage::open(&storage, config.clone()).map_err(storage_spawn_err)?;
+            let handle = Daemon::spawn(
+                net,
+                DaemonConfig::new(
+                    format!("store-s{g}r{r}"),
+                    SHARD_CLASS,
+                    "machineroom",
+                    addr.host.clone(),
+                    addr.port,
+                ),
+                Box::new(shard_replica(
+                    &placement,
+                    g,
+                    addr,
+                    disk.clone(),
+                    sync_interval,
+                )),
+            )?;
+            handles.push((handle, disk));
+            storages.push(storage);
+        }
+        group_handles.push(handles);
+        group_storages.push(storages);
+    }
+    Ok(ShardedStoreCluster {
+        placement,
+        groups: group_handles,
+        storages: group_storages,
+        sync_interval,
+        config,
+    })
+}
+
+/// One shard replica behavior: fixed peers (its own group minus itself)
+/// and the full placement map.
+fn shard_replica(
+    placement: &StorePlacement,
+    g: usize,
+    addr: &Addr,
+    disk: DiskImage,
+    sync_interval: Duration,
+) -> StoreReplica {
+    let peers: Vec<Addr> = placement
+        .replicas(g)
+        .iter()
+        .filter(|a| *a != addr)
+        .cloned()
+        .collect();
+    StoreReplica::new(disk, sync_interval)
+        .with_peers(peers)
+        .with_placement(placement.clone())
+}
+
+impl ShardedStoreCluster {
+    /// A routing client over this plane's placement.
+    pub fn client(
+        &self,
+        net: &SimNet,
+        from_host: impl Into<HostId>,
+        identity: KeyPair,
+        pool: std::sync::Arc<LinkPool>,
+    ) -> ShardedStoreClient {
+        ShardedStoreClient::new(
+            net.clone(),
+            from_host,
+            identity,
+            pool,
+            self.placement.clone(),
+        )
+    }
+
+    /// Gracefully stop one replica (rebuild drills take it down on
+    /// purpose; chaos plans kill it for real).
+    pub fn stop_replica(&self, g: usize, r: usize) {
+        self.groups[g][r].0.shutdown();
+    }
+
+    /// Rebuild replica `r` of group `g` in place via **snapshot
+    /// shipping**: start from an empty disk (the dead one may be torn
+    /// mid-record), stream a consistent snapshot cut from a live group
+    /// peer in chunked frames, install it through the corrupt-refusing
+    /// decode path, catch up record-by-record from the peer's WAL tail,
+    /// then respawn the daemon.  Cost is proportional to the *keyspace*,
+    /// not the write history the old anti-entropy replay paid.
+    pub fn rebuild_replica(
+        &mut self,
+        net: &SimNet,
+        g: usize,
+        r: usize,
+    ) -> Result<RebuildReport, SpawnError> {
+        let addr = self.placement.replicas(g)[r].clone();
+        let storage = StorageHandle::Memory(
+            MemStorage::new().with_faults(net.storage_faults(), addr.host.clone()),
+        );
+        let (disk, _) =
+            DiskImage::open(&storage, self.config.clone()).map_err(storage_spawn_err)?;
+        let identity = KeyPair::generate(&mut rand::thread_rng());
+        let peers: Vec<Addr> = self
+            .placement
+            .replicas(g)
+            .iter()
+            .filter(|a| **a != addr)
+            .cloned()
+            .collect();
+        let mut report = None;
+        let mut last_err = ClientError::Service {
+            code: ErrorCode::Internal,
+            msg: "no live group peer to ship a snapshot from".into(),
+        };
+        for peer in &peers {
+            match ship_snapshot(net, &addr.host, &identity, peer, &disk) {
+                Ok(shipped) => {
+                    report = Some(shipped);
+                    break;
+                }
+                Err(err) => last_err = err,
+            }
+        }
+        let Some(report) = report else {
+            return Err(SpawnError::Register {
+                step: "rebuild",
+                error: last_err,
+            });
+        };
+        let handle = Daemon::spawn(
+            net,
+            DaemonConfig::new(
+                format!("store-s{g}r{r}"),
+                SHARD_CLASS,
+                "machineroom",
+                addr.host.clone(),
+                addr.port,
+            )
+            .with_incarnation(self.groups[g][r].0.incarnation() + 1),
+            Box::new(shard_replica(
+                &self.placement,
+                g,
+                &addr,
+                disk.clone(),
+                self.sync_interval,
+            )),
+        )?;
+        self.groups[g][r] = (handle, disk);
+        self.storages[g][r] = storage;
+        Ok(report)
+    }
+
+    /// Stop every replica.
+    pub fn shutdown(self) {
+        for group in self.groups {
+            for (handle, _) in group {
+                handle.shutdown();
+            }
+        }
+    }
+}
+
+/// Stream `peer`'s state into `disk`: chunked snapshot fetch, validated
+/// decode (corrupt bytes refuse the whole ship — the caller tries the
+/// next peer), one-slot install, then WAL-tail catch-up by sequence
+/// number.  A tail **gap** (the cut fell off the peer's ring) restarts
+/// the ship once from a fresh cut before giving up on this peer.
+fn ship_snapshot(
+    net: &SimNet,
+    from_host: &HostId,
+    identity: &KeyPair,
+    peer: &Addr,
+    disk: &DiskImage,
+) -> Result<RebuildReport, ClientError> {
+    let malformed = |what: &str| ClientError::Service {
+        code: ErrorCode::Internal,
+        msg: format!("malformed {what} reply from snapshot peer"),
+    };
+    let mut client = ServiceClient::connect(net, from_host, peer.clone(), identity)?;
+    for _attempt in 0..2 {
+        // Snapshot phase: offset 0 cuts (and caches) a consistent image on
+        // the peer; further offsets stream the immutable bytes.
+        let mut bytes: Vec<u8> = Vec::new();
+        let mut chunks = 0usize;
+        let mut cut_seq;
+        loop {
+            let fetch = CmdLine::new("psSnapFetch").arg("offset", bytes.len() as i64);
+            let reply = client.call(&fetch)?;
+            let total = reply.get_int("total").unwrap_or(0).max(0) as usize;
+            cut_seq = reply.get_int("seq").unwrap_or(0).max(0) as u64;
+            let chunk = reply
+                .get_text("data")
+                .and_then(hex_decode)
+                .ok_or_else(|| malformed("psSnapFetch"))?;
+            chunks += 1;
+            bytes.extend_from_slice(&chunk);
+            if bytes.len() >= total {
+                break;
+            }
+            if chunk.is_empty() {
+                return Err(malformed("psSnapFetch (stalled stream)"));
+            }
+        }
+        let decoded =
+            crate::wal::decode_snapshot(&bytes).map_err(|detail| ClientError::Service {
+                code: ErrorCode::Internal,
+                msg: format!("shipped snapshot failed validation: {detail}"),
+            })?;
+        let entries = match decoded {
+            Some((seq, entries)) => {
+                cut_seq = seq;
+                entries
+            }
+            None => Vec::new(),
+        };
+        let snapshot_records = entries.len();
+        let snapshot_bytes = bytes.len();
+        disk.install_snapshot(entries)
+            .map_err(|e| ClientError::Service {
+                code: ErrorCode::Internal,
+                msg: format!("snapshot install failed locally: {e}"),
+            })?;
+        // Tail phase: replay everything the peer applied after the cut.
+        let mut since = cut_seq;
+        let mut tail_records = 0usize;
+        let caught_up = loop {
+            let tail = CmdLine::new("psWalTail")
+                .arg("since", since as i64)
+                .arg("max", 1024i64);
+            let reply = client.call(&tail)?;
+            if reply.get_bool("gap").unwrap_or(false) {
+                // The cut aged off the peer's ring mid-ship: re-cut once.
+                break false;
+            }
+            let rows = tail_rows(&reply).ok_or_else(|| malformed("psWalTail"))?;
+            if rows.is_empty() {
+                break true;
+            }
+            since = rows.iter().map(|(seq, _, _)| *seq).max().unwrap_or(since) + 1;
+            let batch: Vec<(StoreKey, Versioned)> = rows
+                .into_iter()
+                .map(|(_, key, value)| (key, value))
+                .collect();
+            tail_records += batch.len();
+            disk.apply_batch(batch).map_err(|e| ClientError::Service {
+                code: ErrorCode::Internal,
+                msg: format!("tail replay failed locally: {e}"),
+            })?;
+        };
+        if caught_up {
+            return Ok(RebuildReport {
+                peer: peer.clone(),
+                snapshot_bytes,
+                snapshot_chunks: chunks,
+                snapshot_records,
+                tail_records,
+            });
+        }
+    }
+    Err(ClientError::Service {
+        code: ErrorCode::Internal,
+        msg: "snapshot cut kept falling off the peer's WAL tail".into(),
+    })
+}
+
+/// Decode `psWalTail` rows: `(seq, key, value)`.
+#[allow(clippy::type_complexity)]
+fn tail_rows(reply: &CmdLine) -> Option<Vec<(u64, StoreKey, Versioned)>> {
+    let rows = match reply.get("entries") {
+        None => return Some(Vec::new()),
+        Some(v) if v.as_vector().is_some_and(|s| s.is_empty()) => return Some(Vec::new()),
+        Some(v) => v.as_array()?,
+    };
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != 7 {
+            return None;
+        }
+        let cell = |i: usize| row[i].as_text();
+        out.push((
+            cell(0)?.parse().ok()?,
+            (cell(1)?.to_string(), cell(2)?.to_string()),
+            Versioned {
+                data: hex_decode(cell(3)?)?,
+                version: cell(4)?.parse().ok()?,
+                writer: cell(5)?.to_string(),
+                deleted: cell(6)? == "1",
+            },
+        ));
+    }
+    Some(out)
 }
 
 /// Respawn a crashed replica on the same host with the same disk image

@@ -1,0 +1,701 @@
+//! Store scale-out: consistent-hash shard placement and the routing client.
+//!
+//! One three-replica group holding the whole keyspace caps write
+//! throughput at a single quorum group (§6).  This module partitions the
+//! keyspace across independent replica groups, the store analog of the
+//! directory's sharded plane (PR 9):
+//!
+//! * [`StorePlacement`] — the cluster layout (replica addresses per shard
+//!   group) with rendezvous-hash placement of `namespace/key`.  Every
+//!   replica carries the full map and serves it via `psPlacement`, so
+//!   clients bootstrap from any well-known replica.
+//! * [`ShardedStoreClient`] — routes `put`/`get`/`delete` to the owning
+//!   group, splits `put_many` batches per shard and commits them in
+//!   **parallel** quorum rounds, and serves healthy-shard reads through a
+//!   **read lease** (one replica round-trip) with quorum-scan fallback.
+//!
+//! # Placement
+//!
+//! Keys are placed by rendezvous (HRW) hash of `ns ++ 0 ++ key`: every
+//! group scores the key, the highest score owns it.  Growing the plane by
+//! one group moves only the ~1/n of keys the new group wins — no
+//! mass migration on reshard.  `list` remains a fan-out (namespaces span
+//! groups by design: placement by full key keeps single-key operations,
+//! the hot path, on exactly one group).
+//!
+//! # Read leases
+//!
+//! A client grants a time-bounded lease to one replica of a group through
+//! the quorum path (`psLeaseGrant` to every replica, majority + holder
+//! ack required).  While the lease is fresh, `get` asks only the holder
+//! (`psGetLeased`); the holder refuses with `E_BADSTATE` unless it is the
+//! live leaseholder, and the client then falls back to the quorum scan.
+//! Writes stay quorum-committed; a write the holder did **not** ack
+//! revokes the lease (best-effort at the holder, unconditionally at the
+//! client), so leased reads can trail a committed write by at most one
+//! lease TTL, and only while the holder is alive yet unreachable from the
+//! writer.  See DESIGN.md "Store scale-out" for the full safety argument.
+
+use crate::client::{StoreClient, StoreError};
+use ace_core::prelude::*;
+use ace_security::hash::fnv64;
+use ace_security::keys::KeyPair;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A batch slice tagged with each item's index in the caller's input order.
+type IndexedBatch = Vec<(usize, (String, Vec<u8>))>;
+/// One group's split-batch outcome: the input indices it owned, and the
+/// versions its quorum round assigned (or the error that stopped it).
+type GroupBatchResult = (Vec<usize>, Result<Vec<u64>, StoreError>);
+
+// ---------------------------------------------------------------------------
+// The placement map
+// ---------------------------------------------------------------------------
+
+/// The store plane layout: replica addresses per shard group, plus an
+/// epoch so clients can tell a newer layout from an older one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorePlacement {
+    epoch: u64,
+    /// `groups[g]` is the replica set of shard group `g`, in spawn order.
+    groups: Vec<Vec<Addr>>,
+}
+
+impl StorePlacement {
+    /// A placement over the given replica groups.
+    pub fn new(epoch: u64, groups: Vec<Vec<Addr>>) -> StorePlacement {
+        StorePlacement { epoch, groups }
+    }
+
+    /// The placement epoch (bumped whenever the layout changes).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shard groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The replica set of group `g`.
+    pub fn replicas(&self, g: usize) -> &[Addr] {
+        &self.groups[g]
+    }
+
+    /// Majority quorum of group `g`'s replica set.
+    pub fn quorum(&self, g: usize) -> usize {
+        ace_core::quorum::majority(self.groups[g].len())
+    }
+
+    /// Every replica address of every group.
+    pub fn all_replicas(&self) -> impl Iterator<Item = &Addr> {
+        self.groups.iter().flatten()
+    }
+
+    /// Rendezvous (highest-random-weight) placement of `ns/key`: every
+    /// group scores the key, the highest score owns it.  Unlike
+    /// `hash % n`, adding a group only moves the ~1/n of keys the new
+    /// group now wins.
+    pub fn group_for(&self, ns: &str, key: &str) -> usize {
+        let mut best = 0usize;
+        let mut best_score = 0u64;
+        for g in 0..self.groups.len() {
+            let mut material = Vec::with_capacity(ns.len() + key.len() + 10);
+            material.extend_from_slice(ns.as_bytes());
+            material.push(0);
+            material.extend_from_slice(key.as_bytes());
+            material.push(0);
+            material.extend_from_slice(&(g as u64).to_le_bytes());
+            let score = fnv64(&material);
+            if g == 0 || score > best_score {
+                best = g;
+                best_score = score;
+            }
+        }
+        best
+    }
+
+    /// Wire encoding: `{{group,host,port},…}` rows.
+    pub fn to_value(&self) -> Value {
+        Value::Array(
+            self.groups
+                .iter()
+                .enumerate()
+                .flat_map(|(g, replicas)| {
+                    replicas.iter().map(move |addr| {
+                        vec![
+                            Scalar::Str(g.to_string()),
+                            Scalar::Str(addr.host.to_string()),
+                            Scalar::Str(addr.port.to_string()),
+                        ]
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    /// Decode the `groups=` rows.  Malformed rows or a non-contiguous
+    /// group numbering reject the whole map — routing on a half-decoded
+    /// layout would misplace keys silently.
+    pub fn from_value(epoch: u64, value: &Value) -> Option<StorePlacement> {
+        let rows = match value {
+            v if v.as_vector().is_some_and(|s| s.is_empty()) => {
+                return Some(StorePlacement::new(epoch, Vec::new()))
+            }
+            v => v.as_array()?,
+        };
+        let mut groups: Vec<Vec<Addr>> = Vec::new();
+        for row in rows {
+            if row.len() != 3 {
+                return None;
+            }
+            let g: usize = row[0].as_text()?.parse().ok()?;
+            let port: u16 = row[2].as_text()?.parse().ok()?;
+            if g > groups.len() {
+                return None; // group indexes must arrive contiguously
+            }
+            if g == groups.len() {
+                groups.push(Vec::new());
+            }
+            groups[g].push(Addr::new(row[1].as_text()?, port));
+        }
+        if groups.iter().any(Vec::is_empty) {
+            return None;
+        }
+        Some(StorePlacement::new(epoch, groups))
+    }
+
+    /// The `psPlacement` verb reply.
+    pub fn to_reply(&self) -> Reply {
+        let epoch = self.epoch as i64;
+        let count = self.group_count() as i64;
+        let value = self.to_value();
+        Reply::ok_with(|c| {
+            c.arg("epoch", epoch)
+                .arg("count", count)
+                .arg("groups", value)
+        })
+    }
+
+    /// Decode a `psPlacement` reply.
+    pub fn from_reply(reply: &CmdLine) -> Option<StorePlacement> {
+        let epoch = reply.get_int("epoch")?.max(0) as u64;
+        Self::from_value(epoch, reply.get("groups")?)
+    }
+
+    /// Fetch the placement from any replica (clients bootstrap by asking a
+    /// well-known replica address).
+    pub fn fetch(pool: &Arc<LinkPool>, replica: &Addr) -> Result<StorePlacement, ClientError> {
+        let reply = pool.checkout(replica)?.call(&CmdLine::new("psPlacement"))?;
+        StorePlacement::from_reply(&reply).ok_or(ClientError::Service {
+            code: ErrorCode::Internal,
+            msg: "malformed psPlacement reply".into(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sharded client
+// ---------------------------------------------------------------------------
+
+/// Sharded-client health counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Reads served by the leaseholder in one round-trip.
+    pub leased_reads: u64,
+    /// Reads that fell back to the quorum scan (no lease, stale lease, or
+    /// holder refused/unreachable).
+    pub quorum_fallbacks: u64,
+    /// Leases granted (majority + holder ack).
+    pub lease_grants: u64,
+    /// Leases dropped because the holder missed a quorum write.
+    pub lease_losses: u64,
+    /// `put_many` calls that spanned more than one shard group.
+    pub split_batches: u64,
+}
+
+/// The read lease a client holds over one group.
+#[derive(Debug, Clone)]
+struct GroupLease {
+    /// Replica index within the group.
+    holder: usize,
+    epoch: u64,
+    granted_at: Instant,
+    ttl: Duration,
+}
+
+impl GroupLease {
+    /// Conservatively fresh: the client started its clock before the
+    /// holder did, so it stops using the lease at 3/4 of the TTL while
+    /// the holder keeps honouring it until the full TTL.
+    fn fresh(&self) -> bool {
+        self.granted_at.elapsed() < self.ttl * 3 / 4
+    }
+}
+
+/// What a leased read attempt concluded.
+enum LeasedOutcome {
+    Value(Vec<u8>),
+    NotFound,
+    /// Holder refused or was unreachable: drop the lease, scan the quorum.
+    Fallback,
+}
+
+/// A store client that routes per shard group and reads through leases.
+///
+/// One pooled [`StoreClient`] per group does the quorum work; this layer
+/// owns routing, batch splitting, and the lease protocol.
+pub struct ShardedStoreClient {
+    placement: StorePlacement,
+    pool: Arc<LinkPool>,
+    groups: Vec<StoreClient>,
+    leases: Vec<Option<GroupLease>>,
+    lease_ttl: Duration,
+    /// Monotone grant epoch shared across groups (simpler than per-group
+    /// counters, and replicas only compare epochs within one group).
+    lease_epoch: u64,
+    /// Rotates lease holders so read load spreads over a group's replicas.
+    holder_rr: usize,
+    stats: ShardedStats,
+}
+
+impl ShardedStoreClient {
+    /// A routing client over `placement`, one pooled group client each.
+    pub fn new(
+        net: SimNet,
+        from_host: impl Into<HostId>,
+        identity: KeyPair,
+        pool: Arc<LinkPool>,
+        placement: StorePlacement,
+    ) -> ShardedStoreClient {
+        let from_host = from_host.into();
+        let groups = (0..placement.group_count())
+            .map(|g| {
+                StoreClient::new(
+                    net.clone(),
+                    from_host.clone(),
+                    identity,
+                    placement.replicas(g).to_vec(),
+                )
+                .with_pool(Arc::clone(&pool))
+            })
+            .collect();
+        let leases = (0..placement.group_count()).map(|_| None).collect();
+        ShardedStoreClient {
+            placement,
+            pool,
+            groups,
+            leases,
+            lease_ttl: Duration::from_secs(2),
+            lease_epoch: 0,
+            holder_rr: 0,
+            stats: ShardedStats::default(),
+        }
+    }
+
+    /// Override the lease TTL (tests shrink it to exercise expiry).
+    pub fn with_lease_ttl(mut self, ttl: Duration) -> ShardedStoreClient {
+        self.lease_ttl = ttl;
+        self
+    }
+
+    /// The placement this client routes with.
+    pub fn placement(&self) -> &StorePlacement {
+        &self.placement
+    }
+
+    /// Sharded-client health counters.
+    pub fn stats(&self) -> ShardedStats {
+        self.stats
+    }
+
+    /// The per-group quorum client (tests and benchmarks reach through).
+    pub fn group_client(&mut self, g: usize) -> &mut StoreClient {
+        &mut self.groups[g]
+    }
+
+    /// The group owning `ns/key`.
+    pub fn group_for(&self, ns: &str, key: &str) -> usize {
+        self.placement.group_for(ns, key)
+    }
+
+    /// Which replica of group `g` currently holds this client's read
+    /// lease (tests aim faults at it).
+    pub fn lease_holder(&self, g: usize) -> Option<usize> {
+        self.leases[g].as_ref().map(|l| l.holder)
+    }
+
+    fn no_groups() -> StoreError {
+        StoreError::QuorumFailed {
+            acked: 0,
+            quorum: 1,
+        }
+    }
+
+    /// Write a value to its owning group (majority quorum there).
+    pub fn put(&mut self, ns: &str, key: &str, data: &[u8]) -> Result<u64, StoreError> {
+        if self.placement.group_count() == 0 {
+            return Err(Self::no_groups());
+        }
+        let g = self.placement.group_for(ns, key);
+        let result = self.groups[g].put(ns, key, data);
+        self.enforce_holder_ack(g);
+        result
+    }
+
+    /// Tombstone a key on its owning group.
+    pub fn delete(&mut self, ns: &str, key: &str) -> Result<u64, StoreError> {
+        if self.placement.group_count() == 0 {
+            return Err(Self::no_groups());
+        }
+        let g = self.placement.group_for(ns, key);
+        let result = self.groups[g].delete(ns, key);
+        self.enforce_holder_ack(g);
+        result
+    }
+
+    /// Read a key: one leaseholder round-trip on a healthy shard, quorum
+    /// scan (with read repair) when the lease is stale or refused.
+    pub fn get(&mut self, ns: &str, key: &str) -> Result<Vec<u8>, StoreError> {
+        if self.placement.group_count() == 0 {
+            return Err(StoreError::AllReplicasDown);
+        }
+        let g = self.placement.group_for(ns, key);
+        if let Some(holder) = self.ensure_lease(g) {
+            match self.leased_get(g, holder, ns, key) {
+                LeasedOutcome::Value(data) => {
+                    self.stats.leased_reads += 1;
+                    return Ok(data);
+                }
+                LeasedOutcome::NotFound => {
+                    self.stats.leased_reads += 1;
+                    return Err(StoreError::NotFound);
+                }
+                LeasedOutcome::Fallback => self.leases[g] = None,
+            }
+        }
+        self.stats.quorum_fallbacks += 1;
+        self.groups[g].get(ns, key)
+    }
+
+    /// Write a run of values: the batch splits by owning group and the
+    /// per-group `psPutBatch` quorum rounds run **in parallel**, so a
+    /// multi-shard batch costs one group's latency, not the sum.  Returns
+    /// versions index-aligned with `items`.  An `Err` means at least one
+    /// group failed its quorum — per-group batches are all-or-nothing, but
+    /// *other* groups may have committed (cross-shard batches are not
+    /// atomic; see DESIGN.md).
+    pub fn put_many(
+        &mut self,
+        ns: &str,
+        items: &[(String, Vec<u8>)],
+    ) -> Result<Vec<u64>, StoreError> {
+        if self.placement.group_count() == 0 {
+            return Err(Self::no_groups());
+        }
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = self.placement.group_count();
+        let mut per_group: Vec<IndexedBatch> = (0..n).map(|_| Vec::new()).collect();
+        for (i, (key, data)) in items.iter().enumerate() {
+            let g = self.placement.group_for(ns, key);
+            per_group[g].push((i, (key.clone(), data.clone())));
+        }
+        let wrote: Vec<bool> = per_group.iter().map(|w| !w.is_empty()).collect();
+        if wrote.iter().filter(|&&w| w).count() > 1 {
+            self.stats.split_batches += 1;
+        }
+        let mut versions = vec![0u64; items.len()];
+        let results: Vec<GroupBatchResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .groups
+                .iter_mut()
+                .zip(per_group)
+                .filter(|(_, work)| !work.is_empty())
+                .map(|(client, work)| {
+                    scope.spawn(move || {
+                        let idxs: Vec<usize> = work.iter().map(|(i, _)| *i).collect();
+                        let batch: Vec<(String, Vec<u8>)> =
+                            work.into_iter().map(|(_, kv)| kv).collect();
+                        (idxs, client.put_many(ns, &batch))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard batch thread"))
+                .collect()
+        });
+        let mut first_err = None;
+        for (idxs, result) in results {
+            match result {
+                Ok(assigned) => {
+                    for (i, v) in idxs.into_iter().zip(assigned) {
+                        versions[i] = v;
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        for (g, wrote) in wrote.into_iter().enumerate() {
+            if wrote {
+                self.enforce_holder_ack(g);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(versions),
+        }
+    }
+
+    /// Live keys of `ns` across every group, merged and sorted.  Fails if
+    /// any group has no reachable replica — a silently partial listing is
+    /// worse than an error.
+    pub fn list(&mut self, ns: &str) -> Result<Vec<String>, StoreError> {
+        if self.placement.group_count() == 0 {
+            return Err(StoreError::AllReplicasDown);
+        }
+        let mut merged: BTreeSet<String> = BTreeSet::new();
+        for client in &mut self.groups {
+            merged.extend(client.list(ns)?);
+        }
+        Ok(merged.into_iter().collect())
+    }
+
+    // -- the lease protocol -------------------------------------------------
+
+    /// A fresh lease's holder index, granting one if needed.  `None` means
+    /// no lease could be granted right now (reads fall back to quorum).
+    fn ensure_lease(&mut self, g: usize) -> Option<usize> {
+        if let Some(lease) = &self.leases[g] {
+            if lease.fresh() {
+                return Some(lease.holder);
+            }
+        }
+        self.grant_lease(g)
+    }
+
+    /// Grant a lease over group `g` through the quorum path: every replica
+    /// learns the holder, and the grant stands only with a majority *and*
+    /// the holder itself acking — a holder that never heard of its lease
+    /// would refuse every leased read.
+    fn grant_lease(&mut self, g: usize) -> Option<usize> {
+        let replicas = self.placement.replicas(g).to_vec();
+        if replicas.is_empty() {
+            return None;
+        }
+        self.lease_epoch += 1;
+        self.holder_rr = self.holder_rr.wrapping_add(1);
+        let holder = self.holder_rr % replicas.len();
+        let holder_addr = &replicas[holder];
+        let granted_at = Instant::now();
+        let cmd = CmdLine::new("psLeaseGrant")
+            .arg(
+                "holder",
+                Value::Str(format!("{}:{}", holder_addr.host, holder_addr.port)),
+            )
+            .arg("epoch", self.lease_epoch as i64)
+            .arg("ttlMs", self.lease_ttl.as_millis() as i64);
+        let mut round = QuorumRound::new(replicas.len(), self.placement.quorum(g));
+        let mut holder_acked = false;
+        for (idx, addr) in replicas.iter().enumerate() {
+            let reply = self
+                .pool
+                .checkout(addr)
+                .and_then(|mut link| link.call(&cmd));
+            match reply {
+                Ok(_) => {
+                    round.ack();
+                    if idx == holder {
+                        holder_acked = true;
+                    }
+                }
+                Err(err) if err.code() == Some(ErrorCode::BadState) => {
+                    // Another granter holds a newer lease there; adopt its
+                    // epoch so the next grant outbids instead of losing
+                    // the same race forever.
+                    if let Some(theirs) = trailing_epoch(&err) {
+                        self.lease_epoch = self.lease_epoch.max(theirs);
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+        if round.reached() && holder_acked {
+            self.stats.lease_grants += 1;
+            self.leases[g] = Some(GroupLease {
+                holder,
+                epoch: self.lease_epoch,
+                granted_at,
+                ttl: self.lease_ttl,
+            });
+            Some(holder)
+        } else {
+            None
+        }
+    }
+
+    /// One leaseholder read.  `E_NOTFOUND` from the live holder is
+    /// authoritative (within the documented ≤TTL staleness bound);
+    /// `E_BADSTATE` or an unreachable holder falls back to the quorum.
+    fn leased_get(&mut self, g: usize, holder: usize, ns: &str, key: &str) -> LeasedOutcome {
+        let addr = self.placement.replicas(g)[holder].clone();
+        let cmd = CmdLine::new("psGetLeased")
+            .arg("ns", ns)
+            .arg("key", Value::Str(key.into()));
+        match self
+            .pool
+            .checkout(&addr)
+            .and_then(|mut link| link.call(&cmd))
+        {
+            Ok(reply) => match crate::replica::versioned_from_reply(&reply) {
+                Some(v) if v.deleted => LeasedOutcome::NotFound,
+                Some(v) => LeasedOutcome::Value(v.data),
+                None => LeasedOutcome::Fallback,
+            },
+            Err(err) if err.code() == Some(ErrorCode::NotFound) => LeasedOutcome::NotFound,
+            Err(_) => LeasedOutcome::Fallback,
+        }
+    }
+
+    /// Lease safety after a write: if the holder was **not** among the
+    /// ackers of the quorum write just performed on group `g`, its copy
+    /// may be stale — revoke at the holder (best-effort) and drop the
+    /// lease locally so leased reads stop until a fresh grant.
+    fn enforce_holder_ack(&mut self, g: usize) {
+        let Some(lease) = self.leases[g].clone() else {
+            return;
+        };
+        if self.groups[g]
+            .last_write_acks()
+            .get(lease.holder)
+            .copied()
+            .unwrap_or(false)
+        {
+            return;
+        }
+        self.leases[g] = None;
+        self.stats.lease_losses += 1;
+        let addr = self.placement.replicas(g)[lease.holder].clone();
+        let cmd = CmdLine::new("psLeaseRevoke")
+            .arg("holder", Value::Str(format!("{}:{}", addr.host, addr.port)))
+            .arg("epoch", lease.epoch as i64);
+        if let Ok(mut link) = self.pool.checkout(&addr) {
+            let _ = link.call(&cmd);
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedStoreClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ShardedStoreClient({} groups, epoch {})",
+            self.placement.group_count(),
+            self.placement.epoch()
+        )
+    }
+}
+
+/// Parse the epoch a fencing `E_BADSTATE` reply names ("… at epoch N").
+fn trailing_epoch(err: &ClientError) -> Option<u64> {
+    let ClientError::Service { msg, .. } = err else {
+        return None;
+    };
+    msg.rsplit(' ').next()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placement(groups: usize, replication: usize) -> StorePlacement {
+        StorePlacement::new(
+            1,
+            (0..groups)
+                .map(|g| {
+                    (0..replication)
+                        .map(|r| Addr::new(format!("s{}", g * replication + r), 6100 + r as u16))
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn rendezvous_placement_is_stable_and_balanced() {
+        let p = placement(4, 3);
+        for i in 0..50 {
+            let key = format!("key{i}");
+            assert_eq!(p.group_for("app", &key), p.group_for("app", &key));
+        }
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            counts[p.group_for("app", &format!("key{i}"))] += 1;
+        }
+        for (g, &c) in counts.iter().enumerate() {
+            assert!(
+                (500..=1800).contains(&c),
+                "group {g} owns {c} of 4000 keys — badly unbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn namespace_and_key_both_place() {
+        let p = placement(4, 1);
+        // The same key under different namespaces must be free to land on
+        // different groups (the hash covers ns ++ 0 ++ key).
+        let spread: BTreeSet<usize> = (0..64)
+            .map(|i| p.group_for(&format!("ns{i}"), "shared-key"))
+            .collect();
+        assert!(spread.len() > 1, "namespace is not part of placement");
+    }
+
+    #[test]
+    fn growing_the_plane_only_moves_the_new_groups_share() {
+        let before = placement(4, 1);
+        let layout: Vec<Vec<Addr>> = (0..5)
+            .map(|g| vec![Addr::new(format!("s{g}"), 6100)])
+            .collect();
+        let after = StorePlacement::new(2, layout);
+        let total = 4000;
+        let moved = (0..total)
+            .filter(|i| {
+                let key = format!("key{i}");
+                before.group_for("app", &key) != after.group_for("app", &key)
+            })
+            .count();
+        assert!(
+            moved < total * 2 / 5,
+            "{moved}/{total} keys moved — placement is not rendezvous-stable"
+        );
+    }
+
+    #[test]
+    fn placement_roundtrips_over_the_wire() {
+        let p = placement(3, 2);
+        let reply = p.to_reply();
+        let Reply::Ok(cmd) = reply else {
+            panic!("placement reply must be ok")
+        };
+        let decoded = StorePlacement::from_reply(&cmd).expect("decode");
+        assert_eq!(decoded, p);
+
+        let empty = StorePlacement::from_value(0, &Value::Vector(Vec::new())).expect("empty");
+        assert_eq!(empty.group_count(), 0);
+
+        // Non-contiguous group numbering is rejected wholesale.
+        let bad = Value::Array(vec![vec![
+            Scalar::Str("1".into()),
+            Scalar::Str("h".into()),
+            Scalar::Str("6100".into()),
+        ]]);
+        assert!(StorePlacement::from_value(1, &bad).is_none());
+    }
+}

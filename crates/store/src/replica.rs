@@ -13,15 +13,41 @@
 //! independent, mirroring the paper's separation of command and data paths.
 
 use crate::client::StoreError;
+use crate::placement::StorePlacement;
 use crate::version::{StoreKey, Versioned};
 use crate::wal::{RecoveryReport, StorageHandle, Wal, WalConfig, WalStats};
 use ace_core::prelude::*;
 use ace_core::protocol::{hex_decode, hex_encode};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How many recently applied writes a replica remembers for WAL-tail
+/// catch-up.  A rebuilding peer whose snapshot cut falls off this window
+/// re-fetches the snapshot instead (the shipper reports a gap).
+const TAIL_CAP: usize = 4096;
+
+/// Sequence-numbered ring of recently applied writes, feeding `psWalTail`.
+#[derive(Debug, Default)]
+struct TailRing {
+    /// Sequence number the next applied write will get.
+    next_seq: u64,
+    /// `(seq, key, value)` for the last [`TAIL_CAP`] applied writes.
+    ring: VecDeque<(u64, StoreKey, Versioned)>,
+}
+
+impl TailRing {
+    fn push(&mut self, key: StoreKey, value: Versioned) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.ring.len() == TAIL_CAP {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((seq, key, value));
+    }
+}
 
 /// The disk of one replica: survives daemon crash/restart.  A volatile
 /// image ([`DiskImage::new`]) survives by being handed to the respawned
@@ -43,6 +69,11 @@ pub struct DiskImage {
     /// Compaction snapshots the map and truncates the log, so it must
     /// not run while this is non-zero (see [`Wal::maybe_compact_when`]).
     in_flight: Arc<AtomicU64>,
+    /// Recently applied writes by sequence number (snapshot shipping's
+    /// catch-up source).  Lock order: `map` before `tail` — never the
+    /// reverse — so snapshot cuts see a (state, seq) pair no applied
+    /// write can slip between.
+    tail: Arc<Mutex<TailRing>>,
 }
 
 impl DiskImage {
@@ -65,6 +96,7 @@ impl DiskImage {
                 map: Arc::new(Mutex::new(map)),
                 wal: Some(Arc::new(wal)),
                 in_flight: Arc::new(AtomicU64::new(0)),
+                tail: Arc::new(Mutex::new(TailRing::default())),
             },
             report,
         ))
@@ -119,6 +151,7 @@ impl DiskImage {
         let applied = match map.get(&key) {
             Some(existing) if !value.beats(existing) => false,
             _ => {
+                self.tail.lock().push(key.clone(), value.clone());
                 map.insert(key, value);
                 true
             }
@@ -162,6 +195,7 @@ impl DiskImage {
             match map.get(&key) {
                 Some(existing) if !value.beats(existing) => {}
                 _ => {
+                    self.tail.lock().push(key.clone(), value.clone());
                     map.insert(key, value);
                     applied += 1;
                 }
@@ -219,6 +253,67 @@ impl DiskImage {
         self.wal.as_ref().map(|w| w.stats())
     }
 
+    /// Cut a consistent shippable snapshot: the encoded full state plus
+    /// the tail sequence number the fetcher must catch up from.  The
+    /// snapshot's generation field carries that sequence cut, so the
+    /// fetcher reads it straight out of the validated bytes.
+    pub fn snapshot_cut(&self) -> (u64, Vec<u8>) {
+        let map = self.map.lock();
+        let seq = self.tail.lock().next_seq;
+        (seq, crate::wal::encode_snapshot(seq, &map))
+    }
+
+    /// Applied writes with sequence number `>= since`, capped at `max`,
+    /// plus the next sequence number this replica will assign.  `None`
+    /// means `since` has fallen off the tail ring — a **gap**: the fetcher
+    /// must re-ship a snapshot instead of catching up record by record.
+    #[allow(clippy::type_complexity)]
+    pub fn tail_since(
+        &self,
+        since: u64,
+        max: usize,
+    ) -> Option<(Vec<(u64, StoreKey, Versioned)>, u64)> {
+        let tail = self.tail.lock();
+        let oldest = tail.next_seq - tail.ring.len() as u64;
+        if since < oldest {
+            return None;
+        }
+        let entries = tail
+            .ring
+            .iter()
+            .filter(|(seq, _, _)| *seq >= since)
+            .take(max)
+            .cloned()
+            .collect();
+        Some((entries, tail.next_seq))
+    }
+
+    /// Install a shipped snapshot: merge `entries` newest-wins, then (for
+    /// a durable image) commit the merged state as one snapshot-slot write
+    /// — the whole keyspace costs one slot replace + sync instead of
+    /// re-appending every record through the log.  Returns how many
+    /// entries won.
+    pub fn install_snapshot(
+        &self,
+        entries: Vec<(StoreKey, Versioned)>,
+    ) -> Result<usize, StoreError> {
+        let mut map = self.map.lock();
+        let mut applied = 0;
+        for (key, value) in entries {
+            match map.get(&key) {
+                Some(existing) if !value.beats(existing) => {}
+                _ => {
+                    map.insert(key, value);
+                    applied += 1;
+                }
+            }
+        }
+        if let Some(wal) = &self.wal {
+            wal.install_snapshot(&map)?;
+        }
+        Ok(applied)
+    }
+
     /// Checksum over the full digest — equal checksums mean replicas have
     /// converged.
     pub fn checksum(&self) -> u64 {
@@ -246,6 +341,18 @@ struct SyncStats {
     pull_errors: AtomicU64,
 }
 
+/// The shard read lease one replica may hold: clients grant it through
+/// the quorum path, and only the live holder serves `psGetLeased`.
+#[derive(Debug, Clone)]
+struct ReadLease {
+    /// Holder address as `host:port` — compared against the replica's own
+    /// bound address when serving leased reads.
+    holder: String,
+    /// Grant epoch: a newer grant supersedes, an older one is fenced.
+    epoch: u64,
+    until: Instant,
+}
+
 /// The replica daemon behavior.
 pub struct StoreReplica {
     disk: DiskImage,
@@ -255,6 +362,21 @@ pub struct StoreReplica {
     worker: Option<std::thread::JoinHandle<()>>,
     /// Nudges the worker to sync immediately (`psSync`).
     nudge: Option<crossbeam_channel::Sender<()>>,
+    /// Fixed anti-entropy peer list (sharded deployments).  `None` keeps
+    /// the classic behaviour: discover peers via the ASD class lookup.
+    peers: Option<Vec<Addr>>,
+    /// Shard placement map served via `psPlacement` (sharded deployments).
+    placement: Option<StorePlacement>,
+    /// Cached encoded snapshot for chunked `psSnapFetch`: `(seq, bytes)`.
+    /// Cut fresh on every offset-0 fetch; later offsets read the cache so
+    /// one rebuild streams one consistent snapshot.
+    snap_cache: Option<(u64, Arc<Vec<u8>>)>,
+    /// The shard read lease, if any client granted one.
+    lease: Option<ReadLease>,
+    /// `psGetLeased` requests served as the holder.
+    leased_gets: u64,
+    /// `psGetLeased` requests refused (not holder / lease expired).
+    leased_refusals: u64,
 }
 
 impl StoreReplica {
@@ -266,18 +388,41 @@ impl StoreReplica {
             stop: Arc::new(AtomicBool::new(false)),
             worker: None,
             nudge: None,
+            peers: None,
+            placement: None,
+            snap_cache: None,
+            lease: None,
+            leased_gets: 0,
+            leased_refusals: 0,
         }
+    }
+
+    /// Anti-entropy against a fixed peer list (this replica's shard group)
+    /// instead of an ASD class lookup — a sharded replica must never pull
+    /// keys that belong to another shard's group.
+    pub fn with_peers(mut self, peers: Vec<Addr>) -> StoreReplica {
+        self.peers = Some(peers);
+        self
+    }
+
+    /// Serve the shard placement map via `psPlacement`, so clients can
+    /// bootstrap routing from any replica.
+    pub fn with_placement(mut self, placement: StorePlacement) -> StoreReplica {
+        self.placement = Some(placement);
+        self
     }
 }
 
-/// One anti-entropy round from the worker thread: pull newer versions from
-/// every peer replica found in the ASD.
+/// One anti-entropy round from the worker thread: pull newer versions
+/// from every peer replica — either the fixed shard-group list, or every
+/// `PersistentStore` found in the ASD.
 #[allow(clippy::too_many_arguments)]
 fn sync_round(
     net: &SimNet,
     host: &HostId,
     identity: &ace_security::keys::KeyPair,
-    asd: &Addr,
+    asd: Option<&Addr>,
+    fixed_peers: Option<&[Addr]>,
     own_name: &str,
     disk: &DiskImage,
     stats: &SyncStats,
@@ -310,21 +455,35 @@ fn sync_round(
         None
     };
 
-    let Some(reply) = call(
-        clients,
-        asd,
-        &CmdLine::new("lookup").arg("class", Value::Str("PersistentStore".into())),
-    ) else {
-        return;
+    let peer_addrs: Vec<Addr> = match fixed_peers {
+        // Sharded deployment: the group membership is fixed at spawn, and
+        // pulling from the ASD class instead would drag other shards'
+        // keys into this group.
+        Some(list) => list.to_vec(),
+        None => {
+            let Some(asd) = asd else { return };
+            let Some(reply) = call(
+                clients,
+                asd,
+                &CmdLine::new("lookup").arg("class", Value::Str("PersistentStore".into())),
+            ) else {
+                return;
+            };
+            let Some(peers) = reply
+                .get("services")
+                .and_then(ace_core::protocol::entries_from_value)
+            else {
+                return;
+            };
+            peers
+                .into_iter()
+                .filter(|p| p.name != own_name)
+                .map(|p| p.addr)
+                .collect()
+        }
     };
-    let Some(peers) = reply
-        .get("services")
-        .and_then(ace_core::protocol::entries_from_value)
-    else {
-        return;
-    };
-    for peer in peers.into_iter().filter(|p| p.name != own_name) {
-        let Some(reply) = call(clients, &peer.addr, &CmdLine::new("psDigest")) else {
+    for peer_addr in peer_addrs {
+        let Some(reply) = call(clients, &peer_addr, &CmdLine::new("psDigest")) else {
             continue; // peer down: catch up later
         };
         let Some(rows) = digest_from_reply(&reply) else {
@@ -341,7 +500,7 @@ fn sync_round(
             }
             let Some(got) = call(
                 clients,
-                &peer.addr,
+                &peer_addr,
                 &CmdLine::new("psGet")
                     .arg("ns", ns.as_str())
                     .arg("key", Value::Str(key.clone())),
@@ -399,6 +558,7 @@ pub(crate) fn digest_from_reply(reply: &CmdLine) -> Option<Vec<(String, String, 
 impl ServiceBehavior for StoreReplica {
     fn semantics(&self) -> Semantics {
         Semantics::new()
+            .inheriting(&ace_core::protocol::store_scaleout_semantics())
             .with(
                 CmdSpec::new("psPut", "store a versioned value")
                     .required("ns", ArgType::Word, "namespace")
@@ -419,7 +579,12 @@ impl ServiceBehavior for StoreReplica {
             .with(
                 CmdSpec::new("psGet", "read a key")
                     .required("ns", ArgType::Word, "namespace")
-                    .required("key", ArgType::Str, "key"),
+                    .required("key", ArgType::Str, "key")
+                    .optional(
+                        "digest",
+                        ArgType::Word,
+                        "true for version/writer/deleted only, no value bytes",
+                    ),
             )
             .with(
                 CmdSpec::new("psDelete", "tombstone a key")
@@ -442,10 +607,12 @@ impl ServiceBehavior for StoreReplica {
     }
 
     fn on_start(&mut self, ctx: &mut ServiceCtx) {
-        let Some(asd) = ctx.asd_addr().cloned() else {
+        let asd = ctx.asd_addr().cloned();
+        let fixed_peers = self.peers.clone();
+        if asd.is_none() && fixed_peers.is_none() {
             // Standalone replica (unit tests): no peers to sync with.
             return;
-        };
+        }
         let (nudge_tx, nudge_rx) = crossbeam_channel::unbounded::<()>();
         self.nudge = Some(nudge_tx);
         let net = ctx.net().clone();
@@ -471,7 +638,8 @@ impl ServiceBehavior for StoreReplica {
                             &net,
                             &host,
                             &identity,
-                            &asd,
+                            asd.as_ref(),
+                            fixed_peers.as_deref(),
                             &own_name,
                             &disk,
                             &stats,
@@ -519,7 +687,7 @@ impl ServiceBehavior for StoreReplica {
         }
     }
 
-    fn handle(&mut self, _ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
+    fn handle(&mut self, ctx: &mut ServiceCtx, cmd: &CmdLine, _from: &ClientInfo) -> Reply {
         match cmd.name() {
             "psPut" | "psDelete" => {
                 // Arguments passed semantics validation, but a malformed
@@ -602,6 +770,43 @@ impl ServiceBehavior for StoreReplica {
                     return Reply::err(ErrorCode::Semantics, "malformed get arguments");
                 };
                 let key = (ns.to_string(), k.to_string());
+                let digest_only = cmd.get_bool("digest").unwrap_or(false);
+                match self.disk.get(&key) {
+                    // Digest mode answers the version question without
+                    // shipping the value: the read fan-out pays full-value
+                    // transfer at exactly one replica.
+                    Some(v) if digest_only => Reply::ok_with(|c| {
+                        c.arg("version", v.version as i64)
+                            .arg("writer", Value::Str(v.writer.clone()))
+                            .arg("deleted", v.deleted)
+                    }),
+                    Some(v) => Reply::ok_with(|c| {
+                        c.arg("data", hex_encode(&v.data))
+                            .arg("version", v.version as i64)
+                            .arg("writer", Value::Str(v.writer.clone()))
+                            .arg("deleted", v.deleted)
+                    }),
+                    None => Reply::err(ErrorCode::NotFound, "no such key"),
+                }
+            }
+            "psGetLeased" => {
+                let (Some(ns), Some(k)) = (cmd.get_text("ns"), cmd.get_text("key")) else {
+                    return Reply::err(ErrorCode::Semantics, "malformed get arguments");
+                };
+                let own = format!("{}:{}", ctx.addr().host, ctx.addr().port);
+                let holds = self
+                    .lease
+                    .as_ref()
+                    .is_some_and(|l| l.holder == own && Instant::now() < l.until);
+                if !holds {
+                    self.leased_refusals += 1;
+                    return Reply::err(
+                        ErrorCode::BadState,
+                        "not the live leaseholder; read via quorum",
+                    );
+                }
+                self.leased_gets += 1;
+                let key = (ns.to_string(), k.to_string());
                 match self.disk.get(&key) {
                     Some(v) => Reply::ok_with(|c| {
                         c.arg("data", hex_encode(&v.data))
@@ -612,6 +817,127 @@ impl ServiceBehavior for StoreReplica {
                     None => Reply::err(ErrorCode::NotFound, "no such key"),
                 }
             }
+            "psLeaseGrant" => {
+                let parts = (
+                    cmd.get_text("holder"),
+                    cmd.get_int("epoch"),
+                    cmd.get_int("ttlMs"),
+                );
+                let (Some(holder), Some(epoch), Some(ttl_ms)) = parts else {
+                    return Reply::err(ErrorCode::Semantics, "malformed lease grant");
+                };
+                let epoch = epoch.max(0) as u64;
+                let now = Instant::now();
+                // A live lease held by someone else at an equal-or-newer
+                // epoch fences this grant: the granter must adopt or
+                // outbid, never split the shard between two holders.
+                if let Some(cur) = &self.lease {
+                    if cur.holder != holder && now < cur.until && cur.epoch >= epoch {
+                        let (h, e) = (cur.holder.clone(), cur.epoch as i64);
+                        return Reply::err(
+                            ErrorCode::BadState,
+                            format!("lease held by {h} at epoch {e}"),
+                        );
+                    }
+                }
+                self.lease = Some(ReadLease {
+                    holder: holder.to_string(),
+                    epoch,
+                    until: now + Duration::from_millis(ttl_ms.max(0) as u64),
+                });
+                Reply::ok_with(|c| c.arg("epoch", epoch as i64))
+            }
+            "psLeaseRevoke" => {
+                let (Some(holder), Some(epoch)) = (cmd.get_text("holder"), cmd.get_int("epoch"))
+                else {
+                    return Reply::err(ErrorCode::Semantics, "malformed lease revoke");
+                };
+                // Idempotent: revoking a lease we do not hold is success —
+                // the desired end state (no such lease) already holds.
+                if self
+                    .lease
+                    .as_ref()
+                    .is_some_and(|l| l.holder == holder && l.epoch <= epoch.max(0) as u64)
+                {
+                    self.lease = None;
+                }
+                Reply::ok()
+            }
+            "psSnapFetch" => {
+                let Some(offset) = cmd.get_int("offset").filter(|&o| o >= 0) else {
+                    return Reply::err(ErrorCode::Semantics, "malformed snapshot offset");
+                };
+                let chunk = cmd
+                    .get_int("chunk")
+                    .filter(|&c| c > 0)
+                    .unwrap_or(32 * 1024)
+                    .min(256 * 1024) as usize;
+                if offset == 0 {
+                    // Offset 0 cuts a fresh consistent snapshot and caches
+                    // it, so one rebuild streams one immutable byte image
+                    // while writes keep landing.
+                    let (seq, bytes) = self.disk.snapshot_cut();
+                    self.snap_cache = Some((seq, Arc::new(bytes)));
+                }
+                let Some((seq, bytes)) = self.snap_cache.clone() else {
+                    return Reply::err(
+                        ErrorCode::BadState,
+                        "no snapshot cut; fetch offset 0 first",
+                    );
+                };
+                let offset = offset as usize;
+                if offset > bytes.len() {
+                    return Reply::err(ErrorCode::Semantics, "offset past end of snapshot");
+                }
+                let end = (offset + chunk).min(bytes.len());
+                let total = bytes.len() as i64;
+                Reply::ok_with(|c| {
+                    c.arg("total", total)
+                        .arg("seq", seq as i64)
+                        .arg("offset", offset as i64)
+                        .arg("data", hex_encode(&bytes[offset..end]))
+                })
+            }
+            "psWalTail" => {
+                let Some(since) = cmd.get_int("since").filter(|&s| s >= 0) else {
+                    return Reply::err(ErrorCode::Semantics, "malformed tail sequence");
+                };
+                let max = cmd.get_int("max").filter(|&m| m > 0).unwrap_or(512) as usize;
+                match self.disk.tail_since(since as u64, max.min(4096)) {
+                    None => Reply::ok_with(|c| {
+                        // The cut fell off the tail ring: report the gap so
+                        // the fetcher re-ships a snapshot instead of
+                        // silently missing writes.
+                        c.arg("gap", true).arg("latest", 0i64).arg("count", 0i64)
+                    }),
+                    Some((entries, latest)) => {
+                        let rows: Vec<Vec<Scalar>> = entries
+                            .into_iter()
+                            .map(|(seq, (ns, key), v)| {
+                                vec![
+                                    Scalar::Str(seq.to_string()),
+                                    Scalar::Str(ns),
+                                    Scalar::Str(key),
+                                    Scalar::Str(hex_encode(&v.data)),
+                                    Scalar::Str(v.version.to_string()),
+                                    Scalar::Str(v.writer),
+                                    Scalar::Str(if v.deleted { "1" } else { "0" }.into()),
+                                ]
+                            })
+                            .collect();
+                        Reply::ok_with(|c| {
+                            c.arg("gap", false)
+                                .arg("latest", latest as i64)
+                                .arg("count", rows.len() as i64)
+                                .arg("entries", Value::Array(rows))
+                        })
+                    }
+                }
+            }
+            "psPlacement" => match &self.placement {
+                Some(placement) => placement.to_reply(),
+                None => Reply::err(ErrorCode::NotFound, "replica carries no placement map"),
+            },
             "psList" => {
                 let Some(ns) = cmd.get_text("ns") else {
                     return Reply::err(ErrorCode::Semantics, "malformed list arguments");
@@ -664,6 +990,8 @@ impl ServiceBehavior for StoreReplica {
                         .arg("walFsyncs", wal.fsyncs as i64)
                         .arg("walFsyncsSaved", wal.fsyncs_saved as i64)
                         .arg("walMaxBatch", wal.max_batch_records as i64)
+                        .arg("leasedGets", self.leased_gets as i64)
+                        .arg("leasedRefusals", self.leased_refusals as i64)
                         .arg(
                             "checksum",
                             Value::Word(format!("x{:016x}", self.disk.checksum())),
@@ -676,26 +1004,28 @@ impl ServiceBehavior for StoreReplica {
 
     /// Re-export WAL batch and sync state into the daemon's unified metrics
     /// registry, so `aceStats` and the periodic stats events carry them
-    /// alongside the framework's own counters.
+    /// alongside the framework's own counters.  Series are keyed by the
+    /// daemon name (`store.<name>.entries`): co-located replicas whose
+    /// stats land in one registry (or one downstream aggregation) must
+    /// stay distinct series, not overwrite each other.
     fn on_stats(&mut self, ctx: &mut ServiceCtx) {
+        let name = ctx.name().to_string();
         let m = ctx.metrics();
-        m.gauge("store.entries").set(self.disk.len() as i64);
-        m.gauge("store.syncs")
-            .set(self.stats.syncs.load(Ordering::Relaxed) as i64);
-        m.gauge("store.pulled")
-            .set(self.stats.pulled.load(Ordering::Relaxed) as i64);
-        m.gauge("store.pullErrors")
-            .set(self.stats.pull_errors.load(Ordering::Relaxed) as i64);
+        let gauge = |suffix: &str| m.gauge(&format!("store.{name}.{suffix}"));
+        gauge("entries").set(self.disk.len() as i64);
+        gauge("syncs").set(self.stats.syncs.load(Ordering::Relaxed) as i64);
+        gauge("pulled").set(self.stats.pulled.load(Ordering::Relaxed) as i64);
+        gauge("pullErrors").set(self.stats.pull_errors.load(Ordering::Relaxed) as i64);
+        gauge("leasedGets").set(self.leased_gets as i64);
         if let Some(wal) = self.disk.wal_stats() {
-            m.gauge("wal.appends").set(wal.appends as i64);
-            m.gauge("wal.compactions").set(wal.compactions as i64);
-            m.gauge("wal.appendFailures")
-                .set(wal.append_failures as i64);
-            m.gauge("wal.batches").set(wal.batches as i64);
-            m.gauge("wal.fsyncs").set(wal.fsyncs as i64);
-            m.gauge("wal.fsyncsSaved").set(wal.fsyncs_saved as i64);
-            m.gauge("wal.maxBatchRecords")
-                .set(wal.max_batch_records as i64);
+            let gauge = |suffix: &str| m.gauge(&format!("wal.{name}.{suffix}"));
+            gauge("appends").set(wal.appends as i64);
+            gauge("compactions").set(wal.compactions as i64);
+            gauge("appendFailures").set(wal.append_failures as i64);
+            gauge("batches").set(wal.batches as i64);
+            gauge("fsyncs").set(wal.fsyncs as i64);
+            gauge("fsyncsSaved").set(wal.fsyncs_saved as i64);
+            gauge("maxBatchRecords").set(wal.max_batch_records as i64);
         }
     }
 }

@@ -514,7 +514,11 @@ pub fn replay_bytes(bytes: &[u8]) -> Result<Replay, StoreError> {
 
 const SNAP_MAGIC: &[u8; 8] = b"ACSNAP01";
 
-fn encode_snapshot(generation: u64, map: &HashMap<StoreKey, Versioned>) -> Vec<u8> {
+/// Encode a full-state snapshot body.  Shared by compaction (where
+/// `generation` is the slot generation) and snapshot shipping (where the
+/// same field carries the shipper's WAL-tail sequence cut, so the fetcher
+/// knows exactly where tail catch-up must start).
+pub(crate) fn encode_snapshot(generation: u64, map: &HashMap<StoreKey, Versioned>) -> Vec<u8> {
     let mut body = Vec::new();
     body.extend_from_slice(SNAP_MAGIC);
     body.extend_from_slice(&generation.to_le_bytes());
@@ -534,11 +538,11 @@ fn encode_snapshot(generation: u64, map: &HashMap<StoreKey, Versioned>) -> Vec<u
 }
 
 /// A decoded snapshot body: its generation and the records it carries.
-type SnapshotBody = (u64, Vec<(StoreKey, Versioned)>);
+pub(crate) type SnapshotBody = (u64, Vec<(StoreKey, Versioned)>);
 
 /// `Ok(Some(..))` for a valid snapshot, `Ok(None)` for an empty slot, and
 /// `Err(detail)` for a slot that holds bytes which do not validate.
-fn decode_snapshot(bytes: &[u8]) -> Result<Option<SnapshotBody>, String> {
+pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<Option<SnapshotBody>, String> {
     if bytes.is_empty() {
         return Ok(None);
     }
@@ -1047,6 +1051,33 @@ impl Wal {
                 false
             }
         }
+    }
+
+    /// Commit `map` as a full snapshot unconditionally: the inactive slot
+    /// gets the new snapshot (synced) and the log is truncated, exactly
+    /// like a compaction but without the threshold gate.  Used when a
+    /// rebuilding replica installs a shipped snapshot: one slot write
+    /// instead of re-appending the whole keyspace record by record.
+    pub fn install_snapshot(&self, map: &HashMap<StoreKey, Versioned>) -> Result<(), StoreError> {
+        let mut guard = self.disk.lock();
+        let d = &mut *guard;
+        if d.broken {
+            return Err(StoreError::Io(
+                "wal is broken; replica needs respawn".into(),
+            ));
+        }
+        let target = 1 - d.active_slot;
+        let snapshot = encode_snapshot(d.generation + 1, map);
+        d.snaps[target]
+            .replace(&snapshot)
+            .and_then(|()| d.snaps[target].sync())
+            .and_then(|()| d.log.replace(&[]))
+            .and_then(|()| d.log.sync())?;
+        d.generation += 1;
+        d.active_slot = target;
+        d.end = 0;
+        d.stats.compactions += 1;
+        Ok(())
     }
 
     /// Current committed log length in bytes.

@@ -134,6 +134,58 @@ proptest! {
             prop_assert!(a.beats(&b) ^ b.beats(&a));
         }
     }
+
+    /// Antisymmetry: `beats` never holds in both directions — the payload
+    /// (data, tombstone flag) must not influence the order.
+    #[test]
+    fn beats_antisymmetric(
+        v1 in 0u64..8, w1 in 0u8..4, d1 in any::<bool>(),
+        v2 in 0u64..8, w2 in 0u8..4, d2 in any::<bool>(),
+        data in prop::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let a = Versioned { data, version: v1, writer: format!("w{w1}"), deleted: d1 };
+        let b = Versioned { data: vec![0xFF], version: v2, writer: format!("w{w2}"), deleted: d2 };
+        prop_assert!(!(a.beats(&b) && b.beats(&a)));
+    }
+
+    /// Read-max-plus-one monotonicity: the client's versioning rule (read
+    /// the maximal version visible anywhere, write max+1) always produces
+    /// a value that beats every value it read past — regardless of the
+    /// writer id — and successive rounds are strictly increasing.
+    #[test]
+    fn read_max_plus_one_is_monotone(
+        existing in prop::collection::vec((0u64..32, 0u8..4, any::<bool>()), 1..16),
+        writer in 0u8..4,
+        rounds in 1usize..5,
+    ) {
+        let mut seen: Vec<Versioned> = existing
+            .into_iter()
+            .map(|(version, w, deleted)| Versioned {
+                data: vec![],
+                version,
+                writer: format!("w{w}"),
+                deleted,
+            })
+            .collect();
+        let mut last: Option<Versioned> = None;
+        for _ in 0..rounds {
+            let max = seen.iter().map(|v| v.version).max().unwrap_or(0);
+            let new = Versioned {
+                data: vec![],
+                version: max + 1,
+                writer: format!("w{writer}"),
+                deleted: false,
+            };
+            for old in &seen {
+                prop_assert!(new.beats(old), "{new:?} must beat visible {old:?}");
+            }
+            if let Some(prev) = &last {
+                prop_assert!(new.beats(prev), "successive writes must be monotone");
+            }
+            last = Some(new.clone());
+            seen.push(new);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

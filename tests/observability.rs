@@ -203,13 +203,25 @@ fn ace_stats_roundtrip_store_replica() {
     let mut client =
         ServiceClient::connect(&net, &"store".into(), daemon.addr().clone(), &me).unwrap();
     let report = ace_stats(&mut client, None);
+    // Gauges are keyed by daemon identity so co-located replicas never
+    // collapse into one series.
     assert!(
-        report.gauges.get("store.entries").copied().unwrap_or(0) >= 5,
+        report
+            .gauges
+            .get("store.store_a.entries")
+            .copied()
+            .unwrap_or(0)
+            >= 5,
         "store entries gauge: {:?}",
         report.gauges
     );
     assert!(
-        report.gauges.get("wal.appends").copied().unwrap_or(0) >= 5,
+        report
+            .gauges
+            .get("wal.store_a.appends")
+            .copied()
+            .unwrap_or(0)
+            >= 5,
         "wal append gauge: {:?}",
         report.gauges
     );
@@ -219,6 +231,52 @@ fn ace_stats_roundtrip_store_replica() {
     );
 
     daemon.shutdown();
+}
+
+/// Two replicas of the same class on one host must publish *distinct*
+/// `store.*`/`wal.*` series — keyed by daemon name — so an aggregator that
+/// merges their registries sees both, not one overwriting the other.
+#[test]
+fn store_gauges_are_distinct_series_per_daemon() {
+    let net = SimNet::new();
+    net.add_host("store");
+    let mut daemons = Vec::new();
+    for (name, port, writes) in [("store_a", 4330u16, 3usize), ("store_b", 4331, 7)] {
+        let storage = StorageHandle::Memory(MemStorage::new());
+        let (disk, _report) = DiskImage::open(&storage, WalConfig::default()).unwrap();
+        let daemon = Daemon::spawn(
+            &net,
+            DaemonConfig::new(name, "Service.Store", "machine", "store", port),
+            Box::new(StoreReplica::new(disk, Duration::from_secs(3600))),
+        )
+        .unwrap();
+        let mut store =
+            StoreClient::new(net.clone(), "store", keypair(), vec![daemon.addr().clone()]);
+        for i in 0..writes {
+            store.put("ns", &format!("k{i}"), b"v").unwrap();
+        }
+        daemons.push(daemon);
+    }
+
+    let me = keypair();
+    let mut merged = std::collections::BTreeMap::new();
+    for daemon in &daemons {
+        let mut client =
+            ServiceClient::connect(&net, &"store".into(), daemon.addr().clone(), &me).unwrap();
+        merged.extend(ace_stats(&mut client, None).gauges);
+    }
+    assert_eq!(merged.get("store.store_a.entries").copied(), Some(3));
+    assert_eq!(merged.get("store.store_b.entries").copied(), Some(7));
+    assert!(merged.get("wal.store_a.appends").copied().unwrap_or(0) >= 3);
+    assert!(merged.get("wal.store_b.appends").copied().unwrap_or(0) >= 7);
+    assert!(
+        !merged.contains_key("store.entries") && !merged.contains_key("wal.appends"),
+        "unkeyed legacy series must be gone: {merged:?}"
+    );
+
+    for daemon in daemons {
+        daemon.shutdown();
+    }
 }
 
 /// A media daemon (the mixer) reports per-verb latency plus its own gauges.
